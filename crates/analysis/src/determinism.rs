@@ -1,0 +1,138 @@
+//! The §7 uniqueness theorem as an experiment.
+//!
+//! The paper proves that the modified protocol converges to the *same*
+//! routing configuration for **every** fair activation sequence from the
+//! same initial valid configuration — the property that makes routing
+//! debuggable ("the routing tables before and after the crash are
+//! identical"). This module runs a scenario under many distinct seeded
+//! fair schedules and reports whether all runs converge, and whether they
+//! all reach the same best-exit vector.
+
+use ibgp_proto::variants::ProtocolConfig;
+use ibgp_sim::{Activation, AllAtOnce, RandomFair, RandomSubsets, RoundRobin, SyncEngine};
+use ibgp_topology::Topology;
+use ibgp_types::{ExitPathId, ExitPathRef};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a determinism sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeterminismReport {
+    /// Schedules that converged.
+    pub converged_runs: usize,
+    /// Schedules that did not converge within the step budget.
+    pub unconverged_runs: usize,
+    /// The distinct fixed points reached (as best-exit vectors).
+    pub distinct_outcomes: Vec<Vec<Option<ExitPathId>>>,
+}
+
+impl DeterminismReport {
+    /// True when every run converged, to one single configuration.
+    pub fn deterministic(&self) -> bool {
+        self.unconverged_runs == 0 && self.distinct_outcomes.len() <= 1
+    }
+}
+
+/// Run the scenario under round-robin, all-at-once, `seeds` random-singleton
+/// and `seeds` random-subset schedules; collect the outcomes.
+pub fn determinism_report(
+    topo: &Topology,
+    config: ProtocolConfig,
+    exits: &[ExitPathRef],
+    seeds: u64,
+    max_steps: u64,
+) -> DeterminismReport {
+    let mut schedules: Vec<Box<dyn Activation>> =
+        vec![Box::new(RoundRobin::new()), Box::new(AllAtOnce)];
+    for s in 0..seeds {
+        schedules.push(Box::new(RandomFair::new(s)));
+        schedules.push(Box::new(RandomSubsets::new(s.wrapping_add(0x5EED))));
+    }
+
+    let mut report = DeterminismReport {
+        converged_runs: 0,
+        unconverged_runs: 0,
+        distinct_outcomes: Vec::new(),
+    };
+    for mut schedule in schedules {
+        let mut engine = SyncEngine::new(topo, config, exits.to_vec());
+        let outcome = engine.run(schedule.as_mut(), max_steps);
+        if outcome.converged() {
+            report.converged_runs += 1;
+            let bv = engine.best_vector();
+            if !report.distinct_outcomes.contains(&bv) {
+                report.distinct_outcomes.push(bv);
+            }
+        } else {
+            report.unconverged_runs += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibgp_topology::TopologyBuilder;
+    use ibgp_types::{AsId, ExitPath, Med, RouterId};
+    use std::sync::Arc;
+
+    fn exit(id: u32, next_as: u32, med: u32, exit_point: u32) -> ExitPathRef {
+        Arc::new(
+            ExitPath::builder(ExitPathId::new(id))
+                .via(AsId::new(next_as))
+                .med(Med::new(med))
+                .exit_point(RouterId::new(exit_point))
+                .build_unchecked(),
+        )
+    }
+
+    fn disagree() -> (Topology, Vec<ExitPathRef>) {
+        let topo = TopologyBuilder::new(4)
+            .link(0, 2, 10)
+            .link(0, 3, 1)
+            .link(1, 3, 10)
+            .link(1, 2, 1)
+            .cluster([0], [2])
+            .cluster([1], [3])
+            .build()
+            .unwrap();
+        let exits = vec![exit(1, 1, 0, 2), exit(2, 1, 0, 3)];
+        (topo, exits)
+    }
+
+    #[test]
+    fn modified_protocol_is_deterministic_on_disagree() {
+        let (topo, exits) = disagree();
+        let report = determinism_report(&topo, ProtocolConfig::MODIFIED, &exits, 8, 10_000);
+        assert!(report.deterministic(), "{report:?}");
+        assert_eq!(report.distinct_outcomes.len(), 1);
+    }
+
+    #[test]
+    fn standard_protocol_is_not_deterministic_on_disagree() {
+        let (topo, exits) = disagree();
+        let report = determinism_report(&topo, ProtocolConfig::STANDARD, &exits, 8, 10_000);
+        // Either some schedule oscillates (all-at-once does) or different
+        // schedules reach different stable solutions — both falsify
+        // determinism.
+        assert!(!report.deterministic(), "{report:?}");
+    }
+
+    #[test]
+    fn trivial_scenario_is_deterministic_under_all_variants() {
+        let topo = TopologyBuilder::new(2)
+            .link(0, 1, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let exits = vec![exit(1, 1, 0, 0)];
+        for config in [
+            ProtocolConfig::STANDARD,
+            ProtocolConfig::WALTON,
+            ProtocolConfig::MODIFIED,
+        ] {
+            let report = determinism_report(&topo, config, &exits, 4, 1_000);
+            assert!(report.deterministic(), "{config}: {report:?}");
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Lemma 7.2 as an experiment: withdrawn exit paths are flushed.
+//!
+//! After an exit path `p` is withdrawn from `MyExits(exitPoint(p))`, stale
+//! copies can linger in `PossibleExits` sets and keep being re-announced
+//! for a while; the lemma proves every fair activation sequence flushes
+//! them in level order (exit point first, then its cluster's reflectors,
+//! and so on outward). This module withdraws a path from a converged
+//! system, re-runs, and reports whether — and after how many steps — the
+//! path disappeared everywhere.
+
+use ibgp_proto::variants::ProtocolConfig;
+use ibgp_sim::{Activation, SyncEngine};
+use ibgp_topology::Topology;
+use ibgp_types::{ExitPathId, ExitPathRef, RouterId};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a withdraw-and-flush run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlushReport {
+    /// Whether the path vanished from every `PossibleExits` set.
+    pub flushed: bool,
+    /// Steps taken after the withdrawal until the path was gone (or the
+    /// budget, if not flushed).
+    pub steps_to_flush: u64,
+    /// Nodes that still held the path at the end (empty when flushed).
+    pub holdouts: Vec<RouterId>,
+}
+
+/// Converge the system, withdraw `victim`, and run up to `max_steps` more
+/// steps under `schedule`, checking after each step whether the path has
+/// been flushed from every node.
+pub fn flush_report(
+    topo: &Topology,
+    config: ProtocolConfig,
+    exits: &[ExitPathRef],
+    victim: ExitPathId,
+    schedule: &mut dyn Activation,
+    max_steps: u64,
+) -> FlushReport {
+    let mut engine = SyncEngine::new(topo, config, exits.to_vec());
+    engine.run(schedule, max_steps);
+    engine.withdraw(victim);
+
+    let holds = |engine: &SyncEngine| -> Vec<RouterId> {
+        topo.routers()
+            .filter(|&u| engine.possible_exits(u).iter().any(|p| p.id() == victim))
+            .collect()
+    };
+
+    let n = topo.len();
+    for step in 0..max_steps {
+        let holdouts = holds(&engine);
+        if holdouts.is_empty() {
+            return FlushReport {
+                flushed: true,
+                steps_to_flush: step,
+                holdouts: Vec::new(),
+            };
+        }
+        let set = schedule.next_set(n);
+        engine.step(&set);
+    }
+    let holdouts = holds(&engine);
+    FlushReport {
+        flushed: holdouts.is_empty(),
+        steps_to_flush: max_steps,
+        holdouts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibgp_sim::RoundRobin;
+    use ibgp_topology::TopologyBuilder;
+    use ibgp_types::{AsId, ExitPath, Med};
+    use std::sync::Arc;
+
+    fn exit(id: u32, next_as: u32, med: u32, exit_point: u32) -> ExitPathRef {
+        Arc::new(
+            ExitPath::builder(ExitPathId::new(id))
+                .via(AsId::new(next_as))
+                .med(Med::new(med))
+                .exit_point(RouterId::new(exit_point))
+                .build_unchecked(),
+        )
+    }
+
+    /// Two clusters in a chain; withdrawing the only exit flushes it from
+    /// all four levels.
+    #[test]
+    fn modified_protocol_flushes_across_clusters() {
+        let topo = TopologyBuilder::new(4)
+            .link(0, 1, 1)
+            .link(0, 2, 1)
+            .link(2, 3, 1)
+            .cluster([0], [1])
+            .cluster([2], [3])
+            .build()
+            .unwrap();
+        let exits = vec![exit(1, 1, 0, 1), exit(2, 2, 3, 3)];
+        let report = flush_report(
+            &topo,
+            ProtocolConfig::MODIFIED,
+            &exits,
+            ExitPathId::new(1),
+            &mut RoundRobin::new(),
+            1_000,
+        );
+        assert!(report.flushed, "{report:?}");
+        assert!(report.holdouts.is_empty());
+        assert!(report.steps_to_flush > 0, "stale copies exist initially");
+    }
+
+    #[test]
+    fn standard_protocol_also_flushes() {
+        let topo = TopologyBuilder::new(3)
+            .link(0, 1, 1)
+            .link(1, 2, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let exits = vec![exit(1, 1, 0, 0), exit(2, 2, 0, 2)];
+        let report = flush_report(
+            &topo,
+            ProtocolConfig::STANDARD,
+            &exits,
+            ExitPathId::new(1),
+            &mut RoundRobin::new(),
+            1_000,
+        );
+        assert!(report.flushed, "{report:?}");
+    }
+
+    #[test]
+    fn missing_victim_is_trivially_flushed() {
+        let topo = TopologyBuilder::new(2)
+            .link(0, 1, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let exits = vec![exit(1, 1, 0, 0)];
+        let report = flush_report(
+            &topo,
+            ProtocolConfig::MODIFIED,
+            &exits,
+            ExitPathId::new(99),
+            &mut RoundRobin::new(),
+            100,
+        );
+        assert!(report.flushed);
+        assert_eq!(report.steps_to_flush, 0);
+    }
+}

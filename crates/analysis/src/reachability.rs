@@ -1,0 +1,225 @@
+//! Exhaustive exploration of reachable configurations.
+//!
+//! §5 of the paper proves that deciding whether an I-BGP configuration
+//! *can* stabilize is NP-complete. On the instance sizes of the paper's
+//! figures the question is nevertheless decidable by brute force: from
+//! `config(0)`, explore every configuration reachable under the
+//! nondeterministic choice of activation set, and look for fixed points.
+//!
+//! Branching: all singleton activations plus the full-set activation.
+//! Singletons generate every interleaving of individual router steps; the
+//! full set additionally captures the simultaneous-exchange states that
+//! drive oscillations like Fig 2. (Intermediate subset sizes add no new
+//! behaviours on the paper's examples and are omitted to keep the
+//! branching factor at `n + 1`; the limitation is inherent to bounded
+//! search of an NP-complete question and is documented in DESIGN.md.)
+
+use ibgp_proto::variants::ProtocolConfig;
+use ibgp_sim::signature::StateKey;
+use ibgp_sim::{SyncEngine, SyncSnapshot};
+use ibgp_topology::Topology;
+use ibgp_types::{ExitPathId, ExitPathRef, RouterId};
+use std::collections::{HashMap, VecDeque};
+
+/// Result of a bounded reachability exploration.
+#[derive(Debug, Clone)]
+pub struct Reachability {
+    /// Number of distinct configurations visited.
+    pub states: usize,
+    /// Whether the whole reachable space was explored (false = the state
+    /// cap was hit and absence results are inconclusive).
+    pub complete: bool,
+    /// Distinct stable routing configurations found, as best-exit vectors.
+    pub stable_vectors: Vec<Vec<Option<ExitPathId>>>,
+}
+
+impl Reachability {
+    /// Whether some activation sequence stabilizes the system (the §5
+    /// decision question, answered affirmatively by a witness).
+    pub fn can_converge(&self) -> bool {
+        !self.stable_vectors.is_empty()
+    }
+
+    /// Whether the system provably has **no** reachable stable
+    /// configuration — a persistent oscillation. Requires a complete
+    /// exploration.
+    pub fn persistent_oscillation(&self) -> bool {
+        self.complete && self.stable_vectors.is_empty()
+    }
+}
+
+/// Explore every configuration reachable from `config(0)`; cap at
+/// `max_states` distinct configurations.
+///
+/// ```
+/// use ibgp_analysis::explore;
+/// use ibgp_proto::variants::ProtocolConfig;
+/// use ibgp_topology::TopologyBuilder;
+/// use ibgp_types::*;
+/// use std::sync::Arc;
+///
+/// let topo = TopologyBuilder::new(2).link(0, 1, 1).full_mesh().build()?;
+/// let exit = Arc::new(ExitPath::builder(ExitPathId::new(1))
+///     .via(AsId::new(1)).exit_point(RouterId::new(0)).build_unchecked());
+/// let reach = explore(&topo, ProtocolConfig::STANDARD, vec![exit], 10_000);
+/// assert!(reach.complete && reach.can_converge());
+/// # Ok::<(), ibgp_topology::TopologyError>(())
+/// ```
+pub fn explore(
+    topo: &Topology,
+    config: ProtocolConfig,
+    exits: Vec<ExitPathRef>,
+    max_states: usize,
+) -> Reachability {
+    let mut engine = SyncEngine::new(topo, config, exits);
+    let n = topo.len();
+
+    // Branch choices: each singleton, plus the full activation set.
+    let mut branches: Vec<Vec<RouterId>> = (0..n as u32).map(|i| vec![RouterId::new(i)]).collect();
+    branches.push((0..n as u32).map(RouterId::new).collect());
+
+    let mut visited: HashMap<u64, Vec<StateKey>> = HashMap::new();
+    let mut queue: VecDeque<SyncSnapshot> = VecDeque::new();
+    let mut stable_vectors: Vec<Vec<Option<ExitPathId>>> = Vec::new();
+    let mut states = 0usize;
+    let mut complete = true;
+
+    let try_visit = |engine: &SyncEngine, visited: &mut HashMap<u64, Vec<StateKey>>| -> bool {
+        let key = engine.state_key(0);
+        let bucket = visited.entry(key.digest()).or_default();
+        if bucket.contains(&key) {
+            false
+        } else {
+            bucket.push(key);
+            true
+        }
+    };
+
+    if try_visit(&engine, &mut visited) {
+        states += 1;
+        queue.push_back(engine.snapshot());
+    }
+
+    while let Some(snap) = queue.pop_front() {
+        engine.restore(&snap);
+        if engine.is_stable() {
+            let bv = engine.best_vector();
+            if !stable_vectors.contains(&bv) {
+                stable_vectors.push(bv);
+            }
+            continue; // fixed point: every branch self-loops
+        }
+        for branch in &branches {
+            engine.restore(&snap);
+            engine.step(branch);
+            if try_visit(&engine, &mut visited) {
+                states += 1;
+                if states > max_states {
+                    complete = false;
+                    return Reachability {
+                        states,
+                        complete,
+                        stable_vectors,
+                    };
+                }
+                queue.push_back(engine.snapshot());
+            }
+        }
+    }
+
+    Reachability {
+        states,
+        complete,
+        stable_vectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibgp_topology::TopologyBuilder;
+    use ibgp_types::{AsId, ExitPath, Med, RouterId};
+    use std::sync::Arc;
+
+    fn exit(id: u32, next_as: u32, med: u32, exit_point: u32) -> ExitPathRef {
+        Arc::new(
+            ExitPath::builder(ExitPathId::new(id))
+                .via(AsId::new(next_as))
+                .med(Med::new(med))
+                .exit_point(RouterId::new(exit_point))
+                .build_unchecked(),
+        )
+    }
+
+    #[test]
+    fn trivial_system_converges() {
+        let topo = TopologyBuilder::new(2)
+            .link(0, 1, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let r = explore(&topo, ProtocolConfig::STANDARD, vec![exit(1, 1, 0, 0)], 10_000);
+        assert!(r.complete);
+        assert!(r.can_converge());
+        assert!(!r.persistent_oscillation());
+        assert_eq!(r.stable_vectors.len(), 1);
+        assert_eq!(
+            r.stable_vectors[0],
+            vec![Some(ExitPathId::new(1)), Some(ExitPathId::new(1))]
+        );
+    }
+
+    /// The DISAGREE gadget (see ibgp-sim tests) has exactly two stable
+    /// solutions under the standard protocol, both reachable.
+    #[test]
+    fn disagree_has_two_reachable_stable_solutions() {
+        let topo = TopologyBuilder::new(4)
+            .link(0, 2, 10)
+            .link(0, 3, 1)
+            .link(1, 3, 10)
+            .link(1, 2, 1)
+            .cluster([0], [2])
+            .cluster([1], [3])
+            .build()
+            .unwrap();
+        let exits = vec![exit(1, 1, 0, 2), exit(2, 1, 0, 3)];
+        let r = explore(&topo, ProtocolConfig::STANDARD, exits.clone(), 100_000);
+        assert!(r.complete);
+        assert_eq!(r.stable_vectors.len(), 2, "{:?}", r.stable_vectors);
+
+        // The modified protocol has exactly one.
+        let r = explore(&topo, ProtocolConfig::MODIFIED, exits, 100_000);
+        assert!(r.complete);
+        assert_eq!(r.stable_vectors.len(), 1, "{:?}", r.stable_vectors);
+    }
+
+    #[test]
+    fn state_cap_reports_incomplete() {
+        let topo = TopologyBuilder::new(4)
+            .link(0, 2, 10)
+            .link(0, 3, 1)
+            .link(1, 3, 10)
+            .link(1, 2, 1)
+            .cluster([0], [2])
+            .cluster([1], [3])
+            .build()
+            .unwrap();
+        let exits = vec![exit(1, 1, 0, 2), exit(2, 1, 0, 3)];
+        let r = explore(&topo, ProtocolConfig::STANDARD, exits, 3);
+        assert!(!r.complete);
+        assert!(!r.persistent_oscillation(), "incomplete search proves nothing");
+    }
+
+    #[test]
+    fn empty_exit_set_is_immediately_stable() {
+        let topo = TopologyBuilder::new(2)
+            .link(0, 1, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let r = explore(&topo, ProtocolConfig::STANDARD, vec![], 100);
+        assert!(r.complete);
+        assert_eq!(r.states, 1);
+        assert_eq!(r.stable_vectors, vec![vec![None, None]]);
+    }
+}

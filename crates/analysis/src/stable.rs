@@ -1,0 +1,239 @@
+//! Direct enumeration of standard-protocol fixed points.
+//!
+//! For the **standard** protocol a configuration is fully determined by
+//! the advertised-exit vector `a : V → P ∪ {∅}` (each node advertises
+//! exactly its best route's exit path): `PossibleExits` is recomputed from
+//! neighbors' advertisements on every activation, so the synchronous sweep
+//! is a function `g` on such vectors, and the stable configurations are
+//! exactly the fixed points of `g`. Enumerating all `(|P|+1)^n` vectors
+//! finds *every* stable solution, reachable from `config(0)` or not —
+//! which is how we confirm statements like "Fig 2 has exactly two stable
+//! routing configurations".
+//!
+//! (The modified protocol needs no enumeration — §7 proves its fixed point
+//! is unique and the engine computes it; Walton's advertised state is a
+//! set vector and is covered by reachability search instead.)
+
+use ibgp_proto::selection::SelectionPolicy;
+use ibgp_proto::{choose_best, route_at, transfer_allowed};
+use ibgp_topology::Topology;
+use ibgp_types::{BgpId, ExitPathId, ExitPathRef, Route, RouterId};
+use std::collections::BTreeMap;
+
+/// All fixed points of the standard protocol on a configuration.
+#[derive(Debug, Clone)]
+pub struct StableEnumeration {
+    /// Distinct stable best-exit vectors (indexed by router).
+    pub fixed_points: Vec<Vec<Option<ExitPathId>>>,
+    /// How many candidate vectors were examined.
+    pub candidates_checked: u64,
+}
+
+/// Error: the candidate space exceeds the given cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumerationTooLarge {
+    /// Number of candidate vectors the enumeration would need.
+    pub candidates: u128,
+    /// The cap that was exceeded.
+    pub cap: u64,
+}
+
+impl std::fmt::Display for EnumerationTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stable-state enumeration needs {} candidates (cap {})",
+            self.candidates, self.cap
+        )
+    }
+}
+
+impl std::error::Error for EnumerationTooLarge {}
+
+/// Enumerate every stable configuration of the standard protocol.
+pub fn enumerate_stable_standard(
+    topo: &Topology,
+    policy: SelectionPolicy,
+    exits: &[ExitPathRef],
+    cap: u64,
+) -> Result<StableEnumeration, EnumerationTooLarge> {
+    let n = topo.len();
+    let m = exits.len();
+    let candidates = (m as u128 + 1).pow(n as u32);
+    if candidates > cap as u128 {
+        return Err(EnumerationTooLarge { candidates, cap });
+    }
+
+    // Per-node own exits.
+    let mut my_exits: Vec<Vec<ExitPathRef>> = vec![Vec::new(); n];
+    for p in exits {
+        my_exits[p.exit_point().index()].push(p.clone());
+    }
+
+    // Odometer over assignments: digit 0 = advertise nothing, digit k =
+    // advertise exits[k-1].
+    let mut digits = vec![0usize; n];
+    let mut fixed_points = Vec::new();
+    let mut checked = 0u64;
+    loop {
+        checked += 1;
+        if let Some(bv) = check_candidate(topo, policy, &my_exits, exits, &digits) {
+            fixed_points.push(bv);
+        }
+        // Increment odometer.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return Ok(StableEnumeration {
+                    fixed_points,
+                    candidates_checked: checked,
+                });
+            }
+            digits[i] += 1;
+            if digits[i] <= m {
+                break;
+            }
+            digits[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// If the advertised assignment is a fixed point, return its best vector.
+fn check_candidate(
+    topo: &Topology,
+    policy: SelectionPolicy,
+    my_exits: &[Vec<ExitPathRef>],
+    exits: &[ExitPathRef],
+    digits: &[usize],
+) -> Option<Vec<Option<ExitPathId>>> {
+    let n = topo.len();
+    let advertised: Vec<Option<&ExitPathRef>> = digits
+        .iter()
+        .map(|&d| if d == 0 { None } else { Some(&exits[d - 1]) })
+        .collect();
+    // Quick structural pruning: a node can only advertise a path it could
+    // possibly know: its own exit, or one transferable to it by someone.
+    // (The full consistency check below subsumes this; the pruning just
+    // keeps the common case fast.)
+    let mut best_vector = Vec::with_capacity(n);
+    for ui in 0..n {
+        let u = RouterId::new(ui as u32);
+        // Gather possible exits at u under this advertised assignment.
+        let mut gathered: BTreeMap<ExitPathId, (ExitPathRef, BgpId)> = BTreeMap::new();
+        for p in &my_exits[ui] {
+            gathered.insert(p.id(), (p.clone(), p.next_hop().bgp_id()));
+        }
+        for (vi, adv) in advertised.iter().enumerate() {
+            let v = RouterId::new(vi as u32);
+            if v == u {
+                continue;
+            }
+            if let Some(p) = *adv {
+                if transfer_allowed(topo, v, u, p.exit_point()) {
+                    let sender = topo.bgp_id(v);
+                    gathered
+                        .entry(p.id())
+                        .and_modify(|(_, lf)| {
+                            if p.exit_point() != u {
+                                *lf = (*lf).min(sender);
+                            }
+                        })
+                        .or_insert_with(|| (p.clone(), sender));
+                }
+            }
+        }
+        let routes: Vec<Route> = gathered
+            .values()
+            .map(|(p, lf)| route_at(topo, u, p, *lf))
+            .collect();
+        let best = choose_best(policy, &routes);
+        let best_id = best.as_ref().map(Route::exit_id);
+        let advertised_id = advertised[ui].map(|p| p.id());
+        if best_id != advertised_id {
+            return None;
+        }
+        best_vector.push(best_id);
+    }
+    Some(best_vector)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibgp_topology::TopologyBuilder;
+    use ibgp_types::{AsId, ExitPath, Med};
+    use std::sync::Arc;
+
+    fn exit(id: u32, next_as: u32, med: u32, exit_point: u32) -> ExitPathRef {
+        Arc::new(
+            ExitPath::builder(ExitPathId::new(id))
+                .via(AsId::new(next_as))
+                .med(Med::new(med))
+                .exit_point(RouterId::new(exit_point))
+                .build_unchecked(),
+        )
+    }
+
+    #[test]
+    fn single_exit_has_unique_fixed_point() {
+        let topo = TopologyBuilder::new(2)
+            .link(0, 1, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let exits = vec![exit(1, 1, 0, 0)];
+        let e = enumerate_stable_standard(&topo, SelectionPolicy::PAPER, &exits, 1_000_000)
+            .unwrap();
+        assert_eq!(e.fixed_points.len(), 1);
+        assert_eq!(
+            e.fixed_points[0],
+            vec![Some(ExitPathId::new(1)), Some(ExitPathId::new(1))]
+        );
+        assert_eq!(e.candidates_checked, 4);
+    }
+
+    #[test]
+    fn disagree_gadget_has_exactly_two_fixed_points() {
+        let topo = TopologyBuilder::new(4)
+            .link(0, 2, 10)
+            .link(0, 3, 1)
+            .link(1, 3, 10)
+            .link(1, 2, 1)
+            .cluster([0], [2])
+            .cluster([1], [3])
+            .build()
+            .unwrap();
+        let exits = vec![exit(1, 1, 0, 2), exit(2, 1, 0, 3)];
+        let e = enumerate_stable_standard(&topo, SelectionPolicy::PAPER, &exits, 1_000_000)
+            .unwrap();
+        assert_eq!(e.fixed_points.len(), 2, "{:?}", e.fixed_points);
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        let topo = TopologyBuilder::new(4)
+            .link(0, 1, 1)
+            .link(1, 2, 1)
+            .link(2, 3, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let exits = vec![exit(1, 1, 0, 0), exit(2, 1, 0, 1), exit(3, 1, 0, 2)];
+        let err =
+            enumerate_stable_standard(&topo, SelectionPolicy::PAPER, &exits, 10).unwrap_err();
+        assert_eq!(err.candidates, 256);
+        assert!(err.to_string().contains("256"));
+    }
+
+    #[test]
+    fn no_exits_yields_the_empty_fixed_point() {
+        let topo = TopologyBuilder::new(2)
+            .link(0, 1, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let e = enumerate_stable_standard(&topo, SelectionPolicy::PAPER, &[], 100).unwrap();
+        assert_eq!(e.fixed_points, vec![vec![None, None]]);
+    }
+}

@@ -1,0 +1,55 @@
+//! E15 — the §10 oscillation-triggered upgrade: detection + healing cost
+//! on Fig 1(a), and the zero-cost path on a quiet configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibgp::scenarios::{fig14, fig1a};
+use ibgp::sim::{AdaptivePolicy, FixedDelay};
+use ibgp::{Network, ProtocolVariant};
+use std::hint::black_box;
+
+const POLICY: AdaptivePolicy = AdaptivePolicy {
+    threshold: 8,
+    window: 200,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive");
+
+    group.bench_function("fig1a/detect+heal", |b| {
+        let s = fig1a::scenario();
+        let n = Network::from_scenario(&s, ProtocolVariant::Standard);
+        b.iter(|| {
+            let mut sim = black_box(&n).async_sim(Box::new(FixedDelay(3)));
+            sim.set_adaptive(POLICY);
+            sim.start();
+            let out = sim.run(200_000);
+            assert!(out.quiescent());
+            sim.upgraded_routers().len()
+        })
+    });
+
+    group.bench_function("fig14/quiet-no-upgrade", |b| {
+        let s = fig14::scenario();
+        let n = Network::from_scenario(&s, ProtocolVariant::Standard);
+        b.iter(|| {
+            let mut sim = black_box(&n).async_sim(Box::new(FixedDelay(3)));
+            sim.set_adaptive(POLICY);
+            sim.start();
+            let out = sim.run(100_000);
+            assert!(out.quiescent());
+            assert!(sim.upgraded_routers().is_empty());
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

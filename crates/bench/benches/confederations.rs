@@ -1,0 +1,53 @@
+//! E13 — confederations (extension): the Fig 1(a) oscillation in sub-AS
+//! form, and the Choose_set fix applied to it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibgp::confed::scenarios::confed_fig1a;
+use ibgp::confed::{explore_confed, ConfedEngine, ConfedMode};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("confederations");
+
+    group.bench_function("single-best/cycle-detection", |b| {
+        b.iter(|| {
+            let (topo, exits) = confed_fig1a();
+            let mut eng = ConfedEngine::new(black_box(&topo), ConfedMode::SingleBest, exits);
+            let out = eng.run_round_robin(50_000);
+            assert!(out.cycled());
+            out
+        })
+    });
+
+    group.bench_function("single-best/exhaustive-persistence-proof", |b| {
+        b.iter(|| {
+            let (topo, exits) = confed_fig1a();
+            let reach = explore_confed(black_box(&topo), ConfedMode::SingleBest, exits, 300_000);
+            assert!(reach.persistent_oscillation());
+            reach.states
+        })
+    });
+
+    group.bench_function("set-advertisement/convergence", |b| {
+        b.iter(|| {
+            let (topo, exits) = confed_fig1a();
+            let mut eng =
+                ConfedEngine::new(black_box(&topo), ConfedMode::SetAdvertisement, exits);
+            let out = eng.run_round_robin(50_000);
+            assert!(out.converged());
+            out
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

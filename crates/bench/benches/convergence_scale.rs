@@ -1,0 +1,51 @@
+//! E11 — modified-protocol convergence cost vs. network size, in both
+//! engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibgp::sim::FixedDelay;
+use ibgp::{Network, ProtocolVariant};
+use ibgp_bench::{scale_label, scaled_scenario, SCALE_POINTS};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence_scale");
+
+    for &point in &SCALE_POINTS {
+        let scenario = scaled_scenario(point, 3);
+        let network = Network::from_scenario(&scenario, ProtocolVariant::Modified);
+        group.bench_with_input(
+            BenchmarkId::new("sync-round-robin", scale_label(point)),
+            &network,
+            |b, n| {
+                b.iter(|| {
+                    let r = black_box(n).converge(100_000);
+                    assert!(r.converged());
+                    r.metrics.activations
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("async-fixed-delay", scale_label(point)),
+            &network,
+            |b, n| {
+                b.iter(|| {
+                    let (out, _, m) = black_box(n).quiesce(Box::new(FixedDelay(2)), 0, 1_000_000);
+                    assert!(out.quiescent());
+                    m.messages
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

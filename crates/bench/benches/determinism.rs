@@ -1,0 +1,52 @@
+//! E8 — §7 determinism: many fair schedules, one fixed point. Measures
+//! the full theorem-verification harness across scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibgp::theorems::verify_paper_theorems;
+use ibgp::{Network, ProtocolVariant};
+use ibgp_bench::{scale_label, scaled_scenario, SCALE_POINTS};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("determinism");
+    group.sample_size(10);
+
+    for &point in &SCALE_POINTS[..3] {
+        let scenario = scaled_scenario(point, 11);
+        let network = Network::from_scenario(&scenario, ProtocolVariant::Modified);
+        group.bench_with_input(
+            BenchmarkId::new("verify-theorems", scale_label(point)),
+            &network,
+            |b, n| {
+                b.iter(|| {
+                    let report = verify_paper_theorems(black_box(n), 4, 100_000);
+                    assert!(report.all_hold());
+                    report.schedules
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("determinism-sweep", scale_label(point)),
+            &network,
+            |b, n| {
+                b.iter(|| {
+                    let report = black_box(n).determinism(6, 100_000);
+                    assert!(report.deterministic());
+                    report.converged_runs
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E6 — Fig 13 (reconstruction): the metric preference ring where the
+//! Walton et al. vector still oscillates persistently.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibgp::scenarios::fig13;
+use ibgp::{Network, OscillationClass, ProtocolVariant};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = fig13::scenario();
+    let mut group = c.benchmark_group("fig13_walton");
+
+    group.bench_function("walton/cycle-detection", |b| {
+        b.iter(|| {
+            let n = Network::from_scenario(black_box(&scenario), ProtocolVariant::Walton);
+            let out = n.converge(100_000).outcome;
+            assert!(out.cycled());
+            out
+        })
+    });
+
+    group.bench_function("walton/exhaustive-persistence-proof", |b| {
+        b.iter(|| {
+            let n = Network::from_scenario(black_box(&scenario), ProtocolVariant::Walton);
+            let (class, _) = n.classify(500_000);
+            assert_eq!(class, OscillationClass::Persistent);
+            class
+        })
+    });
+
+    group.bench_function("modified/convergence", |b| {
+        b.iter(|| {
+            let n = Network::from_scenario(black_box(&scenario), ProtocolVariant::Modified);
+            let r = n.converge(10_000);
+            assert!(r.converged());
+            r.metrics
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E7 — Fig 14: forwarding-loop detection on the Dube–Scudder
+//! configuration, per protocol variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibgp::scenarios::fig14;
+use ibgp::{Network, ProtocolVariant};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = fig14::scenario();
+    let mut group = c.benchmark_group("fig14_loops");
+
+    for (variant, expect_loops) in [
+        (ProtocolVariant::Standard, true),
+        (ProtocolVariant::Walton, true),
+        (ProtocolVariant::Modified, false),
+    ] {
+        group.bench_function(format!("{variant}/converge+walk"), |b| {
+            b.iter(|| {
+                let n = Network::from_scenario(black_box(&scenario), variant);
+                let loops = n.forwarding_loops_after_convergence(10_000);
+                assert_eq!(!loops.is_empty(), expect_loops);
+                loops
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E1 — Fig 1(a): the canonical persistent MED oscillation.
+//!
+//! Measures (a) how fast the engine proves the cycle on the standard
+//! protocol, (b) the exhaustive persistent-oscillation proof, and (c)
+//! convergence of the two fixes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibgp::scenarios::fig1a;
+use ibgp::{Network, OscillationClass, ProtocolVariant};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = fig1a::scenario();
+    let mut group = c.benchmark_group("fig1a");
+
+    group.bench_function("standard/cycle-detection", |b| {
+        b.iter(|| {
+            let n = Network::from_scenario(black_box(&scenario), ProtocolVariant::Standard);
+            let out = n.converge(10_000).outcome;
+            assert!(out.cycled());
+            out
+        })
+    });
+
+    group.bench_function("standard/exhaustive-persistence-proof", |b| {
+        b.iter(|| {
+            let n = Network::from_scenario(black_box(&scenario), ProtocolVariant::Standard);
+            let (class, _) = n.classify(500_000);
+            assert_eq!(class, OscillationClass::Persistent);
+            class
+        })
+    });
+
+    group.bench_function("walton/convergence", |b| {
+        b.iter(|| {
+            let n = Network::from_scenario(black_box(&scenario), ProtocolVariant::Walton);
+            let r = n.converge(10_000);
+            assert!(r.converged());
+            r.metrics
+        })
+    });
+
+    group.bench_function("modified/convergence", |b| {
+        b.iter(|| {
+            let n = Network::from_scenario(black_box(&scenario), ProtocolVariant::Modified);
+            let r = n.converge(10_000);
+            assert!(r.converged());
+            r.metrics
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E2 — Fig 1(b): the rule-ordering experiment. Convergence under the
+//! paper's ordering vs. provable divergence under RFC 1771's.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibgp::proto::variants::ProtocolConfig;
+use ibgp::scenarios::fig1b;
+use ibgp::{Network, ProtocolVariant, SelectionPolicy};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = fig1b::scenario();
+    let paper = Network::from_scenario(&scenario, ProtocolVariant::Standard);
+    let rfc = paper.with_config(ProtocolConfig {
+        variant: ProtocolVariant::Standard,
+        policy: SelectionPolicy::RFC1771,
+    });
+    let mut group = c.benchmark_group("fig1b");
+
+    group.bench_function("paper-order/convergence", |b| {
+        b.iter(|| {
+            let r = black_box(&paper).converge(10_000);
+            assert!(r.converged());
+            r.metrics
+        })
+    });
+
+    group.bench_function("rfc1771-order/cycle-detection", |b| {
+        b.iter(|| {
+            let out = black_box(&rfc).converge(10_000).outcome;
+            assert!(out.cycled());
+            out
+        })
+    });
+
+    group.bench_function("rfc1771-order/exhaustive-persistence-proof", |b| {
+        b.iter(|| {
+            let (class, _) = black_box(&rfc).classify(100_000);
+            class
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E3 — Fig 2: transient oscillation, two stable solutions. Measures
+//! stable-solution enumeration, the ordering-dependent outcomes, and the
+//! modified protocol's deterministic convergence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibgp::scenarios::fig2;
+use ibgp::sim::{AllAtOnce, Scripted};
+use ibgp::{Network, ProtocolVariant};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scenario = fig2::scenario();
+    let std = Network::from_scenario(&scenario, ProtocolVariant::Standard);
+    let modi = Network::from_scenario(&scenario, ProtocolVariant::Modified);
+    let mut group = c.benchmark_group("fig2");
+
+    group.bench_function("standard/stable-solution-enumeration", |b| {
+        b.iter(|| {
+            let fps = black_box(&std).stable_solutions(10_000_000).unwrap();
+            assert_eq!(fps.len(), 2);
+            fps
+        })
+    });
+
+    group.bench_function("standard/simultaneous-cycle", |b| {
+        b.iter(|| {
+            let out = black_box(&std).converge_with(&mut AllAtOnce, 10_000).outcome;
+            assert!(out.cycled());
+            out
+        })
+    });
+
+    group.bench_function("standard/lucky-ordering-convergence", |b| {
+        b.iter(|| {
+            let mut sched = Scripted::singletons([2, 0, 1, 3]);
+            let r = black_box(&std).converge_with(&mut sched, 1_000);
+            assert!(r.converged());
+            r.best_exits
+        })
+    });
+
+    group.bench_function("modified/determinism-sweep-12-seeds", |b| {
+        b.iter(|| {
+            let report = black_box(&modi).determinism(12, 10_000);
+            assert!(report.deterministic());
+            report
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

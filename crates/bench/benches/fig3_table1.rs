@@ -1,0 +1,81 @@
+//! E4 — Fig 3 + Table 1: delay-driven transient oscillation in the
+//! message-level engine. Measures the oscillating run (fixed event
+//! budget), the MRAI-jittered escape, and the modified protocol's
+//! immunity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibgp::proto::variants::ProtocolConfig;
+use ibgp::scenarios::fig3::{self, routes, run_table1, symmetric_delay};
+use ibgp::sim::SeededJitter;
+use ibgp::ExitPathRef;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_table1");
+    group.sample_size(20);
+
+    group.bench_function("standard/oscillating-2000-events", |b| {
+        b.iter(|| {
+            let (out, flips) = run_table1(
+                ProtocolConfig::STANDARD,
+                symmetric_delay(),
+                black_box(2),
+                2_000,
+            );
+            assert!(!out.quiescent());
+            flips
+        })
+    });
+
+    group.bench_function("standard/mrai-jitter-escape", |b| {
+        b.iter(|| {
+            let s = fig3::scenario();
+            let without_r1: Vec<ExitPathRef> = s
+                .exits
+                .iter()
+                .filter(|p| p.id() != routes::R1)
+                .cloned()
+                .collect();
+            let r1 = s.exits[0].clone();
+            let topo = s.topology;
+            let mut sim = ibgp::sim::AsyncSim::new(
+                &topo,
+                ProtocolConfig::STANDARD,
+                without_r1,
+                Box::new(SeededJitter::new(3, 1, 9)),
+            );
+            sim.set_mrai(16);
+            sim.set_mrai_jitter(0xABCD ^ 3);
+            sim.start();
+            sim.schedule(2, ibgp::sim::AsyncEvent::Inject { path: r1 });
+            let out = sim.run(50_000);
+            assert!(out.quiescent());
+            sim.metrics().best_changes
+        })
+    });
+
+    group.bench_function("modified/quiescence", |b| {
+        b.iter(|| {
+            let (out, _) = run_table1(
+                ProtocolConfig::MODIFIED,
+                symmetric_delay(),
+                black_box(2),
+                50_000,
+            );
+            assert!(out.quiescent());
+            out
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

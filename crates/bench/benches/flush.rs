@@ -1,0 +1,48 @@
+//! E12 — Lemma 7.2: flushing withdrawn exit paths. Measures
+//! withdraw-to-clean time across scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibgp::analysis::flush_report;
+use ibgp::proto::variants::ProtocolConfig;
+use ibgp::sim::RoundRobin;
+use ibgp_bench::{scale_label, scaled_scenario, SCALE_POINTS};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flush");
+
+    for &point in &SCALE_POINTS[..3] {
+        let scenario = scaled_scenario(point, 5);
+        let victim = scenario.exits[0].id();
+        group.bench_with_input(
+            BenchmarkId::new("withdraw+flush", scale_label(point)),
+            &scenario,
+            |b, s| {
+                b.iter(|| {
+                    let report = flush_report(
+                        black_box(&s.topology),
+                        ProtocolConfig::MODIFIED,
+                        &s.exits,
+                        victim,
+                        &mut RoundRobin::new(),
+                        100_000,
+                    );
+                    assert!(report.flushed);
+                    report.steps_to_flush
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E14 — arbitrarily deep route reflection (extension): the Fig 1(a)
+//! oscillation at depth three, and the Choose_set fix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibgp::hierarchy::scenarios::deep_fig1a;
+use ibgp::hierarchy::{explore_hier, HierEngine, HierMode};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy");
+
+    group.bench_function("single-best/cycle-detection", |b| {
+        b.iter(|| {
+            let (topo, exits) = deep_fig1a();
+            let mut eng = HierEngine::new(black_box(&topo), HierMode::SingleBest, exits);
+            let out = eng.run_round_robin(100_000);
+            assert!(out.cycled());
+            out
+        })
+    });
+
+    group.bench_function("single-best/exhaustive-persistence-proof", |b| {
+        b.iter(|| {
+            let (topo, exits) = deep_fig1a();
+            let reach = explore_hier(black_box(&topo), HierMode::SingleBest, exits, 500_000);
+            assert!(reach.persistent_oscillation());
+            reach.states
+        })
+    });
+
+    group.bench_function("set-advertisement/convergence", |b| {
+        b.iter(|| {
+            let (topo, exits) = deep_fig1a();
+            let mut eng =
+                HierEngine::new(black_box(&topo), HierMode::SetAdvertisement, exits);
+            let out = eng.run_round_robin(100_000);
+            assert!(out.converged());
+            out
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

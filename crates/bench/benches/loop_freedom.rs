@@ -1,0 +1,39 @@
+//! E9 — Lemmas 7.6/7.7: loop-free forwarding after convergence of the
+//! modified protocol, across random topologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibgp::{Network, ProtocolVariant};
+use ibgp_bench::{scale_label, scaled_scenario, SCALE_POINTS};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loop_freedom");
+
+    for &point in &SCALE_POINTS {
+        let scenario = scaled_scenario(point, 23);
+        let network = Network::from_scenario(&scenario, ProtocolVariant::Modified);
+        group.bench_with_input(
+            BenchmarkId::new("converge+full-walk", scale_label(point)),
+            &network,
+            |b, n| {
+                b.iter(|| {
+                    let loops = black_box(n).forwarding_loops_after_convergence(100_000);
+                    assert!(loops.is_empty());
+                    loops.len()
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E5 — §5: the 3-SAT reduction. Measures reduction construction scaling
+//! (it is polynomial), DPLL, and the full sat ⟺ stable equivalence check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibgp::npc::{check_equivalence, reduce, solve, Formula};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("npc_reduction");
+
+    // Construction scales polynomially with formula size.
+    for (vars, clauses) in [(3usize, 4usize), (6, 10), (12, 24), (24, 48)] {
+        let formula = Formula::random(42, vars, clauses);
+        group.bench_with_input(
+            BenchmarkId::new("reduce", format!("{vars}v{clauses}c")),
+            &formula,
+            |b, f| {
+                b.iter(|| {
+                    let sr = reduce(black_box(f));
+                    assert_eq!(sr.node_count(), 1 + 4 * vars + 5 * clauses);
+                    sr.exits.len()
+                })
+            },
+        );
+    }
+
+    // DPLL ground truth.
+    let formula = Formula::random(7, 12, 40);
+    group.bench_function("dpll/12v40c", |b| {
+        b.iter(|| solve(black_box(&formula)))
+    });
+
+    // Full equivalence check on a small satisfiable instance.
+    group.sample_size(10);
+    let small = Formula::random(0, 3, 4);
+    group.bench_function("equivalence-check/3v4c", |b| {
+        b.iter(|| {
+            let report = check_equivalence(black_box(&small), 200_000);
+            assert!(report.ok());
+            report.schedules_tried
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E10 — §1/§10: advertisement-volume overhead of the three protocols.
+//! The modified protocol's cost is more paths per update; this bench
+//! measures convergence wall time and reports the paths/message shape
+//! via the assertions in the experiments binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibgp::Network;
+use ibgp_bench::{scale_label, scaled_scenario, SCALE_POINTS, VARIANTS};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead");
+
+    for &point in &SCALE_POINTS[..3] {
+        let scenario = scaled_scenario(point, 7);
+        for variant in VARIANTS {
+            // Standard/Walton may oscillate on random scenarios; bound the
+            // run instead of asserting convergence.
+            let network = Network::from_scenario(&scenario, variant);
+            group.bench_with_input(
+                BenchmarkId::new(variant.to_string(), scale_label(point)),
+                &network,
+                |b, n| {
+                    b.iter(|| {
+                        let r = black_box(n).converge(5_000);
+                        (r.metrics.messages, r.metrics.paths_advertised)
+                    })
+                },
+            );
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

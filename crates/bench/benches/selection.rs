@@ -1,0 +1,62 @@
+//! Microbench: the decision process itself — `Choose_best` and
+//! `Choose_set` over candidate sets of increasing size. These sit on the
+//! hot path of every simulator step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibgp::proto::{choose_best, choose_set, MedMode, SelectionPolicy};
+use ibgp::{AsId, BgpId, ExitPath, ExitPathId, ExitPathRef, IgpCost, Med, Route, RouterId};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn candidates(n: usize) -> (Vec<ExitPathRef>, Vec<Route>) {
+    let paths: Vec<ExitPathRef> = (0..n)
+        .map(|i| {
+            Arc::new(
+                ExitPath::builder(ExitPathId::new(i as u32 + 1))
+                    .via(AsId::new(1 + (i % 3) as u32))
+                    .med(Med::new((i % 5) as u32))
+                    .exit_point(RouterId::new(i as u32))
+                    .build_unchecked(),
+            ) as ExitPathRef
+        })
+        .collect();
+    let routes = paths
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            Route::new(
+                p.clone(),
+                RouterId::new(999),
+                IgpCost::new((i as u64 * 7) % 23 + 1),
+                BgpId::new(i as u32),
+            )
+        })
+        .collect();
+    (paths, routes)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+
+    for n in [2usize, 8, 32, 128] {
+        let (paths, routes) = candidates(n);
+        group.bench_with_input(BenchmarkId::new("choose_best", n), &routes, |b, rs| {
+            b.iter(|| choose_best(SelectionPolicy::PAPER, black_box(rs)))
+        });
+        group.bench_with_input(BenchmarkId::new("choose_set", n), &paths, |b, ps| {
+            b.iter(|| choose_set(black_box(ps), MedMode::PerNeighborAs))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

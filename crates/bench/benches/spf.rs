@@ -1,0 +1,79 @@
+//! Microbench: the IGP substrate — all-pairs deterministic Dijkstra on
+//! random connected graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibgp::topology::{PhysicalGraph, SpfTable};
+use ibgp::{IgpCost, RouterId};
+use std::hint::black_box;
+
+fn random_graph(n: usize, seed: u64) -> PhysicalGraph {
+    let mut g = PhysicalGraph::new(n);
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    // Ring for connectivity.
+    for u in 0..n {
+        let v = (u + 1) % n;
+        let _ = g.add_link(
+            RouterId::new(u as u32),
+            RouterId::new(v as u32),
+            IgpCost::new(next() % 10 + 1),
+        );
+    }
+    // Chords, ~3 per node.
+    for _ in 0..3 * n {
+        let u = (next() % n as u64) as u32;
+        let v = (next() % n as u64) as u32;
+        if u != v {
+            let _ = g.add_link(
+                RouterId::new(u),
+                RouterId::new(v),
+                IgpCost::new(next() % 10 + 1),
+            );
+        }
+    }
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spf");
+
+    for n in [16usize, 64, 256] {
+        let g = random_graph(n, 0x5EED);
+        group.bench_with_input(BenchmarkId::new("all-pairs", n), &g, |b, g| {
+            b.iter(|| SpfTable::compute(black_box(g)))
+        });
+        let spf = SpfTable::compute(&g);
+        group.bench_with_input(BenchmarkId::new("path-extraction", n), &spf, |b, spf| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for u in 0..8.min(n) {
+                    for v in 0..n {
+                        if let Some(p) =
+                            spf.path(RouterId::new(u as u32), RouterId::new(v as u32))
+                        {
+                            total += p.len();
+                        }
+                    }
+                }
+                total
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

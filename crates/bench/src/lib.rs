@@ -1,0 +1,72 @@
+//! Shared helpers for the benchmark suite and the `experiments` binary.
+//!
+//! Each Criterion bench regenerates one paper artifact (see DESIGN.md's
+//! experiment index); the helpers here build the standard workloads so
+//! benches and the experiments binary agree on exactly what is measured.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ibgp::scenarios::random::{random_scenario, RandomConfig};
+use ibgp::{Network, ProtocolVariant, Scenario};
+
+/// Protocol variants swept by the comparison benches.
+pub const VARIANTS: [ProtocolVariant; 3] = [
+    ProtocolVariant::Standard,
+    ProtocolVariant::Walton,
+    ProtocolVariant::Modified,
+];
+
+/// Build a network from a scenario + variant (paper policy).
+pub fn network_of(scenario: &Scenario, variant: ProtocolVariant) -> Network {
+    Network::from_scenario(scenario, variant)
+}
+
+/// The random-configuration sizes used by the scaling benches
+/// (clusters, clients-per-cluster, exits).
+pub const SCALE_POINTS: [(usize, usize, usize); 4] =
+    [(2, 1, 2), (3, 2, 4), (5, 3, 8), (8, 4, 16)];
+
+/// A random scenario at one scale point.
+pub fn scaled_scenario(point: (usize, usize, usize), seed: u64) -> Scenario {
+    let (clusters, clients, exits) = point;
+    random_scenario(
+        RandomConfig {
+            clusters,
+            clients_per_cluster: clients,
+            exits,
+            neighbor_ases: 3,
+            max_med: 10,
+            max_cost: 10,
+            extra_links: clusters,
+        },
+        seed,
+    )
+}
+
+/// Human label for a scale point.
+pub fn scale_label(point: (usize, usize, usize)) -> String {
+    let n = point.0 * (1 + point.1);
+    format!("{}r/{}x", n, point.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_points_grow() {
+        let sizes: Vec<usize> = SCALE_POINTS.iter().map(|p| p.0 * (1 + p.1)).collect();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(scale_label(SCALE_POINTS[0]), "4r/2x");
+    }
+
+    #[test]
+    fn scaled_scenarios_build() {
+        for (i, &p) in SCALE_POINTS.iter().enumerate() {
+            let s = scaled_scenario(p, i as u64);
+            assert!(s.topology.physical().is_connected());
+            assert_eq!(s.exits.len(), p.2);
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Hand-rolled argument parsing (the workspace deliberately uses no CLI
+//! dependency).
+
+use ibgp::ProtocolVariant;
+
+/// Usage text shown on parse errors.
+pub const USAGE: &str = "\
+usage: ibgp-cli <command> [args]
+
+commands:
+  list                        scenarios in the catalog
+  classify <scenario>         exhaustive oscillation analysis
+  run <scenario>              converge and print the routing table
+  gallery                     every scenario x every protocol
+  dot <scenario>              Graphviz of the topology
+  theorems <scenario>         the paper's §7 checks (modified protocol)
+  sat <formula>               3-SAT via the §5 routing reduction
+  explain <scenario> <router> converge, then show the router's rule-by-rule decision
+
+options:
+  --variant standard|walton|modified   protocol (default standard)
+  --max-states N                       search cap (default 500000)
+  --steps N                            step budget (default 100000)
+
+formula syntax: clauses ';'-separated, literals ','-separated, negative
+numbers negate, variables numbered from 1: \"1,2,-3;-1,3,2\"";
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `list`
+    List,
+    /// `classify <scenario>`
+    Classify {
+        scenario: String,
+        variant: ProtocolVariant,
+        max_states: usize,
+    },
+    /// `run <scenario>`
+    Run {
+        scenario: String,
+        variant: ProtocolVariant,
+        steps: u64,
+    },
+    /// `gallery`
+    Gallery { max_states: usize },
+    /// `dot <scenario>`
+    Dot { scenario: String },
+    /// `theorems <scenario>`
+    Theorems { scenario: String, steps: u64 },
+    /// `sat <formula>`
+    Sat { formula: String, steps: u64 },
+    /// `explain <scenario> <router>`
+    Explain {
+        scenario: String,
+        router: u32,
+        variant: ProtocolVariant,
+        steps: u64,
+    },
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let cmd = it.next().ok_or("missing command")?.as_str();
+
+    // Split remaining args into positionals and --options.
+    let rest: Vec<&String> = it.collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut variant = ProtocolVariant::Standard;
+    let mut max_states = 500_000usize;
+    let mut steps = 100_000u64;
+    let mut i = 0;
+    while i < rest.len() {
+        let a = rest[i].as_str();
+        match a {
+            "--variant" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--variant needs a value")?;
+                variant = parse_variant(v)?;
+            }
+            "--max-states" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--max-states needs a value")?;
+                max_states = v
+                    .parse()
+                    .map_err(|_| format!("invalid --max-states value `{v}`"))?;
+            }
+            "--steps" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--steps needs a value")?;
+                steps = v
+                    .parse()
+                    .map_err(|_| format!("invalid --steps value `{v}`"))?;
+            }
+            _ if a.starts_with("--") => return Err(format!("unknown option `{a}`")),
+            _ => positional.push(a),
+        }
+        i += 1;
+    }
+
+    let one_positional = |what: &str| -> Result<String, String> {
+        match positional.as_slice() {
+            [p] => Ok((*p).to_string()),
+            [] => Err(format!("`{cmd}` needs a {what}")),
+            _ => Err(format!("`{cmd}` takes exactly one {what}")),
+        }
+    };
+
+    match cmd {
+        "list" => Ok(Command::List),
+        "classify" => Ok(Command::Classify {
+            scenario: one_positional("scenario name")?,
+            variant,
+            max_states,
+        }),
+        "run" => Ok(Command::Run {
+            scenario: one_positional("scenario name")?,
+            variant,
+            steps,
+        }),
+        "gallery" => Ok(Command::Gallery { max_states }),
+        "dot" => Ok(Command::Dot {
+            scenario: one_positional("scenario name")?,
+        }),
+        "theorems" => Ok(Command::Theorems {
+            scenario: one_positional("scenario name")?,
+            steps,
+        }),
+        "sat" => Ok(Command::Sat {
+            formula: one_positional("formula")?,
+            steps,
+        }),
+        "explain" => match positional.as_slice() {
+            [scenario, router] => Ok(Command::Explain {
+                scenario: (*scenario).to_string(),
+                router: router
+                    .parse()
+                    .map_err(|_| format!("invalid router id `{router}`"))?,
+                variant,
+                steps,
+            }),
+            _ => Err("`explain` needs a scenario name and a router id".into()),
+        },
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn parse_variant(s: &str) -> Result<ProtocolVariant, String> {
+    match s {
+        "standard" => Ok(ProtocolVariant::Standard),
+        "walton" => Ok(ProtocolVariant::Walton),
+        "modified" => Ok(ProtocolVariant::Modified),
+        other => Err(format!(
+            "unknown variant `{other}` (expected standard|walton|modified)"
+        )),
+    }
+}
+
+/// Parse the clause syntax into a formula.
+pub fn parse_formula(s: &str) -> Result<ibgp::npc::Formula, String> {
+    use ibgp::npc::{Clause, Formula, Lit};
+    let mut clauses = Vec::new();
+    let mut max_var = 0u32;
+    for (ci, chunk) in s.split(';').enumerate() {
+        let chunk = chunk.trim();
+        if chunk.is_empty() {
+            return Err(format!("clause {} is empty", ci + 1));
+        }
+        let mut lits = Vec::new();
+        for tok in chunk.split(',') {
+            let v: i64 = tok
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid literal `{tok}`"))?;
+            if v == 0 {
+                return Err("variables are numbered from 1".into());
+            }
+            let var = v.unsigned_abs() as u32 - 1;
+            max_var = max_var.max(var + 1);
+            lits.push(if v > 0 { Lit::pos(var) } else { Lit::neg(var) });
+        }
+        clauses.push(Clause(lits));
+    }
+    Formula::new(max_var as usize, clauses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_list_and_gallery() {
+        assert_eq!(parse(&argv("list")).unwrap(), Command::List);
+        assert_eq!(
+            parse(&argv("gallery --max-states 100")).unwrap(),
+            Command::Gallery { max_states: 100 }
+        );
+    }
+
+    #[test]
+    fn parses_classify_with_options() {
+        let cmd = parse(&argv("classify fig1a --variant walton --max-states 42")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Classify {
+                scenario: "fig1a".into(),
+                variant: ProtocolVariant::Walton,
+                max_states: 42,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_run_defaults() {
+        let cmd = parse(&argv("run fig2")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                scenario: "fig2".into(),
+                variant: ProtocolVariant::Standard,
+                steps: 100_000,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("bogus")).is_err());
+        assert!(parse(&argv("classify")).is_err());
+        assert!(parse(&argv("classify a b")).is_err());
+        assert!(parse(&argv("classify fig1a --variant nope")).is_err());
+        assert!(parse(&argv("classify fig1a --max-states abc")).is_err());
+        assert!(parse(&argv("classify fig1a --mystery")).is_err());
+        assert!(parse(&argv("classify fig1a --variant")).is_err());
+    }
+
+    #[test]
+    fn parses_explain() {
+        let cmd = parse(&argv("explain fig2 3 --variant modified")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Explain {
+                scenario: "fig2".into(),
+                router: 3,
+                variant: ProtocolVariant::Modified,
+                steps: 100_000,
+            }
+        );
+        assert!(parse(&argv("explain fig2")).is_err());
+        assert!(parse(&argv("explain fig2 abc")).is_err());
+    }
+
+    #[test]
+    fn parses_formulas() {
+        let f = parse_formula("1,2,-3;-1,3,2").unwrap();
+        assert_eq!(f.num_vars, 3);
+        assert_eq!(f.clauses.len(), 2);
+        assert_eq!(f.to_string(), "(x0 ∨ x1 ∨ ¬x2) ∧ (¬x0 ∨ x2 ∨ x1)");
+        assert!(parse_formula("0").is_err());
+        assert!(parse_formula("1,x").is_err());
+        assert!(parse_formula("1;;2").is_err());
+        // A variable and its negation in one clause is rejected upstream.
+        assert!(parse_formula("1,-1").is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! Command implementations.
+
+use crate::args::{parse_formula, Command};
+use ibgp::npc::{assignment_from_best, reduce, schedule_for, solve};
+use ibgp::proto::variants::ProtocolConfig;
+use ibgp::scenarios::{all_scenarios, by_name};
+use ibgp::sim::SyncEngine;
+use ibgp::theorems::verify_paper_theorems;
+use ibgp::{Network, ProtocolVariant, Scenario};
+
+/// Execute a parsed command.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::List => list(),
+        Command::Classify {
+            scenario,
+            variant,
+            max_states,
+        } => classify(&scenario, variant, max_states),
+        Command::Run {
+            scenario,
+            variant,
+            steps,
+        } => converge(&scenario, variant, steps),
+        Command::Gallery { max_states } => gallery(max_states),
+        Command::Dot { scenario } => dot(&scenario),
+        Command::Theorems { scenario, steps } => theorems(&scenario, steps),
+        Command::Sat { formula, steps } => sat(&formula, steps),
+        Command::Explain {
+            scenario,
+            router,
+            variant,
+            steps,
+        } => explain(&scenario, router, variant, steps),
+    }
+    Ok(())
+}
+
+fn lookup(name: &str) -> Scenario {
+    by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown scenario `{name}`; try `ibgp-cli list`");
+        std::process::exit(2);
+    })
+}
+
+fn list() {
+    for s in all_scenarios() {
+        println!(
+            "{:<8} {:>2} routers, {} exits  {}",
+            s.name,
+            s.topology.len(),
+            s.exits.len(),
+            s.description
+        );
+    }
+}
+
+fn classify(name: &str, variant: ProtocolVariant, max_states: usize) {
+    let s = lookup(name);
+    let n = Network::from_scenario(&s, variant);
+    let (class, reach) = n.classify(max_states);
+    println!("{name} under {variant}: {class}");
+    println!(
+        "  {} reachable configurations (complete search: {})",
+        reach.states, reach.complete
+    );
+    println!("  {} stable solution(s):", reach.stable_vectors.len());
+    for (i, sv) in reach.stable_vectors.iter().enumerate() {
+        println!("    #{}: {}", i + 1, fmt_bests(sv));
+    }
+}
+
+fn converge(name: &str, variant: ProtocolVariant, steps: u64) {
+    let s = lookup(name);
+    let n = Network::from_scenario(&s, variant);
+    let result = n.converge(steps);
+    println!("{name} under {variant}: {}", result.outcome);
+    println!(
+        "  messages {}  paths advertised {}  best changes {}",
+        result.metrics.messages, result.metrics.paths_advertised, result.metrics.best_changes
+    );
+    for (i, route) in result.best_routes.iter().enumerate() {
+        match route {
+            Some(r) => println!("  r{i}: {r}"),
+            None => println!("  r{i}: (no route)"),
+        }
+    }
+}
+
+fn gallery(max_states: usize) {
+    println!("{:<8} {:<9} {:>7} {:>7}  class", "scenario", "protocol", "states", "stable");
+    for s in all_scenarios() {
+        for variant in [
+            ProtocolVariant::Standard,
+            ProtocolVariant::Walton,
+            ProtocolVariant::Modified,
+        ] {
+            let (class, reach) = Network::from_scenario(&s, variant).classify(max_states);
+            println!(
+                "{:<8} {:<9} {:>7} {:>7}  {}",
+                s.name,
+                variant.to_string(),
+                reach.states,
+                reach.stable_vectors.len(),
+                class
+            );
+        }
+    }
+}
+
+fn dot(name: &str) {
+    let s = lookup(name);
+    let n = Network::from_scenario(&s, ProtocolVariant::Standard);
+    print!("{}", n.to_dot());
+}
+
+fn theorems(name: &str, steps: u64) {
+    let s = lookup(name);
+    let n = Network::from_scenario(&s, ProtocolVariant::Modified);
+    let report = verify_paper_theorems(&n, 6, steps);
+    println!("§7 checks on {name} (modified protocol, {} schedules):", report.schedules);
+    println!("  converges under every schedule : {}", report.converges);
+    println!("  unique fixed point             : {}", report.unique_outcome);
+    println!("  GoodExits = S' everywhere      : {}", report.good_exits_equal_s_prime);
+    println!("  forwarding loop-free           : {}", report.loop_free);
+    match report.flush_ok {
+        Some(ok) => println!("  withdrawn path flushes         : {ok}"),
+        None => println!("  withdrawn path flushes         : (no exits to withdraw)"),
+    }
+    println!("  => {}", if report.all_hold() { "ALL HOLD" } else { "VIOLATION" });
+}
+
+fn sat(formula: &str, steps: u64) {
+    let formula = match parse_formula(formula) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bad formula: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("J = {formula}");
+    let sr = reduce(&formula);
+    println!(
+        "SR_J: {} routers, {} exit paths",
+        sr.node_count(),
+        sr.exits.len()
+    );
+    match solve(&formula) {
+        Some(assignment) => {
+            println!("DPLL: satisfiable, e.g. {assignment:?}");
+            let mut schedule = schedule_for(&sr, &assignment);
+            let mut engine =
+                SyncEngine::new(&sr.topology, ProtocolConfig::STANDARD, sr.exits.clone());
+            let outcome = engine.run(&mut schedule, steps);
+            println!("routing side: {outcome}");
+            if let Some(read_back) = assignment_from_best(&sr, &engine.best_vector()) {
+                println!(
+                    "read back from the stable routing state: {read_back:?} (satisfies J: {})",
+                    sr.formula.eval(&read_back)
+                );
+            }
+        }
+        None => {
+            println!("DPLL: unsatisfiable — SR_J has no stable configuration");
+        }
+    }
+}
+
+fn explain(name: &str, router: u32, variant: ProtocolVariant, steps: u64) {
+    use ibgp::proto::choose_best_traced;
+    use ibgp::sim::RoundRobin;
+    use ibgp::RouterId;
+    let s = lookup(name);
+    let u = RouterId::new(router);
+    if u.index() >= s.topology.len() {
+        eprintln!("router {router} out of range (scenario has {} routers)", s.topology.len());
+        std::process::exit(2);
+    }
+    let n = Network::from_scenario(&s, variant);
+    let mut engine = n.sync_engine();
+    let outcome = engine.run(&mut RoundRobin::new(), steps);
+    println!("{name} under {variant}: {outcome}");
+    let candidates = engine.candidate_routes(u);
+    println!("candidates at r{router} ({}):", candidates.len());
+    for c in &candidates {
+        println!("  {c}");
+    }
+    let (best, trace) = choose_best_traced(n.config().policy, &candidates);
+    println!("decision: {}", trace);
+    match (best, trace.deciding_rule()) {
+        (Some(b), Some(rule)) => println!("winner: {} (decided by rule `{rule}`)", b.exit()),
+        (Some(b), None) => println!("winner: {} (single candidate)", b.exit()),
+        (None, _) => println!("no route"),
+    }
+}
+
+fn fmt_bests(bv: &[Option<ibgp::ExitPathId>]) -> String {
+    bv.iter()
+        .map(|b| b.map(|p| p.to_string()).unwrap_or_else(|| "-".into()))
+        .collect::<Vec<_>>()
+        .join(" ")
+}

@@ -1,0 +1,43 @@
+//! `ibgp-cli` — command-line front end for the reproduction.
+//!
+//! ```text
+//! ibgp-cli list                                 scenarios in the catalog
+//! ibgp-cli classify <scenario> [options]        exhaustive oscillation analysis
+//! ibgp-cli run <scenario> [options]             converge and print the routing table
+//! ibgp-cli gallery                              every scenario × every protocol
+//! ibgp-cli dot <scenario>                       Graphviz of the topology
+//! ibgp-cli theorems <scenario>                  the §7 checks (modified protocol)
+//! ibgp-cli sat <formula>                        3-SAT via the §5 routing reduction
+//!
+//! options:
+//!   --variant standard|walton|modified          protocol (default standard)
+//!   --max-states N                              search cap (default 500000)
+//!   --steps N                                   step budget (default 100000)
+//!
+//! formula syntax: clauses separated by ';', literals by ',', negative
+//! numbers for negations, variables numbered from 1.
+//! Example: "1,2,-3;-1,3,2" = (x1∨x2∨¬x3) ∧ (¬x1∨x3∨x2)
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

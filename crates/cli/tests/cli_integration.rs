@@ -1,0 +1,108 @@
+//! End-to-end tests of the compiled `ibgp-cli` binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ibgp-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn list_shows_all_scenarios() {
+    let (stdout, _, ok) = run(&["list"]);
+    assert!(ok);
+    for name in ["fig1a", "fig1b", "fig2", "fig3", "fig12", "fig13", "fig14"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn classify_fig1a_reports_persistence() {
+    let (stdout, _, ok) = run(&["classify", "fig1a"]);
+    assert!(ok);
+    assert!(stdout.contains("persistent oscillation"), "{stdout}");
+    assert!(stdout.contains("0 stable solution(s)"), "{stdout}");
+}
+
+#[test]
+fn classify_honors_variant_flag() {
+    let (stdout, _, ok) = run(&["classify", "fig1a", "--variant", "modified"]);
+    assert!(ok);
+    assert!(stdout.contains("stable"), "{stdout}");
+    assert!(!stdout.contains("persistent"), "{stdout}");
+}
+
+#[test]
+fn run_prints_routes() {
+    let (stdout, _, ok) = run(&["run", "fig14", "--variant", "modified"]);
+    assert!(ok);
+    assert!(stdout.contains("converged"), "{stdout}");
+    assert!(stdout.contains("r0:"), "{stdout}");
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let (stdout, _, ok) = run(&["dot", "fig2"]);
+    assert!(ok);
+    assert!(stdout.starts_with("graph as0 {"), "{stdout}");
+}
+
+#[test]
+fn theorems_all_hold_on_fig1a() {
+    let (stdout, _, ok) = run(&["theorems", "fig1a"]);
+    assert!(ok);
+    assert!(stdout.contains("ALL HOLD"), "{stdout}");
+}
+
+#[test]
+fn sat_decides_and_round_trips() {
+    let (stdout, _, ok) = run(&["sat", "1,2;-1,2"]);
+    assert!(ok);
+    assert!(stdout.contains("satisfiable"), "{stdout}");
+    assert!(stdout.contains("satisfies J: true"), "{stdout}");
+
+    let (stdout, _, ok) = run(&["sat", "1;-1"]);
+    assert!(ok);
+    assert!(stdout.contains("unsatisfiable"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_fails_with_help() {
+    let (_, stderr, ok) = run(&["bogus-command"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    let (_, stderr, ok) = run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("missing command"), "{stderr}");
+}
+
+#[test]
+fn unknown_scenario_exits_nonzero() {
+    let (_, stderr, ok) = run(&["classify", "nonexistent"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown scenario"), "{stderr}");
+}
+
+#[test]
+fn explain_shows_the_decision_trace() {
+    let (stdout, _, ok) = run(&["explain", "fig1a", "0", "--variant", "modified"]);
+    assert!(ok);
+    assert!(stdout.contains("candidates at r0"), "{stdout}");
+    assert!(stdout.contains("-[min-metric]->"), "{stdout}");
+    assert!(stdout.contains("winner:"), "{stdout}");
+}
+
+#[test]
+fn explain_rejects_bad_router() {
+    let (_, stderr, ok) = run(&["explain", "fig1a", "99"]);
+    assert!(!ok);
+    assert!(stderr.contains("out of range"), "{stderr}");
+}

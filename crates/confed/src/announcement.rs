@@ -1,0 +1,178 @@
+//! Routes on the confederation wire.
+//!
+//! An [`Announcement`] is an exit path plus the `AS_CONFED_SEQUENCE`-like
+//! list of member sub-ASes it has traversed (loop prevention) and the
+//! session kind it was last learned over (selection tiers). NEXT-HOP is
+//! carried unchanged across sub-AS boundaries — the standard
+//! confederation deployment — so a route's IGP metric at any router is
+//! simply the shared-IGP distance to its exit point plus the exit cost.
+
+use crate::topology::SubAsId;
+use ibgp_types::{BgpId, ExitPathId, ExitPathRef, IgpCost};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a router learned a route — the confederation selection tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RouteSource {
+    /// The router's own E-BGP route (exit point = self). Highest tier.
+    Ebgp,
+    /// Learned over a confed-E-BGP session from another sub-AS. Compared
+    /// with internal routes by IGP metric (next-hop-unchanged).
+    ConfedEbgp,
+    /// Learned over I-BGP within the sub-AS.
+    Ibgp,
+}
+
+impl fmt::Display for RouteSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RouteSource::Ebgp => "eBGP",
+            RouteSource::ConfedEbgp => "confed-eBGP",
+            RouteSource::Ibgp => "iBGP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An exit path as carried between confederation routers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Announcement {
+    /// The underlying E-BGP route.
+    pub path: ExitPathRef,
+    /// Member sub-ASes already traversed (sender prepends its own when
+    /// crossing a confed link; receivers inside a listed sub-AS drop the
+    /// announcement).
+    pub visited: Vec<SubAsId>,
+    /// How the *holder* learned it.
+    pub source: RouteSource,
+    /// `learnedFrom` at the holder (external peer for own exits, the
+    /// announcing router's BGP id otherwise).
+    pub learned_from: BgpId,
+}
+
+impl Announcement {
+    /// A router's own freshly injected E-BGP route.
+    pub fn own(path: ExitPathRef) -> Self {
+        let learned_from = path.next_hop().bgp_id();
+        Self {
+            path,
+            visited: Vec::new(),
+            source: RouteSource::Ebgp,
+            learned_from,
+        }
+    }
+
+    /// The identity of the underlying exit path.
+    pub fn id(&self) -> ExitPathId {
+        self.path.id()
+    }
+
+    /// Whether the announcement may enter the given sub-AS.
+    pub fn admissible_in(&self, sub_as: SubAsId) -> bool {
+        !self.visited.contains(&sub_as)
+    }
+
+    /// The announcement as re-sent across a confed link by a router of
+    /// `sender_sub`: visited list extended, source re-stamped at the
+    /// receiver as confed-external.
+    pub fn across_confed_link(&self, sender_sub: SubAsId, sender: BgpId) -> Self {
+        let mut visited = Vec::with_capacity(self.visited.len() + 1);
+        visited.push(sender_sub);
+        visited.extend_from_slice(&self.visited);
+        Self {
+            path: self.path.clone(),
+            visited,
+            source: RouteSource::ConfedEbgp,
+            learned_from: sender,
+        }
+    }
+
+    /// The announcement as received over I-BGP within a sub-AS.
+    pub fn within_sub_as(&self, sender: BgpId) -> Self {
+        Self {
+            path: self.path.clone(),
+            visited: self.visited.clone(),
+            source: RouteSource::Ibgp,
+            learned_from: sender,
+        }
+    }
+
+    /// The route's metric at a router with the given shared-IGP distance
+    /// to the exit point.
+    pub fn metric(&self, igp_to_exit: IgpCost) -> IgpCost {
+        igp_to_exit.saturating_add(self.path.exit_cost())
+    }
+}
+
+impl fmt::Display for Announcement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] via", self.path, self.source)?;
+        if self.visited.is_empty() {
+            write!(f, " ()")?;
+        } else {
+            write!(f, " (")?;
+            for (i, s) in self.visited.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{s}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibgp_types::{AsId, ExitPath, Med, RouterId};
+    use std::sync::Arc;
+
+    fn path() -> ExitPathRef {
+        Arc::new(
+            ExitPath::builder(ExitPathId::new(1))
+                .via(AsId::new(1))
+                .med(Med::new(0))
+                .exit_point(RouterId::new(0))
+                .build_unchecked(),
+        )
+    }
+
+    #[test]
+    fn own_announcements_are_ebgp_with_empty_visited() {
+        let a = Announcement::own(path());
+        assert_eq!(a.source, RouteSource::Ebgp);
+        assert!(a.visited.is_empty());
+        assert!(a.admissible_in(SubAsId(7)));
+    }
+
+    #[test]
+    fn crossing_a_confed_link_extends_visited_and_restamps() {
+        let a = Announcement::own(path());
+        let b = a.across_confed_link(SubAsId(3), BgpId::new(9));
+        assert_eq!(b.visited, vec![SubAsId(3)]);
+        assert_eq!(b.source, RouteSource::ConfedEbgp);
+        assert_eq!(b.learned_from, BgpId::new(9));
+        assert!(!b.admissible_in(SubAsId(3)), "loop prevention");
+        assert!(b.admissible_in(SubAsId(4)));
+        let c = b.across_confed_link(SubAsId(4), BgpId::new(10));
+        assert_eq!(c.visited, vec![SubAsId(4), SubAsId(3)]);
+    }
+
+    #[test]
+    fn ibgp_restamp_keeps_visited() {
+        let a = Announcement::own(path()).across_confed_link(SubAsId(1), BgpId::new(5));
+        let b = a.within_sub_as(BgpId::new(6));
+        assert_eq!(b.source, RouteSource::Ibgp);
+        assert_eq!(b.visited, a.visited);
+        assert_eq!(b.learned_from, BgpId::new(6));
+    }
+
+    #[test]
+    fn tier_order_is_ebgp_then_confed_then_ibgp() {
+        assert!(RouteSource::Ebgp < RouteSource::ConfedEbgp);
+        assert!(RouteSource::ConfedEbgp < RouteSource::Ibgp);
+    }
+}

@@ -1,0 +1,156 @@
+//! The confederation analog of Fig 1(a) — the persistent MED oscillation
+//! the Cisco field notice reported for confederation configurations.
+//!
+//! Sub-AS **X** = {`x0` (border), `x1` (exit `r1`, AS1, MED 0), `x2`
+//! (exit `r2`, AS2, MED 10)}; sub-AS **Y** = {`y0` (border), `y1` (exit
+//! `r3`, AS2, MED 5)}; one confed-E-BGP session `x0 – y0`. IGP costs:
+//! `x0–x1` 2, `x0–x2` 1, `x0–y0` 1, `y0–y1` 10 — so at `x0`:
+//! `r2 < r1 < r3` by metric, and at `y0`: `r1 < r3`.
+//!
+//! The Fig 1(a) cycle transplants exactly: `x0` without `r3` picks `r2`
+//! and exports it; `r3` hides `r2` at `y0` (same AS2, lower MED), so
+//! `y0` exports `r3`; `r3` hides `r2` at `x0` and `x0` switches to `r1`
+//! and exports it; `y0` adopts the closer `r1`, whose confed path
+//! already contains X, so `y0`'s export to `x0` becomes a withdrawal of
+//! `r3`; `r2` resurfaces at `x0` — no stable configuration exists.
+//!
+//! The extension experiment: applying the paper's `Choose_set`
+//! advertisement to confederations ([`ConfedMode::SetAdvertisement`])
+//! stabilizes this instance — evidence that the paper's idea transfers
+//! beyond route reflection (their §6/§7 proofs cover reflection only).
+
+use crate::topology::{ConfedTopology, SubAsId};
+use ibgp_topology::PhysicalGraph;
+use ibgp_types::{AsId, ExitPath, ExitPathId, ExitPathRef, IgpCost, Med, RouterId};
+use std::sync::Arc;
+
+/// Router indices.
+pub mod nodes {
+    use ibgp_types::RouterId;
+    /// Border router of sub-AS X.
+    pub const X0: RouterId = RouterId(0);
+    /// Holder of `r1` in sub-AS X.
+    pub const X1: RouterId = RouterId(1);
+    /// Holder of `r2` in sub-AS X.
+    pub const X2: RouterId = RouterId(2);
+    /// Border router of sub-AS Y.
+    pub const Y0: RouterId = RouterId(3);
+    /// Holder of `r3` in sub-AS Y.
+    pub const Y1: RouterId = RouterId(4);
+}
+
+/// Exit-path ids.
+pub mod routes {
+    use ibgp_types::ExitPathId;
+    /// `r1` via AS1, MED 0, at `x1`.
+    pub const R1: ExitPathId = ExitPathId(1);
+    /// `r2` via AS2, MED 10, at `x2`.
+    pub const R2: ExitPathId = ExitPathId(2);
+    /// `r3` via AS2, MED 5, at `y1`.
+    pub const R3: ExitPathId = ExitPathId(3);
+}
+
+/// Build the confederation oscillator.
+pub fn confed_fig1a() -> (ConfedTopology, Vec<ExitPathRef>) {
+    let mut g = PhysicalGraph::new(5);
+    g.add_link(nodes::X0, nodes::X1, IgpCost::new(2)).unwrap();
+    g.add_link(nodes::X0, nodes::X2, IgpCost::new(1)).unwrap();
+    g.add_link(nodes::X0, nodes::Y0, IgpCost::new(1)).unwrap();
+    g.add_link(nodes::Y0, nodes::Y1, IgpCost::new(10)).unwrap();
+    let topo = ConfedTopology::new(
+        g,
+        vec![
+            SubAsId(0),
+            SubAsId(0),
+            SubAsId(0),
+            SubAsId(1),
+            SubAsId(1),
+        ],
+        vec![(nodes::X0, nodes::Y0)],
+    )
+    .expect("confed_fig1a topology is valid");
+    let mk = |id: ExitPathId, at: RouterId, next_as: u32, med: u32| -> ExitPathRef {
+        Arc::new(
+            ExitPath::builder(id)
+                .via(AsId::new(next_as))
+                .med(Med::new(med))
+                .exit_point(at)
+                .build_unchecked(),
+        )
+    };
+    let exits = vec![
+        mk(routes::R1, nodes::X1, 1, 0),
+        mk(routes::R2, nodes::X2, 2, 10),
+        mk(routes::R3, nodes::Y1, 2, 5),
+    ];
+    (topo, exits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ConfedEngine, ConfedMode};
+    use crate::search::explore_confed;
+    use ibgp_proto::selection::MedMode;
+
+    #[test]
+    fn geometry_matches_the_derivation() {
+        let (topo, _) = confed_fig1a();
+        let d = |u, v| topo.igp_cost(u, v).raw();
+        assert!(d(nodes::X0, nodes::X2) < d(nodes::X0, nodes::X1));
+        assert!(d(nodes::X0, nodes::X1) < d(nodes::X0, nodes::Y1));
+        assert!(d(nodes::Y0, nodes::X1) < d(nodes::Y0, nodes::Y1));
+    }
+
+    #[test]
+    fn single_best_oscillates_persistently() {
+        let (topo, exits) = confed_fig1a();
+        let reach = explore_confed(&topo, ConfedMode::SingleBest, exits.clone(), 300_000);
+        assert!(reach.complete, "search must finish");
+        assert!(
+            reach.persistent_oscillation(),
+            "stable vectors: {:?}",
+            reach.stable_vectors
+        );
+        // And a concrete run provably cycles.
+        let mut eng = ConfedEngine::new(&topo, ConfedMode::SingleBest, exits);
+        let out = eng.run_round_robin(50_000);
+        assert!(out.cycled(), "{out}");
+    }
+
+    #[test]
+    fn set_advertisement_stabilizes_the_confederation() {
+        let (topo, exits) = confed_fig1a();
+        let reach = explore_confed(&topo, ConfedMode::SetAdvertisement, exits.clone(), 300_000);
+        assert!(reach.complete);
+        assert_eq!(reach.stable_vectors.len(), 1, "{:?}", reach.stable_vectors);
+        let mut eng = ConfedEngine::new(&topo, ConfedMode::SetAdvertisement, exits);
+        let out = eng.run_round_robin(50_000);
+        assert!(out.converged(), "{out}");
+        // x0 settles on r1 (r2 MED-hidden by the permanently visible r3).
+        assert_eq!(eng.best_exit(nodes::X0), Some(routes::R1));
+        // y0 settles on the closer r1.
+        assert_eq!(eng.best_exit(nodes::Y0), Some(routes::R1));
+        // Exit holders keep their own E-BGP routes where they survive
+        // rules 1-3; x2's r2 is hidden, so it uses r1 as well.
+        assert_eq!(eng.best_exit(nodes::X1), Some(routes::R1));
+        assert_eq!(eng.best_exit(nodes::Y1), Some(routes::R3));
+    }
+
+    #[test]
+    fn the_oscillation_is_med_induced() {
+        // With MED comparison disabled, single-best advertisement
+        // converges: x0 just keeps the metric-best r2.
+        let (topo, exits) = confed_fig1a();
+        let mut eng = ConfedEngine::new(&topo, ConfedMode::SingleBest, exits);
+        eng_set_med_ignore(&mut eng);
+        let out = eng.run_round_robin(50_000);
+        assert!(out.converged(), "{out}");
+        assert_eq!(eng.best_exit(nodes::X0), Some(routes::R2));
+    }
+
+    /// Test-only access to flip the MED mode.
+    fn eng_set_med_ignore(eng: &mut ConfedEngine) {
+        eng.set_med_mode(MedMode::Ignore);
+    }
+}

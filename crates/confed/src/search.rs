@@ -1,0 +1,163 @@
+//! Exhaustive reachability over activation nondeterminism for the
+//! confederation engine (the analog of `ibgp-analysis::explore`).
+
+use crate::engine::{ConfedEngine, ConfedMode};
+use crate::topology::ConfedTopology;
+use ibgp_types::{ExitPathId, ExitPathRef, RouterId};
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+
+/// Result of a bounded exploration.
+#[derive(Debug, Clone)]
+pub struct ConfedReachability {
+    /// Distinct configurations visited.
+    pub states: usize,
+    /// Whether the whole reachable space fit under the cap.
+    pub complete: bool,
+    /// Distinct stable best-exit vectors found.
+    pub stable_vectors: Vec<Vec<Option<ExitPathId>>>,
+}
+
+impl ConfedReachability {
+    /// Whether a stable configuration is reachable.
+    pub fn can_converge(&self) -> bool {
+        !self.stable_vectors.is_empty()
+    }
+
+    /// Whether persistent oscillation is proven (complete, no stable).
+    pub fn persistent_oscillation(&self) -> bool {
+        self.complete && self.stable_vectors.is_empty()
+    }
+}
+
+fn digest<T: Hash>(t: &T) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
+
+/// Explore every configuration reachable from the initial state under
+/// singleton and full-set activations.
+pub fn explore_confed(
+    topo: &ConfedTopology,
+    mode: ConfedMode,
+    exits: Vec<ExitPathRef>,
+    max_states: usize,
+) -> ConfedReachability {
+    let engine0 = ConfedEngine::new(topo, mode, exits);
+    let n = topo.len();
+    let mut branches: Vec<Vec<RouterId>> =
+        (0..n as u32).map(|i| vec![RouterId::new(i)]).collect();
+    branches.push((0..n as u32).map(RouterId::new).collect());
+
+    let mut visited: HashMap<u64, Vec<(Vec<_>, u64)>> = HashMap::new();
+    let mut queue: VecDeque<ConfedEngine> = VecDeque::new();
+    let mut stable_vectors = Vec::new();
+    let mut states = 0usize;
+
+    let mut try_visit = |eng: &ConfedEngine| -> bool {
+        let (key, _) = eng.state_key(0);
+        let d = digest(&key);
+        let bucket = visited.entry(d).or_default();
+        if bucket.iter().any(|(k, _)| *k == key) {
+            false
+        } else {
+            bucket.push((key, 0));
+            true
+        }
+    };
+
+    if try_visit(&engine0) {
+        states += 1;
+        queue.push_back(engine0);
+    }
+
+    while let Some(eng) = queue.pop_front() {
+        if eng.is_stable() {
+            let bv = eng.best_vector();
+            if !stable_vectors.contains(&bv) {
+                stable_vectors.push(bv);
+            }
+            continue;
+        }
+        for branch in &branches {
+            let mut next = eng.clone();
+            next.step(branch);
+            if try_visit(&next) {
+                states += 1;
+                if states > max_states {
+                    return ConfedReachability {
+                        states,
+                        complete: false,
+                        stable_vectors,
+                    };
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+
+    ConfedReachability {
+        states,
+        complete: true,
+        stable_vectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::SubAsId;
+    use ibgp_topology::PhysicalGraph;
+    use ibgp_types::{AsId, ExitPath, IgpCost, Med};
+    use std::sync::Arc;
+
+    fn r(i: u32) -> RouterId {
+        RouterId::new(i)
+    }
+
+    #[test]
+    fn trivial_confederation_converges() {
+        let mut g = PhysicalGraph::new(2);
+        g.add_link(r(0), r(1), IgpCost::new(1)).unwrap();
+        let topo = ConfedTopology::new(
+            g,
+            vec![SubAsId(0), SubAsId(1)],
+            vec![(r(0), r(1))],
+        )
+        .unwrap();
+        let exit = Arc::new(
+            ExitPath::builder(ExitPathId::new(1))
+                .via(AsId::new(1))
+                .med(Med::new(0))
+                .exit_point(r(0))
+                .build_unchecked(),
+        );
+        let reach = explore_confed(&topo, ConfedMode::SingleBest, vec![exit], 10_000);
+        assert!(reach.complete);
+        assert!(reach.can_converge());
+        assert_eq!(reach.stable_vectors.len(), 1);
+        assert!(!reach.persistent_oscillation());
+    }
+
+    #[test]
+    fn cap_reports_incomplete() {
+        let mut g = PhysicalGraph::new(2);
+        g.add_link(r(0), r(1), IgpCost::new(1)).unwrap();
+        let topo = ConfedTopology::new(
+            g,
+            vec![SubAsId(0), SubAsId(1)],
+            vec![(r(0), r(1))],
+        )
+        .unwrap();
+        let exit = Arc::new(
+            ExitPath::builder(ExitPathId::new(1))
+                .via(AsId::new(1))
+                .exit_point(r(0))
+                .build_unchecked(),
+        );
+        let reach = explore_confed(&topo, ConfedMode::SingleBest, vec![exit], 1);
+        assert!(!reach.complete);
+        assert!(!reach.persistent_oscillation());
+    }
+}

@@ -1,0 +1,226 @@
+//! Confederation topology: one physical graph and IGP, routers
+//! partitioned into member sub-ASes, explicit confed-E-BGP sessions.
+
+use ibgp_topology::{PhysicalGraph, SpfTable, TopologyError};
+use ibgp_types::{BgpId, IgpCost, RouterId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A member sub-AS of the confederation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SubAsId(pub u32);
+
+impl SubAsId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SubAsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub{}", self.0)
+    }
+}
+
+/// A validated confederation: physical graph + SPF + sub-AS membership +
+/// confed-E-BGP sessions.
+#[derive(Debug, Clone)]
+pub struct ConfedTopology {
+    physical: PhysicalGraph,
+    spf: SpfTable,
+    member: Vec<SubAsId>,
+    /// Confed-E-BGP sessions, stored with `u < v`, sorted.
+    confed_links: Vec<(RouterId, RouterId)>,
+    bgp_ids: Vec<BgpId>,
+}
+
+impl ConfedTopology {
+    /// Build and validate.
+    ///
+    /// * `member[i]` — the sub-AS of router `i`;
+    /// * `confed_links` — the inter-sub-AS BGP sessions (each must join
+    ///   routers of *different* sub-ASes).
+    ///
+    /// Within a sub-AS the I-BGP full mesh is implicit. BGP identifiers
+    /// default to router indices.
+    pub fn new(
+        physical: PhysicalGraph,
+        member: Vec<SubAsId>,
+        confed_links: Vec<(RouterId, RouterId)>,
+    ) -> Result<Self, TopologyError> {
+        let n = physical.len();
+        if member.len() != n {
+            return Err(TopologyError::NodeCountMismatch {
+                physical: n,
+                logical: member.len(),
+            });
+        }
+        if !physical.is_connected() {
+            return Err(TopologyError::Disconnected);
+        }
+        let mut links = Vec::with_capacity(confed_links.len());
+        for (u, v) in confed_links {
+            if u.index() >= n {
+                return Err(TopologyError::NodeOutOfRange { node: u, len: n });
+            }
+            if v.index() >= n {
+                return Err(TopologyError::NodeOutOfRange { node: v, len: n });
+            }
+            if u == v {
+                return Err(TopologyError::SelfLoop(u));
+            }
+            if member[u.index()] == member[v.index()] {
+                // Reuse the closest existing error kind: a session that
+                // must cross sub-AS boundaries but does not.
+                return Err(TopologyError::CrossClusterClientSession(u, v));
+            }
+            let pair = if u < v { (u, v) } else { (v, u) };
+            if !links.contains(&pair) {
+                links.push(pair);
+            }
+        }
+        links.sort();
+        let spf = SpfTable::compute(&physical);
+        let bgp_ids = (0..n as u32).map(BgpId::new).collect();
+        Ok(Self {
+            physical,
+            spf,
+            member,
+            confed_links: links,
+            bgp_ids,
+        })
+    }
+
+    /// Number of routers.
+    pub fn len(&self) -> usize {
+        self.physical.len()
+    }
+
+    /// True when the confederation has no routers.
+    pub fn is_empty(&self) -> bool {
+        self.physical.is_empty()
+    }
+
+    /// All routers.
+    pub fn routers(&self) -> impl Iterator<Item = RouterId> + '_ {
+        (0..self.len() as u32).map(RouterId::new)
+    }
+
+    /// The sub-AS of a router.
+    pub fn sub_as(&self, u: RouterId) -> SubAsId {
+        self.member[u.index()]
+    }
+
+    /// Whether two routers share a sub-AS.
+    pub fn same_sub_as(&self, u: RouterId, v: RouterId) -> bool {
+        self.sub_as(u) == self.sub_as(v)
+    }
+
+    /// Whether `u`–`v` is a confed-E-BGP session.
+    pub fn is_confed_link(&self, u: RouterId, v: RouterId) -> bool {
+        let pair = if u < v { (u, v) } else { (v, u) };
+        self.confed_links.binary_search(&pair).is_ok()
+    }
+
+    /// All BGP peers of `u`: its sub-AS mesh plus its confed links.
+    pub fn peers(&self, u: RouterId) -> Vec<RouterId> {
+        self.routers()
+            .filter(|&v| {
+                v != u && (self.same_sub_as(u, v) || self.is_confed_link(u, v))
+            })
+            .collect()
+    }
+
+    /// IGP distance (shared IGP across the confederation).
+    pub fn igp_cost(&self, u: RouterId, v: RouterId) -> IgpCost {
+        self.spf.cost(u, v)
+    }
+
+    /// The SPF table.
+    pub fn spf(&self) -> &SpfTable {
+        &self.spf
+    }
+
+    /// BGP identifier of a router.
+    pub fn bgp_id(&self, u: RouterId) -> BgpId {
+        self.bgp_ids[u.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> RouterId {
+        RouterId::new(i)
+    }
+
+    fn c(v: u64) -> IgpCost {
+        IgpCost::new(v)
+    }
+
+    /// Two sub-ASes: {0,1,2} and {3,4}; confed link 0–3.
+    fn topo() -> ConfedTopology {
+        let mut g = PhysicalGraph::new(5);
+        g.add_link(r(0), r(1), c(2)).unwrap();
+        g.add_link(r(0), r(2), c(1)).unwrap();
+        g.add_link(r(0), r(3), c(1)).unwrap();
+        g.add_link(r(3), r(4), c(10)).unwrap();
+        ConfedTopology::new(
+            g,
+            vec![SubAsId(0), SubAsId(0), SubAsId(0), SubAsId(1), SubAsId(1)],
+            vec![(r(0), r(3))],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn membership_and_sessions() {
+        let t = topo();
+        assert_eq!(t.sub_as(r(1)), SubAsId(0));
+        assert!(t.same_sub_as(r(0), r(2)));
+        assert!(!t.same_sub_as(r(2), r(3)));
+        assert!(t.is_confed_link(r(3), r(0)));
+        assert!(!t.is_confed_link(r(1), r(3)));
+        // Peers: sub-AS mesh + confed links.
+        assert_eq!(t.peers(r(0)), vec![r(1), r(2), r(3)]);
+        assert_eq!(t.peers(r(4)), vec![r(3)]);
+        assert_eq!(t.peers(r(3)), vec![r(0), r(4)]);
+    }
+
+    #[test]
+    fn igp_is_shared_across_sub_ases() {
+        let t = topo();
+        assert_eq!(t.igp_cost(r(1), r(4)), c(13)); // 1-0-3-4
+    }
+
+    #[test]
+    fn rejects_intra_sub_as_confed_links() {
+        let mut g = PhysicalGraph::new(2);
+        g.add_link(r(0), r(1), c(1)).unwrap();
+        let err = ConfedTopology::new(
+            g,
+            vec![SubAsId(0), SubAsId(0)],
+            vec![(r(0), r(1))],
+        )
+        .unwrap_err();
+        assert_eq!(err, TopologyError::CrossClusterClientSession(r(0), r(1)));
+    }
+
+    #[test]
+    fn rejects_disconnected_and_mismatched() {
+        let g = PhysicalGraph::new(2);
+        assert_eq!(
+            ConfedTopology::new(g, vec![SubAsId(0), SubAsId(1)], vec![]).unwrap_err(),
+            TopologyError::Disconnected
+        );
+        let mut g = PhysicalGraph::new(2);
+        g.add_link(r(0), r(1), c(1)).unwrap();
+        assert!(matches!(
+            ConfedTopology::new(g, vec![SubAsId(0)], vec![]).unwrap_err(),
+            TopologyError::NodeCountMismatch { .. }
+        ));
+    }
+}

@@ -1,0 +1,86 @@
+//! # ibgp — route oscillations in I-BGP with route reflection
+//!
+//! A complete Rust implementation of *Route Oscillations in I-BGP with
+//! Route Reflection* (Basu, Ong, Rasala, Shepherd, Wilfong — SIGCOMM
+//! 2002): the formal model of I-BGP under route reflection, the paper's
+//! provably convergent **modified protocol** (advertise the
+//! `Choose_set` survivor set instead of a single best route), the
+//! baselines it is compared against (standard I-BGP, the Walton et al.
+//! per-neighbor-AS vector, `always-compare-med`, the RFC 1771 rule
+//! ordering), two deterministic simulators, exhaustive analyses, and
+//! the §5 NP-completeness reduction.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ibgp::{Network, ProtocolVariant};
+//!
+//! // Two clusters; each reflector is IGP-closer to the *other* cluster's
+//! // border client — the paper's Fig 2 "DISAGREE" shape.
+//! let network = Network::builder()
+//!     .routers(4)
+//!     .link(0, 2, 10).link(0, 3, 1)
+//!     .link(1, 3, 10).link(1, 2, 1)
+//!     .cluster([0], [2])
+//!     .cluster([1], [3])
+//!     .exit_via(1, 2, 1, 0)   // exit path 1 at router 2, AS 1, MED 0
+//!     .exit_via(2, 3, 1, 0)
+//!     .variant(ProtocolVariant::Modified)
+//!     .build()
+//!     .unwrap();
+//!
+//! let result = network.converge(10_000);
+//! assert!(result.converged());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Layer | Crate | Contents |
+//! |---|---|---|
+//! | types | `ibgp-types` | exit paths, routes, attributes |
+//! | topology | `ibgp-topology` | physical graph + SPF, clusters/sessions |
+//! | protocol | `ibgp-proto` | `Choose_best`, `Choose_set`, `Transfer`, variants |
+//! | simulation | `ibgp-sim` | activation-sequence engine, message-level engine |
+//! | analysis | `ibgp-analysis` | reachability, stable enumeration, forwarding, determinism |
+//! | scenarios | `ibgp-scenarios` | every paper figure + random generators |
+//! | complexity | `ibgp-npc` | the 3-SAT reduction + DPLL ground truth |
+//! | confederations | `ibgp-confed` | the other oscillating configuration class (extension) |
+//! | hierarchies | `ibgp-hierarchy` | arbitrarily deep route reflection (extension) |
+//!
+//! This crate re-exports the full public API and adds the high-level
+//! [`Network`] facade, the [`theorems`] checkers for the paper's §7
+//! guarantees, and machine-readable experiment [`report`]s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod report;
+pub mod theorems;
+
+pub use network::{ConvergeResult, Network, NetworkBuilder, NetworkError};
+pub use report::{render_table, ExperimentRow};
+pub use theorems::{verify_paper_theorems, TheoremReport};
+
+// Layer re-exports, so `ibgp` alone is a sufficient dependency.
+pub use ibgp_analysis as analysis;
+pub use ibgp_confed as confed;
+pub use ibgp_hierarchy as hierarchy;
+pub use ibgp_npc as npc;
+pub use ibgp_proto as proto;
+pub use ibgp_scenarios as scenarios;
+pub use ibgp_sim as sim;
+pub use ibgp_topology as topology;
+pub use ibgp_types as types;
+
+// The most common names, flattened.
+pub use ibgp_analysis::{classify, OscillationClass};
+pub use ibgp_proto::variants::ProtocolConfig;
+pub use ibgp_proto::{MedMode, ProtocolVariant, RuleOrder, SelectionPolicy};
+pub use ibgp_scenarios::Scenario;
+pub use ibgp_sim::{AsyncOutcome, SyncOutcome};
+pub use ibgp_topology::{Topology, TopologyBuilder};
+pub use ibgp_types::{
+    AsId, AsPath, BgpId, ClusterId, ExitPath, ExitPathId, ExitPathRef, IgpCost, LocalPref, Med,
+    NextHop, Prefix, Route, RouteKind, RouterId,
+};

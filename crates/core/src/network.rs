@@ -1,0 +1,481 @@
+//! The high-level facade: a topology, its injected exit paths, and a
+//! protocol configuration, with one-call access to the engines and
+//! analyses.
+
+use ibgp_analysis::{
+    classify, determinism_report, enumerate_stable_standard, forwarding_loops, DeterminismReport,
+    OscillationClass,
+};
+use ibgp_analysis::reachability::Reachability;
+use ibgp_analysis::stable::EnumerationTooLarge;
+use ibgp_proto::variants::ProtocolConfig;
+use ibgp_proto::{ProtocolVariant, SelectionPolicy};
+use ibgp_scenarios::Scenario;
+use ibgp_sim::{
+    Activation, AsyncOutcome, AsyncSim, DelayModel, Metrics, RoundRobin, SyncEngine, SyncOutcome,
+};
+use ibgp_topology::{Topology, TopologyBuilder, TopologyError};
+use ibgp_types::{
+    AsId, ExitPath, ExitPathId, ExitPathRef, IgpCost, Med, Route, RouterId,
+};
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors assembling a [`Network`].
+#[derive(Debug)]
+pub enum NetworkError {
+    /// The topology failed validation.
+    Topology(TopologyError),
+    /// An exit path's exit point is not a router of the topology.
+    ExitPointOutOfRange(ExitPathId, RouterId),
+    /// Two exit paths share an id.
+    DuplicateExitId(ExitPathId),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::Topology(e) => write!(f, "topology error: {e}"),
+            NetworkError::ExitPointOutOfRange(id, at) => {
+                write!(f, "exit path {id} has out-of-range exit point {at}")
+            }
+            NetworkError::DuplicateExitId(id) => write!(f, "duplicate exit path id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+impl From<TopologyError> for NetworkError {
+    fn from(e: TopologyError) -> Self {
+        NetworkError::Topology(e)
+    }
+}
+
+/// A fully specified experiment: topology + E-BGP exit paths + protocol.
+#[derive(Debug, Clone)]
+pub struct Network {
+    topology: Topology,
+    exits: Vec<ExitPathRef>,
+    config: ProtocolConfig,
+}
+
+/// Result of a bounded synchronous convergence run.
+#[derive(Debug, Clone)]
+pub struct ConvergeResult {
+    /// How the run ended.
+    pub outcome: SyncOutcome,
+    /// Best exit of each router at the end.
+    pub best_exits: Vec<Option<ExitPathId>>,
+    /// The best routes themselves.
+    pub best_routes: Vec<Option<Route>>,
+    /// Message/churn counters.
+    pub metrics: Metrics,
+}
+
+impl ConvergeResult {
+    /// True when the run converged to a fixed point.
+    pub fn converged(&self) -> bool {
+        self.outcome.converged()
+    }
+}
+
+impl Network {
+    /// Validate and assemble.
+    pub fn new(
+        topology: Topology,
+        exits: Vec<ExitPathRef>,
+        config: ProtocolConfig,
+    ) -> Result<Self, NetworkError> {
+        let mut seen = HashSet::new();
+        for p in &exits {
+            if p.exit_point().index() >= topology.len() {
+                return Err(NetworkError::ExitPointOutOfRange(p.id(), p.exit_point()));
+            }
+            if !seen.insert(p.id()) {
+                return Err(NetworkError::DuplicateExitId(p.id()));
+            }
+        }
+        Ok(Self {
+            topology,
+            exits,
+            config,
+        })
+    }
+
+    /// Build from a catalog scenario under the given protocol variant
+    /// (with the paper's selection policy).
+    pub fn from_scenario(scenario: &Scenario, variant: ProtocolVariant) -> Self {
+        Self {
+            topology: scenario.topology.clone(),
+            exits: scenario.exits.clone(),
+            config: ProtocolConfig {
+                variant,
+                policy: SelectionPolicy::PAPER,
+            },
+        }
+    }
+
+    /// Start a fluent builder.
+    pub fn builder() -> NetworkBuilder {
+        NetworkBuilder::new()
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The injected exit paths.
+    pub fn exits(&self) -> &[ExitPathRef] {
+        &self.exits
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> ProtocolConfig {
+        self.config
+    }
+
+    /// The same network under a different protocol configuration.
+    pub fn with_config(&self, config: ProtocolConfig) -> Network {
+        Network {
+            topology: self.topology.clone(),
+            exits: self.exits.clone(),
+            config,
+        }
+    }
+
+    /// A fresh synchronous engine over this network.
+    pub fn sync_engine(&self) -> SyncEngine<'_> {
+        SyncEngine::new(&self.topology, self.config, self.exits.clone())
+    }
+
+    /// A fresh asynchronous (message-level) simulator.
+    pub fn async_sim(&self, delay: Box<dyn DelayModel>) -> AsyncSim<'_> {
+        AsyncSim::new(&self.topology, self.config, self.exits.clone(), delay)
+    }
+
+    /// Run the synchronous engine under round-robin activations.
+    pub fn converge(&self, max_steps: u64) -> ConvergeResult {
+        self.converge_with(&mut RoundRobin::new(), max_steps)
+    }
+
+    /// Run the synchronous engine under an explicit activation sequence.
+    pub fn converge_with(
+        &self,
+        schedule: &mut dyn Activation,
+        max_steps: u64,
+    ) -> ConvergeResult {
+        let mut engine = self.sync_engine();
+        let outcome = engine.run(schedule, max_steps);
+        ConvergeResult {
+            outcome,
+            best_exits: engine.best_vector(),
+            best_routes: self
+                .topology
+                .routers()
+                .map(|u| engine.best_route(u).cloned())
+                .collect(),
+            metrics: engine.metrics(),
+        }
+    }
+
+    /// Run the asynchronous simulator to quiescence or the event budget.
+    pub fn quiesce(
+        &self,
+        delay: Box<dyn DelayModel>,
+        mrai: u64,
+        max_events: u64,
+    ) -> (AsyncOutcome, Vec<Option<ExitPathId>>, Metrics) {
+        let mut sim = self.async_sim(delay);
+        if mrai > 0 {
+            sim.set_mrai(mrai);
+            sim.set_mrai_jitter(0xC0FFEE);
+        }
+        sim.start();
+        let outcome = sim.run(max_events);
+        (outcome, sim.best_vector(), sim.metrics())
+    }
+
+    /// Exhaustively classify this network's oscillation behaviour.
+    pub fn classify(&self, max_states: usize) -> (OscillationClass, Reachability) {
+        classify(&self.topology, self.config, &self.exits, max_states)
+    }
+
+    /// Enumerate every stable configuration of the **standard** protocol
+    /// on this topology/exit set (ignores the configured variant).
+    pub fn stable_solutions(
+        &self,
+        cap: u64,
+    ) -> Result<Vec<Vec<Option<ExitPathId>>>, EnumerationTooLarge> {
+        enumerate_stable_standard(&self.topology, self.config.policy, &self.exits, cap)
+            .map(|e| e.fixed_points)
+    }
+
+    /// Run the determinism sweep (E8): many fair schedules, compare fixed
+    /// points.
+    pub fn determinism(&self, seeds: u64, max_steps: u64) -> DeterminismReport {
+        determinism_report(&self.topology, self.config, &self.exits, seeds, max_steps)
+    }
+
+    /// Converge, then walk packets from every router: returns the sources
+    /// whose packets enter a forwarding loop.
+    pub fn forwarding_loops_after_convergence(
+        &self,
+        max_steps: u64,
+    ) -> Vec<(RouterId, Vec<RouterId>)> {
+        let result = self.converge(max_steps);
+        let best = |u: RouterId| result.best_routes[u.index()].clone();
+        forwarding_loops(&self.topology, &best)
+    }
+
+    /// Graphviz rendering of the topology.
+    pub fn to_dot(&self) -> String {
+        ibgp_topology::viz::to_dot(&self.topology)
+    }
+}
+
+/// Fluent construction of a [`Network`].
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    routers: usize,
+    links: Vec<(u32, u32, u64)>,
+    clusters: Vec<(Vec<u32>, Vec<u32>)>,
+    client_sessions: Vec<(u32, u32)>,
+    full_mesh: bool,
+    exits: Vec<ExitPathRef>,
+    config: ProtocolConfig,
+}
+
+impl Default for NetworkBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NetworkBuilder {
+    /// Start with zero routers (set with [`NetworkBuilder::routers`]).
+    pub fn new() -> Self {
+        Self {
+            routers: 0,
+            links: Vec::new(),
+            clusters: Vec::new(),
+            client_sessions: Vec::new(),
+            full_mesh: false,
+            exits: Vec::new(),
+            config: ProtocolConfig::STANDARD,
+        }
+    }
+
+    /// Number of routers (`0..n`).
+    pub fn routers(mut self, n: usize) -> Self {
+        self.routers = n;
+        self
+    }
+
+    /// Add a physical link.
+    pub fn link(mut self, u: u32, v: u32, cost: u64) -> Self {
+        self.links.push((u, v, cost));
+        self
+    }
+
+    /// Declare a route-reflection cluster.
+    pub fn cluster(
+        mut self,
+        reflectors: impl IntoIterator<Item = u32>,
+        clients: impl IntoIterator<Item = u32>,
+    ) -> Self {
+        self.clusters.push((
+            reflectors.into_iter().collect(),
+            clients.into_iter().collect(),
+        ));
+        self
+    }
+
+    /// Declare an intra-cluster client–client session.
+    pub fn client_session(mut self, u: u32, v: u32) -> Self {
+        self.client_sessions.push((u, v));
+        self
+    }
+
+    /// Use fully meshed I-BGP instead of clusters.
+    pub fn full_mesh(mut self) -> Self {
+        self.full_mesh = true;
+        self
+    }
+
+    /// Inject an exit path: id, exit-point router, neighboring AS, MED.
+    pub fn exit_via(mut self, id: u32, at: u32, next_as: u32, med: u32) -> Self {
+        self.exits.push(Arc::new(
+            ExitPath::builder(ExitPathId::new(id))
+                .via(AsId::new(next_as))
+                .med(Med::new(med))
+                .exit_point(RouterId::new(at))
+                .build_unchecked(),
+        ));
+        self
+    }
+
+    /// Inject an exit path with an explicit exit cost.
+    pub fn exit_with_cost(
+        mut self,
+        id: u32,
+        at: u32,
+        next_as: u32,
+        med: u32,
+        exit_cost: u64,
+    ) -> Self {
+        self.exits.push(Arc::new(
+            ExitPath::builder(ExitPathId::new(id))
+                .via(AsId::new(next_as))
+                .med(Med::new(med))
+                .exit_point(RouterId::new(at))
+                .exit_cost(IgpCost::new(exit_cost))
+                .build_unchecked(),
+        ));
+        self
+    }
+
+    /// Inject a pre-built exit path.
+    pub fn exit(mut self, path: ExitPathRef) -> Self {
+        self.exits.push(path);
+        self
+    }
+
+    /// Set the protocol variant (paper selection policy).
+    pub fn variant(mut self, variant: ProtocolVariant) -> Self {
+        self.config.variant = variant;
+        self
+    }
+
+    /// Set the full protocol configuration.
+    pub fn config(mut self, config: ProtocolConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<Network, NetworkError> {
+        let mut tb = TopologyBuilder::new(self.routers);
+        for (u, v, c) in self.links {
+            tb = tb.link(u, v, c);
+        }
+        for (rs, cs) in self.clusters {
+            tb = tb.cluster(rs, cs);
+        }
+        for (u, v) in self.client_sessions {
+            tb = tb.client_session(u, v);
+        }
+        if self.full_mesh {
+            tb = tb.full_mesh();
+        }
+        let topology = tb.build()?;
+        Network::new(topology, self.exits, self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibgp_scenarios::fig1a;
+
+    fn disagree(variant: ProtocolVariant) -> Network {
+        Network::builder()
+            .routers(4)
+            .link(0, 2, 10)
+            .link(0, 3, 1)
+            .link(1, 3, 10)
+            .link(1, 2, 1)
+            .cluster([0], [2])
+            .cluster([1], [3])
+            .exit_via(1, 2, 1, 0)
+            .exit_via(2, 3, 1, 0)
+            .variant(variant)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_and_converge() {
+        let n = disagree(ProtocolVariant::Modified);
+        let result = n.converge(10_000);
+        assert!(result.converged());
+        assert_eq!(result.best_exits.len(), 4);
+        assert!(result.metrics.messages > 0);
+    }
+
+    #[test]
+    fn from_scenario_runs_paper_figures() {
+        let s = fig1a::scenario();
+        let n = Network::from_scenario(&s, ProtocolVariant::Standard);
+        let result = n.converge(10_000);
+        assert!(result.outcome.cycled(), "{:?}", result.outcome);
+        let n = Network::from_scenario(&s, ProtocolVariant::Modified);
+        assert!(n.converge(10_000).converged());
+    }
+
+    #[test]
+    fn classification_is_exposed() {
+        let n = disagree(ProtocolVariant::Standard);
+        let (class, _) = n.classify(100_000);
+        assert_eq!(class, OscillationClass::Transient);
+    }
+
+    #[test]
+    fn stable_solution_enumeration_is_exposed() {
+        let n = disagree(ProtocolVariant::Standard);
+        let solutions = n.stable_solutions(1_000_000).unwrap();
+        assert_eq!(solutions.len(), 2);
+    }
+
+    #[test]
+    fn determinism_sweep_is_exposed() {
+        let n = disagree(ProtocolVariant::Modified);
+        assert!(n.determinism(4, 10_000).deterministic());
+        let n = disagree(ProtocolVariant::Standard);
+        assert!(!n.determinism(4, 10_000).deterministic());
+    }
+
+    #[test]
+    fn async_quiesce_is_exposed() {
+        let n = disagree(ProtocolVariant::Modified);
+        let (outcome, bests, _) = n.quiesce(Box::new(ibgp_sim::FixedDelay(2)), 0, 50_000);
+        assert!(outcome.quiescent());
+        assert_eq!(bests.iter().filter(|b| b.is_some()).count(), 4);
+    }
+
+    #[test]
+    fn validation_catches_bad_exits() {
+        let err = Network::builder()
+            .routers(1)
+            .cluster([0], [])
+            .exit_via(1, 5, 1, 0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::ExitPointOutOfRange(..)));
+        let err = Network::builder()
+            .routers(1)
+            .cluster([0], [])
+            .exit_via(1, 0, 1, 0)
+            .exit_via(1, 0, 2, 0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::DuplicateExitId(..)));
+    }
+
+    #[test]
+    fn dot_export_works() {
+        let n = disagree(ProtocolVariant::Standard);
+        assert!(n.to_dot().contains("graph as0"));
+    }
+
+    #[test]
+    fn forwarding_loops_on_fig14() {
+        let s = ibgp_scenarios::fig14::scenario();
+        let n = Network::from_scenario(&s, ProtocolVariant::Standard);
+        assert!(!n.forwarding_loops_after_convergence(10_000).is_empty());
+        let n = Network::from_scenario(&s, ProtocolVariant::Modified);
+        assert!(n.forwarding_loops_after_convergence(10_000).is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Machine- and human-readable experiment reports.
+//!
+//! The `experiments` binary (crates/bench) regenerates every paper
+//! artifact and emits one [`ExperimentRow`] per claim; EXPERIMENTS.md is
+//! rendered from these rows.
+
+use serde::{Deserialize, Serialize};
+
+/// One paper claim and its measured verdict.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentRow {
+    /// Experiment id (DESIGN.md index, e.g. "E1").
+    pub id: String,
+    /// Paper artifact (e.g. "Fig 1(a)").
+    pub artifact: String,
+    /// What the paper claims.
+    pub paper_claim: String,
+    /// What this reproduction measured.
+    pub measured: String,
+    /// Whether the measurement reproduces the claim.
+    pub pass: bool,
+}
+
+impl ExperimentRow {
+    /// Construct a row.
+    pub fn new(
+        id: impl Into<String>,
+        artifact: impl Into<String>,
+        paper_claim: impl Into<String>,
+        measured: impl Into<String>,
+        pass: bool,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            artifact: artifact.into(),
+            paper_claim: paper_claim.into(),
+            measured: measured.into(),
+            pass,
+        }
+    }
+}
+
+/// Render rows as a GitHub-flavored Markdown table.
+pub fn render_table(rows: &[ExperimentRow]) -> String {
+    let mut out = String::from(
+        "| Exp | Artifact | Paper claim | Measured | Verdict |\n|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            r.id,
+            r.artifact,
+            r.paper_claim,
+            r.measured,
+            if r.pass { "reproduced" } else { "DIVERGES" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let rows = vec![
+            ExperimentRow::new("E1", "Fig 1(a)", "oscillates", "cycle period 4", true),
+            ExperimentRow::new("EX", "Fig X", "foo", "bar", false),
+        ];
+        let table = render_table(&rows);
+        assert!(table.contains("| E1 | Fig 1(a) | oscillates | cycle period 4 | reproduced |"));
+        assert!(table.contains("DIVERGES"));
+        assert!(table.starts_with("| Exp |"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let row = ExperimentRow::new("E2", "Fig 1(b)", "a", "b", true);
+        let json = serde_json::to_string(&row).unwrap();
+        let back: ExperimentRow = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, row);
+    }
+}

@@ -1,0 +1,146 @@
+//! Multi-level oscillation scenarios.
+//!
+//! [`deep_fig1a`] pushes the paper's Fig 1(a) one level down: reflector
+//! `B`'s client `cb1` now hangs under a *second-level* reflector `B2`
+//! (`B → B2 → cb1`). The MED-hiding cycle is untouched — `B2` dutifully
+//! relays `r3` up to `B` (client-originated routes climb), but `B`
+//! re-advertises it to reflector `A` only while `r3` is `B`'s own best;
+//! as soon as `B` adopts `r1` (learned from the peer `A`, hence
+//! non-client, hence it can only flow *down*), `A` loses `r3`, unhides
+//! `r2`, and the cycle turns. Persistent oscillation survives arbitrary
+//! nesting depth; the `Choose_set` discipline fixes it at every depth,
+//! because `B`'s advertised *set* always contains the client-originated
+//! `r3`.
+
+use crate::topology::{ClusterSpec, HierTopology, Member};
+use ibgp_topology::PhysicalGraph;
+use ibgp_types::{AsId, ExitPath, ExitPathId, ExitPathRef, IgpCost, Med, RouterId};
+use std::sync::Arc;
+
+/// Router indices.
+pub mod nodes {
+    use ibgp_types::RouterId;
+    /// Top-level reflector A.
+    pub const A: RouterId = RouterId(0);
+    /// A's client holding `r1`.
+    pub const CA1: RouterId = RouterId(1);
+    /// A's client holding `r2`.
+    pub const CA2: RouterId = RouterId(2);
+    /// Top-level reflector B.
+    pub const B: RouterId = RouterId(3);
+    /// Second-level reflector under B.
+    pub const B2: RouterId = RouterId(4);
+    /// The deep client holding `r3`.
+    pub const CB1: RouterId = RouterId(5);
+}
+
+/// Exit-path ids.
+pub mod routes {
+    use ibgp_types::ExitPathId;
+    /// `r1` via AS1, MED 0, at `ca1`.
+    pub const R1: ExitPathId = ExitPathId(1);
+    /// `r2` via AS2, MED 10, at `ca2`.
+    pub const R2: ExitPathId = ExitPathId(2);
+    /// `r3` via AS2, MED 5, at `cb1` (two levels below B).
+    pub const R3: ExitPathId = ExitPathId(3);
+}
+
+/// Build the three-level Fig 1(a).
+pub fn deep_fig1a() -> (HierTopology, Vec<ExitPathRef>) {
+    let mut g = PhysicalGraph::new(6);
+    g.add_link(nodes::A, nodes::CA1, IgpCost::new(2)).unwrap();
+    g.add_link(nodes::A, nodes::CA2, IgpCost::new(1)).unwrap();
+    g.add_link(nodes::A, nodes::B, IgpCost::new(1)).unwrap();
+    g.add_link(nodes::B, nodes::B2, IgpCost::new(5)).unwrap();
+    g.add_link(nodes::B2, nodes::CB1, IgpCost::new(5)).unwrap();
+    let top = vec![
+        ClusterSpec {
+            reflectors: vec![nodes::A.raw()],
+            members: vec![Member::Router(nodes::CA1.raw()), Member::Router(nodes::CA2.raw())],
+        },
+        ClusterSpec {
+            reflectors: vec![nodes::B.raw()],
+            members: vec![Member::Cluster(ClusterSpec::flat(
+                nodes::B2.raw(),
+                [nodes::CB1.raw()],
+            ))],
+        },
+    ];
+    let topo = HierTopology::new(g, top).expect("deep_fig1a topology is valid");
+    let mk = |id: ExitPathId, at: RouterId, next_as: u32, med: u32| -> ExitPathRef {
+        Arc::new(
+            ExitPath::builder(id)
+                .via(AsId::new(next_as))
+                .med(Med::new(med))
+                .exit_point(at)
+                .build_unchecked(),
+        )
+    };
+    let exits = vec![
+        mk(routes::R1, nodes::CA1, 1, 0),
+        mk(routes::R2, nodes::CA2, 2, 10),
+        mk(routes::R3, nodes::CB1, 2, 5),
+    ];
+    (topo, exits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{HierEngine, HierMode};
+    use crate::search::explore_hier;
+
+    #[test]
+    fn the_hierarchy_is_three_levels_deep() {
+        let (topo, _) = deep_fig1a();
+        assert_eq!(topo.depth(), 2, "two nested cluster levels + leaves");
+        // Session structure: A-B peers; B down to B2; B2 down to cb1.
+        use crate::topology::SessionKind;
+        assert_eq!(topo.session(nodes::A, nodes::B), Some(SessionKind::Peer));
+        assert_eq!(topo.session(nodes::B, nodes::B2), Some(SessionKind::Down));
+        assert_eq!(topo.session(nodes::B2, nodes::CB1), Some(SessionKind::Down));
+        assert_eq!(topo.session(nodes::B, nodes::CB1), None);
+    }
+
+    #[test]
+    fn geometry_matches_fig1a() {
+        let (topo, _) = deep_fig1a();
+        let d = |u, v| topo.igp_cost(u, v).raw();
+        assert!(d(nodes::A, nodes::CA2) < d(nodes::A, nodes::CA1));
+        assert!(d(nodes::A, nodes::CA1) < d(nodes::A, nodes::CB1));
+        assert!(d(nodes::B, nodes::CA1) < d(nodes::B, nodes::CB1));
+    }
+
+    #[test]
+    fn single_best_oscillates_persistently_at_depth_three() {
+        let (topo, exits) = deep_fig1a();
+        let reach = explore_hier(&topo, HierMode::SingleBest, exits.clone(), 500_000);
+        assert!(reach.complete, "search must finish ({} states)", reach.states);
+        assert!(
+            reach.persistent_oscillation(),
+            "stable vectors: {:?}",
+            reach.stable_vectors
+        );
+        let mut eng = HierEngine::new(&topo, HierMode::SingleBest, exits);
+        let out = eng.run_round_robin(100_000);
+        assert!(out.cycled(), "{out}");
+    }
+
+    #[test]
+    fn set_advertisement_fixes_the_deep_oscillation() {
+        let (topo, exits) = deep_fig1a();
+        let reach = explore_hier(&topo, HierMode::SetAdvertisement, exits.clone(), 500_000);
+        assert!(reach.complete);
+        assert_eq!(reach.stable_vectors.len(), 1, "{:?}", reach.stable_vectors);
+        let mut eng = HierEngine::new(&topo, HierMode::SetAdvertisement, exits);
+        let out = eng.run_round_robin(100_000);
+        assert!(out.converged(), "{out}");
+        // Same fixed point shape as two-level Fig 1(a) under Modified.
+        assert_eq!(eng.best_exit(nodes::A), Some(routes::R1));
+        assert_eq!(eng.best_exit(nodes::B), Some(routes::R1));
+        assert_eq!(eng.best_exit(nodes::CB1), Some(routes::R3));
+        // The deep client's own exit survives at the deep level; ca2's r2
+        // is MED-hidden, so it uses r1.
+        assert_eq!(eng.best_exit(nodes::CA2), Some(routes::R1));
+    }
+}

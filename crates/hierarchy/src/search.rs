@@ -1,0 +1,131 @@
+//! Exhaustive reachability for the hierarchy engine.
+
+use crate::engine::{HierEngine, HierMode};
+use crate::topology::HierTopology;
+use ibgp_types::{ExitPathId, ExitPathRef, RouterId};
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+
+/// Result of a bounded exploration.
+#[derive(Debug, Clone)]
+pub struct HierReachability {
+    /// Distinct configurations visited.
+    pub states: usize,
+    /// Whether the reachable space fit under the cap.
+    pub complete: bool,
+    /// Distinct stable best-exit vectors.
+    pub stable_vectors: Vec<Vec<Option<ExitPathId>>>,
+}
+
+impl HierReachability {
+    /// Whether a stable configuration is reachable.
+    pub fn can_converge(&self) -> bool {
+        !self.stable_vectors.is_empty()
+    }
+
+    /// Whether persistent oscillation is proven.
+    pub fn persistent_oscillation(&self) -> bool {
+        self.complete && self.stable_vectors.is_empty()
+    }
+}
+
+fn digest<T: Hash>(t: &T) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
+
+/// Explore all configurations reachable under singleton + full-set
+/// activations.
+pub fn explore_hier(
+    topo: &HierTopology,
+    mode: HierMode,
+    exits: Vec<ExitPathRef>,
+    max_states: usize,
+) -> HierReachability {
+    let engine0 = HierEngine::new(topo, mode, exits);
+    let n = topo.len();
+    let mut branches: Vec<Vec<RouterId>> =
+        (0..n as u32).map(|i| vec![RouterId::new(i)]).collect();
+    branches.push((0..n as u32).map(RouterId::new).collect());
+
+    let mut visited: HashMap<u64, Vec<Vec<_>>> = HashMap::new();
+    let mut queue: VecDeque<HierEngine> = VecDeque::new();
+    let mut stable_vectors = Vec::new();
+    let mut states = 0usize;
+
+    let mut try_visit = |eng: &HierEngine| -> bool {
+        let (key, _) = eng.state_key(0);
+        let d = digest(&key);
+        let bucket = visited.entry(d).or_default();
+        if bucket.contains(&key) {
+            false
+        } else {
+            bucket.push(key);
+            true
+        }
+    };
+
+    if try_visit(&engine0) {
+        states += 1;
+        queue.push_back(engine0);
+    }
+    while let Some(eng) = queue.pop_front() {
+        if eng.is_stable() {
+            let bv = eng.best_vector();
+            if !stable_vectors.contains(&bv) {
+                stable_vectors.push(bv);
+            }
+            continue;
+        }
+        for branch in &branches {
+            let mut next = eng.clone();
+            next.step(branch);
+            if try_visit(&next) {
+                states += 1;
+                if states > max_states {
+                    return HierReachability {
+                        states,
+                        complete: false,
+                        stable_vectors,
+                    };
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    HierReachability {
+        states,
+        complete: true,
+        stable_vectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ClusterSpec;
+    use ibgp_topology::PhysicalGraph;
+    use ibgp_types::{AsId, ExitPath, IgpCost, Med};
+    use std::sync::Arc;
+
+    #[test]
+    fn trivial_hierarchy_converges() {
+        let r = RouterId::new;
+        let mut g = PhysicalGraph::new(2);
+        g.add_link(r(0), r(1), IgpCost::new(1)).unwrap();
+        let topo =
+            crate::topology::HierTopology::new(g, vec![ClusterSpec::flat(0, [1])]).unwrap();
+        let exit = Arc::new(
+            ExitPath::builder(ExitPathId::new(1))
+                .via(AsId::new(1))
+                .med(Med::new(0))
+                .exit_point(r(1))
+                .build_unchecked(),
+        );
+        let reach = explore_hier(&topo, HierMode::SingleBest, vec![exit], 10_000);
+        assert!(reach.complete);
+        assert_eq!(reach.stable_vectors.len(), 1);
+        assert!(!reach.persistent_oscillation());
+    }
+}

@@ -1,0 +1,358 @@
+//! Cluster-tree topologies.
+//!
+//! A hierarchy is described by a forest of [`ClusterSpec`]s: the
+//! top-level clusters' reflectors are mutually fully meshed (`Peer`
+//! sessions); within a cluster every reflector has a `Down` session to
+//! every member, where a member is either a plain client router or a
+//! nested cluster (in which case the sessions go to the nested cluster's
+//! reflectors, which thereby act as clients one level up). Reflectors of
+//! the same cluster peer with each other.
+
+use ibgp_topology::{PhysicalGraph, SpfTable, TopologyError};
+use ibgp_types::{BgpId, IgpCost, RouterId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The kind of a *directed* session, from the holder's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SessionKind {
+    /// The remote router is this router's client (this side reflects).
+    Down,
+    /// The remote router is this router's reflector (this side is the
+    /// client).
+    Up,
+    /// Ordinary I-BGP peer (same-cluster reflectors, top-level mesh).
+    Peer,
+}
+
+impl SessionKind {
+    /// The same session from the other side.
+    pub fn flipped(self) -> SessionKind {
+        match self {
+            SessionKind::Down => SessionKind::Up,
+            SessionKind::Up => SessionKind::Down,
+            SessionKind::Peer => SessionKind::Peer,
+        }
+    }
+}
+
+impl fmt::Display for SessionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SessionKind::Down => "down",
+            SessionKind::Up => "up",
+            SessionKind::Peer => "peer",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A member of a cluster: a plain client router or a nested cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Member {
+    /// A leaf client.
+    Router(u32),
+    /// A nested cluster whose reflectors are this cluster's clients.
+    Cluster(ClusterSpec),
+}
+
+/// One cluster: reflectors plus members.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Reflector router ids (non-empty).
+    pub reflectors: Vec<u32>,
+    /// Members (clients or nested clusters).
+    pub members: Vec<Member>,
+}
+
+impl ClusterSpec {
+    /// A flat cluster of one reflector with leaf clients.
+    pub fn flat(reflector: u32, clients: impl IntoIterator<Item = u32>) -> Self {
+        Self {
+            reflectors: vec![reflector],
+            members: clients.into_iter().map(Member::Router).collect(),
+        }
+    }
+}
+
+/// A validated hierarchical topology.
+#[derive(Debug, Clone)]
+pub struct HierTopology {
+    physical: PhysicalGraph,
+    spf: SpfTable,
+    /// Directed session kinds: `(u, v) -> kind of v from u's view`.
+    sessions: BTreeMap<(RouterId, RouterId), SessionKind>,
+    bgp_ids: Vec<BgpId>,
+    depth: usize,
+}
+
+impl HierTopology {
+    /// Build from a physical graph and top-level cluster specs.
+    pub fn new(physical: PhysicalGraph, top: Vec<ClusterSpec>) -> Result<Self, TopologyError> {
+        let n = physical.len();
+        if !physical.is_connected() {
+            return Err(TopologyError::Disconnected);
+        }
+        let mut sessions: BTreeMap<(RouterId, RouterId), SessionKind> = BTreeMap::new();
+        let mut assigned = vec![false; n];
+        let mut depth = 1;
+
+        let add = |sessions: &mut BTreeMap<(RouterId, RouterId), SessionKind>,
+                       u: u32,
+                       v: u32,
+                       kind: SessionKind|
+         -> Result<(), TopologyError> {
+            if u as usize >= n {
+                return Err(TopologyError::NodeOutOfRange {
+                    node: RouterId::new(u),
+                    len: n,
+                });
+            }
+            if v as usize >= n {
+                return Err(TopologyError::NodeOutOfRange {
+                    node: RouterId::new(v),
+                    len: n,
+                });
+            }
+            if u == v {
+                return Err(TopologyError::SelfLoop(RouterId::new(u)));
+            }
+            sessions.insert((RouterId::new(u), RouterId::new(v)), kind);
+            sessions.insert((RouterId::new(v), RouterId::new(u)), kind.flipped());
+            Ok(())
+        };
+
+        // Recursive walk. Returns the cluster's reflector list.
+        fn walk(
+            spec: &ClusterSpec,
+            level: usize,
+            n: usize,
+            assigned: &mut [bool],
+            depth: &mut usize,
+            add: &mut dyn FnMut(u32, u32, SessionKind) -> Result<(), TopologyError>,
+        ) -> Result<Vec<u32>, TopologyError> {
+            *depth = (*depth).max(level);
+            if spec.reflectors.is_empty() {
+                return Err(TopologyError::ClusterWithoutReflector(
+                    ibgp_types::ClusterId::new(0),
+                ));
+            }
+            for &r in &spec.reflectors {
+                if r as usize >= n {
+                    return Err(TopologyError::NodeOutOfRange {
+                        node: RouterId::new(r),
+                        len: n,
+                    });
+                }
+                if assigned[r as usize] {
+                    return Err(TopologyError::NodeInMultipleClusters(RouterId::new(r)));
+                }
+                assigned[r as usize] = true;
+            }
+            // Reflectors of one cluster peer with each other.
+            for (i, &a) in spec.reflectors.iter().enumerate() {
+                for &b in &spec.reflectors[i + 1..] {
+                    add(a, b, SessionKind::Peer)?;
+                }
+            }
+            for member in &spec.members {
+                let heads: Vec<u32> = match member {
+                    Member::Router(c) => {
+                        if *c as usize >= n {
+                            return Err(TopologyError::NodeOutOfRange {
+                                node: RouterId::new(*c),
+                                len: n,
+                            });
+                        }
+                        if assigned[*c as usize] {
+                            return Err(TopologyError::NodeInMultipleClusters(RouterId::new(
+                                *c,
+                            )));
+                        }
+                        assigned[*c as usize] = true;
+                        vec![*c]
+                    }
+                    Member::Cluster(sub) => walk(sub, level + 1, n, assigned, depth, add)?,
+                };
+                for &r in &spec.reflectors {
+                    for &h in &heads {
+                        add(r, h, SessionKind::Down)?;
+                    }
+                }
+            }
+            Ok(spec.reflectors.clone())
+        }
+
+        let mut add_fn = |u: u32, v: u32, k: SessionKind| add(&mut sessions, u, v, k);
+        let mut top_reflectors: Vec<u32> = Vec::new();
+        for spec in &top {
+            let rs = walk(spec, 1, n, &mut assigned, &mut depth, &mut add_fn)?;
+            top_reflectors.extend(rs);
+        }
+        // Top-level mesh across clusters.
+        for (i, &a) in top_reflectors.iter().enumerate() {
+            for &b in &top_reflectors[i + 1..] {
+                let key = (RouterId::new(a), RouterId::new(b));
+                if !sessions.contains_key(&key) {
+                    add(&mut sessions, a, b, SessionKind::Peer)?;
+                }
+            }
+        }
+        // Every router must appear somewhere.
+        for (i, ok) in assigned.iter().enumerate() {
+            if !ok {
+                return Err(TopologyError::NodeUnclustered(RouterId::new(i as u32)));
+            }
+        }
+
+        let spf = SpfTable::compute(&physical);
+        let bgp_ids = (0..n as u32).map(BgpId::new).collect();
+        Ok(Self {
+            physical,
+            spf,
+            sessions,
+            bgp_ids,
+            depth,
+        })
+    }
+
+    /// Number of routers.
+    pub fn len(&self) -> usize {
+        self.physical.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.physical.is_empty()
+    }
+
+    /// Maximum nesting depth of the cluster tree.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// All routers.
+    pub fn routers(&self) -> impl Iterator<Item = RouterId> + '_ {
+        (0..self.len() as u32).map(RouterId::new)
+    }
+
+    /// Kind of the session from `u` to `v`, if one exists.
+    pub fn session(&self, u: RouterId, v: RouterId) -> Option<SessionKind> {
+        self.sessions.get(&(u, v)).copied()
+    }
+
+    /// The peers of `u`, with the session kind from `u`'s view.
+    pub fn peers(&self, u: RouterId) -> Vec<(RouterId, SessionKind)> {
+        self.sessions
+            .range((u, RouterId::new(0))..=(u, RouterId::new(u32::MAX)))
+            .map(|(&(_, v), &k)| (v, k))
+            .collect()
+    }
+
+    /// IGP distance.
+    pub fn igp_cost(&self, u: RouterId, v: RouterId) -> IgpCost {
+        self.spf.cost(u, v)
+    }
+
+    /// BGP identifier.
+    pub fn bgp_id(&self, u: RouterId) -> BgpId {
+        self.bgp_ids[u.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> RouterId {
+        RouterId::new(i)
+    }
+
+    fn c(v: u64) -> IgpCost {
+        IgpCost::new(v)
+    }
+
+    fn chain_physical(n: usize) -> PhysicalGraph {
+        let mut g = PhysicalGraph::new(n);
+        for i in 1..n {
+            g.add_link(r(i as u32 - 1), r(i as u32), c(1)).unwrap();
+        }
+        g
+    }
+
+    /// Three levels: top reflector 0; mid cluster {1; leaf 2}; leaf 3.
+    fn three_level() -> HierTopology {
+        let spec = ClusterSpec {
+            reflectors: vec![0],
+            members: vec![
+                Member::Cluster(ClusterSpec::flat(1, [2])),
+                Member::Router(3),
+            ],
+        };
+        HierTopology::new(chain_physical(4), vec![spec]).unwrap()
+    }
+
+    #[test]
+    fn three_level_sessions() {
+        let t = three_level();
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.session(r(0), r(1)), Some(SessionKind::Down));
+        assert_eq!(t.session(r(1), r(0)), Some(SessionKind::Up));
+        assert_eq!(t.session(r(1), r(2)), Some(SessionKind::Down));
+        assert_eq!(t.session(r(0), r(3)), Some(SessionKind::Down));
+        // No session skips a level.
+        assert_eq!(t.session(r(0), r(2)), None);
+        assert_eq!(t.session(r(2), r(3)), None);
+    }
+
+    #[test]
+    fn top_level_mesh_across_clusters() {
+        let top = vec![ClusterSpec::flat(0, [1]), ClusterSpec::flat(2, [3])];
+        let t = HierTopology::new(chain_physical(4), top).unwrap();
+        assert_eq!(t.session(r(0), r(2)), Some(SessionKind::Peer));
+        assert_eq!(t.session(r(1), r(3)), None);
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn multi_reflector_cluster_peers_internally() {
+        let top = vec![ClusterSpec {
+            reflectors: vec![0, 1],
+            members: vec![Member::Router(2)],
+        }];
+        let t = HierTopology::new(chain_physical(3), top).unwrap();
+        assert_eq!(t.session(r(0), r(1)), Some(SessionKind::Peer));
+        assert_eq!(t.session(r(0), r(2)), Some(SessionKind::Down));
+        assert_eq!(t.session(r(1), r(2)), Some(SessionKind::Down));
+    }
+
+    #[test]
+    fn validation_errors() {
+        // Unassigned router.
+        let err = HierTopology::new(chain_physical(2), vec![ClusterSpec::flat(0, [])])
+            .unwrap_err();
+        assert_eq!(err, TopologyError::NodeUnclustered(r(1)));
+        // Double assignment.
+        let err = HierTopology::new(
+            chain_physical(2),
+            vec![ClusterSpec::flat(0, [1]), ClusterSpec::flat(1, [])],
+        )
+        .unwrap_err();
+        assert_eq!(err, TopologyError::NodeInMultipleClusters(r(1)));
+        // Out of range.
+        let err =
+            HierTopology::new(chain_physical(2), vec![ClusterSpec::flat(0, [5])]).unwrap_err();
+        assert!(matches!(err, TopologyError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn peers_lists_kinds() {
+        let t = three_level();
+        let peers = t.peers(r(1));
+        assert_eq!(
+            peers,
+            vec![(r(0), SessionKind::Up), (r(2), SessionKind::Down)]
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! A complete DPLL SAT solver — the ground truth the reduction is
+//! verified against.
+//!
+//! Plain DPLL with unit propagation and pure-literal elimination;
+//! entirely adequate for the instance sizes the reduction's state-space
+//! verification can handle (tens of variables).
+
+use crate::sat::{Formula, Lit};
+
+/// Decide satisfiability; return a satisfying assignment if one exists.
+pub fn solve(formula: &Formula) -> Option<Vec<bool>> {
+    let mut assignment: Vec<Option<bool>> = vec![None; formula.num_vars];
+    let clauses: Vec<Vec<Lit>> = formula.clauses.iter().map(|c| c.0.clone()).collect();
+    if dpll(&clauses, &mut assignment) {
+        // Unconstrained variables default to false.
+        Some(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
+    } else {
+        None
+    }
+}
+
+/// Clause status under a partial assignment.
+enum Status {
+    Satisfied,
+    /// The clause's remaining unassigned literals.
+    Open(Vec<Lit>),
+    Conflict,
+}
+
+fn clause_status(clause: &[Lit], assignment: &[Option<bool>]) -> Status {
+    let mut open = Vec::new();
+    for &l in clause {
+        match assignment[l.var.index()] {
+            Some(v) if v == l.positive => return Status::Satisfied,
+            Some(_) => {}
+            None => open.push(l),
+        }
+    }
+    if open.is_empty() {
+        Status::Conflict
+    } else {
+        Status::Open(open)
+    }
+}
+
+fn dpll(clauses: &[Vec<Lit>], assignment: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to fixpoint.
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        let mut unit: Option<Lit> = None;
+        let mut all_satisfied = true;
+        for c in clauses {
+            match clause_status(c, assignment) {
+                Status::Satisfied => {}
+                Status::Conflict => {
+                    undo(assignment, &trail);
+                    return false;
+                }
+                Status::Open(open) => {
+                    all_satisfied = false;
+                    if open.len() == 1 {
+                        unit = Some(open[0]);
+                        break;
+                    }
+                }
+            }
+        }
+        if all_satisfied {
+            return true;
+        }
+        match unit {
+            Some(l) => {
+                assignment[l.var.index()] = Some(l.positive);
+                trail.push(l.var.index());
+            }
+            None => break,
+        }
+    }
+
+    // Pure-literal elimination.
+    let mut seen_pos = vec![false; assignment.len()];
+    let mut seen_neg = vec![false; assignment.len()];
+    for c in clauses {
+        if let Status::Open(open) = clause_status(c, assignment) {
+            for l in open {
+                if l.positive {
+                    seen_pos[l.var.index()] = true;
+                } else {
+                    seen_neg[l.var.index()] = true;
+                }
+            }
+        }
+    }
+    for v in 0..assignment.len() {
+        if assignment[v].is_none() && (seen_pos[v] ^ seen_neg[v]) {
+            assignment[v] = Some(seen_pos[v]);
+            trail.push(v);
+        }
+    }
+
+    // Branch on the first unassigned variable of an open clause.
+    let branch_var = clauses.iter().find_map(|c| match clause_status(c, assignment) {
+        Status::Open(open) => Some(open[0].var.index()),
+        _ => None,
+    });
+    let Some(v) = branch_var else {
+        // No open clauses left: satisfied.
+        return true;
+    };
+    for value in [true, false] {
+        assignment[v] = Some(value);
+        if dpll(clauses, assignment) {
+            return true;
+        }
+        assignment[v] = None;
+    }
+    undo(assignment, &trail);
+    false
+}
+
+fn undo(assignment: &mut [Option<bool>], trail: &[usize]) {
+    for &v in trail {
+        assignment[v] = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::{Clause, Formula};
+
+    fn f(num_vars: usize, clauses: Vec<Vec<Lit>>) -> Formula {
+        Formula::new(num_vars, clauses.into_iter().map(Clause).collect()).unwrap()
+    }
+
+    #[test]
+    fn trivially_satisfiable() {
+        let formula = f(1, vec![vec![Lit::pos(0)]]);
+        let a = solve(&formula).unwrap();
+        assert!(formula.eval(&a));
+    }
+
+    #[test]
+    fn simple_unsat() {
+        let formula = f(1, vec![vec![Lit::pos(0)], vec![Lit::neg(0)]]);
+        assert!(solve(&formula).is_none());
+    }
+
+    #[test]
+    fn classic_unsat_over_two_vars() {
+        // (x0∨x1)(x0∨¬x1)(¬x0∨x1)(¬x0∨¬x1) is unsatisfiable.
+        let formula = f(
+            2,
+            vec![
+                vec![Lit::pos(0), Lit::pos(1)],
+                vec![Lit::pos(0), Lit::neg(1)],
+                vec![Lit::neg(0), Lit::pos(1)],
+                vec![Lit::neg(0), Lit::neg(1)],
+            ],
+        );
+        assert!(solve(&formula).is_none());
+    }
+
+    #[test]
+    fn satisfying_assignments_actually_satisfy() {
+        for seed in 0..50 {
+            let formula = Formula::random(seed, 6, 12);
+            if let Some(a) = solve(&formula) {
+                assert!(formula.eval(&a), "seed {seed}: bogus assignment");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force() {
+        for seed in 0..60 {
+            let formula = Formula::random(seed, 4, 9);
+            let brute = (0..(1u32 << 4)).any(|bits| {
+                let a: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+                formula.eval(&a)
+            });
+            assert_eq!(solve(&formula).is_some(), brute, "seed {seed}: {formula}");
+        }
+    }
+
+    #[test]
+    fn empty_formula_is_satisfiable() {
+        let formula = f(2, vec![]);
+        let a = solve(&formula).unwrap();
+        assert_eq!(a.len(), 2);
+    }
+}

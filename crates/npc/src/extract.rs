@@ -1,0 +1,132 @@
+//! Between truth assignments and routing configurations.
+//!
+//! * [`schedule_for`] — the activation schedule that drives `SR_J` into
+//!   the configuration induced by an assignment: clients announce first,
+//!   then each variable gadget is tipped into the desired orientation by
+//!   activating the *winning* side's reflector before the other, then
+//!   the clause nodes run, then a fair round-robin tail.
+//! * [`assignment_from_best`] — reading the assignment back out of a
+//!   stable best-route vector (`x = true` iff the negative reflector
+//!   adopted the positive side's exit).
+
+use crate::reduction::SrInstance;
+use crate::sat::Var;
+use ibgp_sim::Scripted;
+use ibgp_types::{ExitPathId, RouterId};
+
+/// Build a fair activation schedule whose prefix drives the system into
+/// the orientation given by `assignment`.
+pub fn schedule_for(sr: &SrInstance, assignment: &[bool]) -> Scripted {
+    assert_eq!(assignment.len(), sr.formula.num_vars);
+    let mut order: Vec<RouterId> = Vec::new();
+    // 1. Exit-holding clients announce.
+    for v in (0..sr.formula.num_vars as u32).map(Var) {
+        order.push(sr.client_pos(v));
+        order.push(sr.client_neg(v));
+    }
+    for j in 0..sr.formula.clauses.len() {
+        order.push(sr.clause_ck1(j));
+        order.push(sr.clause_ck2(j));
+        order.push(sr.clause_cb(j));
+    }
+    // 2. Tip each variable: the side whose exit should circulate
+    //    activates first (it only sees its own client's exit and adopts
+    //    it); the other side then sees both and defers to the nearer,
+    //    already-circulating one.
+    for (i, &value) in assignment.iter().enumerate() {
+        let v = Var(i as u32);
+        if value {
+            order.push(sr.rr_pos(v));
+            order.push(sr.rr_neg(v));
+        } else {
+            order.push(sr.rr_neg(v));
+            order.push(sr.rr_pos(v));
+        }
+    }
+    // 3. Clause reflectors last (they see the settled literal routes).
+    for j in 0..sr.formula.clauses.len() {
+        order.push(sr.clause_b(j));
+        order.push(sr.clause_a(j));
+    }
+    Scripted::new(order.into_iter().map(|r| vec![r]).collect())
+}
+
+/// Read the truth assignment out of a best-exit vector (indexed by
+/// router). Returns `None` if some variable gadget is not in one of its
+/// two legal orientations — which cannot happen in a stable state.
+pub fn assignment_from_best(
+    sr: &SrInstance,
+    best: &[Option<ExitPathId>],
+) -> Option<Vec<bool>> {
+    let mut out = Vec::with_capacity(sr.formula.num_vars);
+    for v in (0..sr.formula.num_vars as u32).map(Var) {
+        let rr_neg_best = best[sr.rr_neg(v).index()]?;
+        let rr_pos_best = best[sr.rr_pos(v).index()]?;
+        let (p_pos, p_neg) = (sr.exit_pos(v), sr.exit_neg(v));
+        if rr_neg_best == p_pos && rr_pos_best == p_pos {
+            out.push(true);
+        } else if rr_pos_best == p_neg && rr_neg_best == p_neg {
+            out.push(false);
+        } else {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduction::reduce;
+    use crate::sat::{Clause, Formula, Lit};
+    use ibgp_proto::variants::ProtocolConfig;
+    use ibgp_sim::SyncEngine;
+
+    fn formula() -> Formula {
+        // (x0 ∨ ¬x1)
+        Formula::new(2, vec![Clause(vec![Lit::pos(0), Lit::neg(1)])]).unwrap()
+    }
+
+    #[test]
+    fn satisfying_assignment_drives_to_a_stable_state() {
+        let f = formula();
+        let sr = reduce(&f);
+        // x0 = true satisfies the clause.
+        let assignment = vec![true, false];
+        assert!(f.eval(&assignment));
+        let mut schedule = schedule_for(&sr, &assignment);
+        let mut eng = SyncEngine::new(&sr.topology, ProtocolConfig::STANDARD, sr.exits.clone());
+        let outcome = eng.run(&mut schedule, 50_000);
+        assert!(outcome.converged(), "{outcome}");
+        let read_back = assignment_from_best(&sr, &eng.best_vector()).unwrap();
+        assert_eq!(read_back, assignment);
+    }
+
+    #[test]
+    fn falsifying_assignment_keeps_the_clause_oscillating() {
+        let f = formula();
+        let sr = reduce(&f);
+        // x0 = false, x1 = true falsifies (x0 ∨ ¬x1): the clause gadget
+        // must oscillate, so the run can only end in a cycle.
+        let assignment = vec![false, true];
+        assert!(!f.eval(&assignment));
+        let mut schedule = schedule_for(&sr, &assignment);
+        let mut eng = SyncEngine::new(&sr.topology, ProtocolConfig::STANDARD, sr.exits.clone());
+        let outcome = eng.run(&mut schedule, 50_000);
+        assert!(outcome.cycled(), "{outcome}");
+    }
+
+    #[test]
+    fn extraction_rejects_incoherent_states() {
+        let f = formula();
+        let sr = reduce(&f);
+        let n = sr.node_count();
+        // All-None vector: no orientation.
+        assert!(assignment_from_best(&sr, &vec![None; n]).is_none());
+        // Mixed orientation (rr_pos on p_neg, rr_neg on p_pos) is illegal.
+        let mut best = vec![None; n];
+        best[sr.rr_pos(Var(0)).index()] = Some(sr.exit_neg(Var(0)));
+        best[sr.rr_neg(Var(0)).index()] = Some(sr.exit_pos(Var(0)));
+        assert!(assignment_from_best(&sr, &best).is_none());
+    }
+}

@@ -1,0 +1,373 @@
+//! The reduction `J ↦ SR_J` (§5, Figs 7–9 reconstructed).
+//!
+//! ## Variable gadget (bistable, Fig 7/8 role)
+//!
+//! For each variable `x` two single-client clusters, cross-wired:
+//!
+//! ```text
+//!   RR⁺ ──3── c⁺ (exit p⁺)        RR⁺ ──1── c⁻
+//!   RR⁻ ──3── c⁻ (exit p⁻)        RR⁻ ──1── c⁺
+//! ```
+//!
+//! Both exits go through the variable's own neighbor AS with MED 0, so
+//! selection between them is purely IGP-metric: each reflector prefers
+//! the *other* side's exit (distance 1 < 3). Exactly two stable
+//! orientations exist: either `p⁺` circulates in the reflector mesh
+//! (`x = true`: RR⁺ adopts and re-advertises its client's `p⁺`, RR⁻
+//! adopts `p⁺` and goes silent) or symmetrically `p⁻` circulates
+//! (`x = false`).
+//!
+//! ## Clause gadget (no stable state in isolation, Fig 9 role)
+//!
+//! For each clause a copy of the paper's Fig 1(a) oscillator:
+//! reflector `A` with clients `ck1` (route `r1`, own AS, MED 0, distance
+//! 4) and `ck2` (route `r2`, clause AS, MED 10, distance 3); reflector
+//! `B` (distance 4 from `A`) with client `cb` (route `r3`, clause AS,
+//! MED 5, distance 9). The MED-hiding cycle of Fig 1(a) runs forever —
+//! unless a route *closer to `A` than all of `r1`–`r3`* is permanently
+//! visible, which freezes `A` and stabilizes the gadget.
+//!
+//! ## Wiring (literal edges)
+//!
+//! For every literal `l` of clause `K`, a physical edge `A_K — c_l` of
+//! cost 2. A *true* literal's exit circulates in the reflector mesh and
+//! sits at distance 2 < 3 from `A_K`: the oscillator is pacified. A
+//! *false* literal's exit reaches `A_K` only at distance ≥ 6 (through
+//! the variable gadget's interior) and at distance ≥ 10 from `B_K`, so
+//! it never interferes. A backbone hub (cost-50 edges to every
+//! reflector) keeps unrelated gadgets far apart and the graph connected.
+//!
+//! Hence `SR_J` has a stable configuration **iff** every clause has a
+//! true literal under some orientation of the variable gadgets — iff `J`
+//! is satisfiable. All exits share LOCAL-PREF and AS-PATH length, so
+//! only MED, metric, and tie-breaks ever act, as in the paper's
+//! construction.
+
+use crate::sat::{Formula, Lit, Var};
+use ibgp_topology::{Topology, TopologyBuilder};
+use ibgp_types::{AsId, ExitPath, ExitPathId, ExitPathRef, Med, RouterId};
+use std::sync::Arc;
+
+/// Cost of the backbone-hub edges.
+const HUB_COST: u64 = 50;
+
+/// The reduced instance with its node/exit maps.
+#[derive(Debug, Clone)]
+pub struct SrInstance {
+    /// The reduced topology.
+    pub topology: Topology,
+    /// All injected exit paths.
+    pub exits: Vec<ExitPathRef>,
+    /// The source formula.
+    pub formula: Formula,
+}
+
+impl SrInstance {
+    /// The backbone hub node.
+    pub fn hub(&self) -> RouterId {
+        RouterId::new(0)
+    }
+
+    fn var_base(&self, v: Var) -> u32 {
+        1 + 4 * v.0
+    }
+
+    /// Reflector of the positive side of a variable gadget.
+    pub fn rr_pos(&self, v: Var) -> RouterId {
+        RouterId::new(self.var_base(v))
+    }
+
+    /// Reflector of the negative side.
+    pub fn rr_neg(&self, v: Var) -> RouterId {
+        RouterId::new(self.var_base(v) + 1)
+    }
+
+    /// Client holding the positive exit `p⁺`.
+    pub fn client_pos(&self, v: Var) -> RouterId {
+        RouterId::new(self.var_base(v) + 2)
+    }
+
+    /// Client holding the negative exit `p⁻`.
+    pub fn client_neg(&self, v: Var) -> RouterId {
+        RouterId::new(self.var_base(v) + 3)
+    }
+
+    /// The client holding a literal's exit.
+    pub fn literal_client(&self, l: Lit) -> RouterId {
+        if l.positive {
+            self.client_pos(l.var)
+        } else {
+            self.client_neg(l.var)
+        }
+    }
+
+    fn clause_base(&self, j: usize) -> u32 {
+        1 + 4 * self.formula.num_vars as u32 + 5 * j as u32
+    }
+
+    /// Clause reflector `A` (the oscillator's MED-comparing node).
+    pub fn clause_a(&self, j: usize) -> RouterId {
+        RouterId::new(self.clause_base(j))
+    }
+
+    /// Clause reflector `B`.
+    pub fn clause_b(&self, j: usize) -> RouterId {
+        RouterId::new(self.clause_base(j) + 1)
+    }
+
+    /// `A`'s client holding `r1`.
+    pub fn clause_ck1(&self, j: usize) -> RouterId {
+        RouterId::new(self.clause_base(j) + 2)
+    }
+
+    /// `A`'s client holding `r2`.
+    pub fn clause_ck2(&self, j: usize) -> RouterId {
+        RouterId::new(self.clause_base(j) + 3)
+    }
+
+    /// `B`'s client holding `r3`.
+    pub fn clause_cb(&self, j: usize) -> RouterId {
+        RouterId::new(self.clause_base(j) + 4)
+    }
+
+    /// Total router count.
+    pub fn node_count(&self) -> usize {
+        1 + 4 * self.formula.num_vars + 5 * self.formula.clauses.len()
+    }
+
+    /// Exit id of the positive literal's path `p⁺`.
+    pub fn exit_pos(&self, v: Var) -> ExitPathId {
+        ExitPathId::new(1 + 2 * v.0)
+    }
+
+    /// Exit id of the negative literal's path `p⁻`.
+    pub fn exit_neg(&self, v: Var) -> ExitPathId {
+        ExitPathId::new(2 + 2 * v.0)
+    }
+
+    /// Exit id of a literal's path.
+    pub fn exit_of(&self, l: Lit) -> ExitPathId {
+        if l.positive {
+            self.exit_pos(l.var)
+        } else {
+            self.exit_neg(l.var)
+        }
+    }
+
+    /// Exit ids `(r1, r2, r3)` of a clause gadget.
+    pub fn clause_exits(&self, j: usize) -> (ExitPathId, ExitPathId, ExitPathId) {
+        let base = 2 * self.formula.num_vars as u32 + 3 * j as u32;
+        (
+            ExitPathId::new(base + 1),
+            ExitPathId::new(base + 2),
+            ExitPathId::new(base + 3),
+        )
+    }
+}
+
+/// Build `SR_J` from a 3-SAT formula. Polynomial: `4n + 5m + 1` routers,
+/// `2n + 3m` exit paths.
+///
+/// ```
+/// use ibgp_npc::{reduce, Clause, Formula, Lit};
+///
+/// let j = Formula::new(2, vec![Clause(vec![Lit::pos(0), Lit::neg(1)])])?;
+/// let sr = reduce(&j);
+/// assert_eq!(sr.node_count(), 1 + 4 * 2 + 5 * 1);
+/// assert_eq!(sr.exits.len(), 2 * 2 + 3 * 1);
+/// # Ok::<(), String>(())
+/// ```
+pub fn reduce(formula: &Formula) -> SrInstance {
+    let nv = formula.num_vars;
+    let nc = formula.clauses.len();
+    let n = 1 + 4 * nv + 5 * nc;
+
+    // Temporary instance for the index helpers.
+    let skeleton = SrInstance {
+        topology: TopologyBuilder::new(1).cluster([0], []).build().unwrap(),
+        exits: Vec::new(),
+        formula: formula.clone(),
+    };
+
+    let mut b = TopologyBuilder::new(n);
+
+    // Hub cluster.
+    b = b.cluster([0], []);
+
+    // Variable gadgets.
+    for v in (0..nv as u32).map(Var) {
+        let (rp, rn) = (skeleton.rr_pos(v).raw(), skeleton.rr_neg(v).raw());
+        let (cp, cn) = (skeleton.client_pos(v).raw(), skeleton.client_neg(v).raw());
+        b = b
+            .cluster([rp], [cp])
+            .cluster([rn], [cn])
+            .link(rp, cp, 3)
+            .link(rn, cn, 3)
+            .link(rp, cn, 1)
+            .link(rn, cp, 1)
+            .link(0, rp, HUB_COST)
+            .link(0, rn, HUB_COST);
+    }
+
+    // Clause gadgets.
+    for j in 0..nc {
+        let a = skeleton.clause_a(j).raw();
+        let bb = skeleton.clause_b(j).raw();
+        let (ck1, ck2, cb) = (
+            skeleton.clause_ck1(j).raw(),
+            skeleton.clause_ck2(j).raw(),
+            skeleton.clause_cb(j).raw(),
+        );
+        b = b
+            .cluster([a], [ck1, ck2])
+            .cluster([bb], [cb])
+            .link(a, ck1, 4)
+            .link(a, ck2, 3)
+            .link(a, bb, 4)
+            .link(bb, cb, 9)
+            .link(0, a, HUB_COST)
+            .link(0, bb, HUB_COST);
+        // Literal edges: A_K — c_l, cost 2.
+        for l in &formula.clauses[j].0 {
+            b = b.link(a, skeleton.literal_client(*l).raw(), 2);
+        }
+    }
+
+    let topology = b.build().expect("reduction produces a valid topology");
+
+    // Exit paths. Neighbor ASes: one per variable, two per clause.
+    let as_var = |v: Var| AsId::new(1 + v.0);
+    let as_clause1 = |j: usize| AsId::new(1 + nv as u32 + 2 * j as u32);
+    let as_clause2 = |j: usize| AsId::new(1 + nv as u32 + 2 * j as u32 + 1);
+
+    let mut exits: Vec<ExitPathRef> = Vec::new();
+    let mk = |id: ExitPathId, at: RouterId, nas: AsId, med: u32| -> ExitPathRef {
+        Arc::new(
+            ExitPath::builder(id)
+                .via(nas)
+                .med(Med::new(med))
+                .exit_point(at)
+                .build_unchecked(),
+        )
+    };
+    for v in (0..nv as u32).map(Var) {
+        exits.push(mk(
+            skeleton.exit_pos(v),
+            skeleton.client_pos(v),
+            as_var(v),
+            0,
+        ));
+        exits.push(mk(
+            skeleton.exit_neg(v),
+            skeleton.client_neg(v),
+            as_var(v),
+            0,
+        ));
+    }
+    for j in 0..nc {
+        let (r1, r2, r3) = skeleton.clause_exits(j);
+        exits.push(mk(r1, skeleton.clause_ck1(j), as_clause1(j), 0));
+        exits.push(mk(r2, skeleton.clause_ck2(j), as_clause2(j), 10));
+        exits.push(mk(r3, skeleton.clause_cb(j), as_clause2(j), 5));
+    }
+
+    SrInstance {
+        topology,
+        exits,
+        formula: formula.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::Clause;
+    use ibgp_types::IgpCost;
+
+    fn formula_xy() -> Formula {
+        // (x0 ∨ ¬x1)
+        Formula::new(
+            2,
+            vec![Clause(vec![Lit::pos(0), Lit::neg(1)])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sizes_are_polynomial() {
+        let f = formula_xy();
+        let sr = reduce(&f);
+        assert_eq!(sr.node_count(), 1 + 8 + 5);
+        assert_eq!(sr.topology.len(), sr.node_count());
+        assert_eq!(sr.exits.len(), 2 * 2 + 3);
+    }
+
+    #[test]
+    fn distances_implement_the_gadget_geometry() {
+        let f = formula_xy();
+        let sr = reduce(&f);
+        let d = |u, v| sr.topology.igp_cost(u, v);
+        let v0 = Var(0);
+        let v1 = Var(1);
+        // Variable gadget: cross exits nearer than own.
+        assert_eq!(d(sr.rr_pos(v0), sr.client_neg(v0)), IgpCost::new(1));
+        assert_eq!(d(sr.rr_pos(v0), sr.client_pos(v0)), IgpCost::new(3));
+        // Clause A: literal exits at distance 2 (x0 positive, x1 negative).
+        let a = sr.clause_a(0);
+        assert_eq!(d(a, sr.client_pos(v0)), IgpCost::new(2));
+        assert_eq!(d(a, sr.client_neg(v1)), IgpCost::new(2));
+        // The *false* sides are at distance ≥ 6 from A.
+        assert!(d(a, sr.client_neg(v0)) >= IgpCost::new(6));
+        assert!(d(a, sr.client_pos(v1)) >= IgpCost::new(6));
+        // Oscillator geometry.
+        assert_eq!(d(a, sr.clause_ck2(0)), IgpCost::new(3));
+        assert_eq!(d(a, sr.clause_ck1(0)), IgpCost::new(4));
+        assert_eq!(d(a, sr.clause_cb(0)), IgpCost::new(13));
+        let b = sr.clause_b(0);
+        assert_eq!(d(b, sr.clause_ck1(0)), IgpCost::new(8));
+        assert_eq!(d(b, sr.clause_cb(0)), IgpCost::new(9));
+        // False-literal exits are farther from B than r3.
+        assert!(d(b, sr.client_neg(v0)) >= IgpCost::new(10));
+    }
+
+    #[test]
+    fn clusters_and_sessions_are_wired_per_design() {
+        let f = formula_xy();
+        let sr = reduce(&f);
+        let ibgp = sr.topology.ibgp();
+        let v0 = Var(0);
+        assert!(ibgp.is_reflector(sr.rr_pos(v0)));
+        assert!(ibgp.is_client(sr.client_pos(v0)));
+        // The cross physical edge carries NO session (different clusters).
+        assert!(!ibgp.is_session(sr.rr_pos(v0), sr.client_neg(v0)));
+        assert!(ibgp.is_session(sr.rr_pos(v0), sr.client_pos(v0)));
+        // Reflector mesh spans gadgets.
+        assert!(ibgp.is_session(sr.rr_pos(v0), sr.clause_a(0)));
+        // Literal edges carry no session either (client of another cluster).
+        assert!(!ibgp.is_session(sr.clause_a(0), sr.client_pos(v0)));
+    }
+
+    #[test]
+    fn exit_attributes_follow_the_construction() {
+        let f = formula_xy();
+        let sr = reduce(&f);
+        let by_id = |id: ExitPathId| sr.exits.iter().find(|p| p.id() == id).unwrap().clone();
+        let (r1, r2, r3) = sr.clause_exits(0);
+        assert_eq!(by_id(r1).med(), Med::new(0));
+        assert_eq!(by_id(r2).med(), Med::new(10));
+        assert_eq!(by_id(r3).med(), Med::new(5));
+        // r2 and r3 share the clause AS; r1 has its own.
+        assert_eq!(by_id(r2).next_as(), by_id(r3).next_as());
+        assert_ne!(by_id(r1).next_as(), by_id(r2).next_as());
+        // Variable exits share their variable's AS, MED 0.
+        let p = by_id(sr.exit_pos(Var(0)));
+        let q = by_id(sr.exit_neg(Var(0)));
+        assert_eq!(p.next_as(), q.next_as());
+        assert_eq!(p.med(), Med::new(0));
+        // All LOCAL-PREFs and AS-path lengths equal.
+        for e in &sr.exits {
+            assert_eq!(e.local_pref(), ibgp_types::LocalPref::DEFAULT);
+            assert_eq!(e.as_path_length(), 1);
+        }
+    }
+}

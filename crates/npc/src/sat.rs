@@ -1,0 +1,245 @@
+//! 3-SAT formulas.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A propositional variable, indexed from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Lit {
+    /// The variable.
+    pub var: Var,
+    /// True for the positive literal `x`, false for `¬x`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: u32) -> Lit {
+        Lit {
+            var: Var(v),
+            positive: true,
+        }
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: u32) -> Lit {
+        Lit {
+            var: Var(v),
+            positive: false,
+        }
+    }
+
+    /// The opposite literal.
+    pub fn negated(self) -> Lit {
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// Evaluate under an assignment.
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var.index()] == self.positive
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "{}", self.var)
+        } else {
+            write!(f, "¬{}", self.var)
+        }
+    }
+}
+
+/// A clause of up to three literals (disjunction).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Clause(pub Vec<Lit>);
+
+impl Clause {
+    /// Evaluate under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.0.iter().any(|l| l.eval(assignment))
+    }
+
+    /// Distinct variables mentioned.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut vs: Vec<Var> = self.0.iter().map(|l| l.var).collect();
+        vs.sort();
+        vs.dedup();
+        vs
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A 3-SAT instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Formula {
+    /// Number of variables (`x0 … x_{n-1}`).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Formula {
+    /// Build, validating variable indices and that no clause contains a
+    /// variable and its negation (the paper assumes such clauses are
+    /// removed — they are trivially satisfied).
+    pub fn new(num_vars: usize, clauses: Vec<Clause>) -> Result<Formula, String> {
+        for c in &clauses {
+            if c.0.is_empty() || c.0.len() > 3 {
+                return Err(format!("clause {c} must have 1..=3 literals"));
+            }
+            for l in &c.0 {
+                if l.var.index() >= num_vars {
+                    return Err(format!("literal {l} out of range"));
+                }
+                if c.0.contains(&l.negated()) {
+                    return Err(format!("clause {c} contains a variable and its negation"));
+                }
+            }
+        }
+        Ok(Formula { num_vars, clauses })
+    }
+
+    /// Evaluate under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars);
+        self.clauses.iter().all(|c| c.eval(assignment))
+    }
+
+    /// A uniformly random 3-SAT formula (exactly 3 distinct variables per
+    /// clause), reproducible per seed. Requires `num_vars >= 3`.
+    pub fn random(seed: u64, num_vars: usize, num_clauses: usize) -> Formula {
+        assert!(num_vars >= 3, "need at least 3 variables for 3-literal clauses");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clauses = (0..num_clauses)
+            .map(|_| {
+                let mut vars = Vec::new();
+                while vars.len() < 3 {
+                    let v = rng.gen_range(0..num_vars as u32);
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+                Clause(
+                    vars.into_iter()
+                        .map(|v| {
+                            if rng.gen_bool(0.5) {
+                                Lit::pos(v)
+                            } else {
+                                Lit::neg(v)
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Formula {
+            num_vars,
+            clauses,
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_evaluation() {
+        let a = [true, false];
+        assert!(Lit::pos(0).eval(&a));
+        assert!(!Lit::neg(0).eval(&a));
+        assert!(Lit::neg(1).eval(&a));
+        assert_eq!(Lit::pos(0).negated(), Lit::neg(0));
+    }
+
+    #[test]
+    fn formula_evaluation() {
+        // (x0 ∨ ¬x1) ∧ (x1 ∨ x2)
+        let f = Formula::new(
+            3,
+            vec![
+                Clause(vec![Lit::pos(0), Lit::neg(1)]),
+                Clause(vec![Lit::pos(1), Lit::pos(2)]),
+            ],
+        )
+        .unwrap();
+        assert!(f.eval(&[true, true, false]));
+        assert!(!f.eval(&[false, true, false]));
+    }
+
+    #[test]
+    fn validation_rejects_bad_clauses() {
+        assert!(Formula::new(1, vec![Clause(vec![])]).is_err());
+        assert!(Formula::new(1, vec![Clause(vec![Lit::pos(5)])]).is_err());
+        assert!(Formula::new(1, vec![Clause(vec![Lit::pos(0), Lit::neg(0)])]).is_err());
+    }
+
+    #[test]
+    fn random_formulas_are_reproducible_and_well_formed() {
+        let a = Formula::random(7, 5, 10);
+        let b = Formula::random(7, 5, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.clauses.len(), 10);
+        for c in &a.clauses {
+            assert_eq!(c.0.len(), 3);
+            assert_eq!(c.vars().len(), 3, "distinct variables per clause");
+        }
+    }
+
+    #[test]
+    fn display_renders_readably() {
+        let f = Formula::new(
+            2,
+            vec![Clause(vec![Lit::pos(0), Lit::neg(1)])],
+        )
+        .unwrap();
+        assert_eq!(f.to_string(), "(x0 ∨ ¬x1)");
+    }
+}

@@ -1,0 +1,158 @@
+//! Mechanical verification of the reduction:
+//! `J satisfiable ⟺ SR_J can stabilize`.
+//!
+//! * **Soundness** (`sat ⇒ stable`): DPLL produces an assignment; the
+//!   induced activation schedule drives `SR_J` into a configuration that
+//!   the engine verifies to be a fixed point, and the assignment reads
+//!   back out of it.
+//! * **Completeness** (`unsat ⇒ no stable state`): every orientation of
+//!   the variable gadgets leaves some clause unsatisfied, and the
+//!   schedule driven by *any* assignment ends in a provable cycle. On
+//!   the smallest instances this is additionally confirmed by exhaustive
+//!   reachability search (`ibgp-analysis::explore`).
+
+use crate::dpll;
+use crate::extract::{assignment_from_best, schedule_for};
+use crate::reduction::{reduce, SrInstance};
+use crate::sat::Formula;
+use ibgp_proto::variants::ProtocolConfig;
+use ibgp_sim::SyncEngine;
+use serde::{Deserialize, Serialize};
+
+/// The verdicts of one equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EquivalenceReport {
+    /// DPLL's verdict on `J`.
+    pub satisfiable: bool,
+    /// Whether the routing side agrees (witness found / all orientations
+    /// cycle).
+    pub agrees: bool,
+    /// For satisfiable formulas: whether the assignment read back from
+    /// the stable routing state satisfies `J`.
+    pub round_trip: Option<bool>,
+    /// Orientation schedules tried on the routing side.
+    pub schedules_tried: usize,
+}
+
+impl EquivalenceReport {
+    /// Overall success.
+    pub fn ok(&self) -> bool {
+        self.agrees && self.round_trip.unwrap_or(true)
+    }
+}
+
+/// Check the equivalence on one formula.
+///
+/// For satisfiable `J`, drives `SR_J` with the satisfying assignment's
+/// schedule and demands convergence plus a correct read-back. For
+/// unsatisfiable `J`, drives `SR_J` with **every** assignment's schedule
+/// (`2^n` of them) and demands a provable cycle each time.
+pub fn check_equivalence(formula: &Formula, max_steps: u64) -> EquivalenceReport {
+    let sr = reduce(formula);
+    match dpll::solve(formula) {
+        Some(assignment) => {
+            let (converged, round_trip) = drive(&sr, &assignment, max_steps);
+            EquivalenceReport {
+                satisfiable: true,
+                agrees: converged,
+                round_trip: Some(round_trip),
+                schedules_tried: 1,
+            }
+        }
+        None => {
+            let n = formula.num_vars;
+            let mut tried = 0;
+            let mut all_cycled = true;
+            for bits in 0..(1u64 << n) {
+                let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                tried += 1;
+                let mut schedule = schedule_for(&sr, &assignment);
+                let mut eng =
+                    SyncEngine::new(&sr.topology, ProtocolConfig::STANDARD, sr.exits.clone());
+                let outcome = eng.run(&mut schedule, max_steps);
+                if !outcome.cycled() {
+                    all_cycled = false;
+                    break;
+                }
+            }
+            EquivalenceReport {
+                satisfiable: false,
+                agrees: all_cycled,
+                round_trip: None,
+                schedules_tried: tried,
+            }
+        }
+    }
+}
+
+/// Drive `SR_J` toward `assignment`; return (converged-to-fixed-point,
+/// read-back-satisfies).
+fn drive(sr: &SrInstance, assignment: &[bool], max_steps: u64) -> (bool, bool) {
+    let mut schedule = schedule_for(sr, assignment);
+    let mut eng = SyncEngine::new(&sr.topology, ProtocolConfig::STANDARD, sr.exits.clone());
+    let outcome = eng.run(&mut schedule, max_steps);
+    if !outcome.converged() {
+        return (false, false);
+    }
+    match assignment_from_best(sr, &eng.best_vector()) {
+        Some(a) => {
+            let ok = sr.formula.eval(&a);
+            (true, ok)
+        }
+        None => (true, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::{Clause, Lit};
+
+    fn f(num_vars: usize, clauses: Vec<Vec<Lit>>) -> Formula {
+        Formula::new(num_vars, clauses.into_iter().map(Clause).collect()).unwrap()
+    }
+
+    #[test]
+    fn satisfiable_single_clause() {
+        let formula = f(3, vec![vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)]]);
+        let report = check_equivalence(&formula, 100_000);
+        assert!(report.satisfiable);
+        assert!(report.ok(), "{report:?}");
+    }
+
+    #[test]
+    fn unsat_pair_of_units() {
+        // (x0) ∧ (¬x0): no stable configuration may exist.
+        let formula = f(1, vec![vec![Lit::pos(0)], vec![Lit::neg(0)]]);
+        let report = check_equivalence(&formula, 100_000);
+        assert!(!report.satisfiable);
+        assert!(report.ok(), "{report:?}");
+        assert_eq!(report.schedules_tried, 2);
+    }
+
+    #[test]
+    fn unsat_complete_two_var_enumeration() {
+        let formula = f(
+            2,
+            vec![
+                vec![Lit::pos(0), Lit::pos(1)],
+                vec![Lit::pos(0), Lit::neg(1)],
+                vec![Lit::neg(0), Lit::pos(1)],
+                vec![Lit::neg(0), Lit::neg(1)],
+            ],
+        );
+        let report = check_equivalence(&formula, 200_000);
+        assert!(!report.satisfiable);
+        assert!(report.ok(), "{report:?}");
+        assert_eq!(report.schedules_tried, 4);
+    }
+
+    #[test]
+    fn random_corpus_agrees_with_dpll() {
+        for seed in 0..6 {
+            let formula = Formula::random(seed, 3, 4);
+            let report = check_equivalence(&formula, 200_000);
+            assert!(report.ok(), "seed {seed}: {report:?} for {formula}");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The `level_p(u)` stratification of §7 (Fig 11).
+//!
+//! For an exit path `p` with `exitPoint(p) = v ∈ C_i`, every node `u` gets
+//! a level describing how far `p` must propagate to reach it:
+//!
+//! * `0` — `u = v` (the exit point itself);
+//! * `1` — `u ∈ R_i`, `u ≠ v` (reflectors of the exit's own cluster);
+//! * `2` — `u ∈ N_i`, `u ≠ v` (other clients of the cluster), or
+//!   `u ∈ R_j`, `j ≠ i` (reflectors of other clusters);
+//! * `3` — `u ∈ N_j`, `j ≠ i` (clients of other clusters).
+//!
+//! Lemma 7.1 states that `Transfer_{w→u}` never moves `p` from a
+//! higher-or-equal level to a lower-or-equal one — announcements flow
+//! strictly *down* the level order — which drives both the flush lemma
+//! (7.2) and the propagation lemma (7.3). Our property tests check these
+//! against the implementation in [`crate::transfer`].
+
+use ibgp_topology::Topology;
+use ibgp_types::RouterId;
+
+/// `level_p(u)` where `exit_point = exitPoint(p)`.
+pub fn level(topo: &Topology, exit_point: RouterId, u: RouterId) -> u8 {
+    if u == exit_point {
+        return 0;
+    }
+    let ibgp = topo.ibgp();
+    let same_cluster = ibgp.same_cluster(u, exit_point);
+    match (ibgp.is_reflector(u), same_cluster) {
+        (true, true) => 1,
+        (false, true) => 2,
+        (true, false) => 2,
+        (false, false) => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::transfer_allowed;
+    use ibgp_topology::TopologyBuilder;
+
+    fn r(i: u32) -> RouterId {
+        RouterId::new(i)
+    }
+
+    /// Two clusters: {RR0; clients 1,2} and {RR3, RR4; client 5}.
+    fn topo() -> Topology {
+        TopologyBuilder::new(6)
+            .link(0, 1, 1)
+            .link(1, 2, 1)
+            .link(2, 3, 1)
+            .link(3, 4, 1)
+            .link(4, 5, 1)
+            .cluster([0], [1, 2])
+            .cluster([3, 4], [5])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn levels_match_figure_11() {
+        let t = topo();
+        // Exit at client 1 of cluster 0.
+        let v = r(1);
+        assert_eq!(level(&t, v, r(1)), 0);
+        assert_eq!(level(&t, v, r(0)), 1); // reflector, same cluster
+        assert_eq!(level(&t, v, r(2)), 2); // other client, same cluster
+        assert_eq!(level(&t, v, r(3)), 2); // reflector, other cluster
+        assert_eq!(level(&t, v, r(4)), 2);
+        assert_eq!(level(&t, v, r(5)), 3); // client, other cluster
+    }
+
+    #[test]
+    fn exit_at_reflector_levels() {
+        let t = topo();
+        let v = r(0);
+        assert_eq!(level(&t, v, r(0)), 0);
+        assert_eq!(level(&t, v, r(1)), 2); // client of same cluster
+        assert_eq!(level(&t, v, r(3)), 2); // reflector elsewhere
+        assert_eq!(level(&t, v, r(5)), 3);
+    }
+
+    #[test]
+    fn lemma_7_1_transfers_strictly_decrease_receiving_level() {
+        // If level_p(w) >= level_p(u) ... wait, Lemma 7.1: if
+        // level_p(u) >= level_p(w) then p ∉ Transfer_{u→w}: announcements
+        // only flow from lower-level nodes to higher-level ones.
+        let t = topo();
+        let n = t.len() as u32;
+        for exit in 0..n {
+            for u in 0..n {
+                for w in 0..n {
+                    if u == w {
+                        continue;
+                    }
+                    let (lu, lw) = (level(&t, r(exit), r(u)), level(&t, r(exit), r(w)));
+                    if lu >= lw {
+                        assert!(
+                            !transfer_allowed(&t, r(u), r(w), r(exit)),
+                            "exit {exit}: transfer {u}(lvl {lu}) -> {w}(lvl {lw}) must be blocked"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_level_has_a_lower_level_announcer() {
+        // Lemma 7.3: for every node u with level h > 0 there is some w with
+        // level < h allowed to transfer p to u.
+        let t = topo();
+        let n = t.len() as u32;
+        for exit in 0..n {
+            for u in 0..n {
+                let lu = level(&t, r(exit), r(u));
+                if lu == 0 {
+                    continue;
+                }
+                let found = (0..n).any(|w| {
+                    w != u
+                        && level(&t, r(exit), r(w)) < lu
+                        && transfer_allowed(&t, r(w), r(u), r(exit))
+                });
+                assert!(found, "exit {exit}: node {u} (level {lu}) has no announcer");
+            }
+        }
+    }
+}

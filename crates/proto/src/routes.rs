@@ -1,0 +1,108 @@
+//! Contextualizing exit paths at nodes: the `route(p, u)` function of §4.
+//!
+//! A route's `learnedFrom` attribute depends on *how* the node heard about
+//! the exit path: for E-BGP routes it is the external peer's BGP
+//! identifier; for I-BGP routes it is the announcing I-BGP neighbor's. In
+//! the paper's synchronous model a node may hear the same exit path from
+//! several neighbors in one activation; [`derive_learned_from`] resolves
+//! that deterministically to the minimum announcing identifier (the most
+//! preferred under rule 6, so the choice can never *worsen* a route's
+//! standing and keeps the model deterministic).
+
+use ibgp_topology::Topology;
+use ibgp_types::{BgpId, ExitPathRef, Route, RouterId};
+
+/// Build `route(p, u)`: the exit path `p` as seen from node `u`, with its
+/// IGP metric from the topology's SPF table and the given `learnedFrom`.
+pub fn route_at(topo: &Topology, u: RouterId, p: &ExitPathRef, learned_from: BgpId) -> Route {
+    let igp = topo.igp_cost(u, p.exit_point());
+    Route::new(p.clone(), u, igp, learned_from)
+}
+
+/// Resolve the `learnedFrom` identifier for exit path `p` at node `u`.
+///
+/// * If `u` is the exit point, the route is E-BGP-learned: the external
+///   peer's BGP identifier (from the NEXT-HOP) is used.
+/// * Otherwise the minimum BGP identifier among the I-BGP neighbors that
+///   announced it (`senders`) is used; `None` if nobody announced it.
+pub fn derive_learned_from(
+    topo: &Topology,
+    u: RouterId,
+    p: &ExitPathRef,
+    senders: impl IntoIterator<Item = RouterId>,
+) -> Option<BgpId> {
+    if p.exit_point() == u {
+        return Some(p.next_hop().bgp_id());
+    }
+    senders
+        .into_iter()
+        .map(|v| topo.bgp_id(v))
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibgp_topology::TopologyBuilder;
+    use ibgp_types::{AsId, ExitPath, ExitPathId, IgpCost, NextHop};
+    use std::sync::Arc;
+
+    fn topo() -> Topology {
+        TopologyBuilder::new(3)
+            .link(0, 1, 2)
+            .link(1, 2, 3)
+            .full_mesh()
+            .build()
+            .unwrap()
+    }
+
+    fn path_at(exit_point: u32) -> ExitPathRef {
+        Arc::new(
+            ExitPath::builder(ExitPathId::new(1))
+                .via(AsId::new(1))
+                .exit_point(RouterId::new(exit_point))
+                .exit_cost(IgpCost::new(1))
+                .next_hop(NextHop::new(99, BgpId::new(77)))
+                .build_unchecked(),
+        )
+    }
+
+    #[test]
+    fn route_at_uses_spf_metric() {
+        let t = topo();
+        let p = path_at(2);
+        let r = route_at(&t, RouterId::new(0), &p, BgpId::new(1));
+        // SPF 0->2 = 5, plus exit cost 1.
+        assert_eq!(r.metric(), IgpCost::new(6));
+        assert_eq!(r.node(), RouterId::new(0));
+    }
+
+    #[test]
+    fn learned_from_at_exit_point_is_external_peer() {
+        let t = topo();
+        let p = path_at(0);
+        let lf = derive_learned_from(&t, RouterId::new(0), &p, []).unwrap();
+        assert_eq!(lf, BgpId::new(77));
+    }
+
+    #[test]
+    fn learned_from_over_ibgp_is_min_sender() {
+        let t = topo();
+        let p = path_at(0);
+        let lf = derive_learned_from(
+            &t,
+            RouterId::new(2),
+            &p,
+            [RouterId::new(1), RouterId::new(0)],
+        )
+        .unwrap();
+        assert_eq!(lf, t.bgp_id(RouterId::new(0)));
+    }
+
+    #[test]
+    fn no_senders_means_no_route() {
+        let t = topo();
+        let p = path_at(0);
+        assert_eq!(derive_learned_from(&t, RouterId::new(2), &p, []), None);
+    }
+}

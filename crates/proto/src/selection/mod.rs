@@ -1,0 +1,206 @@
+//! The BGP decision process: `Choose_best` (Fig 6) and `Choose_set`
+//! (Fig 10).
+//!
+//! §2 of the paper lists six selection rules:
+//!
+//! 1. highest LOCAL-PREF (degree of preference);
+//! 2. minimum AS-PATH length;
+//! 3. per-neighboring-AS MED elimination: within each group of routes
+//!    sharing a `nextAS`, only those with that group's minimum MED
+//!    survive — routes through *different* neighbors are never
+//!    MED-compared (the root cause of the oscillations studied);
+//! 4. if E-BGP routes remain, the E-BGP route with minimum IGP metric to
+//!    the NEXT-HOP wins (E-BGP is preferred over I-BGP outright — the
+//!    Cisco/Juniper/Halabi ordering the paper adopts);
+//! 5. otherwise the I-BGP route with minimum metric wins;
+//! 6. remaining ties break on the minimum `learnedFrom` BGP identifier.
+//!
+//! [`RuleOrder::MinCostFirst`] swaps the sense of rules 4/5 to the
+//! RFC 1771 / Stewart ordering (minimum metric first, E-BGP preference
+//! only among metric ties); Fig 1(b) of the paper shows this ordering can
+//! diverge even in fully meshed I-BGP.
+//!
+//! [`choose_set`] is the paper's modification (Fig 10): run rules 1–3
+//! only and return the whole survivor set `S^B`; that set is what modified
+//! routers advertise, and what Lemma 7.4 proves is a fixed point.
+//!
+//! Beyond the paper, selection ends with a deterministic fallback on the
+//! exit-path identity, so that `choose_best` is a total deterministic
+//! function even in configurations where two routes share a `learnedFrom`
+//! (the paper assumes identifiers are unique per route).
+
+mod rules;
+mod trace;
+
+pub use rules::PathAttrs;
+pub use trace::{RuleId, SelectionTrace};
+
+use ibgp_types::Route;
+use serde::{Deserialize, Serialize};
+
+/// How MED values are compared (selection rule 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum MedMode {
+    /// The standard semantics: MEDs are compared only among routes with the
+    /// same `nextAS`.
+    #[default]
+    PerNeighborAs,
+    /// Cisco's `bgp always-compare-med`: MEDs are compared across all
+    /// routes regardless of neighbor — one of the §1 workarounds.
+    AlwaysCompare,
+    /// MEDs are ignored entirely (the "disallow MEDs" guideline).
+    Ignore,
+}
+
+/// The relative order of the E-BGP-preference and IGP-metric rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RuleOrder {
+    /// The paper's ordering (§2, footnote 4): E-BGP routes beat I-BGP
+    /// routes outright; the IGP metric only compares within the preferred
+    /// class. Matches Cisco/Juniper and Halabi.
+    #[default]
+    PreferEbgp,
+    /// The RFC 1771 / Stewart ordering: minimum IGP metric first over all
+    /// routes, E-BGP preferred only among metric ties. §3 shows this
+    /// ordering diverges on Fig 1(b) even without route reflection.
+    MinCostFirst,
+}
+
+/// A complete route-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SelectionPolicy {
+    /// MED comparison semantics.
+    pub med_mode: MedMode,
+    /// Rule 4/5 ordering.
+    pub rule_order: RuleOrder,
+}
+
+impl SelectionPolicy {
+    /// The paper's default policy: per-neighbor MED, E-BGP preferred.
+    pub const PAPER: SelectionPolicy = SelectionPolicy {
+        med_mode: MedMode::PerNeighborAs,
+        rule_order: RuleOrder::PreferEbgp,
+    };
+
+    /// The RFC 1771-style ordering used in Fig 1(b)'s divergence argument.
+    pub const RFC1771: SelectionPolicy = SelectionPolicy {
+        med_mode: MedMode::PerNeighborAs,
+        rule_order: RuleOrder::MinCostFirst,
+    };
+
+    /// `always-compare-med` with the paper's rule ordering.
+    pub const ALWAYS_COMPARE_MED: SelectionPolicy = SelectionPolicy {
+        med_mode: MedMode::AlwaysCompare,
+        rule_order: RuleOrder::PreferEbgp,
+    };
+}
+
+/// Rules 1–3 of the decision process over any attribute-bearing path type:
+/// the `Choose_set` procedure of Fig 10. Returns the survivors in input
+/// order. This is what a modified-protocol router advertises.
+pub fn choose_set<T: PathAttrs + Clone>(paths: &[T], med_mode: MedMode) -> Vec<T> {
+    let mut set: Vec<T> = paths.to_vec();
+    rules::keep_max_local_pref(&mut set);
+    rules::keep_min_as_path_len(&mut set);
+    match med_mode {
+        MedMode::PerNeighborAs => rules::keep_min_med_per_as(&mut set),
+        MedMode::AlwaysCompare => rules::keep_min_med_global(&mut set),
+        MedMode::Ignore => {}
+    }
+    set
+}
+
+/// The full decision process `best_v(S) = Choose_best(v, S)` (Fig 6).
+///
+/// Returns `None` for an empty candidate set. The node context is already
+/// baked into each [`Route`] (its metric and E-BGP/I-BGP kind).
+///
+/// ```
+/// use ibgp_proto::{choose_best, SelectionPolicy};
+/// use ibgp_types::*;
+/// use std::sync::Arc;
+///
+/// // Two routes through the same neighbor AS: the lower MED wins (rule 3)
+/// // even though it is farther away.
+/// let near = Arc::new(ExitPath::builder(ExitPathId::new(1))
+///     .via(AsId::new(7)).med(Med::new(10))
+///     .exit_point(RouterId::new(1)).build_unchecked());
+/// let far = Arc::new(ExitPath::builder(ExitPathId::new(2))
+///     .via(AsId::new(7)).med(Med::new(0))
+///     .exit_point(RouterId::new(2)).build_unchecked());
+/// let at = RouterId::new(0);
+/// let candidates = [
+///     Route::new(near, at, IgpCost::new(1), BgpId::new(1)),
+///     Route::new(far, at, IgpCost::new(9), BgpId::new(2)),
+/// ];
+/// let best = choose_best(SelectionPolicy::PAPER, &candidates).unwrap();
+/// assert_eq!(best.exit_id(), ExitPathId::new(2));
+/// ```
+pub fn choose_best(policy: SelectionPolicy, routes: &[Route]) -> Option<Route> {
+    choose_best_traced(policy, routes).0
+}
+
+/// [`choose_best`] with a per-rule narrowing trace, for debugging and for
+/// tests that pin down *which* rule decided.
+pub fn choose_best_traced(
+    policy: SelectionPolicy,
+    routes: &[Route],
+) -> (Option<Route>, SelectionTrace) {
+    let mut trace = SelectionTrace::new(routes.len());
+    let mut set: Vec<Route> = routes.to_vec();
+    if set.is_empty() {
+        return (None, trace);
+    }
+
+    rules::keep_max_local_pref(&mut set);
+    trace.record(RuleId::LocalPref, set.len());
+
+    rules::keep_min_as_path_len(&mut set);
+    trace.record(RuleId::AsPathLen, set.len());
+
+    match policy.med_mode {
+        MedMode::PerNeighborAs => {
+            rules::keep_min_med_per_as(&mut set);
+            trace.record(RuleId::MedPerAs, set.len());
+        }
+        MedMode::AlwaysCompare => {
+            rules::keep_min_med_global(&mut set);
+            trace.record(RuleId::MedAlways, set.len());
+        }
+        MedMode::Ignore => {}
+    }
+
+    match policy.rule_order {
+        RuleOrder::PreferEbgp => {
+            if set.iter().any(Route::is_ebgp) {
+                set.retain(Route::is_ebgp);
+                trace.record(RuleId::PreferEbgp, set.len());
+            }
+            rules::keep_min_metric(&mut set);
+            trace.record(RuleId::MinMetric, set.len());
+        }
+        RuleOrder::MinCostFirst => {
+            rules::keep_min_metric(&mut set);
+            trace.record(RuleId::MinMetric, set.len());
+            if set.iter().any(Route::is_ebgp) {
+                set.retain(Route::is_ebgp);
+                trace.record(RuleId::PreferEbgp, set.len());
+            }
+        }
+    }
+
+    rules::keep_min_learned_from(&mut set);
+    trace.record(RuleId::TieBreakBgpId, set.len());
+
+    // Deterministic fallback beyond the paper: break any residual tie on
+    // exit-path identity.
+    let winner = set
+        .into_iter()
+        .min_by_key(|r| r.exit_id())
+        .expect("non-empty by construction");
+    trace.record(RuleId::TieBreakExitId, 1);
+    (Some(winner), trace)
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,118 @@
+//! The individual narrowing rules of the decision process.
+//!
+//! Each rule filters a candidate vector in place, preserving input order.
+//! Rules 1–3 are generic over [`PathAttrs`] so they apply both to
+//! [`Route`]s (full `Choose_best`) and to bare exit paths (`Choose_set`,
+//! which runs before any node-specific metric exists).
+
+use ibgp_types::{AsId, ExitPath, ExitPathRef, LocalPref, Med, Route};
+use std::collections::HashMap;
+
+/// The exit-path attributes consulted by rules 1–3.
+pub trait PathAttrs {
+    /// `localPref(p)` — rule 1.
+    fn local_pref(&self) -> LocalPref;
+    /// `AS-path-length(p)` — rule 2.
+    fn as_path_length(&self) -> usize;
+    /// `nextAS(p)` — the MED comparison group of rule 3.
+    fn next_as(&self) -> AsId;
+    /// `MED(p)` — rule 3.
+    fn med(&self) -> Med;
+}
+
+impl PathAttrs for ExitPath {
+    fn local_pref(&self) -> LocalPref {
+        ExitPath::local_pref(self)
+    }
+    fn as_path_length(&self) -> usize {
+        ExitPath::as_path_length(self)
+    }
+    fn next_as(&self) -> AsId {
+        ExitPath::next_as(self)
+    }
+    fn med(&self) -> Med {
+        ExitPath::med(self)
+    }
+}
+
+impl PathAttrs for ExitPathRef {
+    fn local_pref(&self) -> LocalPref {
+        ExitPath::local_pref(self)
+    }
+    fn as_path_length(&self) -> usize {
+        ExitPath::as_path_length(self)
+    }
+    fn next_as(&self) -> AsId {
+        ExitPath::next_as(self)
+    }
+    fn med(&self) -> Med {
+        ExitPath::med(self)
+    }
+}
+
+impl PathAttrs for Route {
+    fn local_pref(&self) -> LocalPref {
+        Route::local_pref(self)
+    }
+    fn as_path_length(&self) -> usize {
+        Route::as_path_length(self)
+    }
+    fn next_as(&self) -> AsId {
+        Route::next_as(self)
+    }
+    fn med(&self) -> Med {
+        Route::med(self)
+    }
+}
+
+/// Rule 1: keep only the routes with the highest degree of preference.
+pub(crate) fn keep_max_local_pref<T: PathAttrs>(set: &mut Vec<T>) {
+    if let Some(best) = set.iter().map(PathAttrs::local_pref).max() {
+        set.retain(|p| p.local_pref() == best);
+    }
+}
+
+/// Rule 2: keep only the routes with the minimum AS-PATH length.
+pub(crate) fn keep_min_as_path_len<T: PathAttrs>(set: &mut Vec<T>) {
+    if let Some(best) = set.iter().map(PathAttrs::as_path_length).min() {
+        set.retain(|p| p.as_path_length() == best);
+    }
+}
+
+/// Rule 3, standard semantics: within each `nextAS` group, keep only the
+/// routes with that group's minimum MED. Routes through different
+/// neighboring ASes are not compared — several groups survive side by
+/// side, which is exactly how a route's presence can "hide" another.
+pub(crate) fn keep_min_med_per_as<T: PathAttrs>(set: &mut Vec<T>) {
+    let mut group_min: HashMap<AsId, Med> = HashMap::new();
+    for p in set.iter() {
+        group_min
+            .entry(p.next_as())
+            .and_modify(|m| *m = (*m).min(p.med()))
+            .or_insert_with(|| p.med());
+    }
+    set.retain(|p| p.med() == group_min[&p.next_as()]);
+}
+
+/// Rule 3, `always-compare-med`: keep the global minimum MED regardless of
+/// neighbor.
+pub(crate) fn keep_min_med_global<T: PathAttrs>(set: &mut Vec<T>) {
+    if let Some(best) = set.iter().map(PathAttrs::med).min() {
+        set.retain(|p| p.med() == best);
+    }
+}
+
+/// Rules 4/5 metric comparison: keep only the minimum-metric routes
+/// (IGP cost to the exit point plus exit cost).
+pub(crate) fn keep_min_metric(set: &mut Vec<Route>) {
+    if let Some(best) = set.iter().map(Route::metric).min() {
+        set.retain(|r| r.metric() == best);
+    }
+}
+
+/// Rule 6: keep only the routes learned from the minimum BGP identifier.
+pub(crate) fn keep_min_learned_from(set: &mut Vec<Route>) {
+    if let Some(best) = set.iter().map(Route::learned_from).min() {
+        set.retain(|r| r.learned_from() == best);
+    }
+}

@@ -1,0 +1,246 @@
+use super::*;
+use ibgp_types::{
+    AsId, BgpId, ExitPath, ExitPathId, ExitPathRef, IgpCost, LocalPref, Med, Route, RouterId,
+};
+use std::sync::Arc;
+
+/// Handy exit-path factory: id, neighbor AS, MED, exit point.
+fn exit(id: u32, next_as: u32, med: u32, exit_point: u32) -> ExitPathRef {
+    Arc::new(
+        ExitPath::builder(ExitPathId::new(id))
+            .via(AsId::new(next_as))
+            .med(Med::new(med))
+            .exit_point(RouterId::new(exit_point))
+            .build_unchecked(),
+    )
+}
+
+/// Route at `node` with the given IGP cost and learnedFrom id.
+fn route(p: &ExitPathRef, node: u32, igp: u64, from: u32) -> Route {
+    Route::new(
+        p.clone(),
+        RouterId::new(node),
+        IgpCost::new(igp),
+        BgpId::new(from),
+    )
+}
+
+#[test]
+fn empty_set_selects_nothing() {
+    let (best, trace) = choose_best_traced(SelectionPolicy::PAPER, &[]);
+    assert!(best.is_none());
+    assert_eq!(trace.initial(), 0);
+}
+
+#[test]
+fn singleton_is_selected() {
+    let p = exit(1, 1, 0, 5);
+    let r = route(&p, 0, 3, 9);
+    assert_eq!(choose_best(SelectionPolicy::PAPER, &[r.clone()]), Some(r));
+}
+
+#[test]
+fn rule1_highest_local_pref_wins() {
+    let hi = Arc::new(
+        ExitPath::builder(ExitPathId::new(1))
+            .via(AsId::new(1))
+            .local_pref(LocalPref::new(200))
+            .exit_point(RouterId::new(1))
+            .build_unchecked(),
+    );
+    let lo = exit(2, 2, 0, 2); // default LOCAL-PREF 100, otherwise better
+    let candidates = [route(&hi, 0, 100, 2), route(&lo, 0, 1, 1)];
+    let (best, trace) = choose_best_traced(SelectionPolicy::PAPER, &candidates);
+    assert_eq!(best.unwrap().exit_id(), ExitPathId::new(1));
+    assert_eq!(trace.deciding_rule(), Some(RuleId::LocalPref));
+}
+
+#[test]
+fn rule2_shorter_as_path_wins() {
+    let short = exit(1, 1, 0, 1);
+    let long = Arc::new(
+        ExitPath::builder(ExitPathId::new(2))
+            .via_with_length(AsId::new(2), 3)
+            .exit_point(RouterId::new(2))
+            .build_unchecked(),
+    );
+    let candidates = [route(&long, 0, 1, 1), route(&short, 0, 100, 2)];
+    let (best, trace) = choose_best_traced(SelectionPolicy::PAPER, &candidates);
+    assert_eq!(best.unwrap().exit_id(), ExitPathId::new(1));
+    assert_eq!(trace.deciding_rule(), Some(RuleId::AsPathLen));
+}
+
+#[test]
+fn rule3_med_compared_within_same_neighbor_only() {
+    // Same neighbor AS1: med 5 eliminates med 10. Different neighbor AS2
+    // with med 99 survives rule 3 untouched.
+    let a = exit(1, 1, 5, 1);
+    let b = exit(2, 1, 10, 2);
+    let c = exit(3, 2, 99, 3);
+    let survivors = choose_set(
+        &[route(&a, 0, 1, 1), route(&b, 0, 1, 2), route(&c, 0, 1, 3)],
+        MedMode::PerNeighborAs,
+    );
+    let ids: Vec<_> = survivors.iter().map(Route::exit_id).collect();
+    assert_eq!(ids, vec![ExitPathId::new(1), ExitPathId::new(3)]);
+}
+
+#[test]
+fn rule3_always_compare_med_crosses_neighbors() {
+    let a = exit(1, 1, 5, 1);
+    let c = exit(3, 2, 99, 3);
+    let survivors = choose_set(
+        &[route(&a, 0, 1, 1), route(&c, 0, 1, 3)],
+        MedMode::AlwaysCompare,
+    );
+    let ids: Vec<_> = survivors.iter().map(Route::exit_id).collect();
+    assert_eq!(ids, vec![ExitPathId::new(1)]);
+}
+
+#[test]
+fn med_ignore_keeps_everything() {
+    let a = exit(1, 1, 5, 1);
+    let b = exit(2, 1, 10, 2);
+    let survivors = choose_set(&[route(&a, 0, 1, 1), route(&b, 0, 1, 2)], MedMode::Ignore);
+    assert_eq!(survivors.len(), 2);
+}
+
+#[test]
+fn rule4_paper_order_prefers_ebgp_even_when_farther() {
+    // Node 0 holds its own exit (E-BGP, metric 0 + exit cost 0) and a
+    // much closer... wait, an I-BGP route can't be closer than 0; use a
+    // nonzero exit cost to make the E-BGP route *more expensive*.
+    let own = Arc::new(
+        ExitPath::builder(ExitPathId::new(1))
+            .via(AsId::new(1))
+            .exit_point(RouterId::new(0))
+            .exit_cost(IgpCost::new(50))
+            .build_unchecked(),
+    );
+    let remote = exit(2, 2, 0, 7);
+    let candidates = [route(&own, 0, 0, 1), route(&remote, 0, 3, 2)];
+    let (best, trace) = choose_best_traced(SelectionPolicy::PAPER, &candidates);
+    // Paper order: E-BGP (metric 50) beats I-BGP (metric 3).
+    assert_eq!(best.unwrap().exit_id(), ExitPathId::new(1));
+    assert_eq!(trace.deciding_rule(), Some(RuleId::PreferEbgp));
+
+    // RFC 1771 order: metric first, so the I-BGP route wins.
+    let best = choose_best(SelectionPolicy::RFC1771, &candidates).unwrap();
+    assert_eq!(best.exit_id(), ExitPathId::new(2));
+}
+
+#[test]
+fn rule5_min_metric_among_ibgp() {
+    let far = exit(1, 1, 0, 5);
+    let near = exit(2, 2, 0, 6);
+    let candidates = [route(&far, 0, 10, 1), route(&near, 0, 2, 2)];
+    let (best, trace) = choose_best_traced(SelectionPolicy::PAPER, &candidates);
+    assert_eq!(best.unwrap().exit_id(), ExitPathId::new(2));
+    assert_eq!(trace.deciding_rule(), Some(RuleId::MinMetric));
+}
+
+#[test]
+fn rfc_order_prefers_ebgp_among_metric_ties() {
+    let own = Arc::new(
+        ExitPath::builder(ExitPathId::new(1))
+            .via(AsId::new(1))
+            .exit_point(RouterId::new(0))
+            .exit_cost(IgpCost::new(4))
+            .build_unchecked(),
+    );
+    let remote = exit(2, 2, 0, 7);
+    // Both metric 4.
+    let candidates = [route(&remote, 0, 4, 1), route(&own, 0, 0, 2)];
+    let best = choose_best(SelectionPolicy::RFC1771, &candidates).unwrap();
+    assert_eq!(best.exit_id(), ExitPathId::new(1));
+}
+
+#[test]
+fn rule6_min_learned_from_breaks_ties() {
+    let a = exit(1, 1, 0, 5);
+    let b = exit(2, 2, 0, 6);
+    let candidates = [route(&a, 0, 3, 9), route(&b, 0, 3, 4)];
+    let (best, trace) = choose_best_traced(SelectionPolicy::PAPER, &candidates);
+    assert_eq!(best.unwrap().exit_id(), ExitPathId::new(2));
+    assert_eq!(trace.deciding_rule(), Some(RuleId::TieBreakBgpId));
+}
+
+#[test]
+fn fallback_breaks_total_ties_on_exit_id() {
+    let a = exit(7, 1, 0, 5);
+    let b = exit(3, 2, 0, 6);
+    // Identical attrs, metric, learnedFrom.
+    let candidates = [route(&a, 0, 3, 4), route(&b, 0, 3, 4)];
+    let best = choose_best(SelectionPolicy::PAPER, &candidates).unwrap();
+    assert_eq!(best.exit_id(), ExitPathId::new(3));
+}
+
+#[test]
+fn selection_is_deterministic_under_permutation() {
+    let a = exit(1, 1, 3, 5);
+    let b = exit(2, 1, 3, 6);
+    let c = exit(3, 2, 0, 7);
+    let rs = [route(&a, 0, 5, 1), route(&b, 0, 2, 2), route(&c, 0, 9, 3)];
+    let forward = choose_best(SelectionPolicy::PAPER, &rs);
+    let mut rev = rs.to_vec();
+    rev.reverse();
+    assert_eq!(forward, choose_best(SelectionPolicy::PAPER, &rev));
+}
+
+#[test]
+fn chosen_route_is_a_member_of_the_input() {
+    let a = exit(1, 1, 3, 5);
+    let b = exit(2, 2, 1, 6);
+    let rs = [route(&a, 0, 5, 1), route(&b, 0, 2, 2)];
+    let best = choose_best(SelectionPolicy::PAPER, &rs).unwrap();
+    assert!(rs.contains(&best));
+}
+
+#[test]
+fn choose_set_works_on_bare_exit_paths() {
+    let a = exit(1, 1, 5, 1);
+    let b = exit(2, 1, 9, 2);
+    let c = exit(3, 2, 7, 3);
+    let survivors = choose_set(&[a, b, c], MedMode::PerNeighborAs);
+    let ids: Vec<_> = survivors.iter().map(|p| p.id()).collect();
+    assert_eq!(ids, vec![ExitPathId::new(1), ExitPathId::new(3)]);
+}
+
+#[test]
+fn choose_set_is_idempotent() {
+    let paths = vec![exit(1, 1, 5, 1), exit(2, 1, 9, 2), exit(3, 2, 7, 3)];
+    let once = choose_set(&paths, MedMode::PerNeighborAs);
+    let twice = choose_set(&once, MedMode::PerNeighborAs);
+    assert_eq!(once, twice);
+}
+
+#[test]
+fn choose_set_monotone_under_superset_containing_survivors() {
+    // Lemma 7.4 in miniature: if S' ⊆ P ⊆ S then Choose_set(P) = S'.
+    let s: Vec<_> = vec![
+        exit(1, 1, 5, 1),
+        exit(2, 1, 9, 2),
+        exit(3, 2, 7, 3),
+        exit(4, 2, 8, 4),
+    ];
+    let s_prime = choose_set(&s, MedMode::PerNeighborAs);
+    // P = S' plus one eliminated path.
+    let mut p = s_prime.clone();
+    p.push(s[1].clone());
+    let again = choose_set(&p, MedMode::PerNeighborAs);
+    let mut lhs: Vec<_> = again.iter().map(|x| x.id()).collect();
+    let mut rhs: Vec<_> = s_prime.iter().map(|x| x.id()).collect();
+    lhs.sort();
+    rhs.sort();
+    assert_eq!(lhs, rhs);
+}
+
+#[test]
+fn trace_display_is_readable() {
+    let a = exit(1, 1, 0, 5);
+    let b = exit(2, 2, 0, 6);
+    let (_, trace) = choose_best_traced(SelectionPolicy::PAPER, &[route(&a, 0, 3, 9), route(&b, 0, 1, 4)]);
+    let s = trace.to_string();
+    assert!(s.starts_with("2 -[local-pref]-> 2"), "{s}");
+    assert!(s.contains("min-metric"), "{s}");
+}

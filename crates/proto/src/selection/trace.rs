@@ -1,0 +1,129 @@
+//! Per-rule narrowing traces for `Choose_best`.
+//!
+//! A trace records, after each applied rule, how many candidates remained.
+//! Tests use it to pin down *which* rule decided a selection (e.g. "Fig 1(a)
+//! reflector A picks r1 over r3 on the IGP metric, not on MED"), and it is
+//! invaluable when debugging scenario constructions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a narrowing rule, in the vocabulary of §2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuleId {
+    /// Rule 1: highest LOCAL-PREF.
+    LocalPref,
+    /// Rule 2: minimum AS-PATH length.
+    AsPathLen,
+    /// Rule 3 (standard): per-neighbor-AS MED elimination.
+    MedPerAs,
+    /// Rule 3 (`always-compare-med`): global MED elimination.
+    MedAlways,
+    /// Rule 4: restriction to E-BGP routes.
+    PreferEbgp,
+    /// Rules 4/5: minimum IGP metric.
+    MinMetric,
+    /// Rule 6: minimum `learnedFrom` BGP identifier.
+    TieBreakBgpId,
+    /// Implementation fallback: minimum exit-path id.
+    TieBreakExitId,
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RuleId::LocalPref => "local-pref",
+            RuleId::AsPathLen => "as-path-length",
+            RuleId::MedPerAs => "med-per-as",
+            RuleId::MedAlways => "med-always",
+            RuleId::PreferEbgp => "prefer-ebgp",
+            RuleId::MinMetric => "min-metric",
+            RuleId::TieBreakBgpId => "bgp-id",
+            RuleId::TieBreakExitId => "exit-id",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The narrowing history of one `Choose_best` invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectionTrace {
+    initial: usize,
+    steps: Vec<(RuleId, usize)>,
+}
+
+impl SelectionTrace {
+    pub(crate) fn new(initial: usize) -> Self {
+        Self {
+            initial,
+            steps: Vec::new(),
+        }
+    }
+
+    pub(crate) fn record(&mut self, rule: RuleId, remaining: usize) {
+        self.steps.push((rule, remaining));
+    }
+
+    /// Number of candidates before any rule ran.
+    pub fn initial(&self) -> usize {
+        self.initial
+    }
+
+    /// The `(rule, remaining-candidates)` steps in application order.
+    pub fn steps(&self) -> &[(RuleId, usize)] {
+        &self.steps
+    }
+
+    /// The first rule that reduced the candidate set to a single route —
+    /// the rule that "decided" — if any rule did.
+    pub fn deciding_rule(&self) -> Option<RuleId> {
+        let mut prev = self.initial;
+        for &(rule, remaining) in &self.steps {
+            if remaining == 1 && prev > 1 {
+                return Some(rule);
+            }
+            prev = remaining;
+        }
+        None
+    }
+}
+
+impl fmt::Display for SelectionTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.initial)?;
+        for (rule, remaining) in &self.steps {
+            write!(f, " -[{rule}]-> {remaining}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deciding_rule_finds_first_singleton() {
+        let mut t = SelectionTrace::new(4);
+        t.record(RuleId::LocalPref, 3);
+        t.record(RuleId::AsPathLen, 3);
+        t.record(RuleId::MedPerAs, 1);
+        t.record(RuleId::MinMetric, 1);
+        assert_eq!(t.deciding_rule(), Some(RuleId::MedPerAs));
+    }
+
+    #[test]
+    fn deciding_rule_none_when_started_singleton() {
+        let mut t = SelectionTrace::new(1);
+        t.record(RuleId::LocalPref, 1);
+        assert_eq!(t.deciding_rule(), None);
+    }
+
+    #[test]
+    fn display_shows_narrowing_chain() {
+        let mut t = SelectionTrace::new(2);
+        t.record(RuleId::LocalPref, 2);
+        t.record(RuleId::MinMetric, 1);
+        assert_eq!(t.to_string(), "2 -[local-pref]-> 2 -[min-metric]-> 1");
+    }
+}

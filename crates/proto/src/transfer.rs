@@ -1,0 +1,215 @@
+//! The `Transfer_{v→u}` announcement relation (§4).
+//!
+//! For a set `P` of exit paths known at `v`, `Transfer_{v→u}(P)` is the
+//! subset `v` is allowed to announce to `u`. `p ∈ Transfer_{v→u}(P)` iff
+//! `vu ∈ E_I` and one of:
+//!
+//! 1. `exitPoint(p) = v` — `v` learned the route over E-BGP itself;
+//! 2. `v ∈ R_i`, `u ∈ R_j`, `i ≠ j`, and `exitPoint(p) ∈ N_i` — reflectors
+//!    pass routes originated by *their own clients* to other reflectors;
+//! 3. `v ∈ R_i`, `u ∈ N_i`, and `exitPoint(p) ≠ u` — reflectors pass
+//!    everything to their clients, except routes the client itself
+//!    originated (loop prevention).
+//!
+//! These three cases encode standard route-reflector behaviour on the
+//! paper's exit-path abstraction: a client announces only its own E-BGP
+//! routes; a reflector reflects client routes everywhere and non-client
+//! routes only downward.
+
+use ibgp_topology::Topology;
+use ibgp_types::{ExitPathRef, RouterId};
+
+/// Whether `v` may announce exit path `p` to `u` (given `vu ∈ E_I`).
+pub fn transfer_allowed(
+    topo: &Topology,
+    v: RouterId,
+    u: RouterId,
+    exit_point: RouterId,
+) -> bool {
+    if v == u || !topo.ibgp().is_session(v, u) {
+        return false;
+    }
+    // Case 1: v's own E-BGP route.
+    if exit_point == v {
+        return true;
+    }
+    let ibgp = topo.ibgp();
+    let v_is_reflector = ibgp.is_reflector(v);
+    // Case 2: reflector -> reflector in a different cluster, route
+    // originated by one of v's clients.
+    if v_is_reflector
+        && ibgp.is_reflector(u)
+        && !ibgp.same_cluster(v, u)
+        && ibgp.is_client(exit_point)
+        && ibgp.same_cluster(exit_point, v)
+    {
+        return true;
+    }
+    // Case 3: reflector -> its own client, any route not originated by
+    // that client.
+    if v_is_reflector && ibgp.is_client(u) && ibgp.same_cluster(v, u) && exit_point != u {
+        return true;
+    }
+    false
+}
+
+/// `Transfer_{v→u}(P)`: filter an advertised set down to what `u` may
+/// receive from `v`. Preserves input order.
+pub fn transfer_set(
+    topo: &Topology,
+    v: RouterId,
+    u: RouterId,
+    paths: &[ExitPathRef],
+) -> Vec<ExitPathRef> {
+    paths
+        .iter()
+        .filter(|p| transfer_allowed(topo, v, u, p.exit_point()))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibgp_topology::TopologyBuilder;
+    use ibgp_types::{AsId, ExitPath, ExitPathId};
+    use std::sync::Arc;
+
+    fn r(i: u32) -> RouterId {
+        RouterId::new(i)
+    }
+
+    /// Two clusters: {RR0; clients 1,2} and {RR3; client 4}; ring topology
+    /// for physical connectivity.
+    fn topo() -> Topology {
+        TopologyBuilder::new(5)
+            .link(0, 1, 1)
+            .link(1, 2, 1)
+            .link(2, 3, 1)
+            .link(3, 4, 1)
+            .cluster([0], [1, 2])
+            .cluster([3], [4])
+            .build()
+            .unwrap()
+    }
+
+    fn path(id: u32, exit_point: u32) -> ExitPathRef {
+        Arc::new(
+            ExitPath::builder(ExitPathId::new(id))
+                .via(AsId::new(1))
+                .exit_point(r(exit_point))
+                .build_unchecked(),
+        )
+    }
+
+    #[test]
+    fn case1_own_exit_goes_to_any_peer() {
+        let t = topo();
+        // Client 1 announces its own exit to its reflector 0.
+        assert!(transfer_allowed(&t, r(1), r(0), r(1)));
+        // Reflector 0 announces its own exit to reflector 3 and client 1.
+        assert!(transfer_allowed(&t, r(0), r(3), r(0)));
+        assert!(transfer_allowed(&t, r(0), r(1), r(0)));
+    }
+
+    #[test]
+    fn no_transfer_without_session() {
+        let t = topo();
+        // Clients 1 and 4 are in different clusters: no session, no transfer.
+        assert!(!transfer_allowed(&t, r(1), r(4), r(1)));
+        // Client 1 to foreign reflector 3: no session.
+        assert!(!transfer_allowed(&t, r(1), r(3), r(1)));
+    }
+
+    #[test]
+    fn client_does_not_forward_foreign_exits() {
+        let t = topo();
+        // Client 1 knows an exit at reflector 0 but must not re-announce it.
+        assert!(!transfer_allowed(&t, r(1), r(0), r(0)));
+    }
+
+    #[test]
+    fn case2_reflector_passes_client_routes_to_other_reflectors() {
+        let t = topo();
+        // RR0 passes client 1's exit to RR3.
+        assert!(transfer_allowed(&t, r(0), r(3), r(1)));
+        // But not an exit originated at the *other* reflector (non-client).
+        assert!(!transfer_allowed(&t, r(0), r(3), r(3)));
+        // Nor a client of the destination's own cluster (4 is RR3's client).
+        assert!(!transfer_allowed(&t, r(0), r(3), r(4)));
+    }
+
+    #[test]
+    fn case3_reflector_passes_everything_to_clients_except_their_own() {
+        let t = topo();
+        // RR0 -> client 1: exits from RR3, client 4, client 2 all pass.
+        assert!(transfer_allowed(&t, r(0), r(1), r(3)));
+        assert!(transfer_allowed(&t, r(0), r(1), r(4)));
+        assert!(transfer_allowed(&t, r(0), r(1), r(2)));
+        // ...but not the client's own exit (loop prevention).
+        assert!(!transfer_allowed(&t, r(0), r(1), r(1)));
+    }
+
+    #[test]
+    fn reflector_does_not_pass_nonclient_routes_sideways() {
+        let t = topo();
+        // RR0 heard RR3's client-4 exit; it must not reflect it to RR3
+        // (nor could it: case 2 requires the exit to be RR0's client).
+        assert!(!transfer_allowed(&t, r(0), r(3), r(4)));
+    }
+
+    #[test]
+    fn transfer_set_filters_and_preserves_order() {
+        let t = topo();
+        let paths = vec![path(1, 0), path(2, 1), path(3, 4)];
+        // RR0 -> RR3: own exit (case 1) + client exit (case 2); p3 (exit at
+        // RR3's client) is dropped.
+        let out = transfer_set(&t, r(0), r(3), &paths);
+        let ids: Vec<_> = out.iter().map(|p| p.id().raw()).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn full_mesh_transfers_only_own_exits() {
+        let t = TopologyBuilder::new(3)
+            .link(0, 1, 1)
+            .link(1, 2, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        assert!(transfer_allowed(&t, r(0), r(1), r(0)));
+        // In a full mesh every node is a reflector with no clients: learned
+        // routes are never forwarded (classic I-BGP no-re-advertise rule).
+        assert!(!transfer_allowed(&t, r(0), r(1), r(2)));
+    }
+
+    #[test]
+    fn intra_cluster_client_sessions_carry_only_own_exits() {
+        let t = TopologyBuilder::new(3)
+            .link(0, 1, 1)
+            .link(1, 2, 1)
+            .cluster([0], [1, 2])
+            .client_session(1, 2)
+            .build()
+            .unwrap();
+        assert!(transfer_allowed(&t, r(1), r(2), r(1)));
+        assert!(!transfer_allowed(&t, r(1), r(2), r(0)));
+    }
+
+    #[test]
+    fn multi_reflector_cluster_reflects_between_own_reflectors_nothing_special() {
+        // Two reflectors in ONE cluster: case 2 requires different clusters,
+        // so between them only case 1 applies.
+        let t = TopologyBuilder::new(3)
+            .link(0, 1, 1)
+            .link(1, 2, 1)
+            .cluster([0, 1], [2])
+            .build()
+            .unwrap();
+        assert!(transfer_allowed(&t, r(0), r(1), r(0)));
+        assert!(!transfer_allowed(&t, r(0), r(1), r(2)));
+        // Both reflectors serve the client.
+        assert!(transfer_allowed(&t, r(0), r(2), r(1)));
+        assert!(transfer_allowed(&t, r(1), r(2), r(0)));
+    }
+}

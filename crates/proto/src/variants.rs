@@ -1,0 +1,116 @@
+//! Protocol variants: which advertisement discipline a router follows.
+//!
+//! All variants share the same `Transfer` announcement constraints and the
+//! same final best-route computation; they differ in **what set of exit
+//! paths a router offers its peers**:
+//!
+//! * [`ProtocolVariant::Standard`] — classic I-BGP: the single best
+//!   route's exit path.
+//! * [`ProtocolVariant::Walton`] — the Walton et al. proposal (§8): a
+//!   reflector advertises, for each neighboring AS, its best route through
+//!   that AS, provided it matches the overall best route's LOCAL-PREF and
+//!   AS-PATH length. Shown insufficient by the paper (Fig 13).
+//! * [`ProtocolVariant::Modified`] — the paper's contribution (§6): the
+//!   whole `Choose_set` survivor set (rules 1–3), which provably makes the
+//!   protocol converge to a unique fixed point.
+//!
+//! The selection policy (MED mode, rule order) is carried alongside so a
+//! variant can be combined with e.g. `always-compare-med`.
+
+use crate::selection::SelectionPolicy;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The advertisement discipline of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ProtocolVariant {
+    /// Classic I-BGP with route reflection: advertise only the best route.
+    #[default]
+    Standard,
+    /// Walton et al.: reflectors advertise the per-neighbor-AS best-route
+    /// vector (clients behave classically).
+    Walton,
+    /// The paper's modified protocol: advertise all `Choose_set` survivors.
+    Modified,
+}
+
+impl ProtocolVariant {
+    /// All variants, for sweep-style experiments.
+    pub const ALL: [ProtocolVariant; 3] = [
+        ProtocolVariant::Standard,
+        ProtocolVariant::Walton,
+        ProtocolVariant::Modified,
+    ];
+}
+
+impl fmt::Display for ProtocolVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProtocolVariant::Standard => "standard",
+            ProtocolVariant::Walton => "walton",
+            ProtocolVariant::Modified => "modified",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A full protocol configuration: variant plus selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// The advertisement discipline.
+    pub variant: ProtocolVariant,
+    /// The route-selection policy.
+    pub policy: SelectionPolicy,
+}
+
+impl ProtocolConfig {
+    /// Standard I-BGP under the paper's selection policy.
+    pub const STANDARD: ProtocolConfig = ProtocolConfig {
+        variant: ProtocolVariant::Standard,
+        policy: SelectionPolicy::PAPER,
+    };
+
+    /// The Walton et al. baseline under the paper's selection policy.
+    pub const WALTON: ProtocolConfig = ProtocolConfig {
+        variant: ProtocolVariant::Walton,
+        policy: SelectionPolicy::PAPER,
+    };
+
+    /// The paper's modified protocol under its selection policy.
+    pub const MODIFIED: ProtocolConfig = ProtocolConfig {
+        variant: ProtocolVariant::Modified,
+        policy: SelectionPolicy::PAPER,
+    };
+}
+
+impl fmt::Display for ProtocolConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.variant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ProtocolVariant::Standard.to_string(), "standard");
+        assert_eq!(ProtocolVariant::Walton.to_string(), "walton");
+        assert_eq!(ProtocolVariant::Modified.to_string(), "modified");
+    }
+
+    #[test]
+    fn all_lists_each_variant_once() {
+        assert_eq!(ProtocolVariant::ALL.len(), 3);
+        let mut v = ProtocolVariant::ALL.to_vec();
+        v.dedup();
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn presets_use_paper_policy() {
+        assert_eq!(ProtocolConfig::STANDARD.policy, SelectionPolicy::PAPER);
+        assert_eq!(ProtocolConfig::MODIFIED.variant, ProtocolVariant::Modified);
+    }
+}

@@ -1,0 +1,130 @@
+//! The Walton et al. advertisement vector (§8).
+//!
+//! Under this proposal, a route reflector computes — for each neighboring
+//! AS it has a route through — its best route through that AS, and
+//! advertises it alongside (or instead of) the single overall best,
+//! provided it has the same LOCAL-PREF and AS-PATH length as the overall
+//! best route. With `m` neighboring ASes a reflector announces at most `m`
+//! routes.
+//!
+//! §8 of the paper exhibits a configuration (Fig 13) where this still
+//! oscillates persistently, and a routing-loop configuration (Fig 14) it
+//! does not repair, motivating the stronger `Choose_set` advertisement.
+
+use crate::selection::{choose_best, SelectionPolicy};
+use ibgp_types::{AsId, ExitPathRef, Route};
+use std::collections::BTreeMap;
+
+/// Compute the set of exit paths a Walton-modified reflector advertises,
+/// given the routes it currently considers (its `PossibleExits`
+/// contextualized at the node).
+///
+/// Returns the union over neighboring ASes of the best route through that
+/// AS, filtered to those matching the overall best route's LOCAL-PREF and
+/// AS-PATH length; sorted by exit-path id for determinism. Empty input
+/// yields an empty advertisement.
+pub fn walton_advertised_set(policy: SelectionPolicy, routes: &[Route]) -> Vec<ExitPathRef> {
+    let Some(overall) = choose_best(policy, routes) else {
+        return Vec::new();
+    };
+    let mut groups: BTreeMap<AsId, Vec<Route>> = BTreeMap::new();
+    for r in routes {
+        groups.entry(r.next_as()).or_default().push(r.clone());
+    }
+    let mut out: Vec<ExitPathRef> = Vec::new();
+    for (_as_id, group) in groups {
+        let Some(best) = choose_best(policy, &group) else {
+            continue;
+        };
+        if best.local_pref() == overall.local_pref()
+            && best.as_path_length() == overall.as_path_length()
+        {
+            out.push(best.exit().clone());
+        }
+    }
+    out.sort_by_key(|p| p.id());
+    out.dedup_by_key(|p| p.id());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibgp_types::{BgpId, ExitPath, ExitPathId, IgpCost, LocalPref, Med, RouterId};
+    use std::sync::Arc;
+
+    fn exit(id: u32, next_as: u32, med: u32, lp: u32, len: usize) -> ExitPathRef {
+        Arc::new(
+            ExitPath::builder(ExitPathId::new(id))
+                .via_with_length(AsId::new(next_as), len)
+                .med(Med::new(med))
+                .local_pref(LocalPref::new(lp))
+                .exit_point(RouterId::new(id))
+                .build_unchecked(),
+        )
+    }
+
+    fn route(p: &ExitPathRef, igp: u64) -> Route {
+        Route::new(p.clone(), RouterId::new(99), IgpCost::new(igp), BgpId::new(p.id().raw()))
+    }
+
+    #[test]
+    fn one_route_per_neighbor_as() {
+        // AS1: two routes, meds 5 and 10 -> best is med 5.
+        // AS2: one route.
+        let a = exit(1, 1, 5, 100, 1);
+        let b = exit(2, 1, 10, 100, 1);
+        let c = exit(3, 2, 0, 100, 1);
+        let routes = [route(&a, 10), route(&b, 1), route(&c, 5)];
+        let adv = walton_advertised_set(SelectionPolicy::PAPER, &routes);
+        let ids: Vec<_> = adv.iter().map(|p| p.id().raw()).collect();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn per_as_bests_with_worse_local_pref_are_suppressed() {
+        let a = exit(1, 1, 0, 200, 1); // overall best (higher LOCAL-PREF)
+        let b = exit(2, 2, 0, 100, 1); // AS2's best, but lower LOCAL-PREF
+        let routes = [route(&a, 10), route(&b, 1)];
+        let adv = walton_advertised_set(SelectionPolicy::PAPER, &routes);
+        let ids: Vec<_> = adv.iter().map(|p| p.id().raw()).collect();
+        assert_eq!(ids, vec![1]);
+    }
+
+    #[test]
+    fn per_as_bests_with_longer_paths_are_suppressed() {
+        let a = exit(1, 1, 0, 100, 1);
+        let b = exit(2, 2, 0, 100, 2); // longer AS-PATH
+        let routes = [route(&a, 10), route(&b, 1)];
+        let adv = walton_advertised_set(SelectionPolicy::PAPER, &routes);
+        let ids: Vec<_> = adv.iter().map(|p| p.id().raw()).collect();
+        assert_eq!(ids, vec![1]);
+    }
+
+    #[test]
+    fn single_neighbor_as_degenerates_to_classical_behaviour() {
+        // With one neighboring AS the vector is exactly {overall best} —
+        // the reason Walton cannot help on Fig 2 (§3).
+        let a = exit(1, 1, 0, 100, 1);
+        let b = exit(2, 1, 0, 100, 1);
+        let routes = [route(&a, 5), route(&b, 1)];
+        let adv = walton_advertised_set(SelectionPolicy::PAPER, &routes);
+        assert_eq!(adv.len(), 1);
+        assert_eq!(adv[0].id().raw(), 2); // min metric
+    }
+
+    #[test]
+    fn empty_input_advertises_nothing() {
+        assert!(walton_advertised_set(SelectionPolicy::PAPER, &[]).is_empty());
+    }
+
+    #[test]
+    fn output_is_sorted_and_deduped() {
+        let a = exit(5, 1, 0, 100, 1);
+        let b = exit(3, 2, 0, 100, 1);
+        let routes = [route(&a, 1), route(&b, 1)];
+        let adv = walton_advertised_set(SelectionPolicy::PAPER, &routes);
+        let ids: Vec<_> = adv.iter().map(|p| p.id().raw()).collect();
+        assert_eq!(ids, vec![3, 5]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Search for the Fig 13 reconstruction: a configuration that
+//! persistently oscillates under the Walton et al. vector advertisement
+//! (no reachable stable state — verified by exhaustive search) while the
+//! paper's modified protocol converges.
+//!
+//! Usage: `cargo run --release -p ibgp-scenarios --example find_fig13 [seeds]`
+
+use ibgp_analysis::explore;
+use ibgp_proto::variants::ProtocolConfig;
+use ibgp_topology::TopologyBuilder;
+use ibgp_types::{AsId, ExitPath, ExitPathId, ExitPathRef, IgpCost, Med, RouterId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+struct Candidate {
+    clusters: Vec<(u32, Vec<u32>)>, // (reflector, clients)
+    links: Vec<(u32, u32, u64)>,
+    exits: Vec<(u32, u32, u32, u32)>, // (id, exit_point, next_as, med)
+}
+
+fn build(c: &Candidate) -> Option<(ibgp_topology::Topology, Vec<ExitPathRef>)> {
+    let n = c
+        .clusters
+        .iter()
+        .flat_map(|(r, cs)| std::iter::once(*r).chain(cs.iter().copied()))
+        .max()? as usize
+        + 1;
+    let mut b = TopologyBuilder::new(n);
+    for &(u, v, w) in &c.links {
+        b = b.link(u, v, w);
+    }
+    for (r, cs) in &c.clusters {
+        b = b.cluster([*r], cs.iter().copied());
+    }
+    let topo = b.build().ok()?;
+    let exits = c
+        .exits
+        .iter()
+        .map(|&(id, at, nas, med)| {
+            Arc::new(
+                ExitPath::builder(ExitPathId::new(id))
+                    .via(AsId::new(nas))
+                    .med(Med::new(med))
+                    .exit_point(RouterId::new(at))
+                    .exit_cost(IgpCost::ZERO)
+                    .build_unchecked(),
+            ) as ExitPathRef
+        })
+        .collect();
+    Some((topo, exits))
+}
+
+/// Random candidate in a 3-4 cluster family (1 client per cluster),
+/// star-ish physical graph, 3-5 exits over 2-3 ASes.
+fn random_candidate(rng: &mut StdRng) -> Candidate {
+    let k = rng.gen_range(3..=4); // clusters
+    // Node layout: RRs are 0..k, client of cluster i is k+i.
+    let clusters: Vec<(u32, Vec<u32>)> = (0..k).map(|i| (i, vec![k + i])).collect();
+    let mut links = Vec::new();
+    // Reflector backbone: random tree + chords with random costs.
+    for i in 1..k {
+        let j = rng.gen_range(0..i);
+        links.push((j, i, rng.gen_range(1..=10)));
+    }
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if !links.iter().any(|&(a, b, _)| (a, b) == (i, j)) && rng.gen_bool(0.4) {
+                links.push((i, j, rng.gen_range(1..=10)));
+            }
+        }
+    }
+    // Client uplinks (occasionally to a foreign reflector too — the Fig 14
+    // style cross-wiring).
+    for i in 0..k {
+        links.push((i, k + i, rng.gen_range(1..=10)));
+        if rng.gen_bool(0.3) {
+            let other = rng.gen_range(0..k);
+            if other != i {
+                links.push((other, k + i, rng.gen_range(1..=10)));
+            }
+        }
+    }
+    // Exits at clients (each client up to 2), 2-3 neighbor ASes.
+    let ases = rng.gen_range(2..=3);
+    let mut exits = Vec::new();
+    let mut id = 1;
+    for i in 0..k {
+        let count = rng.gen_range(1..=2);
+        for _ in 0..count {
+            exits.push((
+                id,
+                k + i,
+                rng.gen_range(1..=ases),
+                *[0u32, 5, 10][..].get(rng.gen_range(0..3)).unwrap(),
+            ));
+            id += 1;
+        }
+    }
+    Candidate {
+        clusters,
+        links,
+        exits,
+    }
+}
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let cap = 60_000;
+    let mut tried = 0u64;
+    for seed in 0..seeds {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cand = random_candidate(&mut rng);
+        let Some((topo, exits)) = build(&cand) else {
+            continue;
+        };
+        tried += 1;
+        // Cheap prefilter: standard must fail to converge deterministically
+        // (otherwise Walton surely converges too).
+        let walton = explore(&topo, ProtocolConfig::WALTON, exits.clone(), cap);
+        if !walton.complete || !walton.stable_vectors.is_empty() {
+            continue;
+        }
+        let modified = explore(&topo, ProtocolConfig::MODIFIED, exits.clone(), cap);
+        if !(modified.complete && modified.stable_vectors.len() == 1) {
+            continue;
+        }
+        let standard = explore(&topo, ProtocolConfig::STANDARD, exits.clone(), cap);
+        println!("=== HIT seed={seed} (tried {tried}) ===");
+        println!("clusters: {:?}", cand.clusters);
+        println!("links: {:?}", cand.links);
+        println!("exits (id, at, as, med): {:?}", cand.exits);
+        println!(
+            "walton: persistent ({} states); modified: {} stable; standard: {} stable ({} states, complete={})",
+            walton.states,
+            modified.stable_vectors.len(),
+            standard.stable_vectors.len(),
+            standard.states,
+            standard.complete,
+        );
+    }
+    eprintln!("done: {tried} candidates");
+}

@@ -1,0 +1,52 @@
+//! Registry of all paper scenarios.
+
+use crate::{fig12, fig13, fig14, fig1a, fig1b, fig2, fig3, Scenario};
+
+/// Every paper figure as a scenario, in figure order.
+pub fn all_scenarios() -> Vec<Scenario> {
+    vec![
+        fig1a::scenario(),
+        fig1b::scenario(),
+        fig2::scenario(),
+        fig3::scenario(),
+        fig12::scenario(),
+        fig13::scenario(),
+        fig14::scenario(),
+    ]
+}
+
+/// Look a scenario up by name.
+pub fn by_name(name: &str) -> Option<Scenario> {
+    all_scenarios().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique_and_complete() {
+        let all = all_scenarios();
+        assert_eq!(all.len(), 7);
+        let mut names: Vec<_> = all.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7, "duplicate scenario names");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("fig2").is_some());
+        assert!(by_name("nope").is_none());
+        assert_eq!(by_name("fig14").unwrap().name, "fig14");
+    }
+
+    #[test]
+    fn every_scenario_has_exits_and_a_connected_topology() {
+        for s in all_scenarios() {
+            assert!(!s.exits.is_empty(), "{}", s.name);
+            assert!(s.topology.physical().is_connected(), "{}", s.name);
+            assert!(!s.description.is_empty());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Figure 12: the real route differs from the believed route.
+//!
+//! A line `u – w – x` of fully-meshed routers. `x` injects `p1` (via AS1,
+//! exit cost 0); `w` injects `p2` (via AS2, exit cost 10). At `u` both
+//! survive rules 1–3 (different neighbor ASes, equal LOCAL-PREF and
+//! AS-PATH length) and the metric picks `p1` (cost 2 to `x` beats cost
+//! 1 + 10 to `w`'s expensive exit) — so `u` *believes* its packets take
+//! `u → w → x → AS1`. But `w` prefers its own E-BGP route outright
+//! (rule 4) and hands packets to AS2 directly.
+//!
+//! No loop results — this is precisely the benign case Lemma 7.6 allows
+//! (`w = exitPoint(BestRoute(w))`); the scenario exists to test the
+//! forwarding walk and to contrast with Fig 14, where the divergence
+//! *does* loop.
+
+use crate::Scenario;
+use ibgp_topology::TopologyBuilder;
+use ibgp_types::{AsId, ExitPath, ExitPathRef, IgpCost, Med};
+use std::sync::Arc;
+
+/// Router indices.
+pub mod nodes {
+    use ibgp_types::RouterId;
+    /// The source router whose belief is wrong.
+    pub const U: RouterId = RouterId(0);
+    /// The intermediate router with its own (expensive) exit.
+    pub const W: RouterId = RouterId(1);
+    /// The far exit point.
+    pub const X: RouterId = RouterId(2);
+}
+
+/// Exit-path ids.
+pub mod routes {
+    use ibgp_types::ExitPathId;
+    /// The cheap far route at `x` via AS1.
+    pub const P1: ExitPathId = ExitPathId(1);
+    /// The expensive local route at `w` via AS2.
+    pub const P2: ExitPathId = ExitPathId(2);
+}
+
+/// Build the Fig 12 scenario.
+pub fn scenario() -> Scenario {
+    let topology = TopologyBuilder::new(3)
+        .link(nodes::U.raw(), nodes::W.raw(), 1)
+        .link(nodes::W.raw(), nodes::X.raw(), 1)
+        .full_mesh()
+        .build()
+        .expect("fig12 topology is valid");
+    let exits: Vec<ExitPathRef> = vec![
+        Arc::new(
+            ExitPath::builder(routes::P1)
+                .via(AsId::new(1))
+                .med(Med::new(0))
+                .exit_point(nodes::X)
+                .build_unchecked(),
+        ),
+        Arc::new(
+            ExitPath::builder(routes::P2)
+                .via(AsId::new(2))
+                .med(Med::new(0))
+                .exit_point(nodes::W)
+                .exit_cost(IgpCost::new(10))
+                .build_unchecked(),
+        ),
+    ];
+    Scenario {
+        name: "fig12",
+        description: "believed route u->w->x->AS1 vs real route that exits at w (benign divergence)",
+        topology,
+        exits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibgp_analysis::{forward_from, forwarding_loops, lemma_7_6_violations, ForwardingResult};
+    use ibgp_proto::variants::ProtocolConfig;
+    use ibgp_sim::{RoundRobin, SyncEngine};
+    use ibgp_types::{ExitPathId, RouterId};
+
+    fn converged_engine(config: ProtocolConfig) -> (Scenario, Vec<Option<ExitPathId>>) {
+        let s = scenario();
+        let mut eng = SyncEngine::new(&s.topology, config, s.exits());
+        assert!(eng.run(&mut RoundRobin::new(), 1_000).converged());
+        let bests = eng.best_vector();
+        (s, bests)
+    }
+
+    fn best_fn<'a>(
+        s: &'a Scenario,
+        bests: &'a [Option<ExitPathId>],
+    ) -> impl Fn(RouterId) -> Option<ibgp_types::Route> + 'a {
+        move |u: RouterId| {
+            let id = bests[u.index()]?;
+            let p = s.exits.iter().find(|p| p.id() == id)?.clone();
+            Some(ibgp_types::Route::new(
+                p.clone(),
+                u,
+                s.topology.igp_cost(u, p.exit_point()),
+                ibgp_types::BgpId::new(0),
+            ))
+        }
+    }
+
+    #[test]
+    fn u_believes_the_far_route_but_w_diverts() {
+        let (s, bests) = converged_engine(ProtocolConfig::STANDARD);
+        assert_eq!(bests[nodes::U.index()], Some(routes::P1), "u picks p1");
+        assert_eq!(bests[nodes::W.index()], Some(routes::P2), "w picks its own");
+        assert_eq!(bests[nodes::X.index()], Some(routes::P1));
+
+        let best = best_fn(&s, &bests);
+        match forward_from(&s.topology, &best, nodes::U) {
+            ForwardingResult::Exits { exit, via, path } => {
+                assert_eq!(exit, nodes::W, "the packet really leaves at w");
+                assert_eq!(via, routes::P2);
+                assert_eq!(path, vec![nodes::U, nodes::W]);
+            }
+            other => panic!("unexpected {other}"),
+        }
+        // Benign: no loop, no Lemma 7.6 violation.
+        assert!(forwarding_loops(&s.topology, &best).is_empty());
+        assert!(lemma_7_6_violations(&s.topology, &best).is_empty());
+    }
+
+    #[test]
+    fn modified_protocol_behaves_identically_here() {
+        // The divergence is inherent to rule 4 (E-BGP preference), not to
+        // the advertisement discipline; the modified protocol reproduces
+        // it, and it stays loop-free (Lemma 7.6's allowed case).
+        let (s, bests) = converged_engine(ProtocolConfig::MODIFIED);
+        assert_eq!(bests[nodes::U.index()], Some(routes::P1));
+        assert_eq!(bests[nodes::W.index()], Some(routes::P2));
+        let best = best_fn(&s, &bests);
+        assert!(forwarding_loops(&s.topology, &best).is_empty());
+        assert!(lemma_7_6_violations(&s.topology, &best).is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Figure 14: the Dube–Scudder forwarding-loop configuration.
+//!
+//! Two clusters — reflector `RR1` with client `c1`, reflector `RR2` with
+//! client `c2` — on the physical path `RR1 – c2 – c1 – RR2` (every link
+//! cost 5): each reflector's I-BGP session to its own client runs
+//! *through the other cluster's client*. Equal-attribute routes `r1` (at
+//! `RR1`) and `r2` (at `RR2`).
+//!
+//! Under standard I-BGP each reflector prefers its own E-BGP route and
+//! advertises only it, so `c1` hears only `r1` (exit `RR1`, next hop
+//! `c2`) and `c2` hears only `r2` (exit `RR2`, next hop `c1`): packets
+//! from either client ping-pong `c1 ↔ c2` forever. The Walton et al.
+//! vector changes nothing (one neighboring AS). The modified protocol
+//! advertises both routes (`S′ = {r1, r2}`); each client then picks the
+//! *nearer* exit and the loop disappears — the paper's example of the
+//! modification repairing even a "badly configured" system.
+
+use crate::Scenario;
+use ibgp_topology::TopologyBuilder;
+use ibgp_types::{AsId, ExitPath, ExitPathId, ExitPathRef, Med, RouterId};
+use std::sync::Arc;
+
+/// Router indices.
+pub mod nodes {
+    use ibgp_types::RouterId;
+    /// First reflector, exit point of `r1`.
+    pub const RR1: RouterId = RouterId(0);
+    /// Second reflector, exit point of `r2`.
+    pub const RR2: RouterId = RouterId(1);
+    /// RR1's client (physically adjacent to RR2).
+    pub const C1: RouterId = RouterId(2);
+    /// RR2's client (physically adjacent to RR1).
+    pub const C2: RouterId = RouterId(3);
+}
+
+/// Exit-path ids.
+pub mod routes {
+    use ibgp_types::ExitPathId;
+    /// Route injected at RR1.
+    pub const R1: ExitPathId = ExitPathId(1);
+    /// Route injected at RR2.
+    pub const R2: ExitPathId = ExitPathId(2);
+}
+
+/// Build the Fig 14 scenario.
+pub fn scenario() -> Scenario {
+    let topology = TopologyBuilder::new(4)
+        .link(nodes::RR1.raw(), nodes::C2.raw(), 5)
+        .link(nodes::C2.raw(), nodes::C1.raw(), 5)
+        .link(nodes::C1.raw(), nodes::RR2.raw(), 5)
+        .cluster([nodes::RR1.raw()], [nodes::C1.raw()])
+        .cluster([nodes::RR2.raw()], [nodes::C2.raw()])
+        .build()
+        .expect("fig14 topology is valid");
+    let mk = |id: ExitPathId, at: RouterId| -> ExitPathRef {
+        Arc::new(
+            ExitPath::builder(id)
+                .via(AsId::new(1))
+                .med(Med::new(0))
+                .exit_point(at)
+                .build_unchecked(),
+        )
+    };
+    Scenario {
+        name: "fig14",
+        description: "routing loop between clients under standard I-BGP reflection; repaired by the modified protocol",
+        topology,
+        exits: vec![mk(routes::R1, nodes::RR1), mk(routes::R2, nodes::RR2)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibgp_analysis::{forward_from, forwarding_loops};
+    use ibgp_proto::variants::ProtocolConfig;
+    use ibgp_sim::{RoundRobin, SyncEngine};
+    use ibgp_types::Route;
+
+    fn converge(config: ProtocolConfig) -> (Scenario, SyncEngineBests) {
+        let s = scenario();
+        let mut eng = SyncEngine::new(&s.topology, config, s.exits());
+        assert!(eng.run(&mut RoundRobin::new(), 1_000).converged());
+        let bests: Vec<Option<Route>> = s
+            .topology
+            .routers()
+            .map(|u| eng.best_route(u).cloned())
+            .collect();
+        (s, SyncEngineBests(bests))
+    }
+
+    struct SyncEngineBests(Vec<Option<Route>>);
+
+    impl SyncEngineBests {
+        fn f(&self) -> impl Fn(RouterId) -> Option<Route> + '_ {
+            move |u: RouterId| self.0[u.index()].clone()
+        }
+    }
+
+    #[test]
+    fn physical_geometry() {
+        let s = scenario();
+        // Each client is *closer* to the foreign reflector.
+        let d = |u, v| s.topology.igp_cost(u, v).raw();
+        assert_eq!(d(nodes::C1, nodes::RR2), 5);
+        assert_eq!(d(nodes::C1, nodes::RR1), 10);
+        assert_eq!(d(nodes::C2, nodes::RR1), 5);
+        assert_eq!(d(nodes::C2, nodes::RR2), 10);
+    }
+
+    #[test]
+    fn standard_protocol_creates_the_loop() {
+        let (s, bests) = converge(ProtocolConfig::STANDARD);
+        let best = bests.f();
+        // Each client only ever hears its own reflector's route.
+        assert_eq!(best(nodes::C1).unwrap().exit_id(), routes::R1);
+        assert_eq!(best(nodes::C2).unwrap().exit_id(), routes::R2);
+        // And forwarding ping-pongs between the clients.
+        let res = forward_from(&s.topology, &best, nodes::C1);
+        assert!(res.looped(), "expected loop, got {res}");
+        let loops = forwarding_loops(&s.topology, &best);
+        assert!(!loops.is_empty());
+        let (_, cycle) = &loops[0];
+        assert!(cycle.contains(&nodes::C1) && cycle.contains(&nodes::C2), "{cycle:?}");
+    }
+
+    #[test]
+    fn walton_does_not_repair_the_loop() {
+        // One neighboring AS: the Walton vector equals the single best.
+        let (s, bests) = converge(ProtocolConfig::WALTON);
+        let best = bests.f();
+        assert_eq!(best(nodes::C1).unwrap().exit_id(), routes::R1);
+        assert_eq!(best(nodes::C2).unwrap().exit_id(), routes::R2);
+        assert!(!forwarding_loops(&s.topology, &best).is_empty());
+    }
+
+    #[test]
+    fn modified_protocol_removes_the_loop() {
+        let (s, bests) = converge(ProtocolConfig::MODIFIED);
+        let best = bests.f();
+        // Both routes are advertised; each client picks the nearer exit.
+        assert_eq!(best(nodes::C1).unwrap().exit_id(), routes::R2);
+        assert_eq!(best(nodes::C2).unwrap().exit_id(), routes::R1);
+        assert!(forwarding_loops(&s.topology, &best).is_empty());
+        // Every packet really leaves the AS.
+        for u in s.topology.routers() {
+            let res = forward_from(&s.topology, &best, u);
+            assert!(res.delivered(), "{u}: {res}");
+        }
+    }
+}

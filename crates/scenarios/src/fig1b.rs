@@ -1,0 +1,161 @@
+//! Figure 1(b): the rule-ordering experiment.
+//!
+//! The same MED-hiding mechanics as Fig 1(a), but folded onto **two
+//! fully-meshed routers** (no route reflection at all): router A holds
+//! `r1` (via AS1, exit cost 4) and `r2` (via AS2, MED 10, exit cost 1);
+//! router B holds `r3` (via AS2, MED 5, exit cost 10). The A–B link costs
+//! 2, so B is *closer* to both of A's exits than to its own.
+//!
+//! * Under the **paper's rule ordering** (rule 4: E-BGP beats I-BGP
+//!   before any metric comparison) the system converges: "B always
+//!   prefers its E-BGP route to either of the (shorter) routes through
+//!   A", so `r3` is permanently visible, permanently hides `r2`, and A
+//!   settles on `r1`.
+//! * Under the **RFC 1771 / [11] ordering** (minimum IGP metric first) B
+//!   abandons `r3` whenever a route through A is visible, which resurrects
+//!   `r2` at A, which re-hides... — a persistent oscillation in plain
+//!   fully-meshed I-BGP, exactly the paper's point that the adopted rule
+//!   order matters.
+
+use crate::Scenario;
+use ibgp_topology::TopologyBuilder;
+use ibgp_types::{AsId, ExitPath, ExitPathRef, IgpCost, Med};
+use std::sync::Arc;
+
+/// Router indices.
+pub mod nodes {
+    use ibgp_types::RouterId;
+    /// Router A (two exits).
+    pub const A: RouterId = RouterId(0);
+    /// Router B (one exit).
+    pub const B: RouterId = RouterId(1);
+}
+
+/// Exit-path ids.
+pub mod routes {
+    use ibgp_types::ExitPathId;
+    /// A's route via AS1, exit cost 4.
+    pub const R1: ExitPathId = ExitPathId(1);
+    /// A's route via AS2, MED 10, exit cost 1.
+    pub const R2: ExitPathId = ExitPathId(2);
+    /// B's route via AS2, MED 5, exit cost 10.
+    pub const R3: ExitPathId = ExitPathId(3);
+}
+
+/// Build the Fig 1(b) scenario.
+pub fn scenario() -> Scenario {
+    let topology = TopologyBuilder::new(2)
+        .link(nodes::A.raw(), nodes::B.raw(), 2)
+        .full_mesh()
+        .build()
+        .expect("fig1b topology is valid");
+
+    let exits: Vec<ExitPathRef> = vec![
+        Arc::new(
+            ExitPath::builder(routes::R1)
+                .via(AsId::new(1))
+                .med(Med::new(0))
+                .exit_point(nodes::A)
+                .exit_cost(IgpCost::new(4))
+                .build_unchecked(),
+        ),
+        Arc::new(
+            ExitPath::builder(routes::R2)
+                .via(AsId::new(2))
+                .med(Med::new(10))
+                .exit_point(nodes::A)
+                .exit_cost(IgpCost::new(1))
+                .build_unchecked(),
+        ),
+        Arc::new(
+            ExitPath::builder(routes::R3)
+                .via(AsId::new(2))
+                .med(Med::new(5))
+                .exit_point(nodes::B)
+                .exit_cost(IgpCost::new(10))
+                .build_unchecked(),
+        ),
+    ];
+
+    Scenario {
+        name: "fig1b",
+        description: "fully-meshed configuration that diverges under the RFC 1771 rule ordering but converges under the paper's ordering",
+        topology,
+        exits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibgp_analysis::{classify, OscillationClass};
+    use ibgp_proto::selection::SelectionPolicy;
+    use ibgp_proto::variants::ProtocolConfig;
+    use ibgp_proto::ProtocolVariant;
+    use ibgp_sim::{RoundRobin, SyncEngine};
+
+    const MAX_STATES: usize = 100_000;
+
+    fn config(policy: SelectionPolicy) -> ProtocolConfig {
+        ProtocolConfig {
+            variant: ProtocolVariant::Standard,
+            policy,
+        }
+    }
+
+    #[test]
+    fn paper_ordering_converges() {
+        let s = scenario();
+        let (class, reach) = classify(&s.topology, config(SelectionPolicy::PAPER), &s.exits, MAX_STATES);
+        assert_eq!(class, OscillationClass::Stable, "{reach:?}");
+        let mut eng = SyncEngine::new(&s.topology, config(SelectionPolicy::PAPER), s.exits());
+        assert!(eng.run(&mut RoundRobin::new(), 1_000).converged());
+        // B sticks to its own E-BGP route; A settles on r1 (r2 MED-hidden).
+        assert_eq!(eng.best_exit(nodes::B), Some(routes::R3));
+        assert_eq!(eng.best_exit(nodes::A), Some(routes::R1));
+    }
+
+    #[test]
+    fn rfc1771_ordering_oscillates_persistently() {
+        let s = scenario();
+        let (class, reach) =
+            classify(&s.topology, config(SelectionPolicy::RFC1771), &s.exits, MAX_STATES);
+        assert_eq!(class, OscillationClass::Persistent, "{reach:?}");
+    }
+
+    #[test]
+    fn rfc1771_round_robin_run_cycles() {
+        let s = scenario();
+        let mut eng = SyncEngine::new(&s.topology, config(SelectionPolicy::RFC1771), s.exits());
+        let outcome = eng.run(&mut RoundRobin::new(), 10_000);
+        assert!(outcome.cycled(), "{outcome}");
+    }
+
+    #[test]
+    fn modified_protocol_fixes_even_the_rfc_ordering() {
+        // Not claimed by the paper (its §6/§7 analysis uses the paper
+        // ordering), but a natural question: the Choose_set advertisement
+        // also stabilizes this instance under the RFC 1771 ordering.
+        let s = scenario();
+        let cfg = ProtocolConfig {
+            variant: ProtocolVariant::Modified,
+            policy: SelectionPolicy::RFC1771,
+        };
+        let (class, reach) = classify(&s.topology, cfg, &s.exits, MAX_STATES);
+        assert_eq!(class, OscillationClass::Stable, "{reach:?}");
+    }
+
+    #[test]
+    fn the_oscillation_is_med_induced() {
+        // Disable MED comparison: the RFC ordering then converges, which
+        // pins the divergence on MED hiding rather than on the metric rule
+        // alone.
+        let s = scenario();
+        let cfg = config(SelectionPolicy {
+            med_mode: ibgp_proto::MedMode::Ignore,
+            rule_order: ibgp_proto::selection::RuleOrder::MinCostFirst,
+        });
+        let (class, reach) = classify(&s.topology, cfg, &s.exits, MAX_STATES);
+        assert_eq!(class, OscillationClass::Stable, "{reach:?}");
+    }
+}

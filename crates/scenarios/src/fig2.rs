@@ -1,0 +1,179 @@
+//! Figure 2: transient oscillation with two stable solutions.
+//!
+//! Two clusters — reflector `RR1` with border-router client `c1`,
+//! reflector `RR2` with client `c2`. One external route is injected at
+//! each client (`r1` at `c1`, `r2` at `c2`), both through the **same**
+//! neighboring AS with identical LOCAL-PREF, AS-PATH length, and MED 0.
+//! The dotted "extra IGP links over which no I-BGP session runs" of the
+//! figure are modeled directly: each reflector has a *cheap physical
+//! link to the other cluster's client* (cost 1) and an expensive one to
+//! its own (cost 10), so each reflector prefers the other cluster's exit.
+//!
+//! Consequences, exactly as §3 describes:
+//!
+//! * there are **two** stable configurations (both reflectors on `r1`,
+//!   or both on `r2`);
+//! * with simultaneous message exchange the reflectors adopt each
+//!   other's route, withdraw their own, lose both, and revert — forever;
+//! * sequential (lucky) orderings reach one of the stable solutions —
+//!   *which* one depends on the order;
+//! * Walton et al. changes nothing (a single neighboring AS means the
+//!   per-AS vector *is* the classical best);
+//! * the modified protocol converges to the same configuration under
+//!   every ordering.
+
+use crate::Scenario;
+use ibgp_topology::TopologyBuilder;
+use ibgp_types::{AsId, ExitPath, ExitPathId, ExitPathRef, Med, RouterId};
+use std::sync::Arc;
+
+/// Router indices.
+pub mod nodes {
+    use ibgp_types::RouterId;
+    /// First route reflector.
+    pub const RR1: RouterId = RouterId(0);
+    /// Second route reflector.
+    pub const RR2: RouterId = RouterId(1);
+    /// RR1's client, exit point of `r1`.
+    pub const C1: RouterId = RouterId(2);
+    /// RR2's client, exit point of `r2`.
+    pub const C2: RouterId = RouterId(3);
+}
+
+/// Exit-path ids.
+pub mod routes {
+    use ibgp_types::ExitPathId;
+    /// Route injected at `c1`.
+    pub const R1: ExitPathId = ExitPathId(1);
+    /// Route injected at `c2`.
+    pub const R2: ExitPathId = ExitPathId(2);
+}
+
+/// Build the Fig 2 scenario.
+pub fn scenario() -> Scenario {
+    let topology = TopologyBuilder::new(4)
+        .link(nodes::RR1.raw(), nodes::C1.raw(), 10)
+        .link(nodes::RR1.raw(), nodes::C2.raw(), 1) // dotted IGP-only link
+        .link(nodes::RR2.raw(), nodes::C2.raw(), 10)
+        .link(nodes::RR2.raw(), nodes::C1.raw(), 1) // dotted IGP-only link
+        .cluster([nodes::RR1.raw()], [nodes::C1.raw()])
+        .cluster([nodes::RR2.raw()], [nodes::C2.raw()])
+        .build()
+        .expect("fig2 topology is valid");
+
+    let mk = |id: ExitPathId, at: RouterId| -> ExitPathRef {
+        Arc::new(
+            ExitPath::builder(id)
+                .via(AsId::new(1)) // single neighboring AS
+                .med(Med::new(0))
+                .exit_point(at)
+                .build_unchecked(),
+        )
+    };
+
+    Scenario {
+        name: "fig2",
+        description: "transient oscillation: two stable solutions, outcome decided by message ordering",
+        topology,
+        exits: vec![mk(routes::R1, nodes::C1), mk(routes::R2, nodes::C2)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibgp_analysis::{classify, determinism_report, enumerate_stable_standard, OscillationClass};
+    use ibgp_proto::selection::SelectionPolicy;
+    use ibgp_proto::variants::ProtocolConfig;
+    use ibgp_sim::{AllAtOnce, Scripted, SyncEngine};
+
+    const MAX_STATES: usize = 300_000;
+
+    #[test]
+    fn exactly_two_stable_solutions_exist() {
+        let s = scenario();
+        let e = enumerate_stable_standard(&s.topology, SelectionPolicy::PAPER, &s.exits, 10_000_000)
+            .unwrap();
+        assert_eq!(e.fixed_points.len(), 2, "{:?}", e.fixed_points);
+        // In one, both reflectors use r1; in the other, both use r2.
+        let rr_pair = |fp: &Vec<Option<ibgp_types::ExitPathId>>| {
+            (fp[nodes::RR1.index()], fp[nodes::RR2.index()])
+        };
+        let mut pairs: Vec<_> = e.fixed_points.iter().map(rr_pair).collect();
+        pairs.sort();
+        assert_eq!(
+            pairs,
+            vec![
+                (Some(routes::R1), Some(routes::R1)),
+                (Some(routes::R2), Some(routes::R2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn standard_is_transient_and_modified_is_stable() {
+        let s = scenario();
+        let (class, reach) = classify(&s.topology, ProtocolConfig::STANDARD, &s.exits, MAX_STATES);
+        assert_eq!(class, OscillationClass::Transient, "{reach:?}");
+        assert_eq!(reach.stable_vectors.len(), 2);
+
+        let (class, reach) = classify(&s.topology, ProtocolConfig::MODIFIED, &s.exits, MAX_STATES);
+        assert_eq!(class, OscillationClass::Stable, "{reach:?}");
+    }
+
+    #[test]
+    fn simultaneous_exchange_cycles_forever() {
+        let s = scenario();
+        let mut eng = SyncEngine::new(&s.topology, ProtocolConfig::STANDARD, s.exits());
+        let outcome = eng.run(&mut AllAtOnce, 10_000);
+        assert!(outcome.cycled(), "{outcome}");
+    }
+
+    #[test]
+    fn sequential_orderings_reach_different_stable_solutions() {
+        let s = scenario();
+        // RR1 first: c1 announces, RR1 adopts r1 and tells RR2 before c2's
+        // route reaches RR2... order: c1, RR1, c2, RR2.
+        let mut eng = SyncEngine::new(&s.topology, ProtocolConfig::STANDARD, s.exits());
+        let mut sched = Scripted::singletons([2, 0, 1, 3]);
+        let outcome = eng.run(&mut sched, 1_000);
+        assert!(outcome.converged(), "{outcome}");
+        let first = (eng.best_exit(nodes::RR1), eng.best_exit(nodes::RR2));
+
+        // Mirror image: c2, RR2, RR1 ...
+        let mut eng = SyncEngine::new(&s.topology, ProtocolConfig::STANDARD, s.exits());
+        let mut sched = Scripted::singletons([3, 1, 0, 2]);
+        let outcome = eng.run(&mut sched, 1_000);
+        assert!(outcome.converged(), "{outcome}");
+        let second = (eng.best_exit(nodes::RR1), eng.best_exit(nodes::RR2));
+
+        assert_ne!(first, second, "order must determine the outcome");
+        assert_eq!(first.0, first.1, "stable solutions agree across reflectors");
+        assert_eq!(second.0, second.1);
+    }
+
+    #[test]
+    fn walton_behaves_exactly_like_standard_here() {
+        // One neighboring AS: the Walton vector degenerates to the single
+        // best route, so the transient classification is identical.
+        let s = scenario();
+        let (class, reach) = classify(&s.topology, ProtocolConfig::WALTON, &s.exits, MAX_STATES);
+        assert_eq!(class, OscillationClass::Transient, "{reach:?}");
+        assert_eq!(reach.stable_vectors.len(), 2);
+        let mut eng = SyncEngine::new(&s.topology, ProtocolConfig::WALTON, s.exits());
+        let outcome = eng.run(&mut AllAtOnce, 10_000);
+        assert!(outcome.cycled(), "{outcome}");
+    }
+
+    #[test]
+    fn modified_is_deterministic_across_many_schedules() {
+        let s = scenario();
+        let report = determinism_report(&s.topology, ProtocolConfig::MODIFIED, &s.exits, 12, 10_000);
+        assert!(report.deterministic(), "{report:?}");
+        // And the unique outcome routes each reflector to the nearer exit.
+        let mut eng = SyncEngine::new(&s.topology, ProtocolConfig::MODIFIED, s.exits());
+        assert!(eng.run(&mut AllAtOnce, 1_000).converged());
+        assert_eq!(eng.best_exit(nodes::RR1), Some(routes::R2));
+        assert_eq!(eng.best_exit(nodes::RR2), Some(routes::R1));
+    }
+}

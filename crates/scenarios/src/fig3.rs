@@ -1,0 +1,364 @@
+//! Figure 3 + Table 1: delay-driven transient oscillation.
+//!
+//! Three fully-meshed border routers `A`, `B`, `C`, each with two E-BGP
+//! routes, arranged in a MED "rock-paper-scissors" around three
+//! neighboring ASes (the figure's artwork is not recoverable from the
+//! source text; this reconstruction preserves the documented mechanics —
+//! all LOCAL-PREFs and AS-PATH lengths equal, MEDs on the inter-AS links,
+//! dashed routes having lower BGP identifiers, two stable solutions, and
+//! oscillation produced purely by update timing):
+//!
+//! * `A` holds `r1` (AS1, MED 1) and `r2` (AS2, MED 0);
+//! * `B` holds `r3` (AS2, MED 1) and `r4` (AS3, MED 0);
+//! * `C` holds `r5` (AS3, MED 1) and `r6` (AS1, MED 0).
+//!
+//! Each router prefers its MED-1 route (lower NEXT-HOP identifier) unless
+//! a foreign MED-0 route through the same AS **hides** it: `r2` hides
+//! `r3`, `r4` hides `r5`, `r6` hides `r1`. The two stable solutions are
+//! "everyone on MED-1" (`r1, r3, r5`) and "everyone on MED-0"
+//! (`r2, r4, r6`).
+//!
+//! The Table 1 schedule: inject everything except `r1` at time 0 and let
+//! `r1` arrive just after `A`'s first advertisement has left. `A` then
+//! advertises `r2` (a *hide* wave: `B` flips to `r4`, `C` to `r6`, `A`
+//! to `r2`…) immediately followed by a withdrawal (an *unhide* wave one
+//! step behind). With symmetric delays the two waves chase each other
+//! around the triangle forever — route oscillation from one delayed
+//! E-BGP injection. Any asymmetry lets one wave catch the other and the
+//! system lands in one of the two stable solutions; the modified protocol
+//! converges to the same solution under every timing.
+
+use crate::Scenario;
+use ibgp_proto::variants::ProtocolConfig;
+use ibgp_sim::{AsyncEvent, AsyncOutcome, AsyncSim, DelayModel, FixedDelay};
+use ibgp_topology::TopologyBuilder;
+use ibgp_types::{AsId, ExitPath, ExitPathId, ExitPathRef, Med, RouterId};
+use std::sync::Arc;
+
+/// Router indices.
+pub mod nodes {
+    use ibgp_types::RouterId;
+    /// Border router A (routes r1, r2).
+    pub const A: RouterId = RouterId(0);
+    /// Border router B (routes r3, r4).
+    pub const B: RouterId = RouterId(1);
+    /// Border router C (routes r5, r6).
+    pub const C: RouterId = RouterId(2);
+}
+
+/// Exit-path ids.
+pub mod routes {
+    use ibgp_types::ExitPathId;
+    /// A's route via AS1, MED 1 (dashed: lowest NEXT-HOP id at A).
+    pub const R1: ExitPathId = ExitPathId(1);
+    /// A's route via AS2, MED 0.
+    pub const R2: ExitPathId = ExitPathId(2);
+    /// B's route via AS2, MED 1 (dashed).
+    pub const R3: ExitPathId = ExitPathId(3);
+    /// B's route via AS3, MED 0.
+    pub const R4: ExitPathId = ExitPathId(4);
+    /// C's route via AS3, MED 1 (dashed).
+    pub const R5: ExitPathId = ExitPathId(5);
+    /// C's route via AS1, MED 0.
+    pub const R6: ExitPathId = ExitPathId(6);
+}
+
+fn mk(id: ExitPathId, next_as: u32, med: u32, at: RouterId) -> ExitPathRef {
+    Arc::new(
+        ExitPath::builder(id)
+            .via(AsId::new(next_as))
+            .med(Med::new(med))
+            .exit_point(at)
+            .build_unchecked(),
+    )
+}
+
+/// Build the Fig 3 scenario (all six routes present).
+pub fn scenario() -> Scenario {
+    let topology = TopologyBuilder::new(3)
+        .link(nodes::A.raw(), nodes::B.raw(), 1)
+        .link(nodes::B.raw(), nodes::C.raw(), 1)
+        .link(nodes::A.raw(), nodes::C.raw(), 1)
+        .full_mesh()
+        .build()
+        .expect("fig3 topology is valid");
+    Scenario {
+        name: "fig3",
+        description: "delay-driven transient oscillation in fully meshed I-BGP (Table 1 schedule)",
+        topology,
+        exits: vec![
+            mk(routes::R1, 1, 1, nodes::A),
+            mk(routes::R2, 2, 0, nodes::A),
+            mk(routes::R3, 2, 1, nodes::B),
+            mk(routes::R4, 3, 0, nodes::B),
+            mk(routes::R5, 3, 1, nodes::C),
+            mk(routes::R6, 1, 0, nodes::C),
+        ],
+    }
+}
+
+/// Run the Table 1 schedule: everything except `r1` is present at time 0;
+/// `r1` is injected at `r1_at` (2 time units in, after A's first update
+/// has departed). Returns the finished simulator and the outcome.
+pub fn run_table1(
+    config: ProtocolConfig,
+    delay: Box<dyn DelayModel>,
+    r1_at: u64,
+    max_events: u64,
+) -> (AsyncOutcome, u64) {
+    let s = scenario();
+    let exits_without_r1: Vec<ExitPathRef> = s
+        .exits
+        .iter()
+        .filter(|p| p.id() != routes::R1)
+        .cloned()
+        .collect();
+    let topology = s.topology;
+    let mut sim = AsyncSim::new(&topology, config, exits_without_r1, delay);
+    sim.start();
+    sim.schedule(
+        r1_at,
+        AsyncEvent::Inject {
+            path: mk(routes::R1, 1, 1, nodes::A),
+        },
+    );
+    let outcome = sim.run(max_events);
+    (outcome, sim.metrics().best_changes)
+}
+
+/// The symmetric delay used by the oscillating run.
+pub fn symmetric_delay() -> Box<dyn DelayModel> {
+    Box::new(FixedDelay(5))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibgp_analysis::{classify, enumerate_stable_standard, OscillationClass};
+    use ibgp_proto::selection::SelectionPolicy;
+    use ibgp_sim::{FnDelay, SeededJitter};
+
+    #[test]
+    fn two_stable_solutions_exist() {
+        let s = scenario();
+        let e = enumerate_stable_standard(&s.topology, SelectionPolicy::PAPER, &s.exits, 10_000_000)
+            .unwrap();
+        let mut fps = e.fixed_points.clone();
+        fps.sort();
+        assert_eq!(fps.len(), 2, "{fps:?}");
+        let med1 = vec![Some(routes::R1), Some(routes::R3), Some(routes::R5)];
+        let med0 = vec![Some(routes::R2), Some(routes::R4), Some(routes::R6)];
+        assert!(fps.contains(&med1), "{fps:?}");
+        assert!(fps.contains(&med0), "{fps:?}");
+    }
+
+    #[test]
+    fn synchronous_model_is_stable_when_all_routes_are_present_upfront() {
+        // With every route injected before time 0 the §4 model always
+        // lands on the MED-1 solution — the oscillation genuinely needs
+        // E-BGP *injection timing*, exactly as the paper notes for the
+        // simplified variant ("it will rely on the timing of when the
+        // routes through AS2 and AS3 are injected").
+        let s = scenario();
+        let (class, reach) = classify(&s.topology, ProtocolConfig::STANDARD, &s.exits, 500_000);
+        assert_eq!(class, OscillationClass::Stable, "{reach:?}");
+        assert_eq!(
+            reach.stable_vectors,
+            vec![vec![Some(routes::R1), Some(routes::R3), Some(routes::R5)]]
+        );
+    }
+
+    #[test]
+    fn late_r1_injection_reaches_the_other_fixed_point() {
+        // Start without r1 (it is still propagating through E-BGP): the
+        // system settles on the MED-0 solution; injecting r1 afterwards
+        // does not dislodge it (r6 hides r1 at A). Standard I-BGP is
+        // therefore injection-order dependent.
+        use ibgp_sim::RoundRobin;
+        use ibgp_sim::SyncEngine;
+        let s = scenario();
+        let without_r1: Vec<ExitPathRef> = s
+            .exits
+            .iter()
+            .filter(|p| p.id() != routes::R1)
+            .cloned()
+            .collect();
+        let mut eng = SyncEngine::new(&s.topology, ProtocolConfig::STANDARD, without_r1);
+        assert!(eng.run(&mut RoundRobin::new(), 10_000).converged());
+        eng.inject(s.exits[0].clone());
+        assert!(eng.run(&mut RoundRobin::new(), 10_000).converged());
+        assert_eq!(
+            eng.best_vector(),
+            vec![Some(routes::R2), Some(routes::R4), Some(routes::R6)],
+            "late injection lands on the MED-0 fixed point"
+        );
+    }
+
+    #[test]
+    fn table1_schedule_oscillates_under_standard() {
+        // Symmetric delays: the hide and unhide waves chase each other
+        // around the triangle and the system never quiesces.
+        let (outcome, flips) = run_table1(
+            ProtocolConfig::STANDARD,
+            symmetric_delay(),
+            2,
+            5_000,
+        );
+        match outcome {
+            AsyncOutcome::Exhausted { best_changes, .. } => {
+                assert!(best_changes > 200, "sustained oscillation expected, saw {best_changes}");
+            }
+            AsyncOutcome::Quiescent { .. } => {
+                panic!("Table 1 schedule must oscillate under standard I-BGP (flips: {flips})")
+            }
+        }
+    }
+
+    #[test]
+    fn delays_alone_never_break_the_wave_pair_without_batching() {
+        // A structural finding of the reproduction: with change-triggered
+        // updates over FIFO sessions, the hide/unhide wave pair circulates
+        // under *any* delay assignment — every intermediate state is
+        // faithfully forwarded. Skewing one session does not help.
+        let delay = FnDelay::new(|from, to, _now| {
+            if from == nodes::B && to == nodes::C {
+                13
+            } else {
+                5
+            }
+        });
+        let (outcome, _) = run_table1(ProtocolConfig::STANDARD, Box::new(delay), 2, 5_000);
+        assert!(!outcome.quiescent(), "{outcome}");
+    }
+
+    #[test]
+    fn jittered_mrai_batching_ends_the_transient_oscillation() {
+        // Real routers coalesce updates within a *jittered* MRAI window
+        // (RFC 4271 prescribes 75–100% jitter). A reproduction finding:
+        // a deterministic MRAI merely re-spaces the circulating waves —
+        // flip spacing adapts to exactly one window everywhere, and the
+        // rotation survives. Heterogeneous (jittered) windows let one
+        // router receive hide and unhide inside a single closed window,
+        // advertise the (empty) net change, and kill the wave. That is
+        // what makes the Table 1 behaviour *transient*: it lives only as
+        // long as the timing coincidence (perfectly separated updates)
+        // persists.
+        let s = scenario();
+        let exits_without_r1: Vec<ExitPathRef> = s
+            .exits
+            .iter()
+            .filter(|p| p.id() != routes::R1)
+            .cloned()
+            .collect();
+        let mut churn = Vec::new();
+        let mut outcomes = std::collections::BTreeSet::new();
+        for seed in 0..8u64 {
+            let mut sim = AsyncSim::new(
+                &s.topology,
+                ProtocolConfig::STANDARD,
+                exits_without_r1.clone(),
+                Box::new(SeededJitter::new(seed, 1, 9)),
+            );
+            sim.set_mrai(16);
+            sim.set_mrai_jitter(seed ^ 0xABCD);
+            sim.start();
+            sim.schedule(
+                2,
+                ibgp_sim::AsyncEvent::Inject {
+                    path: mk(routes::R1, 1, 1, nodes::A),
+                },
+            );
+            let outcome = sim.run(50_000);
+            assert!(outcome.quiescent(), "seed {seed}: {outcome}");
+            churn.push(sim.metrics().best_changes);
+            outcomes.insert(sim.best_vector());
+        }
+        // The oscillation is real (some seeds churn for a long while
+        // before the waves merge)…
+        assert!(churn.iter().any(|&c| c > 50), "{churn:?}");
+        // …and the landing point is timing-dependent: both stable
+        // solutions occur across seeds.
+        assert_eq!(outcomes.len(), 2, "{outcomes:?}");
+    }
+
+    #[test]
+    fn different_timings_reach_different_stable_solutions() {
+        // All routes present from the start: the MED-1 solution wins.
+        let s = scenario();
+        let mut sim = AsyncSim::new(
+            &s.topology,
+            ProtocolConfig::STANDARD,
+            s.exits(),
+            Box::new(FixedDelay(5)),
+        );
+        sim.start();
+        assert!(sim.run(50_000).quiescent());
+        assert_eq!(
+            sim.best_vector(),
+            vec![Some(routes::R1), Some(routes::R3), Some(routes::R5)],
+            "with every route present from the start, the MED-1 solution wins"
+        );
+
+        // r1 delayed in E-BGP: the MED-0 solution wins instead.
+        let s = scenario();
+        let without_r1: Vec<ExitPathRef> = s
+            .exits
+            .iter()
+            .filter(|p| p.id() != routes::R1)
+            .cloned()
+            .collect();
+        let mut sim = AsyncSim::new(
+            &s.topology,
+            ProtocolConfig::STANDARD,
+            without_r1,
+            Box::new(FixedDelay(5)),
+        );
+        sim.set_mrai(12);
+        sim.start();
+        sim.schedule(
+            100, // after the r1-less system has settled
+            ibgp_sim::AsyncEvent::Inject {
+                path: mk(routes::R1, 1, 1, nodes::A),
+            },
+        );
+        assert!(sim.run(50_000).quiescent());
+        assert_eq!(
+            sim.best_vector(),
+            vec![Some(routes::R2), Some(routes::R4), Some(routes::R6)],
+            "delayed r1 injection lands on the MED-0 solution"
+        );
+    }
+
+    #[test]
+    fn modified_protocol_is_immune_to_the_table1_schedule() {
+        let (outcome, _) = run_table1(ProtocolConfig::MODIFIED, symmetric_delay(), 2, 50_000);
+        assert!(outcome.quiescent(), "{outcome}");
+    }
+
+    #[test]
+    fn modified_reaches_the_same_solution_under_many_timings() {
+        let mut reference: Option<Vec<Option<ExitPathId>>> = None;
+        for seed in 0..8 {
+            let s = scenario();
+            let mut sim = AsyncSim::new(
+                &s.topology,
+                ProtocolConfig::MODIFIED,
+                s.exits(),
+                Box::new(SeededJitter::new(seed, 1, 23)),
+            );
+            sim.start();
+            assert!(sim.run(100_000).quiescent(), "seed {seed}");
+            let bv = sim.best_vector();
+            match &reference {
+                None => reference = Some(bv),
+                Some(prev) => assert_eq!(*prev, bv, "seed {seed}"),
+            }
+        }
+        // The unique fixed point is the MED-0 solution: S' = Choose_set of
+        // all six routes = {r2, r4, r6}.
+        assert_eq!(
+            reference.unwrap(),
+            vec![Some(routes::R2), Some(routes::R4), Some(routes::R6)]
+        );
+    }
+}

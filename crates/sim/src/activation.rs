@@ -1,0 +1,229 @@
+//! Activation sequences (§4).
+//!
+//! A *fair activation sequence* is an infinite sequence of non-empty node
+//! subsets in which every node appears infinitely often. The sync engine
+//! consumes one activation set per time step. The built-in sequences:
+//!
+//! * [`RoundRobin`] — singleton activations in id order; fair, and
+//!   periodic so cycle detection is sound.
+//! * [`AllAtOnce`] — every node every step (the fully synchronous sweep);
+//!   fair and periodic.
+//! * [`RandomFair`] — a seeded random singleton per step; fair with
+//!   probability 1. Used by the determinism experiments (E8).
+//! * [`RandomSubsets`] — a seeded random non-empty subset per step.
+//! * [`Scripted`] — an explicit finite prefix (e.g. the exact step order
+//!   that drives a transient oscillation), then round-robin to stay fair.
+
+use ibgp_types::RouterId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of activation sets over `n` routers.
+pub trait Activation {
+    /// The next activation set (non-empty; members `< n`).
+    fn next_set(&mut self, n: usize) -> Vec<RouterId>;
+
+    /// A finite phase identifier if the sequence is periodic (used to make
+    /// cycle detection sound); `None` for aperiodic/random sequences.
+    fn phase(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Singleton activations `0, 1, …, n-1, 0, 1, …`.
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobin {
+    next: u64,
+}
+
+impl RoundRobin {
+    /// Start at node 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Activation for RoundRobin {
+    fn next_set(&mut self, n: usize) -> Vec<RouterId> {
+        let id = (self.next % n as u64) as u32;
+        self.next += 1;
+        vec![RouterId::new(id)]
+    }
+
+    fn phase(&self) -> Option<u64> {
+        Some(self.next)
+    }
+}
+
+/// Every node activates every step.
+#[derive(Debug, Default, Clone)]
+pub struct AllAtOnce;
+
+impl Activation for AllAtOnce {
+    fn next_set(&mut self, n: usize) -> Vec<RouterId> {
+        (0..n as u32).map(RouterId::new).collect()
+    }
+
+    fn phase(&self) -> Option<u64> {
+        Some(0)
+    }
+}
+
+/// A seeded random singleton per step.
+#[derive(Debug, Clone)]
+pub struct RandomFair {
+    rng: StdRng,
+}
+
+impl RandomFair {
+    /// Deterministic sequence for the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Activation for RandomFair {
+    fn next_set(&mut self, n: usize) -> Vec<RouterId> {
+        vec![RouterId::new(self.rng.gen_range(0..n as u32))]
+    }
+}
+
+/// A seeded random non-empty subset per step.
+#[derive(Debug, Clone)]
+pub struct RandomSubsets {
+    rng: StdRng,
+}
+
+impl RandomSubsets {
+    /// Deterministic sequence for the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Activation for RandomSubsets {
+    fn next_set(&mut self, n: usize) -> Vec<RouterId> {
+        loop {
+            let set: Vec<RouterId> = (0..n as u32)
+                .filter(|_| self.rng.gen_bool(0.5))
+                .map(RouterId::new)
+                .collect();
+            if !set.is_empty() {
+                return set;
+            }
+        }
+    }
+}
+
+/// An explicit finite prefix of activation sets, then round-robin.
+#[derive(Debug, Clone)]
+pub struct Scripted {
+    script: Vec<Vec<RouterId>>,
+    pos: usize,
+    tail: RoundRobin,
+}
+
+impl Scripted {
+    /// Run `script` first, then fall back to round-robin (keeping the
+    /// sequence fair).
+    pub fn new(script: Vec<Vec<RouterId>>) -> Self {
+        Self {
+            script,
+            pos: 0,
+            tail: RoundRobin::new(),
+        }
+    }
+
+    /// Convenience: a script of singleton activations by raw id.
+    pub fn singletons(ids: impl IntoIterator<Item = u32>) -> Self {
+        Self::new(ids.into_iter().map(|i| vec![RouterId::new(i)]).collect())
+    }
+}
+
+impl Activation for Scripted {
+    fn next_set(&mut self, n: usize) -> Vec<RouterId> {
+        if self.pos < self.script.len() {
+            let set = self.script[self.pos].clone();
+            self.pos += 1;
+            assert!(!set.is_empty(), "scripted activation sets must be non-empty");
+            set
+        } else {
+            self.tail.next_set(n)
+        }
+    }
+
+    fn phase(&self) -> Option<u64> {
+        if self.pos < self.script.len() {
+            None // still in the aperiodic prefix
+        } else {
+            self.tail.phase()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(set: &[RouterId]) -> Vec<u32> {
+        set.iter().map(|r| r.raw()).collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_in_order() {
+        let mut rr = RoundRobin::new();
+        assert_eq!(ids(&rr.next_set(3)), vec![0]);
+        assert_eq!(ids(&rr.next_set(3)), vec![1]);
+        assert_eq!(ids(&rr.next_set(3)), vec![2]);
+        assert_eq!(ids(&rr.next_set(3)), vec![0]);
+        assert!(rr.phase().is_some());
+    }
+
+    #[test]
+    fn all_at_once_contains_everyone() {
+        let mut a = AllAtOnce;
+        assert_eq!(ids(&a.next_set(4)), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn random_fair_is_reproducible_and_fair() {
+        let mut a = RandomFair::new(7);
+        let mut b = RandomFair::new(7);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let sa = a.next_set(4);
+            assert_eq!(sa, b.next_set(4));
+            seen[sa[0].index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every node should activate");
+        assert!(a.phase().is_none());
+    }
+
+    #[test]
+    fn random_subsets_are_non_empty_and_reproducible() {
+        let mut a = RandomSubsets::new(3);
+        let mut b = RandomSubsets::new(3);
+        for _ in 0..100 {
+            let sa = a.next_set(5);
+            assert!(!sa.is_empty());
+            assert_eq!(sa, b.next_set(5));
+        }
+    }
+
+    #[test]
+    fn scripted_prefix_then_round_robin() {
+        let mut s = Scripted::singletons([2, 2, 0]);
+        assert_eq!(ids(&s.next_set(3)), vec![2]);
+        assert!(s.phase().is_none());
+        assert_eq!(ids(&s.next_set(3)), vec![2]);
+        assert_eq!(ids(&s.next_set(3)), vec![0]);
+        // Tail: round-robin from 0.
+        assert_eq!(ids(&s.next_set(3)), vec![0]);
+        assert_eq!(ids(&s.next_set(3)), vec![1]);
+        assert!(s.phase().is_some());
+    }
+}

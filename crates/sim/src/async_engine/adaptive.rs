@@ -1,0 +1,130 @@
+//! Oscillation-triggered extra-path advertisement — the §10 future-work
+//! feature of the paper, made concrete.
+//!
+//! "It is possible to treat the propagation of extra routes as a feature
+//! that is only triggered when route oscillations are detected for some
+//! destination prefix." Here each router runs the *standard* single-best
+//! advertisement until its own best route has flipped at least
+//! `threshold` times within the last `window` time units; it then
+//! upgrades itself permanently to the modified protocol's `Choose_set`
+//! advertisement. Upgrades are per-router and monotone (no flapping
+//! between modes), so a converging region never pays the extra
+//! advertisement cost, while an oscillating region converts itself to
+//! the provably convergent discipline.
+//!
+//! The detector is deliberately simple — a sliding window over local
+//! best-route changes — because that is all a real router can observe
+//! without new protocol machinery. The experiments show it suffices for
+//! every oscillation in the paper.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Detector parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptivePolicy {
+    /// Number of local best-route changes within `window` that triggers
+    /// the upgrade.
+    pub threshold: usize,
+    /// Sliding-window length in simulated time units.
+    pub window: u64,
+}
+
+impl AdaptivePolicy {
+    /// A conservative default: eight flips within 200 time units.
+    pub const DEFAULT: AdaptivePolicy = AdaptivePolicy {
+        threshold: 8,
+        window: 200,
+    };
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+/// Per-router detector state.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FlipDetector {
+    flips: VecDeque<u64>,
+    upgraded: bool,
+}
+
+impl FlipDetector {
+    /// Record a best-route change at `now`; returns true if this change
+    /// triggers (or has already triggered) the upgrade.
+    pub(crate) fn record(&mut self, now: u64, policy: AdaptivePolicy) -> bool {
+        if self.upgraded {
+            return true;
+        }
+        self.flips.push_back(now);
+        while let Some(&t) = self.flips.front() {
+            if now.saturating_sub(t) > policy.window {
+                self.flips.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.flips.len() >= policy.threshold {
+            self.upgraded = true;
+        }
+        self.upgraded
+    }
+
+    /// Whether the router has switched to set advertisement.
+    pub(crate) fn upgraded(&self) -> bool {
+        self.upgraded
+    }
+
+    /// Reset on crash (a restarted router starts in standard mode).
+    pub(crate) fn reset(&mut self) {
+        self.flips.clear();
+        self.upgraded = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triggers_after_threshold_flips_in_window() {
+        let policy = AdaptivePolicy {
+            threshold: 3,
+            window: 10,
+        };
+        let mut d = FlipDetector::default();
+        assert!(!d.record(0, policy));
+        assert!(!d.record(5, policy));
+        assert!(d.record(9, policy), "third flip within the window");
+        assert!(d.upgraded());
+        // Sticky.
+        assert!(d.record(1000, policy));
+    }
+
+    #[test]
+    fn slow_flips_never_trigger() {
+        let policy = AdaptivePolicy {
+            threshold: 3,
+            window: 10,
+        };
+        let mut d = FlipDetector::default();
+        for t in [0u64, 20, 40, 60, 80, 100] {
+            assert!(!d.record(t, policy), "t={t}");
+        }
+        assert!(!d.upgraded());
+    }
+
+    #[test]
+    fn reset_clears_the_upgrade() {
+        let policy = AdaptivePolicy {
+            threshold: 1,
+            window: 10,
+        };
+        let mut d = FlipDetector::default();
+        assert!(d.record(0, policy));
+        d.reset();
+        assert!(!d.upgraded());
+    }
+}

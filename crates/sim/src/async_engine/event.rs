@@ -1,0 +1,123 @@
+//! External events and run outcomes for the async engine.
+
+use ibgp_types::{ExitPathId, ExitPathRef, RouterId};
+use std::fmt;
+
+/// An external occurrence injected into a running simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsyncEvent {
+    /// An E-BGP announcement arrives at its exit point (new or replacing
+    /// a same-id announcement).
+    Inject {
+        /// The announced exit path.
+        path: ExitPathRef,
+    },
+    /// The E-BGP announcement with this id is withdrawn at its exit point.
+    Withdraw {
+        /// Which announcement disappears.
+        id: ExitPathId,
+    },
+    /// A router crashes: sessions drop, peers flush its routes, in-flight
+    /// messages on its sessions are lost.
+    NodeDown {
+        /// The crashing router.
+        node: RouterId,
+    },
+    /// A crashed router restarts: sessions re-establish and both sides
+    /// re-announce their current state.
+    NodeUp {
+        /// The restarting router.
+        node: RouterId,
+    },
+    /// A router's oscillation detector fired and it upgraded itself to
+    /// `Choose_set` advertisement (§10 adaptive mode). Emitted by the
+    /// engine into the trace; scheduling it externally forces an upgrade.
+    AdaptiveUpgrade {
+        /// The upgrading router.
+        node: RouterId,
+    },
+}
+
+impl fmt::Display for AsyncEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsyncEvent::Inject { path } => write!(f, "inject {path}"),
+            AsyncEvent::Withdraw { id } => write!(f, "withdraw {id}"),
+            AsyncEvent::NodeDown { node } => write!(f, "down {node}"),
+            AsyncEvent::NodeUp { node } => write!(f, "up {node}"),
+            AsyncEvent::AdaptiveUpgrade { node } => write!(f, "adaptive-upgrade {node}"),
+        }
+    }
+}
+
+/// How an async run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsyncOutcome {
+    /// The event queue drained: no router has anything left to say. The
+    /// routing configuration is stable.
+    Quiescent {
+        /// Simulated time of the last event.
+        at: u64,
+        /// Events processed.
+        events: u64,
+    },
+    /// The event budget ran out with messages still in flight — the
+    /// signature of an oscillation (or simply a budget set too low;
+    /// `best_changes` tells the two apart).
+    Exhausted {
+        /// Events processed.
+        events: u64,
+        /// Total best-route flips seen, the oscillation witness.
+        best_changes: u64,
+    },
+}
+
+impl AsyncOutcome {
+    /// True when the run reached quiescence.
+    pub fn quiescent(&self) -> bool {
+        matches!(self, AsyncOutcome::Quiescent { .. })
+    }
+}
+
+impl fmt::Display for AsyncOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsyncOutcome::Quiescent { at, events } => {
+                write!(f, "quiescent at t={at} after {events} events")
+            }
+            AsyncOutcome::Exhausted {
+                events,
+                best_changes,
+            } => write!(
+                f,
+                "exhausted after {events} events ({best_changes} best-route changes)"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(AsyncOutcome::Quiescent { at: 1, events: 2 }.quiescent());
+        assert!(!AsyncOutcome::Exhausted {
+            events: 5,
+            best_changes: 3
+        }
+        .quiescent());
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = AsyncOutcome::Quiescent { at: 7, events: 9 }.to_string();
+        assert!(s.contains("t=7"), "{s}");
+        let s = AsyncEvent::NodeDown {
+            node: RouterId::new(2),
+        }
+        .to_string();
+        assert_eq!(s, "down r2");
+    }
+}

@@ -1,0 +1,587 @@
+//! Event-driven, message-level simulation of I-BGP.
+//!
+//! The synchronous model of §4 deliberately abstracts message delays away
+//! ("we do not explicitly model message delays in transit"); but the
+//! paper's *transient* oscillations (Fig 2's ordering dependence, Fig 3 +
+//! Table 1's delay-driven churn) live exactly in that gap. This engine
+//! models them operationally:
+//!
+//! * each I-BGP session carries set-advertisement messages (a standard
+//!   router's set is its single best exit; Walton reflectors send their
+//!   per-AS vector; modified routers send `GoodExits`) with **per-session
+//!   FIFO** delivery — BGP runs over TCP — and caller-controlled delays;
+//! * routers keep per-peer Adj-RIB-In state, recompute their best route on
+//!   every delivery, and push updates only when the transfer-filtered set
+//!   for a peer actually changed;
+//! * external events — E-BGP inject/withdraw, router crash and restart —
+//!   can be scheduled at arbitrary times.
+//!
+//! The engine is deterministic: events are totally ordered by
+//! `(time, sequence number)` and all randomness lives in the caller's
+//! seeded [`DelayModel`].
+
+mod adaptive;
+mod delay;
+mod event;
+mod trace;
+
+pub use adaptive::AdaptivePolicy;
+pub use delay::{DelayModel, FixedDelay, FnDelay, SeededJitter};
+pub use trace::best_history;
+pub use event::{AsyncEvent, AsyncOutcome};
+pub use trace::TraceEvent;
+
+use crate::metrics::Metrics;
+use ibgp_proto::variants::ProtocolConfig;
+use ibgp_proto::{choose_best, choose_set, route_at, transfer_set, walton_advertised_set, ProtocolVariant};
+use ibgp_topology::Topology;
+use ibgp_types::{BgpId, ExitPathId, ExitPathRef, Route, RouterId};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// What sits in the event queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum QueueItem {
+    /// An I-BGP advertisement-set message.
+    Message {
+        from: RouterId,
+        to: RouterId,
+        paths: Vec<ExitPathRef>,
+    },
+    /// A scheduled external event.
+    External(AsyncEvent),
+    /// A deferred advertisement becomes sendable (MRAI expiry).
+    MraiExpire { from: RouterId, to: RouterId },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Queued {
+    at: u64,
+    seq: u64,
+    item: QueueItem,
+}
+
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-router state.
+#[derive(Debug, Clone)]
+struct ANode {
+    up: bool,
+    my_exits: Vec<ExitPathRef>,
+    /// Last advertisement set received from each peer.
+    rib_in: BTreeMap<RouterId, Vec<ExitPathRef>>,
+    /// Last advertisement set sent to each peer (post transfer filter).
+    sent: BTreeMap<RouterId, Vec<ExitPathRef>>,
+    best: Option<Route>,
+}
+
+/// The event-driven simulator.
+pub struct AsyncSim<'a> {
+    topo: &'a Topology,
+    config: ProtocolConfig,
+    nodes: Vec<ANode>,
+    queue: BinaryHeap<Reverse<Queued>>,
+    /// Next-free arrival time per directed session, enforcing FIFO.
+    session_clock: BTreeMap<(RouterId, RouterId), u64>,
+    /// Minimum route advertisement interval (0 = send every change
+    /// immediately). With a positive MRAI, rapid flaps within one window
+    /// coalesce into the net change — the mechanism that lets real BGP
+    /// escape wave-chasing oscillations like the Table 1 schedule.
+    mrai: u64,
+    /// Earliest time the next update may be sent, per directed session.
+    next_allowed: BTreeMap<(RouterId, RouterId), u64>,
+    /// Sessions with a deferred update awaiting MRAI expiry.
+    pending: std::collections::BTreeSet<(RouterId, RouterId)>,
+    /// RFC 4271-style MRAI jitter: each window is drawn uniformly from
+    /// `[3·mrai/4, mrai]`. Without jitter, synchronized update waves can
+    /// rotate forever (every router's flip spacing equals every window).
+    mrai_jitter: Option<rand::rngs::StdRng>,
+    delay: Box<dyn DelayModel>,
+    now: u64,
+    seq: u64,
+    metrics: Metrics,
+    trace: Vec<TraceEvent>,
+    trace_limit: usize,
+    /// §10 future-work feature: per-router oscillation detectors that
+    /// upgrade a flapping router to `Choose_set` advertisement.
+    adaptive: Option<AdaptivePolicy>,
+    detectors: Vec<adaptive::FlipDetector>,
+}
+
+impl<'a> AsyncSim<'a> {
+    /// Create a simulator; nothing is announced until [`AsyncSim::start`]
+    /// or a scheduled event fires.
+    pub fn new(
+        topo: &'a Topology,
+        config: ProtocolConfig,
+        exits: Vec<ExitPathRef>,
+        delay: Box<dyn DelayModel>,
+    ) -> Self {
+        let n = topo.len();
+        let mut nodes = vec![
+            ANode {
+                up: true,
+                my_exits: Vec::new(),
+                rib_in: BTreeMap::new(),
+                sent: BTreeMap::new(),
+                best: None,
+            };
+            n
+        ];
+        for p in exits {
+            assert!(p.exit_point().index() < n, "exit point out of range");
+            nodes[p.exit_point().index()].my_exits.push(p);
+        }
+        for node in &mut nodes {
+            node.my_exits.sort_by_key(|p| p.id());
+        }
+        Self {
+            topo,
+            config,
+            nodes,
+            queue: BinaryHeap::new(),
+            session_clock: BTreeMap::new(),
+            mrai: 0,
+            next_allowed: BTreeMap::new(),
+            pending: std::collections::BTreeSet::new(),
+            mrai_jitter: None,
+            delay,
+            now: 0,
+            seq: 0,
+            metrics: Metrics::default(),
+            trace: Vec::new(),
+            trace_limit: 100_000,
+            adaptive: None,
+            detectors: vec![adaptive::FlipDetector::default(); n],
+        }
+    }
+
+    /// Cap the retained trace (oldest events are kept; later ones dropped).
+    pub fn set_trace_limit(&mut self, limit: usize) {
+        self.trace_limit = limit;
+    }
+
+    /// Set the minimum route advertisement interval. With `0` (the
+    /// default) every best-route change is pushed immediately; with a
+    /// positive value, changes within one window coalesce into a single
+    /// net update per session.
+    pub fn set_mrai(&mut self, mrai: u64) {
+        self.mrai = mrai;
+    }
+
+    /// Enable the oscillation-triggered upgrade of §10: routers start
+    /// with the configured variant's advertisement and switch to the
+    /// modified protocol's `Choose_set` set once their own best route
+    /// flaps past the policy's threshold. Restarting routers reset to
+    /// the base variant.
+    pub fn set_adaptive(&mut self, policy: AdaptivePolicy) {
+        self.adaptive = Some(policy);
+    }
+
+    /// Which routers have upgraded themselves to set advertisement.
+    pub fn upgraded_routers(&self) -> Vec<RouterId> {
+        self.topo
+            .routers()
+            .filter(|u| self.detectors[u.index()].upgraded())
+            .collect()
+    }
+
+    /// Enable RFC 4271-style jitter on the MRAI: every window is drawn
+    /// uniformly from `[3·mrai/4, mrai]` using a deterministic seed.
+    /// Heterogeneous windows are what let coalescing actually terminate a
+    /// circulating update wave; identical windows can sustain it forever.
+    pub fn set_mrai_jitter(&mut self, seed: u64) {
+        use rand::SeedableRng;
+        self.mrai_jitter = Some(rand::rngs::StdRng::seed_from_u64(seed));
+    }
+
+    /// Draw the next MRAI window length.
+    fn draw_mrai(&mut self) -> u64 {
+        match (&mut self.mrai_jitter, self.mrai) {
+            (_, 0) => 0,
+            (None, m) => m,
+            (Some(rng), m) => {
+                use rand::Rng;
+                rng.gen_range(m - m / 4..=m)
+            }
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Run metrics so far.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// `BestRoute` of a node.
+    pub fn best_route(&self, u: RouterId) -> Option<&Route> {
+        self.nodes[u.index()].best.as_ref()
+    }
+
+    /// The best route's exit id.
+    pub fn best_exit(&self, u: RouterId) -> Option<ExitPathId> {
+        self.nodes[u.index()].best.as_ref().map(Route::exit_id)
+    }
+
+    /// Best exits of all nodes (the routing configuration).
+    pub fn best_vector(&self) -> Vec<Option<ExitPathId>> {
+        self.nodes
+            .iter()
+            .map(|s| s.best.as_ref().map(Route::exit_id))
+            .collect()
+    }
+
+    /// Whether a node is up.
+    pub fn is_up(&self, u: RouterId) -> bool {
+        self.nodes[u.index()].up
+    }
+
+    /// Schedule an external event at an absolute time (must be ≥ now).
+    pub fn schedule(&mut self, at: u64, event: AsyncEvent) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let q = Queued {
+            at,
+            seq: self.next_seq(),
+            item: QueueItem::External(event),
+        };
+        self.queue.push(Reverse(q));
+    }
+
+    /// Kick the protocol off: every up node evaluates its E-BGP routes and
+    /// sends its initial advertisements.
+    pub fn start(&mut self) {
+        for u in self.topo.routers() {
+            if self.nodes[u.index()].up {
+                self.reconsider(u);
+            }
+        }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    fn record(&mut self, ev: TraceEvent) {
+        if self.trace.len() < self.trace_limit {
+            self.trace.push(ev);
+        }
+    }
+
+    /// Recompute node `u`'s best route from its RIBs, and push updates to
+    /// peers whose view changed.
+    fn reconsider(&mut self, u: RouterId) {
+        let (best, advertised) = self.evaluate(u);
+        let old_best = self.nodes[u.index()].best.as_ref().map(Route::exit_id);
+        let new_best = best.as_ref().map(Route::exit_id);
+        if old_best != new_best {
+            self.metrics.best_changes += 1;
+            self.record(TraceEvent::BestChanged {
+                at: self.now,
+                node: u,
+                from: old_best,
+                to: new_best,
+            });
+            if let Some(policy) = self.adaptive {
+                let was = self.detectors[u.index()].upgraded();
+                let now_up = self.detectors[u.index()].record(self.now, policy);
+                if now_up && !was {
+                    self.record(TraceEvent::External {
+                        at: self.now,
+                        event: AsyncEvent::AdaptiveUpgrade { node: u },
+                    });
+                }
+            }
+        }
+        self.nodes[u.index()].best = best;
+        // Push to peers (subject to the MRAI window).
+        for v in self.topo.ibgp().peers(u) {
+            if !self.nodes[v.index()].up {
+                continue;
+            }
+            let out = transfer_set(self.topo, u, v, &advertised);
+            let unchanged = self.nodes[u.index()]
+                .sent
+                .get(&v)
+                .is_some_and(|prev| *prev == out);
+            if unchanged {
+                continue;
+            }
+            let gate = self.next_allowed.get(&(u, v)).copied().unwrap_or(0);
+            if self.now < gate {
+                // Defer: coalesce further changes until the window opens.
+                if self.pending.insert((u, v)) {
+                    let q = Queued {
+                        at: gate,
+                        seq: self.next_seq(),
+                        item: QueueItem::MraiExpire { from: u, to: v },
+                    };
+                    self.queue.push(Reverse(q));
+                }
+                continue;
+            }
+            self.nodes[u.index()].sent.insert(v, out.clone());
+            if self.mrai > 0 {
+                let window = self.draw_mrai();
+                self.next_allowed.insert((u, v), self.now + window);
+            }
+            self.send(u, v, out);
+        }
+    }
+
+    /// Compute (best route, full advertised set before transfer filtering)
+    /// for a node from its current RIBs.
+    fn evaluate(&self, u: RouterId) -> (Option<Route>, Vec<ExitPathRef>) {
+        let node = &self.nodes[u.index()];
+        if !node.up {
+            return (None, Vec::new());
+        }
+        let mut gathered: BTreeMap<ExitPathId, (ExitPathRef, BgpId)> = BTreeMap::new();
+        for p in &node.my_exits {
+            gathered.insert(p.id(), (p.clone(), p.next_hop().bgp_id()));
+        }
+        for (&peer, paths) in &node.rib_in {
+            let sender = self.topo.bgp_id(peer);
+            for p in paths {
+                gathered
+                    .entry(p.id())
+                    .and_modify(|(_, lf)| {
+                        if p.exit_point() != u {
+                            *lf = (*lf).min(sender);
+                        }
+                    })
+                    .or_insert_with(|| (p.clone(), sender));
+            }
+        }
+        let possible: Vec<ExitPathRef> = gathered.values().map(|(p, _)| p.clone()).collect();
+        let routes: Vec<Route> = possible
+            .iter()
+            .map(|p| route_at(self.topo, u, p, gathered[&p.id()].1))
+            .collect();
+        let best = choose_best(self.config.policy, &routes);
+        let effective = if self.detectors[u.index()].upgraded() {
+            ProtocolVariant::Modified
+        } else {
+            self.config.variant
+        };
+        let advertised = match effective {
+            ProtocolVariant::Standard => best
+                .as_ref()
+                .map(|r| vec![r.exit().clone()])
+                .unwrap_or_default(),
+            ProtocolVariant::Walton => {
+                if self.topo.ibgp().is_reflector(u) {
+                    walton_advertised_set(self.config.policy, &routes)
+                } else {
+                    best.as_ref()
+                        .map(|r| vec![r.exit().clone()])
+                        .unwrap_or_default()
+                }
+            }
+            ProtocolVariant::Modified => choose_set(&possible, self.config.policy.med_mode),
+        };
+        (best, advertised)
+    }
+
+    /// Enqueue a message with the delay model's latency, preserving FIFO
+    /// per directed session.
+    fn send(&mut self, from: RouterId, to: RouterId, paths: Vec<ExitPathRef>) {
+        let d = self.delay.delay(from, to, self.now).max(1);
+        let clock = self.session_clock.entry((from, to)).or_insert(0);
+        let at = (self.now + d).max(*clock + 1);
+        *clock = at;
+        self.metrics.messages += 1;
+        self.metrics.paths_advertised += paths.len() as u64;
+        self.record(TraceEvent::Sent {
+            at: self.now,
+            deliver_at: at,
+            from,
+            to,
+            paths: paths.iter().map(|p| p.id()).collect(),
+        });
+        let q = Queued {
+            at,
+            seq: self.next_seq(),
+            item: QueueItem::Message { from, to, paths },
+        };
+        self.queue.push(Reverse(q));
+    }
+
+    /// Process the next queued event, if any. Returns false when the queue
+    /// is empty (quiescence).
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(q)) = self.queue.pop() else {
+            return false;
+        };
+        self.now = q.at;
+        self.metrics.activations += 1;
+        match q.item {
+            QueueItem::Message { from, to, paths } => {
+                if !self.nodes[to.index()].up || !self.nodes[from.index()].up {
+                    return true; // dropped on a dead session
+                }
+                self.record(TraceEvent::Delivered {
+                    at: self.now,
+                    from,
+                    to,
+                    paths: paths.iter().map(|p| p.id()).collect(),
+                });
+                self.nodes[to.index()].rib_in.insert(from, paths);
+                self.reconsider(to);
+            }
+            QueueItem::External(ev) => self.apply_external(ev),
+            QueueItem::MraiExpire { from, to } => {
+                self.pending.remove(&(from, to));
+                if !self.nodes[from.index()].up || !self.nodes[to.index()].up {
+                    return true;
+                }
+                let (_, advertised) = self.evaluate(from);
+                let out = transfer_set(self.topo, from, to, &advertised);
+                let unchanged = self.nodes[from.index()]
+                    .sent
+                    .get(&to)
+                    .is_some_and(|prev| *prev == out);
+                if !unchanged {
+                    self.nodes[from.index()].sent.insert(to, out.clone());
+                    if self.mrai > 0 {
+                        let window = self.draw_mrai();
+                        self.next_allowed.insert((from, to), self.now + window);
+                    }
+                    self.send(from, to, out);
+                }
+            }
+        }
+        true
+    }
+
+    fn apply_external(&mut self, ev: AsyncEvent) {
+        self.record(TraceEvent::External {
+            at: self.now,
+            event: ev.clone(),
+        });
+        match ev {
+            AsyncEvent::Inject { path } => {
+                let u = path.exit_point();
+                let node = &mut self.nodes[u.index()];
+                node.my_exits.retain(|p| p.id() != path.id());
+                node.my_exits.push(path);
+                node.my_exits.sort_by_key(|p| p.id());
+                if node.up {
+                    self.reconsider(u);
+                }
+            }
+            AsyncEvent::Withdraw { id } => {
+                for u in self.topo.routers() {
+                    let node = &mut self.nodes[u.index()];
+                    let before = node.my_exits.len();
+                    node.my_exits.retain(|p| p.id() != id);
+                    if node.my_exits.len() != before && node.up {
+                        self.reconsider(u);
+                    }
+                }
+            }
+            AsyncEvent::NodeDown { node: u } => {
+                self.nodes[u.index()].up = false;
+                self.nodes[u.index()].rib_in.clear();
+                self.nodes[u.index()].sent.clear();
+                self.nodes[u.index()].best = None;
+                self.pending.retain(|&(f, t)| f != u && t != u);
+                self.next_allowed.retain(|&(f, t), _| f != u && t != u);
+                self.detectors[u.index()].reset();
+                // Drop in-flight messages on sessions touching u.
+                let kept: Vec<Reverse<Queued>> = self
+                    .queue
+                    .drain()
+                    .filter(|Reverse(q)| match &q.item {
+                        QueueItem::Message { from, to, .. }
+                        | QueueItem::MraiExpire { from, to } => *from != u && *to != u,
+                        QueueItem::External(_) => true,
+                    })
+                    .collect();
+                self.queue = kept.into();
+                // Peers tear the session down: they lose u's routes.
+                for v in self.topo.ibgp().peers(u) {
+                    let peer = &mut self.nodes[v.index()];
+                    let had = peer.rib_in.remove(&u).is_some();
+                    peer.sent.remove(&u);
+                    if had && peer.up {
+                        self.reconsider(v);
+                    }
+                }
+            }
+            AsyncEvent::AdaptiveUpgrade { node: u } => {
+                // External force-upgrade: mark and re-advertise.
+                if let Some(policy) = self.adaptive {
+                    // Saturate the detector by feeding it enough flips.
+                    for _ in 0..policy.threshold {
+                        self.detectors[u.index()].record(self.now, policy);
+                    }
+                } else {
+                    // Without a policy, use a degenerate always-on one.
+                    self.detectors[u.index()]
+                        .record(self.now, AdaptivePolicy { threshold: 1, window: 1 });
+                }
+                if self.nodes[u.index()].up {
+                    self.reconsider(u);
+                }
+            }
+            AsyncEvent::NodeUp { node: u } => {
+                self.nodes[u.index()].up = true;
+                // Session re-establishment: peers re-announce their state
+                // to u; u announces its own (sent maps were cleared).
+                self.reconsider(u);
+                for v in self.topo.ibgp().peers(u) {
+                    if self.nodes[v.index()].up {
+                        self.reconsider(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drain the queue until quiescence or the event budget is exhausted.
+    pub fn run(&mut self, max_events: u64) -> AsyncOutcome {
+        for processed in 0..max_events {
+            if !self.step() {
+                return AsyncOutcome::Quiescent {
+                    at: self.now,
+                    events: processed,
+                };
+            }
+        }
+        if self.queue.is_empty() {
+            AsyncOutcome::Quiescent {
+                at: self.now,
+                events: max_events,
+            }
+        } else {
+            AsyncOutcome::Exhausted {
+                events: max_events,
+                best_changes: self.metrics.best_changes,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,408 @@
+use super::*;
+use crate::async_engine::trace::best_history;
+use ibgp_proto::variants::ProtocolConfig;
+use ibgp_topology::TopologyBuilder;
+use ibgp_types::{AsId, ExitPath, Med};
+use std::sync::Arc;
+
+fn r(i: u32) -> RouterId {
+    RouterId::new(i)
+}
+
+fn exit(id: u32, next_as: u32, med: u32, exit_point: u32) -> ExitPathRef {
+    Arc::new(
+        ExitPath::builder(ExitPathId::new(id))
+            .via(AsId::new(next_as))
+            .med(Med::new(med))
+            .exit_point(r(exit_point))
+            .build_unchecked(),
+    )
+}
+
+fn p(i: u32) -> ExitPathId {
+    ExitPathId::new(i)
+}
+
+/// Full mesh of three; one exit propagates and the system quiesces.
+#[test]
+fn propagation_reaches_quiescence() {
+    let topo = TopologyBuilder::new(3)
+        .link(0, 1, 1)
+        .link(1, 2, 1)
+        .full_mesh()
+        .build()
+        .unwrap();
+    let mut sim = AsyncSim::new(
+        &topo,
+        ProtocolConfig::STANDARD,
+        vec![exit(1, 1, 0, 0)],
+        Box::new(FixedDelay(1)),
+    );
+    sim.start();
+    let outcome = sim.run(10_000);
+    assert!(outcome.quiescent(), "{outcome}");
+    for u in 0..3 {
+        assert_eq!(sim.best_exit(r(u)), Some(p(1)));
+    }
+    assert!(sim.metrics().messages >= 2);
+}
+
+/// The DISAGREE gadget: two clusters {RR0; c2}, {RR1; c3}; exits at the
+/// clients through the same neighbor AS; each reflector is closer to the
+/// *other* cluster's exit. Standard I-BGP: with symmetric delays the
+/// reflectors flip forever; the modified protocol quiesces.
+fn disagree_topo() -> ibgp_topology::Topology {
+    TopologyBuilder::new(4)
+        .link(0, 2, 10)
+        .link(0, 3, 1)
+        .link(1, 3, 10)
+        .link(1, 2, 1)
+        .cluster([0], [2])
+        .cluster([1], [3])
+        .build()
+        .unwrap()
+}
+
+fn disagree_exits() -> Vec<ExitPathRef> {
+    vec![exit(1, 1, 0, 2), exit(2, 1, 0, 3)]
+}
+
+#[test]
+fn disagree_standard_oscillates_with_symmetric_delays() {
+    let topo = disagree_topo();
+    let mut sim = AsyncSim::new(
+        &topo,
+        ProtocolConfig::STANDARD,
+        disagree_exits(),
+        Box::new(FixedDelay(2)),
+    );
+    sim.start();
+    let outcome = sim.run(2_000);
+    match outcome {
+        AsyncOutcome::Exhausted { best_changes, .. } => {
+            assert!(best_changes > 100, "expected sustained flipping, got {best_changes}");
+        }
+        AsyncOutcome::Quiescent { .. } => panic!("standard protocol should oscillate: {outcome}"),
+    }
+    // Both reflectors keep flipping between the two exits.
+    let h0 = best_history(sim.trace(), r(0));
+    assert!(h0.len() > 10, "reflector 0 flipped {} times", h0.len());
+}
+
+#[test]
+fn disagree_standard_converges_with_asymmetric_delays() {
+    let topo = disagree_topo();
+    // Cluster 0's messages are much faster: RR1 hears p1 before RR0 hears
+    // p2, breaking the symmetry (the paper's "stable if messages happen to
+    // order well").
+    let delay = FnDelay::new(|from, _to, _now| if from.raw() == 0 || from.raw() == 2 { 1 } else { 40 });
+    let mut sim = AsyncSim::new(
+        &topo,
+        ProtocolConfig::STANDARD,
+        disagree_exits(),
+        Box::new(delay),
+    );
+    sim.start();
+    let outcome = sim.run(10_000);
+    assert!(outcome.quiescent(), "{outcome}");
+}
+
+#[test]
+fn disagree_modified_quiesces_with_symmetric_delays() {
+    let topo = disagree_topo();
+    let mut sim = AsyncSim::new(
+        &topo,
+        ProtocolConfig::MODIFIED,
+        disagree_exits(),
+        Box::new(FixedDelay(2)),
+    );
+    sim.start();
+    let outcome = sim.run(10_000);
+    assert!(outcome.quiescent(), "{outcome}");
+    // Each reflector settles on the nearer (foreign) exit.
+    assert_eq!(sim.best_exit(r(0)), Some(p(2)));
+    assert_eq!(sim.best_exit(r(1)), Some(p(1)));
+    // Clients keep their own E-BGP routes.
+    assert_eq!(sim.best_exit(r(2)), Some(p(1)));
+    assert_eq!(sim.best_exit(r(3)), Some(p(2)));
+}
+
+#[test]
+fn modified_outcome_is_independent_of_delays() {
+    let topo = disagree_topo();
+    let mut reference: Option<Vec<Option<ExitPathId>>> = None;
+    for seed in 0..10u64 {
+        let mut sim = AsyncSim::new(
+            &topo,
+            ProtocolConfig::MODIFIED,
+            disagree_exits(),
+            Box::new(SeededJitter::new(seed, 1, 17)),
+        );
+        sim.start();
+        let outcome = sim.run(50_000);
+        assert!(outcome.quiescent(), "seed {seed}: {outcome}");
+        let bv = sim.best_vector();
+        match &reference {
+            None => reference = Some(bv),
+            Some(prev) => assert_eq!(*prev, bv, "seed {seed} diverged"),
+        }
+    }
+}
+
+#[test]
+fn withdraw_flushes_and_requiesces() {
+    let topo = TopologyBuilder::new(3)
+        .link(0, 1, 1)
+        .link(1, 2, 1)
+        .full_mesh()
+        .build()
+        .unwrap();
+    let mut sim = AsyncSim::new(
+        &topo,
+        ProtocolConfig::STANDARD,
+        vec![exit(1, 1, 0, 0), exit(2, 2, 0, 2)],
+        Box::new(FixedDelay(1)),
+    );
+    sim.start();
+    assert!(sim.run(10_000).quiescent());
+    let t = sim.now();
+    sim.schedule(t + 5, AsyncEvent::Withdraw { id: p(1) });
+    assert!(sim.run(10_000).quiescent());
+    for u in 0..3 {
+        assert_eq!(sim.best_exit(r(u)), Some(p(2)), "node {u}");
+    }
+}
+
+#[test]
+fn crash_and_restart_recovers_routes() {
+    // Exit lives at node 0; node 2 only learns it via I-BGP. Crash node 0:
+    // everyone loses the route. Restart: it comes back.
+    let topo = TopologyBuilder::new(3)
+        .link(0, 1, 1)
+        .link(1, 2, 1)
+        .full_mesh()
+        .build()
+        .unwrap();
+    let mut sim = AsyncSim::new(
+        &topo,
+        ProtocolConfig::MODIFIED,
+        vec![exit(1, 1, 0, 0)],
+        Box::new(FixedDelay(1)),
+    );
+    sim.start();
+    assert!(sim.run(10_000).quiescent());
+    assert_eq!(sim.best_exit(r(2)), Some(p(1)));
+
+    let t = sim.now();
+    sim.schedule(t + 1, AsyncEvent::NodeDown { node: r(0) });
+    assert!(sim.run(10_000).quiescent());
+    assert!(!sim.is_up(r(0)));
+    assert_eq!(sim.best_exit(r(2)), None, "route must be flushed");
+
+    let t = sim.now();
+    sim.schedule(t + 1, AsyncEvent::NodeUp { node: r(0) });
+    assert!(sim.run(10_000).quiescent());
+    assert_eq!(sim.best_exit(r(2)), Some(p(1)), "route must return");
+}
+
+#[test]
+fn fifo_is_preserved_per_session() {
+    // Even with a delay model that *shrinks* over time, deliveries on one
+    // session must stay in send order.
+    let topo = TopologyBuilder::new(2)
+        .link(0, 1, 1)
+        .full_mesh()
+        .build()
+        .unwrap();
+    let mut big = 100u64;
+    let delay = FnDelay::new(move |_f, _t, _now| {
+        big = big.saturating_sub(30).max(1);
+        big
+    });
+    let mut sim = AsyncSim::new(
+        &topo,
+        ProtocolConfig::STANDARD,
+        vec![exit(1, 1, 5, 0)],
+        Box::new(delay),
+    );
+    sim.start();
+    // Quickly replace the announcement twice; messages 2 and 3 get shorter
+    // delays but may not overtake message 1.
+    sim.schedule(1, AsyncEvent::Inject { path: exit(1, 1, 3, 0) });
+    sim.schedule(2, AsyncEvent::Inject { path: exit(1, 1, 1, 0) });
+    assert!(sim.run(10_000).quiescent());
+    let mut last_arrival_per_session: std::collections::HashMap<(u32, u32), u64> =
+        std::collections::HashMap::new();
+    for ev in sim.trace() {
+        if let TraceEvent::Delivered { at, from, to, .. } = ev {
+            let key = (from.raw(), to.raw());
+            let prev = last_arrival_per_session.entry(key).or_insert(0);
+            assert!(at >= prev, "FIFO violated on session {key:?}");
+            *prev = *at;
+        }
+    }
+    // Final state reflects the *last* injection.
+    assert_eq!(sim.best_route(r(1)).unwrap().med(), Med::new(1));
+}
+
+#[test]
+fn trace_records_sends_and_deliveries() {
+    let topo = TopologyBuilder::new(2)
+        .link(0, 1, 1)
+        .full_mesh()
+        .build()
+        .unwrap();
+    let mut sim = AsyncSim::new(
+        &topo,
+        ProtocolConfig::STANDARD,
+        vec![exit(1, 1, 0, 0)],
+        Box::new(FixedDelay(3)),
+    );
+    sim.start();
+    assert!(sim.run(100).quiescent());
+    let sends: Vec<_> = sim
+        .trace()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Sent { .. }))
+        .collect();
+    let delivers: Vec<_> = sim
+        .trace()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Delivered { .. }))
+        .collect();
+    assert_eq!(sends.len(), delivers.len());
+    assert!(!sends.is_empty());
+    if let TraceEvent::Sent { at, deliver_at, .. } = sends[0] {
+        assert_eq!(*deliver_at, *at + 3);
+    }
+}
+
+#[test]
+fn messages_to_downed_nodes_are_dropped() {
+    let topo = TopologyBuilder::new(2)
+        .link(0, 1, 1)
+        .full_mesh()
+        .build()
+        .unwrap();
+    let mut sim = AsyncSim::new(
+        &topo,
+        ProtocolConfig::STANDARD,
+        vec![exit(1, 1, 0, 0)],
+        Box::new(FixedDelay(50)),
+    );
+    sim.start();
+    // Node 1 dies before node 0's initial announcement (in flight, arrives
+    // at t=50) can be delivered.
+    sim.schedule(10, AsyncEvent::NodeDown { node: r(1) });
+    assert!(sim.run(1_000).quiescent());
+    assert_eq!(sim.best_exit(r(1)), None);
+}
+
+#[test]
+fn scheduling_into_the_past_panics() {
+    let topo = TopologyBuilder::new(2)
+        .link(0, 1, 1)
+        .full_mesh()
+        .build()
+        .unwrap();
+    let mut sim = AsyncSim::new(
+        &topo,
+        ProtocolConfig::STANDARD,
+        vec![exit(1, 1, 0, 0)],
+        Box::new(FixedDelay(1)),
+    );
+    sim.start();
+    assert!(sim.run(1_000).quiescent());
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sim.schedule(0, AsyncEvent::Withdraw { id: p(1) });
+    }));
+    assert!(result.is_err());
+}
+
+#[test]
+fn mrai_reduces_message_volume_on_churny_starts() {
+    // Same scenario, same delays: with a (jittered) MRAI the engine sends
+    // strictly fewer messages before quiescence than with none, because
+    // intermediate states coalesce.
+    let topo = TopologyBuilder::new(4)
+        .link(0, 1, 1)
+        .link(1, 2, 2)
+        .link(2, 3, 3)
+        .full_mesh()
+        .build()
+        .unwrap();
+    let exits = vec![
+        exit(1, 1, 5, 0),
+        exit(2, 1, 3, 1),
+        exit(3, 2, 0, 2),
+        exit(4, 2, 7, 3),
+    ];
+    let run = |mrai: u64| -> u64 {
+        let mut sim = AsyncSim::new(
+            &topo,
+            ProtocolConfig::MODIFIED,
+            exits.clone(),
+            Box::new(SeededJitter::new(5, 1, 7)),
+        );
+        if mrai > 0 {
+            sim.set_mrai(mrai);
+            sim.set_mrai_jitter(9);
+        }
+        sim.start();
+        assert!(sim.run(100_000).quiescent());
+        sim.metrics().messages
+    };
+    let without = run(0);
+    let with = run(40);
+    assert!(with <= without, "mrai={with} vs plain={without}");
+}
+
+#[test]
+fn trace_limit_is_respected() {
+    let topo = TopologyBuilder::new(3)
+        .link(0, 1, 1)
+        .link(1, 2, 1)
+        .full_mesh()
+        .build()
+        .unwrap();
+    let mut sim = AsyncSim::new(
+        &topo,
+        ProtocolConfig::STANDARD,
+        vec![exit(1, 1, 0, 0), exit(2, 2, 0, 2)],
+        Box::new(FixedDelay(1)),
+    );
+    sim.set_trace_limit(3);
+    sim.start();
+    assert!(sim.run(10_000).quiescent());
+    assert_eq!(sim.trace().len(), 3, "oldest three events retained");
+}
+
+#[test]
+fn adaptive_upgrade_event_displays() {
+    let ev = AsyncEvent::AdaptiveUpgrade { node: r(4) };
+    assert_eq!(ev.to_string(), "adaptive-upgrade r4");
+}
+
+#[test]
+fn forced_upgrade_without_policy_uses_degenerate_detector() {
+    // AdaptiveUpgrade scheduled on a sim with no adaptive policy must
+    // still convert the router.
+    let topo = TopologyBuilder::new(2)
+        .link(0, 1, 1)
+        .cluster([0], [1])
+        .build()
+        .unwrap();
+    let mut sim = AsyncSim::new(
+        &topo,
+        ProtocolConfig::STANDARD,
+        vec![exit(1, 1, 0, 0), exit(2, 2, 0, 1)],
+        Box::new(FixedDelay(1)),
+    );
+    sim.start();
+    assert!(sim.run(10_000).quiescent());
+    assert!(sim.upgraded_routers().is_empty());
+    let t = sim.now();
+    sim.schedule(t + 1, AsyncEvent::AdaptiveUpgrade { node: r(0) });
+    assert!(sim.run(10_000).quiescent());
+    assert_eq!(sim.upgraded_routers(), vec![r(0)]);
+}

@@ -1,0 +1,169 @@
+//! Structured execution traces.
+//!
+//! Every observable transition is recorded: messages sent (with their
+//! scheduled delivery time) and delivered, best-route changes, and
+//! external events. Scenario tests assert against these traces — e.g. the
+//! Table 1 reproduction checks the exact sequence of best-route flips at
+//! each router.
+
+use super::event::AsyncEvent;
+use ibgp_types::{ExitPathId, RouterId};
+use std::fmt;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A node queued an advertisement-set message.
+    Sent {
+        /// Send time.
+        at: u64,
+        /// Scheduled arrival time.
+        deliver_at: u64,
+        /// Sender.
+        from: RouterId,
+        /// Receiver.
+        to: RouterId,
+        /// Advertised exit-path ids (empty = withdraw-all).
+        paths: Vec<ExitPathId>,
+    },
+    /// A message reached its receiver.
+    Delivered {
+        /// Delivery time.
+        at: u64,
+        /// Sender.
+        from: RouterId,
+        /// Receiver.
+        to: RouterId,
+        /// Advertised exit-path ids.
+        paths: Vec<ExitPathId>,
+    },
+    /// A node's best route changed.
+    BestChanged {
+        /// Time of the change.
+        at: u64,
+        /// The node.
+        node: RouterId,
+        /// Previous best exit.
+        from: Option<ExitPathId>,
+        /// New best exit.
+        to: Option<ExitPathId>,
+    },
+    /// An external event fired.
+    External {
+        /// Time it fired.
+        at: u64,
+        /// The event.
+        event: AsyncEvent,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> u64 {
+        match self {
+            TraceEvent::Sent { at, .. }
+            | TraceEvent::Delivered { at, .. }
+            | TraceEvent::BestChanged { at, .. }
+            | TraceEvent::External { at, .. } => *at,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn ids(paths: &[ExitPathId]) -> String {
+            if paths.is_empty() {
+                "∅".to_string()
+            } else {
+                paths
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            }
+        }
+        match self {
+            TraceEvent::Sent {
+                at,
+                deliver_at,
+                from,
+                to,
+                paths,
+            } => write!(f, "[{at}] {from}->{to} send {{{}}} (arrives {deliver_at})", ids(paths)),
+            TraceEvent::Delivered { at, from, to, paths } => {
+                write!(f, "[{at}] {to} <- {from} {{{}}}", ids(paths))
+            }
+            TraceEvent::BestChanged { at, node, from, to } => {
+                let fmt_opt = |o: &Option<ExitPathId>| {
+                    o.map(|p| p.to_string()).unwrap_or_else(|| "∅".into())
+                };
+                write!(f, "[{at}] {node} best {} -> {}", fmt_opt(from), fmt_opt(to))
+            }
+            TraceEvent::External { at, event } => write!(f, "[{at}] {event}"),
+        }
+    }
+}
+
+/// Extract the best-route flip history of one node from a trace.
+pub fn best_history(trace: &[TraceEvent], node: RouterId) -> Vec<Option<ExitPathId>> {
+    trace
+        .iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::BestChanged { node: n, to, .. } if *n == node => Some(*to),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_history_filters_by_node() {
+        let trace = vec![
+            TraceEvent::BestChanged {
+                at: 1,
+                node: RouterId::new(0),
+                from: None,
+                to: Some(ExitPathId::new(1)),
+            },
+            TraceEvent::BestChanged {
+                at: 2,
+                node: RouterId::new(1),
+                from: None,
+                to: Some(ExitPathId::new(2)),
+            },
+            TraceEvent::BestChanged {
+                at: 3,
+                node: RouterId::new(0),
+                from: Some(ExitPathId::new(1)),
+                to: Some(ExitPathId::new(2)),
+            },
+        ];
+        assert_eq!(
+            best_history(&trace, RouterId::new(0)),
+            vec![Some(ExitPathId::new(1)), Some(ExitPathId::new(2))]
+        );
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let ev = TraceEvent::Sent {
+            at: 3,
+            deliver_at: 5,
+            from: RouterId::new(0),
+            to: RouterId::new(1),
+            paths: vec![ExitPathId::new(9)],
+        };
+        assert_eq!(ev.to_string(), "[3] r0->r1 send {p9} (arrives 5)");
+        assert_eq!(ev.at(), 3);
+        let ev = TraceEvent::BestChanged {
+            at: 4,
+            node: RouterId::new(2),
+            from: None,
+            to: None,
+        };
+        assert_eq!(ev.to_string(), "[4] r2 best ∅ -> ∅");
+    }
+}

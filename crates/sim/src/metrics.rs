@@ -1,0 +1,52 @@
+//! Simple counters shared by both engines.
+//!
+//! The overhead experiments (E10/E11) read these: how many activations or
+//! messages a run took, how many exit paths crossed sessions (the
+//! advertisement-volume cost the paper's §10 discusses), and how often
+//! best routes churned.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative counters for one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Sync engine: node-activations performed. Async engine: events
+    /// processed.
+    pub activations: u64,
+    /// Update messages (non-identical advertised sets) sent between peers.
+    pub messages: u64,
+    /// Total exit paths carried in those messages — the advertisement
+    /// volume that distinguishes standard (≤1 per message) from Walton
+    /// (≤ m) and the modified protocol (≤ |S′|).
+    pub paths_advertised: u64,
+    /// Times some node's best route changed.
+    pub best_changes: u64,
+}
+
+impl Metrics {
+    /// Average paths per message, or 0.0 when no messages were sent.
+    pub fn paths_per_message(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.paths_advertised as f64 / self.messages as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_per_message_handles_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.paths_per_message(), 0.0);
+        let m = Metrics {
+            messages: 4,
+            paths_advertised: 10,
+            ..Metrics::default()
+        };
+        assert!((m.paths_per_message() - 2.5).abs() < 1e-12);
+    }
+}

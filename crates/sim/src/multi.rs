@@ -1,0 +1,224 @@
+//! Multi-prefix simulation.
+//!
+//! BGP carries many destination prefixes; the paper's model (and every
+//! engine in this workspace) analyzes one at a time, which is sound
+//! because I-BGP processes prefixes independently — but operational
+//! questions are per-fleet: how much total churn, which prefixes
+//! oscillate, and (for the §10 adaptive feature) whether detection is
+//! correctly *per prefix*: "the propagation of extra routes [is] a
+//! feature that is only triggered when route oscillations are detected
+//! for some destination prefix".
+//!
+//! [`MultiPrefixSim`] runs one async engine per prefix over a shared
+//! topology and aggregates the results.
+
+use crate::async_engine::{AdaptivePolicy, AsyncOutcome, AsyncSim, DelayModel};
+use crate::metrics::Metrics;
+use ibgp_proto::variants::ProtocolConfig;
+use ibgp_topology::Topology;
+use ibgp_types::{ExitPathId, ExitPathRef, Prefix, RouterId};
+use std::collections::BTreeMap;
+
+/// Per-prefix result of a fleet run.
+#[derive(Debug, Clone)]
+pub struct PrefixResult {
+    /// The prefix.
+    pub prefix: Prefix,
+    /// How its simulation ended.
+    pub outcome: AsyncOutcome,
+    /// Its best-exit vector at the end.
+    pub best_exits: Vec<Option<ExitPathId>>,
+    /// Its message/churn counters.
+    pub metrics: Metrics,
+    /// Routers that upgraded to set advertisement for this prefix
+    /// (adaptive mode only).
+    pub upgraded: Vec<RouterId>,
+}
+
+/// A fleet of per-prefix simulations over one topology.
+pub struct MultiPrefixSim<'a> {
+    topo: &'a Topology,
+    config: ProtocolConfig,
+    /// Exit paths per prefix.
+    workload: BTreeMap<Prefix, Vec<ExitPathRef>>,
+    adaptive: Option<AdaptivePolicy>,
+    mrai: u64,
+}
+
+impl<'a> MultiPrefixSim<'a> {
+    /// Create an empty fleet.
+    pub fn new(topo: &'a Topology, config: ProtocolConfig) -> Self {
+        Self {
+            topo,
+            config,
+            workload: BTreeMap::new(),
+            adaptive: None,
+            mrai: 0,
+        }
+    }
+
+    /// Add a prefix with its injected exit paths.
+    pub fn prefix(mut self, prefix: Prefix, exits: Vec<ExitPathRef>) -> Self {
+        self.workload.insert(prefix, exits);
+        self
+    }
+
+    /// Enable the per-prefix adaptive upgrade.
+    pub fn adaptive(mut self, policy: AdaptivePolicy) -> Self {
+        self.adaptive = Some(policy);
+        self
+    }
+
+    /// Set an MRAI (with deterministic jitter) on every engine.
+    pub fn mrai(mut self, mrai: u64) -> Self {
+        self.mrai = mrai;
+        self
+    }
+
+    /// Number of prefixes.
+    pub fn len(&self) -> usize {
+        self.workload.len()
+    }
+
+    /// True when no prefixes were added.
+    pub fn is_empty(&self) -> bool {
+        self.workload.is_empty()
+    }
+
+    /// Run every prefix to quiescence or the per-prefix event budget.
+    ///
+    /// `delay_for` builds a (seeded) delay model per prefix, so timing
+    /// can differ across prefixes as it does in practice.
+    pub fn run(
+        &self,
+        mut delay_for: impl FnMut(Prefix) -> Box<dyn DelayModel>,
+        max_events_per_prefix: u64,
+    ) -> Vec<PrefixResult> {
+        self.workload
+            .iter()
+            .map(|(&prefix, exits)| {
+                let mut sim =
+                    AsyncSim::new(self.topo, self.config, exits.clone(), delay_for(prefix));
+                if let Some(policy) = self.adaptive {
+                    sim.set_adaptive(policy);
+                }
+                if self.mrai > 0 {
+                    sim.set_mrai(self.mrai);
+                    sim.set_mrai_jitter(prefix.addr() as u64);
+                }
+                sim.start();
+                let outcome = sim.run(max_events_per_prefix);
+                PrefixResult {
+                    prefix,
+                    outcome,
+                    best_exits: sim.best_vector(),
+                    metrics: sim.metrics(),
+                    upgraded: sim.upgraded_routers(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Aggregate counters over a fleet run.
+pub fn aggregate(results: &[PrefixResult]) -> Metrics {
+    let mut total = Metrics::default();
+    for r in results {
+        total.activations += r.metrics.activations;
+        total.messages += r.metrics.messages;
+        total.paths_advertised += r.metrics.paths_advertised;
+        total.best_changes += r.metrics.best_changes;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::async_engine::FixedDelay;
+    use ibgp_topology::TopologyBuilder;
+    use ibgp_types::{AsId, ExitPath, Med};
+    use std::sync::Arc;
+
+    fn exit(id: u32, next_as: u32, med: u32, at: u32) -> ExitPathRef {
+        Arc::new(
+            ExitPath::builder(ExitPathId::new(id))
+                .via(AsId::new(next_as))
+                .med(Med::new(med))
+                .exit_point(RouterId::new(at))
+                .build_unchecked(),
+        )
+    }
+
+    fn prefix(i: u32) -> Prefix {
+        Prefix::new(0x0A00_0000 + (i << 8), 24).unwrap()
+    }
+
+    #[test]
+    fn independent_prefixes_quiesce_independently() {
+        let topo = TopologyBuilder::new(3)
+            .link(0, 1, 1)
+            .link(1, 2, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let fleet = MultiPrefixSim::new(&topo, ProtocolConfig::MODIFIED)
+            .prefix(prefix(1), vec![exit(1, 1, 0, 0)])
+            .prefix(prefix(2), vec![exit(3, 2, 5, 2), exit(4, 2, 0, 1)]);
+        assert_eq!(fleet.len(), 2);
+        let results = fleet.run(|_| Box::new(FixedDelay(2)), 50_000);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.outcome.quiescent(), "{}: {}", r.prefix, r.outcome);
+            assert!(r.upgraded.is_empty());
+        }
+        // Prefixes converge to different tables.
+        assert_ne!(results[0].best_exits, results[1].best_exits);
+        let total = aggregate(&results);
+        assert!(total.messages >= results[0].metrics.messages);
+    }
+
+    #[test]
+    fn only_the_oscillating_prefix_triggers_upgrades() {
+        // Prefix A: a quiet single-exit destination. Prefix B: the Fig 2
+        // DISAGREE exits, which flap forever under the standard protocol
+        // with symmetric delays. With the adaptive policy, only prefix
+        // B's routers upgrade, and both prefixes end quiescent.
+        let topo = TopologyBuilder::new(4)
+            .link(0, 2, 10)
+            .link(0, 3, 1)
+            .link(1, 3, 10)
+            .link(1, 2, 1)
+            .cluster([0], [2])
+            .cluster([1], [3])
+            .build()
+            .unwrap();
+        let quiet = vec![exit(1, 1, 0, 2)];
+        let flappy = vec![exit(1, 1, 0, 2), exit(2, 1, 0, 3)];
+        let fleet = MultiPrefixSim::new(&topo, ProtocolConfig::STANDARD)
+            .prefix(prefix(1), quiet)
+            .prefix(prefix(2), flappy)
+            .adaptive(AdaptivePolicy {
+                threshold: 8,
+                window: 200,
+            });
+        let results = fleet.run(|_| Box::new(FixedDelay(2)), 200_000);
+        let quiet_result = &results[0];
+        let flappy_result = &results[1];
+        assert!(quiet_result.outcome.quiescent());
+        assert!(quiet_result.upgraded.is_empty(), "quiet prefix pays nothing");
+        assert!(flappy_result.outcome.quiescent(), "{}", flappy_result.outcome);
+        assert!(
+            !flappy_result.upgraded.is_empty(),
+            "the oscillating prefix self-heals"
+        );
+    }
+
+    #[test]
+    fn empty_fleet_is_empty() {
+        let topo = TopologyBuilder::new(1).cluster([0], []).build().unwrap();
+        let fleet = MultiPrefixSim::new(&topo, ProtocolConfig::STANDARD);
+        assert!(fleet.is_empty());
+        assert!(fleet.run(|_| Box::new(FixedDelay(1)), 10).is_empty());
+    }
+}

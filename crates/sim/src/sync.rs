@@ -1,0 +1,692 @@
+//! The synchronous activation-sequence engine — the paper's operational
+//! model of I-BGP (§4), extended with the modified protocol of §6 and the
+//! Walton baseline of §8.
+//!
+//! State per node `v` at time `t`:
+//!
+//! * `MyExits(v)` — the E-BGP routes `v` itself knows (mutable only via
+//!   explicit inject/withdraw, modeling E-BGP churn);
+//! * `PossibleExits(v, t)` — the exit paths `v` can currently choose from;
+//! * `BestRoute(v, t)` — `best_v(route(PossibleExits(v, t), v))`;
+//! * the advertised set — what `v` offers its peers, per protocol
+//!   variant: `{exit(BestRoute)}` (standard), the per-neighbor-AS vector
+//!   (Walton, reflectors only), or `GoodExits(v, t) =
+//!   Choose_set(PossibleExits(v, t))` (modified).
+//!
+//! When a node activates it *pulls* from every peer the transfer-filtered
+//! advertised set, rebuilds `PossibleExits` from scratch (union with
+//! `MyExits` — withdrawal is implicit), recomputes its best route, and
+//! refreshes its advertised set. Nodes activated in the same step all read
+//! the pre-step state, so simultaneous activations model simultaneous
+//! message exchange (this is what drives the Fig 2 oscillation).
+
+use crate::activation::Activation;
+use crate::metrics::Metrics;
+use crate::signature::{NodeStateKey, StateKey};
+use ibgp_proto::variants::ProtocolConfig;
+use ibgp_proto::{choose_best, choose_set, route_at, transfer_set, walton_advertised_set, ProtocolVariant};
+use ibgp_topology::Topology;
+use ibgp_types::{BgpId, ExitPathId, ExitPathRef, Route, RouterId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// The result of a bounded sync-engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncOutcome {
+    /// The configuration reached a stable state (a fixed point of the full
+    /// activation step) after the given number of steps.
+    Converged {
+        /// Steps taken before stability held.
+        steps: u64,
+    },
+    /// The execution revisited a `(state, phase)` pair: it is provably
+    /// periodic and will oscillate forever under this schedule.
+    Cycle {
+        /// Step at which the repeated state was first seen.
+        first_seen: u64,
+        /// Cycle length in steps.
+        period: u64,
+    },
+    /// The step budget ran out without stability or a provable cycle
+    /// (possible under aperiodic schedules).
+    Budget {
+        /// Steps taken.
+        steps: u64,
+    },
+}
+
+impl SyncOutcome {
+    /// True for [`SyncOutcome::Converged`].
+    pub fn converged(&self) -> bool {
+        matches!(self, SyncOutcome::Converged { .. })
+    }
+
+    /// True for [`SyncOutcome::Cycle`].
+    pub fn cycled(&self) -> bool {
+        matches!(self, SyncOutcome::Cycle { .. })
+    }
+}
+
+impl fmt::Display for SyncOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncOutcome::Converged { steps } => write!(f, "converged after {steps} steps"),
+            SyncOutcome::Cycle { first_seen, period } => {
+                write!(f, "cycle of period {period} entered at step {first_seen}")
+            }
+            SyncOutcome::Budget { steps } => write!(f, "no decision within {steps} steps"),
+        }
+    }
+}
+
+/// One node's mutable state.
+#[derive(Debug, Clone)]
+struct NodeState {
+    my_exits: Vec<ExitPathRef>,
+    possible: Vec<ExitPathRef>,
+    /// `learnedFrom` per possible exit path.
+    learned: BTreeMap<ExitPathId, BgpId>,
+    best: Option<Route>,
+    advertised: Vec<ExitPathRef>,
+}
+
+impl NodeState {
+    fn key(&self) -> NodeStateKey {
+        NodeStateKey {
+            possible: self.possible.iter().map(|p| p.id()).collect(),
+            best: self.best.as_ref().map(Route::exit_id),
+            advertised: self.advertised.iter().map(|p| p.id()).collect(),
+        }
+    }
+}
+
+/// An opaque copy of a [`SyncEngine`]'s mutable state, for search
+/// algorithms that explore the configuration space (see `ibgp-analysis`).
+#[derive(Clone)]
+pub struct SyncSnapshot {
+    nodes: Vec<NodeState>,
+    time: u64,
+}
+
+/// The paper's synchronous simulator.
+///
+/// ```
+/// use ibgp_sim::{RoundRobin, SyncEngine};
+/// use ibgp_proto::variants::ProtocolConfig;
+/// use ibgp_topology::TopologyBuilder;
+/// use ibgp_types::*;
+/// use std::sync::Arc;
+///
+/// let topo = TopologyBuilder::new(2).link(0, 1, 1).full_mesh().build()?;
+/// let exit = Arc::new(ExitPath::builder(ExitPathId::new(1))
+///     .via(AsId::new(1)).exit_point(RouterId::new(0)).build_unchecked());
+/// let mut engine = SyncEngine::new(&topo, ProtocolConfig::MODIFIED, vec![exit]);
+/// let outcome = engine.run(&mut RoundRobin::new(), 1_000);
+/// assert!(outcome.converged());
+/// assert_eq!(engine.best_exit(RouterId::new(1)), Some(ExitPathId::new(1)));
+/// # Ok::<(), ibgp_topology::TopologyError>(())
+/// ```
+#[derive(Clone)]
+pub struct SyncEngine<'a> {
+    topo: &'a Topology,
+    config: ProtocolConfig,
+    nodes: Vec<NodeState>,
+    time: u64,
+    metrics: Metrics,
+}
+
+impl<'a> SyncEngine<'a> {
+    /// Create an engine with the given injected exit paths distributed to
+    /// their exit points. `config(0)`: `PossibleExits(u, 0) = MyExits(u)`,
+    /// no best route, nothing advertised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an exit path's exit point is out of range or two paths
+    /// share an id — scenario construction errors.
+    pub fn new(topo: &'a Topology, config: ProtocolConfig, exits: Vec<ExitPathRef>) -> Self {
+        let n = topo.len();
+        let mut nodes = vec![
+            NodeState {
+                my_exits: Vec::new(),
+                possible: Vec::new(),
+                learned: BTreeMap::new(),
+                best: None,
+                advertised: Vec::new(),
+            };
+            n
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for p in exits {
+            assert!(
+                p.exit_point().index() < n,
+                "exit point {} out of range",
+                p.exit_point()
+            );
+            assert!(seen.insert(p.id()), "duplicate exit path id {}", p.id());
+            nodes[p.exit_point().index()].my_exits.push(p);
+        }
+        for node in &mut nodes {
+            node.my_exits.sort_by_key(|p| p.id());
+            node.possible = node.my_exits.clone();
+            for p in &node.possible {
+                node.learned.insert(p.id(), p.next_hop().bgp_id());
+            }
+        }
+        Self {
+            topo,
+            config,
+            nodes,
+            time: 0,
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> ProtocolConfig {
+        self.config
+    }
+
+    /// Current simulated time (number of steps applied).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Run metrics so far.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// `BestRoute(u, now)`.
+    pub fn best_route(&self, u: RouterId) -> Option<&Route> {
+        self.nodes[u.index()].best.as_ref()
+    }
+
+    /// The best route's exit-path id, if any.
+    pub fn best_exit(&self, u: RouterId) -> Option<ExitPathId> {
+        self.nodes[u.index()].best.as_ref().map(Route::exit_id)
+    }
+
+    /// `PossibleExits(u, now)`, sorted by id.
+    pub fn possible_exits(&self, u: RouterId) -> &[ExitPathRef] {
+        &self.nodes[u.index()].possible
+    }
+
+    /// The currently advertised set (for the modified protocol this is
+    /// `GoodExits(u, now)`), sorted by id.
+    pub fn advertised(&self, u: RouterId) -> &[ExitPathRef] {
+        &self.nodes[u.index()].advertised
+    }
+
+    /// `MyExits(u)`.
+    pub fn my_exits(&self, u: RouterId) -> &[ExitPathRef] {
+        &self.nodes[u.index()].my_exits
+    }
+
+    /// The candidate routes `route(PossibleExits(u), u)` as the decision
+    /// process sees them right now — for inspection and `explain`-style
+    /// tooling.
+    pub fn candidate_routes(&self, u: RouterId) -> Vec<Route> {
+        let node = &self.nodes[u.index()];
+        node.possible
+            .iter()
+            .map(|p| {
+                let lf = node
+                    .learned
+                    .get(&p.id())
+                    .copied()
+                    .unwrap_or_else(|| p.next_hop().bgp_id());
+                route_at(self.topo, u, p, lf)
+            })
+            .collect()
+    }
+
+    /// Inject a new E-BGP route at its exit point (E-BGP churn). Takes
+    /// effect on the exit point's next activation.
+    pub fn inject(&mut self, p: ExitPathRef) {
+        let node = &mut self.nodes[p.exit_point().index()];
+        assert!(
+            node.my_exits.iter().all(|q| q.id() != p.id()),
+            "duplicate exit path id {}",
+            p.id()
+        );
+        node.my_exits.push(p);
+        node.my_exits.sort_by_key(|p| p.id());
+    }
+
+    /// Withdraw an E-BGP route from `MyExits` (the Lemma 7.2 scenario:
+    /// the path may linger in `PossibleExits` sets until flushed).
+    /// Returns whether the path was present.
+    pub fn withdraw(&mut self, id: ExitPathId) -> bool {
+        for node in &mut self.nodes {
+            let before = node.my_exits.len();
+            node.my_exits.retain(|p| p.id() != id);
+            if node.my_exits.len() != before {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Compute node `u`'s post-activation state from the current global
+    /// state, without applying it.
+    fn compute_update(&self, u: RouterId) -> NodeState {
+        let cur = &self.nodes[u.index()];
+        // Gather: own exits plus transfer-filtered peer advertisements,
+        // tracking the minimum announcing BGP id per path.
+        let mut gathered: BTreeMap<ExitPathId, (ExitPathRef, BgpId)> = BTreeMap::new();
+        for p in &cur.my_exits {
+            gathered.insert(p.id(), (p.clone(), p.next_hop().bgp_id()));
+        }
+        for v in self.topo.ibgp().peers(u) {
+            let sender = self.topo.bgp_id(v);
+            for p in transfer_set(self.topo, v, u, &self.nodes[v.index()].advertised) {
+                gathered
+                    .entry(p.id())
+                    .and_modify(|(_, lf)| {
+                        // Own exits keep their external learnedFrom; I-BGP
+                        // announcements take the minimum announcing peer.
+                        if p.exit_point() != u {
+                            *lf = (*lf).min(sender);
+                        }
+                    })
+                    .or_insert((p, sender));
+            }
+        }
+        let possible: Vec<ExitPathRef> = gathered.values().map(|(p, _)| p.clone()).collect();
+        let learned: BTreeMap<ExitPathId, BgpId> =
+            gathered.iter().map(|(&id, &(_, lf))| (id, lf)).collect();
+        let routes: Vec<Route> = possible
+            .iter()
+            .map(|p| route_at(self.topo, u, p, learned[&p.id()]))
+            .collect();
+        let best = choose_best(self.config.policy, &routes);
+        let advertised = self.advertised_set(u, &possible, &routes, best.as_ref());
+        NodeState {
+            my_exits: cur.my_exits.clone(),
+            possible,
+            learned,
+            best,
+            advertised,
+        }
+    }
+
+    /// The advertisement discipline per protocol variant.
+    fn advertised_set(
+        &self,
+        u: RouterId,
+        possible: &[ExitPathRef],
+        routes: &[Route],
+        best: Option<&Route>,
+    ) -> Vec<ExitPathRef> {
+        match self.config.variant {
+            ProtocolVariant::Standard => best.map(|r| vec![r.exit().clone()]).unwrap_or_default(),
+            ProtocolVariant::Walton => {
+                if self.topo.ibgp().is_reflector(u) {
+                    walton_advertised_set(self.config.policy, routes)
+                } else {
+                    best.map(|r| vec![r.exit().clone()]).unwrap_or_default()
+                }
+            }
+            ProtocolVariant::Modified => choose_set(possible, self.config.policy.med_mode),
+        }
+    }
+
+    /// Apply one activation step: every node in `set` recomputes its state
+    /// from the *pre-step* global state.
+    pub fn step(&mut self, set: &[RouterId]) {
+        let updates: Vec<(RouterId, NodeState)> = set
+            .iter()
+            .map(|&u| (u, self.compute_update(u)))
+            .collect();
+        for (u, new) in updates {
+            let old = &self.nodes[u.index()];
+            let best_changed =
+                old.best.as_ref().map(Route::exit_id) != new.best.as_ref().map(Route::exit_id);
+            if best_changed {
+                self.metrics.best_changes += 1;
+            }
+            // Push-on-change message accounting: if the advertised set
+            // changed, count one message per peer whose transfer-filtered
+            // view changed.
+            if old.advertised != new.advertised {
+                for v in self.topo.ibgp().peers(u) {
+                    let before = transfer_set(self.topo, u, v, &old.advertised);
+                    let after = transfer_set(self.topo, u, v, &new.advertised);
+                    if before != after {
+                        self.metrics.messages += 1;
+                        self.metrics.paths_advertised += after.len() as u64;
+                    }
+                }
+            }
+            self.metrics.activations += 1;
+            self.nodes[u.index()] = new;
+        }
+        self.time += 1;
+    }
+
+    /// Whether the current configuration is a fixed point: activating
+    /// every node would change nothing. A fixed point is stable under
+    /// *any* activation sequence.
+    pub fn is_stable(&self) -> bool {
+        self.topo.routers().all(|u| {
+            let new = self.compute_update(u);
+            new.key() == self.nodes[u.index()].key()
+        })
+    }
+
+    /// Canonical state key (for cycle detection), tagged with the
+    /// schedule's phase.
+    pub fn state_key(&self, phase: u64) -> StateKey {
+        StateKey {
+            nodes: self.nodes.iter().map(NodeState::key).collect(),
+            phase,
+        }
+    }
+
+    /// Run under the given activation sequence until stability, a provable
+    /// cycle, or the step budget.
+    pub fn run(&mut self, schedule: &mut dyn Activation, max_steps: u64) -> SyncOutcome {
+        let n = self.topo.len();
+        let mut seen: HashMap<u64, Vec<(StateKey, u64)>> = HashMap::new();
+        for step in 0..max_steps {
+            if self.is_stable() {
+                return SyncOutcome::Converged { steps: step };
+            }
+            if let Some(phase) = schedule.phase() {
+                let key = self.state_key(phase % n.max(1) as u64);
+                let digest = key.digest();
+                let bucket = seen.entry(digest).or_default();
+                if let Some((_, first)) = bucket.iter().find(|(k, _)| *k == key) {
+                    return SyncOutcome::Cycle {
+                        first_seen: *first,
+                        period: step - *first,
+                    };
+                }
+                bucket.push((key, step));
+            }
+            let set = schedule.next_set(n);
+            self.step(&set);
+        }
+        if self.is_stable() {
+            SyncOutcome::Converged { steps: max_steps }
+        } else {
+            SyncOutcome::Budget { steps: max_steps }
+        }
+    }
+
+    /// Capture the mutable state for later [`SyncEngine::restore`].
+    pub fn snapshot(&self) -> SyncSnapshot {
+        SyncSnapshot {
+            nodes: self.nodes.clone(),
+            time: self.time,
+        }
+    }
+
+    /// Restore a previously captured state (metrics are left untouched).
+    pub fn restore(&mut self, snap: &SyncSnapshot) {
+        self.nodes = snap.nodes.clone();
+        self.time = snap.time;
+    }
+
+    /// The vector of best exit ids, indexed by router — the "routing
+    /// configuration" two runs are compared on (determinism experiments).
+    pub fn best_vector(&self) -> Vec<Option<ExitPathId>> {
+        self.nodes
+            .iter()
+            .map(|s| s.best.as_ref().map(Route::exit_id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::{AllAtOnce, RoundRobin};
+    use ibgp_topology::TopologyBuilder;
+    use ibgp_types::{AsId, ExitPath, Med};
+    use std::sync::Arc;
+
+    fn r(i: u32) -> RouterId {
+        RouterId::new(i)
+    }
+
+    fn exit(id: u32, next_as: u32, med: u32, exit_point: u32) -> ExitPathRef {
+        Arc::new(
+            ExitPath::builder(ExitPathId::new(id))
+                .via(AsId::new(next_as))
+                .med(Med::new(med))
+                .exit_point(r(exit_point))
+                .build_unchecked(),
+        )
+    }
+
+    /// Full mesh of 3, single exit at node 0: everyone should adopt it.
+    #[test]
+    fn single_exit_propagates_to_all() {
+        let topo = TopologyBuilder::new(3)
+            .link(0, 1, 1)
+            .link(1, 2, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let mut eng = SyncEngine::new(&topo, ProtocolConfig::STANDARD, vec![exit(1, 1, 0, 0)]);
+        let outcome = eng.run(&mut RoundRobin::new(), 100);
+        assert!(outcome.converged(), "{outcome}");
+        for u in 0..3 {
+            assert_eq!(eng.best_exit(r(u)), Some(ExitPathId::new(1)));
+        }
+        // Node 1's route is I-BGP with metric 1, learned from node 0.
+        let route = eng.best_route(r(1)).unwrap();
+        assert!(!route.is_ebgp());
+        assert_eq!(route.learned_from(), topo.bgp_id(r(0)));
+    }
+
+    /// Route reflection: client learns an exit two clusters away.
+    #[test]
+    fn reflection_carries_routes_to_foreign_clients() {
+        // Clusters {RR0; c1} and {RR2; c3}; exit at client 1.
+        let topo = TopologyBuilder::new(4)
+            .link(0, 1, 1)
+            .link(0, 2, 1)
+            .link(2, 3, 1)
+            .cluster([0], [1])
+            .cluster([2], [3])
+            .build()
+            .unwrap();
+        let mut eng = SyncEngine::new(&topo, ProtocolConfig::STANDARD, vec![exit(1, 1, 0, 1)]);
+        let outcome = eng.run(&mut RoundRobin::new(), 100);
+        assert!(outcome.converged(), "{outcome}");
+        // Path: client1 -> RR0 (case 1), RR0 -> RR2 (case 2), RR2 -> c3 (case 3).
+        assert_eq!(eng.best_exit(r(3)), Some(ExitPathId::new(1)));
+    }
+
+    /// Two equal exits in a full mesh: nodes pick the nearer one; the
+    /// outcome is a fixed point.
+    #[test]
+    fn igp_metric_splits_traffic() {
+        let topo = TopologyBuilder::new(2)
+            .link(0, 1, 5)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let exits = vec![exit(1, 1, 0, 0), exit(2, 2, 0, 1)];
+        let mut eng = SyncEngine::new(&topo, ProtocolConfig::STANDARD, exits);
+        let outcome = eng.run(&mut RoundRobin::new(), 100);
+        assert!(outcome.converged());
+        // Each prefers its own E-BGP route.
+        assert_eq!(eng.best_exit(r(0)), Some(ExitPathId::new(1)));
+        assert_eq!(eng.best_exit(r(1)), Some(ExitPathId::new(2)));
+    }
+
+    /// The paper's Fig 2 shape in miniature: two reflectors, each closer
+    /// to the *other's* exit, same neighbor AS and MED. Under simultaneous
+    /// activation the standard protocol oscillates (DISAGREE); under the
+    /// modified protocol it converges.
+    fn disagree_topo() -> Topology {
+        // 0 and 1 are reflectors; physical path 0-2-1 where 2 is a client
+        // used only as IGP transit... simpler: direct link with asymmetric
+        // exit costs creating the "closer to the other's exit" geometry:
+        // exit A at node 0 has exit cost 10, exit B at node 1 has exit
+        // cost 10; IGP distance 0<->1 is 1. Then node 0 sees A at 10, B at
+        // 11 — no. To make each prefer the other's exit: exit costs 10 and
+        // the IGP link cheap won't do it. Use per-exit costs: A cost 10 at
+        // node 0 (so remote B is 1+0=1 best), B cost 10 at node 1.
+        TopologyBuilder::new(2)
+            .link(0, 1, 1)
+            .full_mesh()
+            .build()
+            .unwrap()
+    }
+
+    fn disagree_exits() -> Vec<ExitPathRef> {
+        let a = Arc::new(
+            ExitPath::builder(ExitPathId::new(1))
+                .via(AsId::new(1))
+                .exit_point(r(0))
+                .exit_cost(ibgp_types::IgpCost::new(10))
+                .build_unchecked(),
+        );
+        let b = Arc::new(
+            ExitPath::builder(ExitPathId::new(2))
+                .via(AsId::new(1))
+                .exit_point(r(1))
+                .exit_cost(ibgp_types::IgpCost::new(10))
+                .build_unchecked(),
+        );
+        vec![a, b]
+    }
+
+    #[test]
+    fn disagree_is_stable_here_because_ebgp_wins() {
+        // Sanity check of the geometry: with the paper's rule order the
+        // E-BGP preference pins each node to its own exit, so this
+        // configuration converges even simultaneously. (The true Fig 2
+        // oscillation needs reflectors without own exits; see the
+        // scenarios crate.)
+        let topo = disagree_topo();
+        let mut eng = SyncEngine::new(&topo, ProtocolConfig::STANDARD, disagree_exits());
+        let outcome = eng.run(&mut AllAtOnce, 50);
+        assert!(outcome.converged(), "{outcome}");
+    }
+
+    /// Withdrawn paths are flushed (Lemma 7.2 dynamics).
+    #[test]
+    fn withdrawn_exit_paths_flush_out() {
+        let topo = TopologyBuilder::new(3)
+            .link(0, 1, 1)
+            .link(1, 2, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let exits = vec![exit(1, 1, 0, 0), exit(2, 2, 5, 2)];
+        let mut eng = SyncEngine::new(&topo, ProtocolConfig::MODIFIED, exits);
+        let outcome = eng.run(&mut RoundRobin::new(), 100);
+        assert!(outcome.converged());
+        assert_eq!(eng.best_exit(r(1)), Some(ExitPathId::new(1)));
+        // Withdraw p1; after re-running, nobody may still use or know it.
+        assert!(eng.withdraw(ExitPathId::new(1)));
+        let outcome = eng.run(&mut RoundRobin::new(), 100);
+        assert!(outcome.converged());
+        for u in 0..3 {
+            assert_eq!(eng.best_exit(r(u)), Some(ExitPathId::new(2)));
+            assert!(eng
+                .possible_exits(r(u))
+                .iter()
+                .all(|p| p.id() != ExitPathId::new(1)));
+        }
+        assert!(!eng.withdraw(ExitPathId::new(1)), "already gone");
+    }
+
+    /// Injection after convergence is picked up.
+    #[test]
+    fn injected_exit_paths_take_effect() {
+        let topo = TopologyBuilder::new(2)
+            .link(0, 1, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let mut eng = SyncEngine::new(&topo, ProtocolConfig::STANDARD, vec![exit(1, 1, 9, 0)]);
+        eng.run(&mut RoundRobin::new(), 50);
+        // A better route (same AS, lower MED) appears at node 1.
+        eng.inject(exit(2, 1, 0, 1));
+        let outcome = eng.run(&mut RoundRobin::new(), 50);
+        assert!(outcome.converged());
+        assert_eq!(eng.best_exit(r(0)), Some(ExitPathId::new(2)));
+        assert_eq!(eng.best_exit(r(1)), Some(ExitPathId::new(2)));
+    }
+
+    /// The modified protocol advertises the whole Choose_set survivor set.
+    #[test]
+    fn modified_advertises_good_exits() {
+        let topo = TopologyBuilder::new(2)
+            .link(0, 1, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        // Two exits at node 0 through different ASes: both survive rules
+        // 1-3, so both are advertised under the modified protocol.
+        let exits = vec![exit(1, 1, 0, 0), exit(2, 2, 0, 0)];
+        let mut eng = SyncEngine::new(&topo, ProtocolConfig::MODIFIED, exits);
+        eng.run(&mut RoundRobin::new(), 50);
+        assert_eq!(eng.advertised(r(0)).len(), 2);
+        assert_eq!(eng.possible_exits(r(1)).len(), 2);
+
+        // Standard protocol: only the single best is advertised.
+        let exits = vec![exit(1, 1, 0, 0), exit(2, 2, 0, 0)];
+        let mut eng = SyncEngine::new(&topo, ProtocolConfig::STANDARD, exits);
+        eng.run(&mut RoundRobin::new(), 50);
+        assert_eq!(eng.advertised(r(0)).len(), 1);
+        // Node 1 has no exits of its own and hears only node 0's best.
+        assert_eq!(eng.possible_exits(r(1)).len(), 1);
+    }
+
+    /// Metrics count messages and best changes.
+    #[test]
+    fn metrics_accumulate() {
+        let topo = TopologyBuilder::new(3)
+            .link(0, 1, 1)
+            .link(1, 2, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let mut eng = SyncEngine::new(&topo, ProtocolConfig::STANDARD, vec![exit(1, 1, 0, 0)]);
+        eng.run(&mut RoundRobin::new(), 100);
+        let m = eng.metrics();
+        assert!(m.activations > 0);
+        assert!(m.messages >= 2, "node 0 must have announced to 2 peers");
+        assert!(m.best_changes >= 3, "each node adopted a best route");
+        assert!(m.paths_advertised >= m.messages);
+    }
+
+    /// An empty system (no exits) is immediately stable.
+    #[test]
+    fn no_exits_is_trivially_stable() {
+        let topo = TopologyBuilder::new(2)
+            .link(0, 1, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let mut eng = SyncEngine::new(&topo, ProtocolConfig::STANDARD, vec![]);
+        let outcome = eng.run(&mut RoundRobin::new(), 10);
+        assert_eq!(outcome, SyncOutcome::Converged { steps: 0 });
+        assert_eq!(eng.best_vector(), vec![None, None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate exit path id")]
+    fn duplicate_exit_ids_panic() {
+        let topo = TopologyBuilder::new(1).cluster([0], []).build().unwrap();
+        let _ = SyncEngine::new(
+            &topo,
+            ProtocolConfig::STANDARD,
+            vec![exit(1, 1, 0, 0), exit(1, 2, 0, 0)],
+        );
+    }
+}

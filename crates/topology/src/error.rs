@@ -1,0 +1,126 @@
+//! Topology validation errors.
+
+use ibgp_types::{BgpId, ClusterId, RouterId};
+use std::fmt;
+
+/// Violations of the structural requirements of §4.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A node id referenced a router outside `0..n`.
+    NodeOutOfRange {
+        /// The offending id.
+        node: RouterId,
+        /// The number of routers.
+        len: usize,
+    },
+    /// A physical link connected a node to itself.
+    SelfLoop(RouterId),
+    /// The same physical link was added twice.
+    DuplicateLink(RouterId, RouterId),
+    /// A physical link had cost zero (the paper requires positive integer
+    /// costs).
+    NonPositiveCost(RouterId, RouterId),
+    /// The physical graph is not connected, so some `SP(u, v)` would not
+    /// exist.
+    Disconnected,
+    /// A node was assigned to more than one cluster.
+    NodeInMultipleClusters(RouterId),
+    /// A node was not assigned to any cluster.
+    NodeUnclustered(RouterId),
+    /// A cluster had no reflector (clients would have no sessions).
+    ClusterWithoutReflector(ClusterId),
+    /// An explicit client–client session crossed cluster boundaries,
+    /// violating constraint 3 of §4 ("no edges from any node in `N_i` to any
+    /// node in `C_j`, `i ≠ j`").
+    CrossClusterClientSession(RouterId, RouterId),
+    /// An explicit extra session referenced a reflector; reflector sessions
+    /// are implied by the hierarchy and cannot be declared manually.
+    ExtraSessionNotBetweenClients(RouterId, RouterId),
+    /// The physical and logical graphs disagree on the number of routers.
+    NodeCountMismatch {
+        /// Router count of the physical graph.
+        physical: usize,
+        /// Router count of the logical graph (or BGP-id table).
+        logical: usize,
+    },
+    /// Two routers were given the same BGP identifier; rule 6 needs them
+    /// distinct.
+    DuplicateBgpId {
+        /// The second router with the identifier.
+        node: RouterId,
+        /// The duplicated identifier.
+        bgp_id: BgpId,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NodeOutOfRange { node, len } => {
+                write!(f, "router {node} out of range (have {len} routers)")
+            }
+            TopologyError::SelfLoop(u) => write!(f, "self-loop at {u}"),
+            TopologyError::DuplicateLink(u, v) => write!(f, "duplicate link {u}–{v}"),
+            TopologyError::NonPositiveCost(u, v) => {
+                write!(f, "link {u}–{v} must have positive cost")
+            }
+            TopologyError::Disconnected => write!(f, "physical graph is not connected"),
+            TopologyError::NodeInMultipleClusters(u) => {
+                write!(f, "router {u} assigned to multiple clusters")
+            }
+            TopologyError::NodeUnclustered(u) => {
+                write!(f, "router {u} not assigned to any cluster")
+            }
+            TopologyError::ClusterWithoutReflector(c) => {
+                write!(f, "cluster {c} has no route reflector")
+            }
+            TopologyError::CrossClusterClientSession(u, v) => {
+                write!(f, "client session {u}–{v} crosses cluster boundaries")
+            }
+            TopologyError::ExtraSessionNotBetweenClients(u, v) => {
+                write!(
+                    f,
+                    "extra session {u}–{v} must connect two clients (reflector sessions are implied)"
+                )
+            }
+            TopologyError::NodeCountMismatch { physical, logical } => {
+                write!(
+                    f,
+                    "node count mismatch: physical has {physical}, logical has {logical}"
+                )
+            }
+            TopologyError::DuplicateBgpId { node, bgp_id } => {
+                write!(f, "router {node} reuses BGP identifier {bgp_id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let cases: Vec<(TopologyError, &str)> = vec![
+            (TopologyError::Disconnected, "not connected"),
+            (TopologyError::SelfLoop(RouterId::new(1)), "r1"),
+            (
+                TopologyError::ClusterWithoutReflector(ClusterId::new(2)),
+                "C2",
+            ),
+            (
+                TopologyError::DuplicateBgpId {
+                    node: RouterId::new(4),
+                    bgp_id: BgpId::new(7),
+                },
+                "bgp7",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

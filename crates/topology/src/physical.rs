@@ -1,0 +1,200 @@
+//! The physical graph `G_P = (V, E_P)` with IGP link costs.
+//!
+//! Undirected, simple (no self-loops or parallel links), with positive
+//! integer costs, exactly as §4 requires. The graph is adjacency-list based
+//! and immutable after construction apart from [`PhysicalGraph::add_link`];
+//! the SPF table is computed separately so scenario code can build the
+//! graph incrementally.
+
+use crate::error::TopologyError;
+use ibgp_types::{IgpCost, RouterId};
+use serde::{Deserialize, Serialize};
+
+/// An undirected weighted graph over routers `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhysicalGraph {
+    /// `adj[u]` = sorted list of `(neighbor, cost)`.
+    adj: Vec<Vec<(RouterId, IgpCost)>>,
+}
+
+impl PhysicalGraph {
+    /// An edgeless graph over `n` routers.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of routers.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True when there are no routers.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of undirected links.
+    pub fn link_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    fn check_node(&self, u: RouterId) -> Result<(), TopologyError> {
+        if u.index() >= self.len() {
+            Err(TopologyError::NodeOutOfRange {
+                node: u,
+                len: self.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Add an undirected link `u–v` with the given positive cost.
+    pub fn add_link(&mut self, u: RouterId, v: RouterId, cost: IgpCost) -> Result<(), TopologyError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(TopologyError::SelfLoop(u));
+        }
+        if cost == IgpCost::ZERO || cost.is_infinite() {
+            return Err(TopologyError::NonPositiveCost(u, v));
+        }
+        if self.cost(u, v).is_some() {
+            return Err(TopologyError::DuplicateLink(u, v));
+        }
+        let pos = self.adj[u.index()].partition_point(|&(w, _)| w < v);
+        self.adj[u.index()].insert(pos, (v, cost));
+        let pos = self.adj[v.index()].partition_point(|&(w, _)| w < u);
+        self.adj[v.index()].insert(pos, (u, cost));
+        Ok(())
+    }
+
+    /// The cost of the direct link `u–v`, if one exists.
+    pub fn cost(&self, u: RouterId, v: RouterId) -> Option<IgpCost> {
+        self.adj
+            .get(u.index())?
+            .iter()
+            .find(|&&(w, _)| w == v)
+            .map(|&(_, c)| c)
+    }
+
+    /// Neighbors of `u` with link costs, in ascending neighbor order.
+    pub fn neighbors(&self, u: RouterId) -> &[(RouterId, IgpCost)] {
+        &self.adj[u.index()]
+    }
+
+    /// All undirected links `(u, v, cost)` with `u < v`.
+    pub fn links(&self) -> impl Iterator<Item = (RouterId, RouterId, IgpCost)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            let u = RouterId::new(u as u32);
+            nbrs.iter()
+                .filter(move |&&(v, _)| u < v)
+                .map(move |&(v, c)| (u, v, c))
+        })
+    }
+
+    /// Whether the graph is connected (vacuously true when empty).
+    pub fn is_connected(&self) -> bool {
+        let n = self.len();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &(v, _) in &self.adj[u] {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    count += 1;
+                    stack.push(v.index());
+                }
+            }
+        }
+        count == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> RouterId {
+        RouterId::new(i)
+    }
+
+    fn c(v: u64) -> IgpCost {
+        IgpCost::new(v)
+    }
+
+    #[test]
+    fn add_link_is_symmetric_and_sorted() {
+        let mut g = PhysicalGraph::new(3);
+        g.add_link(r(0), r(2), c(5)).unwrap();
+        g.add_link(r(0), r(1), c(3)).unwrap();
+        assert_eq!(g.cost(r(2), r(0)), Some(c(5)));
+        assert_eq!(g.cost(r(0), r(1)), Some(c(3)));
+        assert_eq!(g.neighbors(r(0)), &[(r(1), c(3)), (r(2), c(5))]);
+        assert_eq!(g.link_count(), 2);
+    }
+
+    #[test]
+    fn rejects_self_loops_and_duplicates() {
+        let mut g = PhysicalGraph::new(2);
+        assert_eq!(
+            g.add_link(r(0), r(0), c(1)),
+            Err(TopologyError::SelfLoop(r(0)))
+        );
+        g.add_link(r(0), r(1), c(1)).unwrap();
+        assert_eq!(
+            g.add_link(r(1), r(0), c(2)),
+            Err(TopologyError::DuplicateLink(r(1), r(0)))
+        );
+    }
+
+    #[test]
+    fn rejects_zero_and_infinite_costs() {
+        let mut g = PhysicalGraph::new(2);
+        assert_eq!(
+            g.add_link(r(0), r(1), IgpCost::ZERO),
+            Err(TopologyError::NonPositiveCost(r(0), r(1)))
+        );
+        assert_eq!(
+            g.add_link(r(0), r(1), IgpCost::INFINITY),
+            Err(TopologyError::NonPositiveCost(r(0), r(1)))
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_nodes() {
+        let mut g = PhysicalGraph::new(2);
+        assert!(matches!(
+            g.add_link(r(0), r(5), c(1)),
+            Err(TopologyError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn connectivity() {
+        let mut g = PhysicalGraph::new(3);
+        assert!(!g.is_connected());
+        g.add_link(r(0), r(1), c(1)).unwrap();
+        assert!(!g.is_connected());
+        g.add_link(r(1), r(2), c(1)).unwrap();
+        assert!(g.is_connected());
+        assert!(PhysicalGraph::new(0).is_connected());
+        assert!(PhysicalGraph::new(1).is_connected());
+    }
+
+    #[test]
+    fn links_iterator_lists_each_link_once() {
+        let mut g = PhysicalGraph::new(3);
+        g.add_link(r(0), r(1), c(1)).unwrap();
+        g.add_link(r(1), r(2), c(2)).unwrap();
+        let links: Vec<_> = g.links().collect();
+        assert_eq!(links, vec![(r(0), r(1), c(1)), (r(1), r(2), c(2))]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Graphviz (DOT) export of topologies, for documentation and debugging.
+//!
+//! Reflectors render as boxes, clients as ellipses; physical links are solid
+//! with their IGP cost, I-BGP sessions that do not coincide with a physical
+//! link are dashed.
+
+use crate::Topology;
+use std::fmt::Write as _;
+
+/// Render a topology as a DOT graph.
+pub fn to_dot(topo: &Topology) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph as0 {{");
+    let _ = writeln!(out, "  layout=neato;");
+    for u in topo.routers() {
+        let shape = if topo.ibgp().is_reflector(u) {
+            "box"
+        } else {
+            "ellipse"
+        };
+        let cluster = topo.ibgp().cluster_of(u);
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\\n{}\", shape={}];",
+            u.raw(),
+            u,
+            cluster,
+            shape
+        );
+    }
+    for (u, v, cost) in topo.physical().links() {
+        let _ = writeln!(
+            out,
+            "  n{} -- n{} [label=\"{}\"];",
+            u.raw(),
+            v.raw(),
+            cost
+        );
+    }
+    for (u, v) in topo.ibgp().sessions() {
+        if topo.physical().cost(u, v).is_none() {
+            let _ = writeln!(
+                out,
+                "  n{} -- n{} [style=dashed, color=gray];",
+                u.raw(),
+                v.raw()
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TopologyBuilder;
+
+    #[test]
+    fn dot_output_mentions_all_nodes_and_links() {
+        let topo = TopologyBuilder::new(3)
+            .link(0, 1, 5)
+            .link(1, 2, 7)
+            .cluster([0], [1])
+            .cluster([2], [])
+            .build()
+            .unwrap();
+        let dot = to_dot(&topo);
+        assert!(dot.contains("n0 [label=\"r0"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("n0 -- n1 [label=\"5\"]"));
+        // RR session 0–2 has no physical link, so it renders dashed.
+        assert!(dot.contains("n0 -- n2 [style=dashed"));
+        assert!(dot.starts_with("graph as0 {"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests of the deterministic SPF substrate: optimality against
+//! a Bellman–Ford oracle, symmetry, triangle inequality, path
+//! well-formedness, and next-hop consistency on arbitrary random graphs.
+
+use ibgp_topology::{PhysicalGraph, SpfTable};
+use ibgp_types::{IgpCost, RouterId};
+use proptest::prelude::*;
+
+/// A connected random graph: ring backbone + random chords.
+fn arb_graph() -> impl Strategy<Value = PhysicalGraph> {
+    (
+        2usize..=12,
+        prop::collection::vec((any::<u32>(), any::<u32>(), 1u64..=10), 0..20),
+        prop::collection::vec(1u64..=10, 12),
+    )
+        .prop_map(|(n, chords, ring_costs)| {
+            let mut g = PhysicalGraph::new(n);
+            for u in 0..n {
+                let v = (u + 1) % n;
+                if u != v {
+                    let _ = g.add_link(
+                        RouterId::new(u as u32),
+                        RouterId::new(v as u32),
+                        IgpCost::new(ring_costs[u % ring_costs.len()]),
+                    );
+                }
+            }
+            for (a, b, w) in chords {
+                let u = a % n as u32;
+                let v = b % n as u32;
+                if u != v {
+                    let _ = g.add_link(RouterId::new(u), RouterId::new(v), IgpCost::new(w));
+                }
+            }
+            g
+        })
+}
+
+fn bellman_ford(g: &PhysicalGraph, s: usize) -> Vec<IgpCost> {
+    let n = g.len();
+    let mut dist = vec![IgpCost::INFINITY; n];
+    dist[s] = IgpCost::ZERO;
+    for _ in 0..n {
+        for (u, v, w) in g.links().collect::<Vec<_>>() {
+            let du = dist[u.index()];
+            let dv = dist[v.index()];
+            if du.saturating_add(w) < dv {
+                dist[v.index()] = du.saturating_add(w);
+            }
+            if dv.saturating_add(w) < du {
+                dist[u.index()] = dv.saturating_add(w);
+            }
+        }
+    }
+    dist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn distances_match_bellman_ford(g in arb_graph()) {
+        let spf = SpfTable::compute(&g);
+        for s in 0..g.len() {
+            let oracle = bellman_ford(&g, s);
+            for v in 0..g.len() {
+                prop_assert_eq!(
+                    spf.cost(RouterId::new(s as u32), RouterId::new(v as u32)),
+                    oracle[v],
+                    "s={} v={}", s, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distances_are_symmetric_and_triangle(g in arb_graph()) {
+        let spf = SpfTable::compute(&g);
+        let n = g.len() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                let duv = spf.cost(RouterId::new(u), RouterId::new(v));
+                let dvu = spf.cost(RouterId::new(v), RouterId::new(u));
+                prop_assert_eq!(duv, dvu);
+                for w in 0..n {
+                    let duw = spf.cost(RouterId::new(u), RouterId::new(w));
+                    let dwv = spf.cost(RouterId::new(w), RouterId::new(v));
+                    prop_assert!(duv <= duw.saturating_add(dwv));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_wellformed_and_cost_consistent(g in arb_graph()) {
+        let spf = SpfTable::compute(&g);
+        let n = g.len() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                let (u, v) = (RouterId::new(u), RouterId::new(v));
+                let path = spf.path(u, v).expect("connected graph");
+                prop_assert_eq!(path[0], u);
+                prop_assert_eq!(*path.last().unwrap(), v);
+                // Edge-by-edge cost telescopes to the distance.
+                let mut acc = IgpCost::ZERO;
+                for pair in path.windows(2) {
+                    let w = g.cost(pair[0], pair[1]).expect("consecutive = adjacent");
+                    acc = acc + w;
+                }
+                prop_assert_eq!(acc, spf.cost(u, v));
+                // No repeated nodes (simple path).
+                let mut sorted: Vec<_> = path.clone();
+                sorted.sort();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), path.len());
+            }
+        }
+    }
+
+    #[test]
+    fn next_hop_is_the_second_node_of_the_path(g in arb_graph()) {
+        let spf = SpfTable::compute(&g);
+        let n = g.len() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                let (u, v) = (RouterId::new(u), RouterId::new(v));
+                let hop = spf.next_hop(u, v);
+                if u == v {
+                    prop_assert_eq!(hop, None);
+                } else {
+                    let path = spf.path(u, v).unwrap();
+                    prop_assert_eq!(hop, Some(path[1]));
+                }
+            }
+        }
+    }
+}

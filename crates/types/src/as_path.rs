@@ -1,0 +1,144 @@
+//! The AS-PATH attribute.
+//!
+//! For an exit path `p` injected into `AS0`, `AS-Path(p) = AS1, …, ASn` is
+//! the sequence of autonomous systems the announcement traversed, **not**
+//! including `AS0` itself. The first element is `nextAS(p)`, the neighboring
+//! AS the route was learned from — the AS whose MED values are comparable.
+
+use crate::ids::AsId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An AS-PATH: a non-empty ordered list of AS numbers, nearest first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AsPath {
+    segments: Vec<AsId>,
+}
+
+impl AsPath {
+    /// Build an AS-PATH from the given segments (nearest AS first).
+    ///
+    /// Returns `None` for an empty list: an exit path always traverses at
+    /// least the neighboring AS it was learned from.
+    pub fn new(segments: Vec<AsId>) -> Option<Self> {
+        if segments.is_empty() {
+            None
+        } else {
+            Some(Self { segments })
+        }
+    }
+
+    /// A path through a single neighboring AS followed by `len - 1` further
+    /// hops with synthetic AS numbers. Convenient for scenarios where only
+    /// `nextAS` and the length matter (which is all the selection procedure
+    /// looks at).
+    pub fn synthetic(next_as: AsId, len: usize) -> Self {
+        assert!(len >= 1, "AS-PATH length must be at least 1");
+        let mut segments = Vec::with_capacity(len);
+        segments.push(next_as);
+        // Synthetic filler ASes use the high end of the 32-bit space so they
+        // cannot collide with scenario-assigned neighbor AS numbers.
+        for i in 1..len {
+            segments.push(AsId::new(u32::MAX - i as u32));
+        }
+        Self { segments }
+    }
+
+    /// `nextAS(p)`: the neighboring AS the route was learned from.
+    pub fn next_as(&self) -> AsId {
+        self.segments[0]
+    }
+
+    /// `AS-path-length(p)`.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// AS paths are never empty; provided for clippy-idiomatic completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The segments, nearest AS first.
+    pub fn segments(&self) -> &[AsId] {
+        &self.segments
+    }
+
+    /// Whether the path visits the given AS (E-BGP's loop-detection check;
+    /// unused inside `AS0` but part of the vocabulary).
+    pub fn contains(&self, as_id: AsId) -> bool {
+        self.segments.contains(&as_id)
+    }
+
+    /// A copy of this path with `as_id` prepended, as an AS would produce
+    /// when propagating the announcement onward.
+    pub fn prepend(&self, as_id: AsId) -> Self {
+        let mut segments = Vec::with_capacity(self.segments.len() + 1);
+        segments.push(as_id);
+        segments.extend_from_slice(&self.segments);
+        Self { segments }
+    }
+}
+
+impl fmt::Display for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for seg in &self.segments {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{seg}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_paths() {
+        assert!(AsPath::new(vec![]).is_none());
+    }
+
+    #[test]
+    fn next_as_is_first_segment() {
+        let p = AsPath::new(vec![AsId::new(1), AsId::new(2)]).unwrap();
+        assert_eq!(p.next_as(), AsId::new(1));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn synthetic_paths_have_requested_length_and_next_as() {
+        let p = AsPath::synthetic(AsId::new(7), 3);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.next_as(), AsId::new(7));
+        // Filler segments must not collide with the real neighbor.
+        assert_eq!(
+            p.segments().iter().filter(|&&a| a == AsId::new(7)).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn prepend_grows_path_at_front() {
+        let p = AsPath::synthetic(AsId::new(2), 1).prepend(AsId::new(1));
+        assert_eq!(p.next_as(), AsId::new(1));
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(AsId::new(2)));
+    }
+
+    #[test]
+    fn display_is_space_separated() {
+        let p = AsPath::new(vec![AsId::new(1), AsId::new(2)]).unwrap();
+        assert_eq!(p.to_string(), "AS1 AS2");
+    }
+
+    #[test]
+    #[should_panic(expected = "AS-PATH length must be at least 1")]
+    fn synthetic_zero_length_panics() {
+        let _ = AsPath::synthetic(AsId::new(1), 0);
+    }
+}

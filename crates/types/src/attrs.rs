@@ -1,0 +1,188 @@
+//! Scalar route attributes: LOCAL-PREF, MED, and IGP cost.
+//!
+//! These are deliberately distinct newtypes. The *direction* of preference
+//! (higher LOCAL-PREF wins, lower MED wins, lower cost wins) is applied by
+//! the selection procedures in `ibgp-proto`; here each type simply carries a
+//! totally ordered value.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// The LOCAL-PREF attribute ("degree of preference", selection rule 1).
+///
+/// The paper assumes LOCAL-PREF is used as the degree of preference for
+/// I-BGP-learned routes (§2). Higher values are preferred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct LocalPref(pub u32);
+
+impl LocalPref {
+    /// A conventional default preference (100, as in common router defaults).
+    pub const DEFAULT: LocalPref = LocalPref(100);
+
+    /// Construct from a raw value.
+    pub const fn new(v: u32) -> Self {
+        Self(v)
+    }
+
+    /// The raw value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for LocalPref {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+impl fmt::Display for LocalPref {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lp{}", self.0)
+    }
+}
+
+/// The MULTI-EXIT-DISCRIMINATOR attribute (selection rule 3).
+///
+/// A non-negative integer; **lower** values are preferred, and MEDs are only
+/// comparable between routes whose `nextAS` is the same neighboring AS. That
+/// restriction — the source of the oscillations the paper studies — is
+/// enforced in the selection procedure, not here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Med(pub u32);
+
+impl Med {
+    /// The conventional "missing MED" value: zero, the most preferred.
+    pub const ZERO: Med = Med(0);
+
+    /// Construct from a raw value.
+    pub const fn new(v: u32) -> Self {
+        Self(v)
+    }
+
+    /// The raw value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for Med {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl fmt::Display for Med {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "med{}", self.0)
+    }
+}
+
+/// An IGP path cost (the paper's `cost(uv)` on physical edges, `cost(p)` on
+/// paths, and `exitCost(p)` on exit links). Lower is better.
+///
+/// Costs add when concatenating paths, so `IgpCost` implements [`Add`] and
+/// [`Sum`]. The value is a `u64` so that summing many `u32`-scale edge costs
+/// cannot overflow in practice.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct IgpCost(pub u64);
+
+impl IgpCost {
+    /// Zero cost (the trivial single-node path).
+    pub const ZERO: IgpCost = IgpCost(0);
+
+    /// A cost larger than any real path cost; used as "unreachable".
+    pub const INFINITY: IgpCost = IgpCost(u64::MAX);
+
+    /// Construct from a raw value.
+    pub const fn new(v: u64) -> Self {
+        Self(v)
+    }
+
+    /// The raw value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition, so `INFINITY + x == INFINITY`.
+    pub fn saturating_add(self, rhs: IgpCost) -> IgpCost {
+        IgpCost(self.0.saturating_add(rhs.0))
+    }
+
+    /// True if this cost denotes an unreachable destination.
+    pub fn is_infinite(self) -> bool {
+        self == Self::INFINITY
+    }
+}
+
+impl Add for IgpCost {
+    type Output = IgpCost;
+
+    fn add(self, rhs: IgpCost) -> IgpCost {
+        self.saturating_add(rhs)
+    }
+}
+
+impl Sum for IgpCost {
+    fn sum<I: Iterator<Item = IgpCost>>(iter: I) -> IgpCost {
+        iter.fold(IgpCost::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for IgpCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "inf")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_pref_orders_ascending() {
+        assert!(LocalPref::new(200) > LocalPref::new(100));
+        assert_eq!(LocalPref::default(), LocalPref::new(100));
+    }
+
+    #[test]
+    fn med_orders_ascending() {
+        assert!(Med::new(0) < Med::new(10));
+        assert_eq!(Med::default(), Med::ZERO);
+    }
+
+    #[test]
+    fn cost_addition_saturates() {
+        assert_eq!(IgpCost::new(2) + IgpCost::new(3), IgpCost::new(5));
+        assert_eq!(IgpCost::INFINITY + IgpCost::new(1), IgpCost::INFINITY);
+        assert!(IgpCost::INFINITY.is_infinite());
+        assert!(!IgpCost::ZERO.is_infinite());
+    }
+
+    #[test]
+    fn cost_sums_over_iterators() {
+        let total: IgpCost = [1u64, 2, 3].iter().map(|&c| IgpCost::new(c)).sum();
+        assert_eq!(total, IgpCost::new(6));
+        let empty: IgpCost = std::iter::empty::<IgpCost>().sum();
+        assert_eq!(empty, IgpCost::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(LocalPref::new(100).to_string(), "lp100");
+        assert_eq!(Med::new(5).to_string(), "med5");
+        assert_eq!(IgpCost::new(7).to_string(), "7");
+        assert_eq!(IgpCost::INFINITY.to_string(), "inf");
+    }
+}

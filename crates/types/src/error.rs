@@ -1,0 +1,60 @@
+//! Errors for constructing paper objects.
+
+use crate::ids::{ExitPathId, RouterId};
+use std::fmt;
+
+/// Validation failures when building typed objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// An exit-path builder was finished without a required field.
+    MissingField {
+        /// Which builder field was absent.
+        field: &'static str,
+    },
+    /// Two distinct exit paths were given the same identity.
+    DuplicateExitPath(ExitPathId),
+    /// A route was constructed for a node that cannot reach the exit point.
+    UnreachableExit {
+        /// The node holding the route.
+        node: RouterId,
+        /// The unreachable exit point.
+        exit_point: RouterId,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::MissingField { field } => {
+                write!(f, "exit path builder missing required field `{field}`")
+            }
+            TypeError::DuplicateExitPath(id) => {
+                write!(f, "duplicate exit path id {id}")
+            }
+            TypeError::UnreachableExit { node, exit_point } => {
+                write!(f, "node {node} cannot reach exit point {exit_point}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let e = TypeError::MissingField { field: "med" };
+        assert!(e.to_string().contains("med"));
+        let e = TypeError::DuplicateExitPath(ExitPathId::new(3));
+        assert!(e.to_string().contains("p3"));
+        let e = TypeError::UnreachableExit {
+            node: RouterId::new(1),
+            exit_point: RouterId::new(2),
+        };
+        assert!(e.to_string().contains("r1"));
+        assert!(e.to_string().contains("r2"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Identifier newtypes.
+//!
+//! Each identifier wraps a small integer. They intentionally do **not**
+//! implement arithmetic or cross-conversions: a [`RouterId`] is a node of the
+//! physical/logical graphs, an [`AsId`] names a neighboring autonomous
+//! system, a [`ClusterId`] names a route-reflection cluster, a [`BgpId`] is
+//! the BGP identifier used in selection rule 6 (`learnedFrom`), and an
+//! [`ExitPathId`] uniquely names an injected E-BGP route.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw index.
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw integer value.
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw value as a `usize`, for indexing dense tables.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A router (I-BGP speaker) in `AS0`; a node of `V` in the paper's
+    /// physical graph `G_P = (V, E_P)` and logical graph `G_I = (V, E_I)`.
+    RouterId,
+    "r"
+);
+
+id_type!(
+    /// A neighboring autonomous system (`AS1 … ASm` in §4). MED values are
+    /// only comparable between routes with the same `nextAS`.
+    AsId,
+    "AS"
+);
+
+id_type!(
+    /// A route-reflection cluster (`C_1 … C_k` in §4).
+    ClusterId,
+    "C"
+);
+
+id_type!(
+    /// A BGP identifier, used as the final tie-breaker (selection rule 6:
+    /// "the route received from the neighbor with the minimum BGP
+    /// identifier is chosen").
+    BgpId,
+    "bgp"
+);
+
+id_type!(
+    /// Unique identity of an injected exit path. Two [`crate::ExitPath`]s
+    /// with the same id denote the same E-BGP announcement.
+    ExitPathId,
+    "p"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(RouterId::new(3).to_string(), "r3");
+        assert_eq!(AsId::new(1).to_string(), "AS1");
+        assert_eq!(ClusterId::new(2).to_string(), "C2");
+        assert_eq!(BgpId::new(9).to_string(), "bgp9");
+        assert_eq!(ExitPathId::new(0).to_string(), "p0");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(BgpId::new(1) < BgpId::new(2));
+        assert!(RouterId::new(10) > RouterId::new(9));
+    }
+
+    #[test]
+    fn round_trips_through_serde() {
+        let id = RouterId::new(42);
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "42");
+        let back: RouterId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+
+    #[test]
+    fn index_matches_raw() {
+        assert_eq!(ExitPathId::new(7).index(), 7);
+        assert_eq!(ExitPathId::new(7).raw(), 7);
+    }
+
+    #[test]
+    fn from_u32_constructs() {
+        let id: AsId = 5u32.into();
+        assert_eq!(id, AsId::new(5));
+    }
+}

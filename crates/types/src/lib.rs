@@ -1,0 +1,43 @@
+//! # ibgp-types
+//!
+//! Strongly-typed vocabulary for modeling I-BGP with route reflection, as
+//! formalized in *Route Oscillations in I-BGP with Route Reflection*
+//! (Basu, Ong, Rasala, Shepherd, Wilfong — SIGCOMM 2002).
+//!
+//! The paper models an autonomous system `AS0` whose routers exchange
+//! externally-learned routes for a single destination prefix `d`. The two
+//! central objects are:
+//!
+//! * [`ExitPath`] — an E-BGP route injected into `AS0` at a particular
+//!   border router (its *exit point*), carrying the BGP attributes relevant
+//!   to route selection (LOCAL-PREF, AS-PATH, MED, NEXT-HOP, exit cost).
+//! * [`Route`] — an exit path *as seen from* a particular router `u`: the
+//!   pair `(SP(u, exitPoint(p)), p)` of §4, with its derived IGP metric and
+//!   the identifier of the peer it was learned from.
+//!
+//! Everything is a newtype so that LOCAL-PREF values cannot be confused with
+//! MED values, router ids with AS numbers, and so on. All route-selection
+//! semantics ("higher LOCAL-PREF wins", "lower MED wins") live in
+//! `ibgp-proto`; this crate only defines the data and total orders on the
+//! raw values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod as_path;
+pub mod attrs;
+pub mod error;
+pub mod exit_path;
+pub mod ids;
+pub mod next_hop;
+pub mod prefix;
+pub mod route;
+
+pub use as_path::AsPath;
+pub use attrs::{IgpCost, LocalPref, Med};
+pub use error::TypeError;
+pub use exit_path::{ExitPath, ExitPathBuilder, ExitPathRef};
+pub use ids::{AsId, BgpId, ClusterId, ExitPathId, RouterId};
+pub use next_hop::NextHop;
+pub use prefix::Prefix;
+pub use route::{Route, RouteKind};

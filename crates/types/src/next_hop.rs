@@ -1,0 +1,85 @@
+//! The NEXT-HOP attribute.
+//!
+//! In practice the NEXT-HOP of an E-BGP route is the address of a border
+//! router in the neighboring AS (footnote 5 of the paper). The paper relies
+//! on a one-to-one correspondence between a route's NEXT-HOP and its exit
+//! point inside `AS0` (footnote 6); we model the NEXT-HOP as a synthetic
+//! address plus the BGP identifier of the external peer, which selection
+//! rule 6 uses for E-BGP-learned routes.
+
+use crate::ids::BgpId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A NEXT-HOP: the external peer a packet is handed to when it leaves `AS0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NextHop {
+    /// Synthetic IPv4-style address of the remote end of the exit link.
+    addr: u32,
+    /// BGP identifier of the external peer (used as `learnedFrom` for
+    /// E-BGP-learned routes).
+    bgp_id: BgpId,
+}
+
+impl NextHop {
+    /// Construct a next hop with the given synthetic address and peer id.
+    pub const fn new(addr: u32, bgp_id: BgpId) -> Self {
+        Self { addr, bgp_id }
+    }
+
+    /// A next hop whose address and BGP identifier share one raw value —
+    /// convenient for scenarios where only distinctness matters.
+    pub const fn synthetic(raw: u32) -> Self {
+        Self {
+            addr: raw,
+            bgp_id: BgpId::new(raw),
+        }
+    }
+
+    /// The synthetic address.
+    pub const fn addr(self) -> u32 {
+        self.addr
+    }
+
+    /// The external peer's BGP identifier.
+    pub const fn bgp_id(self) -> BgpId {
+        self.bgp_id
+    }
+}
+
+impl fmt::Display for NextHop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.addr.to_be_bytes();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_as_dotted_quad() {
+        let nh = NextHop::new(0x0A00_0001, BgpId::new(1));
+        assert_eq!(nh.to_string(), "10.0.0.1");
+    }
+
+    #[test]
+    fn synthetic_shares_raw_value() {
+        let nh = NextHop::synthetic(42);
+        assert_eq!(nh.addr(), 42);
+        assert_eq!(nh.bgp_id(), BgpId::new(42));
+    }
+
+    #[test]
+    fn equality_covers_both_fields() {
+        assert_ne!(
+            NextHop::new(1, BgpId::new(1)),
+            NextHop::new(1, BgpId::new(2))
+        );
+        assert_eq!(
+            NextHop::new(1, BgpId::new(1)),
+            NextHop::new(1, BgpId::new(1))
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Destination prefixes.
+//!
+//! The paper analyzes routes for a single external destination prefix `d`;
+//! all simulators in this workspace run one prefix at a time. The type is
+//! still a real CIDR prefix so that scenario descriptions, traces, and
+//! multi-prefix extensions stay well-typed.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An IPv4 CIDR destination prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    addr: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// The conventional destination `d` used throughout the paper's
+    /// examples: a documentation prefix.
+    pub const D: Prefix = Prefix {
+        addr: 0xC000_0200, // 192.0.2.0
+        len: 24,
+    };
+
+    /// Construct a prefix, masking the address down to `len` bits.
+    ///
+    /// Returns `None` if `len > 32`.
+    pub fn new(addr: u32, len: u8) -> Option<Self> {
+        if len > 32 {
+            return None;
+        }
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+        Some(Self {
+            addr: addr & mask,
+            len,
+        })
+    }
+
+    /// The (masked) network address.
+    pub const fn addr(self) -> u32 {
+        self.addr
+    }
+
+    /// The prefix length in bits.
+    pub const fn len(self) -> u8 {
+        self.len
+    }
+
+    /// True only for the zero-length default route.
+    pub const fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    pub fn contains(self, addr: u32) -> bool {
+        if self.len == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - self.len);
+        (addr & mask) == self.addr
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.addr.to_be_bytes();
+        write!(f, "{a}.{b}.{c}.{d}/{}", self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_destination_displays() {
+        assert_eq!(Prefix::D.to_string(), "192.0.2.0/24");
+    }
+
+    #[test]
+    fn new_masks_host_bits() {
+        let p = Prefix::new(0xC000_02FF, 24).unwrap();
+        assert_eq!(p, Prefix::D);
+    }
+
+    #[test]
+    fn rejects_overlong_prefixes() {
+        assert!(Prefix::new(0, 33).is_none());
+        assert!(Prefix::new(0, 32).is_some());
+    }
+
+    #[test]
+    fn containment() {
+        assert!(Prefix::D.contains(0xC000_0201));
+        assert!(!Prefix::D.contains(0xC000_0301));
+        let default = Prefix::new(0, 0).unwrap();
+        assert!(default.contains(0xFFFF_FFFF));
+        assert!(default.is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! Routes — exit paths as seen from a particular router (§4).
+//!
+//! A route `r` from node `u` is the pair `(q, p)` of an exit path `p` and
+//! the selected shortest path `q = SP(u, exitPoint(p))` in the physical
+//! graph. The route inherits all attributes of its external part, and adds:
+//!
+//! * `metric(r)` — `cost(q) + exitCost(p)`, the quantity compared by
+//!   selection rules 4/5;
+//! * `learnedFrom(r)` — the BGP identifier of the peer `u` learned the
+//!   route from, the rule-6 tie-breaker.
+//!
+//! The internal path `q` itself is *derived* state (the topology crate owns
+//! shortest paths); a `Route` stores only the values the decision process
+//! needs, which keeps the simulators' configurations small and hashable.
+
+use crate::attrs::{IgpCost, LocalPref, Med};
+use crate::exit_path::{ExitPath, ExitPathRef};
+use crate::ids::{AsId, BgpId, ExitPathId, RouterId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Whether a route was learned over E-BGP (its exit point *is* the holding
+/// node) or over I-BGP (the exit point is elsewhere in `AS0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouteKind {
+    /// The holding node learned this route directly from the external peer.
+    Ebgp,
+    /// The route was learned from an I-BGP peer; packets must first cross
+    /// `AS0` to the exit point.
+    Ibgp,
+}
+
+impl fmt::Display for RouteKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteKind::Ebgp => write!(f, "eBGP"),
+            RouteKind::Ibgp => write!(f, "iBGP"),
+        }
+    }
+}
+
+/// An exit path contextualized at a node, ready for route selection.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Route {
+    exit: ExitPathRef,
+    node: RouterId,
+    metric: IgpCost,
+    learned_from: BgpId,
+}
+
+impl Route {
+    /// Build a route at `node` for exit path `exit`.
+    ///
+    /// `igp_cost` is `cost(SP(node, exitPoint(exit)))`; the route's metric
+    /// is that plus the exit cost. `learned_from` identifies the announcing
+    /// peer (the external peer's BGP id for E-BGP routes, the I-BGP
+    /// neighbor's for reflected routes).
+    pub fn new(exit: ExitPathRef, node: RouterId, igp_cost: IgpCost, learned_from: BgpId) -> Self {
+        let metric = igp_cost.saturating_add(exit.exit_cost());
+        Self {
+            exit,
+            node,
+            metric,
+            learned_from,
+        }
+    }
+
+    /// Convenience constructor taking an owned exit path.
+    pub fn from_exit(exit: ExitPath, node: RouterId, igp_cost: IgpCost, learned_from: BgpId) -> Self {
+        Self::new(Arc::new(exit), node, igp_cost, learned_from)
+    }
+
+    /// `exit(r)` — the external part.
+    pub fn exit(&self) -> &ExitPathRef {
+        &self.exit
+    }
+
+    /// Identity of the underlying announcement.
+    pub fn exit_id(&self) -> ExitPathId {
+        self.exit.id()
+    }
+
+    /// The node holding this route.
+    pub fn node(&self) -> RouterId {
+        self.node
+    }
+
+    /// `exitPoint(r)`.
+    pub fn exit_point(&self) -> RouterId {
+        self.exit.exit_point()
+    }
+
+    /// `metric(r)` — IGP cost to the exit point plus `exitCost`.
+    pub fn metric(&self) -> IgpCost {
+        self.metric
+    }
+
+    /// `learnedFrom(r)` — rule-6 tie-breaker.
+    pub fn learned_from(&self) -> BgpId {
+        self.learned_from
+    }
+
+    /// `localPref(r)` (inherited).
+    pub fn local_pref(&self) -> LocalPref {
+        self.exit.local_pref()
+    }
+
+    /// `AS-path-length(r)` (inherited).
+    pub fn as_path_length(&self) -> usize {
+        self.exit.as_path_length()
+    }
+
+    /// `nextAS(r)` (inherited).
+    pub fn next_as(&self) -> AsId {
+        self.exit.next_as()
+    }
+
+    /// `MED(r)` (inherited).
+    pub fn med(&self) -> Med {
+        self.exit.med()
+    }
+
+    /// E-BGP if the exit point is the holding node itself (§4: "If `u = v`,
+    /// then `r` corresponds to an E-BGP route").
+    pub fn kind(&self) -> RouteKind {
+        if self.node == self.exit.exit_point() {
+            RouteKind::Ebgp
+        } else {
+            RouteKind::Ibgp
+        }
+    }
+
+    /// True for E-BGP routes.
+    pub fn is_ebgp(&self) -> bool {
+        self.kind() == RouteKind::Ebgp
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at {} [{}] metric {} from {}",
+            self.exit,
+            self.node,
+            self.kind(),
+            self.metric,
+            self.learned_from
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exit_path::ExitPath;
+
+    fn exit_at(node: u32) -> ExitPath {
+        ExitPath::builder(ExitPathId::new(node))
+            .via(AsId::new(1))
+            .exit_point(RouterId::new(node))
+            .exit_cost(IgpCost::new(2))
+            .build_unchecked()
+    }
+
+    #[test]
+    fn metric_adds_exit_cost() {
+        let r = Route::from_exit(exit_at(5), RouterId::new(0), IgpCost::new(10), BgpId::new(1));
+        assert_eq!(r.metric(), IgpCost::new(12));
+    }
+
+    #[test]
+    fn kind_depends_on_exit_point() {
+        let r = Route::from_exit(exit_at(5), RouterId::new(5), IgpCost::ZERO, BgpId::new(1));
+        assert_eq!(r.kind(), RouteKind::Ebgp);
+        assert!(r.is_ebgp());
+        let r = Route::from_exit(exit_at(5), RouterId::new(0), IgpCost::new(1), BgpId::new(1));
+        assert_eq!(r.kind(), RouteKind::Ibgp);
+        assert!(!r.is_ebgp());
+    }
+
+    #[test]
+    fn inherited_attributes_match_exit() {
+        let r = Route::from_exit(exit_at(5), RouterId::new(0), IgpCost::new(1), BgpId::new(9));
+        assert_eq!(r.next_as(), AsId::new(1));
+        assert_eq!(r.local_pref(), LocalPref::DEFAULT);
+        assert_eq!(r.med(), Med::ZERO);
+        assert_eq!(r.as_path_length(), 1);
+        assert_eq!(r.learned_from(), BgpId::new(9));
+        assert_eq!(r.exit_id(), ExitPathId::new(5));
+        assert_eq!(r.exit_point(), RouterId::new(5));
+    }
+
+    #[test]
+    fn infinite_igp_cost_saturates_metric() {
+        let r = Route::from_exit(exit_at(5), RouterId::new(0), IgpCost::INFINITY, BgpId::new(1));
+        assert!(r.metric().is_infinite());
+    }
+
+    #[test]
+    fn display_mentions_kind_and_metric() {
+        let r = Route::from_exit(exit_at(5), RouterId::new(0), IgpCost::new(1), BgpId::new(9));
+        let s = r.to_string();
+        assert!(s.contains("iBGP"), "{s}");
+        assert!(s.contains("metric 3"), "{s}");
+    }
+}

@@ -1,0 +1,62 @@
+//! The §5 NP-completeness reduction, end to end: a 3-SAT formula becomes
+//! an I-BGP configuration whose stabilization question *is* the
+//! satisfiability question.
+//!
+//! Run: `cargo run --release --example npc_reduction`
+
+use ibgp::npc::{
+    assignment_from_best, check_equivalence, reduce, schedule_for, solve, Clause, Formula, Lit,
+};
+use ibgp::proto::variants::ProtocolConfig;
+use ibgp::sim::SyncEngine;
+
+fn main() {
+    // (x0 ∨ x1 ∨ ¬x2) ∧ (¬x0 ∨ x2 ∨ x1) ∧ (¬x1 ∨ ¬x2 ∨ x0)
+    let formula = Formula::new(
+        3,
+        vec![
+            Clause(vec![Lit::pos(0), Lit::pos(1), Lit::neg(2)]),
+            Clause(vec![Lit::neg(0), Lit::pos(2), Lit::pos(1)]),
+            Clause(vec![Lit::neg(1), Lit::neg(2), Lit::pos(0)]),
+        ],
+    )
+    .expect("well-formed");
+    println!("formula J = {formula}");
+
+    let sr = reduce(&formula);
+    println!(
+        "reduced instance SR_J: {} routers ({} variable gadgets, {} clause gadgets, 1 hub), {} exit paths",
+        sr.node_count(),
+        formula.num_vars,
+        formula.clauses.len(),
+        sr.exits.len()
+    );
+
+    match solve(&formula) {
+        Some(assignment) => {
+            println!("DPLL: satisfiable with {assignment:?}");
+            let mut schedule = schedule_for(&sr, &assignment);
+            let mut engine =
+                SyncEngine::new(&sr.topology, ProtocolConfig::STANDARD, sr.exits.clone());
+            let outcome = engine.run(&mut schedule, 200_000);
+            println!("driving SR_J with the induced activation schedule: {outcome}");
+            let read_back = assignment_from_best(&sr, &engine.best_vector())
+                .expect("stable state encodes an orientation");
+            println!(
+                "assignment read back from the stable routing state: {read_back:?} (satisfies J: {})",
+                formula.eval(&read_back)
+            );
+        }
+        None => println!("DPLL: unsatisfiable — SR_J has no stable configuration"),
+    }
+
+    // The unsatisfiable counterpart: (x0) ∧ (¬x0).
+    let unsat = Formula::new(1, vec![Clause(vec![Lit::pos(0)]), Clause(vec![Lit::neg(0)])])
+        .expect("well-formed");
+    println!("\nformula J' = {unsat}");
+    let report = check_equivalence(&unsat, 200_000);
+    println!(
+        "equivalence check: satisfiable={}, routing side agrees={} ({} orientation schedules all ended in provable cycles)",
+        report.satisfiable, report.agrees, report.schedules_tried
+    );
+}

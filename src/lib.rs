@@ -1,0 +1,2 @@
+//! Umbrella package: integration tests and examples live here.
+pub use ibgp;

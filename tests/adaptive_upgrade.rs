@@ -1,0 +1,124 @@
+//! The §10 future-work feature end-to-end: routers run standard I-BGP
+//! until their local oscillation detector fires, then upgrade themselves
+//! to `Choose_set` advertisement. Persistent oscillations self-heal;
+//! quiet configurations never pay the extra advertisement cost.
+
+use ibgp::scenarios::{fig13, fig14, fig1a};
+use ibgp::sim::{AdaptivePolicy, FixedDelay};
+use ibgp::{Network, ProtocolVariant};
+
+const POLICY: AdaptivePolicy = AdaptivePolicy {
+    threshold: 8,
+    window: 200,
+};
+
+#[test]
+fn fig1a_self_heals_under_the_adaptive_trigger() {
+    let s = fig1a::scenario();
+    let n = Network::from_scenario(&s, ProtocolVariant::Standard);
+
+    // Control: without the trigger the run never quiesces.
+    let mut plain = n.async_sim(Box::new(FixedDelay(3)));
+    plain.start();
+    assert!(!plain.run(20_000).quiescent());
+
+    // With the trigger: the flapping reflectors upgrade and the system
+    // quiesces.
+    let mut sim = n.async_sim(Box::new(FixedDelay(3)));
+    sim.set_adaptive(POLICY);
+    sim.start();
+    let outcome = sim.run(200_000);
+    assert!(outcome.quiescent(), "{outcome}");
+    let upgraded = sim.upgraded_routers();
+    assert!(!upgraded.is_empty(), "someone must have detected the flapping");
+    // The oscillation lives between the reflectors; at least one of them
+    // upgraded.
+    assert!(
+        upgraded.contains(&fig1a::nodes::A) || upgraded.contains(&fig1a::nodes::B),
+        "{upgraded:?}"
+    );
+}
+
+#[test]
+fn fig13_self_heals_even_though_walton_cannot_fix_it() {
+    let s = fig13::scenario();
+    let n = Network::from_scenario(&s, ProtocolVariant::Standard);
+    let mut sim = n.async_sim(Box::new(FixedDelay(2)));
+    sim.set_adaptive(POLICY);
+    sim.start();
+    let outcome = sim.run(300_000);
+    assert!(outcome.quiescent(), "{outcome}");
+    assert!(!sim.upgraded_routers().is_empty());
+}
+
+#[test]
+fn quiet_configurations_never_upgrade() {
+    // Fig 14 converges under standard I-BGP (its problem is forwarding
+    // loops, not churn): the detector must stay silent and the routers
+    // must keep single-best advertisement.
+    let s = fig14::scenario();
+    let n = Network::from_scenario(&s, ProtocolVariant::Standard);
+    let mut sim = n.async_sim(Box::new(FixedDelay(2)));
+    sim.set_adaptive(POLICY);
+    sim.start();
+    assert!(sim.run(100_000).quiescent());
+    assert!(sim.upgraded_routers().is_empty());
+}
+
+#[test]
+fn forced_upgrade_event_converts_a_router() {
+    let s = fig14::scenario();
+    let n = Network::from_scenario(&s, ProtocolVariant::Standard);
+    let mut sim = n.async_sim(Box::new(FixedDelay(2)));
+    sim.set_adaptive(POLICY);
+    sim.start();
+    assert!(sim.run(100_000).quiescent());
+    // Force-upgrade both reflectors: the loop of Fig 14 disappears
+    // because clients now hear both routes.
+    let t = sim.now();
+    sim.schedule(
+        t + 1,
+        ibgp::sim::AsyncEvent::AdaptiveUpgrade {
+            node: fig14::nodes::RR1,
+        },
+    );
+    sim.schedule(
+        t + 2,
+        ibgp::sim::AsyncEvent::AdaptiveUpgrade {
+            node: fig14::nodes::RR2,
+        },
+    );
+    assert!(sim.run(100_000).quiescent());
+    assert_eq!(sim.upgraded_routers().len(), 2);
+    // Clients now pick the nearer (foreign) exits, as under Modified.
+    assert_eq!(
+        sim.best_exit(fig14::nodes::C1),
+        Some(fig14::routes::R2)
+    );
+    assert_eq!(
+        sim.best_exit(fig14::nodes::C2),
+        Some(fig14::routes::R1)
+    );
+}
+
+#[test]
+fn crashed_routers_downgrade_and_redetect() {
+    let s = fig1a::scenario();
+    let n = Network::from_scenario(&s, ProtocolVariant::Standard);
+    let mut sim = n.async_sim(Box::new(FixedDelay(3)));
+    sim.set_adaptive(POLICY);
+    sim.start();
+    assert!(sim.run(200_000).quiescent());
+    let upgraded_before = sim.upgraded_routers();
+    assert!(!upgraded_before.is_empty());
+
+    // Crash an upgraded router: it forgets its upgrade…
+    let victim = upgraded_before[0];
+    let t = sim.now();
+    sim.schedule(t + 1, ibgp::sim::AsyncEvent::NodeDown { node: victim });
+    sim.schedule(t + 30, ibgp::sim::AsyncEvent::NodeUp { node: victim });
+    let outcome = sim.run(400_000);
+    // …and the system either re-converges quietly or re-detects and
+    // re-upgrades; both end quiescent.
+    assert!(outcome.quiescent(), "{outcome}");
+}

@@ -1,0 +1,95 @@
+//! Integration: E-BGP churn, crashes, and timing through the
+//! message-level engine, on paper scenarios, via the public facade.
+
+use ibgp::scenarios::{fig1a, fig2};
+use ibgp::sim::{AsyncEvent, FixedDelay, SeededJitter};
+use ibgp::{ExitPathId, Network, ProtocolVariant, RouterId};
+
+#[test]
+fn fig1a_standard_oscillates_in_the_async_engine_as_well() {
+    let s = fig1a::scenario();
+    let n = Network::from_scenario(&s, ProtocolVariant::Standard);
+    let mut sim = n.async_sim(Box::new(FixedDelay(3)));
+    sim.start();
+    let outcome = sim.run(20_000);
+    assert!(!outcome.quiescent(), "{outcome}");
+    assert!(sim.metrics().best_changes > 500);
+}
+
+#[test]
+fn fig1a_modified_quiesces_and_matches_the_sync_engine() {
+    let s = fig1a::scenario();
+    let n = Network::from_scenario(&s, ProtocolVariant::Modified);
+    let sync = n.converge(100_000);
+    assert!(sync.converged());
+    for seed in 0..6 {
+        let mut sim = n.async_sim(Box::new(SeededJitter::new(seed, 1, 11)));
+        sim.start();
+        assert!(sim.run(200_000).quiescent(), "seed {seed}");
+        assert_eq!(sim.best_vector(), sync.best_exits, "seed {seed}");
+    }
+}
+
+#[test]
+fn withdrawing_the_winning_route_fails_over_and_back() {
+    let s = fig1a::scenario();
+    let n = Network::from_scenario(&s, ProtocolVariant::Modified);
+    let mut sim = n.async_sim(Box::new(FixedDelay(2)));
+    sim.start();
+    assert!(sim.run(100_000).quiescent());
+    let a = RouterId::new(0);
+    let r1 = ExitPathId::new(1);
+    assert_eq!(sim.best_exit(a), Some(r1), "A settles on r1");
+
+    // Withdraw r1: A must fall back to r3 (r2 stays MED-hidden by r3).
+    let t = sim.now();
+    sim.schedule(t + 1, AsyncEvent::Withdraw { id: r1 });
+    assert!(sim.run(100_000).quiescent());
+    assert_eq!(sim.best_exit(a), Some(ExitPathId::new(3)));
+
+    // Re-inject r1: the original table returns (determinism across churn).
+    let t = sim.now();
+    let r1_path = s.exits[0].clone();
+    sim.schedule(t + 1, AsyncEvent::Inject { path: r1_path });
+    assert!(sim.run(100_000).quiescent());
+    assert_eq!(sim.best_exit(a), Some(r1));
+}
+
+#[test]
+fn crash_and_restart_returns_to_the_same_table_under_modified() {
+    let s = fig2::scenario();
+    let n = Network::from_scenario(&s, ProtocolVariant::Modified);
+    for seed in 0..6u64 {
+        let mut sim = n.async_sim(Box::new(SeededJitter::new(seed, 1, 9)));
+        sim.set_mrai(16);
+        sim.set_mrai_jitter(seed);
+        sim.start();
+        assert!(sim.run(100_000).quiescent(), "seed {seed}");
+        let before = sim.best_vector();
+
+        let t = sim.now();
+        sim.schedule(t + 5, AsyncEvent::NodeDown { node: RouterId::new(0) });
+        sim.schedule(t + 50, AsyncEvent::NodeUp { node: RouterId::new(0) });
+        assert!(sim.run(300_000).quiescent(), "seed {seed}");
+        assert_eq!(sim.best_vector(), before, "seed {seed}: table changed across crash");
+    }
+}
+
+#[test]
+fn downed_reflector_cuts_its_clients_off() {
+    let s = fig2::scenario();
+    let n = Network::from_scenario(&s, ProtocolVariant::Modified);
+    let mut sim = n.async_sim(Box::new(FixedDelay(2)));
+    sim.start();
+    assert!(sim.run(100_000).quiescent());
+    // Crash RR2 (router 1): its client c2 (router 3) keeps only its own
+    // E-BGP route; the rest of the AS loses p2.
+    let t = sim.now();
+    sim.schedule(t + 1, AsyncEvent::NodeDown { node: RouterId::new(1) });
+    assert!(sim.run(100_000).quiescent());
+    assert!(!sim.is_up(RouterId::new(1)));
+    let p1 = ExitPathId::new(1);
+    let p2 = ExitPathId::new(2);
+    assert_eq!(sim.best_exit(RouterId::new(0)), Some(p1), "RR1 falls back to p1");
+    assert_eq!(sim.best_exit(RouterId::new(3)), Some(p2), "c2 keeps its own exit");
+}

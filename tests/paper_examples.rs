@@ -1,0 +1,131 @@
+//! End-to-end integration: every figure of the paper exercised through
+//! the public `ibgp` facade, across crates (scenarios → engines →
+//! analyses → reports).
+
+use ibgp::proto::variants::ProtocolConfig;
+use ibgp::scenarios::{all_scenarios, by_name};
+use ibgp::{Network, OscillationClass, ProtocolVariant, SelectionPolicy};
+
+const MAX_STATES: usize = 500_000;
+
+fn class_of(name: &str, variant: ProtocolVariant) -> OscillationClass {
+    let s = by_name(name).expect("scenario exists");
+    Network::from_scenario(&s, variant).classify(MAX_STATES).0
+}
+
+#[test]
+fn fig1a_verdict_matrix() {
+    assert_eq!(
+        class_of("fig1a", ProtocolVariant::Standard),
+        OscillationClass::Persistent
+    );
+    assert_eq!(
+        class_of("fig1a", ProtocolVariant::Walton),
+        OscillationClass::Stable
+    );
+    assert_eq!(
+        class_of("fig1a", ProtocolVariant::Modified),
+        OscillationClass::Stable
+    );
+}
+
+#[test]
+fn fig1b_depends_on_rule_order() {
+    let s = by_name("fig1b").unwrap();
+    let paper = Network::from_scenario(&s, ProtocolVariant::Standard);
+    assert_eq!(paper.classify(MAX_STATES).0, OscillationClass::Stable);
+    let rfc = paper.with_config(ProtocolConfig {
+        variant: ProtocolVariant::Standard,
+        policy: SelectionPolicy::RFC1771,
+    });
+    assert_eq!(rfc.classify(MAX_STATES).0, OscillationClass::Persistent);
+}
+
+#[test]
+fn fig2_verdict_matrix() {
+    assert_eq!(
+        class_of("fig2", ProtocolVariant::Standard),
+        OscillationClass::Transient
+    );
+    assert_eq!(
+        class_of("fig2", ProtocolVariant::Walton),
+        OscillationClass::Transient
+    );
+    assert_eq!(
+        class_of("fig2", ProtocolVariant::Modified),
+        OscillationClass::Stable
+    );
+}
+
+#[test]
+fn fig13_defeats_walton_but_not_modified() {
+    assert_eq!(
+        class_of("fig13", ProtocolVariant::Walton),
+        OscillationClass::Persistent
+    );
+    assert_eq!(
+        class_of("fig13", ProtocolVariant::Modified),
+        OscillationClass::Stable
+    );
+}
+
+#[test]
+fn fig14_loop_matrix() {
+    let s = by_name("fig14").unwrap();
+    for (variant, loops_expected) in [
+        (ProtocolVariant::Standard, true),
+        (ProtocolVariant::Walton, true),
+        (ProtocolVariant::Modified, false),
+    ] {
+        let loops = Network::from_scenario(&s, variant).forwarding_loops_after_convergence(10_000);
+        assert_eq!(!loops.is_empty(), loops_expected, "{variant}");
+    }
+}
+
+#[test]
+fn modified_protocol_stabilizes_every_figure() {
+    for s in all_scenarios() {
+        let n = Network::from_scenario(&s, ProtocolVariant::Modified);
+        let r = n.converge(100_000);
+        assert!(r.converged(), "{}: {:?}", s.name, r.outcome);
+        // And the outcome is schedule-independent.
+        assert!(
+            n.determinism(6, 100_000).deterministic(),
+            "{} not deterministic",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn standard_protocol_fails_on_exactly_the_oscillating_figures() {
+    let expectations = [
+        ("fig1a", OscillationClass::Persistent),
+        ("fig1b", OscillationClass::Stable),
+        ("fig2", OscillationClass::Transient),
+        ("fig3", OscillationClass::Stable), // needs injection timing; see E4
+        ("fig12", OscillationClass::Stable),
+        ("fig13", OscillationClass::Persistent),
+        ("fig14", OscillationClass::Stable), // stable but loops (E7)
+    ];
+    for (name, expected) in expectations {
+        assert_eq!(class_of(name, ProtocolVariant::Standard), expected, "{name}");
+    }
+}
+
+#[test]
+fn experiment_report_renders_for_a_real_run() {
+    let s = by_name("fig1a").unwrap();
+    let class = Network::from_scenario(&s, ProtocolVariant::Standard)
+        .classify(MAX_STATES)
+        .0;
+    let row = ibgp::ExperimentRow::new(
+        "E1",
+        "Fig 1(a)",
+        "persistent oscillation",
+        class.to_string(),
+        class == OscillationClass::Persistent,
+    );
+    let table = ibgp::render_table(std::slice::from_ref(&row));
+    assert!(table.contains("reproduced"), "{table}");
+}

@@ -1,0 +1,164 @@
+//! Property tests for the decision process (rules of §2) through the
+//! public API: totality, membership, determinism, idempotence, and the
+//! per-rule dominance invariants.
+
+use ibgp::proto::{choose_best, choose_set, MedMode, SelectionPolicy};
+use ibgp::{
+    AsId, BgpId, ExitPath, ExitPathId, ExitPathRef, IgpCost, LocalPref, Med, Route, RouterId,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct Cand {
+    local_pref: u32,
+    as_path_len: usize,
+    next_as: u32,
+    med: u32,
+    igp: u64,
+    exit_cost: u64,
+    learned_from: u32,
+    own: bool,
+}
+
+fn arb_cand() -> impl Strategy<Value = Cand> {
+    (
+        90u32..=110,
+        1usize..=3,
+        1u32..=3,
+        0u32..=5,
+        0u64..=20,
+        0u64..=5,
+        0u32..=30,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(local_pref, as_path_len, next_as, med, igp, exit_cost, learned_from, own)| Cand {
+                local_pref,
+                as_path_len,
+                next_as,
+                med,
+                igp,
+                exit_cost,
+                learned_from,
+                own,
+            },
+        )
+}
+
+const NODE: RouterId = RouterId(999);
+
+fn materialize(cands: &[Cand]) -> Vec<Route> {
+    cands
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let exit: ExitPathRef = Arc::new(
+                ExitPath::builder(ExitPathId::new(i as u32 + 1))
+                    .local_pref(LocalPref::new(c.local_pref))
+                    .via_with_length(AsId::new(c.next_as), c.as_path_len)
+                    .med(Med::new(c.med))
+                    .exit_point(if c.own { NODE } else { RouterId::new(i as u32) })
+                    .exit_cost(IgpCost::new(c.exit_cost))
+                    .build_unchecked(),
+            );
+            let igp = if c.own { 0 } else { c.igp };
+            Route::new(exit, NODE, IgpCost::new(igp), BgpId::new(c.learned_from))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Totality + membership: a non-empty candidate set always yields a
+    /// winner, and the winner is one of the candidates.
+    #[test]
+    fn choose_best_is_total_and_member(cands in prop::collection::vec(arb_cand(), 1..12)) {
+        let routes = materialize(&cands);
+        let best = choose_best(SelectionPolicy::PAPER, &routes);
+        prop_assert!(best.is_some());
+        prop_assert!(routes.contains(&best.unwrap()));
+    }
+
+    /// Determinism under permutation.
+    #[test]
+    fn choose_best_is_order_independent(
+        cands in prop::collection::vec(arb_cand(), 1..10),
+        rotation in 0usize..10,
+    ) {
+        let routes = materialize(&cands);
+        let mut rotated = routes.clone();
+        rotated.rotate_left(rotation % routes.len().max(1));
+        prop_assert_eq!(
+            choose_best(SelectionPolicy::PAPER, &routes),
+            choose_best(SelectionPolicy::PAPER, &rotated)
+        );
+    }
+
+    /// Rule 1 dominance: the winner has the maximum LOCAL-PREF.
+    #[test]
+    fn winner_has_max_local_pref(cands in prop::collection::vec(arb_cand(), 1..12)) {
+        let routes = materialize(&cands);
+        let best = choose_best(SelectionPolicy::PAPER, &routes).unwrap();
+        let max_lp = routes.iter().map(Route::local_pref).max().unwrap();
+        prop_assert_eq!(best.local_pref(), max_lp);
+    }
+
+    /// Rule 3 soundness: the winner is never MED-dominated by another
+    /// candidate through the same neighboring AS (with equal LP and path
+    /// length — i.e. among rules-1/2 survivors).
+    #[test]
+    fn winner_is_not_med_dominated(cands in prop::collection::vec(arb_cand(), 1..12)) {
+        let routes = materialize(&cands);
+        let best = choose_best(SelectionPolicy::PAPER, &routes).unwrap();
+        for r in &routes {
+            if r.local_pref() == best.local_pref()
+                && r.as_path_length() == best.as_path_length()
+                && r.next_as() == best.next_as()
+            {
+                prop_assert!(r.med() >= best.med(), "{r} MED-dominates {best}");
+            }
+        }
+    }
+
+    /// Choose_set: idempotent, and choosing from the survivors gives the
+    /// same best as choosing from everything (the modified protocol
+    /// doesn't change local decisions, only what is advertised).
+    #[test]
+    fn choose_set_is_idempotent_and_selection_preserving(
+        cands in prop::collection::vec(arb_cand(), 1..12)
+    ) {
+        let routes = materialize(&cands);
+        let paths: Vec<ExitPathRef> = routes.iter().map(|r| r.exit().clone()).collect();
+        let set = choose_set(&paths, MedMode::PerNeighborAs);
+        let set2 = choose_set(&set, MedMode::PerNeighborAs);
+        prop_assert_eq!(&set, &set2);
+
+        let survivor_routes: Vec<Route> = routes
+            .iter()
+            .filter(|r| set.iter().any(|p| p.id() == r.exit_id()))
+            .cloned()
+            .collect();
+        prop_assert_eq!(
+            choose_best(SelectionPolicy::PAPER, &routes),
+            choose_best(SelectionPolicy::PAPER, &survivor_routes)
+        );
+    }
+
+    /// E-BGP preference (paper order): if any E-BGP route survives rules
+    /// 1-3, the winner is E-BGP.
+    #[test]
+    fn ebgp_preference_holds(cands in prop::collection::vec(arb_cand(), 1..12)) {
+        let routes = materialize(&cands);
+        let paths: Vec<ExitPathRef> = routes.iter().map(|r| r.exit().clone()).collect();
+        let survivors = choose_set(&paths, MedMode::PerNeighborAs);
+        let any_ebgp_survivor = routes.iter().any(|r| {
+            r.is_ebgp() && survivors.iter().any(|p| p.id() == r.exit_id())
+        });
+        let best = choose_best(SelectionPolicy::PAPER, &routes).unwrap();
+        if any_ebgp_survivor {
+            prop_assert!(best.is_ebgp(), "I-BGP {best} beat a surviving E-BGP route");
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The §7 theorems as property tests: on *arbitrary* route-reflection
+//! configurations, the modified protocol converges, to a unique fixed
+//! point, with `GoodExits = S′` everywhere, loop-free forwarding, and
+//! clean flushing. This is the paper's main result exercised as a
+//! falsifiable property.
+
+use ibgp::scenarios::random::{random_scenario, RandomConfig};
+use ibgp::theorems::verify_paper_theorems;
+use ibgp::{Network, ProtocolVariant};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = (RandomConfig, u64)> {
+    (
+        1usize..=4,  // clusters
+        0usize..=3,  // clients per cluster
+        1usize..=6,  // exits
+        1usize..=3,  // neighbor ASes
+        0u32..=10,   // max MED
+        1u64..=10,   // max cost
+        0usize..=4,  // extra links
+        any::<u64>(), // seed
+    )
+        .prop_map(
+            |(clusters, clients, exits, ases, med, cost, extra, seed)| {
+                (
+                    RandomConfig {
+                        clusters,
+                        clients_per_cluster: clients,
+                        exits,
+                        neighbor_ases: ases,
+                        max_med: med,
+                        max_cost: cost,
+                        extra_links: extra,
+                    },
+                    seed,
+                )
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    /// Theorem (§7): the modified protocol converges on every
+    /// configuration, to the same fixed point under every fair schedule,
+    /// with S′ advertised everywhere, loop-free, and flush-clean.
+    #[test]
+    fn modified_protocol_theorems_hold((cfg, seed) in arb_config()) {
+        let scenario = random_scenario(cfg, seed);
+        let network = Network::from_scenario(&scenario, ProtocolVariant::Modified);
+        let report = verify_paper_theorems(&network, 3, 200_000);
+        prop_assert!(report.all_hold(), "{report:?}");
+    }
+
+    /// The async engine agrees with the sync engine's fixed point for the
+    /// modified protocol (the theorems don't depend on the engine).
+    #[test]
+    fn engines_agree_on_the_modified_fixed_point((cfg, seed) in arb_config()) {
+        let scenario = random_scenario(cfg, seed);
+        let network = Network::from_scenario(&scenario, ProtocolVariant::Modified);
+        let sync = network.converge(200_000);
+        prop_assert!(sync.converged());
+        let (outcome, async_bests, _) =
+            network.quiesce(Box::new(ibgp::sim::FixedDelay(2)), 0, 2_000_000);
+        prop_assert!(outcome.quiescent(), "{outcome}");
+        prop_assert_eq!(&sync.best_exits, &async_bests);
+    }
+}
