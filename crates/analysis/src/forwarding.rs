@@ -190,14 +190,17 @@ mod tests {
         assignment: Vec<(u32, ExitPathRef)>,
     ) -> impl Fn(RouterId) -> Option<Route> + '_ {
         move |u: RouterId| {
-            assignment.iter().find(|(n, _)| *n == u.raw()).map(|(_, p)| {
-                Route::new(
-                    p.clone(),
-                    u,
-                    topo.igp_cost(u, p.exit_point()),
-                    BgpId::new(0),
-                )
-            })
+            assignment
+                .iter()
+                .find(|(n, _)| *n == u.raw())
+                .map(|(_, p)| {
+                    Route::new(
+                        p.clone(),
+                        u,
+                        topo.igp_cost(u, p.exit_point()),
+                        BgpId::new(0),
+                    )
+                })
         }
     }
 
@@ -226,10 +229,7 @@ mod tests {
         let topo = line_topo();
         let far = exit_at(1, 2);
         let own = exit_at(2, 1);
-        let best = mk_best(
-            &topo,
-            vec![(0, far.clone()), (1, own), (2, far)],
-        );
+        let best = mk_best(&topo, vec![(0, far.clone()), (1, own), (2, far)]);
         let res = forward_from(&topo, &best, r(0));
         match res {
             ForwardingResult::Exits { exit, via, .. } => {

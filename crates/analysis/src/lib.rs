@@ -37,5 +37,5 @@ pub use determinism::{determinism_report, DeterminismReport};
 pub use flush::{flush_report, FlushReport};
 pub use forwarding::{forward_from, forwarding_loops, lemma_7_6_violations, ForwardingResult};
 pub use oscillation::{classify, OscillationClass};
-pub use reachability::{explore, Reachability};
+pub use reachability::{explore, explore_memoized, Reachability};
 pub use stable::{enumerate_stable_standard, StableEnumeration};

@@ -16,10 +16,11 @@
 
 use ibgp_proto::variants::ProtocolConfig;
 use ibgp_sim::signature::StateKey;
-use ibgp_sim::{SyncEngine, SyncSnapshot};
+use ibgp_sim::{Metrics, SyncEngine, SyncSnapshot};
 use ibgp_topology::Topology;
 use ibgp_types::{ExitPathId, ExitPathRef, RouterId};
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 /// Result of a bounded reachability exploration.
 #[derive(Debug, Clone)]
@@ -31,6 +32,10 @@ pub struct Reachability {
     pub complete: bool,
     /// Distinct stable routing configurations found, as best-exit vectors.
     pub stable_vectors: Vec<Vec<Option<ExitPathId>>>,
+    /// Search observability: engine counters (incl. update-cache hits and
+    /// misses) plus states visited, wall-clock time, frontier depth, and
+    /// peak queue length.
+    pub metrics: Metrics,
 }
 
 impl Reachability {
@@ -71,7 +76,24 @@ pub fn explore(
     exits: Vec<ExitPathRef>,
     max_states: usize,
 ) -> Reachability {
+    explore_memoized(topo, config, exits, max_states, true)
+}
+
+/// [`explore`] with the engine's update memo explicitly on or off.
+///
+/// The memoized path is the default; the naive path recomputes every node
+/// update from scratch and exists as the reference the incremental engine
+/// is benchmarked and equivalence-tested against.
+pub fn explore_memoized(
+    topo: &Topology,
+    config: ProtocolConfig,
+    exits: Vec<ExitPathRef>,
+    max_states: usize,
+    memoize: bool,
+) -> Reachability {
+    let started = Instant::now();
     let mut engine = SyncEngine::new(topo, config, exits);
+    engine.set_memoized(memoize);
     let n = topo.len();
 
     // Branch choices: each singleton, plus the full activation set.
@@ -79,10 +101,14 @@ pub fn explore(
     branches.push((0..n as u32).map(RouterId::new).collect());
 
     let mut visited: HashMap<u64, Vec<StateKey>> = HashMap::new();
-    let mut queue: VecDeque<SyncSnapshot> = VecDeque::new();
+    // Snapshots are interned-row vectors (cheap), paired with their BFS
+    // depth for the frontier metrics.
+    let mut queue: VecDeque<(SyncSnapshot, u64)> = VecDeque::new();
     let mut stable_vectors: Vec<Vec<Option<ExitPathId>>> = Vec::new();
     let mut states = 0usize;
     let mut complete = true;
+    let mut frontier_depth = 0u64;
+    let mut peak_queue = 0u64;
 
     let try_visit = |engine: &SyncEngine, visited: &mut HashMap<u64, Vec<StateKey>>| -> bool {
         let key = engine.state_key(0);
@@ -95,12 +121,33 @@ pub fn explore(
         }
     };
 
+    let finish = |engine: &SyncEngine,
+                  states: usize,
+                  complete: bool,
+                  stable_vectors: Vec<Vec<Option<ExitPathId>>>,
+                  frontier_depth: u64,
+                  peak_queue: u64,
+                  started: Instant| {
+        let mut metrics = engine.metrics();
+        metrics.states_visited = states as u64;
+        metrics.elapsed_nanos = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        metrics.frontier_depth = frontier_depth;
+        metrics.peak_queue = peak_queue;
+        Reachability {
+            states,
+            complete,
+            stable_vectors,
+            metrics,
+        }
+    };
+
     if try_visit(&engine, &mut visited) {
         states += 1;
-        queue.push_back(engine.snapshot());
+        queue.push_back((engine.snapshot(), 0));
+        peak_queue = 1;
     }
 
-    while let Some(snap) = queue.pop_front() {
+    while let Some((snap, depth)) = queue.pop_front() {
         engine.restore(&snap);
         if engine.is_stable() {
             let bv = engine.best_vector();
@@ -116,22 +163,32 @@ pub fn explore(
                 states += 1;
                 if states > max_states {
                     complete = false;
-                    return Reachability {
+                    return finish(
+                        &engine,
                         states,
                         complete,
                         stable_vectors,
-                    };
+                        frontier_depth,
+                        peak_queue,
+                        started,
+                    );
                 }
-                queue.push_back(engine.snapshot());
+                queue.push_back((engine.snapshot(), depth + 1));
+                frontier_depth = frontier_depth.max(depth + 1);
+                peak_queue = peak_queue.max(queue.len() as u64);
             }
         }
     }
 
-    Reachability {
+    finish(
+        &engine,
         states,
         complete,
         stable_vectors,
-    }
+        frontier_depth,
+        peak_queue,
+        started,
+    )
 }
 
 #[cfg(test)]
@@ -158,7 +215,12 @@ mod tests {
             .full_mesh()
             .build()
             .unwrap();
-        let r = explore(&topo, ProtocolConfig::STANDARD, vec![exit(1, 1, 0, 0)], 10_000);
+        let r = explore(
+            &topo,
+            ProtocolConfig::STANDARD,
+            vec![exit(1, 1, 0, 0)],
+            10_000,
+        );
         assert!(r.complete);
         assert!(r.can_converge());
         assert!(!r.persistent_oscillation());
@@ -207,7 +269,49 @@ mod tests {
         let exits = vec![exit(1, 1, 0, 2), exit(2, 1, 0, 3)];
         let r = explore(&topo, ProtocolConfig::STANDARD, exits, 3);
         assert!(!r.complete);
-        assert!(!r.persistent_oscillation(), "incomplete search proves nothing");
+        assert!(
+            !r.persistent_oscillation(),
+            "incomplete search proves nothing"
+        );
+    }
+
+    /// The exploration reports search observability and a warm cache, and
+    /// the memoized and naive engines agree on every verdict.
+    #[test]
+    fn exploration_metrics_and_naive_agreement() {
+        let topo = TopologyBuilder::new(4)
+            .link(0, 2, 10)
+            .link(0, 3, 1)
+            .link(1, 3, 10)
+            .link(1, 2, 1)
+            .cluster([0], [2])
+            .cluster([1], [3])
+            .build()
+            .unwrap();
+        let exits = vec![exit(1, 1, 0, 2), exit(2, 1, 0, 3)];
+        let fast = explore_memoized(
+            &topo,
+            ProtocolConfig::STANDARD,
+            exits.clone(),
+            100_000,
+            true,
+        );
+        let slow = explore_memoized(&topo, ProtocolConfig::STANDARD, exits, 100_000, false);
+        assert_eq!(fast.states, slow.states);
+        assert_eq!(fast.complete, slow.complete);
+        assert_eq!(fast.stable_vectors, slow.stable_vectors);
+
+        let m = fast.metrics;
+        assert_eq!(m.states_visited as usize, fast.states);
+        assert!(m.cache_hits > 0, "replays must hit the memo");
+        assert!(m.cache_hit_rate() > 0.5, "hit rate {}", m.cache_hit_rate());
+        assert!(m.frontier_depth > 0);
+        assert!(m.peak_queue > 0);
+        assert!(m.elapsed_nanos > 0);
+        assert!(m.states_per_sec() > 0.0);
+        // The naive path never touches the cache.
+        assert_eq!(slow.metrics.cache_hits, 0);
+        assert_eq!(slow.metrics.cache_misses, 0);
     }
 
     #[test]

@@ -183,8 +183,8 @@ mod tests {
             .build()
             .unwrap();
         let exits = vec![exit(1, 1, 0, 0)];
-        let e = enumerate_stable_standard(&topo, SelectionPolicy::PAPER, &exits, 1_000_000)
-            .unwrap();
+        let e =
+            enumerate_stable_standard(&topo, SelectionPolicy::PAPER, &exits, 1_000_000).unwrap();
         assert_eq!(e.fixed_points.len(), 1);
         assert_eq!(
             e.fixed_points[0],
@@ -205,8 +205,8 @@ mod tests {
             .build()
             .unwrap();
         let exits = vec![exit(1, 1, 0, 2), exit(2, 1, 0, 3)];
-        let e = enumerate_stable_standard(&topo, SelectionPolicy::PAPER, &exits, 1_000_000)
-            .unwrap();
+        let e =
+            enumerate_stable_standard(&topo, SelectionPolicy::PAPER, &exits, 1_000_000).unwrap();
         assert_eq!(e.fixed_points.len(), 2, "{:?}", e.fixed_points);
     }
 
@@ -220,8 +220,7 @@ mod tests {
             .build()
             .unwrap();
         let exits = vec![exit(1, 1, 0, 0), exit(2, 1, 0, 1), exit(3, 1, 0, 2)];
-        let err =
-            enumerate_stable_standard(&topo, SelectionPolicy::PAPER, &exits, 10).unwrap_err();
+        let err = enumerate_stable_standard(&topo, SelectionPolicy::PAPER, &exits, 10).unwrap_err();
         assert_eq!(err.candidates, 256);
         assert!(err.to_string().contains("256"));
     }

@@ -31,8 +31,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("set-advertisement/convergence", |b| {
         b.iter(|| {
             let (topo, exits) = confed_fig1a();
-            let mut eng =
-                ConfedEngine::new(black_box(&topo), ConfedMode::SetAdvertisement, exits);
+            let mut eng = ConfedEngine::new(black_box(&topo), ConfedMode::SetAdvertisement, exits);
             let out = eng.run_round_robin(50_000);
             assert!(out.converged());
             out

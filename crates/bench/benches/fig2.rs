@@ -24,7 +24,9 @@ fn bench(c: &mut Criterion) {
 
     group.bench_function("standard/simultaneous-cycle", |b| {
         b.iter(|| {
-            let out = black_box(&std).converge_with(&mut AllAtOnce, 10_000).outcome;
+            let out = black_box(&std)
+                .converge_with(&mut AllAtOnce, 10_000)
+                .outcome;
             assert!(out.cycled());
             out
         })

@@ -31,8 +31,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("set-advertisement/convergence", |b| {
         b.iter(|| {
             let (topo, exits) = deep_fig1a();
-            let mut eng =
-                HierEngine::new(black_box(&topo), HierMode::SetAdvertisement, exits);
+            let mut eng = HierEngine::new(black_box(&topo), HierMode::SetAdvertisement, exits);
             let out = eng.run_round_robin(100_000);
             assert!(out.converged());
             out

@@ -26,9 +26,7 @@ fn bench(c: &mut Criterion) {
 
     // DPLL ground truth.
     let formula = Formula::random(7, 12, 40);
-    group.bench_function("dpll/12v40c", |b| {
-        b.iter(|| solve(black_box(&formula)))
-    });
+    group.bench_function("dpll/12v40c", |b| b.iter(|| solve(black_box(&formula))));
 
     // Full equivalence check on a small satisfiable instance.
     group.sample_size(10);

@@ -1,0 +1,64 @@
+//! Incremental reachability engine: memoized vs naive exploration on the
+//! fig2 and fig13 classification paths (the 500k-state budget the
+//! persistence proofs run with). Prints the one-shot speedup together
+//! with the cache hit rate and states/sec reported by `Metrics`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibgp::analysis::reachability::explore_memoized;
+use ibgp::scenarios::{fig13, fig2};
+use ibgp::ProtocolConfig;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn bench(c: &mut Criterion) {
+    let fig2 = fig2::scenario();
+    let fig13 = fig13::scenario();
+    let cases: [(&str, &ibgp::Scenario, ProtocolConfig); 2] = [
+        ("fig2/standard", &fig2, ProtocolConfig::STANDARD),
+        ("fig13/walton", &fig13, ProtocolConfig::WALTON),
+    ];
+    const MAX_STATES: usize = 500_000;
+
+    for (label, s, config) in cases {
+        // One-shot comparison against the naive reference engine; the
+        // timed groups below re-measure each side in isolation.
+        let t0 = Instant::now();
+        let fast = explore_memoized(&s.topology, config, s.exits(), MAX_STATES, true);
+        let t_fast = t0.elapsed();
+        let t0 = Instant::now();
+        let slow = explore_memoized(&s.topology, config, s.exits(), MAX_STATES, false);
+        let t_slow = t0.elapsed();
+        assert_eq!(fast.states, slow.states, "{label}: engines disagree");
+        assert_eq!(fast.stable_vectors, slow.stable_vectors);
+        println!(
+            "{label}: {} states; memoized {:.0} states/sec vs naive {:.0} \
+             ({:.2}x speedup); cache hit rate {:.1}%",
+            fast.states,
+            fast.metrics.states_per_sec(),
+            slow.metrics.states_per_sec(),
+            t_slow.as_secs_f64() / t_fast.as_secs_f64().max(1e-9),
+            100.0 * fast.metrics.cache_hit_rate(),
+        );
+
+        let mut group = c.benchmark_group(label);
+        group.bench_function("explore-memoized", |b| {
+            b.iter(|| explore_memoized(black_box(&s.topology), config, s.exits(), MAX_STATES, true))
+        });
+        group.bench_function("explore-naive", |b| {
+            b.iter(|| {
+                explore_memoized(black_box(&s.topology), config, s.exits(), MAX_STATES, false)
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(3)
+        .warm_up_time(std::time::Duration::from_millis(100))
+        .measurement_time(std::time::Duration::from_secs(5));
+    targets = bench
+}
+criterion_main!(benches);

@@ -53,8 +53,7 @@ fn bench(c: &mut Criterion) {
                 let mut total = 0usize;
                 for u in 0..8.min(n) {
                     for v in 0..n {
-                        if let Some(p) =
-                            spf.path(RouterId::new(u as u32), RouterId::new(v as u32))
+                        if let Some(p) = spf.path(RouterId::new(u as u32), RouterId::new(v as u32))
                         {
                             total += p.len();
                         }

@@ -137,12 +137,7 @@ fn e3_fig2() -> Vec<ExperimentRow> {
 
 fn e4_fig3() -> Vec<ExperimentRow> {
     use ibgp::scenarios::fig3::{routes, run_table1, symmetric_delay};
-    let (outcome_std, flips) = run_table1(
-        ProtocolConfig::STANDARD,
-        symmetric_delay(),
-        2,
-        5_000,
-    );
+    let (outcome_std, flips) = run_table1(ProtocolConfig::STANDARD, symmetric_delay(), 2, 5_000);
     let (outcome_mod, _) = run_table1(ProtocolConfig::MODIFIED, symmetric_delay(), 2, 50_000);
     // Outcome dependence on injection timing.
     let s = fig3::scenario();
@@ -181,16 +176,14 @@ fn e5_npc() -> Vec<ExperimentRow> {
     let mut sat_count = 0;
     let mut unsat_count = 0;
     // Hand-picked + random corpus.
-    let mut formulas = vec![
-        Formula::new(
-            1,
-            vec![
-                ibgp::npc::Clause(vec![ibgp::npc::Lit::pos(0)]),
-                ibgp::npc::Clause(vec![ibgp::npc::Lit::neg(0)]),
-            ],
-        )
-        .unwrap(),
-    ];
+    let mut formulas = vec![Formula::new(
+        1,
+        vec![
+            ibgp::npc::Clause(vec![ibgp::npc::Lit::pos(0)]),
+            ibgp::npc::Clause(vec![ibgp::npc::Lit::neg(0)]),
+        ],
+    )
+    .unwrap()];
     for seed in 0..8 {
         formulas.push(Formula::random(seed, 3, 4));
     }
@@ -298,7 +291,7 @@ fn e8_e9_e12_theorems() -> Vec<ExperimentRow> {
 }
 
 fn e10_overhead() -> Vec<ExperimentRow> {
-    use ibgp_bench::{scaled_scenario, scale_label, SCALE_POINTS, VARIANTS};
+    use ibgp_bench::{scale_label, scaled_scenario, SCALE_POINTS, VARIANTS};
     let mut lines = Vec::new();
     let mut monotone_ok = true;
     for &point in &SCALE_POINTS {
@@ -332,7 +325,7 @@ fn e10_overhead() -> Vec<ExperimentRow> {
 }
 
 fn e11_convergence_scale() -> Vec<ExperimentRow> {
-    use ibgp_bench::{scaled_scenario, scale_label, SCALE_POINTS};
+    use ibgp_bench::{scale_label, scaled_scenario, SCALE_POINTS};
     let mut lines = Vec::new();
     let mut all_converge = true;
     for &point in &SCALE_POINTS {
@@ -382,7 +375,10 @@ fn transient_async_check() -> Vec<ExperimentRow> {
         "E3b",
         "Fig 2 (async)",
         "message timing selects among the stable solutions",
-        format!("{} distinct quiescent outcomes across 10 delay seeds", outcomes.len()),
+        format!(
+            "{} distinct quiescent outcomes across 10 delay seeds",
+            outcomes.len()
+        ),
         outcomes.len() >= 2,
     )]
 }

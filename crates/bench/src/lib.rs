@@ -24,8 +24,7 @@ pub fn network_of(scenario: &Scenario, variant: ProtocolVariant) -> Network {
 
 /// The random-configuration sizes used by the scaling benches
 /// (clusters, clients-per-cluster, exits).
-pub const SCALE_POINTS: [(usize, usize, usize); 4] =
-    [(2, 1, 2), (3, 2, 4), (5, 3, 8), (8, 4, 16)];
+pub const SCALE_POINTS: [(usize, usize, usize); 4] = [(2, 1, 2), (3, 2, 4), (5, 3, 8), (8, 4, 16)];
 
 /// A random scenario at one scale point.
 pub fn scaled_scenario(point: (usize, usize, usize), seed: u64) -> Scenario {

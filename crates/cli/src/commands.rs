@@ -64,6 +64,18 @@ fn classify(name: &str, variant: ProtocolVariant, max_states: usize) {
         "  {} reachable configurations (complete search: {})",
         reach.states, reach.complete
     );
+    println!(
+        "  explored at {:.0} states/sec (frontier depth {}, peak queue {})",
+        reach.metrics.states_per_sec(),
+        reach.metrics.frontier_depth,
+        reach.metrics.peak_queue
+    );
+    println!(
+        "  update cache: {:.1}% hit rate ({} hits / {} misses)",
+        100.0 * reach.metrics.cache_hit_rate(),
+        reach.metrics.cache_hits,
+        reach.metrics.cache_misses
+    );
     println!("  {} stable solution(s):", reach.stable_vectors.len());
     for (i, sv) in reach.stable_vectors.iter().enumerate() {
         println!("    #{}: {}", i + 1, fmt_bests(sv));
@@ -88,7 +100,10 @@ fn converge(name: &str, variant: ProtocolVariant, steps: u64) {
 }
 
 fn gallery(max_states: usize) {
-    println!("{:<8} {:<9} {:>7} {:>7}  class", "scenario", "protocol", "states", "stable");
+    println!(
+        "{:<8} {:<9} {:>7} {:>7}  class",
+        "scenario", "protocol", "states", "stable"
+    );
     for s in all_scenarios() {
         for variant in [
             ProtocolVariant::Standard,
@@ -118,16 +133,32 @@ fn theorems(name: &str, steps: u64) {
     let s = lookup(name);
     let n = Network::from_scenario(&s, ProtocolVariant::Modified);
     let report = verify_paper_theorems(&n, 6, steps);
-    println!("§7 checks on {name} (modified protocol, {} schedules):", report.schedules);
+    println!(
+        "§7 checks on {name} (modified protocol, {} schedules):",
+        report.schedules
+    );
     println!("  converges under every schedule : {}", report.converges);
-    println!("  unique fixed point             : {}", report.unique_outcome);
-    println!("  GoodExits = S' everywhere      : {}", report.good_exits_equal_s_prime);
+    println!(
+        "  unique fixed point             : {}",
+        report.unique_outcome
+    );
+    println!(
+        "  GoodExits = S' everywhere      : {}",
+        report.good_exits_equal_s_prime
+    );
     println!("  forwarding loop-free           : {}", report.loop_free);
     match report.flush_ok {
         Some(ok) => println!("  withdrawn path flushes         : {ok}"),
         None => println!("  withdrawn path flushes         : (no exits to withdraw)"),
     }
-    println!("  => {}", if report.all_hold() { "ALL HOLD" } else { "VIOLATION" });
+    println!(
+        "  => {}",
+        if report.all_hold() {
+            "ALL HOLD"
+        } else {
+            "VIOLATION"
+        }
+    );
 }
 
 fn sat(formula: &str, steps: u64) {
@@ -173,7 +204,10 @@ fn explain(name: &str, router: u32, variant: ProtocolVariant, steps: u64) {
     let s = lookup(name);
     let u = RouterId::new(router);
     if u.index() >= s.topology.len() {
-        eprintln!("router {router} out of range (scenario has {} routers)", s.topology.len());
+        eprintln!(
+            "router {router} out of range (scenario has {} routers)",
+            s.topology.len()
+        );
         std::process::exit(2);
     }
     let n = Network::from_scenario(&s, variant);

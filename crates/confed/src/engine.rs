@@ -23,8 +23,8 @@
 use crate::announcement::{Announcement, RouteSource};
 use crate::topology::ConfedTopology;
 use ibgp_proto::selection::{choose_set, MedMode};
-use ibgp_types::{ExitPathId, ExitPathRef, IgpCost};
 use ibgp_types::RouterId;
+use ibgp_types::{ExitPathId, ExitPathRef, IgpCost};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -186,6 +186,16 @@ impl<'a> ConfedEngine<'a> {
         self.nodes[u.index()].best.as_ref().map(Announcement::id)
     }
 
+    /// The current candidate announcements at `u`, in exit-path-id order.
+    pub fn candidates(&self, u: RouterId) -> impl Iterator<Item = &Announcement> {
+        self.nodes[u.index()].possible.values()
+    }
+
+    /// The currently advertised announcements at `u`.
+    pub fn advertised(&self, u: RouterId) -> &[Announcement] {
+        &self.nodes[u.index()].advertised
+    }
+
     /// The best-exit vector.
     pub fn best_vector(&self) -> Vec<Option<ExitPathId>> {
         self.nodes
@@ -200,29 +210,34 @@ impl<'a> ConfedEngine<'a> {
     }
 
     /// Select the best announcement at `u` from candidates.
-    fn select(&self, u: RouterId, candidates: &BTreeMap<ExitPathId, Announcement>) -> Option<Announcement> {
+    fn select(
+        &self,
+        u: RouterId,
+        candidates: &BTreeMap<ExitPathId, Announcement>,
+    ) -> Option<Announcement> {
         if candidates.is_empty() {
             return None;
         }
         // Rules 1-3 operate on exit-path attributes.
         let paths: Vec<ExitPathRef> = candidates.values().map(|a| a.path.clone()).collect();
         let survivors = choose_set(&paths, self.med_mode);
-        let mut pool: Vec<&Announcement> = survivors
-            .iter()
-            .map(|p| &candidates[&p.id()])
-            .collect();
+        let mut pool: Vec<&Announcement> = survivors.iter().map(|p| &candidates[&p.id()]).collect();
         // Rule 4: true E-BGP routes first.
         if pool.iter().any(|a| a.source == RouteSource::Ebgp) {
             pool.retain(|a| a.source == RouteSource::Ebgp);
         }
         // Rules 4/5: minimum IGP metric (shared IGP, next-hop-unchanged).
-        let metric = |a: &Announcement| -> IgpCost {
-            a.metric(self.topo.igp_cost(u, a.path.exit_point()))
-        };
+        let metric =
+            |a: &Announcement| -> IgpCost { a.metric(self.topo.igp_cost(u, a.path.exit_point())) };
         let best_metric = pool.iter().map(|a| metric(a)).min()?;
         pool.retain(|a| metric(a) == best_metric);
-        // Rule 6 + deterministic fallback.
-        pool.sort_by_key(|a| (a.learned_from, a.id()));
+        // Deterministic fallback. This must break the tie on route-level
+        // attributes only: `learned_from` is copy metadata and which copy of
+        // an exit path a router retains depends on activation order, so a
+        // tie-break that consults it can settle on different exits under
+        // different (fair) schedules. Exit-path ids are unique, so id alone
+        // is a total, schedule-insensitive order.
+        pool.sort_by_key(|a| a.id());
         pool.first().map(|a| (*a).clone())
     }
 
@@ -280,8 +295,7 @@ impl<'a> ConfedEngine<'a> {
         let advertised = match self.mode {
             ConfedMode::SingleBest => best.clone().into_iter().collect(),
             ConfedMode::SetAdvertisement => {
-                let paths: Vec<ExitPathRef> =
-                    gathered.values().map(|a| a.path.clone()).collect();
+                let paths: Vec<ExitPathRef> = gathered.values().map(|a| a.path.clone()).collect();
                 let survivors = choose_set(&paths, self.med_mode);
                 survivors
                     .iter()

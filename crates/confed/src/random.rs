@@ -99,8 +99,7 @@ pub fn random_confederation(
         }
     }
 
-    let topo = ConfedTopology::new(g, member, confed_links)
-        .expect("random confederation is valid");
+    let topo = ConfedTopology::new(g, member, confed_links).expect("random confederation is valid");
     let exits = (0..cfg.exits)
         .map(|i| {
             Arc::new(

@@ -59,13 +59,7 @@ pub fn confed_fig1a() -> (ConfedTopology, Vec<ExitPathRef>) {
     g.add_link(nodes::Y0, nodes::Y1, IgpCost::new(10)).unwrap();
     let topo = ConfedTopology::new(
         g,
-        vec![
-            SubAsId(0),
-            SubAsId(0),
-            SubAsId(0),
-            SubAsId(1),
-            SubAsId(1),
-        ],
+        vec![SubAsId(0), SubAsId(0), SubAsId(0), SubAsId(1), SubAsId(1)],
         vec![(nodes::X0, nodes::Y0)],
     )
     .expect("confed_fig1a topology is valid");

@@ -46,8 +46,7 @@ pub fn explore_confed(
 ) -> ConfedReachability {
     let engine0 = ConfedEngine::new(topo, mode, exits);
     let n = topo.len();
-    let mut branches: Vec<Vec<RouterId>> =
-        (0..n as u32).map(|i| vec![RouterId::new(i)]).collect();
+    let mut branches: Vec<Vec<RouterId>> = (0..n as u32).map(|i| vec![RouterId::new(i)]).collect();
     branches.push((0..n as u32).map(RouterId::new).collect());
 
     let mut visited: HashMap<u64, Vec<(Vec<_>, u64)>> = HashMap::new();
@@ -120,12 +119,8 @@ mod tests {
     fn trivial_confederation_converges() {
         let mut g = PhysicalGraph::new(2);
         g.add_link(r(0), r(1), IgpCost::new(1)).unwrap();
-        let topo = ConfedTopology::new(
-            g,
-            vec![SubAsId(0), SubAsId(1)],
-            vec![(r(0), r(1))],
-        )
-        .unwrap();
+        let topo =
+            ConfedTopology::new(g, vec![SubAsId(0), SubAsId(1)], vec![(r(0), r(1))]).unwrap();
         let exit = Arc::new(
             ExitPath::builder(ExitPathId::new(1))
                 .via(AsId::new(1))
@@ -144,12 +139,8 @@ mod tests {
     fn cap_reports_incomplete() {
         let mut g = PhysicalGraph::new(2);
         g.add_link(r(0), r(1), IgpCost::new(1)).unwrap();
-        let topo = ConfedTopology::new(
-            g,
-            vec![SubAsId(0), SubAsId(1)],
-            vec![(r(0), r(1))],
-        )
-        .unwrap();
+        let topo =
+            ConfedTopology::new(g, vec![SubAsId(0), SubAsId(1)], vec![(r(0), r(1))]).unwrap();
         let exit = Arc::new(
             ExitPath::builder(ExitPathId::new(1))
                 .via(AsId::new(1))

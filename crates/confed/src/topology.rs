@@ -127,9 +127,7 @@ impl ConfedTopology {
     /// All BGP peers of `u`: its sub-AS mesh plus its confed links.
     pub fn peers(&self, u: RouterId) -> Vec<RouterId> {
         self.routers()
-            .filter(|&v| {
-                v != u && (self.same_sub_as(u, v) || self.is_confed_link(u, v))
-            })
+            .filter(|&v| v != u && (self.same_sub_as(u, v) || self.is_confed_link(u, v)))
             .collect()
     }
 
@@ -200,12 +198,8 @@ mod tests {
     fn rejects_intra_sub_as_confed_links() {
         let mut g = PhysicalGraph::new(2);
         g.add_link(r(0), r(1), c(1)).unwrap();
-        let err = ConfedTopology::new(
-            g,
-            vec![SubAsId(0), SubAsId(0)],
-            vec![(r(0), r(1))],
-        )
-        .unwrap_err();
+        let err =
+            ConfedTopology::new(g, vec![SubAsId(0), SubAsId(0)], vec![(r(0), r(1))]).unwrap_err();
         assert_eq!(err, TopologyError::CrossClusterClientSession(r(0), r(1)));
     }
 

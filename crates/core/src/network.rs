@@ -2,12 +2,12 @@
 //! protocol configuration, with one-call access to the engines and
 //! analyses.
 
+use ibgp_analysis::reachability::Reachability;
+use ibgp_analysis::stable::EnumerationTooLarge;
 use ibgp_analysis::{
     classify, determinism_report, enumerate_stable_standard, forwarding_loops, DeterminismReport,
     OscillationClass,
 };
-use ibgp_analysis::reachability::Reachability;
-use ibgp_analysis::stable::EnumerationTooLarge;
 use ibgp_proto::variants::ProtocolConfig;
 use ibgp_proto::{ProtocolVariant, SelectionPolicy};
 use ibgp_scenarios::Scenario;
@@ -15,9 +15,7 @@ use ibgp_sim::{
     Activation, AsyncOutcome, AsyncSim, DelayModel, Metrics, RoundRobin, SyncEngine, SyncOutcome,
 };
 use ibgp_topology::{Topology, TopologyBuilder, TopologyError};
-use ibgp_types::{
-    AsId, ExitPath, ExitPathId, ExitPathRef, IgpCost, Med, Route, RouterId,
-};
+use ibgp_types::{AsId, ExitPath, ExitPathId, ExitPathRef, IgpCost, Med, Route, RouterId};
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
@@ -162,11 +160,7 @@ impl Network {
     }
 
     /// Run the synchronous engine under an explicit activation sequence.
-    pub fn converge_with(
-        &self,
-        schedule: &mut dyn Activation,
-        max_steps: u64,
-    ) -> ConvergeResult {
+    pub fn converge_with(&self, schedule: &mut dyn Activation, max_steps: u64) -> ConvergeResult {
         let mut engine = self.sync_engine();
         let outcome = engine.run(schedule, max_steps);
         ConvergeResult {

@@ -101,8 +101,7 @@ pub fn verify_paper_theorems(network: &Network, seeds: u64, max_steps: u64) -> T
         // Lemma 7.4/7.5: every node's GoodExits (advertised set under the
         // modified protocol) equals S'.
         for u in topo.routers() {
-            let mut adv: Vec<ExitPathId> =
-                engine.advertised(u).iter().map(|p| p.id()).collect();
+            let mut adv: Vec<ExitPathId> = engine.advertised(u).iter().map(|p| p.id()).collect();
             adv.sort();
             if adv != s_prime {
                 good_exits_ok = false;

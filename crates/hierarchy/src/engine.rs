@@ -114,7 +114,11 @@ struct NodeState {
     advertised: Vec<Held>,
 }
 
-type NodeKey = (Vec<(ExitPathId, u8)>, Option<ExitPathId>, Vec<(ExitPathId, u8)>);
+type NodeKey = (
+    Vec<(ExitPathId, u8)>,
+    Option<ExitPathId>,
+    Vec<(ExitPathId, u8)>,
+);
 
 impl NodeState {
     fn key(&self) -> NodeKey {
@@ -269,8 +273,7 @@ impl<'a> HierEngine<'a> {
                 .map(|id| vec![gathered[&id].clone()])
                 .unwrap_or_default(),
             HierMode::SetAdvertisement => {
-                let paths: Vec<ExitPathRef> =
-                    gathered.values().map(|h| h.path.clone()).collect();
+                let paths: Vec<ExitPathRef> = gathered.values().map(|h| h.path.clone()).collect();
                 choose_set(&paths, self.policy.med_mode)
                     .iter()
                     .map(|p| gathered[&p.id()].clone())
@@ -360,7 +363,8 @@ mod tests {
     fn chain(n: usize) -> PhysicalGraph {
         let mut g = PhysicalGraph::new(n);
         for i in 1..n {
-            g.add_link(r(i as u32 - 1), r(i as u32), IgpCost::new(1)).unwrap();
+            g.add_link(r(i as u32 - 1), r(i as u32), IgpCost::new(1))
+                .unwrap();
         }
         g
     }
@@ -401,14 +405,21 @@ mod tests {
         let mut eng = HierEngine::new(&topo, HierMode::SingleBest, vec![exit(1, 1, 0, 3)]);
         let out = eng.run_round_robin(200);
         assert!(out.converged(), "{out}");
-        assert_eq!(eng.best_exit(r(2)), Some(ExitPathId::new(1)), "reaches the leaf");
+        assert_eq!(
+            eng.best_exit(r(2)),
+            Some(ExitPathId::new(1)),
+            "reaches the leaf"
+        );
         // Structural check of the offer rule itself.
         let held = Held {
             path: exit(9, 1, 0, 3),
             provenance: Provenance::FromNonClient,
             learned_from: ibgp_types::BgpId::new(0),
         };
-        assert!(!eng.may_offer(r(1), r(0), &held), "non-client routes stay down");
+        assert!(
+            !eng.may_offer(r(1), r(0), &held),
+            "non-client routes stay down"
+        );
         assert!(eng.may_offer(r(1), r(2), &held));
     }
 

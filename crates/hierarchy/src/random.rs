@@ -40,10 +40,7 @@ impl Default for RandomHierConfig {
 }
 
 /// Generate a random hierarchy and exit set. Deterministic per seed.
-pub fn random_hierarchy(
-    cfg: RandomHierConfig,
-    seed: u64,
-) -> (HierTopology, Vec<ExitPathRef>) {
+pub fn random_hierarchy(cfg: RandomHierConfig, seed: u64) -> (HierTopology, Vec<ExitPathRef>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = cfg.routers.max(1);
 
@@ -62,7 +59,12 @@ pub fn random_hierarchy(
         let mut members = Vec::new();
         while *remaining > 0 && rng.gen_bool(0.55) {
             if depth_left > 1 && *remaining >= 2 && rng.gen_bool(0.35) {
-                members.push(Member::Cluster(build(rng, next_id, remaining, depth_left - 1)));
+                members.push(Member::Cluster(build(
+                    rng,
+                    next_id,
+                    remaining,
+                    depth_left - 1,
+                )));
             } else {
                 let c = *next_id;
                 *next_id += 1;
@@ -146,7 +148,11 @@ mod tests {
             let (topo, exits) = random_hierarchy(RandomHierConfig::default(), seed);
             let mut eng = HierEngine::new(&topo, HierMode::SetAdvertisement, exits);
             let out = eng.run_round_robin(200_000);
-            assert!(out.converged(), "seed {seed}: {out} (depth {})", topo.depth());
+            assert!(
+                out.converged(),
+                "seed {seed}: {out} (depth {})",
+                topo.depth()
+            );
         }
     }
 }

@@ -56,7 +56,10 @@ pub fn deep_fig1a() -> (HierTopology, Vec<ExitPathRef>) {
     let top = vec![
         ClusterSpec {
             reflectors: vec![nodes::A.raw()],
-            members: vec![Member::Router(nodes::CA1.raw()), Member::Router(nodes::CA2.raw())],
+            members: vec![
+                Member::Router(nodes::CA1.raw()),
+                Member::Router(nodes::CA2.raw()),
+            ],
         },
         ClusterSpec {
             reflectors: vec![nodes::B.raw()],
@@ -115,7 +118,11 @@ mod tests {
     fn single_best_oscillates_persistently_at_depth_three() {
         let (topo, exits) = deep_fig1a();
         let reach = explore_hier(&topo, HierMode::SingleBest, exits.clone(), 500_000);
-        assert!(reach.complete, "search must finish ({} states)", reach.states);
+        assert!(
+            reach.complete,
+            "search must finish ({} states)",
+            reach.states
+        );
         assert!(
             reach.persistent_oscillation(),
             "stable vectors: {:?}",

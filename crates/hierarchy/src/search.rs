@@ -45,8 +45,7 @@ pub fn explore_hier(
 ) -> HierReachability {
     let engine0 = HierEngine::new(topo, mode, exits);
     let n = topo.len();
-    let mut branches: Vec<Vec<RouterId>> =
-        (0..n as u32).map(|i| vec![RouterId::new(i)]).collect();
+    let mut branches: Vec<Vec<RouterId>> = (0..n as u32).map(|i| vec![RouterId::new(i)]).collect();
     branches.push((0..n as u32).map(RouterId::new).collect());
 
     let mut visited: HashMap<u64, Vec<Vec<_>>> = HashMap::new();
@@ -114,8 +113,7 @@ mod tests {
         let r = RouterId::new;
         let mut g = PhysicalGraph::new(2);
         g.add_link(r(0), r(1), IgpCost::new(1)).unwrap();
-        let topo =
-            crate::topology::HierTopology::new(g, vec![ClusterSpec::flat(0, [1])]).unwrap();
+        let topo = crate::topology::HierTopology::new(g, vec![ClusterSpec::flat(0, [1])]).unwrap();
         let exit = Arc::new(
             ExitPath::builder(ExitPathId::new(1))
                 .via(AsId::new(1))

@@ -99,9 +99,9 @@ impl HierTopology {
         let mut depth = 1;
 
         let add = |sessions: &mut BTreeMap<(RouterId, RouterId), SessionKind>,
-                       u: u32,
-                       v: u32,
-                       kind: SessionKind|
+                   u: u32,
+                   v: u32,
+                   kind: SessionKind|
          -> Result<(), TopologyError> {
             if u as usize >= n {
                 return Err(TopologyError::NodeOutOfRange {
@@ -166,9 +166,7 @@ impl HierTopology {
                             });
                         }
                         if assigned[*c as usize] {
-                            return Err(TopologyError::NodeInMultipleClusters(RouterId::new(
-                                *c,
-                            )));
+                            return Err(TopologyError::NodeInMultipleClusters(RouterId::new(*c)));
                         }
                         assigned[*c as usize] = true;
                         vec![*c]
@@ -330,8 +328,7 @@ mod tests {
     #[test]
     fn validation_errors() {
         // Unassigned router.
-        let err = HierTopology::new(chain_physical(2), vec![ClusterSpec::flat(0, [])])
-            .unwrap_err();
+        let err = HierTopology::new(chain_physical(2), vec![ClusterSpec::flat(0, [])]).unwrap_err();
         assert_eq!(err, TopologyError::NodeUnclustered(r(1)));
         // Double assignment.
         let err = HierTopology::new(

@@ -99,10 +99,12 @@ fn dpll(clauses: &[Vec<Lit>], assignment: &mut Vec<Option<bool>>) -> bool {
     }
 
     // Branch on the first unassigned variable of an open clause.
-    let branch_var = clauses.iter().find_map(|c| match clause_status(c, assignment) {
-        Status::Open(open) => Some(open[0].var.index()),
-        _ => None,
-    });
+    let branch_var = clauses
+        .iter()
+        .find_map(|c| match clause_status(c, assignment) {
+            Status::Open(open) => Some(open[0].var.index()),
+            _ => None,
+        });
     let Some(v) = branch_var else {
         // No open clauses left: satisfied.
         return true;

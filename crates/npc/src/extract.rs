@@ -54,10 +54,7 @@ pub fn schedule_for(sr: &SrInstance, assignment: &[bool]) -> Scripted {
 /// Read the truth assignment out of a best-exit vector (indexed by
 /// router). Returns `None` if some variable gadget is not in one of its
 /// two legal orientations — which cannot happen in a stable state.
-pub fn assignment_from_best(
-    sr: &SrInstance,
-    best: &[Option<ExitPathId>],
-) -> Option<Vec<bool>> {
+pub fn assignment_from_best(sr: &SrInstance, best: &[Option<ExitPathId>]) -> Option<Vec<bool>> {
     let mut out = Vec::with_capacity(sr.formula.num_vars);
     for v in (0..sr.formula.num_vars as u32).map(Var) {
         let rr_neg_best = best[sr.rr_neg(v).index()]?;

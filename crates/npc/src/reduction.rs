@@ -286,11 +286,7 @@ mod tests {
 
     fn formula_xy() -> Formula {
         // (x0 ∨ ¬x1)
-        Formula::new(
-            2,
-            vec![Clause(vec![Lit::pos(0), Lit::neg(1)])],
-        )
-        .unwrap()
+        Formula::new(2, vec![Clause(vec![Lit::pos(0), Lit::neg(1)])]).unwrap()
     }
 
     #[test]

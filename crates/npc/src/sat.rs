@@ -143,7 +143,10 @@ impl Formula {
     /// A uniformly random 3-SAT formula (exactly 3 distinct variables per
     /// clause), reproducible per seed. Requires `num_vars >= 3`.
     pub fn random(seed: u64, num_vars: usize, num_clauses: usize) -> Formula {
-        assert!(num_vars >= 3, "need at least 3 variables for 3-literal clauses");
+        assert!(
+            num_vars >= 3,
+            "need at least 3 variables for 3-literal clauses"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let clauses = (0..num_clauses)
             .map(|_| {
@@ -167,10 +170,7 @@ impl Formula {
                 )
             })
             .collect();
-        Formula {
-            num_vars,
-            clauses,
-        }
+        Formula { num_vars, clauses }
     }
 }
 
@@ -235,11 +235,7 @@ mod tests {
 
     #[test]
     fn display_renders_readably() {
-        let f = Formula::new(
-            2,
-            vec![Clause(vec![Lit::pos(0), Lit::neg(1)])],
-        )
-        .unwrap();
+        let f = Formula::new(2, vec![Clause(vec![Lit::pos(0), Lit::neg(1)])]).unwrap();
         assert_eq!(f.to_string(), "(x0 ∨ ¬x1)");
     }
 }

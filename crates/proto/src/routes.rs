@@ -34,10 +34,7 @@ pub fn derive_learned_from(
     if p.exit_point() == u {
         return Some(p.next_hop().bgp_id());
     }
-    senders
-        .into_iter()
-        .map(|v| topo.bgp_id(v))
-        .min()
+    senders.into_iter().map(|v| topo.bgp_id(v)).min()
 }
 
 #[cfg(test)]

@@ -36,7 +36,10 @@ fn empty_set_selects_nothing() {
 fn singleton_is_selected() {
     let p = exit(1, 1, 0, 5);
     let r = route(&p, 0, 3, 9);
-    assert_eq!(choose_best(SelectionPolicy::PAPER, &[r.clone()]), Some(r));
+    assert_eq!(
+        choose_best(SelectionPolicy::PAPER, std::slice::from_ref(&r)),
+        Some(r)
+    );
 }
 
 #[test]
@@ -239,7 +242,10 @@ fn choose_set_monotone_under_superset_containing_survivors() {
 fn trace_display_is_readable() {
     let a = exit(1, 1, 0, 5);
     let b = exit(2, 2, 0, 6);
-    let (_, trace) = choose_best_traced(SelectionPolicy::PAPER, &[route(&a, 0, 3, 9), route(&b, 0, 1, 4)]);
+    let (_, trace) = choose_best_traced(
+        SelectionPolicy::PAPER,
+        &[route(&a, 0, 3, 9), route(&b, 0, 1, 4)],
+    );
     let s = trace.to_string();
     assert!(s.starts_with("2 -[local-pref]-> 2"), "{s}");
     assert!(s.contains("min-metric"), "{s}");

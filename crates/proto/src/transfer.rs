@@ -20,12 +20,7 @@ use ibgp_topology::Topology;
 use ibgp_types::{ExitPathRef, RouterId};
 
 /// Whether `v` may announce exit path `p` to `u` (given `vu ∈ E_I`).
-pub fn transfer_allowed(
-    topo: &Topology,
-    v: RouterId,
-    u: RouterId,
-    exit_point: RouterId,
-) -> bool {
+pub fn transfer_allowed(topo: &Topology, v: RouterId, u: RouterId, exit_point: RouterId) -> bool {
     if v == u || !topo.ibgp().is_session(v, u) {
         return false;
     }

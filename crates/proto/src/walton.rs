@@ -65,7 +65,12 @@ mod tests {
     }
 
     fn route(p: &ExitPathRef, igp: u64) -> Route {
-        Route::new(p.clone(), RouterId::new(99), IgpCost::new(igp), BgpId::new(p.id().raw()))
+        Route::new(
+            p.clone(),
+            RouterId::new(99),
+            IgpCost::new(igp),
+            BgpId::new(p.id().raw()),
+        )
     }
 
     #[test]

@@ -55,7 +55,7 @@ fn build(c: &Candidate) -> Option<(ibgp_topology::Topology, Vec<ExitPathRef>)> {
 /// star-ish physical graph, 3-5 exits over 2-3 ASes.
 fn random_candidate(rng: &mut StdRng) -> Candidate {
     let k = rng.gen_range(3..=4); // clusters
-    // Node layout: RRs are 0..k, client of cluster i is k+i.
+                                  // Node layout: RRs are 0..k, client of cluster i is k+i.
     let clusters: Vec<(u32, Vec<u32>)> = (0..k).map(|i| (i, vec![k + i])).collect();
     let mut links = Vec::new();
     // Reflector backbone: random tree + chords with random costs.
@@ -92,7 +92,7 @@ fn random_candidate(rng: &mut StdRng) -> Candidate {
                 id,
                 k + i,
                 rng.gen_range(1..=ases),
-                *[0u32, 5, 10][..].get(rng.gen_range(0..3)).unwrap(),
+                *[0u32, 5, 10][..].get(rng.gen_range(0..3usize)).unwrap(),
             ));
             id += 1;
         }

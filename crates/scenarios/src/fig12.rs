@@ -65,7 +65,8 @@ pub fn scenario() -> Scenario {
     ];
     Scenario {
         name: "fig12",
-        description: "believed route u->w->x->AS1 vs real route that exits at w (benign divergence)",
+        description:
+            "believed route u->w->x->AS1 vs real route that exits at w (benign divergence)",
         topology,
         exits,
     }

@@ -121,7 +121,10 @@ mod tests {
         let loops = forwarding_loops(&s.topology, &best);
         assert!(!loops.is_empty());
         let (_, cycle) = &loops[0];
-        assert!(cycle.contains(&nodes::C1) && cycle.contains(&nodes::C2), "{cycle:?}");
+        assert!(
+            cycle.contains(&nodes::C1) && cycle.contains(&nodes::C2),
+            "{cycle:?}"
+        );
     }
 
     #[test]

@@ -94,7 +94,8 @@ pub fn scenario() -> Scenario {
 
     Scenario {
         name: "fig1a",
-        description: "persistent MED-induced oscillation under standard I-BGP with route reflection",
+        description:
+            "persistent MED-induced oscillation under standard I-BGP with route reflection",
         topology,
         exits,
     }

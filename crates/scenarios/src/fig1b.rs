@@ -106,7 +106,12 @@ mod tests {
     #[test]
     fn paper_ordering_converges() {
         let s = scenario();
-        let (class, reach) = classify(&s.topology, config(SelectionPolicy::PAPER), &s.exits, MAX_STATES);
+        let (class, reach) = classify(
+            &s.topology,
+            config(SelectionPolicy::PAPER),
+            &s.exits,
+            MAX_STATES,
+        );
         assert_eq!(class, OscillationClass::Stable, "{reach:?}");
         let mut eng = SyncEngine::new(&s.topology, config(SelectionPolicy::PAPER), s.exits());
         assert!(eng.run(&mut RoundRobin::new(), 1_000).converged());
@@ -118,8 +123,12 @@ mod tests {
     #[test]
     fn rfc1771_ordering_oscillates_persistently() {
         let s = scenario();
-        let (class, reach) =
-            classify(&s.topology, config(SelectionPolicy::RFC1771), &s.exits, MAX_STATES);
+        let (class, reach) = classify(
+            &s.topology,
+            config(SelectionPolicy::RFC1771),
+            &s.exits,
+            MAX_STATES,
+        );
         assert_eq!(class, OscillationClass::Persistent, "{reach:?}");
     }
 

@@ -73,7 +73,8 @@ pub fn scenario() -> Scenario {
 
     Scenario {
         name: "fig2",
-        description: "transient oscillation: two stable solutions, outcome decided by message ordering",
+        description:
+            "transient oscillation: two stable solutions, outcome decided by message ordering",
         topology,
         exits: vec![mk(routes::R1, nodes::C1), mk(routes::R2, nodes::C2)],
     }
@@ -82,7 +83,9 @@ pub fn scenario() -> Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ibgp_analysis::{classify, determinism_report, enumerate_stable_standard, OscillationClass};
+    use ibgp_analysis::{
+        classify, determinism_report, enumerate_stable_standard, OscillationClass,
+    };
     use ibgp_proto::selection::SelectionPolicy;
     use ibgp_proto::variants::ProtocolConfig;
     use ibgp_sim::{AllAtOnce, Scripted, SyncEngine};
@@ -92,8 +95,9 @@ mod tests {
     #[test]
     fn exactly_two_stable_solutions_exist() {
         let s = scenario();
-        let e = enumerate_stable_standard(&s.topology, SelectionPolicy::PAPER, &s.exits, 10_000_000)
-            .unwrap();
+        let e =
+            enumerate_stable_standard(&s.topology, SelectionPolicy::PAPER, &s.exits, 10_000_000)
+                .unwrap();
         assert_eq!(e.fixed_points.len(), 2, "{:?}", e.fixed_points);
         // In one, both reflectors use r1; in the other, both use r2.
         let rr_pair = |fp: &Vec<Option<ibgp_types::ExitPathId>>| {
@@ -168,7 +172,8 @@ mod tests {
     #[test]
     fn modified_is_deterministic_across_many_schedules() {
         let s = scenario();
-        let report = determinism_report(&s.topology, ProtocolConfig::MODIFIED, &s.exits, 12, 10_000);
+        let report =
+            determinism_report(&s.topology, ProtocolConfig::MODIFIED, &s.exits, 12, 10_000);
         assert!(report.deterministic(), "{report:?}");
         // And the unique outcome routes each reflector to the nearer exit.
         let mut eng = SyncEngine::new(&s.topology, ProtocolConfig::MODIFIED, s.exits());

@@ -141,8 +141,9 @@ mod tests {
     #[test]
     fn two_stable_solutions_exist() {
         let s = scenario();
-        let e = enumerate_stable_standard(&s.topology, SelectionPolicy::PAPER, &s.exits, 10_000_000)
-            .unwrap();
+        let e =
+            enumerate_stable_standard(&s.topology, SelectionPolicy::PAPER, &s.exits, 10_000_000)
+                .unwrap();
         let mut fps = e.fixed_points.clone();
         fps.sort();
         assert_eq!(fps.len(), 2, "{fps:?}");
@@ -198,15 +199,13 @@ mod tests {
     fn table1_schedule_oscillates_under_standard() {
         // Symmetric delays: the hide and unhide waves chase each other
         // around the triangle and the system never quiesces.
-        let (outcome, flips) = run_table1(
-            ProtocolConfig::STANDARD,
-            symmetric_delay(),
-            2,
-            5_000,
-        );
+        let (outcome, flips) = run_table1(ProtocolConfig::STANDARD, symmetric_delay(), 2, 5_000);
         match outcome {
             AsyncOutcome::Exhausted { best_changes, .. } => {
-                assert!(best_changes > 200, "sustained oscillation expected, saw {best_changes}");
+                assert!(
+                    best_changes > 200,
+                    "sustained oscillation expected, saw {best_changes}"
+                );
             }
             AsyncOutcome::Quiescent { .. } => {
                 panic!("Table 1 schedule must oscillate under standard I-BGP (flips: {flips})")

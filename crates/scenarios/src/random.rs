@@ -86,7 +86,9 @@ pub fn random_scenario(cfg: RandomConfig, seed: u64) -> Scenario {
     let stride = 1 + cfg.clients_per_cluster;
     for c in 0..cfg.clusters {
         let base = (c * stride) as u32;
-        let clients: Vec<u32> = (1..=cfg.clients_per_cluster as u32).map(|i| base + i).collect();
+        let clients: Vec<u32> = (1..=cfg.clients_per_cluster as u32)
+            .map(|i| base + i)
+            .collect();
         builder = builder.cluster([base], clients);
     }
     let topology = builder.build().expect("random topology is valid");

@@ -25,6 +25,13 @@ pub trait Activation {
 
     /// A finite phase identifier if the sequence is periodic (used to make
     /// cycle detection sound); `None` for aperiodic/random sequences.
+    ///
+    /// **Contract:** implementations must return values already normalized
+    /// to the schedule's own period — two positions in the sequence get
+    /// the same phase **iff** the sequence's future is identical from
+    /// both. Consumers (e.g. `SyncEngine::run`) use the value as-is; they
+    /// no longer reduce it modulo the node count, which was only correct
+    /// for schedules whose period happens to equal `n`.
     fn phase(&self) -> Option<u64> {
         None
     }
@@ -46,7 +53,9 @@ impl RoundRobin {
 impl Activation for RoundRobin {
     fn next_set(&mut self, n: usize) -> Vec<RouterId> {
         let id = (self.next % n as u64) as u32;
-        self.next += 1;
+        // Keep the position normalized to the period `n` so `phase` honors
+        // the trait contract without needing `n` at query time.
+        self.next = (self.next + 1) % n.max(1) as u64;
         vec![RouterId::new(id)]
     }
 
@@ -149,7 +158,10 @@ impl Activation for Scripted {
         if self.pos < self.script.len() {
             let set = self.script[self.pos].clone();
             self.pos += 1;
-            assert!(!set.is_empty(), "scripted activation sets must be non-empty");
+            assert!(
+                !set.is_empty(),
+                "scripted activation sets must be non-empty"
+            );
             set
         } else {
             self.tail.next_set(n)
@@ -181,6 +193,28 @@ mod tests {
         assert_eq!(ids(&rr.next_set(3)), vec![2]);
         assert_eq!(ids(&rr.next_set(3)), vec![0]);
         assert!(rr.phase().is_some());
+    }
+
+    /// The phase contract: round-robin phases stay in `[0, n)` and repeat
+    /// with the schedule's period, so consumers can use them unmodified.
+    #[test]
+    fn round_robin_phase_is_normalized_to_period() {
+        let mut rr = RoundRobin::new();
+        let mut phases = Vec::new();
+        for _ in 0..7 {
+            phases.push(rr.phase().unwrap());
+            rr.next_set(3);
+        }
+        assert_eq!(phases, vec![0, 1, 2, 0, 1, 2, 0]);
+        // The Scripted tail inherits the same normalization.
+        let mut s = Scripted::singletons([2, 2, 0, 1, 2]);
+        for _ in 0..5 {
+            s.next_set(3);
+        }
+        for _ in 0..9 {
+            assert!(s.phase().unwrap() < 3);
+            s.next_set(3);
+        }
     }
 
     #[test]

@@ -98,7 +98,8 @@ mod tests {
 
     #[test]
     fn fn_delay_sees_arguments() {
-        let mut d = FnDelay::new(|from, to, now| from.raw() as u64 * 100 + to.raw() as u64 * 10 + now);
+        let mut d =
+            FnDelay::new(|from, to, now| from.raw() as u64 * 100 + to.raw() as u64 * 10 + now);
         assert_eq!(d.delay(r(1), r(2), 3), 123);
     }
 }

@@ -27,13 +27,15 @@ mod trace;
 
 pub use adaptive::AdaptivePolicy;
 pub use delay::{DelayModel, FixedDelay, FnDelay, SeededJitter};
-pub use trace::best_history;
 pub use event::{AsyncEvent, AsyncOutcome};
+pub use trace::best_history;
 pub use trace::TraceEvent;
 
 use crate::metrics::Metrics;
 use ibgp_proto::variants::ProtocolConfig;
-use ibgp_proto::{choose_best, choose_set, route_at, transfer_set, walton_advertised_set, ProtocolVariant};
+use ibgp_proto::{
+    choose_best, choose_set, route_at, transfer_set, walton_advertised_set, ProtocolVariant,
+};
 use ibgp_topology::Topology;
 use ibgp_types::{BgpId, ExitPathId, ExitPathRef, Route, RouterId};
 use std::cmp::Reverse;
@@ -538,8 +540,13 @@ impl<'a> AsyncSim<'a> {
                     }
                 } else {
                     // Without a policy, use a degenerate always-on one.
-                    self.detectors[u.index()]
-                        .record(self.now, AdaptivePolicy { threshold: 1, window: 1 });
+                    self.detectors[u.index()].record(
+                        self.now,
+                        AdaptivePolicy {
+                            threshold: 1,
+                            window: 1,
+                        },
+                    );
                 }
                 if self.nodes[u.index()].up {
                     self.reconsider(u);

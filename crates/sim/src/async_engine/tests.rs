@@ -80,7 +80,10 @@ fn disagree_standard_oscillates_with_symmetric_delays() {
     let outcome = sim.run(2_000);
     match outcome {
         AsyncOutcome::Exhausted { best_changes, .. } => {
-            assert!(best_changes > 100, "expected sustained flipping, got {best_changes}");
+            assert!(
+                best_changes > 100,
+                "expected sustained flipping, got {best_changes}"
+            );
         }
         AsyncOutcome::Quiescent { .. } => panic!("standard protocol should oscillate: {outcome}"),
     }
@@ -95,7 +98,13 @@ fn disagree_standard_converges_with_asymmetric_delays() {
     // Cluster 0's messages are much faster: RR1 hears p1 before RR0 hears
     // p2, breaking the symmetry (the paper's "stable if messages happen to
     // order well").
-    let delay = FnDelay::new(|from, _to, _now| if from.raw() == 0 || from.raw() == 2 { 1 } else { 40 });
+    let delay = FnDelay::new(|from, _to, _now| {
+        if from.raw() == 0 || from.raw() == 2 {
+            1
+        } else {
+            40
+        }
+    });
     let mut sim = AsyncSim::new(
         &topo,
         ProtocolConfig::STANDARD,
@@ -228,8 +237,18 @@ fn fifo_is_preserved_per_session() {
     sim.start();
     // Quickly replace the announcement twice; messages 2 and 3 get shorter
     // delays but may not overtake message 1.
-    sim.schedule(1, AsyncEvent::Inject { path: exit(1, 1, 3, 0) });
-    sim.schedule(2, AsyncEvent::Inject { path: exit(1, 1, 1, 0) });
+    sim.schedule(
+        1,
+        AsyncEvent::Inject {
+            path: exit(1, 1, 3, 0),
+        },
+    );
+    sim.schedule(
+        2,
+        AsyncEvent::Inject {
+            path: exit(1, 1, 1, 0),
+        },
+    );
     assert!(sim.run(10_000).quiescent());
     let mut last_arrival_per_session: std::collections::HashMap<(u32, u32), u64> =
         std::collections::HashMap::new();

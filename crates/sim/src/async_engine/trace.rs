@@ -89,14 +89,22 @@ impl fmt::Display for TraceEvent {
                 from,
                 to,
                 paths,
-            } => write!(f, "[{at}] {from}->{to} send {{{}}} (arrives {deliver_at})", ids(paths)),
-            TraceEvent::Delivered { at, from, to, paths } => {
+            } => write!(
+                f,
+                "[{at}] {from}->{to} send {{{}}} (arrives {deliver_at})",
+                ids(paths)
+            ),
+            TraceEvent::Delivered {
+                at,
+                from,
+                to,
+                paths,
+            } => {
                 write!(f, "[{at}] {to} <- {from} {{{}}}", ids(paths))
             }
             TraceEvent::BestChanged { at, node, from, to } => {
-                let fmt_opt = |o: &Option<ExitPathId>| {
-                    o.map(|p| p.to_string()).unwrap_or_else(|| "∅".into())
-                };
+                let fmt_opt =
+                    |o: &Option<ExitPathId>| o.map(|p| p.to_string()).unwrap_or_else(|| "∅".into());
                 write!(f, "[{at}] {node} best {} -> {}", fmt_opt(from), fmt_opt(to))
             }
             TraceEvent::External { at, event } => write!(f, "[{at}] {event}"),

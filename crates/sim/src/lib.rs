@@ -29,13 +29,10 @@ pub mod multi;
 pub mod signature;
 pub mod sync;
 
-pub use activation::{
-    Activation, AllAtOnce, RandomFair, RandomSubsets, RoundRobin, Scripted,
-};
+pub use activation::{Activation, AllAtOnce, RandomFair, RandomSubsets, RoundRobin, Scripted};
 pub use async_engine::{
-    AdaptivePolicy,
-    best_history,
-    AsyncEvent, AsyncOutcome, AsyncSim, DelayModel, FixedDelay, FnDelay, SeededJitter, TraceEvent,
+    best_history, AdaptivePolicy, AsyncEvent, AsyncOutcome, AsyncSim, DelayModel, FixedDelay,
+    FnDelay, SeededJitter, TraceEvent,
 };
 pub use metrics::Metrics;
 pub use multi::{aggregate, MultiPrefixSim, PrefixResult};

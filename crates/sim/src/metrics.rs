@@ -3,11 +3,13 @@
 //! The overhead experiments (E10/E11) read these: how many activations or
 //! messages a run took, how many exit paths crossed sessions (the
 //! advertisement-volume cost the paper's §10 discusses), and how often
-//! best routes churned.
+//! best routes churned. The incremental-engine fields report how well the
+//! memoized update cache performed and, for reachability exploration, how
+//! the search frontier behaved over time.
 
 use serde::{Deserialize, Serialize};
 
-/// Cumulative counters for one simulation run.
+/// Cumulative counters for one simulation run or exploration.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Metrics {
     /// Sync engine: node-activations performed. Async engine: events
@@ -21,6 +23,21 @@ pub struct Metrics {
     pub paths_advertised: u64,
     /// Times some node's best route changed.
     pub best_changes: u64,
+    /// Memoized node-update cache hits (sync engine; 0 on the naive
+    /// reference path).
+    pub cache_hits: u64,
+    /// Memoized node-update cache misses — each miss is one full update
+    /// computation.
+    pub cache_misses: u64,
+    /// Reachability exploration: distinct configurations visited.
+    pub states_visited: u64,
+    /// Reachability exploration: wall-clock nanoseconds spent.
+    pub elapsed_nanos: u64,
+    /// Reachability exploration: deepest BFS frontier reached (activation
+    /// steps from `config(0)`).
+    pub frontier_depth: u64,
+    /// Reachability exploration: peak BFS queue length.
+    pub peak_queue: u64,
 }
 
 impl Metrics {
@@ -30,6 +47,27 @@ impl Metrics {
             0.0
         } else {
             self.paths_advertised as f64 / self.messages as f64
+        }
+    }
+
+    /// Fraction of node-update computations answered from the memo, or
+    /// 0.0 when no lookups happened (e.g. the naive reference path).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Distinct states visited per second of exploration wall-clock time,
+    /// or 0.0 when no time was recorded.
+    pub fn states_per_sec(&self) -> f64 {
+        if self.elapsed_nanos == 0 {
+            0.0
+        } else {
+            self.states_visited as f64 / (self.elapsed_nanos as f64 / 1e9)
         }
     }
 }
@@ -48,5 +86,27 @@ mod tests {
             ..Metrics::default()
         };
         assert!((m.paths_per_message() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_hit_rate_handles_zero_and_ratio() {
+        assert_eq!(Metrics::default().cache_hit_rate(), 0.0);
+        let m = Metrics {
+            cache_hits: 3,
+            cache_misses: 1,
+            ..Metrics::default()
+        };
+        assert!((m.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn states_per_sec_handles_zero_and_rate() {
+        assert_eq!(Metrics::default().states_per_sec(), 0.0);
+        let m = Metrics {
+            states_visited: 500,
+            elapsed_nanos: 250_000_000,
+            ..Metrics::default()
+        };
+        assert!((m.states_per_sec() - 2000.0).abs() < 1e-9);
     }
 }

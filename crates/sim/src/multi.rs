@@ -206,8 +206,15 @@ mod tests {
         let quiet_result = &results[0];
         let flappy_result = &results[1];
         assert!(quiet_result.outcome.quiescent());
-        assert!(quiet_result.upgraded.is_empty(), "quiet prefix pays nothing");
-        assert!(flappy_result.outcome.quiescent(), "{}", flappy_result.outcome);
+        assert!(
+            quiet_result.upgraded.is_empty(),
+            "quiet prefix pays nothing"
+        );
+        assert!(
+            flappy_result.outcome.quiescent(),
+            "{}",
+            flappy_result.outcome
+        );
         assert!(
             !flappy_result.upgraded.is_empty(),
             "the oscillating prefix self-heals"

@@ -19,17 +19,52 @@
 //! refreshes its advertised set. Nodes activated in the same step all read
 //! the pre-step state, so simultaneous activations model simultaneous
 //! message exchange (this is what drives the Fig 2 oscillation).
+//!
+//! # The incremental engine
+//!
+//! Node updates are *memoized*: `u`'s post-activation state is a pure
+//! function of `(u, MyExits(u), peers' advertised sets)` given the fixed
+//! topology and protocol configuration, so the engine caches computed
+//! updates keyed by that input signature and shares the resulting rows
+//! behind [`Arc`]s. This makes three hot paths cheap:
+//!
+//! * **Stability folds into the step.** [`SyncEngine::step`] computes every
+//!   node's update once per step (cache-hitting where inputs are
+//!   unchanged), derives both the transition *and* the fixed-point check
+//!   from that single pass, and returns whether the pre-step configuration
+//!   was stable. [`SyncEngine::is_stable`] shares the same cache, so
+//!   `run()`-style `is_stable` + `step` loops compute each update at most
+//!   once per step.
+//! * **Snapshots are interned rows, not deep clones.**
+//!   [`SyncEngine::snapshot`]/[`SyncEngine::restore`] copy a vector of
+//!   `Arc`s; the millions of `restore → step` replays a reachability
+//!   search performs share row storage and cache entries.
+//! * **Message accounting reuses per-state transfer sets.** Each state
+//!   carries the transfer-filtered ids it offers every peer, computed once
+//!   when the state is first built rather than twice per peer per step.
+//!
+//! Cache-key soundness: within one engine, exit-path ids uniquely identify
+//! the paths (enforced at construction and on inject), and the cache is
+//! flushed on `inject`/`withdraw`, where that binding could change. The
+//! unmemoized reference path stays available through
+//! [`SyncEngine::set_memoized`] and is exercised by the equivalence tests.
 
 use crate::activation::Activation;
 use crate::metrics::Metrics;
 use crate::signature::{NodeStateKey, StateKey};
 use ibgp_proto::variants::ProtocolConfig;
-use ibgp_proto::{choose_best, choose_set, route_at, transfer_set, walton_advertised_set, ProtocolVariant};
+use ibgp_proto::{
+    choose_best, choose_set, route_at, transfer_set, walton_advertised_set, ProtocolVariant,
+};
 use ibgp_topology::Topology;
 use ibgp_types::{BgpId, ExitPathId, ExitPathRef, Route, RouterId};
 use serde::{Deserialize, Serialize};
+use std::cell::{Cell, RefCell};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// The result of a bounded sync-engine run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -80,7 +115,8 @@ impl fmt::Display for SyncOutcome {
     }
 }
 
-/// One node's mutable state.
+/// One node's state — an immutable row shared behind an [`Arc`] between
+/// the live configuration, snapshots, and the update memo.
 #[derive(Debug, Clone)]
 struct NodeState {
     my_exits: Vec<ExitPathRef>,
@@ -89,6 +125,10 @@ struct NodeState {
     learned: BTreeMap<ExitPathId, BgpId>,
     best: Option<Route>,
     advertised: Vec<ExitPathRef>,
+    /// Transfer-filtered advertised ids offered to each I-BGP peer, in
+    /// `Topology::ibgp().peers(u)` order — computed once per distinct
+    /// state so message accounting needn't re-filter on every step.
+    outgoing: Vec<Vec<ExitPathId>>,
 }
 
 impl NodeState {
@@ -103,11 +143,17 @@ impl NodeState {
 
 /// An opaque copy of a [`SyncEngine`]'s mutable state, for search
 /// algorithms that explore the configuration space (see `ibgp-analysis`).
+/// Rows are interned: a snapshot is a vector of `Arc`s, so capturing and
+/// restoring are O(n) pointer copies, not deep clones.
 #[derive(Clone)]
 pub struct SyncSnapshot {
-    nodes: Vec<NodeState>,
+    nodes: Vec<Arc<NodeState>>,
     time: u64,
 }
+
+/// Memoized node updates: digest of the input signature → rows, with the
+/// exact flat key kept to rule out collisions.
+type UpdateMemo = HashMap<u64, Vec<(Box<[u32]>, Arc<NodeState>)>>;
 
 /// The paper's synchronous simulator.
 ///
@@ -127,13 +173,32 @@ pub struct SyncSnapshot {
 /// assert_eq!(engine.best_exit(RouterId::new(1)), Some(ExitPathId::new(1)));
 /// # Ok::<(), ibgp_topology::TopologyError>(())
 /// ```
-#[derive(Clone)]
 pub struct SyncEngine<'a> {
     topo: &'a Topology,
     config: ProtocolConfig,
-    nodes: Vec<NodeState>,
+    nodes: Vec<Arc<NodeState>>,
     time: u64,
     metrics: Metrics,
+    memoized: bool,
+    memo: RefCell<UpdateMemo>,
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
+}
+
+impl Clone for SyncEngine<'_> {
+    fn clone(&self) -> Self {
+        Self {
+            topo: self.topo,
+            config: self.config,
+            nodes: self.nodes.clone(),
+            time: self.time,
+            metrics: self.metrics,
+            memoized: self.memoized,
+            memo: RefCell::new(self.memo.borrow().clone()),
+            cache_hits: self.cache_hits.clone(),
+            cache_misses: self.cache_misses.clone(),
+        }
+    }
 }
 
 impl<'a> SyncEngine<'a> {
@@ -147,16 +212,16 @@ impl<'a> SyncEngine<'a> {
     /// share an id — scenario construction errors.
     pub fn new(topo: &'a Topology, config: ProtocolConfig, exits: Vec<ExitPathRef>) -> Self {
         let n = topo.len();
-        let mut nodes = vec![
-            NodeState {
+        let mut nodes: Vec<NodeState> = (0..n)
+            .map(|i| NodeState {
                 my_exits: Vec::new(),
                 possible: Vec::new(),
                 learned: BTreeMap::new(),
                 best: None,
                 advertised: Vec::new(),
-            };
-            n
-        ];
+                outgoing: vec![Vec::new(); topo.ibgp().peers(RouterId::new(i as u32)).len()],
+            })
+            .collect();
         let mut seen = std::collections::HashSet::new();
         for p in exits {
             assert!(
@@ -165,6 +230,11 @@ impl<'a> SyncEngine<'a> {
                 p.exit_point()
             );
             assert!(seen.insert(p.id()), "duplicate exit path id {}", p.id());
+            assert!(
+                p.id().raw() != u32::MAX,
+                "exit path id {} is reserved",
+                p.id()
+            );
             nodes[p.exit_point().index()].my_exits.push(p);
         }
         for node in &mut nodes {
@@ -177,9 +247,13 @@ impl<'a> SyncEngine<'a> {
         Self {
             topo,
             config,
-            nodes,
+            nodes: nodes.into_iter().map(Arc::new).collect(),
             time: 0,
             metrics: Metrics::default(),
+            memoized: true,
+            memo: RefCell::new(HashMap::new()),
+            cache_hits: Cell::new(0),
+            cache_misses: Cell::new(0),
         }
     }
 
@@ -198,9 +272,28 @@ impl<'a> SyncEngine<'a> {
         self.time
     }
 
-    /// Run metrics so far.
+    /// Run metrics so far, including update-cache hit/miss counters.
     pub fn metrics(&self) -> Metrics {
-        self.metrics
+        let mut m = self.metrics;
+        m.cache_hits = self.cache_hits.get();
+        m.cache_misses = self.cache_misses.get();
+        m
+    }
+
+    /// Whether node updates are memoized (the default). Disabling switches
+    /// to the naive reference path that recomputes every update from
+    /// scratch — used by the equivalence tests and benchmarks.
+    pub fn memoized(&self) -> bool {
+        self.memoized
+    }
+
+    /// Enable or disable update memoization. Disabling also drops the
+    /// cache, so re-enabling starts cold.
+    pub fn set_memoized(&mut self, on: bool) {
+        self.memoized = on;
+        if !on {
+            self.memo.borrow_mut().clear();
+        }
     }
 
     /// `BestRoute(u, now)`.
@@ -250,7 +343,12 @@ impl<'a> SyncEngine<'a> {
     /// Inject a new E-BGP route at its exit point (E-BGP churn). Takes
     /// effect on the exit point's next activation.
     pub fn inject(&mut self, p: ExitPathRef) {
-        let node = &mut self.nodes[p.exit_point().index()];
+        assert!(
+            p.id().raw() != u32::MAX,
+            "exit path id {} is reserved",
+            p.id()
+        );
+        let node = Arc::make_mut(&mut self.nodes[p.exit_point().index()]);
         assert!(
             node.my_exits.iter().all(|q| q.id() != p.id()),
             "duplicate exit path id {}",
@@ -258,24 +356,77 @@ impl<'a> SyncEngine<'a> {
         );
         node.my_exits.push(p);
         node.my_exits.sort_by_key(|p| p.id());
+        // The id → path binding may have changed; cached rows are stale.
+        self.memo.borrow_mut().clear();
     }
 
     /// Withdraw an E-BGP route from `MyExits` (the Lemma 7.2 scenario:
     /// the path may linger in `PossibleExits` sets until flushed).
     /// Returns whether the path was present.
     pub fn withdraw(&mut self, id: ExitPathId) -> bool {
-        for node in &mut self.nodes {
-            let before = node.my_exits.len();
-            node.my_exits.retain(|p| p.id() != id);
-            if node.my_exits.len() != before {
+        // A path lives in exactly one node's MyExits (ids are unique), so
+        // stop at the owning exit point instead of rescanning every node.
+        for i in 0..self.nodes.len() {
+            if let Some(pos) = self.nodes[i].my_exits.iter().position(|p| p.id() == id) {
+                Arc::make_mut(&mut self.nodes[i]).my_exits.remove(pos);
+                self.memo.borrow_mut().clear();
                 return true;
             }
         }
         false
     }
 
+    /// The memo key for `u`'s next update: `u` itself, `MyExits(u)`, and
+    /// every peer's advertised set, flattened to raw ids with `u32::MAX`
+    /// separators (reserved — asserted at construction/inject). Together
+    /// with the fixed topology and protocol configuration these inputs
+    /// fully determine [`SyncEngine::compute_update`]'s output.
+    fn memo_key(&self, u: RouterId) -> Vec<u32> {
+        let node = &self.nodes[u.index()];
+        let mut key = Vec::with_capacity(2 + node.my_exits.len());
+        key.push(u.raw());
+        for p in &node.my_exits {
+            key.push(p.id().raw());
+        }
+        for v in self.topo.ibgp().peers(u) {
+            key.push(u32::MAX);
+            for p in &self.nodes[v.index()].advertised {
+                key.push(p.id().raw());
+            }
+        }
+        key
+    }
+
+    /// `u`'s post-activation state, memoized on the inputs it depends on.
+    fn update_row(&self, u: RouterId) -> Arc<NodeState> {
+        if !self.memoized {
+            return Arc::new(self.compute_update(u));
+        }
+        let key = self.memo_key(u);
+        let digest = {
+            let mut h = DefaultHasher::new();
+            key.hash(&mut h);
+            h.finish()
+        };
+        if let Some(bucket) = self.memo.borrow().get(&digest) {
+            if let Some((_, row)) = bucket.iter().find(|(k, _)| k[..] == key[..]) {
+                self.cache_hits.set(self.cache_hits.get() + 1);
+                return Arc::clone(row);
+            }
+        }
+        self.cache_misses.set(self.cache_misses.get() + 1);
+        let row = Arc::new(self.compute_update(u));
+        self.memo
+            .borrow_mut()
+            .entry(digest)
+            .or_default()
+            .push((key.into_boxed_slice(), Arc::clone(&row)));
+        row
+    }
+
     /// Compute node `u`'s post-activation state from the current global
-    /// state, without applying it.
+    /// state, without applying it. This is the naive reference path; the
+    /// engine normally goes through the memoized [`SyncEngine::update_row`].
     fn compute_update(&self, u: RouterId) -> NodeState {
         let cur = &self.nodes[u.index()];
         // Gather: own exits plus transfer-filtered peer advertisements,
@@ -308,12 +459,25 @@ impl<'a> SyncEngine<'a> {
             .collect();
         let best = choose_best(self.config.policy, &routes);
         let advertised = self.advertised_set(u, &possible, &routes, best.as_ref());
+        let outgoing = self
+            .topo
+            .ibgp()
+            .peers(u)
+            .into_iter()
+            .map(|v| {
+                transfer_set(self.topo, u, v, &advertised)
+                    .iter()
+                    .map(|p| p.id())
+                    .collect()
+            })
+            .collect();
         NodeState {
             my_exits: cur.my_exits.clone(),
             possible,
             learned,
             best,
             advertised,
+            outgoing,
         }
     }
 
@@ -325,13 +489,15 @@ impl<'a> SyncEngine<'a> {
         routes: &[Route],
         best: Option<&Route>,
     ) -> Vec<ExitPathRef> {
+        // Standard advertisement: exactly the best route's exit, if any.
+        let best_singleton = || best.map(|r| vec![r.exit().clone()]).unwrap_or_default();
         match self.config.variant {
-            ProtocolVariant::Standard => best.map(|r| vec![r.exit().clone()]).unwrap_or_default(),
+            ProtocolVariant::Standard => best_singleton(),
             ProtocolVariant::Walton => {
                 if self.topo.ibgp().is_reflector(u) {
                     walton_advertised_set(self.config.policy, routes)
                 } else {
-                    best.map(|r| vec![r.exit().clone()]).unwrap_or_default()
+                    best_singleton()
                 }
             }
             ProtocolVariant::Modified => choose_set(possible, self.config.policy.med_mode),
@@ -340,12 +506,19 @@ impl<'a> SyncEngine<'a> {
 
     /// Apply one activation step: every node in `set` recomputes its state
     /// from the *pre-step* global state.
-    pub fn step(&mut self, set: &[RouterId]) {
-        let updates: Vec<(RouterId, NodeState)> = set
+    ///
+    /// Every node's update is computed once (through the memo), so the
+    /// fixed-point check rides along for free: the return value is whether
+    /// the **pre-step** configuration was stable, i.e. activating any set
+    /// of nodes — not just `set` — would have changed nothing.
+    pub fn step(&mut self, set: &[RouterId]) -> bool {
+        let rows: Vec<Arc<NodeState>> = self.topo.routers().map(|u| self.update_row(u)).collect();
+        let stable = rows
             .iter()
-            .map(|&u| (u, self.compute_update(u)))
-            .collect();
-        for (u, new) in updates {
+            .zip(&self.nodes)
+            .all(|(new, old)| Arc::ptr_eq(new, old) || new.key() == old.key());
+        for &u in set {
+            let new = Arc::clone(&rows[u.index()]);
             let old = &self.nodes[u.index()];
             let best_changed =
                 old.best.as_ref().map(Route::exit_id) != new.best.as_ref().map(Route::exit_id);
@@ -354,11 +527,9 @@ impl<'a> SyncEngine<'a> {
             }
             // Push-on-change message accounting: if the advertised set
             // changed, count one message per peer whose transfer-filtered
-            // view changed.
-            if old.advertised != new.advertised {
-                for v in self.topo.ibgp().peers(u) {
-                    let before = transfer_set(self.topo, u, v, &old.advertised);
-                    let after = transfer_set(self.topo, u, v, &new.advertised);
+            // view changed. Both views were precomputed with their states.
+            if !Arc::ptr_eq(old, &new) && old.advertised != new.advertised {
+                for (before, after) in old.outgoing.iter().zip(&new.outgoing) {
                     if before != after {
                         self.metrics.messages += 1;
                         self.metrics.paths_advertised += after.len() as u64;
@@ -369,15 +540,19 @@ impl<'a> SyncEngine<'a> {
             self.nodes[u.index()] = new;
         }
         self.time += 1;
+        stable
     }
 
     /// Whether the current configuration is a fixed point: activating
     /// every node would change nothing. A fixed point is stable under
-    /// *any* activation sequence.
+    /// *any* activation sequence. Shares the update memo with
+    /// [`SyncEngine::step`], so an `is_stable` + `step` pair computes each
+    /// node's update at most once.
     pub fn is_stable(&self) -> bool {
         self.topo.routers().all(|u| {
-            let new = self.compute_update(u);
-            new.key() == self.nodes[u.index()].key()
+            let new = self.update_row(u);
+            let old = &self.nodes[u.index()];
+            Arc::ptr_eq(&new, old) || new.key() == old.key()
         })
     }
 
@@ -385,13 +560,17 @@ impl<'a> SyncEngine<'a> {
     /// schedule's phase.
     pub fn state_key(&self, phase: u64) -> StateKey {
         StateKey {
-            nodes: self.nodes.iter().map(NodeState::key).collect(),
+            nodes: self.nodes.iter().map(|n| n.key()).collect(),
             phase,
         }
     }
 
     /// Run under the given activation sequence until stability, a provable
     /// cycle, or the step budget.
+    ///
+    /// Phase values from [`Activation::phase`] are used as-is: the
+    /// schedule contract requires them to already be normalized to the
+    /// schedule's own period (see the trait docs).
     pub fn run(&mut self, schedule: &mut dyn Activation, max_steps: u64) -> SyncOutcome {
         let n = self.topo.len();
         let mut seen: HashMap<u64, Vec<(StateKey, u64)>> = HashMap::new();
@@ -400,7 +579,7 @@ impl<'a> SyncEngine<'a> {
                 return SyncOutcome::Converged { steps: step };
             }
             if let Some(phase) = schedule.phase() {
-                let key = self.state_key(phase % n.max(1) as u64);
+                let key = self.state_key(phase);
                 let digest = key.digest();
                 let bucket = seen.entry(digest).or_default();
                 if let Some((_, first)) = bucket.iter().find(|(k, _)| *k == key) {
@@ -421,7 +600,8 @@ impl<'a> SyncEngine<'a> {
         }
     }
 
-    /// Capture the mutable state for later [`SyncEngine::restore`].
+    /// Capture the mutable state for later [`SyncEngine::restore`]. O(n)
+    /// `Arc` clones of interned rows — no deep copy.
     pub fn snapshot(&self) -> SyncSnapshot {
         SyncSnapshot {
             nodes: self.nodes.clone(),
@@ -429,7 +609,8 @@ impl<'a> SyncEngine<'a> {
         }
     }
 
-    /// Restore a previously captured state (metrics are left untouched).
+    /// Restore a previously captured state (metrics and the update memo
+    /// are left untouched, so replays reuse earlier work).
     pub fn restore(&mut self, snap: &SyncSnapshot) {
         self.nodes = snap.nodes.clone();
         self.time = snap.time;
@@ -663,6 +844,152 @@ mod tests {
         assert!(m.messages >= 2, "node 0 must have announced to 2 peers");
         assert!(m.best_changes >= 3, "each node adopted a best route");
         assert!(m.paths_advertised >= m.messages);
+    }
+
+    /// The update memo fills up during a run and reports its hit rate;
+    /// the naive path keeps the counters at zero.
+    #[test]
+    fn cache_counters_accumulate_only_when_memoized() {
+        let topo = TopologyBuilder::new(3)
+            .link(0, 1, 1)
+            .link(1, 2, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let mut eng = SyncEngine::new(&topo, ProtocolConfig::STANDARD, vec![exit(1, 1, 0, 0)]);
+        assert!(eng.memoized());
+        eng.run(&mut RoundRobin::new(), 100);
+        let m = eng.metrics();
+        assert!(m.cache_misses > 0, "first computations must miss");
+        assert!(m.cache_hits > 0, "replays must hit");
+        assert!(m.cache_hit_rate() > 0.0);
+
+        let mut naive = SyncEngine::new(&topo, ProtocolConfig::STANDARD, vec![exit(1, 1, 0, 0)]);
+        naive.set_memoized(false);
+        naive.run(&mut RoundRobin::new(), 100);
+        let m = naive.metrics();
+        assert_eq!((m.cache_hits, m.cache_misses), (0, 0));
+    }
+
+    /// The memoized engine and the naive reference path agree, including
+    /// across inject/withdraw churn (which flushes the memo).
+    #[test]
+    fn memoized_engine_matches_naive_reference() {
+        let topo = TopologyBuilder::new(4)
+            .link(0, 2, 10)
+            .link(0, 3, 1)
+            .link(1, 3, 10)
+            .link(1, 2, 1)
+            .cluster([0], [2])
+            .cluster([1], [3])
+            .build()
+            .unwrap();
+        for config in [
+            ProtocolConfig::STANDARD,
+            ProtocolConfig::WALTON,
+            ProtocolConfig::MODIFIED,
+        ] {
+            let exits = vec![exit(1, 1, 0, 2), exit(2, 1, 0, 3)];
+            let mut fast = SyncEngine::new(&topo, config, exits.clone());
+            let mut slow = SyncEngine::new(&topo, config, exits);
+            slow.set_memoized(false);
+            let mut sched_a = RoundRobin::new();
+            let mut sched_b = RoundRobin::new();
+            for _ in 0..40 {
+                let set = sched_a.next_set(4);
+                assert_eq!(set, sched_b.next_set(4));
+                let sa = fast.step(&set);
+                let sb = slow.step(&set);
+                assert_eq!(sa, sb, "stability flags diverge");
+                assert_eq!(fast.best_vector(), slow.best_vector());
+                assert_eq!(fast.is_stable(), slow.is_stable());
+            }
+            fast.withdraw(ExitPathId::new(1));
+            slow.withdraw(ExitPathId::new(1));
+            let out_a = fast.run(&mut RoundRobin::new(), 200);
+            let out_b = slow.run(&mut RoundRobin::new(), 200);
+            assert_eq!(out_a, out_b);
+            assert_eq!(fast.best_vector(), slow.best_vector());
+        }
+    }
+
+    /// `step` reports whether the pre-step configuration was already a
+    /// fixed point.
+    #[test]
+    fn step_reports_fixed_point() {
+        let topo = TopologyBuilder::new(2)
+            .link(0, 1, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let mut eng = SyncEngine::new(&topo, ProtocolConfig::STANDARD, vec![exit(1, 1, 0, 0)]);
+        let all = [r(0), r(1)];
+        assert!(!eng.step(&all), "config(0) is not a fixed point");
+        while !eng.step(&all) {}
+        assert!(eng.is_stable());
+        assert!(eng.step(&all), "fixed points self-loop");
+    }
+
+    /// Regression: `run` trusts `Activation::phase` to be normalized, so a
+    /// periodic schedule whose period differs from `n` still gets sound
+    /// cycle detection (the engine used to mangle phases with `% n`).
+    #[test]
+    fn run_supports_schedules_with_period_not_equal_to_n() {
+        /// Period-2 schedule over any n >= 3: {0}, then {1, 2}.
+        struct AlternatingPairs {
+            pos: u64,
+        }
+        impl Activation for AlternatingPairs {
+            fn next_set(&mut self, _n: usize) -> Vec<RouterId> {
+                let set = if self.pos == 0 {
+                    vec![r(0)]
+                } else {
+                    vec![r(1), r(2)]
+                };
+                self.pos = (self.pos + 1) % 2;
+                set
+            }
+            fn phase(&self) -> Option<u64> {
+                Some(self.pos)
+            }
+        }
+        let topo = TopologyBuilder::new(3)
+            .link(0, 1, 1)
+            .link(1, 2, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let mut eng = SyncEngine::new(&topo, ProtocolConfig::STANDARD, vec![exit(1, 1, 0, 0)]);
+        let outcome = eng.run(&mut AlternatingPairs { pos: 0 }, 100);
+        assert!(outcome.converged(), "{outcome}");
+        for u in 0..3 {
+            assert_eq!(eng.best_exit(r(u)), Some(ExitPathId::new(1)));
+        }
+    }
+
+    /// Snapshots are interned rows: capturing and restoring round-trips
+    /// the visible state and shares storage with the live configuration.
+    #[test]
+    fn snapshots_round_trip_and_share_rows() {
+        let topo = TopologyBuilder::new(3)
+            .link(0, 1, 1)
+            .link(1, 2, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let mut eng = SyncEngine::new(&topo, ProtocolConfig::MODIFIED, vec![exit(1, 1, 0, 0)]);
+        eng.step(&[r(0)]);
+        let snap = eng.snapshot();
+        let key_before = eng.state_key(0);
+        assert!(
+            Arc::ptr_eq(&snap.nodes[0], &eng.nodes[0]),
+            "rows are shared"
+        );
+        eng.step(&[r(1), r(2)]);
+        eng.step(&[r(0)]);
+        eng.restore(&snap);
+        assert_eq!(eng.state_key(0), key_before);
+        assert_eq!(eng.time(), snap.time);
     }
 
     /// An empty system (no exits) is immediately stable.

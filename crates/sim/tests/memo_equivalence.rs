@@ -1,0 +1,135 @@
+//! Property test: the memoized incremental engine is observationally
+//! equivalent to the naive reference engine.
+//!
+//! Two `SyncEngine`s over the same random topology, exit set, and
+//! protocol variant are driven in lockstep through a random activation
+//! script (with an optional mid-run withdrawal to exercise the memo
+//! flush). At every step the memoized engine must agree with the naive
+//! one on the fixed-point verdict, the best-exit vector, stability, and
+//! the message-accounting metrics.
+
+use ibgp_proto::variants::ProtocolConfig;
+use ibgp_sim::SyncEngine;
+use ibgp_topology::{Topology, TopologyBuilder};
+use ibgp_types::{AsId, ExitPath, ExitPathId, ExitPathRef, IgpCost, Med, RouterId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Build a connected topology over `n` routers: a chain with the given
+/// IGP costs plus deduplicated extra links, under one of three I-BGP
+/// session shapes (full mesh, one cluster, or a two-cluster split).
+fn build_topology(
+    n: usize,
+    shape: u8,
+    chain_costs: &[u64],
+    extra_links: &[(u32, u32, u64)],
+) -> Topology {
+    let mut b = TopologyBuilder::new(n);
+    let mut seen: Vec<(u32, u32)> = Vec::new();
+    for (i, &cost) in chain_costs.iter().take(n - 1).enumerate() {
+        let (u, v) = (i as u32, i as u32 + 1);
+        b = b.link(u, v, cost);
+        seen.push((u, v));
+    }
+    for &(u, v, cost) in extra_links {
+        let (u, v) = (u % n as u32, v % n as u32);
+        let pair = (u.min(v), u.max(v));
+        if u != v && !seen.contains(&pair) {
+            seen.push(pair);
+            b = b.link(pair.0, pair.1, cost);
+        }
+    }
+    b = match shape {
+        0 => b.full_mesh(),
+        _ if shape == 2 && n >= 4 => {
+            // Two clusters: even routers under reflector 0, odd under 1.
+            let evens: Vec<u32> = (2..n as u32).step_by(2).collect();
+            let odds: Vec<u32> = (3..n as u32).step_by(2).collect();
+            b.cluster([0], evens).cluster([1], odds)
+        }
+        _ => b.cluster([0], 1..n as u32),
+    };
+    b.build().expect("generated topology must validate")
+}
+
+fn build_exits(n: usize, n_exits: usize, raw: &[(u32, u32, u32, u64)]) -> Vec<ExitPathRef> {
+    raw.iter()
+        .take(n_exits)
+        .enumerate()
+        .map(|(i, &(next_as, med, exit_point, exit_cost))| {
+            Arc::new(
+                ExitPath::builder(ExitPathId::new(i as u32 + 1))
+                    .via(AsId::new(next_as))
+                    .med(Med::new(med))
+                    .exit_point(RouterId::new(exit_point % n as u32))
+                    .exit_cost(IgpCost::new(exit_cost))
+                    .build_unchecked(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn memoized_engine_is_equivalent_to_naive(
+        n in 2usize..=5,
+        shape in 0u8..3,
+        chain_costs in prop::collection::vec(1u64..10, 4),
+        extra_links in prop::collection::vec((0u32..5, 0u32..5, 1u64..10), 0..4),
+        n_exits in 1usize..=4,
+        exit_raw in prop::collection::vec((1u32..3, 0u32..11, 0u32..5, 0u64..6), 4),
+        variant in 0u8..3,
+        script in prop::collection::vec(0usize..6, 1..30),
+        do_withdraw in any::<bool>(),
+    ) {
+        let topo = build_topology(n, shape, &chain_costs, &extra_links);
+        let exits = build_exits(n, n_exits, &exit_raw);
+        let config = [
+            ProtocolConfig::STANDARD,
+            ProtocolConfig::WALTON,
+            ProtocolConfig::MODIFIED,
+        ][variant as usize];
+
+        let mut fast = SyncEngine::new(&topo, config, exits.clone());
+        let mut slow = SyncEngine::new(&topo, config, exits);
+        slow.set_memoized(false);
+
+        let withdraw_at = script.len() / 2;
+        for (i, &choice) in script.iter().enumerate() {
+            if do_withdraw && i == withdraw_at {
+                let a = fast.withdraw(ExitPathId::new(1));
+                let b = slow.withdraw(ExitPathId::new(1));
+                prop_assert_eq!(a, b, "withdraw verdicts diverge at step {}", i);
+            }
+            // Script entries below `n` activate that single router; the
+            // rest activate the full set (the simultaneous-exchange case
+            // that drives the paper's oscillations).
+            let set: Vec<RouterId> = if choice < n {
+                vec![RouterId::new(choice as u32)]
+            } else {
+                (0..n as u32).map(RouterId::new).collect()
+            };
+            let fixed_fast = fast.step(&set);
+            let fixed_slow = slow.step(&set);
+            prop_assert_eq!(
+                fixed_fast, fixed_slow,
+                "fixed-point verdicts diverge at step {}", i
+            );
+            prop_assert_eq!(fast.best_vector(), slow.best_vector());
+            prop_assert_eq!(fast.is_stable(), slow.is_stable());
+            prop_assert_eq!(fast.metrics().messages, slow.metrics().messages);
+            prop_assert_eq!(
+                fast.metrics().paths_advertised,
+                slow.metrics().paths_advertised
+            );
+        }
+
+        // Full per-router state, not just the best vector, must agree.
+        for u in (0..n as u32).map(RouterId::new) {
+            prop_assert_eq!(fast.possible_exits(u), slow.possible_exits(u));
+            prop_assert_eq!(fast.advertised(u), slow.advertised(u));
+        }
+    }
+}

@@ -151,12 +151,7 @@ impl IbgpTopology {
     /// Fully meshed I-BGP: every router a reflector in its own cluster.
     pub fn full_mesh(n: usize) -> Self {
         let clusters = (0..n)
-            .map(|i| {
-                (
-                    ClusterId::new(i as u32),
-                    vec![RouterId::new(i as u32)],
-                )
-            })
+            .map(|i| (ClusterId::new(i as u32), vec![RouterId::new(i as u32)]))
             .map(|(id, reflectors)| Cluster {
                 id,
                 reflectors,
@@ -303,10 +298,7 @@ mod tests {
     fn sample() -> IbgpTopology {
         IbgpTopology::new(
             5,
-            vec![
-                (vec![r(0)], vec![r(1), r(2)]),
-                (vec![r(3)], vec![r(4)]),
-            ],
+            vec![(vec![r(0)], vec![r(1), r(2)]), (vec![r(3)], vec![r(4)])],
             vec![],
         )
         .unwrap()
@@ -343,12 +335,8 @@ mod tests {
 
     #[test]
     fn declared_client_sessions_work() {
-        let t = IbgpTopology::new(
-            3,
-            vec![(vec![r(0)], vec![r(1), r(2)])],
-            vec![(r(2), r(1))],
-        )
-        .unwrap();
+        let t =
+            IbgpTopology::new(3, vec![(vec![r(0)], vec![r(1), r(2)])], vec![(r(2), r(1))]).unwrap();
         assert!(t.is_session(r(1), r(2)));
         assert!(t.is_session(r(2), r(1)));
     }
@@ -366,13 +354,12 @@ mod tests {
 
     #[test]
     fn rejects_extra_sessions_touching_reflectors() {
-        let err = IbgpTopology::new(
-            3,
-            vec![(vec![r(0)], vec![r(1), r(2)])],
-            vec![(r(0), r(1))],
-        )
-        .unwrap_err();
-        assert_eq!(err, TopologyError::ExtraSessionNotBetweenClients(r(0), r(1)));
+        let err = IbgpTopology::new(3, vec![(vec![r(0)], vec![r(1), r(2)])], vec![(r(0), r(1))])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TopologyError::ExtraSessionNotBetweenClients(r(0), r(1))
+        );
     }
 
     #[test]
@@ -391,7 +378,10 @@ mod tests {
     #[test]
     fn rejects_reflectorless_cluster() {
         let err = IbgpTopology::new(1, vec![(vec![], vec![r(0)])], vec![]).unwrap_err();
-        assert_eq!(err, TopologyError::ClusterWithoutReflector(ClusterId::new(0)));
+        assert_eq!(
+            err,
+            TopologyError::ClusterWithoutReflector(ClusterId::new(0))
+        );
     }
 
     #[test]

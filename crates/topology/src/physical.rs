@@ -52,7 +52,12 @@ impl PhysicalGraph {
     }
 
     /// Add an undirected link `u–v` with the given positive cost.
-    pub fn add_link(&mut self, u: RouterId, v: RouterId, cost: IgpCost) -> Result<(), TopologyError> {
+    pub fn add_link(
+        &mut self,
+        u: RouterId,
+        v: RouterId,
+        cost: IgpCost,
+    ) -> Result<(), TopologyError> {
         self.check_node(u)?;
         self.check_node(v)?;
         if u == v {

@@ -265,10 +265,10 @@ mod tests {
                     }
                 }
             }
-            for v in 0..n {
+            for (v, &expect) in dist.iter().enumerate() {
                 assert_eq!(
                     spf.cost(r(s as u32), r(v as u32)),
-                    dist[v],
+                    expect,
                     "mismatch s={s} v={v}"
                 );
             }

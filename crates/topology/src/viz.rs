@@ -29,13 +29,7 @@ pub fn to_dot(topo: &Topology) -> String {
         );
     }
     for (u, v, cost) in topo.physical().links() {
-        let _ = writeln!(
-            out,
-            "  n{} -- n{} [label=\"{}\"];",
-            u.raw(),
-            v.raw(),
-            cost
-        );
+        let _ = writeln!(out, "  n{} -- n{} [label=\"{}\"];", u.raw(), v.raw(), cost);
     }
     for (u, v) in topo.ibgp().sessions() {
         if topo.physical().cost(u, v).is_none() {

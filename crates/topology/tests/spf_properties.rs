@@ -63,10 +63,10 @@ proptest! {
         let spf = SpfTable::compute(&g);
         for s in 0..g.len() {
             let oracle = bellman_ford(&g, s);
-            for v in 0..g.len() {
+            for (v, &expect) in oracle.iter().enumerate() {
                 prop_assert_eq!(
                     spf.cost(RouterId::new(s as u32), RouterId::new(v as u32)),
-                    oracle[v],
+                    expect,
                     "s={} v={}", s, v
                 );
             }

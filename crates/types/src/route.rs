@@ -67,7 +67,12 @@ impl Route {
     }
 
     /// Convenience constructor taking an owned exit path.
-    pub fn from_exit(exit: ExitPath, node: RouterId, igp_cost: IgpCost, learned_from: BgpId) -> Self {
+    pub fn from_exit(
+        exit: ExitPath,
+        node: RouterId,
+        igp_cost: IgpCost,
+        learned_from: BgpId,
+    ) -> Self {
         Self::new(Arc::new(exit), node, igp_cost, learned_from)
     }
 
@@ -166,7 +171,12 @@ mod tests {
 
     #[test]
     fn metric_adds_exit_cost() {
-        let r = Route::from_exit(exit_at(5), RouterId::new(0), IgpCost::new(10), BgpId::new(1));
+        let r = Route::from_exit(
+            exit_at(5),
+            RouterId::new(0),
+            IgpCost::new(10),
+            BgpId::new(1),
+        );
         assert_eq!(r.metric(), IgpCost::new(12));
     }
 
@@ -194,7 +204,12 @@ mod tests {
 
     #[test]
     fn infinite_igp_cost_saturates_metric() {
-        let r = Route::from_exit(exit_at(5), RouterId::new(0), IgpCost::INFINITY, BgpId::new(1));
+        let r = Route::from_exit(
+            exit_at(5),
+            RouterId::new(0),
+            IgpCost::INFINITY,
+            BgpId::new(1),
+        );
         assert!(r.metric().is_infinite());
     }
 

@@ -46,8 +46,18 @@ fn main() {
 
             // Crash RR1, restart it, re-settle.
             let t = sim.now();
-            sim.schedule(t + 10, AsyncEvent::NodeDown { node: RouterId::new(0) });
-            sim.schedule(t + 60, AsyncEvent::NodeUp { node: RouterId::new(0) });
+            sim.schedule(
+                t + 10,
+                AsyncEvent::NodeDown {
+                    node: RouterId::new(0),
+                },
+            );
+            sim.schedule(
+                t + 60,
+                AsyncEvent::NodeUp {
+                    node: RouterId::new(0),
+                },
+            );
             if !sim.run(200_000).quiescent() {
                 println!("  seed {seed}: no quiescence after restart");
                 continue;

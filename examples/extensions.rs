@@ -65,10 +65,7 @@ fn main() {
     let upgraded = adaptive.upgraded_routers();
     println!(
         "  with the flap detector: {outcome}; routers upgraded to Choose_set: {:?}",
-        upgraded
-            .iter()
-            .map(ToString::to_string)
-            .collect::<Vec<_>>()
+        upgraded.iter().map(ToString::to_string).collect::<Vec<_>>()
     );
     println!("  -> the AS heals itself, and only the flapping region pays the extra paths");
 }

@@ -19,27 +19,51 @@ fn policies() -> Vec<(&'static str, ProtocolConfig)> {
     vec![
         (
             "standard (per-neighbor MED)",
-            p(ProtocolVariant::Standard, MedMode::PerNeighborAs, RuleOrder::PreferEbgp),
+            p(
+                ProtocolVariant::Standard,
+                MedMode::PerNeighborAs,
+                RuleOrder::PreferEbgp,
+            ),
         ),
         (
             "always-compare-med",
-            p(ProtocolVariant::Standard, MedMode::AlwaysCompare, RuleOrder::PreferEbgp),
+            p(
+                ProtocolVariant::Standard,
+                MedMode::AlwaysCompare,
+                RuleOrder::PreferEbgp,
+            ),
         ),
         (
             "MEDs ignored",
-            p(ProtocolVariant::Standard, MedMode::Ignore, RuleOrder::PreferEbgp),
+            p(
+                ProtocolVariant::Standard,
+                MedMode::Ignore,
+                RuleOrder::PreferEbgp,
+            ),
         ),
         (
             "RFC 1771 rule order",
-            p(ProtocolVariant::Standard, MedMode::PerNeighborAs, RuleOrder::MinCostFirst),
+            p(
+                ProtocolVariant::Standard,
+                MedMode::PerNeighborAs,
+                RuleOrder::MinCostFirst,
+            ),
         ),
         (
             "Walton et al. vector",
-            p(ProtocolVariant::Walton, MedMode::PerNeighborAs, RuleOrder::PreferEbgp),
+            p(
+                ProtocolVariant::Walton,
+                MedMode::PerNeighborAs,
+                RuleOrder::PreferEbgp,
+            ),
         ),
         (
             "modified (Choose_set)",
-            p(ProtocolVariant::Modified, MedMode::PerNeighborAs, RuleOrder::PreferEbgp),
+            p(
+                ProtocolVariant::Modified,
+                MedMode::PerNeighborAs,
+                RuleOrder::PreferEbgp,
+            ),
         ),
     ]
 }
@@ -47,10 +71,9 @@ fn policies() -> Vec<(&'static str, ProtocolConfig)> {
 fn main() {
     for scenario in [fig1a::scenario(), fig1b::scenario()] {
         println!("== {} — {} ==", scenario.name, scenario.description);
-        println!("{:<28} {}", "policy", "verdict (exhaustive analysis)");
+        println!("{:<28} verdict (exhaustive analysis)", "policy");
         for (name, config) in policies() {
-            let network =
-                Network::from_scenario(&scenario, config.variant).with_config(config);
+            let network = Network::from_scenario(&scenario, config.variant).with_config(config);
             let (class, reach) = network.classify(500_000);
             println!(
                 "{:<28} {} ({} stable solutions)",

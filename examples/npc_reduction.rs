@@ -51,8 +51,11 @@ fn main() {
     }
 
     // The unsatisfiable counterpart: (x0) ∧ (¬x0).
-    let unsat = Formula::new(1, vec![Clause(vec![Lit::pos(0)]), Clause(vec![Lit::neg(0)])])
-        .expect("well-formed");
+    let unsat = Formula::new(
+        1,
+        vec![Clause(vec![Lit::pos(0)]), Clause(vec![Lit::neg(0)])],
+    )
+    .expect("well-formed");
     println!("\nformula J' = {unsat}");
     let report = check_equivalence(&unsat, 200_000);
     println!(

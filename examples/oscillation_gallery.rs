@@ -9,8 +9,8 @@ use ibgp::{Network, ProtocolVariant};
 fn main() {
     const MAX_STATES: usize = 500_000;
     println!(
-        "{:<8} {:<9} {:>7} {:>7}  {:<34} {}",
-        "scenario", "protocol", "states", "stable", "classification", "description"
+        "{:<8} {:<9} {:>7} {:>7}  {:<34} description",
+        "scenario", "protocol", "states", "stable", "classification"
     );
     for scenario in all_scenarios() {
         for variant in [

@@ -34,7 +34,7 @@ fn main() {
 
     println!("Table 1 (reproduced): update sequence of the Fig 3 oscillation");
     println!("routers: A=r0 (r1/r2), B=r1 (r3/r4), C=r2 (r5/r6); delays fixed at 5\n");
-    println!("{:<6} {}", "time", "event");
+    println!("{:<6} event", "time");
     for ev in sim.trace() {
         let line = match ev {
             TraceEvent::External { at, event } => Some((at, format!("E-BGP: {event}"))),
@@ -43,7 +43,12 @@ fn main() {
                 let t = to.map(|p| p.to_string()).unwrap_or_else(|| "-".into());
                 Some((at, format!("{node} best route {f} -> {t}")))
             }
-            TraceEvent::Delivered { at, from, to, paths } => {
+            TraceEvent::Delivered {
+                at,
+                from,
+                to,
+                paths,
+            } => {
                 let set = if paths.is_empty() {
                     "withdraw".to_string()
                 } else {

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaptive-2e8c9bd66265e06e.d: crates/bench/benches/adaptive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptive-2e8c9bd66265e06e.rmeta: crates/bench/benches/adaptive.rs Cargo.toml
+
+crates/bench/benches/adaptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

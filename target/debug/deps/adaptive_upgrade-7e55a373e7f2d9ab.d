@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive_upgrade-7e55a373e7f2d9ab.d: tests/adaptive_upgrade.rs
+
+/root/repo/target/debug/deps/adaptive_upgrade-7e55a373e7f2d9ab: tests/adaptive_upgrade.rs
+
+tests/adaptive_upgrade.rs:

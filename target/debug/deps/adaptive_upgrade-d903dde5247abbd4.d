@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaptive_upgrade-d903dde5247abbd4.d: tests/adaptive_upgrade.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptive_upgrade-d903dde5247abbd4.rmeta: tests/adaptive_upgrade.rs Cargo.toml
+
+tests/adaptive_upgrade.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

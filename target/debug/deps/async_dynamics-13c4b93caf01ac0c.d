@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/async_dynamics-13c4b93caf01ac0c.d: tests/async_dynamics.rs
+
+/root/repo/target/debug/deps/async_dynamics-13c4b93caf01ac0c: tests/async_dynamics.rs
+
+tests/async_dynamics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/async_dynamics-3f892c6c91eec59c.d: tests/async_dynamics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libasync_dynamics-3f892c6c91eec59c.rmeta: tests/async_dynamics.rs Cargo.toml
+
+tests/async_dynamics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_integration-7b68292acbc8e578.d: crates/cli/tests/cli_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_integration-7b68292acbc8e578.rmeta: crates/cli/tests/cli_integration.rs Cargo.toml
+
+crates/cli/tests/cli_integration.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_ibgp-cli=placeholder:ibgp-cli
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_integration-a529b910e0596c02.d: crates/cli/tests/cli_integration.rs
+
+/root/repo/target/debug/deps/cli_integration-a529b910e0596c02: crates/cli/tests/cli_integration.rs
+
+crates/cli/tests/cli_integration.rs:
+
+# env-dep:CARGO_BIN_EXE_ibgp-cli=/root/repo/target/debug/ibgp-cli

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/confederations-f8ba0b8e4f80d6b0.d: crates/bench/benches/confederations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfederations-f8ba0b8e4f80d6b0.rmeta: crates/bench/benches/confederations.rs Cargo.toml
+
+crates/bench/benches/confederations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

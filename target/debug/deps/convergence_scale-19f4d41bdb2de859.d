@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/convergence_scale-19f4d41bdb2de859.d: crates/bench/benches/convergence_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconvergence_scale-19f4d41bdb2de859.rmeta: crates/bench/benches/convergence_scale.rs Cargo.toml
+
+crates/bench/benches/convergence_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

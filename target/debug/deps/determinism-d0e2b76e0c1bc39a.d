@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-d0e2b76e0c1bc39a.d: crates/bench/benches/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-d0e2b76e0c1bc39a.rmeta: crates/bench/benches/determinism.rs Cargo.toml
+
+crates/bench/benches/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-dd5d9a6d0c4f116a.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-dd5d9a6d0c4f116a: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

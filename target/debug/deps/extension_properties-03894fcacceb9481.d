@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extension_properties-03894fcacceb9481.d: tests/extension_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextension_properties-03894fcacceb9481.rmeta: tests/extension_properties.rs Cargo.toml
+
+tests/extension_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

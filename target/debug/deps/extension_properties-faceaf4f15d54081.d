@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_properties-faceaf4f15d54081.d: tests/extension_properties.rs
+
+/root/repo/target/debug/deps/extension_properties-faceaf4f15d54081: tests/extension_properties.rs
+
+tests/extension_properties.rs:

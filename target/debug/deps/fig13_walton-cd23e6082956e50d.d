@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_walton-cd23e6082956e50d.d: crates/bench/benches/fig13_walton.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_walton-cd23e6082956e50d.rmeta: crates/bench/benches/fig13_walton.rs Cargo.toml
+
+crates/bench/benches/fig13_walton.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_loops-aee298af4b7b3a37.d: crates/bench/benches/fig14_loops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_loops-aee298af4b7b3a37.rmeta: crates/bench/benches/fig14_loops.rs Cargo.toml
+
+crates/bench/benches/fig14_loops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1a-1197e5df6dbbf7fa.d: crates/bench/benches/fig1a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1a-1197e5df6dbbf7fa.rmeta: crates/bench/benches/fig1a.rs Cargo.toml
+
+crates/bench/benches/fig1a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

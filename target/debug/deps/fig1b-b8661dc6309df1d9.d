@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1b-b8661dc6309df1d9.d: crates/bench/benches/fig1b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1b-b8661dc6309df1d9.rmeta: crates/bench/benches/fig1b.rs Cargo.toml
+
+crates/bench/benches/fig1b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

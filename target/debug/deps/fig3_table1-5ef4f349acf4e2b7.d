@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_table1-5ef4f349acf4e2b7.d: crates/bench/benches/fig3_table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_table1-5ef4f349acf4e2b7.rmeta: crates/bench/benches/fig3_table1.rs Cargo.toml
+
+crates/bench/benches/fig3_table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

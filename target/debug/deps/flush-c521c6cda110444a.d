@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flush-c521c6cda110444a.d: crates/bench/benches/flush.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflush-c521c6cda110444a.rmeta: crates/bench/benches/flush.rs Cargo.toml
+
+crates/bench/benches/flush.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

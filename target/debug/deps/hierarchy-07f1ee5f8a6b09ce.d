@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hierarchy-07f1ee5f8a6b09ce.d: crates/bench/benches/hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhierarchy-07f1ee5f8a6b09ce.rmeta: crates/bench/benches/hierarchy.rs Cargo.toml
+
+crates/bench/benches/hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ibgp-21cddbf51a10cee7.d: crates/core/src/lib.rs crates/core/src/network.rs crates/core/src/report.rs crates/core/src/theorems.rs
+
+/root/repo/target/debug/deps/ibgp-21cddbf51a10cee7: crates/core/src/lib.rs crates/core/src/network.rs crates/core/src/report.rs crates/core/src/theorems.rs
+
+crates/core/src/lib.rs:
+crates/core/src/network.rs:
+crates/core/src/report.rs:
+crates/core/src/theorems.rs:

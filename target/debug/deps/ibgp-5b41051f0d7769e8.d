@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ibgp-5b41051f0d7769e8.d: crates/core/src/lib.rs crates/core/src/network.rs crates/core/src/report.rs crates/core/src/theorems.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibgp-5b41051f0d7769e8.rmeta: crates/core/src/lib.rs crates/core/src/network.rs crates/core/src/report.rs crates/core/src/theorems.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/network.rs:
+crates/core/src/report.rs:
+crates/core/src/theorems.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ibgp-996b47f97fb4ffa7.d: crates/core/src/lib.rs crates/core/src/network.rs crates/core/src/report.rs crates/core/src/theorems.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibgp-996b47f97fb4ffa7.rmeta: crates/core/src/lib.rs crates/core/src/network.rs crates/core/src/report.rs crates/core/src/theorems.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/network.rs:
+crates/core/src/report.rs:
+crates/core/src/theorems.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ibgp-ba27bb1fec42a373.d: crates/core/src/lib.rs crates/core/src/network.rs crates/core/src/report.rs crates/core/src/theorems.rs
+
+/root/repo/target/debug/deps/libibgp-ba27bb1fec42a373.rlib: crates/core/src/lib.rs crates/core/src/network.rs crates/core/src/report.rs crates/core/src/theorems.rs
+
+/root/repo/target/debug/deps/libibgp-ba27bb1fec42a373.rmeta: crates/core/src/lib.rs crates/core/src/network.rs crates/core/src/report.rs crates/core/src/theorems.rs
+
+crates/core/src/lib.rs:
+crates/core/src/network.rs:
+crates/core/src/report.rs:
+crates/core/src/theorems.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ibgp_analysis-3ea5c73cdd135362.d: crates/analysis/src/lib.rs crates/analysis/src/determinism.rs crates/analysis/src/flush.rs crates/analysis/src/forwarding.rs crates/analysis/src/oscillation.rs crates/analysis/src/reachability.rs crates/analysis/src/stable.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibgp_analysis-3ea5c73cdd135362.rmeta: crates/analysis/src/lib.rs crates/analysis/src/determinism.rs crates/analysis/src/flush.rs crates/analysis/src/forwarding.rs crates/analysis/src/oscillation.rs crates/analysis/src/reachability.rs crates/analysis/src/stable.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/determinism.rs:
+crates/analysis/src/flush.rs:
+crates/analysis/src/forwarding.rs:
+crates/analysis/src/oscillation.rs:
+crates/analysis/src/reachability.rs:
+crates/analysis/src/stable.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ibgp_analysis-6934a2d3e1db779b.d: crates/analysis/src/lib.rs crates/analysis/src/determinism.rs crates/analysis/src/flush.rs crates/analysis/src/forwarding.rs crates/analysis/src/oscillation.rs crates/analysis/src/reachability.rs crates/analysis/src/stable.rs
+
+/root/repo/target/debug/deps/libibgp_analysis-6934a2d3e1db779b.rlib: crates/analysis/src/lib.rs crates/analysis/src/determinism.rs crates/analysis/src/flush.rs crates/analysis/src/forwarding.rs crates/analysis/src/oscillation.rs crates/analysis/src/reachability.rs crates/analysis/src/stable.rs
+
+/root/repo/target/debug/deps/libibgp_analysis-6934a2d3e1db779b.rmeta: crates/analysis/src/lib.rs crates/analysis/src/determinism.rs crates/analysis/src/flush.rs crates/analysis/src/forwarding.rs crates/analysis/src/oscillation.rs crates/analysis/src/reachability.rs crates/analysis/src/stable.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/determinism.rs:
+crates/analysis/src/flush.rs:
+crates/analysis/src/forwarding.rs:
+crates/analysis/src/oscillation.rs:
+crates/analysis/src/reachability.rs:
+crates/analysis/src/stable.rs:

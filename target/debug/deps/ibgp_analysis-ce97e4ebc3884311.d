@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ibgp_analysis-ce97e4ebc3884311.d: crates/analysis/src/lib.rs crates/analysis/src/determinism.rs crates/analysis/src/flush.rs crates/analysis/src/forwarding.rs crates/analysis/src/oscillation.rs crates/analysis/src/reachability.rs crates/analysis/src/stable.rs
+
+/root/repo/target/debug/deps/ibgp_analysis-ce97e4ebc3884311: crates/analysis/src/lib.rs crates/analysis/src/determinism.rs crates/analysis/src/flush.rs crates/analysis/src/forwarding.rs crates/analysis/src/oscillation.rs crates/analysis/src/reachability.rs crates/analysis/src/stable.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/determinism.rs:
+crates/analysis/src/flush.rs:
+crates/analysis/src/forwarding.rs:
+crates/analysis/src/oscillation.rs:
+crates/analysis/src/reachability.rs:
+crates/analysis/src/stable.rs:

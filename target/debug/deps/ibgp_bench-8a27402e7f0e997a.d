@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ibgp_bench-8a27402e7f0e997a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibgp_bench-8a27402e7f0e997a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ibgp_bench-adeac7b77e13cade.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibgp_bench-adeac7b77e13cade.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

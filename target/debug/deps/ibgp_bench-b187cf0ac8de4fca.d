@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ibgp_bench-b187cf0ac8de4fca.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ibgp_bench-b187cf0ac8de4fca: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

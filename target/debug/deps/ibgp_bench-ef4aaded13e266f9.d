@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ibgp_bench-ef4aaded13e266f9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libibgp_bench-ef4aaded13e266f9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libibgp_bench-ef4aaded13e266f9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ibgp_cli-4cbcc3c03d54e6a9.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/ibgp_cli-4cbcc3c03d54e6a9: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ibgp_cli-8f7763d5cbe5bbaa.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/ibgp_cli-8f7763d5cbe5bbaa: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ibgp_confed-0275f15d31c92b8a.d: crates/confed/src/lib.rs crates/confed/src/announcement.rs crates/confed/src/engine.rs crates/confed/src/random.rs crates/confed/src/scenarios.rs crates/confed/src/search.rs crates/confed/src/topology.rs
+
+/root/repo/target/debug/deps/ibgp_confed-0275f15d31c92b8a: crates/confed/src/lib.rs crates/confed/src/announcement.rs crates/confed/src/engine.rs crates/confed/src/random.rs crates/confed/src/scenarios.rs crates/confed/src/search.rs crates/confed/src/topology.rs
+
+crates/confed/src/lib.rs:
+crates/confed/src/announcement.rs:
+crates/confed/src/engine.rs:
+crates/confed/src/random.rs:
+crates/confed/src/scenarios.rs:
+crates/confed/src/search.rs:
+crates/confed/src/topology.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ibgp_confed-39aef1a8574d3f1f.d: crates/confed/src/lib.rs crates/confed/src/announcement.rs crates/confed/src/engine.rs crates/confed/src/random.rs crates/confed/src/scenarios.rs crates/confed/src/search.rs crates/confed/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibgp_confed-39aef1a8574d3f1f.rmeta: crates/confed/src/lib.rs crates/confed/src/announcement.rs crates/confed/src/engine.rs crates/confed/src/random.rs crates/confed/src/scenarios.rs crates/confed/src/search.rs crates/confed/src/topology.rs Cargo.toml
+
+crates/confed/src/lib.rs:
+crates/confed/src/announcement.rs:
+crates/confed/src/engine.rs:
+crates/confed/src/random.rs:
+crates/confed/src/scenarios.rs:
+crates/confed/src/search.rs:
+crates/confed/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ibgp_confed-a7c10fbe40827dd4.d: crates/confed/src/lib.rs crates/confed/src/announcement.rs crates/confed/src/engine.rs crates/confed/src/random.rs crates/confed/src/scenarios.rs crates/confed/src/search.rs crates/confed/src/topology.rs
+
+/root/repo/target/debug/deps/libibgp_confed-a7c10fbe40827dd4.rlib: crates/confed/src/lib.rs crates/confed/src/announcement.rs crates/confed/src/engine.rs crates/confed/src/random.rs crates/confed/src/scenarios.rs crates/confed/src/search.rs crates/confed/src/topology.rs
+
+/root/repo/target/debug/deps/libibgp_confed-a7c10fbe40827dd4.rmeta: crates/confed/src/lib.rs crates/confed/src/announcement.rs crates/confed/src/engine.rs crates/confed/src/random.rs crates/confed/src/scenarios.rs crates/confed/src/search.rs crates/confed/src/topology.rs
+
+crates/confed/src/lib.rs:
+crates/confed/src/announcement.rs:
+crates/confed/src/engine.rs:
+crates/confed/src/random.rs:
+crates/confed/src/scenarios.rs:
+crates/confed/src/search.rs:
+crates/confed/src/topology.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ibgp_hierarchy-8e9f0f72d6afca18.d: crates/hierarchy/src/lib.rs crates/hierarchy/src/engine.rs crates/hierarchy/src/random.rs crates/hierarchy/src/scenarios.rs crates/hierarchy/src/search.rs crates/hierarchy/src/topology.rs
+
+/root/repo/target/debug/deps/ibgp_hierarchy-8e9f0f72d6afca18: crates/hierarchy/src/lib.rs crates/hierarchy/src/engine.rs crates/hierarchy/src/random.rs crates/hierarchy/src/scenarios.rs crates/hierarchy/src/search.rs crates/hierarchy/src/topology.rs
+
+crates/hierarchy/src/lib.rs:
+crates/hierarchy/src/engine.rs:
+crates/hierarchy/src/random.rs:
+crates/hierarchy/src/scenarios.rs:
+crates/hierarchy/src/search.rs:
+crates/hierarchy/src/topology.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ibgp_hierarchy-b98cf10a7edf654e.d: crates/hierarchy/src/lib.rs crates/hierarchy/src/engine.rs crates/hierarchy/src/random.rs crates/hierarchy/src/scenarios.rs crates/hierarchy/src/search.rs crates/hierarchy/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibgp_hierarchy-b98cf10a7edf654e.rmeta: crates/hierarchy/src/lib.rs crates/hierarchy/src/engine.rs crates/hierarchy/src/random.rs crates/hierarchy/src/scenarios.rs crates/hierarchy/src/search.rs crates/hierarchy/src/topology.rs Cargo.toml
+
+crates/hierarchy/src/lib.rs:
+crates/hierarchy/src/engine.rs:
+crates/hierarchy/src/random.rs:
+crates/hierarchy/src/scenarios.rs:
+crates/hierarchy/src/search.rs:
+crates/hierarchy/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

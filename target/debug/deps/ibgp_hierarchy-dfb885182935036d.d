@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ibgp_hierarchy-dfb885182935036d.d: crates/hierarchy/src/lib.rs crates/hierarchy/src/engine.rs crates/hierarchy/src/random.rs crates/hierarchy/src/scenarios.rs crates/hierarchy/src/search.rs crates/hierarchy/src/topology.rs
+
+/root/repo/target/debug/deps/libibgp_hierarchy-dfb885182935036d.rlib: crates/hierarchy/src/lib.rs crates/hierarchy/src/engine.rs crates/hierarchy/src/random.rs crates/hierarchy/src/scenarios.rs crates/hierarchy/src/search.rs crates/hierarchy/src/topology.rs
+
+/root/repo/target/debug/deps/libibgp_hierarchy-dfb885182935036d.rmeta: crates/hierarchy/src/lib.rs crates/hierarchy/src/engine.rs crates/hierarchy/src/random.rs crates/hierarchy/src/scenarios.rs crates/hierarchy/src/search.rs crates/hierarchy/src/topology.rs
+
+crates/hierarchy/src/lib.rs:
+crates/hierarchy/src/engine.rs:
+crates/hierarchy/src/random.rs:
+crates/hierarchy/src/scenarios.rs:
+crates/hierarchy/src/search.rs:
+crates/hierarchy/src/topology.rs:

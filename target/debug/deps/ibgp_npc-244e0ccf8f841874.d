@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ibgp_npc-244e0ccf8f841874.d: crates/npc/src/lib.rs crates/npc/src/dpll.rs crates/npc/src/extract.rs crates/npc/src/reduction.rs crates/npc/src/sat.rs crates/npc/src/verify.rs
+
+/root/repo/target/debug/deps/ibgp_npc-244e0ccf8f841874: crates/npc/src/lib.rs crates/npc/src/dpll.rs crates/npc/src/extract.rs crates/npc/src/reduction.rs crates/npc/src/sat.rs crates/npc/src/verify.rs
+
+crates/npc/src/lib.rs:
+crates/npc/src/dpll.rs:
+crates/npc/src/extract.rs:
+crates/npc/src/reduction.rs:
+crates/npc/src/sat.rs:
+crates/npc/src/verify.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ibgp_npc-4296fee0293386c0.d: crates/npc/src/lib.rs crates/npc/src/dpll.rs crates/npc/src/extract.rs crates/npc/src/reduction.rs crates/npc/src/sat.rs crates/npc/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibgp_npc-4296fee0293386c0.rmeta: crates/npc/src/lib.rs crates/npc/src/dpll.rs crates/npc/src/extract.rs crates/npc/src/reduction.rs crates/npc/src/sat.rs crates/npc/src/verify.rs Cargo.toml
+
+crates/npc/src/lib.rs:
+crates/npc/src/dpll.rs:
+crates/npc/src/extract.rs:
+crates/npc/src/reduction.rs:
+crates/npc/src/sat.rs:
+crates/npc/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ibgp_npc-66c06dec9fbc4e6e.d: crates/npc/src/lib.rs crates/npc/src/dpll.rs crates/npc/src/extract.rs crates/npc/src/reduction.rs crates/npc/src/sat.rs crates/npc/src/verify.rs
+
+/root/repo/target/debug/deps/libibgp_npc-66c06dec9fbc4e6e.rlib: crates/npc/src/lib.rs crates/npc/src/dpll.rs crates/npc/src/extract.rs crates/npc/src/reduction.rs crates/npc/src/sat.rs crates/npc/src/verify.rs
+
+/root/repo/target/debug/deps/libibgp_npc-66c06dec9fbc4e6e.rmeta: crates/npc/src/lib.rs crates/npc/src/dpll.rs crates/npc/src/extract.rs crates/npc/src/reduction.rs crates/npc/src/sat.rs crates/npc/src/verify.rs
+
+crates/npc/src/lib.rs:
+crates/npc/src/dpll.rs:
+crates/npc/src/extract.rs:
+crates/npc/src/reduction.rs:
+crates/npc/src/sat.rs:
+crates/npc/src/verify.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ibgp_proto-39ca61cdf7d0079d.d: crates/proto/src/lib.rs crates/proto/src/levels.rs crates/proto/src/routes.rs crates/proto/src/selection/mod.rs crates/proto/src/selection/rules.rs crates/proto/src/selection/trace.rs crates/proto/src/transfer.rs crates/proto/src/variants.rs crates/proto/src/walton.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibgp_proto-39ca61cdf7d0079d.rmeta: crates/proto/src/lib.rs crates/proto/src/levels.rs crates/proto/src/routes.rs crates/proto/src/selection/mod.rs crates/proto/src/selection/rules.rs crates/proto/src/selection/trace.rs crates/proto/src/transfer.rs crates/proto/src/variants.rs crates/proto/src/walton.rs Cargo.toml
+
+crates/proto/src/lib.rs:
+crates/proto/src/levels.rs:
+crates/proto/src/routes.rs:
+crates/proto/src/selection/mod.rs:
+crates/proto/src/selection/rules.rs:
+crates/proto/src/selection/trace.rs:
+crates/proto/src/transfer.rs:
+crates/proto/src/variants.rs:
+crates/proto/src/walton.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

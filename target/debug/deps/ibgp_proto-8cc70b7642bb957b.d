@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ibgp_proto-8cc70b7642bb957b.d: crates/proto/src/lib.rs crates/proto/src/levels.rs crates/proto/src/routes.rs crates/proto/src/selection/mod.rs crates/proto/src/selection/rules.rs crates/proto/src/selection/trace.rs crates/proto/src/transfer.rs crates/proto/src/variants.rs crates/proto/src/walton.rs
+
+/root/repo/target/debug/deps/libibgp_proto-8cc70b7642bb957b.rlib: crates/proto/src/lib.rs crates/proto/src/levels.rs crates/proto/src/routes.rs crates/proto/src/selection/mod.rs crates/proto/src/selection/rules.rs crates/proto/src/selection/trace.rs crates/proto/src/transfer.rs crates/proto/src/variants.rs crates/proto/src/walton.rs
+
+/root/repo/target/debug/deps/libibgp_proto-8cc70b7642bb957b.rmeta: crates/proto/src/lib.rs crates/proto/src/levels.rs crates/proto/src/routes.rs crates/proto/src/selection/mod.rs crates/proto/src/selection/rules.rs crates/proto/src/selection/trace.rs crates/proto/src/transfer.rs crates/proto/src/variants.rs crates/proto/src/walton.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/levels.rs:
+crates/proto/src/routes.rs:
+crates/proto/src/selection/mod.rs:
+crates/proto/src/selection/rules.rs:
+crates/proto/src/selection/trace.rs:
+crates/proto/src/transfer.rs:
+crates/proto/src/variants.rs:
+crates/proto/src/walton.rs:

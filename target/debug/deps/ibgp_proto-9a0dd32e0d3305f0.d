@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ibgp_proto-9a0dd32e0d3305f0.d: crates/proto/src/lib.rs crates/proto/src/levels.rs crates/proto/src/routes.rs crates/proto/src/selection/mod.rs crates/proto/src/selection/rules.rs crates/proto/src/selection/trace.rs crates/proto/src/selection/tests.rs crates/proto/src/transfer.rs crates/proto/src/variants.rs crates/proto/src/walton.rs
+
+/root/repo/target/debug/deps/ibgp_proto-9a0dd32e0d3305f0: crates/proto/src/lib.rs crates/proto/src/levels.rs crates/proto/src/routes.rs crates/proto/src/selection/mod.rs crates/proto/src/selection/rules.rs crates/proto/src/selection/trace.rs crates/proto/src/selection/tests.rs crates/proto/src/transfer.rs crates/proto/src/variants.rs crates/proto/src/walton.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/levels.rs:
+crates/proto/src/routes.rs:
+crates/proto/src/selection/mod.rs:
+crates/proto/src/selection/rules.rs:
+crates/proto/src/selection/trace.rs:
+crates/proto/src/selection/tests.rs:
+crates/proto/src/transfer.rs:
+crates/proto/src/variants.rs:
+crates/proto/src/walton.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ibgp_proto-f85229a3c0a51acc.d: crates/proto/src/lib.rs crates/proto/src/levels.rs crates/proto/src/routes.rs crates/proto/src/selection/mod.rs crates/proto/src/selection/rules.rs crates/proto/src/selection/trace.rs crates/proto/src/selection/tests.rs crates/proto/src/transfer.rs crates/proto/src/variants.rs crates/proto/src/walton.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibgp_proto-f85229a3c0a51acc.rmeta: crates/proto/src/lib.rs crates/proto/src/levels.rs crates/proto/src/routes.rs crates/proto/src/selection/mod.rs crates/proto/src/selection/rules.rs crates/proto/src/selection/trace.rs crates/proto/src/selection/tests.rs crates/proto/src/transfer.rs crates/proto/src/variants.rs crates/proto/src/walton.rs Cargo.toml
+
+crates/proto/src/lib.rs:
+crates/proto/src/levels.rs:
+crates/proto/src/routes.rs:
+crates/proto/src/selection/mod.rs:
+crates/proto/src/selection/rules.rs:
+crates/proto/src/selection/trace.rs:
+crates/proto/src/selection/tests.rs:
+crates/proto/src/transfer.rs:
+crates/proto/src/variants.rs:
+crates/proto/src/walton.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ibgp_repro-09bef4fadce68447.d: src/lib.rs
+
+/root/repo/target/debug/deps/ibgp_repro-09bef4fadce68447: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ibgp_repro-8da3b32f5612b58a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibgp_repro-8da3b32f5612b58a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ibgp_repro-92d6c210d3109cb6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libibgp_repro-92d6c210d3109cb6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libibgp_repro-92d6c210d3109cb6.rmeta: src/lib.rs
+
+src/lib.rs:

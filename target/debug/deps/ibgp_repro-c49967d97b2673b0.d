@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ibgp_repro-c49967d97b2673b0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibgp_repro-c49967d97b2673b0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

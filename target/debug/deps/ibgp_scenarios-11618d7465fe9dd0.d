@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ibgp_scenarios-11618d7465fe9dd0.d: crates/scenarios/src/lib.rs crates/scenarios/src/catalog.rs crates/scenarios/src/fig12.rs crates/scenarios/src/fig13.rs crates/scenarios/src/fig14.rs crates/scenarios/src/fig1a.rs crates/scenarios/src/fig1b.rs crates/scenarios/src/fig2.rs crates/scenarios/src/fig3.rs crates/scenarios/src/random.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibgp_scenarios-11618d7465fe9dd0.rmeta: crates/scenarios/src/lib.rs crates/scenarios/src/catalog.rs crates/scenarios/src/fig12.rs crates/scenarios/src/fig13.rs crates/scenarios/src/fig14.rs crates/scenarios/src/fig1a.rs crates/scenarios/src/fig1b.rs crates/scenarios/src/fig2.rs crates/scenarios/src/fig3.rs crates/scenarios/src/random.rs Cargo.toml
+
+crates/scenarios/src/lib.rs:
+crates/scenarios/src/catalog.rs:
+crates/scenarios/src/fig12.rs:
+crates/scenarios/src/fig13.rs:
+crates/scenarios/src/fig14.rs:
+crates/scenarios/src/fig1a.rs:
+crates/scenarios/src/fig1b.rs:
+crates/scenarios/src/fig2.rs:
+crates/scenarios/src/fig3.rs:
+crates/scenarios/src/random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ibgp_scenarios-819b5f15c3125d2e.d: crates/scenarios/src/lib.rs crates/scenarios/src/catalog.rs crates/scenarios/src/fig12.rs crates/scenarios/src/fig13.rs crates/scenarios/src/fig14.rs crates/scenarios/src/fig1a.rs crates/scenarios/src/fig1b.rs crates/scenarios/src/fig2.rs crates/scenarios/src/fig3.rs crates/scenarios/src/random.rs
+
+/root/repo/target/debug/deps/ibgp_scenarios-819b5f15c3125d2e: crates/scenarios/src/lib.rs crates/scenarios/src/catalog.rs crates/scenarios/src/fig12.rs crates/scenarios/src/fig13.rs crates/scenarios/src/fig14.rs crates/scenarios/src/fig1a.rs crates/scenarios/src/fig1b.rs crates/scenarios/src/fig2.rs crates/scenarios/src/fig3.rs crates/scenarios/src/random.rs
+
+crates/scenarios/src/lib.rs:
+crates/scenarios/src/catalog.rs:
+crates/scenarios/src/fig12.rs:
+crates/scenarios/src/fig13.rs:
+crates/scenarios/src/fig14.rs:
+crates/scenarios/src/fig1a.rs:
+crates/scenarios/src/fig1b.rs:
+crates/scenarios/src/fig2.rs:
+crates/scenarios/src/fig3.rs:
+crates/scenarios/src/random.rs:

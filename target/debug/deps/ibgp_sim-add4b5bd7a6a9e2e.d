@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ibgp_sim-add4b5bd7a6a9e2e.d: crates/sim/src/lib.rs crates/sim/src/activation.rs crates/sim/src/async_engine/mod.rs crates/sim/src/async_engine/adaptive.rs crates/sim/src/async_engine/delay.rs crates/sim/src/async_engine/event.rs crates/sim/src/async_engine/trace.rs crates/sim/src/metrics.rs crates/sim/src/multi.rs crates/sim/src/signature.rs crates/sim/src/sync.rs
+
+/root/repo/target/debug/deps/libibgp_sim-add4b5bd7a6a9e2e.rlib: crates/sim/src/lib.rs crates/sim/src/activation.rs crates/sim/src/async_engine/mod.rs crates/sim/src/async_engine/adaptive.rs crates/sim/src/async_engine/delay.rs crates/sim/src/async_engine/event.rs crates/sim/src/async_engine/trace.rs crates/sim/src/metrics.rs crates/sim/src/multi.rs crates/sim/src/signature.rs crates/sim/src/sync.rs
+
+/root/repo/target/debug/deps/libibgp_sim-add4b5bd7a6a9e2e.rmeta: crates/sim/src/lib.rs crates/sim/src/activation.rs crates/sim/src/async_engine/mod.rs crates/sim/src/async_engine/adaptive.rs crates/sim/src/async_engine/delay.rs crates/sim/src/async_engine/event.rs crates/sim/src/async_engine/trace.rs crates/sim/src/metrics.rs crates/sim/src/multi.rs crates/sim/src/signature.rs crates/sim/src/sync.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/activation.rs:
+crates/sim/src/async_engine/mod.rs:
+crates/sim/src/async_engine/adaptive.rs:
+crates/sim/src/async_engine/delay.rs:
+crates/sim/src/async_engine/event.rs:
+crates/sim/src/async_engine/trace.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/multi.rs:
+crates/sim/src/signature.rs:
+crates/sim/src/sync.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ibgp_sim-c58cb1477898c78e.d: crates/sim/src/lib.rs crates/sim/src/activation.rs crates/sim/src/async_engine/mod.rs crates/sim/src/async_engine/adaptive.rs crates/sim/src/async_engine/delay.rs crates/sim/src/async_engine/event.rs crates/sim/src/async_engine/trace.rs crates/sim/src/async_engine/tests.rs crates/sim/src/metrics.rs crates/sim/src/multi.rs crates/sim/src/signature.rs crates/sim/src/sync.rs
+
+/root/repo/target/debug/deps/ibgp_sim-c58cb1477898c78e: crates/sim/src/lib.rs crates/sim/src/activation.rs crates/sim/src/async_engine/mod.rs crates/sim/src/async_engine/adaptive.rs crates/sim/src/async_engine/delay.rs crates/sim/src/async_engine/event.rs crates/sim/src/async_engine/trace.rs crates/sim/src/async_engine/tests.rs crates/sim/src/metrics.rs crates/sim/src/multi.rs crates/sim/src/signature.rs crates/sim/src/sync.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/activation.rs:
+crates/sim/src/async_engine/mod.rs:
+crates/sim/src/async_engine/adaptive.rs:
+crates/sim/src/async_engine/delay.rs:
+crates/sim/src/async_engine/event.rs:
+crates/sim/src/async_engine/trace.rs:
+crates/sim/src/async_engine/tests.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/multi.rs:
+crates/sim/src/signature.rs:
+crates/sim/src/sync.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ibgp_sim-de1c565242ae0d2e.d: crates/sim/src/lib.rs crates/sim/src/activation.rs crates/sim/src/async_engine/mod.rs crates/sim/src/async_engine/adaptive.rs crates/sim/src/async_engine/delay.rs crates/sim/src/async_engine/event.rs crates/sim/src/async_engine/trace.rs crates/sim/src/metrics.rs crates/sim/src/multi.rs crates/sim/src/signature.rs crates/sim/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibgp_sim-de1c565242ae0d2e.rmeta: crates/sim/src/lib.rs crates/sim/src/activation.rs crates/sim/src/async_engine/mod.rs crates/sim/src/async_engine/adaptive.rs crates/sim/src/async_engine/delay.rs crates/sim/src/async_engine/event.rs crates/sim/src/async_engine/trace.rs crates/sim/src/metrics.rs crates/sim/src/multi.rs crates/sim/src/signature.rs crates/sim/src/sync.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/activation.rs:
+crates/sim/src/async_engine/mod.rs:
+crates/sim/src/async_engine/adaptive.rs:
+crates/sim/src/async_engine/delay.rs:
+crates/sim/src/async_engine/event.rs:
+crates/sim/src/async_engine/trace.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/multi.rs:
+crates/sim/src/signature.rs:
+crates/sim/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ibgp_topology-077ea1aeb84ee08f.d: crates/topology/src/lib.rs crates/topology/src/builder.rs crates/topology/src/error.rs crates/topology/src/logical.rs crates/topology/src/physical.rs crates/topology/src/spf.rs crates/topology/src/viz.rs
+
+/root/repo/target/debug/deps/ibgp_topology-077ea1aeb84ee08f: crates/topology/src/lib.rs crates/topology/src/builder.rs crates/topology/src/error.rs crates/topology/src/logical.rs crates/topology/src/physical.rs crates/topology/src/spf.rs crates/topology/src/viz.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/builder.rs:
+crates/topology/src/error.rs:
+crates/topology/src/logical.rs:
+crates/topology/src/physical.rs:
+crates/topology/src/spf.rs:
+crates/topology/src/viz.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ibgp_topology-3f56061edff65450.d: crates/topology/src/lib.rs crates/topology/src/builder.rs crates/topology/src/error.rs crates/topology/src/logical.rs crates/topology/src/physical.rs crates/topology/src/spf.rs crates/topology/src/viz.rs
+
+/root/repo/target/debug/deps/libibgp_topology-3f56061edff65450.rlib: crates/topology/src/lib.rs crates/topology/src/builder.rs crates/topology/src/error.rs crates/topology/src/logical.rs crates/topology/src/physical.rs crates/topology/src/spf.rs crates/topology/src/viz.rs
+
+/root/repo/target/debug/deps/libibgp_topology-3f56061edff65450.rmeta: crates/topology/src/lib.rs crates/topology/src/builder.rs crates/topology/src/error.rs crates/topology/src/logical.rs crates/topology/src/physical.rs crates/topology/src/spf.rs crates/topology/src/viz.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/builder.rs:
+crates/topology/src/error.rs:
+crates/topology/src/logical.rs:
+crates/topology/src/physical.rs:
+crates/topology/src/spf.rs:
+crates/topology/src/viz.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ibgp_topology-c53467fbc17675ba.d: crates/topology/src/lib.rs crates/topology/src/builder.rs crates/topology/src/error.rs crates/topology/src/logical.rs crates/topology/src/physical.rs crates/topology/src/spf.rs crates/topology/src/viz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibgp_topology-c53467fbc17675ba.rmeta: crates/topology/src/lib.rs crates/topology/src/builder.rs crates/topology/src/error.rs crates/topology/src/logical.rs crates/topology/src/physical.rs crates/topology/src/spf.rs crates/topology/src/viz.rs Cargo.toml
+
+crates/topology/src/lib.rs:
+crates/topology/src/builder.rs:
+crates/topology/src/error.rs:
+crates/topology/src/logical.rs:
+crates/topology/src/physical.rs:
+crates/topology/src/spf.rs:
+crates/topology/src/viz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

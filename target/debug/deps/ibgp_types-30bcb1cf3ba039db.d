@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ibgp_types-30bcb1cf3ba039db.d: crates/types/src/lib.rs crates/types/src/as_path.rs crates/types/src/attrs.rs crates/types/src/error.rs crates/types/src/exit_path.rs crates/types/src/ids.rs crates/types/src/next_hop.rs crates/types/src/prefix.rs crates/types/src/route.rs
+
+/root/repo/target/debug/deps/libibgp_types-30bcb1cf3ba039db.rlib: crates/types/src/lib.rs crates/types/src/as_path.rs crates/types/src/attrs.rs crates/types/src/error.rs crates/types/src/exit_path.rs crates/types/src/ids.rs crates/types/src/next_hop.rs crates/types/src/prefix.rs crates/types/src/route.rs
+
+/root/repo/target/debug/deps/libibgp_types-30bcb1cf3ba039db.rmeta: crates/types/src/lib.rs crates/types/src/as_path.rs crates/types/src/attrs.rs crates/types/src/error.rs crates/types/src/exit_path.rs crates/types/src/ids.rs crates/types/src/next_hop.rs crates/types/src/prefix.rs crates/types/src/route.rs
+
+crates/types/src/lib.rs:
+crates/types/src/as_path.rs:
+crates/types/src/attrs.rs:
+crates/types/src/error.rs:
+crates/types/src/exit_path.rs:
+crates/types/src/ids.rs:
+crates/types/src/next_hop.rs:
+crates/types/src/prefix.rs:
+crates/types/src/route.rs:

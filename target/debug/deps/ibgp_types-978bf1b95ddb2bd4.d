@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ibgp_types-978bf1b95ddb2bd4.d: crates/types/src/lib.rs crates/types/src/as_path.rs crates/types/src/attrs.rs crates/types/src/error.rs crates/types/src/exit_path.rs crates/types/src/ids.rs crates/types/src/next_hop.rs crates/types/src/prefix.rs crates/types/src/route.rs Cargo.toml
+
+/root/repo/target/debug/deps/libibgp_types-978bf1b95ddb2bd4.rmeta: crates/types/src/lib.rs crates/types/src/as_path.rs crates/types/src/attrs.rs crates/types/src/error.rs crates/types/src/exit_path.rs crates/types/src/ids.rs crates/types/src/next_hop.rs crates/types/src/prefix.rs crates/types/src/route.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/as_path.rs:
+crates/types/src/attrs.rs:
+crates/types/src/error.rs:
+crates/types/src/exit_path.rs:
+crates/types/src/ids.rs:
+crates/types/src/next_hop.rs:
+crates/types/src/prefix.rs:
+crates/types/src/route.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ibgp_types-e1f973c3f7ea20b1.d: crates/types/src/lib.rs crates/types/src/as_path.rs crates/types/src/attrs.rs crates/types/src/error.rs crates/types/src/exit_path.rs crates/types/src/ids.rs crates/types/src/next_hop.rs crates/types/src/prefix.rs crates/types/src/route.rs
+
+/root/repo/target/debug/deps/ibgp_types-e1f973c3f7ea20b1: crates/types/src/lib.rs crates/types/src/as_path.rs crates/types/src/attrs.rs crates/types/src/error.rs crates/types/src/exit_path.rs crates/types/src/ids.rs crates/types/src/next_hop.rs crates/types/src/prefix.rs crates/types/src/route.rs
+
+crates/types/src/lib.rs:
+crates/types/src/as_path.rs:
+crates/types/src/attrs.rs:
+crates/types/src/error.rs:
+crates/types/src/exit_path.rs:
+crates/types/src/ids.rs:
+crates/types/src/next_hop.rs:
+crates/types/src/prefix.rs:
+crates/types/src/route.rs:

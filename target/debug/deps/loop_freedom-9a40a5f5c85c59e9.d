@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loop_freedom-9a40a5f5c85c59e9.d: crates/bench/benches/loop_freedom.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloop_freedom-9a40a5f5c85c59e9.rmeta: crates/bench/benches/loop_freedom.rs Cargo.toml
+
+crates/bench/benches/loop_freedom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memo_equivalence-23d03f2098308a49.d: crates/sim/tests/memo_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemo_equivalence-23d03f2098308a49.rmeta: crates/sim/tests/memo_equivalence.rs Cargo.toml
+
+crates/sim/tests/memo_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

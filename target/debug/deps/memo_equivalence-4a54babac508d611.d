@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memo_equivalence-4a54babac508d611.d: crates/sim/tests/memo_equivalence.rs
+
+/root/repo/target/debug/deps/memo_equivalence-4a54babac508d611: crates/sim/tests/memo_equivalence.rs
+
+crates/sim/tests/memo_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/npc_equivalence-e6688161d800efa3.d: tests/npc_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnpc_equivalence-e6688161d800efa3.rmeta: tests/npc_equivalence.rs Cargo.toml
+
+tests/npc_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

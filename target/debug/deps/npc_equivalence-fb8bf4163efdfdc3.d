@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/npc_equivalence-fb8bf4163efdfdc3.d: tests/npc_equivalence.rs
+
+/root/repo/target/debug/deps/npc_equivalence-fb8bf4163efdfdc3: tests/npc_equivalence.rs
+
+tests/npc_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/npc_reduction-ae314840bbf0a8b9.d: crates/bench/benches/npc_reduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnpc_reduction-ae314840bbf0a8b9.rmeta: crates/bench/benches/npc_reduction.rs Cargo.toml
+
+crates/bench/benches/npc_reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overhead-205e90733502e6cb.d: crates/bench/benches/overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverhead-205e90733502e6cb.rmeta: crates/bench/benches/overhead.rs Cargo.toml
+
+crates/bench/benches/overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

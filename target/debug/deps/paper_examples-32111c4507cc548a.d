@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-32111c4507cc548a.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-32111c4507cc548a: tests/paper_examples.rs
+
+tests/paper_examples.rs:

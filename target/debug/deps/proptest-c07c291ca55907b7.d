@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-c07c291ca55907b7.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c07c291ca55907b7.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c07c291ca55907b7.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-dca0c3a7f8399cea.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-dca0c3a7f8399cea: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

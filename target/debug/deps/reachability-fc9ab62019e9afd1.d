@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reachability-fc9ab62019e9afd1.d: crates/bench/benches/reachability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreachability-fc9ab62019e9afd1.rmeta: crates/bench/benches/reachability.rs Cargo.toml
+
+crates/bench/benches/reachability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/selection-7341cb8224d91cea.d: crates/bench/benches/selection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libselection-7341cb8224d91cea.rmeta: crates/bench/benches/selection.rs Cargo.toml
+
+crates/bench/benches/selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/selection_properties-501fde8ae36c01b7.d: tests/selection_properties.rs
+
+/root/repo/target/debug/deps/selection_properties-501fde8ae36c01b7: tests/selection_properties.rs
+
+tests/selection_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/selection_properties-580a3d7dc6bd5865.d: tests/selection_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libselection_properties-580a3d7dc6bd5865.rmeta: tests/selection_properties.rs Cargo.toml
+
+tests/selection_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-117cbe17ade5088b.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-117cbe17ade5088b: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-2143b21c5bcd0c98.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2143b21c5bcd0c98.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2143b21c5bcd0c98.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-37757d5a1ed46bbd.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-37757d5a1ed46bbd: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-f595bf5d56e4e403.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-f595bf5d56e4e403.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-f595bf5d56e4e403.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

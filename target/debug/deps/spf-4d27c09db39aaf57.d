@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spf-4d27c09db39aaf57.d: crates/bench/benches/spf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspf-4d27c09db39aaf57.rmeta: crates/bench/benches/spf.rs Cargo.toml
+
+crates/bench/benches/spf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spf_properties-8030fcb2665e48e9.d: crates/topology/tests/spf_properties.rs
+
+/root/repo/target/debug/deps/spf_properties-8030fcb2665e48e9: crates/topology/tests/spf_properties.rs
+
+crates/topology/tests/spf_properties.rs:

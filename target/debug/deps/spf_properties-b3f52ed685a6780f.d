@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spf_properties-b3f52ed685a6780f.d: crates/topology/tests/spf_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspf_properties-b3f52ed685a6780f.rmeta: crates/topology/tests/spf_properties.rs Cargo.toml
+
+crates/topology/tests/spf_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem_properties-62992e17db850c06.d: tests/theorem_properties.rs
+
+/root/repo/target/debug/deps/theorem_properties-62992e17db850c06: tests/theorem_properties.rs
+
+tests/theorem_properties.rs:

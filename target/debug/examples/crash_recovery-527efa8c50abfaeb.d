@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/crash_recovery-527efa8c50abfaeb.d: examples/crash_recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcrash_recovery-527efa8c50abfaeb.rmeta: examples/crash_recovery.rs Cargo.toml
+
+examples/crash_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-cc7405bc4bae1dd3.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/crash_recovery-cc7405bc4bae1dd3: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/debug_confed_seed2-eab02b33abdda424.d: examples/debug_confed_seed2.rs
+
+/root/repo/target/debug/examples/debug_confed_seed2-eab02b33abdda424: examples/debug_confed_seed2.rs
+
+examples/debug_confed_seed2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/extensions-7263457c478bc1d8.d: examples/extensions.rs Cargo.toml
+
+/root/repo/target/debug/examples/libextensions-7263457c478bc1d8.rmeta: examples/extensions.rs Cargo.toml
+
+examples/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

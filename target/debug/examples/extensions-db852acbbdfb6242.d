@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/extensions-db852acbbdfb6242.d: examples/extensions.rs
+
+/root/repo/target/debug/examples/extensions-db852acbbdfb6242: examples/extensions.rs
+
+examples/extensions.rs:

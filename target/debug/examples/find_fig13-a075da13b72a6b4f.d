@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/find_fig13-a075da13b72a6b4f.d: crates/scenarios/examples/find_fig13.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfind_fig13-a075da13b72a6b4f.rmeta: crates/scenarios/examples/find_fig13.rs Cargo.toml
+
+crates/scenarios/examples/find_fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

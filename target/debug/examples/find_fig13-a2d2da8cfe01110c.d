@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/find_fig13-a2d2da8cfe01110c.d: crates/scenarios/examples/find_fig13.rs
+
+/root/repo/target/debug/examples/find_fig13-a2d2da8cfe01110c: crates/scenarios/examples/find_fig13.rs
+
+crates/scenarios/examples/find_fig13.rs:

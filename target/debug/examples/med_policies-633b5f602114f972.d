@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/med_policies-633b5f602114f972.d: examples/med_policies.rs
+
+/root/repo/target/debug/examples/med_policies-633b5f602114f972: examples/med_policies.rs
+
+examples/med_policies.rs:

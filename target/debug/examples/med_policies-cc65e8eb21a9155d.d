@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/med_policies-cc65e8eb21a9155d.d: examples/med_policies.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmed_policies-cc65e8eb21a9155d.rmeta: examples/med_policies.rs Cargo.toml
+
+examples/med_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

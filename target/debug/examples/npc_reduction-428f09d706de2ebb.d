@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/npc_reduction-428f09d706de2ebb.d: examples/npc_reduction.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnpc_reduction-428f09d706de2ebb.rmeta: examples/npc_reduction.rs Cargo.toml
+
+examples/npc_reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

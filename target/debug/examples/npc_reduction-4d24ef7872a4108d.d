@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/npc_reduction-4d24ef7872a4108d.d: examples/npc_reduction.rs
+
+/root/repo/target/debug/examples/npc_reduction-4d24ef7872a4108d: examples/npc_reduction.rs
+
+examples/npc_reduction.rs:

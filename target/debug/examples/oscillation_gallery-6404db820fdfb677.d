@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/oscillation_gallery-6404db820fdfb677.d: examples/oscillation_gallery.rs
+
+/root/repo/target/debug/examples/oscillation_gallery-6404db820fdfb677: examples/oscillation_gallery.rs
+
+examples/oscillation_gallery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/oscillation_gallery-f415f2f33c0f17c7.d: examples/oscillation_gallery.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboscillation_gallery-f415f2f33c0f17c7.rmeta: examples/oscillation_gallery.rs Cargo.toml
+
+examples/oscillation_gallery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

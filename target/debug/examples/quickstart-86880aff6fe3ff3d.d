@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-86880aff6fe3ff3d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-86880aff6fe3ff3d: examples/quickstart.rs
+
+examples/quickstart.rs:

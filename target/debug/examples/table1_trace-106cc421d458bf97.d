@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/table1_trace-106cc421d458bf97.d: examples/table1_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtable1_trace-106cc421d458bf97.rmeta: examples/table1_trace.rs Cargo.toml
+
+examples/table1_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

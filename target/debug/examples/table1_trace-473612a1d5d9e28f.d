@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/table1_trace-473612a1d5d9e28f.d: examples/table1_trace.rs
+
+/root/repo/target/debug/examples/table1_trace-473612a1d5d9e28f: examples/table1_trace.rs
+
+examples/table1_trace.rs:

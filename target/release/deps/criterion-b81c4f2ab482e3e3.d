@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-b81c4f2ab482e3e3.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b81c4f2ab482e3e3.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b81c4f2ab482e3e3.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

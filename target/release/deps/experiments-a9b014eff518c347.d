@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-a9b014eff518c347.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-a9b014eff518c347: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

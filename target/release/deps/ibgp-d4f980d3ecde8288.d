@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ibgp-d4f980d3ecde8288.d: crates/core/src/lib.rs crates/core/src/network.rs crates/core/src/report.rs crates/core/src/theorems.rs
+
+/root/repo/target/release/deps/libibgp-d4f980d3ecde8288.rlib: crates/core/src/lib.rs crates/core/src/network.rs crates/core/src/report.rs crates/core/src/theorems.rs
+
+/root/repo/target/release/deps/libibgp-d4f980d3ecde8288.rmeta: crates/core/src/lib.rs crates/core/src/network.rs crates/core/src/report.rs crates/core/src/theorems.rs
+
+crates/core/src/lib.rs:
+crates/core/src/network.rs:
+crates/core/src/report.rs:
+crates/core/src/theorems.rs:

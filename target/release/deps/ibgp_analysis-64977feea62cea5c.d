@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ibgp_analysis-64977feea62cea5c.d: crates/analysis/src/lib.rs crates/analysis/src/determinism.rs crates/analysis/src/flush.rs crates/analysis/src/forwarding.rs crates/analysis/src/oscillation.rs crates/analysis/src/reachability.rs crates/analysis/src/stable.rs
+
+/root/repo/target/release/deps/libibgp_analysis-64977feea62cea5c.rlib: crates/analysis/src/lib.rs crates/analysis/src/determinism.rs crates/analysis/src/flush.rs crates/analysis/src/forwarding.rs crates/analysis/src/oscillation.rs crates/analysis/src/reachability.rs crates/analysis/src/stable.rs
+
+/root/repo/target/release/deps/libibgp_analysis-64977feea62cea5c.rmeta: crates/analysis/src/lib.rs crates/analysis/src/determinism.rs crates/analysis/src/flush.rs crates/analysis/src/forwarding.rs crates/analysis/src/oscillation.rs crates/analysis/src/reachability.rs crates/analysis/src/stable.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/determinism.rs:
+crates/analysis/src/flush.rs:
+crates/analysis/src/forwarding.rs:
+crates/analysis/src/oscillation.rs:
+crates/analysis/src/reachability.rs:
+crates/analysis/src/stable.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ibgp_bench-5a2071b71103c91f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libibgp_bench-5a2071b71103c91f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libibgp_bench-5a2071b71103c91f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ibgp_cli-5742f9b9c4c1a04e.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/ibgp_cli-5742f9b9c4c1a04e: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

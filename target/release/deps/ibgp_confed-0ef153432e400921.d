@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ibgp_confed-0ef153432e400921.d: crates/confed/src/lib.rs crates/confed/src/announcement.rs crates/confed/src/engine.rs crates/confed/src/random.rs crates/confed/src/scenarios.rs crates/confed/src/search.rs crates/confed/src/topology.rs
+
+/root/repo/target/release/deps/libibgp_confed-0ef153432e400921.rlib: crates/confed/src/lib.rs crates/confed/src/announcement.rs crates/confed/src/engine.rs crates/confed/src/random.rs crates/confed/src/scenarios.rs crates/confed/src/search.rs crates/confed/src/topology.rs
+
+/root/repo/target/release/deps/libibgp_confed-0ef153432e400921.rmeta: crates/confed/src/lib.rs crates/confed/src/announcement.rs crates/confed/src/engine.rs crates/confed/src/random.rs crates/confed/src/scenarios.rs crates/confed/src/search.rs crates/confed/src/topology.rs
+
+crates/confed/src/lib.rs:
+crates/confed/src/announcement.rs:
+crates/confed/src/engine.rs:
+crates/confed/src/random.rs:
+crates/confed/src/scenarios.rs:
+crates/confed/src/search.rs:
+crates/confed/src/topology.rs:

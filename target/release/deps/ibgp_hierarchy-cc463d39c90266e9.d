@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ibgp_hierarchy-cc463d39c90266e9.d: crates/hierarchy/src/lib.rs crates/hierarchy/src/engine.rs crates/hierarchy/src/random.rs crates/hierarchy/src/scenarios.rs crates/hierarchy/src/search.rs crates/hierarchy/src/topology.rs
+
+/root/repo/target/release/deps/libibgp_hierarchy-cc463d39c90266e9.rlib: crates/hierarchy/src/lib.rs crates/hierarchy/src/engine.rs crates/hierarchy/src/random.rs crates/hierarchy/src/scenarios.rs crates/hierarchy/src/search.rs crates/hierarchy/src/topology.rs
+
+/root/repo/target/release/deps/libibgp_hierarchy-cc463d39c90266e9.rmeta: crates/hierarchy/src/lib.rs crates/hierarchy/src/engine.rs crates/hierarchy/src/random.rs crates/hierarchy/src/scenarios.rs crates/hierarchy/src/search.rs crates/hierarchy/src/topology.rs
+
+crates/hierarchy/src/lib.rs:
+crates/hierarchy/src/engine.rs:
+crates/hierarchy/src/random.rs:
+crates/hierarchy/src/scenarios.rs:
+crates/hierarchy/src/search.rs:
+crates/hierarchy/src/topology.rs:

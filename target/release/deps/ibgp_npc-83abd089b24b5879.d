@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ibgp_npc-83abd089b24b5879.d: crates/npc/src/lib.rs crates/npc/src/dpll.rs crates/npc/src/extract.rs crates/npc/src/reduction.rs crates/npc/src/sat.rs crates/npc/src/verify.rs
+
+/root/repo/target/release/deps/libibgp_npc-83abd089b24b5879.rlib: crates/npc/src/lib.rs crates/npc/src/dpll.rs crates/npc/src/extract.rs crates/npc/src/reduction.rs crates/npc/src/sat.rs crates/npc/src/verify.rs
+
+/root/repo/target/release/deps/libibgp_npc-83abd089b24b5879.rmeta: crates/npc/src/lib.rs crates/npc/src/dpll.rs crates/npc/src/extract.rs crates/npc/src/reduction.rs crates/npc/src/sat.rs crates/npc/src/verify.rs
+
+crates/npc/src/lib.rs:
+crates/npc/src/dpll.rs:
+crates/npc/src/extract.rs:
+crates/npc/src/reduction.rs:
+crates/npc/src/sat.rs:
+crates/npc/src/verify.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ibgp_proto-7898bc7cbafb7280.d: crates/proto/src/lib.rs crates/proto/src/levels.rs crates/proto/src/routes.rs crates/proto/src/selection/mod.rs crates/proto/src/selection/rules.rs crates/proto/src/selection/trace.rs crates/proto/src/transfer.rs crates/proto/src/variants.rs crates/proto/src/walton.rs
+
+/root/repo/target/release/deps/libibgp_proto-7898bc7cbafb7280.rlib: crates/proto/src/lib.rs crates/proto/src/levels.rs crates/proto/src/routes.rs crates/proto/src/selection/mod.rs crates/proto/src/selection/rules.rs crates/proto/src/selection/trace.rs crates/proto/src/transfer.rs crates/proto/src/variants.rs crates/proto/src/walton.rs
+
+/root/repo/target/release/deps/libibgp_proto-7898bc7cbafb7280.rmeta: crates/proto/src/lib.rs crates/proto/src/levels.rs crates/proto/src/routes.rs crates/proto/src/selection/mod.rs crates/proto/src/selection/rules.rs crates/proto/src/selection/trace.rs crates/proto/src/transfer.rs crates/proto/src/variants.rs crates/proto/src/walton.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/levels.rs:
+crates/proto/src/routes.rs:
+crates/proto/src/selection/mod.rs:
+crates/proto/src/selection/rules.rs:
+crates/proto/src/selection/trace.rs:
+crates/proto/src/transfer.rs:
+crates/proto/src/variants.rs:
+crates/proto/src/walton.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ibgp_repro-cb342eaee97b5946.d: src/lib.rs
+
+/root/repo/target/release/deps/libibgp_repro-cb342eaee97b5946.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libibgp_repro-cb342eaee97b5946.rmeta: src/lib.rs
+
+src/lib.rs:

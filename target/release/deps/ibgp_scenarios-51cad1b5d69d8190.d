@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ibgp_scenarios-51cad1b5d69d8190.d: crates/scenarios/src/lib.rs crates/scenarios/src/catalog.rs crates/scenarios/src/fig12.rs crates/scenarios/src/fig13.rs crates/scenarios/src/fig14.rs crates/scenarios/src/fig1a.rs crates/scenarios/src/fig1b.rs crates/scenarios/src/fig2.rs crates/scenarios/src/fig3.rs crates/scenarios/src/random.rs
+
+/root/repo/target/release/deps/libibgp_scenarios-51cad1b5d69d8190.rlib: crates/scenarios/src/lib.rs crates/scenarios/src/catalog.rs crates/scenarios/src/fig12.rs crates/scenarios/src/fig13.rs crates/scenarios/src/fig14.rs crates/scenarios/src/fig1a.rs crates/scenarios/src/fig1b.rs crates/scenarios/src/fig2.rs crates/scenarios/src/fig3.rs crates/scenarios/src/random.rs
+
+/root/repo/target/release/deps/libibgp_scenarios-51cad1b5d69d8190.rmeta: crates/scenarios/src/lib.rs crates/scenarios/src/catalog.rs crates/scenarios/src/fig12.rs crates/scenarios/src/fig13.rs crates/scenarios/src/fig14.rs crates/scenarios/src/fig1a.rs crates/scenarios/src/fig1b.rs crates/scenarios/src/fig2.rs crates/scenarios/src/fig3.rs crates/scenarios/src/random.rs
+
+crates/scenarios/src/lib.rs:
+crates/scenarios/src/catalog.rs:
+crates/scenarios/src/fig12.rs:
+crates/scenarios/src/fig13.rs:
+crates/scenarios/src/fig14.rs:
+crates/scenarios/src/fig1a.rs:
+crates/scenarios/src/fig1b.rs:
+crates/scenarios/src/fig2.rs:
+crates/scenarios/src/fig3.rs:
+crates/scenarios/src/random.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ibgp_topology-686756994391fc2b.d: crates/topology/src/lib.rs crates/topology/src/builder.rs crates/topology/src/error.rs crates/topology/src/logical.rs crates/topology/src/physical.rs crates/topology/src/spf.rs crates/topology/src/viz.rs
+
+/root/repo/target/release/deps/libibgp_topology-686756994391fc2b.rlib: crates/topology/src/lib.rs crates/topology/src/builder.rs crates/topology/src/error.rs crates/topology/src/logical.rs crates/topology/src/physical.rs crates/topology/src/spf.rs crates/topology/src/viz.rs
+
+/root/repo/target/release/deps/libibgp_topology-686756994391fc2b.rmeta: crates/topology/src/lib.rs crates/topology/src/builder.rs crates/topology/src/error.rs crates/topology/src/logical.rs crates/topology/src/physical.rs crates/topology/src/spf.rs crates/topology/src/viz.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/builder.rs:
+crates/topology/src/error.rs:
+crates/topology/src/logical.rs:
+crates/topology/src/physical.rs:
+crates/topology/src/spf.rs:
+crates/topology/src/viz.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ibgp_types-751e9101871a7243.d: crates/types/src/lib.rs crates/types/src/as_path.rs crates/types/src/attrs.rs crates/types/src/error.rs crates/types/src/exit_path.rs crates/types/src/ids.rs crates/types/src/next_hop.rs crates/types/src/prefix.rs crates/types/src/route.rs
+
+/root/repo/target/release/deps/libibgp_types-751e9101871a7243.rlib: crates/types/src/lib.rs crates/types/src/as_path.rs crates/types/src/attrs.rs crates/types/src/error.rs crates/types/src/exit_path.rs crates/types/src/ids.rs crates/types/src/next_hop.rs crates/types/src/prefix.rs crates/types/src/route.rs
+
+/root/repo/target/release/deps/libibgp_types-751e9101871a7243.rmeta: crates/types/src/lib.rs crates/types/src/as_path.rs crates/types/src/attrs.rs crates/types/src/error.rs crates/types/src/exit_path.rs crates/types/src/ids.rs crates/types/src/next_hop.rs crates/types/src/prefix.rs crates/types/src/route.rs
+
+crates/types/src/lib.rs:
+crates/types/src/as_path.rs:
+crates/types/src/attrs.rs:
+crates/types/src/error.rs:
+crates/types/src/exit_path.rs:
+crates/types/src/ids.rs:
+crates/types/src/next_hop.rs:
+crates/types/src/prefix.rs:
+crates/types/src/route.rs:

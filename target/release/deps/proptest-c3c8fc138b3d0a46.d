@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-c3c8fc138b3d0a46.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-c3c8fc138b3d0a46.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-c3c8fc138b3d0a46.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-105c1bc7f99dc695.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-105c1bc7f99dc695.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-105c1bc7f99dc695.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

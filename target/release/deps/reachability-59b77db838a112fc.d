@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reachability-59b77db838a112fc.d: crates/bench/benches/reachability.rs
+
+/root/repo/target/release/deps/reachability-59b77db838a112fc: crates/bench/benches/reachability.rs
+
+crates/bench/benches/reachability.rs:

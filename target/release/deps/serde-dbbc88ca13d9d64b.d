@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-dbbc88ca13d9d64b.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-dbbc88ca13d9d64b.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-dbbc88ca13d9d64b.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-2dccef5e6a8f31d6.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-2dccef5e6a8f31d6.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-2dccef5e6a8f31d6.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

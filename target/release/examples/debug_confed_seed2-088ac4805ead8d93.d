@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/debug_confed_seed2-088ac4805ead8d93.d: examples/debug_confed_seed2.rs
+
+/root/repo/target/release/examples/debug_confed_seed2-088ac4805ead8d93: examples/debug_confed_seed2.rs
+
+examples/debug_confed_seed2.rs:

@@ -30,7 +30,10 @@ fn fig1a_self_heals_under_the_adaptive_trigger() {
     let outcome = sim.run(200_000);
     assert!(outcome.quiescent(), "{outcome}");
     let upgraded = sim.upgraded_routers();
-    assert!(!upgraded.is_empty(), "someone must have detected the flapping");
+    assert!(
+        !upgraded.is_empty(),
+        "someone must have detected the flapping"
+    );
     // The oscillation lives between the reflectors; at least one of them
     // upgraded.
     assert!(
@@ -91,14 +94,8 @@ fn forced_upgrade_event_converts_a_router() {
     assert!(sim.run(100_000).quiescent());
     assert_eq!(sim.upgraded_routers().len(), 2);
     // Clients now pick the nearer (foreign) exits, as under Modified.
-    assert_eq!(
-        sim.best_exit(fig14::nodes::C1),
-        Some(fig14::routes::R2)
-    );
-    assert_eq!(
-        sim.best_exit(fig14::nodes::C2),
-        Some(fig14::routes::R1)
-    );
+    assert_eq!(sim.best_exit(fig14::nodes::C1), Some(fig14::routes::R2));
+    assert_eq!(sim.best_exit(fig14::nodes::C2), Some(fig14::routes::R1));
 }
 
 #[test]

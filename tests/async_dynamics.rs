@@ -68,10 +68,24 @@ fn crash_and_restart_returns_to_the_same_table_under_modified() {
         let before = sim.best_vector();
 
         let t = sim.now();
-        sim.schedule(t + 5, AsyncEvent::NodeDown { node: RouterId::new(0) });
-        sim.schedule(t + 50, AsyncEvent::NodeUp { node: RouterId::new(0) });
+        sim.schedule(
+            t + 5,
+            AsyncEvent::NodeDown {
+                node: RouterId::new(0),
+            },
+        );
+        sim.schedule(
+            t + 50,
+            AsyncEvent::NodeUp {
+                node: RouterId::new(0),
+            },
+        );
         assert!(sim.run(300_000).quiescent(), "seed {seed}");
-        assert_eq!(sim.best_vector(), before, "seed {seed}: table changed across crash");
+        assert_eq!(
+            sim.best_vector(),
+            before,
+            "seed {seed}: table changed across crash"
+        );
     }
 }
 
@@ -85,11 +99,24 @@ fn downed_reflector_cuts_its_clients_off() {
     // Crash RR2 (router 1): its client c2 (router 3) keeps only its own
     // E-BGP route; the rest of the AS loses p2.
     let t = sim.now();
-    sim.schedule(t + 1, AsyncEvent::NodeDown { node: RouterId::new(1) });
+    sim.schedule(
+        t + 1,
+        AsyncEvent::NodeDown {
+            node: RouterId::new(1),
+        },
+    );
     assert!(sim.run(100_000).quiescent());
     assert!(!sim.is_up(RouterId::new(1)));
     let p1 = ExitPathId::new(1);
     let p2 = ExitPathId::new(2);
-    assert_eq!(sim.best_exit(RouterId::new(0)), Some(p1), "RR1 falls back to p1");
-    assert_eq!(sim.best_exit(RouterId::new(3)), Some(p2), "c2 keeps its own exit");
+    assert_eq!(
+        sim.best_exit(RouterId::new(0)),
+        Some(p1),
+        "RR1 falls back to p1"
+    );
+    assert_eq!(
+        sim.best_exit(RouterId::new(3)),
+        Some(p2),
+        "c2 keeps its own exit"
+    );
 }

@@ -109,7 +109,11 @@ fn standard_protocol_fails_on_exactly_the_oscillating_figures() {
         ("fig14", OscillationClass::Stable), // stable but loops (E7)
     ];
     for (name, expected) in expectations {
-        assert_eq!(class_of(name, ProtocolVariant::Standard), expected, "{name}");
+        assert_eq!(
+            class_of(name, ProtocolVariant::Standard),
+            expected,
+            "{name}"
+        );
     }
 }
 

@@ -11,31 +11,29 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = (RandomConfig, u64)> {
     (
-        1usize..=4,  // clusters
-        0usize..=3,  // clients per cluster
-        1usize..=6,  // exits
-        1usize..=3,  // neighbor ASes
-        0u32..=10,   // max MED
-        1u64..=10,   // max cost
-        0usize..=4,  // extra links
+        1usize..=4,   // clusters
+        0usize..=3,   // clients per cluster
+        1usize..=6,   // exits
+        1usize..=3,   // neighbor ASes
+        0u32..=10,    // max MED
+        1u64..=10,    // max cost
+        0usize..=4,   // extra links
         any::<u64>(), // seed
     )
-        .prop_map(
-            |(clusters, clients, exits, ases, med, cost, extra, seed)| {
-                (
-                    RandomConfig {
-                        clusters,
-                        clients_per_cluster: clients,
-                        exits,
-                        neighbor_ases: ases,
-                        max_med: med,
-                        max_cost: cost,
-                        extra_links: extra,
-                    },
-                    seed,
-                )
-            },
-        )
+        .prop_map(|(clusters, clients, exits, ases, med, cost, extra, seed)| {
+            (
+                RandomConfig {
+                    clusters,
+                    clients_per_cluster: clients,
+                    exits,
+                    neighbor_ases: ases,
+                    max_med: med,
+                    max_cost: cost,
+                    extra_links: extra,
+                },
+                seed,
+            )
+        })
 }
 
 proptest! {

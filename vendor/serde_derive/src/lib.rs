@@ -1,0 +1,396 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable offline, so this crate parses the item's
+//! token stream by hand. It supports exactly the shapes this workspace
+//! derives on — non-generic named structs, tuple structs, and enums with
+//! unit / tuple / struct variants — plus the `#[serde(transparent)]`
+//! attribute. The generated impls target the value-model traits in the
+//! vendored `serde` crate (`to_value`/`from_value`), producing serde's
+//! default externally-tagged representation so JSON round-trips match
+//! upstream behaviour for these shapes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed form of the deriving item.
+struct Item {
+    name: String,
+    transparent: bool,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    /// Named-field struct with field names.
+    Struct(Vec<String>),
+    /// Tuple struct with a field count.
+    Tuple(usize),
+    /// Enum of (variant name, fields).
+    Enum(Vec<(String, VariantKind)>),
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Split a token list on top-level commas.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strip leading attributes from a token list, reporting whether any was
+/// `#[serde(transparent)]`.
+fn strip_attrs(tokens: &[TokenTree]) -> (usize, bool) {
+    let mut i = 0;
+    let mut transparent = false;
+    while i + 1 < tokens.len() {
+        let is_pound = matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_pound {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            if args.stream().to_string().contains("transparent") {
+                                transparent = true;
+                            }
+                        }
+                    }
+                }
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    (i, transparent)
+}
+
+/// Strip a leading visibility qualifier (`pub`, `pub(crate)`, ...).
+fn strip_vis(tokens: &[TokenTree]) -> usize {
+    let mut i = 0;
+    if let Some(TokenTree::Ident(id)) = tokens.first() {
+        if id.to_string() == "pub" {
+            i = 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(1) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i = 2;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Field names of a named-field body (struct or enum variant).
+fn named_fields(group_tokens: Vec<TokenTree>) -> Vec<String> {
+    split_commas(&group_tokens)
+        .into_iter()
+        .filter_map(|field| {
+            let (skip, _) = strip_attrs(&field);
+            let rest = &field[skip..];
+            let rest = &rest[strip_vis(rest)..];
+            match rest.first() {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Field count of a tuple body.
+fn tuple_arity(group_tokens: Vec<TokenTree>) -> usize {
+    split_commas(&group_tokens)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .count()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, transparent) = strip_attrs(&tokens);
+    i += strip_vis(&tokens[i..]);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, found {other}"),
+    };
+    i += 1;
+
+    // Generic items are out of scope for the stub.
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Struct(named_fields(g.stream().into_iter().collect()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::Tuple(tuple_arity(g.stream().into_iter().collect()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::Struct(Vec::new()),
+            other => panic!("serde_derive stub: malformed struct `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let variants = split_commas(&body)
+                    .into_iter()
+                    .filter(|chunk| !chunk.is_empty())
+                    .map(|chunk| {
+                        let (skip, _) = strip_attrs(&chunk);
+                        let rest = &chunk[skip..];
+                        let vname = match rest.first() {
+                            Some(TokenTree::Ident(id)) => id.to_string(),
+                            other => panic!(
+                                "serde_derive stub: malformed variant in `{name}`: {other:?}"
+                            ),
+                        };
+                        let vkind = match rest.get(1) {
+                            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                                VariantKind::Struct(named_fields(g.stream().into_iter().collect()))
+                            }
+                            Some(TokenTree::Group(g))
+                                if g.delimiter() == Delimiter::Parenthesis =>
+                            {
+                                VariantKind::Tuple(tuple_arity(g.stream().into_iter().collect()))
+                            }
+                            _ => VariantKind::Unit,
+                        };
+                        (vname, vkind)
+                    })
+                    .collect();
+                ItemKind::Enum(variants)
+            }
+            other => panic!("serde_derive stub: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        transparent,
+        kind,
+    }
+}
+
+/// Derive `serde::Serialize` (value-model flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) if item.transparent && fields.len() == 1 => {
+            format!("::serde::Serialize::to_value(&self.{})", fields[0])
+        }
+        ItemKind::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        ItemKind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, kind)| match kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    VariantKind::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Map(vec![(::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Seq(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    VariantKind::Struct(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {} }} => ::serde::Value::Map(vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Map(vec![{}]))]),",
+                            fields.join(", "),
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (value-model flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) if item.transparent && fields.len() == 1 => {
+            format!(
+                "Ok({name} {{ {}: ::serde::Deserialize::from_value(__v)? }})",
+                fields[0]
+            )
+        }
+        ItemKind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(__v.get(\"{f}\").unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Map(_) => Ok({name} {{ {} }}),\n\
+                     __other => Err(::serde::DeError::unexpected(\"struct {name}\", __other)),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        ItemKind::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        ItemKind::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Seq(__items) if __items.len() == {n} => Ok({name}({})),\n\
+                     __other => Err(::serde::DeError::unexpected(\"tuple struct {name}\", __other)),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, k)| matches!(k, VariantKind::Unit))
+                .map(|(v, _)| format!("\"{v}\" => return Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, kind)| match kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Tuple(1) => Some(format!(
+                        "if let Some(__inner) = __v.get(\"{v}\") {{\n\
+                             return Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?));\n\
+                         }}"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "if let Some(__inner) = __v.get(\"{v}\") {{\n\
+                                 if let ::serde::Value::Seq(__items) = __inner {{\n\
+                                     if __items.len() == {n} {{\n\
+                                         return Ok({name}::{v}({}));\n\
+                                     }}\n\
+                                 }}\n\
+                                 return Err(::serde::DeError::unexpected(\"{n}-tuple variant {v}\", __inner));\n\
+                             }}",
+                            inits.join(", ")
+                        ))
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(__inner.get(\"{f}\").unwrap_or(&::serde::Value::Null))?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "if let Some(__inner) = __v.get(\"{v}\") {{\n\
+                                 return Ok({name}::{v} {{ {} }});\n\
+                             }}",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::Str(__s) = __v {{\n\
+                     match __s.as_str() {{ {} _ => {{}} }}\n\
+                 }}\n\
+                 {}\n\
+                 Err(::serde::DeError::unexpected(\"enum {name}\", __v))",
+                unit_arms.join(" "),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Deserialize impl must parse")
+}
