@@ -9,7 +9,7 @@
 //! all reach the same best-exit vector.
 
 use ibgp_proto::variants::ProtocolConfig;
-use ibgp_sim::{Activation, AllAtOnce, RandomFair, RandomSubsets, RoundRobin, SyncEngine};
+use ibgp_sim::{Activation, AllAtOnce, Engine, RandomFair, RandomSubsets, RoundRobin, SyncEngine};
 use ibgp_topology::Topology;
 use ibgp_types::{ExitPathId, ExitPathRef};
 use serde::{Deserialize, Serialize};

@@ -9,7 +9,7 @@
 //! path disappeared everywhere.
 
 use ibgp_proto::variants::ProtocolConfig;
-use ibgp_sim::{Activation, SyncEngine};
+use ibgp_sim::{Activation, Engine, SyncEngine};
 use ibgp_topology::Topology;
 use ibgp_types::{ExitPathId, ExitPathRef, RouterId};
 use serde::{Deserialize, Serialize};

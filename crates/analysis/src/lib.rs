@@ -30,6 +30,7 @@ pub mod determinism;
 pub mod flush;
 pub mod forwarding;
 pub mod oscillation;
+mod parallel;
 pub mod reachability;
 pub mod stable;
 
@@ -37,5 +38,5 @@ pub use determinism::{determinism_report, DeterminismReport};
 pub use flush::{flush_report, FlushReport};
 pub use forwarding::{forward_from, forwarding_loops, lemma_7_6_violations, ForwardingResult};
 pub use oscillation::{classify, OscillationClass};
-pub use reachability::{explore, explore_memoized, Reachability};
+pub use reachability::{explore, ExploreOptions, Reachability};
 pub use stable::{enumerate_stable_standard, StableEnumeration};

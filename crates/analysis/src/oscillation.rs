@@ -7,9 +7,9 @@
 //! keep the system churning (Fig 2, Fig 3). This module derives the class
 //! from reachability evidence plus a simultaneous-activation probe.
 
-use crate::reachability::{explore, Reachability};
+use crate::reachability::{explore, ExploreOptions, Reachability};
 use ibgp_proto::variants::ProtocolConfig;
-use ibgp_sim::{AllAtOnce, SyncEngine};
+use ibgp_sim::{AllAtOnce, Engine, SyncEngine};
 use ibgp_topology::Topology;
 use ibgp_types::ExitPathRef;
 use serde::{Deserialize, Serialize};
@@ -47,15 +47,16 @@ impl fmt::Display for OscillationClass {
 
 /// Classify a scenario under a protocol configuration.
 ///
-/// Runs the exhaustive reachability search (capped at `max_states`), then
+/// Runs the exhaustive reachability search under the given options, then
 /// probes the all-at-once schedule for provable cycles.
 pub fn classify(
     topo: &Topology,
     config: ProtocolConfig,
     exits: &[ExitPathRef],
-    max_states: usize,
+    options: ExploreOptions,
 ) -> (OscillationClass, Reachability) {
-    let reach = explore(topo, config, exits.to_vec(), max_states);
+    let probe_budget = 4 * options.max_states as u64 + 16;
+    let reach = explore(topo, config, exits.to_vec(), options);
     if !reach.complete {
         return (OscillationClass::Unknown, reach);
     }
@@ -68,7 +69,7 @@ pub fn classify(
     // Unique stable outcome; still check the simultaneous schedule for a
     // provable cycle (a unique fixed point can coexist with a live cycle).
     let mut engine = SyncEngine::new(topo, config, exits.to_vec());
-    let outcome = engine.run(&mut AllAtOnce, 4 * max_states as u64 + 16);
+    let outcome = engine.run(&mut AllAtOnce, probe_budget);
     if outcome.cycled() {
         (OscillationClass::Transient, reach)
     } else {
@@ -101,7 +102,8 @@ mod tests {
             .build()
             .unwrap();
         let exits = vec![exit(1, 1, 0, 0)];
-        let (class, reach) = classify(&topo, ProtocolConfig::STANDARD, &exits, 10_000);
+        let opts = ExploreOptions::new().max_states(10_000);
+        let (class, reach) = classify(&topo, ProtocolConfig::STANDARD, &exits, opts);
         assert_eq!(class, OscillationClass::Stable);
         assert!(reach.can_converge());
     }
@@ -118,9 +120,10 @@ mod tests {
             .build()
             .unwrap();
         let exits = vec![exit(1, 1, 0, 2), exit(2, 1, 0, 3)];
-        let (class, _) = classify(&topo, ProtocolConfig::STANDARD, &exits, 100_000);
+        let opts = ExploreOptions::new().max_states(100_000);
+        let (class, _) = classify(&topo, ProtocolConfig::STANDARD, &exits, opts.clone());
         assert_eq!(class, OscillationClass::Transient);
-        let (class, _) = classify(&topo, ProtocolConfig::MODIFIED, &exits, 100_000);
+        let (class, _) = classify(&topo, ProtocolConfig::MODIFIED, &exits, opts);
         assert_eq!(class, OscillationClass::Stable);
     }
 
@@ -136,8 +139,10 @@ mod tests {
             .build()
             .unwrap();
         let exits = vec![exit(1, 1, 0, 2), exit(2, 1, 0, 3)];
-        let (class, _) = classify(&topo, ProtocolConfig::STANDARD, &exits, 2);
+        let opts = ExploreOptions::new().max_states(2);
+        let (class, reach) = classify(&topo, ProtocolConfig::STANDARD, &exits, opts);
         assert_eq!(class, OscillationClass::Unknown);
         assert_eq!(class.to_string(), "unknown (search capped)");
+        assert_eq!(reach.cap, Some(2), "the cap that stopped the search");
     }
 }

@@ -1,0 +1,333 @@
+//! Level-synchronous parallel driver for the reachability search.
+//!
+//! The exploration of [`crate::reachability`] is a BFS over configurations
+//! whose per-state work — restore a snapshot, test stability, take `n + 1`
+//! branch steps, canonicalize each successor — is embarrassingly parallel,
+//! while its *bookkeeping* (dedup, the state cap, stable-vector
+//! collection) is order-sensitive. This module splits the two:
+//!
+//! * **Workers** expand whole BFS levels in parallel. Each work unit is
+//!   one frontier [`SyncSnapshot`] (Arc-interned rows, so sending it
+//!   across a channel is pointer-cheap); each worker owns a private
+//!   [`SyncEngine`] (the engine is `Send` but not `Sync` — its memo is a
+//!   `RefCell`) and restores it per unit. A worker reports either the
+//!   state's stable best-exit vector or its successor list, pre-filtered
+//!   against the *frozen* visited set of earlier levels — a read-only,
+//!   order-independent test.
+//! * **The coordinator** merges each level's unit outcomes *sequentially
+//!   in canonical order* (frontier index, then branch index): within-level
+//!   dedup, state counting, the cap check, and stable-vector collection
+//!   all happen here, in exactly the order the single-threaded explorer
+//!   would perform them.
+//!
+//! Determinism: a state's outcome is a pure function of its snapshot (the
+//! pre-filter can only drop successors the merge would reject anyway), so
+//! the merged per-level view — and therefore `states`, `complete`,
+//! `stable_vectors`, and the cap point — is bit-identical for every
+//! `jobs` value, including the in-thread `jobs = 1` path. Only the
+//! per-worker memo split (cache hit/miss counts) varies with scheduling.
+//!
+//! The visited set is striped across [`SHARD_COUNT`] shards keyed by the
+//! `StateKey` digest. Shards use `RwLock` rather than `Mutex`: during a
+//! level workers only *read* (shared locks, no contention), and the
+//! coordinator only *writes* between levels while every worker is idle at
+//! the work channel — so neither phase ever blocks the other.
+
+use crate::reachability::{ExploreOptions, Reachability};
+use ibgp_proto::variants::ProtocolConfig;
+use ibgp_sim::signature::StateKey;
+use ibgp_sim::{Metrics, SyncEngine, SyncSnapshot};
+use ibgp_topology::Topology;
+use ibgp_types::{ExitPathId, ExitPathRef, RouterId};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Number of visited-set stripes. A fixed power of two well above any
+/// realistic worker count keeps digest-sharded occupancy balanced.
+const SHARD_COUNT: usize = 64;
+
+/// The visited set, striped by `StateKey` digest.
+struct ShardedVisited {
+    shards: Vec<RwLock<HashMap<u64, Vec<StateKey>>>>,
+}
+
+impl ShardedVisited {
+    fn new() -> Self {
+        Self {
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, digest: u64) -> &RwLock<HashMap<u64, Vec<StateKey>>> {
+        &self.shards[(digest % SHARD_COUNT as u64) as usize]
+    }
+
+    /// Read-only membership test (the workers' pre-filter).
+    fn contains(&self, key: &StateKey) -> bool {
+        let digest = key.digest();
+        let shard = self.shard(digest).read().expect("visited shard poisoned");
+        shard
+            .get(&digest)
+            .is_some_and(|bucket| bucket.contains(key))
+    }
+
+    /// Insert if new; returns whether the key was new (the coordinator's
+    /// authoritative dedup).
+    fn insert(&self, key: StateKey) -> bool {
+        let digest = key.digest();
+        let mut shard = self.shard(digest).write().expect("visited shard poisoned");
+        let bucket = shard.entry(digest).or_default();
+        if bucket.contains(&key) {
+            false
+        } else {
+            bucket.push(key);
+            true
+        }
+    }
+
+    /// Most keys held by any one shard (balance gauge).
+    fn peak_shard(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("visited shard poisoned")
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .max()
+            .unwrap_or(0) as u64
+    }
+}
+
+/// What one frontier state turned out to be.
+enum UnitOutcome {
+    /// A fixed point, with its best-exit vector.
+    Stable(Vec<Option<ExitPathId>>),
+    /// Not stable: the canonical key and snapshot of each branch
+    /// successor not already visited in an earlier level, in branch
+    /// order.
+    Expanded(Vec<(StateKey, SyncSnapshot)>),
+}
+
+/// Messages from workers to the coordinator.
+enum WorkerMsg {
+    /// Outcome of the unit at the given frontier index.
+    Unit(usize, UnitOutcome),
+    /// Final engine counters, sent once when the worker shuts down.
+    Done(Metrics),
+}
+
+/// Expand one frontier state on the given (restored) engine.
+fn process_unit(
+    engine: &mut SyncEngine,
+    snap: &SyncSnapshot,
+    branches: &[Vec<RouterId>],
+    visited: &ShardedVisited,
+) -> UnitOutcome {
+    engine.restore(snap);
+    if engine.is_stable() {
+        return UnitOutcome::Stable(engine.best_vector());
+    }
+    let mut fresh = Vec::new();
+    for branch in branches {
+        engine.restore(snap);
+        engine.step(branch);
+        let key = engine.state_key(0);
+        // Pre-filter against earlier levels only: the set is frozen while
+        // the level runs, so this test is order-independent. Within-level
+        // duplicates are the coordinator's job.
+        if !visited.contains(&key) {
+            fresh.push((key, engine.snapshot()));
+        }
+    }
+    UnitOutcome::Expanded(fresh)
+}
+
+/// Order-sensitive search bookkeeping, owned by the coordinator.
+struct Progress {
+    stable_vectors: Vec<Vec<Option<ExitPathId>>>,
+    states: usize,
+    cap: Option<usize>,
+    frontier_depth: u64,
+    peak_queue: u64,
+    /// Work units expanded (= handoffs when a pool is in use).
+    units: u64,
+}
+
+/// Run the level loop: expand each frontier via `expand`, then merge the
+/// outcomes in canonical (frontier index, branch index) order. This merge
+/// is the single place dedup, the state cap, and stable-vector discovery
+/// happen, which is what makes the result independent of how `expand`
+/// schedules the per-unit work.
+fn drive(
+    mut frontier: Vec<SyncSnapshot>,
+    visited: &ShardedVisited,
+    max_states: usize,
+    mut expand: impl FnMut(Vec<SyncSnapshot>) -> Vec<UnitOutcome>,
+) -> Progress {
+    let mut p = Progress {
+        stable_vectors: Vec::new(),
+        states: 1,
+        cap: None,
+        frontier_depth: 0,
+        peak_queue: 1,
+        units: 0,
+    };
+    let mut depth = 0u64;
+    'levels: while !frontier.is_empty() {
+        p.units += frontier.len() as u64;
+        let outcomes = expand(std::mem::take(&mut frontier));
+        let mut next = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                UnitOutcome::Stable(bv) => {
+                    if !p.stable_vectors.contains(&bv) {
+                        p.stable_vectors.push(bv);
+                    }
+                }
+                UnitOutcome::Expanded(fresh) => {
+                    for (key, snap) in fresh {
+                        if visited.insert(key) {
+                            p.states += 1;
+                            if p.states > max_states {
+                                p.cap = Some(max_states);
+                                break 'levels;
+                            }
+                            next.push(snap);
+                        }
+                    }
+                }
+            }
+        }
+        if !next.is_empty() {
+            depth += 1;
+            p.frontier_depth = depth;
+            p.peak_queue = p.peak_queue.max(next.len() as u64);
+        }
+        frontier = next;
+    }
+    p
+}
+
+/// The search driver behind [`crate::reachability::explore`].
+pub(crate) fn search(
+    topo: &Topology,
+    config: ProtocolConfig,
+    exits: Vec<ExitPathRef>,
+    options: &ExploreOptions,
+) -> Reachability {
+    let started = Instant::now();
+    let jobs = options.effective_jobs();
+    let n = topo.len();
+
+    // Branch choices: each singleton, plus the full activation set.
+    let mut branches: Vec<Vec<RouterId>> = (0..n as u32).map(|i| vec![RouterId::new(i)]).collect();
+    branches.push((0..n as u32).map(RouterId::new).collect());
+
+    let visited = ShardedVisited::new();
+    let mut engine = SyncEngine::new(topo, config, exits.clone());
+    engine.set_memoized(options.memoized);
+    visited.insert(engine.state_key(0));
+    let frontier = vec![engine.snapshot()];
+
+    let (progress, engine_metrics) = if jobs <= 1 {
+        let p = drive(frontier, &visited, options.max_states, |units| {
+            units
+                .iter()
+                .map(|snap| process_unit(&mut engine, snap, &branches, &visited))
+                .collect()
+        });
+        (p, engine.metrics())
+    } else {
+        std::thread::scope(|scope| {
+            let (work_tx, work_rx) = mpsc::channel::<(usize, SyncSnapshot)>();
+            let work_rx = Arc::new(Mutex::new(work_rx));
+            let (res_tx, res_rx) = mpsc::channel::<WorkerMsg>();
+            for _ in 0..jobs {
+                let work_rx = Arc::clone(&work_rx);
+                let res_tx = res_tx.clone();
+                let exits = exits.clone();
+                let branches = &branches;
+                let visited = &visited;
+                scope.spawn(move || {
+                    let mut engine = SyncEngine::new(topo, config, exits);
+                    engine.set_memoized(options.memoized);
+                    loop {
+                        // Hold the receiver lock only for the handoff.
+                        let unit = work_rx.lock().expect("work queue poisoned").recv();
+                        match unit {
+                            Ok((idx, snap)) => {
+                                let out = process_unit(&mut engine, &snap, branches, visited);
+                                if res_tx.send(WorkerMsg::Unit(idx, out)).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(_) => break, // work channel closed: shut down
+                        }
+                    }
+                    let _ = res_tx.send(WorkerMsg::Done(engine.metrics()));
+                });
+            }
+            drop(res_tx);
+
+            let p = drive(frontier, &visited, options.max_states, |units| {
+                let len = units.len();
+                for (idx, snap) in units.into_iter().enumerate() {
+                    work_tx.send((idx, snap)).expect("worker pool died");
+                }
+                let mut outcomes: Vec<Option<UnitOutcome>> =
+                    std::iter::repeat_with(|| None).take(len).collect();
+                for _ in 0..len {
+                    match res_rx.recv().expect("worker pool died") {
+                        WorkerMsg::Unit(idx, out) => outcomes[idx] = Some(out),
+                        WorkerMsg::Done(_) => unreachable!("workers outlive the work channel"),
+                    }
+                }
+                outcomes
+                    .into_iter()
+                    .map(|o| o.expect("every unit reports exactly once"))
+                    .collect()
+            });
+
+            // Closing the work channel tells each worker to report its
+            // counters and exit; the merge is a commutative sum, so the
+            // arrival order does not matter.
+            drop(work_tx);
+            let mut merged = engine.metrics();
+            for msg in res_rx {
+                if let WorkerMsg::Done(m) = msg {
+                    merged.absorb_engine(&m);
+                }
+            }
+            (p, merged)
+        })
+    };
+
+    let mut metrics = engine_metrics;
+    metrics.states_visited = progress.states as u64;
+    metrics.elapsed_nanos = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    metrics.frontier_depth = progress.frontier_depth;
+    metrics.peak_queue = progress.peak_queue;
+    metrics.workers = jobs as u64;
+    metrics.handoffs = if jobs <= 1 { 0 } else { progress.units };
+    metrics.peak_shard = visited.peak_shard();
+
+    // Canonical order: discovery order is already deterministic, but a
+    // sorted vector makes equality checks independent of search history.
+    let mut stable_vectors = progress.stable_vectors;
+    stable_vectors.sort();
+
+    Reachability {
+        states: progress.states,
+        complete: progress.cap.is_none(),
+        stable_vectors,
+        cap: progress.cap,
+        metrics,
+    }
+}

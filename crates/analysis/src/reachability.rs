@@ -13,14 +13,78 @@
 //! behaviours on the paper's examples and are omitted to keep the
 //! branching factor at `n + 1`; the limitation is inherent to bounded
 //! search of an NP-complete question and is documented in DESIGN.md.)
+//!
+//! The search itself is a level-synchronous BFS that can fan each level
+//! out across a pool of worker threads (see [`crate::parallel`]); the
+//! result is bit-identical for every [`ExploreOptions::jobs`] setting.
 
 use ibgp_proto::variants::ProtocolConfig;
-use ibgp_sim::signature::StateKey;
-use ibgp_sim::{Metrics, SyncEngine, SyncSnapshot};
+use ibgp_sim::Metrics;
 use ibgp_topology::Topology;
-use ibgp_types::{ExitPathId, ExitPathRef, RouterId};
-use std::collections::{HashMap, VecDeque};
-use std::time::Instant;
+use ibgp_types::{ExitPathId, ExitPathRef};
+
+/// Options for [`explore`], builder-style.
+///
+/// ```
+/// use ibgp_analysis::ExploreOptions;
+/// let opts = ExploreOptions::new().max_states(100_000).jobs(4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    pub(crate) max_states: usize,
+    pub(crate) memoized: bool,
+    pub(crate) jobs: usize,
+}
+
+impl Default for ExploreOptions {
+    /// 500 000-state cap, memoized updates, single-threaded.
+    fn default() -> Self {
+        Self {
+            max_states: 500_000,
+            memoized: true,
+            jobs: 1,
+        }
+    }
+}
+
+impl ExploreOptions {
+    /// The defaults: 500 000-state cap, memoized updates, one thread.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the search at this many distinct configurations.
+    pub fn max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Use the engine's memoized update path (default) or the naive
+    /// reference path that recomputes every node update from scratch.
+    pub fn memoized(mut self, memoized: bool) -> Self {
+        self.memoized = memoized;
+        self
+    }
+
+    /// Worker threads for the search. `1` (the default) explores
+    /// in-thread; `0` means one worker per available hardware thread.
+    /// The result is bit-identical for every value.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Resolve `jobs = 0` to the available hardware parallelism.
+    pub(crate) fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
+    }
+}
 
 /// Result of a bounded reachability exploration.
 #[derive(Debug, Clone)]
@@ -30,11 +94,18 @@ pub struct Reachability {
     /// Whether the whole reachable space was explored (false = the state
     /// cap was hit and absence results are inconclusive).
     pub complete: bool,
-    /// Distinct stable routing configurations found, as best-exit vectors.
+    /// Distinct stable routing configurations found, as best-exit
+    /// vectors, in canonical (sorted) order.
     pub stable_vectors: Vec<Vec<Option<ExitPathId>>>,
+    /// The state cap that stopped the search, when one did (`None` for a
+    /// complete exploration). Lets callers report *why* a search was
+    /// inconclusive rather than conflating "cap hit" with a bare
+    /// non-answer.
+    pub cap: Option<usize>,
     /// Search observability: engine counters (incl. update-cache hits and
-    /// misses) plus states visited, wall-clock time, frontier depth, and
-    /// peak queue length.
+    /// misses) plus states visited, wall-clock time, frontier depth, peak
+    /// frontier size, and the parallel gauges (workers, handoffs, peak
+    /// shard occupancy).
     pub metrics: Metrics,
 }
 
@@ -51,13 +122,17 @@ impl Reachability {
     pub fn persistent_oscillation(&self) -> bool {
         self.complete && self.stable_vectors.is_empty()
     }
+
+    /// Whether the search was stopped by its state cap.
+    pub fn capped(&self) -> bool {
+        self.cap.is_some()
+    }
 }
 
-/// Explore every configuration reachable from `config(0)`; cap at
-/// `max_states` distinct configurations.
+/// Explore every configuration reachable from `config(0)`.
 ///
 /// ```
-/// use ibgp_analysis::explore;
+/// use ibgp_analysis::{explore, ExploreOptions};
 /// use ibgp_proto::variants::ProtocolConfig;
 /// use ibgp_topology::TopologyBuilder;
 /// use ibgp_types::*;
@@ -66,7 +141,12 @@ impl Reachability {
 /// let topo = TopologyBuilder::new(2).link(0, 1, 1).full_mesh().build()?;
 /// let exit = Arc::new(ExitPath::builder(ExitPathId::new(1))
 ///     .via(AsId::new(1)).exit_point(RouterId::new(0)).build_unchecked());
-/// let reach = explore(&topo, ProtocolConfig::STANDARD, vec![exit], 10_000);
+/// let reach = explore(
+///     &topo,
+///     ProtocolConfig::STANDARD,
+///     vec![exit],
+///     ExploreOptions::new().max_states(10_000),
+/// );
 /// assert!(reach.complete && reach.can_converge());
 /// # Ok::<(), ibgp_topology::TopologyError>(())
 /// ```
@@ -74,121 +154,9 @@ pub fn explore(
     topo: &Topology,
     config: ProtocolConfig,
     exits: Vec<ExitPathRef>,
-    max_states: usize,
+    options: ExploreOptions,
 ) -> Reachability {
-    explore_memoized(topo, config, exits, max_states, true)
-}
-
-/// [`explore`] with the engine's update memo explicitly on or off.
-///
-/// The memoized path is the default; the naive path recomputes every node
-/// update from scratch and exists as the reference the incremental engine
-/// is benchmarked and equivalence-tested against.
-pub fn explore_memoized(
-    topo: &Topology,
-    config: ProtocolConfig,
-    exits: Vec<ExitPathRef>,
-    max_states: usize,
-    memoize: bool,
-) -> Reachability {
-    let started = Instant::now();
-    let mut engine = SyncEngine::new(topo, config, exits);
-    engine.set_memoized(memoize);
-    let n = topo.len();
-
-    // Branch choices: each singleton, plus the full activation set.
-    let mut branches: Vec<Vec<RouterId>> = (0..n as u32).map(|i| vec![RouterId::new(i)]).collect();
-    branches.push((0..n as u32).map(RouterId::new).collect());
-
-    let mut visited: HashMap<u64, Vec<StateKey>> = HashMap::new();
-    // Snapshots are interned-row vectors (cheap), paired with their BFS
-    // depth for the frontier metrics.
-    let mut queue: VecDeque<(SyncSnapshot, u64)> = VecDeque::new();
-    let mut stable_vectors: Vec<Vec<Option<ExitPathId>>> = Vec::new();
-    let mut states = 0usize;
-    let mut complete = true;
-    let mut frontier_depth = 0u64;
-    let mut peak_queue = 0u64;
-
-    let try_visit = |engine: &SyncEngine, visited: &mut HashMap<u64, Vec<StateKey>>| -> bool {
-        let key = engine.state_key(0);
-        let bucket = visited.entry(key.digest()).or_default();
-        if bucket.contains(&key) {
-            false
-        } else {
-            bucket.push(key);
-            true
-        }
-    };
-
-    let finish = |engine: &SyncEngine,
-                  states: usize,
-                  complete: bool,
-                  stable_vectors: Vec<Vec<Option<ExitPathId>>>,
-                  frontier_depth: u64,
-                  peak_queue: u64,
-                  started: Instant| {
-        let mut metrics = engine.metrics();
-        metrics.states_visited = states as u64;
-        metrics.elapsed_nanos = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        metrics.frontier_depth = frontier_depth;
-        metrics.peak_queue = peak_queue;
-        Reachability {
-            states,
-            complete,
-            stable_vectors,
-            metrics,
-        }
-    };
-
-    if try_visit(&engine, &mut visited) {
-        states += 1;
-        queue.push_back((engine.snapshot(), 0));
-        peak_queue = 1;
-    }
-
-    while let Some((snap, depth)) = queue.pop_front() {
-        engine.restore(&snap);
-        if engine.is_stable() {
-            let bv = engine.best_vector();
-            if !stable_vectors.contains(&bv) {
-                stable_vectors.push(bv);
-            }
-            continue; // fixed point: every branch self-loops
-        }
-        for branch in &branches {
-            engine.restore(&snap);
-            engine.step(branch);
-            if try_visit(&engine, &mut visited) {
-                states += 1;
-                if states > max_states {
-                    complete = false;
-                    return finish(
-                        &engine,
-                        states,
-                        complete,
-                        stable_vectors,
-                        frontier_depth,
-                        peak_queue,
-                        started,
-                    );
-                }
-                queue.push_back((engine.snapshot(), depth + 1));
-                frontier_depth = frontier_depth.max(depth + 1);
-                peak_queue = peak_queue.max(queue.len() as u64);
-            }
-        }
-    }
-
-    finish(
-        &engine,
-        states,
-        complete,
-        stable_vectors,
-        frontier_depth,
-        peak_queue,
-        started,
-    )
+    crate::parallel::search(topo, config, exits, &options)
 }
 
 #[cfg(test)]
@@ -208,6 +176,20 @@ mod tests {
         )
     }
 
+    fn disagree() -> (Topology, Vec<ExitPathRef>) {
+        let topo = TopologyBuilder::new(4)
+            .link(0, 2, 10)
+            .link(0, 3, 1)
+            .link(1, 3, 10)
+            .link(1, 2, 1)
+            .cluster([0], [2])
+            .cluster([1], [3])
+            .build()
+            .unwrap();
+        let exits = vec![exit(1, 1, 0, 2), exit(2, 1, 0, 3)];
+        (topo, exits)
+    }
+
     #[test]
     fn trivial_system_converges() {
         let topo = TopologyBuilder::new(2)
@@ -219,11 +201,12 @@ mod tests {
             &topo,
             ProtocolConfig::STANDARD,
             vec![exit(1, 1, 0, 0)],
-            10_000,
+            ExploreOptions::new().max_states(10_000),
         );
         assert!(r.complete);
         assert!(r.can_converge());
         assert!(!r.persistent_oscillation());
+        assert!(!r.capped());
         assert_eq!(r.stable_vectors.len(), 1);
         assert_eq!(
             r.stable_vectors[0],
@@ -235,40 +218,30 @@ mod tests {
     /// solutions under the standard protocol, both reachable.
     #[test]
     fn disagree_has_two_reachable_stable_solutions() {
-        let topo = TopologyBuilder::new(4)
-            .link(0, 2, 10)
-            .link(0, 3, 1)
-            .link(1, 3, 10)
-            .link(1, 2, 1)
-            .cluster([0], [2])
-            .cluster([1], [3])
-            .build()
-            .unwrap();
-        let exits = vec![exit(1, 1, 0, 2), exit(2, 1, 0, 3)];
-        let r = explore(&topo, ProtocolConfig::STANDARD, exits.clone(), 100_000);
+        let (topo, exits) = disagree();
+        let opts = ExploreOptions::new().max_states(100_000);
+        let r = explore(&topo, ProtocolConfig::STANDARD, exits.clone(), opts.clone());
         assert!(r.complete);
         assert_eq!(r.stable_vectors.len(), 2, "{:?}", r.stable_vectors);
 
         // The modified protocol has exactly one.
-        let r = explore(&topo, ProtocolConfig::MODIFIED, exits, 100_000);
+        let r = explore(&topo, ProtocolConfig::MODIFIED, exits, opts);
         assert!(r.complete);
         assert_eq!(r.stable_vectors.len(), 1, "{:?}", r.stable_vectors);
     }
 
     #[test]
-    fn state_cap_reports_incomplete() {
-        let topo = TopologyBuilder::new(4)
-            .link(0, 2, 10)
-            .link(0, 3, 1)
-            .link(1, 3, 10)
-            .link(1, 2, 1)
-            .cluster([0], [2])
-            .cluster([1], [3])
-            .build()
-            .unwrap();
-        let exits = vec![exit(1, 1, 0, 2), exit(2, 1, 0, 3)];
-        let r = explore(&topo, ProtocolConfig::STANDARD, exits, 3);
+    fn state_cap_reports_incomplete_and_carries_the_cap() {
+        let (topo, exits) = disagree();
+        let r = explore(
+            &topo,
+            ProtocolConfig::STANDARD,
+            exits,
+            ExploreOptions::new().max_states(3),
+        );
         assert!(!r.complete);
+        assert!(r.capped());
+        assert_eq!(r.cap, Some(3));
         assert!(
             !r.persistent_oscillation(),
             "incomplete search proves nothing"
@@ -279,24 +252,19 @@ mod tests {
     /// the memoized and naive engines agree on every verdict.
     #[test]
     fn exploration_metrics_and_naive_agreement() {
-        let topo = TopologyBuilder::new(4)
-            .link(0, 2, 10)
-            .link(0, 3, 1)
-            .link(1, 3, 10)
-            .link(1, 2, 1)
-            .cluster([0], [2])
-            .cluster([1], [3])
-            .build()
-            .unwrap();
-        let exits = vec![exit(1, 1, 0, 2), exit(2, 1, 0, 3)];
-        let fast = explore_memoized(
+        let (topo, exits) = disagree();
+        let fast = explore(
             &topo,
             ProtocolConfig::STANDARD,
             exits.clone(),
-            100_000,
-            true,
+            ExploreOptions::new().max_states(100_000),
         );
-        let slow = explore_memoized(&topo, ProtocolConfig::STANDARD, exits, 100_000, false);
+        let slow = explore(
+            &topo,
+            ProtocolConfig::STANDARD,
+            exits,
+            ExploreOptions::new().max_states(100_000).memoized(false),
+        );
         assert_eq!(fast.states, slow.states);
         assert_eq!(fast.complete, slow.complete);
         assert_eq!(fast.stable_vectors, slow.stable_vectors);
@@ -309,6 +277,9 @@ mod tests {
         assert!(m.peak_queue > 0);
         assert!(m.elapsed_nanos > 0);
         assert!(m.states_per_sec() > 0.0);
+        assert_eq!(m.workers, 1);
+        assert_eq!(m.handoffs, 0, "in-thread path hands nothing off");
+        assert!(m.peak_shard > 0);
         // The naive path never touches the cache.
         assert_eq!(slow.metrics.cache_hits, 0);
         assert_eq!(slow.metrics.cache_misses, 0);
@@ -321,9 +292,77 @@ mod tests {
             .full_mesh()
             .build()
             .unwrap();
-        let r = explore(&topo, ProtocolConfig::STANDARD, vec![], 100);
+        let r = explore(
+            &topo,
+            ProtocolConfig::STANDARD,
+            vec![],
+            ExploreOptions::new().max_states(100),
+        );
         assert!(r.complete);
         assert_eq!(r.states, 1);
         assert_eq!(r.stable_vectors, vec![vec![None, None]]);
+    }
+
+    /// The parallel pool reproduces the in-thread result exactly — the
+    /// determinism contract the module doc promises. (The proptest in
+    /// `tests/parallel_equivalence.rs` covers random instances; this is
+    /// the cheap always-on check.)
+    #[test]
+    fn parallel_jobs_match_sequential_bit_for_bit() {
+        let (topo, exits) = disagree();
+        let base = explore(
+            &topo,
+            ProtocolConfig::STANDARD,
+            exits.clone(),
+            ExploreOptions::new().max_states(100_000),
+        );
+        for jobs in [2, 4] {
+            let par = explore(
+                &topo,
+                ProtocolConfig::STANDARD,
+                exits.clone(),
+                ExploreOptions::new().max_states(100_000).jobs(jobs),
+            );
+            assert_eq!(par.states, base.states, "jobs={jobs}");
+            assert_eq!(par.complete, base.complete, "jobs={jobs}");
+            assert_eq!(par.stable_vectors, base.stable_vectors, "jobs={jobs}");
+            assert_eq!(par.cap, base.cap, "jobs={jobs}");
+            assert_eq!(par.metrics.workers, jobs as u64);
+            assert!(par.metrics.handoffs > 0, "pool path must hand units off");
+            // Engine-side counters are sums over the same deterministic
+            // work set, so they match the sequential run too.
+            assert_eq!(par.metrics.activations, base.metrics.activations);
+            assert_eq!(par.metrics.messages, base.metrics.messages);
+        }
+    }
+
+    /// Cap determinism: the capped prefix is identical at every thread
+    /// count, including which state trips the cap.
+    #[test]
+    fn capped_search_is_deterministic_across_jobs() {
+        let (topo, exits) = disagree();
+        for cap in [1, 3, 7, 20] {
+            let base = explore(
+                &topo,
+                ProtocolConfig::STANDARD,
+                exits.clone(),
+                ExploreOptions::new().max_states(cap),
+            );
+            for jobs in [2, 8] {
+                let par = explore(
+                    &topo,
+                    ProtocolConfig::STANDARD,
+                    exits.clone(),
+                    ExploreOptions::new().max_states(cap).jobs(jobs),
+                );
+                assert_eq!(par.states, base.states, "cap={cap} jobs={jobs}");
+                assert_eq!(par.complete, base.complete, "cap={cap} jobs={jobs}");
+                assert_eq!(par.cap, base.cap, "cap={cap} jobs={jobs}");
+                assert_eq!(
+                    par.stable_vectors, base.stable_vectors,
+                    "cap={cap} jobs={jobs}"
+                );
+            }
+        }
     }
 }

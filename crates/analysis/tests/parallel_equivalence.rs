@@ -1,0 +1,132 @@
+//! Property test: the parallel sharded-frontier explorer is bit-identical
+//! to the sequential search at every thread count.
+//!
+//! Random topologies (full mesh, one cluster, two clusters), random exit
+//! sets, and all three protocol variants are explored at `jobs` ∈
+//! {1, 2, 8}; every run must agree on the state count, completeness, the
+//! cap verdict, and the (canonically sorted) stable-vector list. Small
+//! caps are included so the mid-merge cap trip point is exercised too —
+//! the capped prefix must be the same prefix at every thread count.
+
+use ibgp_analysis::{explore, ExploreOptions};
+use ibgp_proto::variants::ProtocolConfig;
+use ibgp_topology::{Topology, TopologyBuilder};
+use ibgp_types::{AsId, ExitPath, ExitPathId, ExitPathRef, IgpCost, Med, RouterId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Connected topology over `n` routers: a chain plus deduplicated extra
+/// links, under one of three I-BGP session shapes.
+fn build_topology(
+    n: usize,
+    shape: u8,
+    chain_costs: &[u64],
+    extra_links: &[(u32, u32, u64)],
+) -> Topology {
+    let mut b = TopologyBuilder::new(n);
+    let mut seen: Vec<(u32, u32)> = Vec::new();
+    for (i, &cost) in chain_costs.iter().take(n - 1).enumerate() {
+        let (u, v) = (i as u32, i as u32 + 1);
+        b = b.link(u, v, cost);
+        seen.push((u, v));
+    }
+    for &(u, v, cost) in extra_links {
+        let (u, v) = (u % n as u32, v % n as u32);
+        let pair = (u.min(v), u.max(v));
+        if u != v && !seen.contains(&pair) {
+            seen.push(pair);
+            b = b.link(pair.0, pair.1, cost);
+        }
+    }
+    b = match shape {
+        0 => b.full_mesh(),
+        _ if shape == 2 && n >= 4 => {
+            let evens: Vec<u32> = (2..n as u32).step_by(2).collect();
+            let odds: Vec<u32> = (3..n as u32).step_by(2).collect();
+            b.cluster([0], evens).cluster([1], odds)
+        }
+        _ => b.cluster([0], 1..n as u32),
+    };
+    b.build().expect("generated topology must validate")
+}
+
+fn build_exits(n: usize, n_exits: usize, raw: &[(u32, u32, u32, u64)]) -> Vec<ExitPathRef> {
+    raw.iter()
+        .take(n_exits)
+        .enumerate()
+        .map(|(i, &(next_as, med, exit_point, exit_cost))| {
+            Arc::new(
+                ExitPath::builder(ExitPathId::new(i as u32 + 1))
+                    .via(AsId::new(next_as))
+                    .med(Med::new(med))
+                    .exit_point(RouterId::new(exit_point % n as u32))
+                    .exit_cost(IgpCost::new(exit_cost))
+                    .build_unchecked(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parallel_explore_is_bit_identical_to_sequential(
+        n in 2usize..=5,
+        shape in 0u8..3,
+        chain_costs in prop::collection::vec(1u64..10, 4),
+        extra_links in prop::collection::vec((0u32..5, 0u32..5, 1u64..10), 0..4),
+        n_exits in 1usize..=4,
+        exit_raw in prop::collection::vec((1u32..3, 0u32..11, 0u32..5, 0u64..6), 4),
+        variant in 0u8..3,
+        memoized in any::<bool>(),
+        // 0 = effectively uncapped; k > 0 caps the search after k states
+        // so the cap trip point itself is compared across thread counts.
+        cap_raw in 0usize..40,
+    ) {
+        let topo = build_topology(n, shape, &chain_costs, &extra_links);
+        let exits = build_exits(n, n_exits, &exit_raw);
+        let config = [
+            ProtocolConfig::STANDARD,
+            ProtocolConfig::WALTON,
+            ProtocolConfig::MODIFIED,
+        ][variant as usize];
+        let max_states = if cap_raw == 0 { 200_000 } else { cap_raw };
+
+        let opts = |jobs: usize| {
+            ExploreOptions::new()
+                .max_states(max_states)
+                .memoized(memoized)
+                .jobs(jobs)
+        };
+        let sequential = explore(&topo, config, exits.clone(), opts(1));
+
+        // The canonical ordering is part of the contract.
+        let mut sorted = sequential.stable_vectors.clone();
+        sorted.sort();
+        prop_assert_eq!(&sorted, &sequential.stable_vectors);
+        prop_assert_eq!(sequential.complete, sequential.cap.is_none());
+
+        for jobs in [2usize, 8] {
+            let parallel = explore(&topo, config, exits.clone(), opts(jobs));
+            prop_assert_eq!(parallel.states, sequential.states, "jobs={}", jobs);
+            prop_assert_eq!(parallel.complete, sequential.complete, "jobs={}", jobs);
+            prop_assert_eq!(parallel.cap, sequential.cap, "jobs={}", jobs);
+            prop_assert_eq!(
+                &parallel.stable_vectors, &sequential.stable_vectors,
+                "jobs={}", jobs
+            );
+            // Engine-side counters are sums over the same work set, so
+            // they are deterministic too.
+            prop_assert_eq!(
+                parallel.metrics.activations, sequential.metrics.activations,
+                "jobs={}", jobs
+            );
+            prop_assert_eq!(
+                parallel.metrics.messages, sequential.metrics.messages,
+                "jobs={}", jobs
+            );
+            prop_assert_eq!(parallel.metrics.workers, jobs as u64);
+        }
+    }
+}

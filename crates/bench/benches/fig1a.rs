@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ibgp::scenarios::fig1a;
-use ibgp::{Network, OscillationClass, ProtocolVariant};
+use ibgp::{ExploreOptions, Network, OscillationClass, ProtocolVariant};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("standard/exhaustive-persistence-proof", |b| {
         b.iter(|| {
             let n = Network::from_scenario(black_box(&scenario), ProtocolVariant::Standard);
-            let (class, _) = n.classify(500_000);
+            let (class, _) = n.classify(ExploreOptions::new().max_states(500_000));
             assert_eq!(class, OscillationClass::Persistent);
             class
         })

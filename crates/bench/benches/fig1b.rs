@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ibgp::proto::variants::ProtocolConfig;
 use ibgp::scenarios::fig1b;
-use ibgp::{Network, ProtocolVariant, SelectionPolicy};
+use ibgp::{ExploreOptions, Network, ProtocolVariant, SelectionPolicy};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -34,7 +34,7 @@ fn bench(c: &mut Criterion) {
 
     group.bench_function("rfc1771-order/exhaustive-persistence-proof", |b| {
         b.iter(|| {
-            let (class, _) = black_box(&rfc).classify(100_000);
+            let (class, _) = black_box(&rfc).classify(ExploreOptions::new().max_states(100_000));
             class
         })
     });

@@ -1,32 +1,60 @@
-//! Incremental reachability engine: memoized vs naive exploration on the
-//! fig2 and fig13 classification paths (the 500k-state budget the
-//! persistence proofs run with). Prints the one-shot speedup together
-//! with the cache hit rate and states/sec reported by `Metrics`.
+//! Reachability exploration benchmarks.
+//!
+//! Two axes:
+//!
+//! * memoized vs naive update evaluation on the fig2 and fig13
+//!   classification paths (the 500k-state budget the persistence proofs
+//!   run with), printed as a one-shot speedup with the cache hit rate
+//!   and states/sec reported by `Metrics`;
+//! * thread scaling of the sharded-frontier explorer at `jobs` ∈
+//!   {1, 2, 4, 8} on the fig13/walton search and on a 12-router random
+//!   sweep, with a determinism cross-check at every thread count.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ibgp::analysis::reachability::explore_memoized;
+use ibgp::analysis::reachability::{explore, ExploreOptions};
+use ibgp::scenarios::random::{random_scenario, RandomConfig};
 use ibgp::scenarios::{fig13, fig2};
 use ibgp::ProtocolConfig;
 use std::hint::black_box;
 use std::time::Instant;
 
-fn bench(c: &mut Criterion) {
+const MAX_STATES: usize = 500_000;
+const JOBS: [usize; 4] = [1, 2, 4, 8];
+
+fn opts(jobs: usize, memoized: bool) -> ExploreOptions {
+    ExploreOptions::new()
+        .max_states(MAX_STATES)
+        .memoized(memoized)
+        .jobs(jobs)
+}
+
+/// 12 routers (4 clusters × 2 clients), enough exits to disagree over.
+fn random_sweep_scenario() -> ibgp::Scenario {
+    let cfg = RandomConfig {
+        clusters: 4,
+        clients_per_cluster: 2,
+        exits: 5,
+        ..RandomConfig::default()
+    };
+    random_scenario(cfg, 11)
+}
+
+fn bench_memoization(c: &mut Criterion) {
     let fig2 = fig2::scenario();
     let fig13 = fig13::scenario();
     let cases: [(&str, &ibgp::Scenario, ProtocolConfig); 2] = [
         ("fig2/standard", &fig2, ProtocolConfig::STANDARD),
         ("fig13/walton", &fig13, ProtocolConfig::WALTON),
     ];
-    const MAX_STATES: usize = 500_000;
 
     for (label, s, config) in cases {
         // One-shot comparison against the naive reference engine; the
         // timed groups below re-measure each side in isolation.
         let t0 = Instant::now();
-        let fast = explore_memoized(&s.topology, config, s.exits(), MAX_STATES, true);
+        let fast = explore(&s.topology, config, s.exits(), opts(1, true));
         let t_fast = t0.elapsed();
         let t0 = Instant::now();
-        let slow = explore_memoized(&s.topology, config, s.exits(), MAX_STATES, false);
+        let slow = explore(&s.topology, config, s.exits(), opts(1, false));
         let t_slow = t0.elapsed();
         assert_eq!(fast.states, slow.states, "{label}: engines disagree");
         assert_eq!(fast.stable_vectors, slow.stable_vectors);
@@ -42,13 +70,53 @@ fn bench(c: &mut Criterion) {
 
         let mut group = c.benchmark_group(label);
         group.bench_function("explore-memoized", |b| {
-            b.iter(|| explore_memoized(black_box(&s.topology), config, s.exits(), MAX_STATES, true))
+            b.iter(|| explore(black_box(&s.topology), config, s.exits(), opts(1, true)))
         });
         group.bench_function("explore-naive", |b| {
-            b.iter(|| {
-                explore_memoized(black_box(&s.topology), config, s.exits(), MAX_STATES, false)
-            })
+            b.iter(|| explore(black_box(&s.topology), config, s.exits(), opts(1, false)))
         });
+        group.finish();
+    }
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let fig13 = fig13::scenario();
+    let random = random_sweep_scenario();
+    let cases: [(&str, &ibgp::Scenario, ProtocolConfig); 2] = [
+        ("fig13/walton/scaling", &fig13, ProtocolConfig::WALTON),
+        (
+            "random12/standard/scaling",
+            &random,
+            ProtocolConfig::STANDARD,
+        ),
+    ];
+
+    for (label, s, config) in cases {
+        let reference = explore(&s.topology, config, s.exits(), opts(1, true));
+        let base = reference.metrics.elapsed_nanos.max(1) as f64;
+        println!(
+            "{label}: {} states at jobs=1 ({:.0} states/sec)",
+            reference.states,
+            reference.metrics.states_per_sec()
+        );
+        let mut group = c.benchmark_group(label);
+        for jobs in JOBS {
+            // Determinism cross-check: every thread count must reproduce
+            // the sequential result bit for bit.
+            let parallel = explore(&s.topology, config, s.exits(), opts(jobs, true));
+            assert_eq!(parallel.states, reference.states, "{label} jobs={jobs}");
+            assert_eq!(parallel.complete, reference.complete);
+            assert_eq!(parallel.stable_vectors, reference.stable_vectors);
+            println!(
+                "{label}: jobs={jobs} -> {:.2}x vs jobs=1 ({} handoffs, peak shard {})",
+                base / parallel.metrics.elapsed_nanos.max(1) as f64,
+                parallel.metrics.handoffs,
+                parallel.metrics.peak_shard,
+            );
+            group.bench_function(format!("jobs-{jobs}"), |b| {
+                b.iter(|| explore(black_box(&s.topology), config, s.exits(), opts(jobs, true)))
+            });
+        }
         group.finish();
     }
 }
@@ -59,6 +127,6 @@ criterion_group! {
         .sample_size(3)
         .warm_up_time(std::time::Duration::from_millis(100))
         .measurement_time(std::time::Duration::from_secs(5));
-    targets = bench
+    targets = bench_memoization, bench_thread_scaling
 }
 criterion_main!(benches);

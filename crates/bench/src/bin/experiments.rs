@@ -8,18 +8,18 @@
 use ibgp::npc::{check_equivalence, Formula};
 use ibgp::proto::variants::ProtocolConfig;
 use ibgp::scenarios::{fig13, fig14, fig1a, fig1b, fig2, fig3};
-use ibgp::sim::{RoundRobin, SeededJitter, SyncEngine};
+use ibgp::sim::{Engine, RoundRobin, SeededJitter, SyncEngine};
 use ibgp::theorems::verify_paper_theorems;
 use ibgp::{
-    render_table, ExperimentRow, MedMode, Network, OscillationClass, ProtocolVariant, RuleOrder,
-    SelectionPolicy,
+    render_table, ExperimentRow, ExploreOptions, MedMode, Network, OscillationClass,
+    ProtocolVariant, RuleOrder, SelectionPolicy,
 };
 
 const MAX_STATES: usize = 500_000;
 const MAX_STEPS: u64 = 100_000;
 
 fn classify_of(net: &Network) -> OscillationClass {
-    net.classify(MAX_STATES).0
+    net.classify(ExploreOptions::new().max_states(MAX_STATES)).0
 }
 
 fn e1_fig1a() -> Vec<ExperimentRow> {
@@ -101,7 +101,7 @@ fn e2_fig1b() -> Vec<ExperimentRow> {
 fn e3_fig2() -> Vec<ExperimentRow> {
     let s = fig2::scenario();
     let std_net = Network::from_scenario(&s, ProtocolVariant::Standard);
-    let (std_class, reach) = std_net.classify(MAX_STATES);
+    let (std_class, reach) = std_net.classify(ExploreOptions::new().max_states(MAX_STATES));
     let stable_count = reach.stable_vectors.len();
     let wal_class = classify_of(&Network::from_scenario(&s, ProtocolVariant::Walton));
     let modi = Network::from_scenario(&s, ProtocolVariant::Modified);

@@ -20,6 +20,7 @@ commands:
 options:
   --variant standard|walton|modified   protocol (default standard)
   --max-states N                       search cap (default 500000)
+  --jobs N                             search worker threads (default 1, 0 = auto)
   --steps N                            step budget (default 100000)
 
 formula syntax: clauses ';'-separated, literals ','-separated, negative
@@ -35,6 +36,7 @@ pub enum Command {
         scenario: String,
         variant: ProtocolVariant,
         max_states: usize,
+        jobs: usize,
     },
     /// `run <scenario>`
     Run {
@@ -43,7 +45,7 @@ pub enum Command {
         steps: u64,
     },
     /// `gallery`
-    Gallery { max_states: usize },
+    Gallery { max_states: usize, jobs: usize },
     /// `dot <scenario>`
     Dot { scenario: String },
     /// `theorems <scenario>`
@@ -69,6 +71,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut positional: Vec<&str> = Vec::new();
     let mut variant = ProtocolVariant::Standard;
     let mut max_states = 500_000usize;
+    let mut jobs = 1usize;
     let mut steps = 100_000u64;
     let mut i = 0;
     while i < rest.len() {
@@ -85,6 +88,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 max_states = v
                     .parse()
                     .map_err(|_| format!("invalid --max-states value `{v}`"))?;
+            }
+            "--jobs" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--jobs needs a value")?;
+                jobs = v
+                    .parse()
+                    .map_err(|_| format!("invalid --jobs value `{v}`"))?;
             }
             "--steps" => {
                 i += 1;
@@ -113,13 +123,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             scenario: one_positional("scenario name")?,
             variant,
             max_states,
+            jobs,
         }),
         "run" => Ok(Command::Run {
             scenario: one_positional("scenario name")?,
             variant,
             steps,
         }),
-        "gallery" => Ok(Command::Gallery { max_states }),
+        "gallery" => Ok(Command::Gallery { max_states, jobs }),
         "dot" => Ok(Command::Dot {
             scenario: one_positional("scenario name")?,
         }),
@@ -198,19 +209,26 @@ mod tests {
         assert_eq!(parse(&argv("list")).unwrap(), Command::List);
         assert_eq!(
             parse(&argv("gallery --max-states 100")).unwrap(),
-            Command::Gallery { max_states: 100 }
+            Command::Gallery {
+                max_states: 100,
+                jobs: 1
+            }
         );
     }
 
     #[test]
     fn parses_classify_with_options() {
-        let cmd = parse(&argv("classify fig1a --variant walton --max-states 42")).unwrap();
+        let cmd = parse(&argv(
+            "classify fig1a --variant walton --max-states 42 --jobs 4",
+        ))
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Classify {
                 scenario: "fig1a".into(),
                 variant: ProtocolVariant::Walton,
                 max_states: 42,
+                jobs: 4,
             }
         );
     }
@@ -236,6 +254,7 @@ mod tests {
         assert!(parse(&argv("classify a b")).is_err());
         assert!(parse(&argv("classify fig1a --variant nope")).is_err());
         assert!(parse(&argv("classify fig1a --max-states abc")).is_err());
+        assert!(parse(&argv("classify fig1a --jobs abc")).is_err());
         assert!(parse(&argv("classify fig1a --mystery")).is_err());
         assert!(parse(&argv("classify fig1a --variant")).is_err());
     }

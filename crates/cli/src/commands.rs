@@ -4,9 +4,9 @@ use crate::args::{parse_formula, Command};
 use ibgp::npc::{assignment_from_best, reduce, schedule_for, solve};
 use ibgp::proto::variants::ProtocolConfig;
 use ibgp::scenarios::{all_scenarios, by_name};
-use ibgp::sim::SyncEngine;
+use ibgp::sim::{Engine, SyncEngine};
 use ibgp::theorems::verify_paper_theorems;
-use ibgp::{Network, ProtocolVariant, Scenario};
+use ibgp::{ExploreOptions, Network, ProtocolVariant, Scenario};
 
 /// Execute a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
@@ -16,13 +16,14 @@ pub fn run(cmd: Command) -> Result<(), String> {
             scenario,
             variant,
             max_states,
-        } => classify(&scenario, variant, max_states),
+            jobs,
+        } => classify(&scenario, variant, max_states, jobs),
         Command::Run {
             scenario,
             variant,
             steps,
         } => converge(&scenario, variant, steps),
-        Command::Gallery { max_states } => gallery(max_states),
+        Command::Gallery { max_states, jobs } => gallery(max_states, jobs),
         Command::Dot { scenario } => dot(&scenario),
         Command::Theorems { scenario, steps } => theorems(&scenario, steps),
         Command::Sat { formula, steps } => sat(&formula, steps),
@@ -55,18 +56,22 @@ fn list() {
     }
 }
 
-fn classify(name: &str, variant: ProtocolVariant, max_states: usize) {
+fn classify(name: &str, variant: ProtocolVariant, max_states: usize, jobs: usize) {
     let s = lookup(name);
     let n = Network::from_scenario(&s, variant);
-    let (class, reach) = n.classify(max_states);
+    let (class, reach) = n.classify(ExploreOptions::new().max_states(max_states).jobs(jobs));
     println!("{name} under {variant}: {class}");
+    if let Some(cap) = reach.cap {
+        println!("  inconclusive: state cap {cap} reached (raise --max-states)");
+    }
     println!(
         "  {} reachable configurations (complete search: {})",
         reach.states, reach.complete
     );
     println!(
-        "  explored at {:.0} states/sec (frontier depth {}, peak queue {})",
+        "  explored at {:.0} states/sec on {} worker(s) (frontier depth {}, peak queue {})",
         reach.metrics.states_per_sec(),
+        reach.metrics.workers,
         reach.metrics.frontier_depth,
         reach.metrics.peak_queue
     );
@@ -99,7 +104,7 @@ fn converge(name: &str, variant: ProtocolVariant, steps: u64) {
     }
 }
 
-fn gallery(max_states: usize) {
+fn gallery(max_states: usize, jobs: usize) {
     println!(
         "{:<8} {:<9} {:>7} {:>7}  class",
         "scenario", "protocol", "states", "stable"
@@ -110,7 +115,8 @@ fn gallery(max_states: usize) {
             ProtocolVariant::Walton,
             ProtocolVariant::Modified,
         ] {
-            let (class, reach) = Network::from_scenario(&s, variant).classify(max_states);
+            let (class, reach) = Network::from_scenario(&s, variant)
+                .classify(ExploreOptions::new().max_states(max_states).jobs(jobs));
             println!(
                 "{:<8} {:<9} {:>7} {:>7}  {}",
                 s.name,

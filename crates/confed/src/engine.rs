@@ -23,10 +23,11 @@
 use crate::announcement::{Announcement, RouteSource};
 use crate::topology::ConfedTopology;
 use ibgp_proto::selection::{choose_set, MedMode};
+use ibgp_sim::{Engine, RoundRobin, SyncOutcome};
 use ibgp_types::RouterId;
 use ibgp_types::{ExitPathId, ExitPathRef, IgpCost};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Advertisement discipline.
@@ -48,54 +49,8 @@ impl fmt::Display for ConfedMode {
     }
 }
 
-/// Outcome of a bounded run (mirrors `ibgp_sim::SyncOutcome`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ConfedOutcome {
-    /// Reached a fixed point.
-    Converged {
-        /// Steps taken.
-        steps: u64,
-    },
-    /// Provably periodic under the (periodic) schedule.
-    Cycle {
-        /// First step of the repeated state.
-        first_seen: u64,
-        /// Cycle length.
-        period: u64,
-    },
-    /// Step budget exhausted without a verdict.
-    Budget {
-        /// Steps taken.
-        steps: u64,
-    },
-}
-
-impl ConfedOutcome {
-    /// True when converged.
-    pub fn converged(&self) -> bool {
-        matches!(self, ConfedOutcome::Converged { .. })
-    }
-
-    /// True when provably cycling.
-    pub fn cycled(&self) -> bool {
-        matches!(self, ConfedOutcome::Cycle { .. })
-    }
-}
-
-impl fmt::Display for ConfedOutcome {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ConfedOutcome::Converged { steps } => write!(f, "converged after {steps} steps"),
-            ConfedOutcome::Cycle { first_seen, period } => {
-                write!(f, "cycle of period {period} entered at step {first_seen}")
-            }
-            ConfedOutcome::Budget { steps } => write!(f, "no decision within {steps} steps"),
-        }
-    }
-}
-
 #[derive(Debug, Clone)]
-struct NodeState {
+pub(crate) struct NodeState {
     my_exits: Vec<ExitPathRef>,
     /// Candidate announcements, keyed by exit-path id.
     possible: BTreeMap<ExitPathId, Announcement>,
@@ -103,7 +58,8 @@ struct NodeState {
     advertised: Vec<Announcement>,
 }
 
-type NodeKey = (
+/// Canonical per-node state encoding used for dedup and cycle detection.
+pub type NodeKey = (
     Vec<(ExitPathId, Vec<u32>, u8)>,
     Option<ExitPathId>,
     Vec<(ExitPathId, Vec<u32>)>,
@@ -311,14 +267,41 @@ impl<'a> ConfedEngine<'a> {
         }
     }
 
-    /// Apply one activation step (all members read the pre-step state).
-    pub fn step(&mut self, set: &[RouterId]) {
-        let updates: Vec<(RouterId, NodeState)> =
-            set.iter().map(|&u| (u, self.compute_update(u))).collect();
-        for (u, new) in updates {
-            self.nodes[u.index()] = new;
+    /// Recompute every router's state from the current (pre-step) global
+    /// state — one full synchronous sweep, indexed by router.
+    pub(crate) fn update_all(&self) -> Vec<NodeState> {
+        self.topo
+            .routers()
+            .map(|u| self.compute_update(u))
+            .collect()
+    }
+
+    /// Whether a full sweep's worth of updates changes nothing — i.e. the
+    /// current configuration is a fixed point.
+    pub(crate) fn is_fixed_point(&self, updates: &[NodeState]) -> bool {
+        updates
+            .iter()
+            .zip(&self.nodes)
+            .all(|(new, cur)| new.key() == cur.key())
+    }
+
+    /// Install the precomputed updates for the routers in `set` (one
+    /// activation step whose sweep was already computed).
+    pub(crate) fn apply(&mut self, set: &[RouterId], updates: &[NodeState]) {
+        for &u in set {
+            self.nodes[u.index()] = updates[u.index()].clone();
         }
         self.time += 1;
+    }
+
+    /// Apply one activation step (all members read the pre-step state).
+    /// Returns whether the pre-step configuration was already a fixed
+    /// point.
+    pub fn step(&mut self, set: &[RouterId]) -> bool {
+        let updates = self.update_all();
+        let stable = self.is_fixed_point(&updates);
+        self.apply(set, &updates);
+        stable
     }
 
     /// Whether the configuration is a fixed point.
@@ -334,29 +317,32 @@ impl<'a> ConfedEngine<'a> {
     }
 
     /// Run under round-robin singleton activations until a verdict.
-    pub fn run_round_robin(&mut self, max_steps: u64) -> ConfedOutcome {
-        let n = self.topo.len();
-        let mut seen: HashMap<(Vec<NodeKey>, u64), u64> = HashMap::new();
-        for step in 0..max_steps {
-            if self.is_stable() {
-                return ConfedOutcome::Converged { steps: step };
-            }
-            let key = self.state_key(step % n as u64);
-            if let Some(&first) = seen.get(&key) {
-                return ConfedOutcome::Cycle {
-                    first_seen: first,
-                    period: step - first,
-                };
-            }
-            seen.insert(key, step);
-            let u = RouterId::new((step % n as u64) as u32);
-            self.step(&[u]);
-        }
-        if self.is_stable() {
-            ConfedOutcome::Converged { steps: max_steps }
-        } else {
-            ConfedOutcome::Budget { steps: max_steps }
-        }
+    pub fn run_round_robin(&mut self, max_steps: u64) -> SyncOutcome {
+        Engine::run(self, &mut RoundRobin::new(), max_steps)
+    }
+}
+
+impl Engine for ConfedEngine<'_> {
+    type Key = (Vec<NodeKey>, u64);
+
+    fn router_count(&self) -> usize {
+        self.topo.len()
+    }
+
+    fn step(&mut self, set: &[RouterId]) -> bool {
+        ConfedEngine::step(self, set)
+    }
+
+    fn is_stable(&self) -> bool {
+        ConfedEngine::is_stable(self)
+    }
+
+    fn state_key(&self, phase: u64) -> Self::Key {
+        ConfedEngine::state_key(self, phase)
+    }
+
+    fn best_vector(&self) -> Vec<Option<ExitPathId>> {
+        ConfedEngine::best_vector(self)
     }
 }
 

@@ -44,7 +44,8 @@ pub mod search;
 pub mod topology;
 
 pub use announcement::{Announcement, RouteSource};
-pub use engine::{ConfedEngine, ConfedMode, ConfedOutcome};
+pub use engine::{ConfedEngine, ConfedMode};
+pub use ibgp_sim::{Engine, SyncOutcome};
 pub use random::{random_confederation, RandomConfedConfig};
 pub use search::{explore_confed, ConfedReachability};
 pub use topology::{ConfedTopology, SubAsId};

@@ -74,7 +74,7 @@ pub use ibgp_topology as topology;
 pub use ibgp_types as types;
 
 // The most common names, flattened.
-pub use ibgp_analysis::{classify, OscillationClass};
+pub use ibgp_analysis::{classify, ExploreOptions, OscillationClass};
 pub use ibgp_proto::variants::ProtocolConfig;
 pub use ibgp_proto::{MedMode, ProtocolVariant, RuleOrder, SelectionPolicy};
 pub use ibgp_scenarios::Scenario;

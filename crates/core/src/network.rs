@@ -6,13 +6,14 @@ use ibgp_analysis::reachability::Reachability;
 use ibgp_analysis::stable::EnumerationTooLarge;
 use ibgp_analysis::{
     classify, determinism_report, enumerate_stable_standard, forwarding_loops, DeterminismReport,
-    OscillationClass,
+    ExploreOptions, OscillationClass,
 };
 use ibgp_proto::variants::ProtocolConfig;
 use ibgp_proto::{ProtocolVariant, SelectionPolicy};
 use ibgp_scenarios::Scenario;
 use ibgp_sim::{
-    Activation, AsyncOutcome, AsyncSim, DelayModel, Metrics, RoundRobin, SyncEngine, SyncOutcome,
+    Activation, AsyncOutcome, AsyncSim, DelayModel, Engine, Metrics, RoundRobin, SyncEngine,
+    SyncOutcome,
 };
 use ibgp_topology::{Topology, TopologyBuilder, TopologyError};
 use ibgp_types::{AsId, ExitPath, ExitPathId, ExitPathRef, IgpCost, Med, Route, RouterId};
@@ -193,8 +194,8 @@ impl Network {
     }
 
     /// Exhaustively classify this network's oscillation behaviour.
-    pub fn classify(&self, max_states: usize) -> (OscillationClass, Reachability) {
-        classify(&self.topology, self.config, &self.exits, max_states)
+    pub fn classify(&self, options: ExploreOptions) -> (OscillationClass, Reachability) {
+        classify(&self.topology, self.config, &self.exits, options)
     }
 
     /// Enumerate every stable configuration of the **standard** protocol
@@ -412,7 +413,7 @@ mod tests {
     #[test]
     fn classification_is_exposed() {
         let n = disagree(ProtocolVariant::Standard);
-        let (class, _) = n.classify(100_000);
+        let (class, _) = n.classify(ExploreOptions::new().max_states(100_000));
         assert_eq!(class, OscillationClass::Transient);
     }
 

@@ -20,7 +20,7 @@ use crate::network::Network;
 use ibgp_analysis::{flush_report, forwarding_loops};
 use ibgp_proto::variants::ProtocolConfig;
 use ibgp_proto::{choose_set, ProtocolVariant};
-use ibgp_sim::{RandomFair, RoundRobin, SyncEngine};
+use ibgp_sim::{Engine, RandomFair, RoundRobin, SyncEngine};
 use ibgp_types::{ExitPathId, RouterId};
 use serde::{Deserialize, Serialize};
 

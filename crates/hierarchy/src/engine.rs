@@ -15,9 +15,10 @@
 use crate::topology::{HierTopology, SessionKind};
 use ibgp_proto::selection::choose_set;
 use ibgp_proto::{choose_best, SelectionPolicy};
+use ibgp_sim::{Engine, RoundRobin, SyncOutcome};
 use ibgp_types::{BgpId, ExitPathId, ExitPathRef, Route, RouterId};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// How a router came to know a route.
@@ -50,52 +51,6 @@ impl fmt::Display for HierMode {
     }
 }
 
-/// Run outcome (mirrors the other engines).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum HierOutcome {
-    /// Fixed point reached.
-    Converged {
-        /// Steps taken.
-        steps: u64,
-    },
-    /// Provably periodic.
-    Cycle {
-        /// First step of the repeated state.
-        first_seen: u64,
-        /// Cycle length.
-        period: u64,
-    },
-    /// Budget exhausted.
-    Budget {
-        /// Steps taken.
-        steps: u64,
-    },
-}
-
-impl HierOutcome {
-    /// True when converged.
-    pub fn converged(&self) -> bool {
-        matches!(self, HierOutcome::Converged { .. })
-    }
-
-    /// True when provably cycling.
-    pub fn cycled(&self) -> bool {
-        matches!(self, HierOutcome::Cycle { .. })
-    }
-}
-
-impl fmt::Display for HierOutcome {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            HierOutcome::Converged { steps } => write!(f, "converged after {steps} steps"),
-            HierOutcome::Cycle { first_seen, period } => {
-                write!(f, "cycle of period {period} entered at step {first_seen}")
-            }
-            HierOutcome::Budget { steps } => write!(f, "no decision within {steps} steps"),
-        }
-    }
-}
-
 /// A held route: the exit path plus how we learned it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Held {
@@ -105,7 +60,7 @@ struct Held {
 }
 
 #[derive(Debug, Clone)]
-struct NodeState {
+pub(crate) struct NodeState {
     my_exits: Vec<ExitPathRef>,
     possible: BTreeMap<ExitPathId, Held>,
     best: Option<ExitPathId>,
@@ -114,7 +69,8 @@ struct NodeState {
     advertised: Vec<Held>,
 }
 
-type NodeKey = (
+/// Canonical per-node state encoding used for dedup and cycle detection.
+pub type NodeKey = (
     Vec<(ExitPathId, u8)>,
     Option<ExitPathId>,
     Vec<(ExitPathId, u8)>,
@@ -289,14 +245,40 @@ impl<'a> HierEngine<'a> {
         }
     }
 
-    /// One activation step (members read the pre-step state).
-    pub fn step(&mut self, set: &[RouterId]) {
-        let updates: Vec<(RouterId, NodeState)> =
-            set.iter().map(|&u| (u, self.compute_update(u))).collect();
-        for (u, new) in updates {
-            self.nodes[u.index()] = new;
+    /// Recompute every router's state from the current (pre-step) global
+    /// state — one full synchronous sweep, indexed by router.
+    pub(crate) fn update_all(&self) -> Vec<NodeState> {
+        self.topo
+            .routers()
+            .map(|u| self.compute_update(u))
+            .collect()
+    }
+
+    /// Whether a full sweep's worth of updates changes nothing — i.e. the
+    /// current configuration is a fixed point.
+    pub(crate) fn is_fixed_point(&self, updates: &[NodeState]) -> bool {
+        updates
+            .iter()
+            .zip(&self.nodes)
+            .all(|(new, cur)| new.key() == cur.key())
+    }
+
+    /// Install the precomputed updates for the routers in `set` (one
+    /// activation step whose sweep was already computed).
+    pub(crate) fn apply(&mut self, set: &[RouterId], updates: &[NodeState]) {
+        for &u in set {
+            self.nodes[u.index()] = updates[u.index()].clone();
         }
         self.time += 1;
+    }
+
+    /// One activation step (members read the pre-step state). Returns
+    /// whether the pre-step configuration was already a fixed point.
+    pub fn step(&mut self, set: &[RouterId]) -> bool {
+        let updates = self.update_all();
+        let stable = self.is_fixed_point(&updates);
+        self.apply(set, &updates);
+        stable
     }
 
     /// Fixed-point check.
@@ -312,29 +294,32 @@ impl<'a> HierEngine<'a> {
     }
 
     /// Round-robin run until verdict.
-    pub fn run_round_robin(&mut self, max_steps: u64) -> HierOutcome {
-        let n = self.topo.len();
-        let mut seen: HashMap<(Vec<NodeKey>, u64), u64> = HashMap::new();
-        for step in 0..max_steps {
-            if self.is_stable() {
-                return HierOutcome::Converged { steps: step };
-            }
-            let key = self.state_key(step % n as u64);
-            if let Some(&first) = seen.get(&key) {
-                return HierOutcome::Cycle {
-                    first_seen: first,
-                    period: step - first,
-                };
-            }
-            seen.insert(key, step);
-            let u = RouterId::new((step % n as u64) as u32);
-            self.step(&[u]);
-        }
-        if self.is_stable() {
-            HierOutcome::Converged { steps: max_steps }
-        } else {
-            HierOutcome::Budget { steps: max_steps }
-        }
+    pub fn run_round_robin(&mut self, max_steps: u64) -> SyncOutcome {
+        Engine::run(self, &mut RoundRobin::new(), max_steps)
+    }
+}
+
+impl Engine for HierEngine<'_> {
+    type Key = (Vec<NodeKey>, u64);
+
+    fn router_count(&self) -> usize {
+        self.topo.len()
+    }
+
+    fn step(&mut self, set: &[RouterId]) -> bool {
+        HierEngine::step(self, set)
+    }
+
+    fn is_stable(&self) -> bool {
+        HierEngine::is_stable(self)
+    }
+
+    fn state_key(&self, phase: u64) -> Self::Key {
+        HierEngine::state_key(self, phase)
+    }
+
+    fn best_vector(&self) -> Vec<Option<ExitPathId>> {
+        HierEngine::best_vector(self)
     }
 }
 

@@ -35,7 +35,8 @@ pub mod scenarios;
 pub mod search;
 pub mod topology;
 
-pub use engine::{HierEngine, HierMode, HierOutcome};
+pub use engine::{HierEngine, HierMode};
+pub use ibgp_sim::{Engine, SyncOutcome};
 pub use random::{random_hierarchy, RandomHierConfig};
 pub use search::{explore_hier, HierReachability};
 pub use topology::{ClusterSpec, HierTopology, Member, SessionKind};

@@ -70,7 +70,11 @@ pub fn explore_hier(
         queue.push_back(engine0);
     }
     while let Some(eng) = queue.pop_front() {
-        if eng.is_stable() {
+        // One synchronous sweep serves both the stability test and every
+        // branch: `step` on a clone would recompute the same n updates
+        // per branch.
+        let updates = eng.update_all();
+        if eng.is_fixed_point(&updates) {
             let bv = eng.best_vector();
             if !stable_vectors.contains(&bv) {
                 stable_vectors.push(bv);
@@ -79,7 +83,7 @@ pub fn explore_hier(
         }
         for branch in &branches {
             let mut next = eng.clone();
-            next.step(branch);
+            next.apply(branch, &updates);
             if try_visit(&next) {
                 states += 1;
                 if states > max_states {

@@ -77,7 +77,7 @@ mod tests {
     use crate::reduction::reduce;
     use crate::sat::{Clause, Formula, Lit};
     use ibgp_proto::variants::ProtocolConfig;
-    use ibgp_sim::SyncEngine;
+    use ibgp_sim::{Engine, SyncEngine};
 
     fn formula() -> Formula {
         // (x0 ∨ ¬x1)

@@ -16,7 +16,7 @@ use crate::extract::{assignment_from_best, schedule_for};
 use crate::reduction::{reduce, SrInstance};
 use crate::sat::Formula;
 use ibgp_proto::variants::ProtocolConfig;
-use ibgp_sim::SyncEngine;
+use ibgp_sim::{Engine, SyncEngine};
 use serde::{Deserialize, Serialize};
 
 /// The verdicts of one equivalence check.

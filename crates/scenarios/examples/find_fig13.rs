@@ -5,7 +5,7 @@
 //!
 //! Usage: `cargo run --release -p ibgp-scenarios --example find_fig13 [seeds]`
 
-use ibgp_analysis::explore;
+use ibgp_analysis::{explore, ExploreOptions};
 use ibgp_proto::variants::ProtocolConfig;
 use ibgp_topology::TopologyBuilder;
 use ibgp_types::{AsId, ExitPath, ExitPathId, ExitPathRef, IgpCost, Med, RouterId};
@@ -109,7 +109,7 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(20_000);
-    let cap = 60_000;
+    let cap = ExploreOptions::new().max_states(60_000);
     let mut tried = 0u64;
     for seed in 0..seeds {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -120,15 +120,15 @@ fn main() {
         tried += 1;
         // Cheap prefilter: standard must fail to converge deterministically
         // (otherwise Walton surely converges too).
-        let walton = explore(&topo, ProtocolConfig::WALTON, exits.clone(), cap);
+        let walton = explore(&topo, ProtocolConfig::WALTON, exits.clone(), cap.clone());
         if !walton.complete || !walton.stable_vectors.is_empty() {
             continue;
         }
-        let modified = explore(&topo, ProtocolConfig::MODIFIED, exits.clone(), cap);
+        let modified = explore(&topo, ProtocolConfig::MODIFIED, exits.clone(), cap.clone());
         if !(modified.complete && modified.stable_vectors.len() == 1) {
             continue;
         }
-        let standard = explore(&topo, ProtocolConfig::STANDARD, exits.clone(), cap);
+        let standard = explore(&topo, ProtocolConfig::STANDARD, exits.clone(), cap.clone());
         println!("=== HIT seed={seed} (tried {tried}) ===");
         println!("clusters: {:?}", cand.clusters);
         println!("links: {:?}", cand.links);

@@ -77,7 +77,7 @@ mod tests {
     use super::*;
     use ibgp_analysis::{forward_from, forwarding_loops, lemma_7_6_violations, ForwardingResult};
     use ibgp_proto::variants::ProtocolConfig;
-    use ibgp_sim::{RoundRobin, SyncEngine};
+    use ibgp_sim::{Engine, RoundRobin, SyncEngine};
     use ibgp_types::{ExitPathId, RouterId};
 
     fn converged_engine(config: ProtocolConfig) -> (Scenario, Vec<Option<ExitPathId>>) {

@@ -114,9 +114,9 @@ pub fn scenario() -> Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ibgp_analysis::{classify, OscillationClass};
+    use ibgp_analysis::{classify, ExploreOptions, OscillationClass};
     use ibgp_proto::variants::ProtocolConfig;
-    use ibgp_sim::{RoundRobin, SyncEngine};
+    use ibgp_sim::{Engine, RoundRobin, SyncEngine};
 
     const MAX_STATES: usize = 500_000;
 
@@ -137,7 +137,12 @@ mod tests {
     fn walton_oscillates_persistently() {
         // The headline Fig 13 claim: the Walton et al. fix is not enough.
         let s = scenario();
-        let (class, reach) = classify(&s.topology, ProtocolConfig::WALTON, &s.exits, MAX_STATES);
+        let (class, reach) = classify(
+            &s.topology,
+            ProtocolConfig::WALTON,
+            &s.exits,
+            ExploreOptions::new().max_states(MAX_STATES),
+        );
         assert_eq!(class, OscillationClass::Persistent, "{reach:?}");
         assert!(reach.complete);
     }
@@ -145,7 +150,12 @@ mod tests {
     #[test]
     fn standard_oscillates_persistently_too() {
         let s = scenario();
-        let (class, reach) = classify(&s.topology, ProtocolConfig::STANDARD, &s.exits, MAX_STATES);
+        let (class, reach) = classify(
+            &s.topology,
+            ProtocolConfig::STANDARD,
+            &s.exits,
+            ExploreOptions::new().max_states(MAX_STATES),
+        );
         assert_eq!(class, OscillationClass::Persistent, "{reach:?}");
     }
 
@@ -160,7 +170,12 @@ mod tests {
     #[test]
     fn modified_protocol_converges_to_the_unique_fixed_point() {
         let s = scenario();
-        let (class, reach) = classify(&s.topology, ProtocolConfig::MODIFIED, &s.exits, MAX_STATES);
+        let (class, reach) = classify(
+            &s.topology,
+            ProtocolConfig::MODIFIED,
+            &s.exits,
+            ExploreOptions::new().max_states(MAX_STATES),
+        );
         assert_eq!(class, OscillationClass::Stable, "{reach:?}");
         assert_eq!(reach.stable_vectors.len(), 1);
         // With all three routes visible everywhere, each reflector takes
@@ -178,8 +193,18 @@ mod tests {
         // Walton vector is the classical best: both protocols visit the
         // same reachable state count here.
         let s = scenario();
-        let (_, rw) = classify(&s.topology, ProtocolConfig::WALTON, &s.exits, MAX_STATES);
-        let (_, rs) = classify(&s.topology, ProtocolConfig::STANDARD, &s.exits, MAX_STATES);
+        let (_, rw) = classify(
+            &s.topology,
+            ProtocolConfig::WALTON,
+            &s.exits,
+            ExploreOptions::new().max_states(MAX_STATES),
+        );
+        let (_, rs) = classify(
+            &s.topology,
+            ProtocolConfig::STANDARD,
+            &s.exits,
+            ExploreOptions::new().max_states(MAX_STATES),
+        );
         assert_eq!(rw.states, rs.states);
     }
 }

@@ -74,7 +74,7 @@ mod tests {
     use super::*;
     use ibgp_analysis::{forward_from, forwarding_loops};
     use ibgp_proto::variants::ProtocolConfig;
-    use ibgp_sim::{RoundRobin, SyncEngine};
+    use ibgp_sim::{Engine, RoundRobin, SyncEngine};
     use ibgp_types::Route;
 
     fn converge(config: ProtocolConfig) -> (Scenario, SyncEngineBests) {

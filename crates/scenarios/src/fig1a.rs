@@ -104,9 +104,9 @@ pub fn scenario() -> Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ibgp_analysis::{classify, OscillationClass};
+    use ibgp_analysis::{classify, ExploreOptions, OscillationClass};
     use ibgp_proto::variants::ProtocolConfig;
-    use ibgp_sim::{RoundRobin, SyncEngine};
+    use ibgp_sim::{Engine, RoundRobin, SyncEngine};
 
     const MAX_STATES: usize = 300_000;
 
@@ -125,7 +125,12 @@ mod tests {
     #[test]
     fn standard_protocol_oscillates_persistently() {
         let s = scenario();
-        let (class, reach) = classify(&s.topology, ProtocolConfig::STANDARD, &s.exits, MAX_STATES);
+        let (class, reach) = classify(
+            &s.topology,
+            ProtocolConfig::STANDARD,
+            &s.exits,
+            ExploreOptions::new().max_states(MAX_STATES),
+        );
         assert_eq!(class, OscillationClass::Persistent, "reach: {reach:?}");
         assert!(reach.complete);
         assert!(reach.stable_vectors.is_empty());
@@ -144,14 +149,24 @@ mod tests {
         // The paper: "Walton et al. propose a modification ... which
         // thwarts the oscillation problem in this example."
         let s = scenario();
-        let (class, reach) = classify(&s.topology, ProtocolConfig::WALTON, &s.exits, MAX_STATES);
+        let (class, reach) = classify(
+            &s.topology,
+            ProtocolConfig::WALTON,
+            &s.exits,
+            ExploreOptions::new().max_states(MAX_STATES),
+        );
         assert_eq!(class, OscillationClass::Stable, "reach: {reach:?}");
     }
 
     #[test]
     fn modified_protocol_converges_and_a_selects_r1() {
         let s = scenario();
-        let (class, reach) = classify(&s.topology, ProtocolConfig::MODIFIED, &s.exits, MAX_STATES);
+        let (class, reach) = classify(
+            &s.topology,
+            ProtocolConfig::MODIFIED,
+            &s.exits,
+            ExploreOptions::new().max_states(MAX_STATES),
+        );
         assert_eq!(class, OscillationClass::Stable, "reach: {reach:?}");
         let mut eng = SyncEngine::new(&s.topology, ProtocolConfig::MODIFIED, s.exits());
         let outcome = eng.run(&mut RoundRobin::new(), 10_000);
@@ -178,7 +193,12 @@ mod tests {
             variant: ProtocolVariant::Standard,
             policy: SelectionPolicy::ALWAYS_COMPARE_MED,
         };
-        let (class, _) = classify(&s.topology, config, &s.exits, MAX_STATES);
+        let (class, _) = classify(
+            &s.topology,
+            config,
+            &s.exits,
+            ExploreOptions::new().max_states(MAX_STATES),
+        );
         assert_eq!(class, OscillationClass::Stable);
     }
 }

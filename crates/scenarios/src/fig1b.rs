@@ -88,11 +88,11 @@ pub fn scenario() -> Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ibgp_analysis::{classify, OscillationClass};
+    use ibgp_analysis::{classify, ExploreOptions, OscillationClass};
     use ibgp_proto::selection::SelectionPolicy;
     use ibgp_proto::variants::ProtocolConfig;
     use ibgp_proto::ProtocolVariant;
-    use ibgp_sim::{RoundRobin, SyncEngine};
+    use ibgp_sim::{Engine, RoundRobin, SyncEngine};
 
     const MAX_STATES: usize = 100_000;
 
@@ -110,7 +110,7 @@ mod tests {
             &s.topology,
             config(SelectionPolicy::PAPER),
             &s.exits,
-            MAX_STATES,
+            ExploreOptions::new().max_states(MAX_STATES),
         );
         assert_eq!(class, OscillationClass::Stable, "{reach:?}");
         let mut eng = SyncEngine::new(&s.topology, config(SelectionPolicy::PAPER), s.exits());
@@ -127,7 +127,7 @@ mod tests {
             &s.topology,
             config(SelectionPolicy::RFC1771),
             &s.exits,
-            MAX_STATES,
+            ExploreOptions::new().max_states(MAX_STATES),
         );
         assert_eq!(class, OscillationClass::Persistent, "{reach:?}");
     }
@@ -150,7 +150,12 @@ mod tests {
             variant: ProtocolVariant::Modified,
             policy: SelectionPolicy::RFC1771,
         };
-        let (class, reach) = classify(&s.topology, cfg, &s.exits, MAX_STATES);
+        let (class, reach) = classify(
+            &s.topology,
+            cfg,
+            &s.exits,
+            ExploreOptions::new().max_states(MAX_STATES),
+        );
         assert_eq!(class, OscillationClass::Stable, "{reach:?}");
     }
 
@@ -164,7 +169,12 @@ mod tests {
             med_mode: ibgp_proto::MedMode::Ignore,
             rule_order: ibgp_proto::selection::RuleOrder::MinCostFirst,
         });
-        let (class, reach) = classify(&s.topology, cfg, &s.exits, MAX_STATES);
+        let (class, reach) = classify(
+            &s.topology,
+            cfg,
+            &s.exits,
+            ExploreOptions::new().max_states(MAX_STATES),
+        );
         assert_eq!(class, OscillationClass::Stable, "{reach:?}");
     }
 }

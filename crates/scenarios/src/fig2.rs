@@ -84,11 +84,11 @@ pub fn scenario() -> Scenario {
 mod tests {
     use super::*;
     use ibgp_analysis::{
-        classify, determinism_report, enumerate_stable_standard, OscillationClass,
+        classify, determinism_report, enumerate_stable_standard, ExploreOptions, OscillationClass,
     };
     use ibgp_proto::selection::SelectionPolicy;
     use ibgp_proto::variants::ProtocolConfig;
-    use ibgp_sim::{AllAtOnce, Scripted, SyncEngine};
+    use ibgp_sim::{AllAtOnce, Engine, Scripted, SyncEngine};
 
     const MAX_STATES: usize = 300_000;
 
@@ -117,11 +117,21 @@ mod tests {
     #[test]
     fn standard_is_transient_and_modified_is_stable() {
         let s = scenario();
-        let (class, reach) = classify(&s.topology, ProtocolConfig::STANDARD, &s.exits, MAX_STATES);
+        let (class, reach) = classify(
+            &s.topology,
+            ProtocolConfig::STANDARD,
+            &s.exits,
+            ExploreOptions::new().max_states(MAX_STATES),
+        );
         assert_eq!(class, OscillationClass::Transient, "{reach:?}");
         assert_eq!(reach.stable_vectors.len(), 2);
 
-        let (class, reach) = classify(&s.topology, ProtocolConfig::MODIFIED, &s.exits, MAX_STATES);
+        let (class, reach) = classify(
+            &s.topology,
+            ProtocolConfig::MODIFIED,
+            &s.exits,
+            ExploreOptions::new().max_states(MAX_STATES),
+        );
         assert_eq!(class, OscillationClass::Stable, "{reach:?}");
     }
 
@@ -161,7 +171,12 @@ mod tests {
         // One neighboring AS: the Walton vector degenerates to the single
         // best route, so the transient classification is identical.
         let s = scenario();
-        let (class, reach) = classify(&s.topology, ProtocolConfig::WALTON, &s.exits, MAX_STATES);
+        let (class, reach) = classify(
+            &s.topology,
+            ProtocolConfig::WALTON,
+            &s.exits,
+            ExploreOptions::new().max_states(MAX_STATES),
+        );
         assert_eq!(class, OscillationClass::Transient, "{reach:?}");
         assert_eq!(reach.stable_vectors.len(), 2);
         let mut eng = SyncEngine::new(&s.topology, ProtocolConfig::WALTON, s.exits());

@@ -134,7 +134,7 @@ pub fn symmetric_delay() -> Box<dyn DelayModel> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ibgp_analysis::{classify, enumerate_stable_standard, OscillationClass};
+    use ibgp_analysis::{classify, enumerate_stable_standard, ExploreOptions, OscillationClass};
     use ibgp_proto::selection::SelectionPolicy;
     use ibgp_sim::{FnDelay, SeededJitter};
 
@@ -161,7 +161,12 @@ mod tests {
         // simplified variant ("it will rely on the timing of when the
         // routes through AS2 and AS3 are injected").
         let s = scenario();
-        let (class, reach) = classify(&s.topology, ProtocolConfig::STANDARD, &s.exits, 500_000);
+        let (class, reach) = classify(
+            &s.topology,
+            ProtocolConfig::STANDARD,
+            &s.exits,
+            ExploreOptions::new().max_states(500_000),
+        );
         assert_eq!(class, OscillationClass::Stable, "{reach:?}");
         assert_eq!(
             reach.stable_vectors,
@@ -175,8 +180,8 @@ mod tests {
         // system settles on the MED-0 solution; injecting r1 afterwards
         // does not dislodge it (r6 hides r1 at A). Standard I-BGP is
         // therefore injection-order dependent.
-        use ibgp_sim::RoundRobin;
         use ibgp_sim::SyncEngine;
+        use ibgp_sim::{Engine, RoundRobin};
         let s = scenario();
         let without_r1: Vec<ExitPathRef> = s
             .exits

@@ -125,7 +125,7 @@ fn random_exits(topo: &Topology, cfg: &RandomConfig, rng: &mut StdRng) -> Vec<Ex
 mod tests {
     use super::*;
     use ibgp_proto::variants::ProtocolConfig;
-    use ibgp_sim::{RoundRobin, SyncEngine};
+    use ibgp_sim::{Engine, RoundRobin, SyncEngine};
 
     #[test]
     fn generation_is_deterministic_per_seed() {

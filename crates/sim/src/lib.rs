@@ -24,6 +24,7 @@
 
 pub mod activation;
 pub mod async_engine;
+pub mod engine;
 pub mod metrics;
 pub mod multi;
 pub mod signature;
@@ -34,6 +35,7 @@ pub use async_engine::{
     best_history, AdaptivePolicy, AsyncEvent, AsyncOutcome, AsyncSim, DelayModel, FixedDelay,
     FnDelay, SeededJitter, TraceEvent,
 };
+pub use engine::Engine;
 pub use metrics::Metrics;
 pub use multi::{aggregate, MultiPrefixSim, PrefixResult};
 pub use sync::{SyncEngine, SyncOutcome, SyncSnapshot};

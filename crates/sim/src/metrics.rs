@@ -36,11 +36,39 @@ pub struct Metrics {
     /// Reachability exploration: deepest BFS frontier reached (activation
     /// steps from `config(0)`).
     pub frontier_depth: u64,
-    /// Reachability exploration: peak BFS queue length.
+    /// Reachability exploration: peak BFS frontier length (states queued
+    /// at one depth).
     pub peak_queue: u64,
+    /// Parallel exploration: worker threads used (1 for the in-thread
+    /// sequential path).
+    pub workers: u64,
+    /// Parallel exploration: work units handed off to the worker pool
+    /// (0 for the in-thread sequential path).
+    pub handoffs: u64,
+    /// Parallel exploration: most state keys held by any one visited-set
+    /// shard at the end of the search — a balance gauge for the sharded
+    /// dedup structure.
+    pub peak_shard: u64,
 }
 
 impl Metrics {
+    /// Fold another engine's counters into this one. Engine-side counters
+    /// (activations, messages, paths advertised, best changes, cache
+    /// hits/misses) are summed — the merge is commutative and
+    /// associative, so per-worker metrics can be combined in any arrival
+    /// order. Search-side gauges (states visited, elapsed time, frontier
+    /// depth, peak queue/shard, workers, handoffs) are owned by the
+    /// search coordinator, not the workers, and are deliberately left
+    /// untouched.
+    pub fn absorb_engine(&mut self, other: &Metrics) {
+        self.activations += other.activations;
+        self.messages += other.messages;
+        self.paths_advertised += other.paths_advertised;
+        self.best_changes += other.best_changes;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+
     /// Average paths per message, or 0.0 when no messages were sent.
     pub fn paths_per_message(&self) -> f64 {
         if self.messages == 0 {

@@ -49,7 +49,7 @@
 //! unmemoized reference path stays available through
 //! [`SyncEngine::set_memoized`] and is exercised by the equivalence tests.
 
-use crate::activation::Activation;
+use crate::engine::Engine;
 use crate::metrics::Metrics;
 use crate::signature::{NodeStateKey, StateKey};
 use ibgp_proto::variants::ProtocolConfig;
@@ -65,6 +65,21 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+
+// The reachability explorer ships snapshots between worker threads and
+// shares the topology behind `&`; keep the cross-thread contracts
+// explicit so a future `Rc`/`Cell` in a row type fails to compile here
+// rather than at a distant spawn site. (`SyncEngine` itself is `Send`
+// but deliberately not `Sync` — the update memo uses `RefCell` — so each
+// worker owns its own engine.)
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<SyncSnapshot>();
+    assert_send_sync::<StateKey>();
+    assert_send_sync::<Metrics>();
+    assert_send::<SyncEngine<'_>>();
+};
 
 /// The result of a bounded sync-engine run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -158,7 +173,7 @@ type UpdateMemo = HashMap<u64, Vec<(Box<[u32]>, Arc<NodeState>)>>;
 /// The paper's synchronous simulator.
 ///
 /// ```
-/// use ibgp_sim::{RoundRobin, SyncEngine};
+/// use ibgp_sim::{Engine, RoundRobin, SyncEngine};
 /// use ibgp_proto::variants::ProtocolConfig;
 /// use ibgp_topology::TopologyBuilder;
 /// use ibgp_types::*;
@@ -565,41 +580,6 @@ impl<'a> SyncEngine<'a> {
         }
     }
 
-    /// Run under the given activation sequence until stability, a provable
-    /// cycle, or the step budget.
-    ///
-    /// Phase values from [`Activation::phase`] are used as-is: the
-    /// schedule contract requires them to already be normalized to the
-    /// schedule's own period (see the trait docs).
-    pub fn run(&mut self, schedule: &mut dyn Activation, max_steps: u64) -> SyncOutcome {
-        let n = self.topo.len();
-        let mut seen: HashMap<u64, Vec<(StateKey, u64)>> = HashMap::new();
-        for step in 0..max_steps {
-            if self.is_stable() {
-                return SyncOutcome::Converged { steps: step };
-            }
-            if let Some(phase) = schedule.phase() {
-                let key = self.state_key(phase);
-                let digest = key.digest();
-                let bucket = seen.entry(digest).or_default();
-                if let Some((_, first)) = bucket.iter().find(|(k, _)| *k == key) {
-                    return SyncOutcome::Cycle {
-                        first_seen: *first,
-                        period: step - *first,
-                    };
-                }
-                bucket.push((key, step));
-            }
-            let set = schedule.next_set(n);
-            self.step(&set);
-        }
-        if self.is_stable() {
-            SyncOutcome::Converged { steps: max_steps }
-        } else {
-            SyncOutcome::Budget { steps: max_steps }
-        }
-    }
-
     /// Capture the mutable state for later [`SyncEngine::restore`]. O(n)
     /// `Arc` clones of interned rows — no deep copy.
     pub fn snapshot(&self) -> SyncSnapshot {
@@ -626,10 +606,36 @@ impl<'a> SyncEngine<'a> {
     }
 }
 
+/// The unified engine surface ([`Engine::run`] — the bounded
+/// run-to-verdict loop — comes from the trait's default implementation).
+impl Engine for SyncEngine<'_> {
+    type Key = StateKey;
+
+    fn router_count(&self) -> usize {
+        self.topo.len()
+    }
+
+    fn step(&mut self, set: &[RouterId]) -> bool {
+        SyncEngine::step(self, set)
+    }
+
+    fn is_stable(&self) -> bool {
+        SyncEngine::is_stable(self)
+    }
+
+    fn state_key(&self, phase: u64) -> StateKey {
+        SyncEngine::state_key(self, phase)
+    }
+
+    fn best_vector(&self) -> Vec<Option<ExitPathId>> {
+        SyncEngine::best_vector(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::activation::{AllAtOnce, RoundRobin};
+    use crate::activation::{Activation, AllAtOnce, RoundRobin};
     use ibgp_topology::TopologyBuilder;
     use ibgp_types::{AsId, ExitPath, Med};
     use std::sync::Arc;

@@ -6,7 +6,7 @@
 
 use ibgp::proto::variants::ProtocolConfig;
 use ibgp::scenarios::{fig1a, fig1b};
-use ibgp::{MedMode, Network, ProtocolVariant, RuleOrder, SelectionPolicy};
+use ibgp::{ExploreOptions, MedMode, Network, ProtocolVariant, RuleOrder, SelectionPolicy};
 
 fn policies() -> Vec<(&'static str, ProtocolConfig)> {
     let p = |variant, med_mode, rule_order| ProtocolConfig {
@@ -74,7 +74,7 @@ fn main() {
         println!("{:<28} verdict (exhaustive analysis)", "policy");
         for (name, config) in policies() {
             let network = Network::from_scenario(&scenario, config.variant).with_config(config);
-            let (class, reach) = network.classify(500_000);
+            let (class, reach) = network.classify(ExploreOptions::new().max_states(500_000));
             println!(
                 "{:<28} {} ({} stable solutions)",
                 name,

@@ -8,7 +8,7 @@ use ibgp::npc::{
     assignment_from_best, check_equivalence, reduce, schedule_for, solve, Clause, Formula, Lit,
 };
 use ibgp::proto::variants::ProtocolConfig;
-use ibgp::sim::SyncEngine;
+use ibgp::sim::{Engine, SyncEngine};
 
 fn main() {
     // (x0 ∨ x1 ∨ ¬x2) ∧ (¬x0 ∨ x2 ∨ x1) ∧ (¬x1 ∨ ¬x2 ∨ x0)

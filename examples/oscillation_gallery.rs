@@ -4,7 +4,7 @@
 //! Run: `cargo run --release --example oscillation_gallery`
 
 use ibgp::scenarios::all_scenarios;
-use ibgp::{Network, ProtocolVariant};
+use ibgp::{ExploreOptions, Network, ProtocolVariant};
 
 fn main() {
     const MAX_STATES: usize = 500_000;
@@ -19,7 +19,7 @@ fn main() {
             ProtocolVariant::Modified,
         ] {
             let network = Network::from_scenario(&scenario, variant);
-            let (class, reach) = network.classify(MAX_STATES);
+            let (class, reach) = network.classify(ExploreOptions::new().max_states(MAX_STATES));
             println!(
                 "{:<8} {:<9} {:>7} {:>7}  {:<34} {}",
                 scenario.name,

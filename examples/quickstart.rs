@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --example quickstart`
 
-use ibgp::{Network, ProtocolVariant};
+use ibgp::{ExploreOptions, Network, ProtocolVariant};
 
 fn main() {
     // The paper's Fig 2 "DISAGREE" shape: each reflector is IGP-closer to
@@ -30,7 +30,7 @@ fn main() {
 
     println!("== classic I-BGP with route reflection ==");
     let standard = build(ProtocolVariant::Standard);
-    let (class, reach) = standard.classify(100_000);
+    let (class, reach) = standard.classify(ExploreOptions::new().max_states(100_000));
     println!(
         "exhaustive analysis: {class}; {} reachable stable solutions",
         reach.stable_vectors.len()

@@ -4,7 +4,7 @@
 
 use ibgp::npc::{check_equivalence, reduce, solve, Clause, Formula, Lit};
 use ibgp::proto::variants::ProtocolConfig;
-use ibgp::sim::{RandomFair, SyncEngine};
+use ibgp::sim::{Engine, RandomFair, SyncEngine};
 
 #[test]
 fn random_corpus_agrees_with_dpll() {

@@ -4,13 +4,15 @@
 
 use ibgp::proto::variants::ProtocolConfig;
 use ibgp::scenarios::{all_scenarios, by_name};
-use ibgp::{Network, OscillationClass, ProtocolVariant, SelectionPolicy};
+use ibgp::{ExploreOptions, Network, OscillationClass, ProtocolVariant, SelectionPolicy};
 
 const MAX_STATES: usize = 500_000;
 
 fn class_of(name: &str, variant: ProtocolVariant) -> OscillationClass {
     let s = by_name(name).expect("scenario exists");
-    Network::from_scenario(&s, variant).classify(MAX_STATES).0
+    Network::from_scenario(&s, variant)
+        .classify(ExploreOptions::new().max_states(MAX_STATES))
+        .0
 }
 
 #[test]
@@ -33,12 +35,20 @@ fn fig1a_verdict_matrix() {
 fn fig1b_depends_on_rule_order() {
     let s = by_name("fig1b").unwrap();
     let paper = Network::from_scenario(&s, ProtocolVariant::Standard);
-    assert_eq!(paper.classify(MAX_STATES).0, OscillationClass::Stable);
+    assert_eq!(
+        paper
+            .classify(ExploreOptions::new().max_states(MAX_STATES))
+            .0,
+        OscillationClass::Stable
+    );
     let rfc = paper.with_config(ProtocolConfig {
         variant: ProtocolVariant::Standard,
         policy: SelectionPolicy::RFC1771,
     });
-    assert_eq!(rfc.classify(MAX_STATES).0, OscillationClass::Persistent);
+    assert_eq!(
+        rfc.classify(ExploreOptions::new().max_states(MAX_STATES)).0,
+        OscillationClass::Persistent
+    );
 }
 
 #[test]
@@ -121,7 +131,7 @@ fn standard_protocol_fails_on_exactly_the_oscillating_figures() {
 fn experiment_report_renders_for_a_real_run() {
     let s = by_name("fig1a").unwrap();
     let class = Network::from_scenario(&s, ProtocolVariant::Standard)
-        .classify(MAX_STATES)
+        .classify(ExploreOptions::new().max_states(MAX_STATES))
         .0;
     let row = ibgp::ExperimentRow::new(
         "E1",
