@@ -1,0 +1,79 @@
+//! E15 — oscillation hunting (extension): seeded campaign throughput and
+//! delta-debugging minimization of a padded Fig 1(a).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibgp::hunt::generate::{generate_spec, ALL_FAMILIES};
+use ibgp::hunt::spec::{ScenarioSpec, SpecKind};
+use ibgp::hunt::{classify_spec, minimize, parse, print, HuntOptions};
+use ibgp::ProtocolVariant;
+use std::hint::black_box;
+
+fn opts() -> HuntOptions {
+    HuntOptions {
+        max_states: 200_000,
+        jobs: 1,
+    }
+}
+
+/// Fig 1(a) with two idle padding clients, the minimizer's benchmark prey.
+fn padded_fig1a() -> ScenarioSpec {
+    let s = ibgp::scenarios::by_name("fig1a").unwrap();
+    let mut spec = ScenarioSpec::from_scenario(&s, ProtocolVariant::Standard);
+    let first = spec.routers as u32;
+    let second = first + 1;
+    spec.routers += 2;
+    spec.links.push((0, first, 3));
+    spec.links.push((3, second, 2));
+    match &mut spec.kind {
+        SpecKind::Reflection(r) => {
+            r.clusters[0].1.push(first);
+            r.clusters[1].1.push(second);
+        }
+        _ => unreachable!(),
+    }
+    spec
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hunt");
+
+    group.bench_function("generate+classify/one-per-family", |b| {
+        b.iter(|| {
+            let mut states = 0usize;
+            for (i, family) in ALL_FAMILIES.into_iter().enumerate() {
+                let spec = generate_spec(family, black_box(7), i as u64);
+                let verdict = classify_spec(&spec, &opts()).unwrap();
+                states += verdict.states;
+            }
+            states
+        })
+    });
+
+    group.bench_function("format/print-parse-fig1a", |b| {
+        let spec = padded_fig1a();
+        b.iter(|| {
+            let text = print(black_box(&spec));
+            parse(&text).unwrap()
+        })
+    });
+
+    group.bench_function("minimize/padded-fig1a", |b| {
+        b.iter(|| {
+            let out = minimize(black_box(&padded_fig1a()), &opts()).unwrap();
+            assert_eq!(out.removed_routers, 2);
+            out.reclassifications
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -9,19 +9,26 @@ usage: ibgp-cli <command> [args]
 
 commands:
   list                        scenarios in the catalog
-  classify <scenario>         exhaustive oscillation analysis
-  run <scenario>              converge and print the routing table
+  classify <scenario|file>    exhaustive oscillation analysis (catalog name or .ibgp file)
+  run <scenario|file>         converge a catalog scenario, or classify a .ibgp file
   gallery                     every scenario x every protocol
   dot <scenario>              Graphviz of the topology
   theorems <scenario>         the paper's §7 checks (modified protocol)
   sat <formula>               3-SAT via the §5 routing reduction
   explain <scenario> <router> converge, then show the router's rule-by-rule decision
+  hunt                        seeded oscillation-hunting campaign into a corpus dir
+  minimize <file>             delta-debug a .ibgp specimen, preserving its verdict
+  corpus stats [dir]          summarize a corpus directory (default ./corpus)
 
 options:
   --variant standard|walton|modified   protocol (default standard)
   --max-states N                       search cap (default 500000)
   --jobs N                             search worker threads (default 1, 0 = auto)
   --steps N                            step budget (default 100000)
+  --seed N                             hunt: campaign seed (default 1)
+  --budget N                           hunt: topologies to generate (default 100)
+  --out PATH                           hunt: corpus dir (default ./corpus); minimize: output file
+  --families a,b,...                   hunt: reflection,multi-reflector,hierarchy,confed,mesh
 
 formula syntax: clauses ';'-separated, literals ','-separated, negative
 numbers negate, variables numbered from 1: \"1,2,-3;-1,3,2\"";
@@ -38,11 +45,13 @@ pub enum Command {
         max_states: usize,
         jobs: usize,
     },
-    /// `run <scenario>`
+    /// `run <scenario|file>`
     Run {
         scenario: String,
         variant: ProtocolVariant,
         steps: u64,
+        max_states: usize,
+        jobs: usize,
     },
     /// `gallery`
     Gallery { max_states: usize, jobs: usize },
@@ -59,6 +68,24 @@ pub enum Command {
         variant: ProtocolVariant,
         steps: u64,
     },
+    /// `hunt`
+    Hunt {
+        seed: u64,
+        budget: usize,
+        out: String,
+        families: Option<String>,
+        max_states: usize,
+        jobs: usize,
+    },
+    /// `minimize <file>`
+    Minimize {
+        file: String,
+        out: Option<String>,
+        max_states: usize,
+        jobs: usize,
+    },
+    /// `corpus stats [dir]`
+    CorpusStats { dir: String },
 }
 
 /// Parse an argument vector (without the program name).
@@ -73,6 +100,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut max_states = 500_000usize;
     let mut jobs = 1usize;
     let mut steps = 100_000u64;
+    let mut seed = 1u64;
+    let mut budget = 100usize;
+    let mut out: Option<String> = None;
+    let mut families: Option<String> = None;
     let mut i = 0;
     while i < rest.len() {
         let a = rest[i].as_str();
@@ -103,6 +134,30 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     .parse()
                     .map_err(|_| format!("invalid --steps value `{v}`"))?;
             }
+            "--seed" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--seed needs a value")?;
+                seed = v
+                    .parse()
+                    .map_err(|_| format!("invalid --seed value `{v}`"))?;
+            }
+            "--budget" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--budget needs a value")?;
+                budget = v
+                    .parse()
+                    .map_err(|_| format!("invalid --budget value `{v}`"))?;
+            }
+            "--out" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--out needs a value")?;
+                out = Some(v.to_string());
+            }
+            "--families" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--families needs a value")?;
+                families = Some(v.to_string());
+            }
             _ if a.starts_with("--") => return Err(format!("unknown option `{a}`")),
             _ => positional.push(a),
         }
@@ -126,9 +181,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             jobs,
         }),
         "run" => Ok(Command::Run {
-            scenario: one_positional("scenario name")?,
+            scenario: one_positional("scenario name or .ibgp file")?,
             variant,
             steps,
+            max_states,
+            jobs,
         }),
         "gallery" => Ok(Command::Gallery { max_states, jobs }),
         "dot" => Ok(Command::Dot {
@@ -153,19 +210,42 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             }),
             _ => Err("`explain` needs a scenario name and a router id".into()),
         },
+        "hunt" => {
+            if !positional.is_empty() {
+                return Err("`hunt` takes no positional arguments".into());
+            }
+            Ok(Command::Hunt {
+                seed,
+                budget,
+                out: out.unwrap_or_else(|| "corpus".into()),
+                families,
+                max_states,
+                jobs,
+            })
+        }
+        "minimize" => Ok(Command::Minimize {
+            file: one_positional(".ibgp file")?,
+            out,
+            max_states,
+            jobs,
+        }),
+        "corpus" => match positional.as_slice() {
+            ["stats"] => Ok(Command::CorpusStats {
+                dir: "corpus".into(),
+            }),
+            ["stats", dir] => Ok(Command::CorpusStats {
+                dir: (*dir).to_string(),
+            }),
+            _ => Err("`corpus` supports `corpus stats [dir]`".into()),
+        },
         other => Err(format!("unknown command `{other}`")),
     }
 }
 
 fn parse_variant(s: &str) -> Result<ProtocolVariant, String> {
-    match s {
-        "standard" => Ok(ProtocolVariant::Standard),
-        "walton" => Ok(ProtocolVariant::Walton),
-        "modified" => Ok(ProtocolVariant::Modified),
-        other => Err(format!(
-            "unknown variant `{other}` (expected standard|walton|modified)"
-        )),
-    }
+    // The accepted spellings live on `ProtocolVariant`'s `FromStr`, shared
+    // with the `.ibgp` scenario format so they cannot drift apart.
+    s.parse()
 }
 
 /// Parse the clause syntax into a formula.
@@ -242,8 +322,66 @@ mod tests {
                 scenario: "fig2".into(),
                 variant: ProtocolVariant::Standard,
                 steps: 100_000,
+                max_states: 500_000,
+                jobs: 1,
             }
         );
+    }
+
+    #[test]
+    fn parses_hunt_minimize_and_corpus() {
+        let cmd = parse(&argv(
+            "hunt --seed 9 --budget 25 --out /tmp/c --families reflection,confed --jobs 2",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Hunt {
+                seed: 9,
+                budget: 25,
+                out: "/tmp/c".into(),
+                families: Some("reflection,confed".into()),
+                max_states: 500_000,
+                jobs: 2,
+            }
+        );
+        assert_eq!(
+            parse(&argv("hunt")).unwrap(),
+            Command::Hunt {
+                seed: 1,
+                budget: 100,
+                out: "corpus".into(),
+                families: None,
+                max_states: 500_000,
+                jobs: 1,
+            }
+        );
+        assert!(parse(&argv("hunt extra")).is_err());
+        assert_eq!(
+            parse(&argv("minimize a.ibgp --out b.ibgp")).unwrap(),
+            Command::Minimize {
+                file: "a.ibgp".into(),
+                out: Some("b.ibgp".into()),
+                max_states: 500_000,
+                jobs: 1,
+            }
+        );
+        assert!(parse(&argv("minimize")).is_err());
+        assert_eq!(
+            parse(&argv("corpus stats")).unwrap(),
+            Command::CorpusStats {
+                dir: "corpus".into()
+            }
+        );
+        assert_eq!(
+            parse(&argv("corpus stats /tmp/c")).unwrap(),
+            Command::CorpusStats {
+                dir: "/tmp/c".into()
+            }
+        );
+        assert!(parse(&argv("corpus")).is_err());
+        assert!(parse(&argv("hunt --seed x")).is_err());
+        assert!(parse(&argv("hunt --budget x")).is_err());
     }
 
     #[test]

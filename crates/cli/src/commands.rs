@@ -7,6 +7,8 @@ use ibgp::scenarios::{all_scenarios, by_name};
 use ibgp::sim::{Engine, SyncEngine};
 use ibgp::theorems::verify_paper_theorems;
 use ibgp::{ExploreOptions, Network, ProtocolVariant, Scenario};
+use ibgp_hunt::{HuntOptions, Verdict};
+use std::path::Path;
 
 /// Execute a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
@@ -17,12 +19,26 @@ pub fn run(cmd: Command) -> Result<(), String> {
             variant,
             max_states,
             jobs,
-        } => classify(&scenario, variant, max_states, jobs),
+        } => {
+            if is_spec_path(&scenario) {
+                classify_file(&scenario, max_states, jobs)
+            } else {
+                classify(&scenario, variant, max_states, jobs)
+            }
+        }
         Command::Run {
             scenario,
             variant,
             steps,
-        } => converge(&scenario, variant, steps),
+            max_states,
+            jobs,
+        } => {
+            if is_spec_path(&scenario) {
+                classify_file(&scenario, max_states, jobs)
+            } else {
+                converge(&scenario, variant, steps)
+            }
+        }
         Command::Gallery { max_states, jobs } => gallery(max_states, jobs),
         Command::Dot { scenario } => dot(&scenario),
         Command::Theorems { scenario, steps } => theorems(&scenario, steps),
@@ -33,8 +49,30 @@ pub fn run(cmd: Command) -> Result<(), String> {
             variant,
             steps,
         } => explain(&scenario, router, variant, steps),
+        Command::Hunt {
+            seed,
+            budget,
+            out,
+            families,
+            max_states,
+            jobs,
+        } => hunt(seed, budget, &out, families.as_deref(), max_states, jobs)?,
+        Command::Minimize {
+            file,
+            out,
+            max_states,
+            jobs,
+        } => minimize_file(&file, out.as_deref(), max_states, jobs)?,
+        Command::CorpusStats { dir } => corpus_stats(&dir)?,
     }
     Ok(())
+}
+
+/// Does a `classify`/`run` argument name an on-disk `.ibgp` specimen
+/// rather than a catalog scenario? Anything with a path separator or the
+/// `.ibgp` extension is treated as a file.
+fn is_spec_path(arg: &str) -> bool {
+    arg.ends_with(".ibgp") || arg.contains('/') || arg.contains(std::path::MAIN_SEPARATOR)
 }
 
 fn lookup(name: &str) -> Scenario {
@@ -56,35 +94,176 @@ fn list() {
     }
 }
 
-fn classify(name: &str, variant: ProtocolVariant, max_states: usize, jobs: usize) {
-    let s = lookup(name);
-    let n = Network::from_scenario(&s, variant);
-    let (class, reach) = n.classify(ExploreOptions::new().max_states(max_states).jobs(jobs));
-    println!("{name} under {variant}: {class}");
-    if let Some(cap) = reach.cap {
+/// The single verdict-printing path shared by `classify` (catalog and
+/// file) and `run <file>`: the class line, the "inconclusive: state cap N
+/// reached" hint, search size/completeness, metrics when the search was
+/// instrumented, and the stable solutions.
+fn print_verdict(label: &str, v: &Verdict) {
+    println!("{label}: {}", v.class);
+    if let Some(cap) = v.cap {
         println!("  inconclusive: state cap {cap} reached (raise --max-states)");
     }
     println!(
         "  {} reachable configurations (complete search: {})",
-        reach.states, reach.complete
+        v.states, v.complete
     );
-    println!(
-        "  explored at {:.0} states/sec on {} worker(s) (frontier depth {}, peak queue {})",
-        reach.metrics.states_per_sec(),
-        reach.metrics.workers,
-        reach.metrics.frontier_depth,
-        reach.metrics.peak_queue
-    );
-    println!(
-        "  update cache: {:.1}% hit rate ({} hits / {} misses)",
-        100.0 * reach.metrics.cache_hit_rate(),
-        reach.metrics.cache_hits,
-        reach.metrics.cache_misses
-    );
-    println!("  {} stable solution(s):", reach.stable_vectors.len());
-    for (i, sv) in reach.stable_vectors.iter().enumerate() {
+    if let Some(m) = &v.metrics {
+        println!(
+            "  explored at {:.0} states/sec on {} worker(s) (frontier depth {}, peak queue {})",
+            m.states_per_sec(),
+            m.workers,
+            m.frontier_depth,
+            m.peak_queue
+        );
+        println!(
+            "  update cache: {:.1}% hit rate ({} hits / {} misses)",
+            100.0 * m.cache_hit_rate(),
+            m.cache_hits,
+            m.cache_misses
+        );
+    }
+    println!("  {} stable solution(s):", v.stable_vectors.len());
+    for (i, sv) in v.stable_vectors.iter().enumerate() {
         println!("    #{}: {}", i + 1, fmt_bests(sv));
     }
+}
+
+fn classify(name: &str, variant: ProtocolVariant, max_states: usize, jobs: usize) {
+    let s = lookup(name);
+    let n = Network::from_scenario(&s, variant);
+    let (class, reach) = n.classify(ExploreOptions::new().max_states(max_states).jobs(jobs));
+    let verdict = Verdict {
+        class,
+        states: reach.states,
+        complete: reach.complete,
+        cap: reach.cap,
+        stable_vectors: reach.stable_vectors,
+        metrics: Some(reach.metrics),
+    };
+    print_verdict(&format!("{name} under {variant}"), &verdict);
+}
+
+fn load_spec_or_die(path: &str) -> ibgp_hunt::ScenarioSpec {
+    ibgp_hunt::load_spec(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot load `{path}`: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn classify_file(path: &str, max_states: usize, jobs: usize) {
+    let spec = load_spec_or_die(path);
+    let opts = HuntOptions { max_states, jobs };
+    match ibgp_hunt::classify_spec(&spec, &opts) {
+        Ok(verdict) => {
+            let label = format!(
+                "{} ({}, {})",
+                spec.name,
+                spec.kind.keyword(),
+                spec.protocol_label()
+            );
+            print_verdict(&label, &verdict);
+        }
+        Err(e) => {
+            eprintln!("invalid scenario `{path}`: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn hunt(
+    seed: u64,
+    budget: usize,
+    out: &str,
+    families: Option<&str>,
+    max_states: usize,
+    jobs: usize,
+) -> Result<(), String> {
+    let mut cfg = ibgp_hunt::CampaignConfig::new(seed, budget, out.into());
+    if let Some(list) = families {
+        cfg.families = ibgp_hunt::Family::parse_list(list)?;
+        if cfg.families.is_empty() {
+            return Err("--families selected no families".into());
+        }
+    }
+    cfg.options = HuntOptions { max_states, jobs };
+    let report = ibgp_hunt::run_campaign(&cfg).map_err(|e| e.to_string())?;
+    println!(
+        "hunt: seed {seed}, {} topologies into {out}/",
+        report.generated
+    );
+    println!(
+        "{:<16} {:>5} {:>5} {:>5} {:>5} {:>7} {:>5}",
+        "family", "gen", "osc", "bi", "inc", "stable", "dup"
+    );
+    for y in &report.yields {
+        println!(
+            "{:<16} {:>5} {:>5} {:>5} {:>5} {:>7} {:>5}",
+            y.family.keyword(),
+            y.generated,
+            y.oscillating,
+            y.bistable,
+            y.inconclusive,
+            y.stable,
+            y.duplicates
+        );
+    }
+    println!(
+        "filed {} new specimens ({} duplicates skipped), yield {:.1}%",
+        report.filed,
+        report.duplicates,
+        100.0 * report.yield_rate()
+    );
+    println!(
+        "search totals: {} states visited in {:.2}s wall clock (max {} worker(s))",
+        report.metrics.states_visited,
+        report.elapsed.as_secs_f64(),
+        report.metrics.workers.max(1)
+    );
+    Ok(())
+}
+
+fn minimize_file(
+    path: &str,
+    out: Option<&str>,
+    max_states: usize,
+    jobs: usize,
+) -> Result<(), String> {
+    let spec = load_spec_or_die(path);
+    let opts = HuntOptions { max_states, jobs };
+    let result = ibgp_hunt::minimize(&spec, &opts).map_err(|e| e.to_string())?;
+    println!(
+        "minimize {}: verdict `{}` preserved over {} reclassification(s)",
+        spec.name, result.verdict.class, result.reclassifications
+    );
+    println!(
+        "  removed {} router(s), {} session(s), {} exit(s): {} -> {} routers, {} -> {} exits",
+        result.removed_routers,
+        result.removed_sessions,
+        result.removed_exits,
+        spec.routers,
+        result.spec.routers,
+        spec.exits.len(),
+        result.spec.exits.len()
+    );
+    let text = ibgp_hunt::print(&result.spec);
+    match out {
+        Some(dest) => {
+            std::fs::write(dest, &text).map_err(|e| format!("cannot write `{dest}`: {e}"))?;
+            println!("  wrote {dest}");
+        }
+        None => {
+            println!("---");
+            print!("{text}");
+        }
+    }
+    Ok(())
+}
+
+fn corpus_stats(dir: &str) -> Result<(), String> {
+    let stats =
+        ibgp_hunt::stats(Path::new(dir)).map_err(|e| format!("cannot read `{dir}`: {e}"))?;
+    print!("{stats}");
+    Ok(())
 }
 
 fn converge(name: &str, variant: ProtocolVariant, steps: u64) {

@@ -106,3 +106,116 @@ fn explain_rejects_bad_router() {
     assert!(!ok);
     assert!(stderr.contains("out of range"), "{stderr}");
 }
+
+fn golden(name: &str) -> String {
+    format!(
+        "{}/../../corpus/paper/{name}.ibgp",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ibgp-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn classify_accepts_a_spec_file() {
+    let path = golden("fig1a");
+    let (stdout, _, ok) = run(&["classify", &path]);
+    assert!(ok);
+    assert!(stdout.contains("persistent oscillation"), "{stdout}");
+    assert!(stdout.contains("reflection"), "{stdout}");
+}
+
+#[test]
+fn run_on_a_spec_file_shares_the_verdict_printer() {
+    let fig1a = run(&["run", &golden("fig1a")]);
+    assert!(fig1a.2);
+    assert!(fig1a.0.contains("persistent oscillation"), "{}", fig1a.0);
+
+    // The shared cap hint appears on inconclusive searches from both verbs.
+    let capped_run = run(&["run", &golden("fig13"), "--max-states", "10"]);
+    let capped_classify = run(&["classify", &golden("fig13"), "--max-states", "10"]);
+    for (stdout, _, ok) in [&capped_run, &capped_classify] {
+        assert!(*ok);
+        assert!(
+            stdout.contains("inconclusive: state cap 10 reached"),
+            "{stdout}"
+        );
+    }
+}
+
+#[test]
+fn hunt_minimize_and_corpus_stats_chain_end_to_end() {
+    let out = temp_dir("hunt");
+    let out_str = out.to_string_lossy().into_owned();
+    let (stdout, _, ok) = run(&[
+        "hunt", "--seed", "20260806", "--budget", "30", "--out", &out_str,
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("filed 2 new specimens"), "{stdout}");
+
+    // The corpus is on disk where stats can see it.
+    let (stats, _, ok) = run(&["corpus", "stats", &out_str]);
+    assert!(ok);
+    assert!(stats.contains("specimens"), "{stats}");
+
+    // Minimize one filed find (whichever bucket this seed filled); the
+    // emitted spec must classify to the same verdict.
+    let specimen = ["oscillating", "bistable"]
+        .iter()
+        .filter_map(|b| std::fs::read_dir(out.join(b)).ok())
+        .flatten()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|x| x == "ibgp"))
+        .expect("at least one filed specimen");
+    let minimized = out.join("minimized.ibgp");
+    let (stdout, _, ok) = run(&[
+        "minimize",
+        &specimen.to_string_lossy(),
+        "--out",
+        &minimized.to_string_lossy(),
+    ]);
+    assert!(ok, "{stdout}");
+    let (verdict, _, ok) = run(&["classify", &minimized.to_string_lossy()]);
+    assert!(ok);
+    assert!(verdict.contains("oscillation"), "{verdict}");
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn minimize_shrinks_a_padded_fig1a_spec() {
+    use ibgp_hunt::spec::{ScenarioSpec, SpecKind};
+    let text = std::fs::read_to_string(golden("fig1a")).unwrap();
+    let mut spec: ScenarioSpec = ibgp_hunt::parse(&text).unwrap();
+    let first = spec.routers as u32;
+    spec.routers += 1;
+    spec.links.push((0, first, 3));
+    match &mut spec.kind {
+        SpecKind::Reflection(r) => r.clusters[0].1.push(first),
+        _ => unreachable!(),
+    }
+    let dir = temp_dir("minimize");
+    std::fs::create_dir_all(&dir).unwrap();
+    let padded = dir.join("padded.ibgp");
+    std::fs::write(&padded, ibgp_hunt::print(&spec)).unwrap();
+    let (stdout, _, ok) = run(&["minimize", &padded.to_string_lossy()]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("removed 1 router(s)"), "{stdout}");
+    assert!(stdout.contains("persistent oscillation"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_spec_file_reports_line_numbers() {
+    let dir = temp_dir("badspec");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.ibgp");
+    std::fs::write(&bad, "ibgp 1\nrouters zero\n").unwrap();
+    let (_, stderr, ok) = run(&["classify", &bad.to_string_lossy()]);
+    assert!(!ok);
+    assert!(stderr.contains("line 2"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -46,6 +46,7 @@
 //! | complexity | `ibgp-npc` | the 3-SAT reduction + DPLL ground truth |
 //! | confederations | `ibgp-confed` | the other oscillating configuration class (extension) |
 //! | hierarchies | `ibgp-hierarchy` | arbitrarily deep route reflection (extension) |
+//! | hunting | `ibgp-hunt` | `.ibgp` scenario format, seeded campaigns, minimizer |
 //!
 //! This crate re-exports the full public API and adds the high-level
 //! [`Network`] facade, the [`theorems`] checkers for the paper's §7
@@ -66,6 +67,7 @@ pub use theorems::{verify_paper_theorems, TheoremReport};
 pub use ibgp_analysis as analysis;
 pub use ibgp_confed as confed;
 pub use ibgp_hierarchy as hierarchy;
+pub use ibgp_hunt as hunt;
 pub use ibgp_npc as npc;
 pub use ibgp_proto as proto;
 pub use ibgp_scenarios as scenarios;

@@ -1,0 +1,27 @@
+//! Regenerate the golden paper-figure corpus.
+//!
+//! Writes every catalog scenario as a `.ibgp` specimen under
+//! `corpus/paper/` (relative to the workspace root). The files are
+//! committed; `tests/golden_paper.rs` asserts they stay byte-identical to
+//! what this exporter produces and that each still classifies to the
+//! figure's known verdict. Rerun after changing the format or a figure:
+//!
+//! ```text
+//! cargo run -p ibgp-hunt --example export_paper
+//! ```
+
+use ibgp_hunt::spec::ScenarioSpec;
+use ibgp_proto::ProtocolVariant;
+use std::path::Path;
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let dir = root.join("corpus/paper");
+    std::fs::create_dir_all(&dir).expect("create corpus/paper");
+    for s in ibgp_scenarios::all_scenarios() {
+        let spec = ScenarioSpec::from_scenario(&s, ProtocolVariant::Standard);
+        let path = dir.join(format!("{}.ibgp", s.name));
+        std::fs::write(&path, ibgp_hunt::print(&spec)).expect("write specimen");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,239 @@
+//! On-disk corpus layout and bookkeeping.
+//!
+//! A corpus directory holds three verdict buckets of `.ibgp` specimens:
+//!
+//! ```text
+//! corpus/
+//!   oscillating/    # proven persistent oscillation
+//!   bistable/       # transient: several stable outcomes or a live cycle
+//!   inconclusive/   # state cap hit, no verdict
+//! ```
+//!
+//! Filenames are derived from the canonical structural signature
+//! (`sig-<16 hex>.ibgp`), so the layout itself deduplicates: refiling an
+//! isomorphic specimen lands on an existing path. Stable specimens are
+//! counted by campaigns but never filed — a corpus is a collection of
+//! *problems*, not of working configurations.
+
+use crate::format;
+use crate::signature;
+use crate::spec::ScenarioSpec;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The verdict buckets a corpus directory may contain, in display order.
+pub const BUCKETS: [&str; 3] = ["oscillating", "bistable", "inconclusive"];
+
+/// Errors loading a specimen from disk.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// The file could not be read.
+    Io(io::Error),
+    /// The file is not valid `.ibgp`.
+    Format(format::FormatError),
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::Io(e) => write!(f, "{e}"),
+            CorpusError::Format(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+impl From<io::Error> for CorpusError {
+    fn from(e: io::Error) -> Self {
+        CorpusError::Io(e)
+    }
+}
+
+impl From<format::FormatError> for CorpusError {
+    fn from(e: format::FormatError) -> Self {
+        CorpusError::Format(e)
+    }
+}
+
+/// Read and parse one `.ibgp` file.
+pub fn load_spec(path: &Path) -> Result<ScenarioSpec, CorpusError> {
+    Ok(format::parse(&fs::read_to_string(path)?)?)
+}
+
+/// File a specimen into `dir/bucket/sig-<hex>.ibgp`, creating the bucket
+/// directory as needed. Returns the path written.
+pub fn write_specimen(dir: &Path, bucket: &str, spec: &ScenarioSpec) -> io::Result<PathBuf> {
+    let sig = signature::signature(spec);
+    let bucket_dir = dir.join(bucket);
+    fs::create_dir_all(&bucket_dir)?;
+    let path = bucket_dir.join(format!("{}.ibgp", signature::file_stem(&sig)));
+    fs::write(&path, format::print(spec))?;
+    Ok(path)
+}
+
+/// The signature stems already filed under every bucket of a corpus
+/// directory (used by campaigns to dedup against prior runs). Missing
+/// buckets count as empty.
+pub fn existing_stems(dir: &Path) -> io::Result<std::collections::BTreeSet<String>> {
+    let mut stems = std::collections::BTreeSet::new();
+    for bucket in BUCKETS {
+        let bucket_dir = dir.join(bucket);
+        if !bucket_dir.is_dir() {
+            continue;
+        }
+        for entry in sorted_entries(&bucket_dir)? {
+            if let Some(stem) = specimen_stem(&entry) {
+                stems.insert(stem);
+            }
+        }
+    }
+    Ok(stems)
+}
+
+fn specimen_stem(path: &Path) -> Option<String> {
+    if path.extension().is_some_and(|e| e == "ibgp") {
+        path.file_stem().map(|s| s.to_string_lossy().into_owned())
+    } else {
+        None
+    }
+}
+
+fn sorted_entries(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()?;
+    entries.sort();
+    Ok(entries)
+}
+
+/// Per-bucket statistics of a corpus directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// `(bucket, specimen count, router-count histogram, kind counts)`
+    /// for each bucket that exists, in [`BUCKETS`] order.
+    pub buckets: Vec<BucketStats>,
+}
+
+/// Statistics of one verdict bucket.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BucketStats {
+    /// Bucket name.
+    pub name: String,
+    /// Parseable specimens.
+    pub specimens: usize,
+    /// Files that failed to parse (corpus corruption indicator).
+    pub unreadable: usize,
+    /// Specimens per session-graph kind keyword.
+    pub kinds: BTreeMap<String, usize>,
+    /// Specimens per router count.
+    pub sizes: BTreeMap<usize, usize>,
+}
+
+/// Walk a corpus directory and summarize every bucket. Deterministic:
+/// directory entries are visited in sorted order.
+pub fn stats(dir: &Path) -> io::Result<CorpusStats> {
+    let mut out = CorpusStats::default();
+    for bucket in BUCKETS {
+        let bucket_dir = dir.join(bucket);
+        if !bucket_dir.is_dir() {
+            continue;
+        }
+        let mut b = BucketStats {
+            name: bucket.to_string(),
+            ..BucketStats::default()
+        };
+        for entry in sorted_entries(&bucket_dir)? {
+            if specimen_stem(&entry).is_none() {
+                continue;
+            }
+            match load_spec(&entry) {
+                Ok(spec) => {
+                    b.specimens += 1;
+                    *b.kinds.entry(spec.kind.keyword().to_string()).or_default() += 1;
+                    *b.sizes.entry(spec.routers).or_default() += 1;
+                }
+                Err(_) => b.unreadable += 1,
+            }
+        }
+        out.buckets.push(b);
+    }
+    Ok(out)
+}
+
+impl std::fmt::Display for CorpusStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.buckets.is_empty() {
+            return writeln!(f, "empty corpus (no bucket directories)");
+        }
+        for b in &self.buckets {
+            write!(f, "{:<13} {:>5} specimens", b.name, b.specimens)?;
+            if b.unreadable > 0 {
+                write!(f, "  ({} unreadable)", b.unreadable)?;
+            }
+            writeln!(f)?;
+            if b.specimens > 0 {
+                let kinds: Vec<String> = b.kinds.iter().map(|(k, n)| format!("{k} {n}")).collect();
+                writeln!(f, "{:<13}   kinds: {}", "", kinds.join(", "))?;
+                let sizes: Vec<String> = b
+                    .sizes
+                    .iter()
+                    .map(|(k, n)| format!("{k} routers x{n}"))
+                    .collect();
+                writeln!(f, "{:<13}   sizes: {}", "", sizes.join(", "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_spec, Family};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ibgp-hunt-corpus-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_load_round_trips_and_dedups_by_path() {
+        let dir = tmpdir("rt");
+        let spec = generate_spec(Family::Reflection, 5, 0);
+        let p1 = write_specimen(&dir, "oscillating", &spec).unwrap();
+        let p2 = write_specimen(&dir, "oscillating", &spec).unwrap();
+        assert_eq!(p1, p2, "same signature files to the same path");
+        assert_eq!(load_spec(&p1).unwrap(), spec);
+        let stems = existing_stems(&dir).unwrap();
+        assert_eq!(stems.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_summarize_buckets() {
+        let dir = tmpdir("stats");
+        write_specimen(
+            &dir,
+            "oscillating",
+            &generate_spec(Family::Reflection, 5, 0),
+        )
+        .unwrap();
+        write_specimen(&dir, "bistable", &generate_spec(Family::Confed, 5, 1)).unwrap();
+        fs::write(dir.join("bistable").join("junk.ibgp"), "not ibgp").unwrap();
+        let s = stats(&dir).unwrap();
+        assert_eq!(s.buckets.len(), 2);
+        assert_eq!(s.buckets[0].name, "oscillating");
+        assert_eq!(s.buckets[0].specimens, 1);
+        assert_eq!(s.buckets[1].unreadable, 1);
+        assert_eq!(s.buckets[1].kinds.get("confed"), Some(&1));
+        let shown = s.to_string();
+        assert!(shown.contains("oscillating"), "{shown}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,53 @@
+//! # ibgp-hunt
+//!
+//! An **oscillation-hunting corpus** for the paper's configuration
+//! classes. The paper proves deciding I-BGP stability NP-complete (§5),
+//! so beyond the hand-built figures the practical way to study
+//! oscillation is empirical: generate many small configurations, classify
+//! each exhaustively, and keep the interesting ones. This crate is that
+//! pipeline:
+//!
+//! * [`spec`] — a plain-data scenario description ([`ScenarioSpec`])
+//!   covering all three session-graph models (flat reflection,
+//!   confederations, nested hierarchies) plus injected exit paths, with
+//!   validation and lowering into the runnable engine inputs.
+//! * [`format`] — the `.ibgp` on-disk encoding: a hand-rolled,
+//!   line-oriented text format with a deterministic printer and a strict
+//!   parser that round-trip exactly (`parse(print(s)) == s`).
+//! * [`signature`] — canonical structural signatures (WL refinement +
+//!   minimal-certificate canonicalization) so isomorphic specimens
+//!   deduplicate to one corpus file.
+//! * [`verdict`] — the single classification path every consumer shares:
+//!   flat reflection through `ibgp_analysis::classify` (with its state
+//!   cap, worker pool, and cycle probe), confederations and hierarchies
+//!   through their exhaustive searches, all mapped onto one [`Verdict`].
+//! * [`generate`] — seeded random topology families biased toward the
+//!   paper's oscillation ingredient (same-AS exits with distinct MEDs).
+//! * [`campaign`] — the budgeted driver: generate, classify, file into
+//!   `corpus/{oscillating,bistable,inconclusive}/` deduplicated by
+//!   signature; byte-identical output for a fixed seed and budget.
+//! * [`corpus`] — specimen I/O and corpus statistics.
+//! * [`minimize`] — a greedy delta-debugging minimizer that removes
+//!   routers, sessions, and exit paths while provably preserving the
+//!   specimen's verdict.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod corpus;
+pub mod format;
+pub mod generate;
+pub mod minimize;
+pub mod signature;
+pub mod spec;
+pub mod verdict;
+
+pub use campaign::{bucket_for, run_campaign, CampaignConfig, CampaignError, CampaignReport};
+pub use corpus::{load_spec, stats, write_specimen, CorpusError, CorpusStats, BUCKETS};
+pub use format::{parse, print, FormatError};
+pub use generate::{generate_spec, Family, ALL_FAMILIES};
+pub use minimize::{minimize, MinimizeOutcome};
+pub use signature::{file_stem, signature};
+pub use spec::{Built, ExitSpec, ScenarioSpec, SpecError, SpecKind};
+pub use verdict::{classify_spec, HuntOptions, Verdict};

@@ -1,0 +1,326 @@
+//! Greedy delta-debugging minimizer for corpus specimens.
+//!
+//! [`minimize`] takes a classified specimen and repeatedly tries
+//! structural reductions — removing a router (with its links, sessions,
+//! cluster roles, and exits), removing a declared session (client–client
+//! or confed-E-BGP), removing an exit path — keeping a reduction only if
+//! the shrunken spec still classifies to the *same* verdict as its
+//! parent. The search is greedy with restart: after any accepted
+//! reduction it rescans from the first candidate, so the result is
+//! 1-minimal (no single remaining reduction preserves the verdict).
+//!
+//! Verdict preservation is enforced on every acceptance and re-checked on
+//! the final result, so a minimizer-emitted specimen can never classify
+//! differently from its parent. Specs whose baseline verdict is `Unknown`
+//! (cap hit) are returned unchanged — shrinking an inconclusive search
+//! toward "still inconclusive" would optimize for slowness, not
+//! structure.
+
+use crate::spec::{ScenarioSpec, SpecError, SpecKind};
+use crate::verdict::{classify_spec, HuntOptions, Verdict};
+use ibgp_analysis::OscillationClass;
+use ibgp_hierarchy::{ClusterSpec, Member};
+
+/// The result of minimizing one spec.
+#[derive(Debug, Clone)]
+pub struct MinimizeOutcome {
+    /// The minimized spec (equal to the input when already minimal).
+    pub spec: ScenarioSpec,
+    /// The preserved verdict (of the minimized spec; its class equals the
+    /// parent's by construction).
+    pub verdict: Verdict,
+    /// Routers removed.
+    pub removed_routers: usize,
+    /// Declared sessions removed (client–client or confed links).
+    pub removed_sessions: usize,
+    /// Exit paths removed.
+    pub removed_exits: usize,
+    /// Classification runs spent (the dominant cost).
+    pub reclassifications: usize,
+}
+
+/// Remove router `k` from a spec: drop its links, sessions, cluster
+/// roles, and exits, and renumber every id above it down by one. Returns
+/// `None` when the removal is structurally hopeless (last router); other
+/// invalid outcomes (disconnection, clientless clusters, …) are left for
+/// `build()` to reject in the candidate check.
+fn remove_router(spec: &ScenarioSpec, k: u32) -> Option<ScenarioSpec> {
+    if spec.routers <= 1 {
+        return None;
+    }
+    let shift = |x: u32| if x > k { x - 1 } else { x };
+    let mut out = spec.clone();
+    out.routers -= 1;
+    out.links = spec
+        .links
+        .iter()
+        .filter(|&&(u, v, _)| u != k && v != k)
+        .map(|&(u, v, c)| (shift(u), shift(v), c))
+        .collect();
+    out.exits = spec
+        .exits
+        .iter()
+        .filter(|e| e.at != k)
+        .map(|e| {
+            let mut e = *e;
+            e.at = shift(e.at);
+            e
+        })
+        .collect();
+    match &mut out.kind {
+        SpecKind::Reflection(r) => {
+            for (rs, cs) in &mut r.clusters {
+                rs.retain(|&x| x != k);
+                cs.retain(|&x| x != k);
+                for x in rs.iter_mut().chain(cs.iter_mut()) {
+                    *x = shift(*x);
+                }
+            }
+            r.clusters
+                .retain(|(rs, cs)| !(rs.is_empty() && cs.is_empty()));
+            r.client_sessions.retain(|&(u, v)| u != k && v != k);
+            for (u, v) in &mut r.client_sessions {
+                *u = shift(*u);
+                *v = shift(*v);
+            }
+        }
+        SpecKind::Confed(c) => {
+            for members in &mut c.sub_as {
+                members.retain(|&x| x != k);
+                for x in members.iter_mut() {
+                    *x = shift(*x);
+                }
+            }
+            c.sub_as.retain(|m| !m.is_empty());
+            c.confed_links.retain(|&(u, v)| u != k && v != k);
+            for (u, v) in &mut c.confed_links {
+                *u = shift(*u);
+                *v = shift(*v);
+            }
+        }
+        SpecKind::Hierarchy(h) => {
+            for top in &mut h.top {
+                remove_router_from_cluster(top, k);
+            }
+            h.top
+                .retain(|c| !(c.reflectors.is_empty() && c.members.is_empty()));
+            for top in &mut h.top {
+                shift_cluster(top, k);
+            }
+        }
+    }
+    Some(out)
+}
+
+fn remove_router_from_cluster(c: &mut ClusterSpec, k: u32) {
+    c.reflectors.retain(|&x| x != k);
+    c.members.retain_mut(|m| match m {
+        Member::Router(r) => *r != k,
+        Member::Cluster(sub) => {
+            remove_router_from_cluster(sub, k);
+            !(sub.reflectors.is_empty() && sub.members.is_empty())
+        }
+    });
+}
+
+fn shift_cluster(c: &mut ClusterSpec, k: u32) {
+    for r in &mut c.reflectors {
+        if *r > k {
+            *r -= 1;
+        }
+    }
+    for m in &mut c.members {
+        match m {
+            Member::Router(r) => {
+                if *r > k {
+                    *r -= 1;
+                }
+            }
+            Member::Cluster(sub) => shift_cluster(sub, k),
+        }
+    }
+}
+
+/// Remove the `i`-th declared session (client–client session for
+/// reflection specs, confed link for confederations; hierarchies declare
+/// none).
+fn remove_session(spec: &ScenarioSpec, i: usize) -> Option<ScenarioSpec> {
+    let mut out = spec.clone();
+    match &mut out.kind {
+        SpecKind::Reflection(r) => {
+            if i >= r.client_sessions.len() {
+                return None;
+            }
+            r.client_sessions.remove(i);
+        }
+        SpecKind::Confed(c) => {
+            if i >= c.confed_links.len() {
+                return None;
+            }
+            c.confed_links.remove(i);
+        }
+        SpecKind::Hierarchy(_) => return None,
+    }
+    Some(out)
+}
+
+fn session_count(spec: &ScenarioSpec) -> usize {
+    match &spec.kind {
+        SpecKind::Reflection(r) => r.client_sessions.len(),
+        SpecKind::Confed(c) => c.confed_links.len(),
+        SpecKind::Hierarchy(_) => 0,
+    }
+}
+
+/// One reduction kind, in candidate order.
+enum Reduction {
+    Router(u32),
+    Session(usize),
+    Exit(usize),
+}
+
+/// Minimize a spec while preserving its oscillation-class verdict.
+pub fn minimize(spec: &ScenarioSpec, opts: &HuntOptions) -> Result<MinimizeOutcome, SpecError> {
+    let baseline = classify_spec(spec, opts)?;
+    let mut reclassifications = 1usize;
+    let mut outcome = MinimizeOutcome {
+        spec: spec.clone(),
+        verdict: baseline.clone(),
+        removed_routers: 0,
+        removed_sessions: 0,
+        removed_exits: 0,
+        reclassifications,
+    };
+    if baseline.class == OscillationClass::Unknown {
+        // No verdict to preserve; shrinking "inconclusive" is meaningless.
+        return Ok(outcome);
+    }
+    let target = baseline.class;
+    'restart: loop {
+        let current = &outcome.spec;
+        let candidates = (0..current.routers as u32)
+            .map(Reduction::Router)
+            .chain((0..session_count(current)).map(Reduction::Session))
+            .chain((0..current.exits.len()).map(Reduction::Exit));
+        for cand in candidates {
+            let shrunk = match cand {
+                Reduction::Router(k) => remove_router(current, k),
+                Reduction::Session(i) => remove_session(current, i),
+                Reduction::Exit(i) => {
+                    let mut s = current.clone();
+                    s.exits.remove(i);
+                    Some(s)
+                }
+            };
+            let Some(shrunk) = shrunk else { continue };
+            // Structurally invalid candidates (disconnected graph,
+            // reflectorless cluster, …) are skipped, not errors.
+            if shrunk.build().is_err() {
+                continue;
+            }
+            let verdict = classify_spec(&shrunk, opts)?;
+            reclassifications += 1;
+            if verdict.class == target {
+                match cand {
+                    Reduction::Router(_) => outcome.removed_routers += 1,
+                    Reduction::Session(_) => outcome.removed_sessions += 1,
+                    Reduction::Exit(_) => outcome.removed_exits += 1,
+                }
+                outcome.spec = shrunk;
+                outcome.verdict = verdict;
+                continue 'restart;
+            }
+        }
+        break;
+    }
+    // Belt and braces: the emitted specimen must classify like its
+    // parent. `outcome.verdict` is the classification of `outcome.spec`
+    // (updated on every acceptance), so this cannot fire unless the
+    // search itself is broken.
+    assert_eq!(
+        outcome.verdict.class, target,
+        "minimizer verdict drifted from the parent's"
+    );
+    outcome.reclassifications = reclassifications;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ExitSpec, ReflectionSpec};
+    use ibgp_proto::ProtocolVariant;
+
+    /// The disagree gadget plus an idle padding router: a client with no
+    /// exits hanging off cluster 0.
+    fn padded_disagree() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "padded".into(),
+            routers: 5,
+            links: vec![(0, 2, 10), (0, 3, 1), (1, 3, 10), (1, 2, 1), (0, 4, 1)],
+            kind: SpecKind::Reflection(ReflectionSpec {
+                full_mesh: false,
+                clusters: vec![(vec![0], vec![2, 4]), (vec![1], vec![3])],
+                client_sessions: vec![],
+                variant: ProtocolVariant::Standard,
+            }),
+            exits: vec![ExitSpec::new(1, 2, 1), ExitSpec::new(2, 3, 1)],
+        }
+    }
+
+    #[test]
+    fn padding_router_is_removed_and_verdict_preserved() {
+        let opts = HuntOptions::default();
+        let out = minimize(&padded_disagree(), &opts).unwrap();
+        assert_eq!(out.removed_routers, 1);
+        assert_eq!(out.spec.routers, 4);
+        assert_eq!(out.verdict.class, OscillationClass::Transient);
+        let recheck = classify_spec(&out.spec, &opts).unwrap();
+        assert_eq!(recheck.class, OscillationClass::Transient);
+    }
+
+    #[test]
+    fn minimal_specs_come_back_unchanged() {
+        let mut spec = padded_disagree();
+        // Drop the padding by hand: the 4-router disagree gadget is
+        // already 1-minimal for the transient verdict.
+        spec = remove_router(&spec, 4).unwrap();
+        let out = minimize(&spec, &HuntOptions::default()).unwrap();
+        assert_eq!(out.spec, spec);
+        assert_eq!(
+            out.removed_routers + out.removed_sessions + out.removed_exits,
+            0
+        );
+    }
+
+    #[test]
+    fn inconclusive_baselines_are_returned_unchanged() {
+        let spec = padded_disagree();
+        let opts = HuntOptions {
+            max_states: 2,
+            jobs: 1,
+        };
+        let out = minimize(&spec, &opts).unwrap();
+        assert_eq!(out.spec, spec);
+        assert_eq!(out.verdict.class, OscillationClass::Unknown);
+        assert_eq!(out.reclassifications, 1);
+    }
+
+    #[test]
+    fn remove_router_renumbers_consistently() {
+        let spec = padded_disagree();
+        let out = remove_router(&spec, 2).unwrap();
+        assert_eq!(out.routers, 4);
+        // Old router 3 became 2, old 4 became 3.
+        assert!(out.links.contains(&(0, 2, 1)), "{:?}", out.links);
+        assert!(out.links.contains(&(0, 3, 1)), "{:?}", out.links);
+        assert_eq!(out.exits.len(), 1);
+        assert_eq!(out.exits[0].at, 2);
+        match &out.kind {
+            SpecKind::Reflection(r) => {
+                assert_eq!(r.clusters, vec![(vec![0], vec![3]), (vec![1], vec![2])]);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+}

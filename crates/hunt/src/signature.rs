@@ -1,0 +1,548 @@
+//! Canonical structural signatures for corpus deduplication.
+//!
+//! Two specimens that differ only by router renumbering, declaration
+//! order, or exit-path ids describe the same experiment, and the campaign
+//! driver must file them once. [`signature`] computes a label-invariant
+//! fingerprint: it builds a labeled graph (routers plus auxiliary nodes
+//! for clusters / sub-ASes / hierarchy clusters), refines node colors
+//! Weisfeiler–Lehman style, and then enumerates the router permutations
+//! consistent with the refined color classes, taking the
+//! lexicographically minimal printed certificate (`c:` prefix).
+//!
+//! When the symmetry group admitted by the refinement is too large to
+//! enumerate (product of color-class factorials above [`PERM_CAP`]), the
+//! signature falls back to a hash of the refined color multiset (`w:`
+//! prefix). The choice is made from the label-invariant refinement alone,
+//! *before* any enumeration, so both branches stay permutation-invariant;
+//! the `w:` branch merely loses the guarantee that non-isomorphic but
+//! WL-equivalent specimens get distinct signatures (acceptable for dedup:
+//! it can only over-merge pathologically symmetric specimens).
+
+use crate::spec::{ScenarioSpec, SpecKind};
+use ibgp_hierarchy::{ClusterSpec, Member};
+
+/// Upper bound on color-consistent permutations the canonicalizer will
+/// enumerate before falling back to the refinement-hash signature.
+pub const PERM_CAP: u64 = 20_000;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn fnv_u64(h: &mut u64, v: u64) {
+    fnv(h, &v.to_le_bytes());
+}
+
+fn hash_parts(parts: &[u64]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &p in parts {
+        fnv_u64(&mut h, p);
+    }
+    h
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv(&mut h, s.as_bytes());
+    h
+}
+
+/// The labeled (multi)graph the refinement runs on: routers first, then
+/// auxiliary structure nodes.
+struct Colored {
+    /// Per node: `(edge_label, neighbor)` pairs.
+    adj: Vec<Vec<(u64, usize)>>,
+    /// Current color per node.
+    colors: Vec<u64>,
+}
+
+impl Colored {
+    fn add_edge(&mut self, u: usize, v: usize, label: u64) {
+        self.adj[u].push((label, v));
+        self.adj[v].push((label, u));
+    }
+
+    /// Refine until the partition induced by the colors stops splitting.
+    fn refine(&mut self) {
+        let n = self.adj.len();
+        let mut classes = partition(&self.colors);
+        loop {
+            let mut next = vec![0u64; n];
+            for (v, slot) in next.iter_mut().enumerate() {
+                let mut sig: Vec<u64> = self.adj[v]
+                    .iter()
+                    .map(|&(label, u)| hash_parts(&[label, self.colors[u]]))
+                    .collect();
+                sig.sort_unstable();
+                sig.insert(0, self.colors[v]);
+                *slot = hash_parts(&sig);
+            }
+            self.colors = next;
+            let refined = partition(&self.colors);
+            if refined == classes {
+                return;
+            }
+            classes = refined;
+        }
+    }
+}
+
+/// Map each node to the index of its color class (classes numbered by
+/// first appearance), giving a hash-independent view of the partition.
+fn partition(colors: &[u64]) -> Vec<usize> {
+    let mut seen: Vec<u64> = Vec::new();
+    colors
+        .iter()
+        .map(|c| match seen.iter().position(|s| s == c) {
+            Some(i) => i,
+            None => {
+                seen.push(*c);
+                seen.len() - 1
+            }
+        })
+        .collect()
+}
+
+/// Exit attributes as sorted by the certificate, identity dropped:
+/// `(next_as, len, med, pref, cost)`.
+type ExitKey = (u32, u32, u32, u32, u64);
+
+fn exit_key(e: &crate::spec::ExitSpec) -> ExitKey {
+    (e.next_as, e.len, e.med, e.pref, e.cost)
+}
+
+fn build_colored(spec: &ScenarioSpec) -> Colored {
+    let n = spec.routers;
+    let mut g = Colored {
+        adj: vec![Vec::new(); n],
+        colors: Vec::with_capacity(n),
+    };
+    // Initial router colors: the multiset of exit attributes injected at
+    // the router. Everything else (links, roles) arrives via labeled
+    // edges during refinement.
+    for r in 0..n {
+        let mut attrs: Vec<u64> = spec
+            .exits
+            .iter()
+            .filter(|e| e.at as usize == r)
+            .map(|e| {
+                let k = exit_key(e);
+                hash_parts(&[k.0 as u64, k.1 as u64, k.2 as u64, k.3 as u64, k.4])
+            })
+            .collect();
+        attrs.sort_unstable();
+        attrs.insert(0, hash_str("router"));
+        g.colors.push(hash_parts(&attrs));
+    }
+    for &(u, v, c) in &spec.links {
+        let label = hash_parts(&[hash_str("p"), c]);
+        g.add_edge(u as usize, v as usize, label);
+    }
+    match &spec.kind {
+        SpecKind::Reflection(r) => {
+            for (rs, cs) in &r.clusters {
+                let aux = g.adj.len();
+                g.adj.push(Vec::new());
+                g.colors.push(hash_str("cluster"));
+                for &x in rs {
+                    g.add_edge(aux, x as usize, hash_str("r"));
+                }
+                for &x in cs {
+                    g.add_edge(aux, x as usize, hash_str("c"));
+                }
+            }
+            for &(u, v) in &r.client_sessions {
+                g.add_edge(u as usize, v as usize, hash_str("s"));
+            }
+        }
+        SpecKind::Confed(c) => {
+            for members in &c.sub_as {
+                let aux = g.adj.len();
+                g.adj.push(Vec::new());
+                g.colors.push(hash_str("subas"));
+                for &x in members {
+                    g.add_edge(aux, x as usize, hash_str("m"));
+                }
+            }
+            for &(u, v) in &c.confed_links {
+                g.add_edge(u as usize, v as usize, hash_str("cl"));
+            }
+        }
+        SpecKind::Hierarchy(h) => {
+            for top in &h.top {
+                add_hier_aux(&mut g, top, None);
+            }
+        }
+    }
+    g
+}
+
+fn add_hier_aux(g: &mut Colored, c: &ClusterSpec, parent: Option<usize>) {
+    let aux = g.adj.len();
+    g.adj.push(Vec::new());
+    g.colors.push(hash_str("hcluster"));
+    if let Some(p) = parent {
+        g.add_edge(p, aux, hash_str("pc"));
+    }
+    for &r in &c.reflectors {
+        g.add_edge(aux, r as usize, hash_str("r"));
+    }
+    for m in &c.members {
+        match m {
+            Member::Router(r) => g.add_edge(aux, *r as usize, hash_str("m")),
+            Member::Cluster(sub) => add_hier_aux(g, sub, Some(aux)),
+        }
+    }
+}
+
+/// The canonical printed certificate of `spec` under a router relabeling
+/// `perm` (old id → new id): every list sorted after relabeling, exit ids
+/// and the scenario name dropped.
+fn certificate(spec: &ScenarioSpec, perm: &[u32]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "k={};p={};n={};",
+        spec.kind.keyword(),
+        spec.protocol_label(),
+        spec.routers
+    );
+    let mut links: Vec<(u32, u32, u64)> = spec
+        .links
+        .iter()
+        .map(|&(u, v, c)| {
+            let (u, v) = (perm[u as usize], perm[v as usize]);
+            (u.min(v), u.max(v), c)
+        })
+        .collect();
+    links.sort_unstable();
+    let _ = write!(out, "L{links:?};");
+    match &spec.kind {
+        SpecKind::Reflection(r) => {
+            if r.full_mesh {
+                out.push_str("mesh;");
+            } else {
+                let mut clusters: Vec<(Vec<u32>, Vec<u32>)> = r
+                    .clusters
+                    .iter()
+                    .map(|(rs, cs)| {
+                        let mut rs: Vec<u32> = rs.iter().map(|&x| perm[x as usize]).collect();
+                        let mut cs: Vec<u32> = cs.iter().map(|&x| perm[x as usize]).collect();
+                        rs.sort_unstable();
+                        cs.sort_unstable();
+                        (rs, cs)
+                    })
+                    .collect();
+                clusters.sort();
+                let _ = write!(out, "C{clusters:?};");
+            }
+            let mut sessions: Vec<(u32, u32)> = r
+                .client_sessions
+                .iter()
+                .map(|&(u, v)| {
+                    let (u, v) = (perm[u as usize], perm[v as usize]);
+                    (u.min(v), u.max(v))
+                })
+                .collect();
+            sessions.sort_unstable();
+            let _ = write!(out, "S{sessions:?};");
+        }
+        SpecKind::Confed(c) => {
+            let mut sub_as: Vec<Vec<u32>> = c
+                .sub_as
+                .iter()
+                .map(|members| {
+                    let mut m: Vec<u32> = members.iter().map(|&x| perm[x as usize]).collect();
+                    m.sort_unstable();
+                    m
+                })
+                .collect();
+            sub_as.sort();
+            let _ = write!(out, "A{sub_as:?};");
+            let mut clinks: Vec<(u32, u32)> = c
+                .confed_links
+                .iter()
+                .map(|&(u, v)| {
+                    let (u, v) = (perm[u as usize], perm[v as usize]);
+                    (u.min(v), u.max(v))
+                })
+                .collect();
+            clinks.sort_unstable();
+            let _ = write!(out, "X{clinks:?};");
+        }
+        SpecKind::Hierarchy(h) => {
+            let mut tops: Vec<String> = h.top.iter().map(|c| hier_certificate(c, perm)).collect();
+            tops.sort();
+            let _ = write!(out, "H{};", tops.join(""));
+        }
+    }
+    let mut exits: Vec<(u32, ExitKey)> = spec
+        .exits
+        .iter()
+        .map(|e| (perm[e.at as usize], exit_key(e)))
+        .collect();
+    exits.sort_unstable();
+    let _ = write!(out, "E{exits:?}");
+    out
+}
+
+fn hier_certificate(c: &ClusterSpec, perm: &[u32]) -> String {
+    let mut rs: Vec<u32> = c.reflectors.iter().map(|&x| perm[x as usize]).collect();
+    rs.sort_unstable();
+    let mut leaves: Vec<u32> = Vec::new();
+    let mut subs: Vec<String> = Vec::new();
+    for m in &c.members {
+        match m {
+            Member::Router(r) => leaves.push(perm[*r as usize]),
+            Member::Cluster(sub) => subs.push(hier_certificate(sub, perm)),
+        }
+    }
+    leaves.sort_unstable();
+    subs.sort();
+    format!("(r{rs:?}m{leaves:?}{})", subs.join(""))
+}
+
+/// Enumerate every router permutation consistent with the color classes,
+/// calling `visit` with each complete old→new mapping. Class `ci`'s
+/// members are assigned (in every order) to the canonical position block
+/// `starts[ci] ..`.
+fn for_each_perm(classes: &[Vec<usize>], starts: &[u32], visit: &mut impl FnMut(&[u32])) {
+    fn assign(
+        classes: &[Vec<usize>],
+        starts: &[u32],
+        ci: usize,
+        mi: usize,
+        slots: &mut Vec<bool>,
+        perm: &mut Vec<u32>,
+        visit: &mut impl FnMut(&[u32]),
+    ) {
+        if ci == classes.len() {
+            visit(perm);
+            return;
+        }
+        let class = &classes[ci];
+        if mi == class.len() {
+            let mut next_slots = vec![false; classes.get(ci + 1).map_or(0, |c| c.len())];
+            assign(classes, starts, ci + 1, 0, &mut next_slots, perm, visit);
+            return;
+        }
+        for slot in 0..class.len() {
+            if !slots[slot] {
+                slots[slot] = true;
+                perm[class[mi]] = starts[ci] + slot as u32;
+                assign(classes, starts, ci, mi + 1, slots, perm, visit);
+                slots[slot] = false;
+            }
+        }
+    }
+    let n: usize = classes.iter().map(|c| c.len()).sum();
+    let mut perm = vec![u32::MAX; n];
+    let mut slots = vec![false; classes.first().map_or(0, |c| c.len())];
+    assign(classes, starts, 0, 0, &mut slots, &mut perm, visit);
+}
+
+/// Compute the canonical structural signature of a spec.
+///
+/// Signatures are invariant under router renumbering, declaration-order
+/// changes, and exit-id renaming; `c:`-prefixed signatures additionally
+/// distinguish any two non-isomorphic specs. The 16 hex digits double as
+/// the specimen's corpus filename stem.
+pub fn signature(spec: &ScenarioSpec) -> String {
+    let mut g = build_colored(spec);
+    g.refine();
+    // Group routers (not aux nodes) into color classes, ordered by color
+    // value so the canonical position blocks are label-invariant.
+    let mut by_color: std::collections::BTreeMap<u64, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for r in 0..spec.routers {
+        by_color.entry(g.colors[r]).or_default().push(r);
+    }
+    let classes: Vec<Vec<usize>> = by_color.into_values().collect();
+    let mut symmetry: u64 = 1;
+    for c in &classes {
+        for k in 1..=(c.len() as u64) {
+            symmetry = symmetry.saturating_mul(k);
+        }
+    }
+    if symmetry > PERM_CAP {
+        // Label-invariant fallback: hash the refined color multiset of
+        // the whole graph (routers + structure nodes) plus the scalars.
+        let mut all = g.colors.clone();
+        all.sort_unstable();
+        let mut h = FNV_OFFSET;
+        fnv(&mut h, b"w");
+        fnv(&mut h, spec.kind.keyword().as_bytes());
+        fnv(&mut h, spec.protocol_label().as_bytes());
+        fnv_u64(&mut h, spec.routers as u64);
+        for c in all {
+            fnv_u64(&mut h, c);
+        }
+        return format!("w:{h:016x}");
+    }
+    let mut starts = Vec::with_capacity(classes.len());
+    let mut next = 0u32;
+    for c in &classes {
+        starts.push(next);
+        next += c.len() as u32;
+    }
+    let mut best: Option<String> = None;
+    for_each_perm(&classes, &starts, &mut |perm| {
+        let cert = certificate(spec, perm);
+        if best.as_ref().is_none_or(|b| cert < *b) {
+            best = Some(cert);
+        }
+    });
+    let cert = best.expect("at least the identity-per-class permutation exists");
+    let mut h = FNV_OFFSET;
+    fnv(&mut h, cert.as_bytes());
+    format!("c:{h:016x}")
+}
+
+/// The filename stem a signature files under (`sig-<16 hex digits>`).
+pub fn file_stem(sig: &str) -> String {
+    let hex = sig.rsplit(':').next().unwrap_or(sig);
+    format!("sig-{hex}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ConfedSpec, ExitSpec, ReflectionSpec, ScenarioSpec, SpecKind};
+    use ibgp_confed::ConfedMode;
+    use ibgp_proto::ProtocolVariant;
+
+    fn base() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "base".into(),
+            routers: 4,
+            links: vec![(0, 2, 10), (0, 3, 1), (1, 3, 10), (1, 2, 1)],
+            kind: SpecKind::Reflection(ReflectionSpec {
+                full_mesh: false,
+                clusters: vec![(vec![0], vec![2]), (vec![1], vec![3])],
+                client_sessions: vec![],
+                variant: ProtocolVariant::Standard,
+            }),
+            exits: vec![ExitSpec::new(1, 2, 1), ExitSpec::new(2, 3, 1)],
+        }
+    }
+
+    /// `base()` with routers renamed by `p`, lines reordered, and exit
+    /// ids shifted — structurally the same experiment.
+    fn relabeled(p: [u32; 4]) -> ScenarioSpec {
+        let m = |x: u32| p[x as usize];
+        ScenarioSpec {
+            name: "renamed".into(),
+            routers: 4,
+            links: vec![
+                (m(1), m(2), 1),
+                (m(0), m(3), 1),
+                (m(1), m(3), 10),
+                (m(0), m(2), 10),
+            ],
+            kind: SpecKind::Reflection(ReflectionSpec {
+                full_mesh: false,
+                clusters: vec![(vec![m(1)], vec![m(3)]), (vec![m(0)], vec![m(2)])],
+                client_sessions: vec![],
+                variant: ProtocolVariant::Standard,
+            }),
+            exits: vec![ExitSpec::new(7, m(3), 1), ExitSpec::new(9, m(2), 1)],
+        }
+    }
+
+    #[test]
+    fn signature_is_renaming_invariant() {
+        let sig = signature(&base());
+        assert!(sig.starts_with("c:"), "{sig}");
+        for p in [[1, 0, 3, 2], [0, 1, 3, 2], [2, 3, 0, 1]] {
+            assert_eq!(signature(&relabeled(p)), sig, "perm {p:?}");
+        }
+    }
+
+    #[test]
+    fn signature_distinguishes_attribute_changes() {
+        let sig = signature(&base());
+        let mut other = base();
+        other.exits[0] = other.exits[0].med(7);
+        assert_ne!(signature(&other), sig);
+        let mut other = base();
+        other.links[0].2 = 11;
+        assert_ne!(signature(&other), sig);
+        let mut other = base();
+        if let SpecKind::Reflection(r) = &mut other.kind {
+            r.variant = ProtocolVariant::Walton;
+        }
+        assert_ne!(signature(&other), sig);
+    }
+
+    #[test]
+    fn oversymmetric_specs_fall_back_to_refinement_hash() {
+        // 8 indistinguishable routers in a full mesh with uniform link
+        // costs: the refinement cannot split them, 8! > PERM_CAP.
+        let mesh = |names: [u32; 8]| {
+            let mut links = Vec::new();
+            for i in 0..8u32 {
+                for j in (i + 1)..8u32 {
+                    links.push((names[i as usize], names[j as usize], 1));
+                }
+            }
+            ScenarioSpec {
+                name: "mesh8".into(),
+                routers: 8,
+                links,
+                kind: SpecKind::Reflection(ReflectionSpec {
+                    full_mesh: true,
+                    clusters: vec![],
+                    client_sessions: vec![],
+                    variant: ProtocolVariant::Standard,
+                }),
+                exits: vec![],
+            }
+        };
+        let a = signature(&mesh([0, 1, 2, 3, 4, 5, 6, 7]));
+        assert!(a.starts_with("w:"), "{a}");
+        let b = signature(&mesh([7, 6, 5, 4, 3, 2, 1, 0]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn confed_signature_is_renaming_invariant() {
+        let spec = |swap: bool| {
+            let m = |x: u32| if swap { 4 - x } else { x };
+            ScenarioSpec {
+                name: "c".into(),
+                routers: 5,
+                links: vec![
+                    (m(0), m(1), 1),
+                    (m(1), m(2), 2),
+                    (m(2), m(3), 3),
+                    (m(3), m(4), 4),
+                ],
+                kind: SpecKind::Confed(ConfedSpec {
+                    sub_as: vec![vec![m(0), m(1)], vec![m(2)], vec![m(3), m(4)]],
+                    confed_links: vec![(m(1), m(2)), (m(2), m(3))],
+                    mode: ConfedMode::SingleBest,
+                }),
+                exits: vec![ExitSpec::new(1, m(0), 1), ExitSpec::new(2, m(4), 2)],
+            }
+        };
+        assert_eq!(signature(&spec(false)), signature(&spec(true)));
+        let mut asym = spec(false);
+        if let SpecKind::Confed(c) = &mut asym.kind {
+            c.mode = ConfedMode::SetAdvertisement;
+        }
+        assert_ne!(signature(&asym), signature(&spec(false)));
+    }
+
+    #[test]
+    fn file_stem_strips_prefix() {
+        assert_eq!(file_stem("c:00ff00ff00ff00ff"), "sig-00ff00ff00ff00ff");
+        assert_eq!(file_stem("w:0123456789abcdef"), "sig-0123456789abcdef");
+    }
+}

@@ -1,0 +1,233 @@
+//! One classification path for every scenario kind.
+//!
+//! [`classify_spec`] lowers a [`ScenarioSpec`] and classifies it with the
+//! engine matching its kind: flat reflection specs go through the unified
+//! `ibgp_analysis::classify` / `explore(..., ExploreOptions)` pipeline
+//! (cap, worker pool, metrics, all-at-once cycle probe); confederation and
+//! hierarchy specs go through their dedicated exhaustive searches, with
+//! the same verdict taxonomy derived from the search evidence. The CLI's
+//! `classify`, `run`, the campaign driver, and the minimizer all consume
+//! the resulting [`Verdict`], so the "inconclusive: cap hit" reasoning
+//! lives in exactly one place.
+
+use crate::spec::{Built, ScenarioSpec, SpecError};
+use ibgp_analysis::{ExploreOptions, OscillationClass};
+use ibgp_confed::explore_confed;
+use ibgp_hierarchy::explore_hier;
+use ibgp_sim::Metrics;
+use ibgp_types::ExitPathId;
+
+/// Search knobs shared by every hunt entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HuntOptions {
+    /// State cap per exploration.
+    pub max_states: usize,
+    /// Worker threads for the flat-reflection search (`0` = one per
+    /// hardware thread; confed/hierarchy searches are single-threaded).
+    pub jobs: usize,
+}
+
+impl Default for HuntOptions {
+    fn default() -> Self {
+        Self {
+            max_states: 200_000,
+            jobs: 1,
+        }
+    }
+}
+
+impl HuntOptions {
+    fn explore_options(&self) -> ExploreOptions {
+        ExploreOptions::new()
+            .max_states(self.max_states)
+            .jobs(self.jobs)
+    }
+}
+
+/// The outcome of classifying one scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// The oscillation class.
+    pub class: OscillationClass,
+    /// Distinct configurations the search visited.
+    pub states: usize,
+    /// Whether the reachable space was fully explored.
+    pub complete: bool,
+    /// The state cap that stopped the search, when one did.
+    pub cap: Option<usize>,
+    /// Distinct stable best-exit vectors, canonical order.
+    pub stable_vectors: Vec<Vec<Option<ExitPathId>>>,
+    /// Search metrics — available on the flat-reflection path only (the
+    /// confed/hierarchy searches do not instrument themselves).
+    pub metrics: Option<Metrics>,
+}
+
+impl Verdict {
+    /// Whether this verdict is an oscillation-corpus keeper
+    /// (proven persistent oscillation).
+    pub fn is_oscillating(&self) -> bool {
+        self.class == OscillationClass::Persistent
+    }
+
+    /// Whether this verdict is bistable-or-worse while still convergent:
+    /// transient oscillation (multiple stable outcomes or a live cycle).
+    pub fn is_bistable(&self) -> bool {
+        self.class == OscillationClass::Transient
+    }
+
+    /// Whether the search gave no verdict (cap hit).
+    pub fn is_inconclusive(&self) -> bool {
+        self.class == OscillationClass::Unknown
+    }
+}
+
+/// Derive the verdict taxonomy from plain search evidence (the
+/// confed/hierarchy searches, which have no all-at-once cycle probe — for
+/// them a unique stable outcome classifies as stable without the extra
+/// live-cycle check the flat path performs).
+fn from_search(
+    states: usize,
+    complete: bool,
+    stable_vectors: Vec<Vec<Option<ExitPathId>>>,
+    max_states: usize,
+) -> Verdict {
+    let (class, cap) = if !complete {
+        (OscillationClass::Unknown, Some(max_states))
+    } else if stable_vectors.is_empty() {
+        (OscillationClass::Persistent, None)
+    } else if stable_vectors.len() > 1 {
+        (OscillationClass::Transient, None)
+    } else {
+        (OscillationClass::Stable, None)
+    };
+    Verdict {
+        class,
+        states,
+        complete,
+        cap,
+        stable_vectors,
+        metrics: None,
+    }
+}
+
+/// Classify a scenario spec: validate, lower, and run the exhaustive
+/// search matching its kind.
+pub fn classify_spec(spec: &ScenarioSpec, opts: &HuntOptions) -> Result<Verdict, SpecError> {
+    match spec.build()? {
+        Built::Reflection {
+            topology,
+            config,
+            exits,
+        } => {
+            let (class, reach) =
+                ibgp_analysis::classify(&topology, config, &exits, opts.explore_options());
+            Ok(Verdict {
+                class,
+                states: reach.states,
+                complete: reach.complete,
+                cap: reach.cap,
+                stable_vectors: reach.stable_vectors,
+                metrics: Some(reach.metrics),
+            })
+        }
+        Built::Confed {
+            topology,
+            mode,
+            exits,
+        } => {
+            let r = explore_confed(&topology, mode, exits, opts.max_states);
+            Ok(from_search(
+                r.states,
+                r.complete,
+                r.stable_vectors,
+                opts.max_states,
+            ))
+        }
+        Built::Hierarchy {
+            topology,
+            mode,
+            exits,
+        } => {
+            let r = explore_hier(&topology, mode, exits, opts.max_states);
+            Ok(from_search(
+                r.states,
+                r.complete,
+                r.stable_vectors,
+                opts.max_states,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ConfedSpec, ExitSpec, ReflectionSpec, SpecKind};
+    use ibgp_confed::ConfedMode;
+    use ibgp_proto::ProtocolVariant;
+
+    fn disagree(variant: ProtocolVariant) -> ScenarioSpec {
+        ScenarioSpec {
+            name: "disagree".into(),
+            routers: 4,
+            links: vec![(0, 2, 10), (0, 3, 1), (1, 3, 10), (1, 2, 1)],
+            kind: SpecKind::Reflection(ReflectionSpec {
+                full_mesh: false,
+                clusters: vec![(vec![0], vec![2]), (vec![1], vec![3])],
+                client_sessions: vec![],
+                variant,
+            }),
+            exits: vec![ExitSpec::new(1, 2, 1), ExitSpec::new(2, 3, 1)],
+        }
+    }
+
+    #[test]
+    fn reflection_verdicts_follow_the_analysis_path() {
+        let opts = HuntOptions::default();
+        let v = classify_spec(&disagree(ProtocolVariant::Standard), &opts).unwrap();
+        assert_eq!(v.class, OscillationClass::Transient);
+        assert!(v.is_bistable());
+        assert_eq!(v.stable_vectors.len(), 2);
+        assert!(v.metrics.is_some());
+        let v = classify_spec(&disagree(ProtocolVariant::Modified), &opts).unwrap();
+        assert_eq!(v.class, OscillationClass::Stable);
+    }
+
+    #[test]
+    fn capped_search_is_inconclusive_with_cap_recorded() {
+        let opts = HuntOptions {
+            max_states: 2,
+            jobs: 1,
+        };
+        let v = classify_spec(&disagree(ProtocolVariant::Standard), &opts).unwrap();
+        assert!(v.is_inconclusive());
+        assert_eq!(v.cap, Some(2));
+        assert!(!v.complete);
+    }
+
+    #[test]
+    fn confed_specs_classify_through_their_search() {
+        let spec = ScenarioSpec {
+            name: "c".into(),
+            routers: 4,
+            links: vec![(0, 1, 1), (1, 2, 1), (2, 3, 1)],
+            kind: SpecKind::Confed(ConfedSpec {
+                sub_as: vec![vec![0, 1], vec![2, 3]],
+                confed_links: vec![(1, 2)],
+                mode: ConfedMode::SingleBest,
+            }),
+            exits: vec![ExitSpec::new(1, 0, 1)],
+        };
+        let v = classify_spec(&spec, &HuntOptions::default()).unwrap();
+        assert_eq!(v.class, OscillationClass::Stable);
+        assert!(v.complete);
+        assert!(v.metrics.is_none());
+    }
+
+    #[test]
+    fn build_errors_surface() {
+        let mut bad = disagree(ProtocolVariant::Standard);
+        bad.exits[0].at = 99;
+        assert!(classify_spec(&bad, &HuntOptions::default()).is_err());
+    }
+}

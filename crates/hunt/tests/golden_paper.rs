@@ -1,0 +1,90 @@
+//! The golden paper corpus under `corpus/paper/` stays faithful.
+//!
+//! Two guarantees per committed figure file:
+//!
+//! 1. **Byte stability** — the file equals `print(from_scenario(fig))`,
+//!    so neither the exporter, the printer, nor the catalog figure can
+//!    drift without this test noticing (rerun
+//!    `cargo run -p ibgp-hunt --example export_paper` intentionally).
+//! 2. **Verdict fidelity** — parsing the file and classifying it through
+//!    the spec pipeline reproduces the figure's known oscillation class
+//!    under the standard protocol: fig 1(a) and fig 13 persistently
+//!    oscillate, fig 2 is transient (two stable outcomes), and the rest
+//!    are stable.
+
+use ibgp_analysis::OscillationClass;
+use ibgp_hunt::spec::ScenarioSpec;
+use ibgp_hunt::{classify_spec, parse, print, HuntOptions};
+use ibgp_proto::ProtocolVariant;
+use std::path::PathBuf;
+
+fn paper_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus/paper")
+}
+
+const EXPECTED: [(&str, OscillationClass); 7] = [
+    ("fig1a", OscillationClass::Persistent),
+    ("fig1b", OscillationClass::Stable),
+    ("fig2", OscillationClass::Transient),
+    ("fig3", OscillationClass::Stable),
+    ("fig12", OscillationClass::Stable),
+    ("fig13", OscillationClass::Persistent),
+    ("fig14", OscillationClass::Stable),
+];
+
+#[test]
+fn golden_files_match_the_exporter_byte_for_byte() {
+    for s in ibgp_scenarios::all_scenarios() {
+        let path = paper_dir().join(format!("{}.ibgp", s.name));
+        let on_disk = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+        let expected = print(&ScenarioSpec::from_scenario(&s, ProtocolVariant::Standard));
+        assert_eq!(
+            on_disk, expected,
+            "{} drifted; rerun `cargo run -p ibgp-hunt --example export_paper`",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn every_catalog_figure_has_a_golden_and_vice_versa() {
+    let mut catalog: Vec<String> = ibgp_scenarios::all_scenarios()
+        .iter()
+        .map(|s| s.name.to_string())
+        .collect();
+    catalog.sort();
+    let mut goldens: Vec<String> = std::fs::read_dir(paper_dir())
+        .expect("corpus/paper exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ibgp"))
+        .map(|p| p.file_stem().unwrap().to_string_lossy().into_owned())
+        .collect();
+    goldens.sort();
+    assert_eq!(catalog, goldens);
+    let mut expected: Vec<String> = EXPECTED.iter().map(|(n, _)| n.to_string()).collect();
+    expected.sort();
+    assert_eq!(catalog, expected, "EXPECTED table out of date");
+}
+
+#[test]
+fn parsed_goldens_reproduce_the_known_verdicts() {
+    let opts = HuntOptions {
+        max_states: 200_000,
+        jobs: 1,
+    };
+    for (name, want) in EXPECTED {
+        let path = paper_dir().join(format!("{name}.ibgp"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+        let spec = parse(&text).unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+        let verdict = classify_spec(&spec, &opts)
+            .unwrap_or_else(|e| panic!("{name} failed to classify: {e}"));
+        assert_eq!(
+            verdict.class, want,
+            "{name}: expected {want:?}, got {:?} ({} states, complete {})",
+            verdict.class, verdict.states, verdict.complete
+        );
+        assert!(verdict.complete, "{name}: search must complete");
+    }
+}

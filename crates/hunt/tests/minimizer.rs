@@ -1,0 +1,103 @@
+//! Minimizer sanity on the paper's own figures.
+//!
+//! Fig 1(a) (persistent oscillation) and fig 2 (transient) are the
+//! paper's minimal gadgets: the minimizer must return them unchanged. A
+//! fig 1(a) padded with idle clients (no exits, hanging off existing
+//! clusters) must shrink back to the structural core — the same canonical
+//! signature as the unpadded figure — and every minimizer-emitted spec
+//! must classify to its parent's verdict.
+
+use ibgp_analysis::OscillationClass;
+use ibgp_hunt::spec::{ExitSpec, ScenarioSpec, SpecKind};
+use ibgp_hunt::{classify_spec, minimize, signature, HuntOptions};
+use ibgp_proto::ProtocolVariant;
+
+fn opts() -> HuntOptions {
+    HuntOptions {
+        max_states: 200_000,
+        jobs: 1,
+    }
+}
+
+fn fig(name: &str) -> ScenarioSpec {
+    let s = ibgp_scenarios::by_name(name).expect("catalog figure");
+    ScenarioSpec::from_scenario(&s, ProtocolVariant::Standard)
+}
+
+#[test]
+fn fig1a_is_already_minimal() {
+    let spec = fig("fig1a");
+    let out = minimize(&spec, &opts()).unwrap();
+    assert_eq!(out.spec, spec, "fig1a must come back unchanged");
+    assert_eq!(
+        out.removed_routers + out.removed_sessions + out.removed_exits,
+        0
+    );
+    assert_eq!(out.verdict.class, OscillationClass::Persistent);
+}
+
+#[test]
+fn fig2_is_already_minimal() {
+    let spec = fig("fig2");
+    let out = minimize(&spec, &opts()).unwrap();
+    assert_eq!(out.spec, spec, "fig2 must come back unchanged");
+    assert_eq!(out.verdict.class, OscillationClass::Transient);
+}
+
+/// Fig 1(a) with two idle padding clients: one more client in each
+/// cluster, physically attached, injecting nothing.
+fn padded_fig1a() -> ScenarioSpec {
+    let mut spec = fig("fig1a");
+    let first = spec.routers as u32;
+    let second = first + 1;
+    spec.routers += 2;
+    spec.links.push((0, first, 3));
+    spec.links.push((3, second, 2));
+    match &mut spec.kind {
+        SpecKind::Reflection(r) => {
+            r.clusters[0].1.push(first);
+            r.clusters[1].1.push(second);
+        }
+        other => panic!("fig1a is a reflection spec, got {other:?}"),
+    }
+    spec.name = "fig1a-padded".into();
+    spec
+}
+
+#[test]
+fn padded_fig1a_shrinks_back_to_the_core() {
+    let spec = padded_fig1a();
+    let baseline = classify_spec(&spec, &opts()).unwrap();
+    assert_eq!(
+        baseline.class,
+        OscillationClass::Persistent,
+        "padding must not change the verdict"
+    );
+    let out = minimize(&spec, &opts()).unwrap();
+    assert_eq!(out.removed_routers, 2, "both padding clients removed");
+    assert_eq!(out.verdict.class, OscillationClass::Persistent);
+    assert_eq!(
+        signature(&out.spec),
+        signature(&fig("fig1a")),
+        "minimized spec is structurally fig1a:\n{}",
+        ibgp_hunt::print(&out.spec)
+    );
+}
+
+#[test]
+fn emitted_specimens_classify_like_their_parent() {
+    // Re-check the minimizer's invariant from the outside, on a spec
+    // with removable structure of every kind (an extra exit and an
+    // extra client-client session on top of the padding).
+    let mut spec = padded_fig1a();
+    match &mut spec.kind {
+        SpecKind::Reflection(r) => r.client_sessions.push((1, 2)),
+        _ => unreachable!(),
+    }
+    spec.exits.push(ExitSpec::new(9, 1, 3).med(2));
+    let parent = classify_spec(&spec, &opts()).unwrap();
+    let out = minimize(&spec, &opts()).unwrap();
+    let child = classify_spec(&out.spec, &opts()).unwrap();
+    assert_eq!(child.class, parent.class);
+    assert_eq!(out.verdict.class, parent.class);
+}

@@ -54,6 +54,24 @@ impl fmt::Display for ProtocolVariant {
     }
 }
 
+impl std::str::FromStr for ProtocolVariant {
+    type Err = String;
+
+    /// Inverse of [`fmt::Display`]; the CLI and the `.ibgp` scenario
+    /// format both parse variants through here so the accepted spellings
+    /// cannot drift apart.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "standard" => Ok(ProtocolVariant::Standard),
+            "walton" => Ok(ProtocolVariant::Walton),
+            "modified" => Ok(ProtocolVariant::Modified),
+            other => Err(format!(
+                "unknown variant `{other}` (expected standard|walton|modified)"
+            )),
+        }
+    }
+}
+
 /// A full protocol configuration: variant plus selection policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct ProtocolConfig {

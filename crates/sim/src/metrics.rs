@@ -69,6 +69,23 @@ impl Metrics {
         self.cache_misses += other.cache_misses;
     }
 
+    /// Fold the counters of one completed search into a campaign-level
+    /// aggregate. Engine counters and cumulative search totals (states
+    /// visited, wall-clock time, pool handoffs) are summed; the gauges
+    /// (frontier depth, peak queue/shard, workers) keep the maximum seen
+    /// across the campaign. Commutative and associative, so runs can be
+    /// folded in any order.
+    pub fn absorb_campaign(&mut self, other: &Metrics) {
+        self.absorb_engine(other);
+        self.states_visited += other.states_visited;
+        self.elapsed_nanos += other.elapsed_nanos;
+        self.handoffs += other.handoffs;
+        self.frontier_depth = self.frontier_depth.max(other.frontier_depth);
+        self.peak_queue = self.peak_queue.max(other.peak_queue);
+        self.peak_shard = self.peak_shard.max(other.peak_shard);
+        self.workers = self.workers.max(other.workers);
+    }
+
     /// Average paths per message, or 0.0 when no messages were sent.
     pub fn paths_per_message(&self) -> f64 {
         if self.messages == 0 {

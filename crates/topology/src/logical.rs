@@ -267,6 +267,14 @@ impl IbgpTopology {
             .filter(|&u| self.is_client(u))
             .collect()
     }
+
+    /// The declared intra-cluster client–client sessions (constraint 4),
+    /// as `(u, v)` pairs with `u < v`, sorted. Exporters (e.g. the
+    /// `.ibgp` scenario format) need these separately from the sessions
+    /// derived from cluster roles.
+    pub fn client_sessions(&self) -> &[(RouterId, RouterId)] {
+        &self.extra_client_sessions
+    }
 }
 
 fn assign(
