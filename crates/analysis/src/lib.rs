@@ -33,6 +33,7 @@ pub mod oscillation;
 mod parallel;
 pub mod reachability;
 pub mod stable;
+mod symmetry;
 
 pub use determinism::{determinism_report, DeterminismReport};
 pub use flush::{flush_report, FlushReport};

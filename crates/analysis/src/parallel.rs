@@ -16,9 +16,9 @@
 //!   order-independent test.
 //! * **The coordinator** merges each level's unit outcomes *sequentially
 //!   in canonical order* (frontier index, then branch index): within-level
-//!   dedup, state counting, the cap check, and stable-vector collection
-//!   all happen here, in exactly the order the single-threaded explorer
-//!   would perform them.
+//!   dedup, state counting, the cap and byte-budget checks, and
+//!   stable-vector collection all happen here, in exactly the order the
+//!   single-threaded explorer would perform them.
 //!
 //! Determinism: a state's outcome is a pure function of its snapshot (the
 //! pre-filter can only drop successors the merge would reject anyway), so
@@ -27,6 +27,27 @@
 //! `jobs` value, including the in-thread `jobs = 1` path. Only the
 //! per-worker memo split (cache hit/miss counts) varies with scheduling.
 //!
+//! **Symmetry reduction** ([`ExploreOptions::symmetry`]): each successor
+//! key is canonicalized under the instance's automorphism group (see
+//! [`crate::symmetry`]) *before* the visited-set probe, so orbit-mates
+//! collapse to one representative — and, because the shard is chosen by
+//! the canonical digest, they land on one shard. Stable vectors found at
+//! representatives are expanded back through the group, which restores
+//! exactly the plain search's stable-vector set. If any generated state
+//! could have put an identifier-order tie-break in charge (the guard in
+//! `crate::symmetry`), the whole search deterministically restarts with
+//! symmetry off.
+//!
+//! **Memory bounding** ([`ExploreOptions::max_bytes`]): the coordinator
+//! accounts an estimated byte footprint for every inserted key. On the
+//! first budget breach it compacts every shard from full keys to
+//! digest-only hashes (64-bit, collision-counted while exact keys are
+//! still around); if the digests alone breach the budget, the search
+//! stops and reports "ran out of memory budget" instead of OOMing.
+//! Compaction happens between worker reads (workers are idle at the work
+//! channel while the coordinator merges), so the lock discipline below is
+//! unchanged.
+//!
 //! The visited set is striped across [`SHARD_COUNT`] shards keyed by the
 //! `StateKey` digest. Shards use `RwLock` rather than `Mutex`: during a
 //! level workers only *read* (shared locks, no contention), and the
@@ -34,12 +55,13 @@
 //! the work channel — so neither phase ever blocks the other.
 
 use crate::reachability::{ExploreOptions, Reachability};
+use crate::symmetry::SymmetryGroup;
 use ibgp_proto::variants::ProtocolConfig;
 use ibgp_sim::signature::StateKey;
 use ibgp_sim::{Metrics, SyncEngine, SyncSnapshot};
 use ibgp_topology::Topology;
 use ibgp_types::{ExitPathId, ExitPathRef, RouterId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
@@ -48,21 +70,48 @@ use std::time::Instant;
 /// realistic worker count keeps digest-sharded occupancy balanced.
 const SHARD_COUNT: usize = 64;
 
+/// Accounted bytes per hash-map entry beyond the key payload (digest,
+/// bucket bookkeeping). An estimate, like `StateKey::approx_bytes`.
+const ENTRY_OVERHEAD: usize = 48;
+
+/// Accounted bytes per digest-only entry after compaction.
+const DIGEST_ENTRY_BYTES: usize = 16;
+
+/// One shard of the visited set: exact keys until a memory budget forces
+/// digest-only compaction.
+enum ShardStore {
+    /// Digest → colliding keys. Exact membership, collision-free.
+    Exact(HashMap<u64, Vec<StateKey>>),
+    /// Digests only. A collision conflates two states (counted while the
+    /// exact keys were still around; unobservable afterwards).
+    Digest(HashSet<u64>),
+}
+
+/// What an insert did.
+enum Inserted {
+    /// The key was new; `bytes` is its accounted footprint and
+    /// `collision` whether it shares a digest with a distinct key
+    /// (observable in exact mode only).
+    New { bytes: usize, collision: bool },
+    /// Already present (or digest-conflated).
+    Seen,
+}
+
 /// The visited set, striped by `StateKey` digest.
 struct ShardedVisited {
-    shards: Vec<RwLock<HashMap<u64, Vec<StateKey>>>>,
+    shards: Vec<RwLock<ShardStore>>,
 }
 
 impl ShardedVisited {
     fn new() -> Self {
         Self {
             shards: (0..SHARD_COUNT)
-                .map(|_| RwLock::new(HashMap::new()))
+                .map(|_| RwLock::new(ShardStore::Exact(HashMap::new())))
                 .collect(),
         }
     }
 
-    fn shard(&self, digest: u64) -> &RwLock<HashMap<u64, Vec<StateKey>>> {
+    fn shard(&self, digest: u64) -> &RwLock<ShardStore> {
         &self.shards[(digest % SHARD_COUNT as u64) as usize]
     }
 
@@ -70,35 +119,66 @@ impl ShardedVisited {
     fn contains(&self, key: &StateKey) -> bool {
         let digest = key.digest();
         let shard = self.shard(digest).read().expect("visited shard poisoned");
-        shard
-            .get(&digest)
-            .is_some_and(|bucket| bucket.contains(key))
-    }
-
-    /// Insert if new; returns whether the key was new (the coordinator's
-    /// authoritative dedup).
-    fn insert(&self, key: StateKey) -> bool {
-        let digest = key.digest();
-        let mut shard = self.shard(digest).write().expect("visited shard poisoned");
-        let bucket = shard.entry(digest).or_default();
-        if bucket.contains(&key) {
-            false
-        } else {
-            bucket.push(key);
-            true
+        match &*shard {
+            ShardStore::Exact(map) => map.get(&digest).is_some_and(|bucket| bucket.contains(key)),
+            ShardStore::Digest(set) => set.contains(&digest),
         }
     }
 
-    /// Most keys held by any one shard (balance gauge).
+    /// Insert if new (the coordinator's authoritative dedup).
+    fn insert(&self, key: StateKey) -> Inserted {
+        let digest = key.digest();
+        let mut shard = self.shard(digest).write().expect("visited shard poisoned");
+        match &mut *shard {
+            ShardStore::Exact(map) => {
+                let bucket = map.entry(digest).or_default();
+                if bucket.contains(&key) {
+                    Inserted::Seen
+                } else {
+                    let collision = !bucket.is_empty();
+                    let bytes = key.approx_bytes() + if collision { 0 } else { ENTRY_OVERHEAD };
+                    bucket.push(key);
+                    Inserted::New { bytes, collision }
+                }
+            }
+            ShardStore::Digest(set) => {
+                if set.insert(digest) {
+                    Inserted::New {
+                        bytes: DIGEST_ENTRY_BYTES,
+                        collision: false,
+                    }
+                } else {
+                    Inserted::Seen
+                }
+            }
+        }
+    }
+
+    /// Drop every exact key, keeping digests only. Returns the accounted
+    /// footprint of the compacted set. Callers must ensure no worker is
+    /// reading (the coordinator compacts mid-merge, while workers idle at
+    /// the work channel).
+    fn compact(&self) -> usize {
+        let mut total = 0usize;
+        for shard in &self.shards {
+            let mut shard = shard.write().expect("visited shard poisoned");
+            let digests: HashSet<u64> = match &*shard {
+                ShardStore::Exact(map) => map.keys().copied().collect(),
+                ShardStore::Digest(set) => set.clone(),
+            };
+            total += digests.len() * DIGEST_ENTRY_BYTES;
+            *shard = ShardStore::Digest(digests);
+        }
+        total
+    }
+
+    /// Most keys (or digests) held by any one shard (balance gauge).
     fn peak_shard(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| {
-                s.read()
-                    .expect("visited shard poisoned")
-                    .values()
-                    .map(Vec::len)
-                    .sum::<usize>()
+            .map(|s| match &*s.read().expect("visited shard poisoned") {
+                ShardStore::Exact(map) => map.values().map(Vec::len).sum::<usize>(),
+                ShardStore::Digest(set) => set.len(),
             })
             .max()
             .unwrap_or(0) as u64
@@ -109,10 +189,15 @@ impl ShardedVisited {
 enum UnitOutcome {
     /// A fixed point, with its best-exit vector.
     Stable(Vec<Option<ExitPathId>>),
-    /// Not stable: the canonical key and snapshot of each branch
-    /// successor not already visited in an earlier level, in branch
-    /// order.
-    Expanded(Vec<(StateKey, SyncSnapshot)>),
+    /// Not stable: per branch successor not already visited in an earlier
+    /// level, in branch order: its (canonical) key, raw snapshot, and
+    /// orbit size (1 without symmetry).
+    Expanded {
+        fresh: Vec<(StateKey, SyncSnapshot, u64)>,
+        /// A successor tripped the tie-soundness guard: the whole search
+        /// must restart without symmetry.
+        unsound: bool,
+    },
 }
 
 /// Messages from workers to the coordinator.
@@ -129,6 +214,7 @@ fn process_unit(
     snap: &SyncSnapshot,
     branches: &[Vec<RouterId>],
     visited: &ShardedVisited,
+    group: Option<&SymmetryGroup>,
 ) -> UnitOutcome {
     engine.restore(snap);
     if engine.is_stable() {
@@ -138,15 +224,32 @@ fn process_unit(
     for branch in branches {
         engine.restore(snap);
         engine.step(branch);
-        let key = engine.state_key(0);
+        let raw = engine.state_key(0);
+        let (key, orbit) = match group {
+            Some(g) => {
+                if g.guard_trips(&raw) {
+                    // The level is abandoned wholesale; no point
+                    // finishing this unit.
+                    return UnitOutcome::Expanded {
+                        fresh: Vec::new(),
+                        unsound: true,
+                    };
+                }
+                g.canonical(&raw)
+            }
+            None => (raw, 1),
+        };
         // Pre-filter against earlier levels only: the set is frozen while
         // the level runs, so this test is order-independent. Within-level
         // duplicates are the coordinator's job.
         if !visited.contains(&key) {
-            fresh.push((key, engine.snapshot()));
+            fresh.push((key, engine.snapshot(), orbit));
         }
     }
-    UnitOutcome::Expanded(fresh)
+    UnitOutcome::Expanded {
+        fresh,
+        unsound: false,
+    }
 }
 
 /// Order-sensitive search bookkeeping, owned by the coordinator.
@@ -154,52 +257,130 @@ struct Progress {
     stable_vectors: Vec<Vec<Option<ExitPathId>>>,
     states: usize,
     cap: Option<usize>,
+    memory: Option<usize>,
+    /// The tie-soundness guard fired: discard everything and rerun
+    /// without symmetry.
+    unsound: bool,
     frontier_depth: u64,
     peak_queue: u64,
     /// Work units expanded (= handoffs when a pool is in use).
     units: u64,
+    /// Sum of orbit sizes over visited representatives (= reachable
+    /// states the representatives stand for).
+    orbit_states: u64,
+    /// Current and peak accounted visited-set footprint.
+    bytes: usize,
+    peak_bytes: usize,
+    collisions: u64,
+    compactions: u64,
 }
 
 /// Run the level loop: expand each frontier via `expand`, then merge the
 /// outcomes in canonical (frontier index, branch index) order. This merge
-/// is the single place dedup, the state cap, and stable-vector discovery
-/// happen, which is what makes the result independent of how `expand`
-/// schedules the per-unit work.
+/// is the single place dedup, the state cap, the byte budget, and
+/// stable-vector discovery happen, which is what makes the result
+/// independent of how `expand` schedules the per-unit work.
+#[allow(clippy::too_many_arguments)]
 fn drive(
     mut frontier: Vec<SyncSnapshot>,
     visited: &ShardedVisited,
     max_states: usize,
+    max_bytes: Option<usize>,
+    initial_bytes: usize,
+    initial_orbit: u64,
+    group: Option<&SymmetryGroup>,
     mut expand: impl FnMut(Vec<SyncSnapshot>) -> Vec<UnitOutcome>,
 ) -> Progress {
     let mut p = Progress {
         stable_vectors: Vec::new(),
         states: 1,
         cap: None,
+        memory: None,
+        unsound: false,
         frontier_depth: 0,
         peak_queue: 1,
         units: 0,
+        orbit_states: initial_orbit,
+        bytes: initial_bytes,
+        peak_bytes: initial_bytes,
+        collisions: 0,
+        compactions: 0,
     };
+    // A budget smaller than the initial state compacts (and possibly
+    // stops) immediately — deterministic, like every later breach.
+    if let Some(budget) = max_bytes {
+        if p.bytes > budget {
+            p.bytes = visited.compact();
+            p.compactions += 1;
+            if p.bytes > budget {
+                p.memory = Some(budget);
+                return p;
+            }
+        }
+    }
     let mut depth = 0u64;
     'levels: while !frontier.is_empty() {
         p.units += frontier.len() as u64;
         let outcomes = expand(std::mem::take(&mut frontier));
+        // Soundness scan first: whether any unit flagged is a pure
+        // function of the (deterministic) level contents, so the restart
+        // decision is schedule-independent.
+        if outcomes
+            .iter()
+            .any(|o| matches!(o, UnitOutcome::Expanded { unsound: true, .. }))
+        {
+            p.unsound = true;
+            break 'levels;
+        }
         let mut next = Vec::new();
         for outcome in outcomes {
             match outcome {
-                UnitOutcome::Stable(bv) => {
-                    if !p.stable_vectors.contains(&bv) {
-                        p.stable_vectors.push(bv);
-                    }
-                }
-                UnitOutcome::Expanded(fresh) => {
-                    for (key, snap) in fresh {
-                        if visited.insert(key) {
-                            p.states += 1;
-                            if p.states > max_states {
-                                p.cap = Some(max_states);
-                                break 'levels;
+                UnitOutcome::Stable(bv) => match group {
+                    // Expand the representative's fixed point through the
+                    // group: the plain search would have found every
+                    // image.
+                    Some(g) => {
+                        for img in g.vector_orbit(&bv) {
+                            if !p.stable_vectors.contains(&img) {
+                                p.stable_vectors.push(img);
                             }
-                            next.push(snap);
+                        }
+                    }
+                    None => {
+                        if !p.stable_vectors.contains(&bv) {
+                            p.stable_vectors.push(bv);
+                        }
+                    }
+                },
+                UnitOutcome::Expanded { fresh, .. } => {
+                    for (key, snap, orbit) in fresh {
+                        match visited.insert(key) {
+                            Inserted::Seen => {}
+                            Inserted::New { bytes, collision } => {
+                                p.states += 1;
+                                p.orbit_states += orbit;
+                                if collision {
+                                    p.collisions += 1;
+                                }
+                                p.bytes += bytes;
+                                p.peak_bytes = p.peak_bytes.max(p.bytes);
+                                if p.states > max_states {
+                                    p.cap = Some(max_states);
+                                    break 'levels;
+                                }
+                                if let Some(budget) = max_bytes {
+                                    if p.bytes > budget && p.compactions == 0 {
+                                        p.bytes = visited.compact();
+                                        p.compactions = 1;
+                                        p.peak_bytes = p.peak_bytes.max(p.bytes);
+                                    }
+                                    if p.bytes > budget {
+                                        p.memory = Some(budget);
+                                        break 'levels;
+                                    }
+                                }
+                                next.push(snap);
+                            }
                         }
                     }
                 }
@@ -223,8 +404,46 @@ pub(crate) fn search(
     options: &ExploreOptions,
 ) -> Reachability {
     let started = Instant::now();
+    search_inner(topo, config, exits, options, started)
+}
+
+/// Rerun with symmetry off after the tie-soundness guard fired (or the
+/// initial state already trips it). The rerun's metrics report the
+/// *effective* group — trivial — so the reduction factor is an honest
+/// 1.0, and the wall clock covers both attempts.
+fn fallback_without_symmetry(
+    topo: &Topology,
+    config: ProtocolConfig,
+    exits: Vec<ExitPathRef>,
+    options: &ExploreOptions,
+    started: Instant,
+) -> Reachability {
+    let mut plain = options.clone();
+    plain.symmetry = false;
+    let mut r = search_inner(topo, config, exits, &plain, started);
+    r.metrics.group_order = 1;
+    r.metrics.orbit_states = r.metrics.states_visited;
+    r
+}
+
+fn search_inner(
+    topo: &Topology,
+    config: ProtocolConfig,
+    exits: Vec<ExitPathRef>,
+    options: &ExploreOptions,
+    started: Instant,
+) -> Reachability {
     let jobs = options.effective_jobs();
     let n = topo.len();
+
+    // The automorphism group is computed once per search; a trivial group
+    // disables the canonicalization machinery but still reports its
+    // order.
+    let group_storage = options
+        .symmetry
+        .then(|| SymmetryGroup::compute(topo, config, &exits));
+    let group_order = group_storage.as_ref().map(SymmetryGroup::order);
+    let group = group_storage.as_ref().filter(|g| !g.is_trivial());
 
     // Branch choices: each singleton, plus the full activation set.
     let mut branches: Vec<Vec<RouterId>> = (0..n as u32).map(|i| vec![RouterId::new(i)]).collect();
@@ -233,16 +452,38 @@ pub(crate) fn search(
     let visited = ShardedVisited::new();
     let mut engine = SyncEngine::new(topo, config, exits.clone());
     engine.set_memoized(options.memoized);
-    visited.insert(engine.state_key(0));
+    let init_raw = engine.state_key(0);
+    let (init_key, init_orbit) = match group {
+        Some(g) => {
+            if g.guard_trips(&init_raw) {
+                return fallback_without_symmetry(topo, config, exits, options, started);
+            }
+            g.canonical(&init_raw)
+        }
+        None => (init_raw, 1),
+    };
+    let init_bytes = match visited.insert(init_key) {
+        Inserted::New { bytes, .. } => bytes,
+        Inserted::Seen => 0,
+    };
     let frontier = vec![engine.snapshot()];
 
     let (progress, engine_metrics) = if jobs <= 1 {
-        let p = drive(frontier, &visited, options.max_states, |units| {
-            units
-                .iter()
-                .map(|snap| process_unit(&mut engine, snap, &branches, &visited))
-                .collect()
-        });
+        let p = drive(
+            frontier,
+            &visited,
+            options.max_states,
+            options.max_bytes,
+            init_bytes,
+            init_orbit,
+            group,
+            |units| {
+                units
+                    .iter()
+                    .map(|snap| process_unit(&mut engine, snap, &branches, &visited, group))
+                    .collect()
+            },
+        );
         (p, engine.metrics())
     } else {
         std::thread::scope(|scope| {
@@ -263,7 +504,8 @@ pub(crate) fn search(
                         let unit = work_rx.lock().expect("work queue poisoned").recv();
                         match unit {
                             Ok((idx, snap)) => {
-                                let out = process_unit(&mut engine, &snap, branches, visited);
+                                let out =
+                                    process_unit(&mut engine, &snap, branches, visited, group);
                                 if res_tx.send(WorkerMsg::Unit(idx, out)).is_err() {
                                     break;
                                 }
@@ -276,24 +518,33 @@ pub(crate) fn search(
             }
             drop(res_tx);
 
-            let p = drive(frontier, &visited, options.max_states, |units| {
-                let len = units.len();
-                for (idx, snap) in units.into_iter().enumerate() {
-                    work_tx.send((idx, snap)).expect("worker pool died");
-                }
-                let mut outcomes: Vec<Option<UnitOutcome>> =
-                    std::iter::repeat_with(|| None).take(len).collect();
-                for _ in 0..len {
-                    match res_rx.recv().expect("worker pool died") {
-                        WorkerMsg::Unit(idx, out) => outcomes[idx] = Some(out),
-                        WorkerMsg::Done(_) => unreachable!("workers outlive the work channel"),
+            let p = drive(
+                frontier,
+                &visited,
+                options.max_states,
+                options.max_bytes,
+                init_bytes,
+                init_orbit,
+                group,
+                |units| {
+                    let len = units.len();
+                    for (idx, snap) in units.into_iter().enumerate() {
+                        work_tx.send((idx, snap)).expect("worker pool died");
                     }
-                }
-                outcomes
-                    .into_iter()
-                    .map(|o| o.expect("every unit reports exactly once"))
-                    .collect()
-            });
+                    let mut outcomes: Vec<Option<UnitOutcome>> =
+                        std::iter::repeat_with(|| None).take(len).collect();
+                    for _ in 0..len {
+                        match res_rx.recv().expect("worker pool died") {
+                            WorkerMsg::Unit(idx, out) => outcomes[idx] = Some(out),
+                            WorkerMsg::Done(_) => unreachable!("workers outlive the work channel"),
+                        }
+                    }
+                    outcomes
+                        .into_iter()
+                        .map(|o| o.expect("every unit reports exactly once"))
+                        .collect()
+                },
+            );
 
             // Closing the work channel tells each worker to report its
             // counters and exit; the merge is a commutative sum, so the
@@ -309,6 +560,10 @@ pub(crate) fn search(
         })
     };
 
+    if progress.unsound {
+        return fallback_without_symmetry(topo, config, exits, options, started);
+    }
+
     let mut metrics = engine_metrics;
     metrics.states_visited = progress.states as u64;
     metrics.elapsed_nanos = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
@@ -317,6 +572,19 @@ pub(crate) fn search(
     metrics.workers = jobs as u64;
     metrics.handoffs = if jobs <= 1 { 0 } else { progress.units };
     metrics.peak_shard = visited.peak_shard();
+    metrics.group_order = group_order.unwrap_or(0);
+    metrics.orbit_states = if group.is_some() {
+        progress.orbit_states
+    } else if options.symmetry {
+        // Symmetry was requested but the group is trivial: every state is
+        // its own orbit, for an honest reduction factor of 1.0.
+        progress.states as u64
+    } else {
+        0
+    };
+    metrics.digest_collisions = progress.collisions;
+    metrics.compactions = progress.compactions;
+    metrics.visited_bytes = progress.peak_bytes as u64;
 
     // Canonical order: discovery order is already deterministic, but a
     // sorted vector makes equality checks independent of search history.
@@ -325,9 +593,10 @@ pub(crate) fn search(
 
     Reachability {
         states: progress.states,
-        complete: progress.cap.is_none(),
+        complete: progress.cap.is_none() && progress.memory.is_none(),
         stable_vectors,
         cap: progress.cap,
+        memory: progress.memory,
         metrics,
     }
 }

@@ -34,15 +34,20 @@ pub struct ExploreOptions {
     pub(crate) max_states: usize,
     pub(crate) memoized: bool,
     pub(crate) jobs: usize,
+    pub(crate) symmetry: bool,
+    pub(crate) max_bytes: Option<usize>,
 }
 
 impl Default for ExploreOptions {
-    /// 500 000-state cap, memoized updates, single-threaded.
+    /// 500 000-state cap, memoized updates, single-threaded, no symmetry
+    /// reduction, unbounded memory.
     fn default() -> Self {
         Self {
             max_states: 500_000,
             memoized: true,
             jobs: 1,
+            symmetry: false,
+            max_bytes: None,
         }
     }
 }
@@ -74,6 +79,32 @@ impl ExploreOptions {
         self
     }
 
+    /// Collapse symmetric interleavings: canonicalize every visited state
+    /// under the topology's automorphism group before the visited-set
+    /// probe. Verdicts (stable / bistable / oscillating) are invariant
+    /// under relabeling, so the classification is unchanged while the
+    /// distinct-state count shrinks by up to the group order; the
+    /// measured reduction lands in [`Metrics::reduction_factor`]. When
+    /// an identifier-order tie-break could have discriminated between
+    /// symmetric exits (see `symmetry` module docs), the search detects
+    /// it and transparently restarts without the reduction, so the
+    /// option is always safe to enable.
+    pub fn symmetry(mut self, symmetry: bool) -> Self {
+        self.symmetry = symmetry;
+        self
+    }
+
+    /// Bound the visited set's estimated heap footprint. Above the
+    /// budget the search compacts full state keys to digest-only hashes
+    /// (collision counts land in [`Metrics::digest_collisions`]); if the
+    /// digests alone exceed the budget, the search stops and reports
+    /// "ran out of memory budget" via [`Reachability::memory`] instead
+    /// of growing without bound.
+    pub fn max_bytes(mut self, max_bytes: usize) -> Self {
+        self.max_bytes = Some(max_bytes);
+        self
+    }
+
     /// Resolve `jobs = 0` to the available hardware parallelism.
     pub(crate) fn effective_jobs(&self) -> usize {
         if self.jobs == 0 {
@@ -102,6 +133,11 @@ pub struct Reachability {
     /// inconclusive rather than conflating "cap hit" with a bare
     /// non-answer.
     pub cap: Option<usize>,
+    /// The byte budget that stopped the search, when one did (`None`
+    /// unless [`ExploreOptions::max_bytes`] was set and even the
+    /// digest-compacted visited set outgrew it). A memory-stopped search
+    /// is incomplete, like a capped one.
+    pub memory: Option<usize>,
     /// Search observability: engine counters (incl. update-cache hits and
     /// misses) plus states visited, wall-clock time, frontier depth, peak
     /// frontier size, and the parallel gauges (workers, handoffs, peak
@@ -126,6 +162,11 @@ impl Reachability {
     /// Whether the search was stopped by its state cap.
     pub fn capped(&self) -> bool {
         self.cap.is_some()
+    }
+
+    /// Whether the search was stopped by its memory budget.
+    pub fn memory_exhausted(&self) -> bool {
+        self.memory.is_some()
     }
 }
 

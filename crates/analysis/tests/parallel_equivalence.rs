@@ -129,4 +129,123 @@ proptest! {
             prop_assert_eq!(parallel.metrics.workers, jobs as u64);
         }
     }
+
+    /// Orbit-collapsed search is an exact reduction: at every thread
+    /// count it reaches the same verdict as the plain search, visiting a
+    /// subset of its states (one representative per orbit).
+    #[test]
+    fn symmetry_equivalence(
+        n in 2usize..=5,
+        shape in 0u8..3,
+        chain_costs in prop::collection::vec(1u64..10, 4),
+        extra_links in prop::collection::vec((0u32..5, 0u32..5, 1u64..10), 0..4),
+        n_exits in 1usize..=4,
+        exit_raw in prop::collection::vec((1u32..3, 0u32..11, 0u32..5, 0u64..6), 4),
+        variant in 0u8..3,
+        cap_raw in 0usize..40,
+    ) {
+        let topo = build_topology(n, shape, &chain_costs, &extra_links);
+        let exits = build_exits(n, n_exits, &exit_raw);
+        let config = [
+            ProtocolConfig::STANDARD,
+            ProtocolConfig::WALTON,
+            ProtocolConfig::MODIFIED,
+        ][variant as usize];
+        let max_states = if cap_raw == 0 { 200_000 } else { cap_raw };
+
+        let opts = |jobs: usize, symmetry: bool| {
+            ExploreOptions::new()
+                .max_states(max_states)
+                .jobs(jobs)
+                .symmetry(symmetry)
+        };
+        let plain = explore(&topo, config, exits.clone(), opts(1, false));
+        let sym = explore(&topo, config, exits.clone(), opts(1, true));
+
+        // The symmetric search is deterministic across thread counts,
+        // exactly like the plain one.
+        let sym8 = explore(&topo, config, exits.clone(), opts(8, true));
+        prop_assert_eq!(sym8.states, sym.states);
+        prop_assert_eq!(sym8.complete, sym.complete);
+        prop_assert_eq!(sym8.cap, sym.cap);
+        prop_assert_eq!(sym8.memory, sym.memory);
+        prop_assert_eq!(&sym8.stable_vectors, &sym.stable_vectors);
+
+        // Orbit collapse can only shrink the visited set, so a capped
+        // symmetric search implies a capped plain search.
+        prop_assert!(sym.states <= plain.states);
+        if sym.cap.is_some() {
+            prop_assert!(plain.cap.is_some());
+        }
+        // No byte budget was set, so memory never stops either search.
+        prop_assert_eq!(sym.memory, None);
+        prop_assert_eq!(plain.memory, None);
+        prop_assert!(sym.metrics.reduction_factor() >= 1.0);
+        if sym.complete && plain.complete {
+            // The representatives stand for exactly the plain state set.
+            prop_assert_eq!(sym.metrics.orbit_states, plain.states as u64);
+            prop_assert_eq!(&sym.stable_vectors, &plain.stable_vectors);
+        }
+
+        // A complete plain search forces a complete symmetric search,
+        // and then the full classification verdicts must coincide.
+        if plain.complete {
+            prop_assert!(sym.complete);
+            let (class_plain, _) =
+                ibgp_analysis::classify(&topo, config, &exits, opts(1, false));
+            let (class_sym, _) =
+                ibgp_analysis::classify(&topo, config, &exits, opts(1, true));
+            prop_assert_eq!(class_plain, class_sym);
+        }
+    }
+
+    /// The digest-compaction memory bound is deterministic: the same
+    /// budget stops the same search at the same point at every thread
+    /// count, and an unbounded rerun confirms the budget only truncated
+    /// (never corrupted) the search.
+    #[test]
+    fn memory_budget_is_deterministic_across_jobs(
+        n in 2usize..=5,
+        shape in 0u8..3,
+        chain_costs in prop::collection::vec(1u64..10, 4),
+        extra_links in prop::collection::vec((0u32..5, 0u32..5, 1u64..10), 0..4),
+        n_exits in 1usize..=4,
+        exit_raw in prop::collection::vec((1u32..3, 0u32..11, 0u32..5, 0u64..6), 4),
+        variant in 0u8..3,
+        budget in 64usize..4096,
+    ) {
+        let topo = build_topology(n, shape, &chain_costs, &extra_links);
+        let exits = build_exits(n, n_exits, &exit_raw);
+        let config = [
+            ProtocolConfig::STANDARD,
+            ProtocolConfig::WALTON,
+            ProtocolConfig::MODIFIED,
+        ][variant as usize];
+        let opts = |jobs: usize| {
+            ExploreOptions::new()
+                .max_states(200_000)
+                .jobs(jobs)
+                .max_bytes(budget)
+        };
+        let bounded = explore(&topo, config, exits.clone(), opts(1));
+        prop_assert_eq!(bounded.complete, bounded.memory.is_none());
+        if bounded.memory.is_some() {
+            prop_assert_eq!(bounded.memory, Some(budget));
+            prop_assert!(bounded.metrics.compactions >= 1);
+        }
+        for jobs in [2usize, 8] {
+            let parallel = explore(&topo, config, exits.clone(), opts(jobs));
+            prop_assert_eq!(parallel.states, bounded.states, "jobs={}", jobs);
+            prop_assert_eq!(parallel.memory, bounded.memory, "jobs={}", jobs);
+            prop_assert_eq!(parallel.complete, bounded.complete, "jobs={}", jobs);
+            prop_assert_eq!(
+                &parallel.stable_vectors, &bounded.stable_vectors,
+                "jobs={}", jobs
+            );
+        }
+        // Digest mode can only conflate states, never invent them.
+        let unbounded = explore(&topo, config, exits.clone(),
+            ExploreOptions::new().max_states(200_000).jobs(1));
+        prop_assert!(bounded.states <= unbounded.states);
+    }
 }

@@ -1,0 +1,164 @@
+//! Negative and positive controls for the orbit-pruned, memory-bounded
+//! search.
+//!
+//! * A fully asymmetric instance (distinct IGP costs everywhere) must
+//!   report an automorphism group of order 1 and a reduction factor of
+//!   exactly 1.0 — requesting symmetry on it changes nothing.
+//! * A rotation-symmetric instance must actually prune: fewer visited
+//!   states, reduction factor ≥ 2, same verdict evidence.
+//! * The byte budget must be able to stop a search (reported as a memory
+//!   stop, not a crash), and a sufficient budget must compact without
+//!   observable digest collisions while reproducing the unbounded result.
+
+use ibgp_analysis::{explore, ExploreOptions};
+use ibgp_proto::variants::ProtocolConfig;
+use ibgp_topology::{Topology, TopologyBuilder};
+use ibgp_types::{AsId, ExitPath, ExitPathId, ExitPathRef, Med, RouterId};
+use std::sync::Arc;
+
+fn exit(id: u32, at: u32) -> ExitPathRef {
+    Arc::new(
+        ExitPath::builder(ExitPathId::new(id))
+            .via(AsId::new(1))
+            .med(Med::new(0))
+            .exit_point(RouterId::new(at))
+            .build_unchecked(),
+    )
+}
+
+/// Distinct IGP costs on every link and session: nothing can be relabeled.
+fn asymmetric_instance() -> (Topology, Vec<ExitPathRef>) {
+    let topo = TopologyBuilder::new(4)
+        .link(0, 2, 10)
+        .link(0, 3, 1)
+        .link(1, 3, 9)
+        .link(1, 2, 2)
+        .cluster([0], [2])
+        .cluster([1], [3])
+        .build()
+        .unwrap();
+    (topo, vec![exit(1, 2), exit(2, 3)])
+}
+
+/// Fig 13's shape: three reflector/client clusters in a cost rotation,
+/// one identical-attribute exit per client.
+fn rotational_instance() -> (Topology, Vec<ExitPathRef>) {
+    let costs = [[2u64, 1, 3], [3, 2, 1], [1, 3, 2]];
+    let mut b = TopologyBuilder::new(6);
+    for (i, row) in costs.iter().enumerate() {
+        for (j, &c) in row.iter().enumerate() {
+            b = b.link(i as u32, 3 + j as u32, c);
+        }
+    }
+    let topo = b
+        .cluster([0], [3])
+        .cluster([1], [4])
+        .cluster([2], [5])
+        .build()
+        .unwrap();
+    (topo, vec![exit(1, 3), exit(2, 4), exit(3, 5)])
+}
+
+#[test]
+fn asymmetric_instance_reports_the_trivial_group_and_factor_one() {
+    let (topo, exits) = asymmetric_instance();
+    let plain = explore(
+        &topo,
+        ProtocolConfig::STANDARD,
+        exits.clone(),
+        ExploreOptions::new(),
+    );
+    let sym = explore(
+        &topo,
+        ProtocolConfig::STANDARD,
+        exits,
+        ExploreOptions::new().symmetry(true),
+    );
+    assert_eq!(sym.metrics.group_order, 1);
+    assert_eq!(sym.metrics.reduction_factor(), 1.0);
+    assert_eq!(sym.states, plain.states, "trivial group must not prune");
+    assert_eq!(sym.stable_vectors, plain.stable_vectors);
+    assert_eq!(sym.complete, plain.complete);
+    // Symmetry was never requested here, so the plain run reports no
+    // group at all — and still a factor of 1.0.
+    assert_eq!(plain.metrics.group_order, 0);
+    assert_eq!(plain.metrics.reduction_factor(), 1.0);
+}
+
+#[test]
+fn rotational_instance_prunes_by_its_group_order() {
+    let (topo, exits) = rotational_instance();
+    let plain = explore(
+        &topo,
+        ProtocolConfig::STANDARD,
+        exits.clone(),
+        ExploreOptions::new(),
+    );
+    let sym = explore(
+        &topo,
+        ProtocolConfig::STANDARD,
+        exits,
+        ExploreOptions::new().symmetry(true),
+    );
+    assert_eq!(sym.metrics.group_order, 3, "the 3-cycle rotation");
+    assert!(
+        sym.states < plain.states,
+        "pruning must shrink the visited set ({} vs {})",
+        sym.states,
+        plain.states
+    );
+    assert!(
+        sym.metrics.reduction_factor() >= 2.0,
+        "got {:.2}x",
+        sym.metrics.reduction_factor()
+    );
+    assert_eq!(sym.metrics.orbit_states, plain.states as u64);
+    assert_eq!(sym.stable_vectors, plain.stable_vectors);
+    assert_eq!(sym.complete, plain.complete);
+}
+
+#[test]
+fn tiny_budget_stops_the_search_as_a_memory_verdict() {
+    let (topo, exits) = rotational_instance();
+    let r = explore(
+        &topo,
+        ProtocolConfig::STANDARD,
+        exits,
+        ExploreOptions::new().max_bytes(64),
+    );
+    assert_eq!(r.memory, Some(64));
+    assert!(r.memory_exhausted());
+    assert!(!r.complete);
+    assert_eq!(r.cap, None, "stopped by memory, not the state cap");
+    assert!(
+        r.metrics.compactions >= 1,
+        "budget breach must compact first"
+    );
+}
+
+#[test]
+fn sufficient_budget_compacts_without_collisions_and_keeps_the_result() {
+    let (topo, exits) = rotational_instance();
+    let unbounded = explore(
+        &topo,
+        ProtocolConfig::STANDARD,
+        exits.clone(),
+        ExploreOptions::new(),
+    );
+    // Far below the exact-key footprint, far above the digest footprint.
+    let bounded = explore(
+        &topo,
+        ProtocolConfig::STANDARD,
+        exits,
+        ExploreOptions::new().max_bytes(64 * 1024),
+    );
+    assert_eq!(bounded.metrics.compactions, 1);
+    assert_eq!(bounded.metrics.digest_collisions, 0);
+    assert_eq!(bounded.memory, None);
+    assert!(bounded.complete);
+    assert_eq!(bounded.states, unbounded.states);
+    assert_eq!(bounded.stable_vectors, unbounded.stable_vectors);
+    // `visited_bytes` is the peak, which includes the instant the budget
+    // was breached (just before compaction) — so it sits barely above it.
+    assert!(bounded.metrics.visited_bytes > 0);
+}

@@ -12,6 +12,7 @@ fn opts() -> HuntOptions {
     HuntOptions {
         max_states: 200_000,
         jobs: 1,
+        ..HuntOptions::default()
     }
 }
 

@@ -1,0 +1,180 @@
+//! Measured effect of orbit pruning (`--symmetry`) on the reachability
+//! search: states visited, accounted peak visited-set bytes, and wall
+//! time, off vs on. Instances: every paper figure, a §5 routing gadget
+//! from the 3-SAT reduction, and the five hunt families at a fixed
+//! seed. The committed numbers live in EXPERIMENTS.md; rerun with
+//! `cargo run --release -p ibgp-bench --bin symmetry` to regenerate.
+
+use ibgp::hunt::{classify_spec, generate_spec, HuntOptions, ScenarioSpec, ALL_FAMILIES};
+use ibgp::npc::{reduce, Clause, Formula, Lit};
+use ibgp::{classify, ExploreOptions, ProtocolConfig, ProtocolVariant};
+
+/// Instances per hunt family (aggregated per row).
+const PER_FAMILY: u64 = 6;
+/// Campaign seed for the family rows.
+const SEED: u64 = 5;
+
+struct Row {
+    name: String,
+    class: String,
+    group: u64,
+    states_off: u64,
+    states_on: u64,
+    bytes_on: u64,
+    ms_off: f64,
+    ms_on: f64,
+}
+
+impl Row {
+    fn reduction(&self) -> f64 {
+        if self.states_on == 0 {
+            1.0
+        } else {
+            self.states_off as f64 / self.states_on as f64
+        }
+    }
+}
+
+fn opts(symmetry: bool) -> HuntOptions {
+    HuntOptions {
+        symmetry,
+        ..HuntOptions::default()
+    }
+}
+
+fn spec_row(name: &str, spec: &ScenarioSpec) -> Row {
+    let t = std::time::Instant::now();
+    let off = classify_spec(spec, &opts(false)).expect("instance must classify");
+    let ms_off = t.elapsed().as_secs_f64() * 1e3;
+    let t = std::time::Instant::now();
+    let on = classify_spec(spec, &opts(true)).expect("instance must classify");
+    let ms_on = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(off.class, on.class, "{name}: class drifted under symmetry");
+    assert_eq!(
+        off.stable_vectors, on.stable_vectors,
+        "{name}: stable vectors drifted under symmetry"
+    );
+    assert_eq!(off.complete, on.complete, "{name}: completeness drifted");
+    Row {
+        name: name.to_string(),
+        class: off.class.to_string(),
+        group: on.metrics.as_ref().map_or(0, |m| m.group_order),
+        states_off: off.states as u64,
+        states_on: on.states as u64,
+        bytes_on: on.metrics.as_ref().map_or(0, |m| m.visited_bytes),
+        ms_off,
+        ms_on,
+    }
+}
+
+/// The smallest §5 routing gadget: SR_J for the one-variable,
+/// one-clause formula J = (x0). Its variable gadget names the positive
+/// and negative literal routers symmetrically, so parts of the search
+/// space collapse even on this satisfiable instance. Larger gadgets are
+/// out of reach of *exhaustive* search with or without pruning (the
+/// repo verifies them schedule-driven instead).
+fn npc_row() -> Row {
+    let formula = Formula::new(1, vec![Clause(vec![Lit::pos(0)])]).expect("well-formed formula");
+    let sr = reduce(&formula);
+    let explore_opts =
+        |symmetry: bool| ExploreOptions::new().max_states(200_000).symmetry(symmetry);
+
+    let t = std::time::Instant::now();
+    let (class_off, off) = classify(
+        &sr.topology,
+        ProtocolConfig::STANDARD,
+        &sr.exits,
+        explore_opts(false),
+    );
+    let ms_off = t.elapsed().as_secs_f64() * 1e3;
+    let t = std::time::Instant::now();
+    let (class_on, on) = classify(
+        &sr.topology,
+        ProtocolConfig::STANDARD,
+        &sr.exits,
+        explore_opts(true),
+    );
+    let ms_on = t.elapsed().as_secs_f64() * 1e3;
+    // Pruning can only complete *more* searches under the same cap, so a
+    // complete plain search forces full agreement; a capped plain search
+    // may legitimately be resolved by the pruned one.
+    if off.complete {
+        assert_eq!(
+            class_off, class_on,
+            "npc gadget: class drifted under symmetry"
+        );
+        assert_eq!(
+            off.stable_vectors, on.stable_vectors,
+            "npc gadget: stable vectors drifted under symmetry"
+        );
+    }
+    Row {
+        name: "npc-1var".into(),
+        class: class_on.to_string(),
+        group: on.metrics.group_order,
+        states_off: off.states as u64,
+        states_on: on.states as u64,
+        bytes_on: on.metrics.visited_bytes,
+        ms_off,
+        ms_on,
+    }
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Every paper figure from the catalog. fig 2 and fig 14 carry an
+    // order-2 reflector swap, fig 13 the order-3 cluster rotation.
+    for s in ibgp::scenarios::all_scenarios() {
+        let spec = ScenarioSpec::from_scenario(&s, ProtocolVariant::Standard);
+        rows.push(spec_row(&spec.name, &spec));
+    }
+
+    rows.push(npc_row());
+
+    // The five hunt families at a fixed seed, aggregated per family.
+    for family in ALL_FAMILIES {
+        let mut agg: Option<Row> = None;
+        for index in 0..PER_FAMILY {
+            let spec = generate_spec(family, SEED, index);
+            let name = format!("{}[{index}]", family.keyword());
+            let r = spec_row(&name, &spec);
+            agg = Some(match agg {
+                None => Row {
+                    name: format!("hunt:{} (x{PER_FAMILY})", family.keyword()),
+                    class: "-".into(),
+                    ..r
+                },
+                Some(mut a) => {
+                    a.group = a.group.max(r.group);
+                    a.states_off += r.states_off;
+                    a.states_on += r.states_on;
+                    a.bytes_on = a.bytes_on.max(r.bytes_on);
+                    a.ms_off += r.ms_off;
+                    a.ms_on += r.ms_on;
+                    a
+                }
+            });
+        }
+        rows.push(agg.expect("PER_FAMILY > 0"));
+    }
+
+    println!(
+        "| instance | class | max group | states off | states on | reduction | peak bytes on | ms off | ms on |"
+    );
+    println!("|---|---|---:|---:|---:|---:|---:|---:|---:|");
+    for r in &rows {
+        println!(
+            "| {} | {} | {} | {} | {} | {:.2}x | {} | {:.1} | {:.1} |",
+            r.name,
+            r.class,
+            r.group,
+            r.states_off,
+            r.states_on,
+            r.reduction(),
+            r.bytes_on,
+            r.ms_off,
+            r.ms_on
+        );
+    }
+}

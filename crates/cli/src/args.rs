@@ -24,6 +24,8 @@ options:
   --variant standard|walton|modified   protocol (default standard)
   --max-states N                       search cap (default 500000)
   --jobs N                             search worker threads (default 1, 0 = auto)
+  --symmetry                           collapse automorphism orbits during search
+  --max-bytes N                        visited-set byte budget (default unbounded)
   --steps N                            step budget (default 100000)
   --seed N                             hunt: campaign seed (default 1)
   --budget N                           hunt: topologies to generate (default 100)
@@ -44,6 +46,8 @@ pub enum Command {
         variant: ProtocolVariant,
         max_states: usize,
         jobs: usize,
+        symmetry: bool,
+        max_bytes: Option<usize>,
     },
     /// `run <scenario|file>`
     Run {
@@ -52,9 +56,16 @@ pub enum Command {
         steps: u64,
         max_states: usize,
         jobs: usize,
+        symmetry: bool,
+        max_bytes: Option<usize>,
     },
     /// `gallery`
-    Gallery { max_states: usize, jobs: usize },
+    Gallery {
+        max_states: usize,
+        jobs: usize,
+        symmetry: bool,
+        max_bytes: Option<usize>,
+    },
     /// `dot <scenario>`
     Dot { scenario: String },
     /// `theorems <scenario>`
@@ -76,6 +87,8 @@ pub enum Command {
         families: Option<String>,
         max_states: usize,
         jobs: usize,
+        symmetry: bool,
+        max_bytes: Option<usize>,
     },
     /// `minimize <file>`
     Minimize {
@@ -83,6 +96,8 @@ pub enum Command {
         out: Option<String>,
         max_states: usize,
         jobs: usize,
+        symmetry: bool,
+        max_bytes: Option<usize>,
     },
     /// `corpus stats [dir]`
     CorpusStats { dir: String },
@@ -104,6 +119,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut budget = 100usize;
     let mut out: Option<String> = None;
     let mut families: Option<String> = None;
+    let mut symmetry = false;
+    let mut max_bytes: Option<usize> = None;
     let mut i = 0;
     while i < rest.len() {
         let a = rest[i].as_str();
@@ -148,6 +165,17 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     .parse()
                     .map_err(|_| format!("invalid --budget value `{v}`"))?;
             }
+            "--symmetry" => {
+                symmetry = true;
+            }
+            "--max-bytes" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--max-bytes needs a value")?;
+                max_bytes = Some(
+                    v.parse()
+                        .map_err(|_| format!("invalid --max-bytes value `{v}`"))?,
+                );
+            }
             "--out" => {
                 i += 1;
                 let v = rest.get(i).ok_or("--out needs a value")?;
@@ -179,6 +207,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             variant,
             max_states,
             jobs,
+            symmetry,
+            max_bytes,
         }),
         "run" => Ok(Command::Run {
             scenario: one_positional("scenario name or .ibgp file")?,
@@ -186,8 +216,15 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             steps,
             max_states,
             jobs,
+            symmetry,
+            max_bytes,
         }),
-        "gallery" => Ok(Command::Gallery { max_states, jobs }),
+        "gallery" => Ok(Command::Gallery {
+            max_states,
+            jobs,
+            symmetry,
+            max_bytes,
+        }),
         "dot" => Ok(Command::Dot {
             scenario: one_positional("scenario name")?,
         }),
@@ -221,6 +258,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 families,
                 max_states,
                 jobs,
+                symmetry,
+                max_bytes,
             })
         }
         "minimize" => Ok(Command::Minimize {
@@ -228,6 +267,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             out,
             max_states,
             jobs,
+            symmetry,
+            max_bytes,
         }),
         "corpus" => match positional.as_slice() {
             ["stats"] => Ok(Command::CorpusStats {
@@ -291,7 +332,9 @@ mod tests {
             parse(&argv("gallery --max-states 100")).unwrap(),
             Command::Gallery {
                 max_states: 100,
-                jobs: 1
+                jobs: 1,
+                symmetry: false,
+                max_bytes: None,
             }
         );
     }
@@ -299,7 +342,7 @@ mod tests {
     #[test]
     fn parses_classify_with_options() {
         let cmd = parse(&argv(
-            "classify fig1a --variant walton --max-states 42 --jobs 4",
+            "classify fig1a --variant walton --max-states 42 --jobs 4 --symmetry --max-bytes 4096",
         ))
         .unwrap();
         assert_eq!(
@@ -309,6 +352,8 @@ mod tests {
                 variant: ProtocolVariant::Walton,
                 max_states: 42,
                 jobs: 4,
+                symmetry: true,
+                max_bytes: Some(4096),
             }
         );
     }
@@ -324,6 +369,8 @@ mod tests {
                 steps: 100_000,
                 max_states: 500_000,
                 jobs: 1,
+                symmetry: false,
+                max_bytes: None,
             }
         );
     }
@@ -343,6 +390,8 @@ mod tests {
                 families: Some("reflection,confed".into()),
                 max_states: 500_000,
                 jobs: 2,
+                symmetry: false,
+                max_bytes: None,
             }
         );
         assert_eq!(
@@ -354,16 +403,20 @@ mod tests {
                 families: None,
                 max_states: 500_000,
                 jobs: 1,
+                symmetry: false,
+                max_bytes: None,
             }
         );
         assert!(parse(&argv("hunt extra")).is_err());
         assert_eq!(
-            parse(&argv("minimize a.ibgp --out b.ibgp")).unwrap(),
+            parse(&argv("minimize a.ibgp --out b.ibgp --symmetry")).unwrap(),
             Command::Minimize {
                 file: "a.ibgp".into(),
                 out: Some("b.ibgp".into()),
                 max_states: 500_000,
                 jobs: 1,
+                symmetry: true,
+                max_bytes: None,
             }
         );
         assert!(parse(&argv("minimize")).is_err());
@@ -395,6 +448,8 @@ mod tests {
         assert!(parse(&argv("classify fig1a --jobs abc")).is_err());
         assert!(parse(&argv("classify fig1a --mystery")).is_err());
         assert!(parse(&argv("classify fig1a --variant")).is_err());
+        assert!(parse(&argv("classify fig1a --max-bytes abc")).is_err());
+        assert!(parse(&argv("classify fig1a --max-bytes")).is_err());
     }
 
     #[test]

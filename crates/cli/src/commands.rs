@@ -10,6 +10,38 @@ use ibgp::{ExploreOptions, Network, ProtocolVariant, Scenario};
 use ibgp_hunt::{HuntOptions, Verdict};
 use std::path::Path;
 
+/// The search knobs every exploring command shares, bundled so they
+/// travel together from the parser to the search entry points.
+#[derive(Clone, Copy)]
+struct SearchOpts {
+    max_states: usize,
+    jobs: usize,
+    symmetry: bool,
+    max_bytes: Option<usize>,
+}
+
+impl SearchOpts {
+    fn hunt_options(self) -> HuntOptions {
+        HuntOptions {
+            max_states: self.max_states,
+            jobs: self.jobs,
+            symmetry: self.symmetry,
+            max_bytes: self.max_bytes,
+        }
+    }
+
+    fn explore_options(self) -> ExploreOptions {
+        let opts = ExploreOptions::new()
+            .max_states(self.max_states)
+            .jobs(self.jobs)
+            .symmetry(self.symmetry);
+        match self.max_bytes {
+            Some(b) => opts.max_bytes(b),
+            None => opts,
+        }
+    }
+}
+
 /// Execute a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
     match cmd {
@@ -19,11 +51,19 @@ pub fn run(cmd: Command) -> Result<(), String> {
             variant,
             max_states,
             jobs,
+            symmetry,
+            max_bytes,
         } => {
+            let opts = SearchOpts {
+                max_states,
+                jobs,
+                symmetry,
+                max_bytes,
+            };
             if is_spec_path(&scenario) {
-                classify_file(&scenario, max_states, jobs)
+                classify_file(&scenario, opts)
             } else {
-                classify(&scenario, variant, max_states, jobs)
+                classify(&scenario, variant, opts)
             }
         }
         Command::Run {
@@ -32,14 +72,34 @@ pub fn run(cmd: Command) -> Result<(), String> {
             steps,
             max_states,
             jobs,
+            symmetry,
+            max_bytes,
         } => {
             if is_spec_path(&scenario) {
-                classify_file(&scenario, max_states, jobs)
+                classify_file(
+                    &scenario,
+                    SearchOpts {
+                        max_states,
+                        jobs,
+                        symmetry,
+                        max_bytes,
+                    },
+                )
             } else {
                 converge(&scenario, variant, steps)
             }
         }
-        Command::Gallery { max_states, jobs } => gallery(max_states, jobs),
+        Command::Gallery {
+            max_states,
+            jobs,
+            symmetry,
+            max_bytes,
+        } => gallery(SearchOpts {
+            max_states,
+            jobs,
+            symmetry,
+            max_bytes,
+        }),
         Command::Dot { scenario } => dot(&scenario),
         Command::Theorems { scenario, steps } => theorems(&scenario, steps),
         Command::Sat { formula, steps } => sat(&formula, steps),
@@ -56,13 +116,37 @@ pub fn run(cmd: Command) -> Result<(), String> {
             families,
             max_states,
             jobs,
-        } => hunt(seed, budget, &out, families.as_deref(), max_states, jobs)?,
+            symmetry,
+            max_bytes,
+        } => hunt(
+            seed,
+            budget,
+            &out,
+            families.as_deref(),
+            SearchOpts {
+                max_states,
+                jobs,
+                symmetry,
+                max_bytes,
+            },
+        )?,
         Command::Minimize {
             file,
             out,
             max_states,
             jobs,
-        } => minimize_file(&file, out.as_deref(), max_states, jobs)?,
+            symmetry,
+            max_bytes,
+        } => minimize_file(
+            &file,
+            out.as_deref(),
+            SearchOpts {
+                max_states,
+                jobs,
+                symmetry,
+                max_bytes,
+            },
+        )?,
         Command::CorpusStats { dir } => corpus_stats(&dir)?,
     }
     Ok(())
@@ -103,6 +187,9 @@ fn print_verdict(label: &str, v: &Verdict) {
     if let Some(cap) = v.cap {
         println!("  inconclusive: state cap {cap} reached (raise --max-states)");
     }
+    if let Some(budget) = v.memory {
+        println!("  inconclusive: memory budget {budget} bytes exhausted (raise --max-bytes)");
+    }
     println!(
         "  {} reachable configurations (complete search: {})",
         v.states, v.complete
@@ -121,6 +208,20 @@ fn print_verdict(label: &str, v: &Verdict) {
             m.cache_hits,
             m.cache_misses
         );
+        if m.group_order > 0 {
+            println!(
+                "  symmetry: automorphism group of order {}, {:.2}x state reduction ({} orbit states)",
+                m.group_order,
+                m.reduction_factor(),
+                m.orbit_states
+            );
+        }
+        if m.compactions > 0 {
+            println!(
+                "  memory: visited set compacted to digests {} time(s) ({} digest collision(s), peak {} bytes)",
+                m.compactions, m.digest_collisions, m.visited_bytes
+            );
+        }
     }
     println!("  {} stable solution(s):", v.stable_vectors.len());
     for (i, sv) in v.stable_vectors.iter().enumerate() {
@@ -128,15 +229,16 @@ fn print_verdict(label: &str, v: &Verdict) {
     }
 }
 
-fn classify(name: &str, variant: ProtocolVariant, max_states: usize, jobs: usize) {
+fn classify(name: &str, variant: ProtocolVariant, opts: SearchOpts) {
     let s = lookup(name);
     let n = Network::from_scenario(&s, variant);
-    let (class, reach) = n.classify(ExploreOptions::new().max_states(max_states).jobs(jobs));
+    let (class, reach) = n.classify(opts.explore_options());
     let verdict = Verdict {
         class,
         states: reach.states,
         complete: reach.complete,
         cap: reach.cap,
+        memory: reach.memory,
         stable_vectors: reach.stable_vectors,
         metrics: Some(reach.metrics),
     };
@@ -150,9 +252,9 @@ fn load_spec_or_die(path: &str) -> ibgp_hunt::ScenarioSpec {
     })
 }
 
-fn classify_file(path: &str, max_states: usize, jobs: usize) {
+fn classify_file(path: &str, opts: SearchOpts) {
     let spec = load_spec_or_die(path);
-    let opts = HuntOptions { max_states, jobs };
+    let opts = opts.hunt_options();
     match ibgp_hunt::classify_spec(&spec, &opts) {
         Ok(verdict) => {
             let label = format!(
@@ -175,8 +277,7 @@ fn hunt(
     budget: usize,
     out: &str,
     families: Option<&str>,
-    max_states: usize,
-    jobs: usize,
+    opts: SearchOpts,
 ) -> Result<(), String> {
     let mut cfg = ibgp_hunt::CampaignConfig::new(seed, budget, out.into());
     if let Some(list) = families {
@@ -185,7 +286,7 @@ fn hunt(
             return Err("--families selected no families".into());
         }
     }
-    cfg.options = HuntOptions { max_states, jobs };
+    cfg.options = opts.hunt_options();
     let report = ibgp_hunt::run_campaign(&cfg).map_err(|e| e.to_string())?;
     println!(
         "hunt: seed {seed}, {} topologies into {out}/",
@@ -222,14 +323,9 @@ fn hunt(
     Ok(())
 }
 
-fn minimize_file(
-    path: &str,
-    out: Option<&str>,
-    max_states: usize,
-    jobs: usize,
-) -> Result<(), String> {
+fn minimize_file(path: &str, out: Option<&str>, opts: SearchOpts) -> Result<(), String> {
     let spec = load_spec_or_die(path);
-    let opts = HuntOptions { max_states, jobs };
+    let opts = opts.hunt_options();
     let result = ibgp_hunt::minimize(&spec, &opts).map_err(|e| e.to_string())?;
     println!(
         "minimize {}: verdict `{}` preserved over {} reclassification(s)",
@@ -283,7 +379,7 @@ fn converge(name: &str, variant: ProtocolVariant, steps: u64) {
     }
 }
 
-fn gallery(max_states: usize, jobs: usize) {
+fn gallery(opts: SearchOpts) {
     println!(
         "{:<8} {:<9} {:>7} {:>7}  class",
         "scenario", "protocol", "states", "stable"
@@ -294,8 +390,8 @@ fn gallery(max_states: usize, jobs: usize) {
             ProtocolVariant::Walton,
             ProtocolVariant::Modified,
         ] {
-            let (class, reach) = Network::from_scenario(&s, variant)
-                .classify(ExploreOptions::new().max_states(max_states).jobs(jobs));
+            let (class, reach) =
+                Network::from_scenario(&s, variant).classify(opts.explore_options());
             println!(
                 "{:<8} {:<9} {:>7} {:>7}  {}",
                 s.name,

@@ -298,7 +298,7 @@ mod tests {
         let spec = padded_disagree();
         let opts = HuntOptions {
             max_states: 2,
-            jobs: 1,
+            ..HuntOptions::default()
         };
         let out = minimize(&spec, &opts).unwrap();
         assert_eq!(out.spec, spec);

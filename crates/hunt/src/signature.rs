@@ -20,94 +20,15 @@
 
 use crate::spec::{ScenarioSpec, SpecKind};
 use ibgp_hierarchy::{ClusterSpec, Member};
+use ibgp_topology::canon::{
+    class_symmetry, fnv, fnv_u64, for_each_perm, hash_parts, hash_str, ColoredGraph, FNV_OFFSET,
+};
 
-/// Upper bound on color-consistent permutations the canonicalizer will
-/// enumerate before falling back to the refinement-hash signature.
-pub const PERM_CAP: u64 = 20_000;
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-fn fnv(h: &mut u64, bytes: &[u8]) {
-    for &b in bytes {
-        *h ^= b as u64;
-        *h = h.wrapping_mul(FNV_PRIME);
-    }
-}
-
-fn fnv_u64(h: &mut u64, v: u64) {
-    fnv(h, &v.to_le_bytes());
-}
-
-fn hash_parts(parts: &[u64]) -> u64 {
-    let mut h = FNV_OFFSET;
-    for &p in parts {
-        fnv_u64(&mut h, p);
-    }
-    h
-}
-
-fn hash_str(s: &str) -> u64 {
-    let mut h = FNV_OFFSET;
-    fnv(&mut h, s.as_bytes());
-    h
-}
-
-/// The labeled (multi)graph the refinement runs on: routers first, then
-/// auxiliary structure nodes.
-struct Colored {
-    /// Per node: `(edge_label, neighbor)` pairs.
-    adj: Vec<Vec<(u64, usize)>>,
-    /// Current color per node.
-    colors: Vec<u64>,
-}
-
-impl Colored {
-    fn add_edge(&mut self, u: usize, v: usize, label: u64) {
-        self.adj[u].push((label, v));
-        self.adj[v].push((label, u));
-    }
-
-    /// Refine until the partition induced by the colors stops splitting.
-    fn refine(&mut self) {
-        let n = self.adj.len();
-        let mut classes = partition(&self.colors);
-        loop {
-            let mut next = vec![0u64; n];
-            for (v, slot) in next.iter_mut().enumerate() {
-                let mut sig: Vec<u64> = self.adj[v]
-                    .iter()
-                    .map(|&(label, u)| hash_parts(&[label, self.colors[u]]))
-                    .collect();
-                sig.sort_unstable();
-                sig.insert(0, self.colors[v]);
-                *slot = hash_parts(&sig);
-            }
-            self.colors = next;
-            let refined = partition(&self.colors);
-            if refined == classes {
-                return;
-            }
-            classes = refined;
-        }
-    }
-}
-
-/// Map each node to the index of its color class (classes numbered by
-/// first appearance), giving a hash-independent view of the partition.
-fn partition(colors: &[u64]) -> Vec<usize> {
-    let mut seen: Vec<u64> = Vec::new();
-    colors
-        .iter()
-        .map(|c| match seen.iter().position(|s| s == c) {
-            Some(i) => i,
-            None => {
-                seen.push(*c);
-                seen.len() - 1
-            }
-        })
-        .collect()
-}
+// The WL refinement / permutation-enumeration machinery lives in
+// `ibgp_topology::canon` (shared with the orbit-pruned reachability
+// search); this module keeps only the spec-graph encoding and the
+// printed-certificate canonicalization.
+pub use ibgp_topology::canon::PERM_CAP;
 
 /// Exit attributes as sorted by the certificate, identity dropped:
 /// `(next_as, len, med, pref, cost)`.
@@ -117,29 +38,28 @@ fn exit_key(e: &crate::spec::ExitSpec) -> ExitKey {
     (e.next_as, e.len, e.med, e.pref, e.cost)
 }
 
-fn build_colored(spec: &ScenarioSpec) -> Colored {
+fn build_colored(spec: &ScenarioSpec) -> ColoredGraph {
     let n = spec.routers;
-    let mut g = Colored {
-        adj: vec![Vec::new(); n],
-        colors: Vec::with_capacity(n),
-    };
     // Initial router colors: the multiset of exit attributes injected at
     // the router. Everything else (links, roles) arrives via labeled
     // edges during refinement.
-    for r in 0..n {
-        let mut attrs: Vec<u64> = spec
-            .exits
-            .iter()
-            .filter(|e| e.at as usize == r)
-            .map(|e| {
-                let k = exit_key(e);
-                hash_parts(&[k.0 as u64, k.1 as u64, k.2 as u64, k.3 as u64, k.4])
-            })
-            .collect();
-        attrs.sort_unstable();
-        attrs.insert(0, hash_str("router"));
-        g.colors.push(hash_parts(&attrs));
-    }
+    let colors: Vec<u64> = (0..n)
+        .map(|r| {
+            let mut attrs: Vec<u64> = spec
+                .exits
+                .iter()
+                .filter(|e| e.at as usize == r)
+                .map(|e| {
+                    let k = exit_key(e);
+                    hash_parts(&[k.0 as u64, k.1 as u64, k.2 as u64, k.3 as u64, k.4])
+                })
+                .collect();
+            attrs.sort_unstable();
+            attrs.insert(0, hash_str("router"));
+            hash_parts(&attrs)
+        })
+        .collect();
+    let mut g = ColoredGraph::new(colors);
     for &(u, v, c) in &spec.links {
         let label = hash_parts(&[hash_str("p"), c]);
         g.add_edge(u as usize, v as usize, label);
@@ -147,9 +67,7 @@ fn build_colored(spec: &ScenarioSpec) -> Colored {
     match &spec.kind {
         SpecKind::Reflection(r) => {
             for (rs, cs) in &r.clusters {
-                let aux = g.adj.len();
-                g.adj.push(Vec::new());
-                g.colors.push(hash_str("cluster"));
+                let aux = g.add_node(hash_str("cluster"));
                 for &x in rs {
                     g.add_edge(aux, x as usize, hash_str("r"));
                 }
@@ -163,9 +81,7 @@ fn build_colored(spec: &ScenarioSpec) -> Colored {
         }
         SpecKind::Confed(c) => {
             for members in &c.sub_as {
-                let aux = g.adj.len();
-                g.adj.push(Vec::new());
-                g.colors.push(hash_str("subas"));
+                let aux = g.add_node(hash_str("subas"));
                 for &x in members {
                     g.add_edge(aux, x as usize, hash_str("m"));
                 }
@@ -183,10 +99,8 @@ fn build_colored(spec: &ScenarioSpec) -> Colored {
     g
 }
 
-fn add_hier_aux(g: &mut Colored, c: &ClusterSpec, parent: Option<usize>) {
-    let aux = g.adj.len();
-    g.adj.push(Vec::new());
-    g.colors.push(hash_str("hcluster"));
+fn add_hier_aux(g: &mut ColoredGraph, c: &ClusterSpec, parent: Option<usize>) {
+    let aux = g.add_node(hash_str("hcluster"));
     if let Some(p) = parent {
         g.add_edge(p, aux, hash_str("pc"));
     }
@@ -309,45 +223,6 @@ fn hier_certificate(c: &ClusterSpec, perm: &[u32]) -> String {
     format!("(r{rs:?}m{leaves:?}{})", subs.join(""))
 }
 
-/// Enumerate every router permutation consistent with the color classes,
-/// calling `visit` with each complete old→new mapping. Class `ci`'s
-/// members are assigned (in every order) to the canonical position block
-/// `starts[ci] ..`.
-fn for_each_perm(classes: &[Vec<usize>], starts: &[u32], visit: &mut impl FnMut(&[u32])) {
-    fn assign(
-        classes: &[Vec<usize>],
-        starts: &[u32],
-        ci: usize,
-        mi: usize,
-        slots: &mut Vec<bool>,
-        perm: &mut Vec<u32>,
-        visit: &mut impl FnMut(&[u32]),
-    ) {
-        if ci == classes.len() {
-            visit(perm);
-            return;
-        }
-        let class = &classes[ci];
-        if mi == class.len() {
-            let mut next_slots = vec![false; classes.get(ci + 1).map_or(0, |c| c.len())];
-            assign(classes, starts, ci + 1, 0, &mut next_slots, perm, visit);
-            return;
-        }
-        for slot in 0..class.len() {
-            if !slots[slot] {
-                slots[slot] = true;
-                perm[class[mi]] = starts[ci] + slot as u32;
-                assign(classes, starts, ci, mi + 1, slots, perm, visit);
-                slots[slot] = false;
-            }
-        }
-    }
-    let n: usize = classes.iter().map(|c| c.len()).sum();
-    let mut perm = vec![u32::MAX; n];
-    let mut slots = vec![false; classes.first().map_or(0, |c| c.len())];
-    assign(classes, starts, 0, 0, &mut slots, &mut perm, visit);
-}
-
 /// Compute the canonical structural signature of a spec.
 ///
 /// Signatures are invariant under router renumbering, declaration-order
@@ -365,13 +240,7 @@ pub fn signature(spec: &ScenarioSpec) -> String {
         by_color.entry(g.colors[r]).or_default().push(r);
     }
     let classes: Vec<Vec<usize>> = by_color.into_values().collect();
-    let mut symmetry: u64 = 1;
-    for c in &classes {
-        for k in 1..=(c.len() as u64) {
-            symmetry = symmetry.saturating_mul(k);
-        }
-    }
-    if symmetry > PERM_CAP {
+    if class_symmetry(&classes) > PERM_CAP {
         // Label-invariant fallback: hash the refined color multiset of
         // the whole graph (routers + structure nodes) plus the scalars.
         let mut all = g.colors.clone();

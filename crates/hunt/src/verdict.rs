@@ -25,6 +25,12 @@ pub struct HuntOptions {
     /// Worker threads for the flat-reflection search (`0` = one per
     /// hardware thread; confed/hierarchy searches are single-threaded).
     pub jobs: usize,
+    /// Collapse automorphism orbits in the flat-reflection search
+    /// (confed/hierarchy searches are uninstrumented and ignore this).
+    pub symmetry: bool,
+    /// Visited-set byte budget for the flat-reflection search; `None` for
+    /// unbounded.
+    pub max_bytes: Option<usize>,
 }
 
 impl Default for HuntOptions {
@@ -32,15 +38,22 @@ impl Default for HuntOptions {
         Self {
             max_states: 200_000,
             jobs: 1,
+            symmetry: false,
+            max_bytes: None,
         }
     }
 }
 
 impl HuntOptions {
     fn explore_options(&self) -> ExploreOptions {
-        ExploreOptions::new()
+        let opts = ExploreOptions::new()
             .max_states(self.max_states)
             .jobs(self.jobs)
+            .symmetry(self.symmetry);
+        match self.max_bytes {
+            Some(b) => opts.max_bytes(b),
+            None => opts,
+        }
     }
 }
 
@@ -55,6 +68,9 @@ pub struct Verdict {
     pub complete: bool,
     /// The state cap that stopped the search, when one did.
     pub cap: Option<usize>,
+    /// The visited-set byte budget that stopped the search, when one did
+    /// (memory-stopped searches are inconclusive, like capped ones).
+    pub memory: Option<usize>,
     /// Distinct stable best-exit vectors, canonical order.
     pub stable_vectors: Vec<Vec<Option<ExitPathId>>>,
     /// Search metrics — available on the flat-reflection path only (the
@@ -105,6 +121,7 @@ fn from_search(
         states,
         complete,
         cap,
+        memory: None,
         stable_vectors,
         metrics: None,
     }
@@ -126,6 +143,7 @@ pub fn classify_spec(spec: &ScenarioSpec, opts: &HuntOptions) -> Result<Verdict,
                 states: reach.states,
                 complete: reach.complete,
                 cap: reach.cap,
+                memory: reach.memory,
                 stable_vectors: reach.stable_vectors,
                 metrics: Some(reach.metrics),
             })
@@ -197,7 +215,7 @@ mod tests {
     fn capped_search_is_inconclusive_with_cap_recorded() {
         let opts = HuntOptions {
             max_states: 2,
-            jobs: 1,
+            ..HuntOptions::default()
         };
         let v = classify_spec(&disagree(ProtocolVariant::Standard), &opts).unwrap();
         assert!(v.is_inconclusive());

@@ -71,7 +71,7 @@ fn every_catalog_figure_has_a_golden_and_vice_versa() {
 fn parsed_goldens_reproduce_the_known_verdicts() {
     let opts = HuntOptions {
         max_states: 200_000,
-        jobs: 1,
+        ..HuntOptions::default()
     };
     for (name, want) in EXPECTED {
         let path = paper_dir().join(format!("{name}.ibgp"));

@@ -15,7 +15,7 @@ use ibgp_proto::ProtocolVariant;
 fn opts() -> HuntOptions {
     HuntOptions {
         max_states: 200_000,
-        jobs: 1,
+        ..HuntOptions::default()
     }
 }
 

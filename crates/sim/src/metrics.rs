@@ -49,6 +49,26 @@ pub struct Metrics {
     /// shard at the end of the search — a balance gauge for the sharded
     /// dedup structure.
     pub peak_shard: u64,
+    /// Symmetry reduction: order of the instance's automorphism group
+    /// (0 when symmetry reduction was not requested, 1 when the instance
+    /// is asymmetric or the group enumeration overflowed its cap).
+    pub group_order: u64,
+    /// Symmetry reduction: total reachable states the visited orbit
+    /// representatives stand for (sum of orbit sizes). Equals
+    /// `states_visited` when the group is trivial; 0 when symmetry
+    /// reduction was not requested.
+    pub orbit_states: u64,
+    /// Memory-bounded exploration: distinct state keys that hashed to an
+    /// already-occupied 64-bit digest while the visited set still held
+    /// exact keys. After digest compaction a collision is unobservable
+    /// (it conflates two states), so this counts only the observable ones.
+    pub digest_collisions: u64,
+    /// Memory-bounded exploration: times the visited set was compacted
+    /// from exact keys to digest-only hashes (0 or 1 per search).
+    pub compactions: u64,
+    /// Memory-bounded exploration: peak accounted byte footprint of the
+    /// visited set (an estimate, not an allocator measurement).
+    pub visited_bytes: u64,
 }
 
 impl Metrics {
@@ -80,10 +100,15 @@ impl Metrics {
         self.states_visited += other.states_visited;
         self.elapsed_nanos += other.elapsed_nanos;
         self.handoffs += other.handoffs;
+        self.orbit_states += other.orbit_states;
+        self.digest_collisions += other.digest_collisions;
+        self.compactions += other.compactions;
         self.frontier_depth = self.frontier_depth.max(other.frontier_depth);
         self.peak_queue = self.peak_queue.max(other.peak_queue);
         self.peak_shard = self.peak_shard.max(other.peak_shard);
         self.workers = self.workers.max(other.workers);
+        self.group_order = self.group_order.max(other.group_order);
+        self.visited_bytes = self.visited_bytes.max(other.visited_bytes);
     }
 
     /// Average paths per message, or 0.0 when no messages were sent.
@@ -115,6 +140,18 @@ impl Metrics {
             self.states_visited as f64 / (self.elapsed_nanos as f64 / 1e9)
         }
     }
+
+    /// Symmetry reduction factor: reachable states per visited orbit
+    /// representative (`orbit_states / states_visited`). 1.0 for an
+    /// asymmetric instance, for a search without symmetry reduction, and
+    /// for metrics that never ran a search.
+    pub fn reduction_factor(&self) -> f64 {
+        if self.states_visited == 0 || self.orbit_states == 0 {
+            1.0
+        } else {
+            self.orbit_states as f64 / self.states_visited as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +179,52 @@ mod tests {
             ..Metrics::default()
         };
         assert!((m.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_factor_handles_zero_and_ratio() {
+        assert_eq!(Metrics::default().reduction_factor(), 1.0);
+        let m = Metrics {
+            states_visited: 100,
+            orbit_states: 0,
+            ..Metrics::default()
+        };
+        assert_eq!(m.reduction_factor(), 1.0);
+        let m = Metrics {
+            states_visited: 100,
+            orbit_states: 300,
+            ..Metrics::default()
+        };
+        assert!((m.reduction_factor() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn campaign_absorb_sums_totals_and_maxes_gauges() {
+        let mut a = Metrics {
+            states_visited: 10,
+            orbit_states: 30,
+            group_order: 3,
+            digest_collisions: 1,
+            compactions: 1,
+            visited_bytes: 500,
+            ..Metrics::default()
+        };
+        let b = Metrics {
+            states_visited: 5,
+            orbit_states: 5,
+            group_order: 1,
+            digest_collisions: 0,
+            compactions: 0,
+            visited_bytes: 900,
+            ..Metrics::default()
+        };
+        a.absorb_campaign(&b);
+        assert_eq!(a.states_visited, 15);
+        assert_eq!(a.orbit_states, 35);
+        assert_eq!(a.digest_collisions, 1);
+        assert_eq!(a.compactions, 1);
+        assert_eq!(a.group_order, 3);
+        assert_eq!(a.visited_bytes, 900);
     }
 
     #[test]

@@ -13,7 +13,10 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
 /// Canonical form of one node's visible state.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// The `Ord` impl gives configurations a total order so symmetry-reduced
+/// searches can pick a lexicographically minimal orbit representative.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeStateKey {
     /// Sorted ids of `PossibleExits(v, t)`.
     pub possible: Vec<ExitPathId>,
@@ -24,7 +27,7 @@ pub struct NodeStateKey {
 }
 
 /// Canonical form of a full configuration (plus activation phase).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StateKey {
     /// Per-node states, indexed by router id.
     pub nodes: Vec<NodeStateKey>,
@@ -38,6 +41,20 @@ impl StateKey {
         let mut h = DefaultHasher::new();
         self.hash(&mut h);
         h.finish()
+    }
+
+    /// Rough heap footprint of this key in bytes, used by memory-bounded
+    /// searches to decide when to compact their visited set. Counts the
+    /// id payloads plus per-`Vec` bookkeeping; it is an estimate, not an
+    /// allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        const VEC_OVERHEAD: usize = 3 * std::mem::size_of::<usize>();
+        let mut bytes = std::mem::size_of::<Self>() + self.nodes.len() * VEC_OVERHEAD;
+        for node in &self.nodes {
+            bytes += std::mem::size_of::<NodeStateKey>()
+                + (node.possible.len() + node.advertised.len()) * std::mem::size_of::<ExitPathId>();
+        }
+        bytes
     }
 }
 

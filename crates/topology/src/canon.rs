@@ -1,0 +1,389 @@
+//! Weisfeiler–Lehman color refinement and capped automorphism
+//! enumeration over labeled graphs, shared by every canonicalizer in the
+//! workspace.
+//!
+//! Two consumers sit on top of this module:
+//!
+//! * `ibgp-hunt`'s structural signatures build a [`ColoredGraph`] from a
+//!   scenario spec and take the lexicographically minimal certificate
+//!   over [`for_each_perm`] — corpus deduplication.
+//! * `ibgp-analysis`'s orbit-pruned reachability search calls
+//!   [`automorphisms`] to compute, once per search, the router
+//!   permutations that preserve everything the protocol dynamics can
+//!   observe of a [`Topology`] — SPF distances, I-BGP sessions,
+//!   reflector/client roles, cluster co-membership, and a caller-supplied
+//!   per-router color (typically a digest of the exit paths injected at
+//!   the router).
+//!
+//! The refinement is a pruner, not an oracle: candidate permutations
+//! consistent with the refined color classes are *verified* against the
+//! invariants they must preserve before being reported. WL-equivalence
+//! without true equivalence therefore costs enumeration time, never
+//! soundness. When the candidate space is larger than [`PERM_CAP`] the
+//! enumeration is abandoned (callers fall back to a hash signature or to
+//! the trivial group).
+
+use crate::Topology;
+use ibgp_types::RouterId;
+
+/// Upper bound on color-consistent permutations a canonicalizer will
+/// enumerate before falling back (hash signature / trivial group).
+pub const PERM_CAP: u64 = 20_000;
+
+/// FNV-1a offset basis, exposed so callers can fold extra scalars into a
+/// signature built from these helpers.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold raw bytes into an FNV-1a accumulator.
+pub fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Fold one `u64` (little-endian) into an FNV-1a accumulator.
+pub fn fnv_u64(h: &mut u64, v: u64) {
+    fnv(h, &v.to_le_bytes());
+}
+
+/// Hash a sequence of words into one 64-bit value.
+pub fn hash_parts(parts: &[u64]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &p in parts {
+        fnv_u64(&mut h, p);
+    }
+    h
+}
+
+/// Hash a string label into one 64-bit value.
+pub fn hash_str(s: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv(&mut h, s.as_bytes());
+    h
+}
+
+/// The labeled (multi)graph the refinement runs on. Consumers put their
+/// primary nodes (routers) first and may append auxiliary structure nodes
+/// (clusters, sub-ASes) after them.
+pub struct ColoredGraph {
+    /// Per node: `(edge_label, neighbor)` pairs.
+    pub adj: Vec<Vec<(u64, usize)>>,
+    /// Current color per node.
+    pub colors: Vec<u64>,
+}
+
+impl ColoredGraph {
+    /// A graph with `n` nodes of the given initial colors and no edges.
+    pub fn new(colors: Vec<u64>) -> Self {
+        Self {
+            adj: vec![Vec::new(); colors.len()],
+            colors,
+        }
+    }
+
+    /// Append a fresh node with the given color, returning its index.
+    pub fn add_node(&mut self, color: u64) -> usize {
+        self.adj.push(Vec::new());
+        self.colors.push(color);
+        self.adj.len() - 1
+    }
+
+    /// Add an undirected labeled edge.
+    pub fn add_edge(&mut self, u: usize, v: usize, label: u64) {
+        self.adj[u].push((label, v));
+        self.adj[v].push((label, u));
+    }
+
+    /// Refine until the partition induced by the colors stops splitting.
+    pub fn refine(&mut self) {
+        let n = self.adj.len();
+        let mut classes = partition(&self.colors);
+        loop {
+            let mut next = vec![0u64; n];
+            for (v, slot) in next.iter_mut().enumerate() {
+                let mut sig: Vec<u64> = self.adj[v]
+                    .iter()
+                    .map(|&(label, u)| hash_parts(&[label, self.colors[u]]))
+                    .collect();
+                sig.sort_unstable();
+                sig.insert(0, self.colors[v]);
+                *slot = hash_parts(&sig);
+            }
+            self.colors = next;
+            let refined = partition(&self.colors);
+            if refined == classes {
+                return;
+            }
+            classes = refined;
+        }
+    }
+}
+
+/// Map each node to the index of its color class (classes numbered by
+/// first appearance), giving a hash-independent view of the partition.
+pub fn partition(colors: &[u64]) -> Vec<usize> {
+    let mut seen: Vec<u64> = Vec::new();
+    colors
+        .iter()
+        .map(|c| match seen.iter().position(|s| s == c) {
+            Some(i) => i,
+            None => {
+                seen.push(*c);
+                seen.len() - 1
+            }
+        })
+        .collect()
+}
+
+/// Enumerate every permutation consistent with the color classes, calling
+/// `visit` with each complete old→new mapping. Class `ci`'s members are
+/// assigned (in every order) to the canonical position block
+/// `starts[ci] ..`.
+pub fn for_each_perm(classes: &[Vec<usize>], starts: &[u32], visit: &mut impl FnMut(&[u32])) {
+    fn assign(
+        classes: &[Vec<usize>],
+        starts: &[u32],
+        ci: usize,
+        mi: usize,
+        slots: &mut Vec<bool>,
+        perm: &mut Vec<u32>,
+        visit: &mut impl FnMut(&[u32]),
+    ) {
+        if ci == classes.len() {
+            visit(perm);
+            return;
+        }
+        let class = &classes[ci];
+        if mi == class.len() {
+            let mut next_slots = vec![false; classes.get(ci + 1).map_or(0, |c| c.len())];
+            assign(classes, starts, ci + 1, 0, &mut next_slots, perm, visit);
+            return;
+        }
+        for slot in 0..class.len() {
+            if !slots[slot] {
+                slots[slot] = true;
+                perm[class[mi]] = starts[ci] + slot as u32;
+                assign(classes, starts, ci, mi + 1, slots, perm, visit);
+                slots[slot] = false;
+            }
+        }
+    }
+    let n: usize = classes.iter().map(|c| c.len()).sum();
+    let mut perm = vec![u32::MAX; n];
+    let mut slots = vec![false; classes.first().map_or(0, |c| c.len())];
+    assign(classes, starts, 0, 0, &mut slots, &mut perm, visit);
+}
+
+/// Number of permutations the class partition admits, saturating.
+pub fn class_symmetry(classes: &[Vec<usize>]) -> u64 {
+    let mut symmetry: u64 = 1;
+    for c in classes {
+        for k in 1..=(c.len() as u64) {
+            symmetry = symmetry.saturating_mul(k);
+        }
+    }
+    symmetry
+}
+
+/// Compute the router permutations that preserve the routing-relevant
+/// structure of `topo`: the full SPF distance matrix, the I-BGP session
+/// relation, reflector/client roles, cluster co-membership, and the
+/// caller-supplied `router_colors` (one per router — anything else the
+/// caller's dynamics can observe, e.g. a digest of the exit-path
+/// attributes injected at the router).
+///
+/// The result always contains the identity and is closed under
+/// composition and inverse (every preserved predicate is an equality, so
+/// the verified permutations form a subgroup of `S_n`; and because each
+/// invariant is WL-expressible, every true automorphism survives
+/// refinement and is enumerated). When the refined color classes admit
+/// more than [`PERM_CAP`] candidate permutations, the enumeration is
+/// skipped and only the identity is returned — a sound (if useless)
+/// group.
+///
+/// Deliberately *not* checked: BGP identifiers and any identifier-order
+/// relation. Callers whose dynamics can observe identifier order (e.g.
+/// tie-breaking on lowest BGP id) must layer their own guard on top.
+pub fn automorphisms(topo: &Topology, router_colors: &[u64]) -> Vec<Vec<u32>> {
+    let n = topo.len();
+    assert_eq!(router_colors.len(), n, "one color per router");
+    let identity: Vec<u32> = (0..n as u32).collect();
+    if n <= 1 {
+        return vec![identity];
+    }
+
+    let r = |i: usize| RouterId::new(i as u32);
+    let ibgp = topo.ibgp();
+
+    // Initial colors: caller color + role bits; pairwise structure
+    // arrives via labeled edges on the complete graph (SPF distance,
+    // session flag, cluster co-membership), which subsumes the physical
+    // link structure for everything the protocol observes.
+    let mut g = ColoredGraph::new(
+        (0..n)
+            .map(|u| {
+                hash_parts(&[
+                    hash_str("router"),
+                    router_colors[u],
+                    ibgp.is_reflector(r(u)) as u64,
+                    ibgp.is_client(r(u)) as u64,
+                ])
+            })
+            .collect(),
+    );
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let label = hash_parts(&[
+                topo.igp_cost(r(u), r(v)).raw(),
+                ibgp.is_session(r(u), r(v)) as u64,
+                ibgp.same_cluster(r(u), r(v)) as u64,
+            ]);
+            g.add_edge(u, v, label);
+        }
+    }
+    g.refine();
+
+    // Group routers into color classes ordered by color value, so the
+    // candidate space is label-invariant.
+    let mut by_color: std::collections::BTreeMap<u64, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for u in 0..n {
+        by_color.entry(g.colors[u]).or_default().push(u);
+    }
+    let classes: Vec<Vec<usize>> = by_color.into_values().collect();
+    if class_symmetry(&classes) > PERM_CAP {
+        return vec![identity];
+    }
+
+    // `for_each_perm` assigns classes to canonical position blocks; remap
+    // those blocks back onto router indices so a candidate is a
+    // permutation of 0..n in the router numbering.
+    let mut starts = Vec::with_capacity(classes.len());
+    let mut next = 0u32;
+    let mut block_to_router = vec![0u32; n];
+    for c in &classes {
+        starts.push(next);
+        for (k, &member) in c.iter().enumerate() {
+            block_to_router[(next as usize) + k] = member as u32;
+        }
+        next += c.len() as u32;
+    }
+
+    let mut found: Vec<Vec<u32>> = Vec::new();
+    for_each_perm(&classes, &starts, &mut |blocks| {
+        let perm: Vec<u32> = blocks
+            .iter()
+            .map(|&b| block_to_router[b as usize])
+            .collect();
+        if verifies(topo, router_colors, &perm) {
+            found.push(perm);
+        }
+    });
+    debug_assert!(found.contains(&identity), "identity must verify");
+    found
+}
+
+/// Verify a candidate automorphism against every preserved invariant.
+fn verifies(topo: &Topology, router_colors: &[u64], perm: &[u32]) -> bool {
+    let n = topo.len();
+    let r = |i: usize| RouterId::new(i as u32);
+    let p = |i: usize| RouterId::new(perm[i]);
+    let ibgp = topo.ibgp();
+    for u in 0..n {
+        if router_colors[perm[u] as usize] != router_colors[u]
+            || ibgp.is_reflector(p(u)) != ibgp.is_reflector(r(u))
+            || ibgp.is_client(p(u)) != ibgp.is_client(r(u))
+        {
+            return false;
+        }
+        for v in (u + 1)..n {
+            if topo.igp_cost(p(u), p(v)) != topo.igp_cost(r(u), r(v))
+                || ibgp.is_session(p(u), p(v)) != ibgp.is_session(r(u), r(v))
+                || ibgp.same_cluster(p(u), p(v)) != ibgp.same_cluster(r(u), r(v))
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TopologyBuilder;
+
+    #[test]
+    fn refinement_partitions_are_hash_stable() {
+        assert_eq!(partition(&[7, 7, 3, 7, 3]), vec![0, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn asymmetric_chain_has_only_the_identity() {
+        // Distinct costs everywhere: no non-trivial automorphism.
+        let topo = TopologyBuilder::new(3)
+            .link(0, 1, 1)
+            .link(1, 2, 2)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let auts = automorphisms(&topo, &[0, 0, 0]);
+        assert_eq!(auts, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn uniform_triangle_mesh_has_full_symmetry() {
+        let topo = TopologyBuilder::new(3)
+            .link(0, 1, 1)
+            .link(1, 2, 1)
+            .link(0, 2, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let auts = automorphisms(&topo, &[0, 0, 0]);
+        assert_eq!(auts.len(), 6, "all of S_3: {auts:?}");
+        // Caller colors can break the symmetry down to a swap.
+        let auts = automorphisms(&topo, &[9, 0, 0]);
+        assert_eq!(auts.len(), 2, "{auts:?}");
+        assert!(auts.contains(&vec![0, 2, 1]));
+    }
+
+    #[test]
+    fn clusters_and_roles_are_preserved() {
+        // Two identical reflector/client clusters; the only non-trivial
+        // automorphism swaps them wholesale.
+        let topo = TopologyBuilder::new(4)
+            .link(0, 2, 1)
+            .link(1, 3, 1)
+            .link(0, 1, 5)
+            .link(2, 3, 5)
+            .cluster([0], [2])
+            .cluster([1], [3])
+            .build()
+            .unwrap();
+        let auts = automorphisms(&topo, &[0, 0, 0, 0]);
+        assert_eq!(auts.len(), 2, "{auts:?}");
+        assert!(auts.contains(&vec![1, 0, 3, 2]));
+        // Reflectors never map onto clients.
+        for perm in &auts {
+            assert!(perm[0] == 0 || perm[0] == 1);
+            assert!(perm[2] == 2 || perm[2] == 3);
+        }
+    }
+
+    #[test]
+    fn oversymmetric_graphs_fall_back_to_identity_only() {
+        // 9 indistinguishable routers: 9! > PERM_CAP.
+        let mut b = TopologyBuilder::new(9);
+        for i in 0..9 {
+            for j in (i + 1)..9 {
+                b = b.link(i, j, 1);
+            }
+        }
+        let topo = b.full_mesh().build().unwrap();
+        let auts = automorphisms(&topo, &[0; 9]);
+        assert_eq!(auts, vec![(0..9).collect::<Vec<u32>>()]);
+    }
+}

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod canon;
 pub mod error;
 pub mod logical;
 pub mod physical;
