@@ -1,18 +1,17 @@
 //! Level-synchronous parallel driver for the reachability search.
 //!
 //! The exploration of [`crate::reachability`] is a BFS over configurations
-//! whose per-state work — restore a snapshot, test stability, take `n + 1`
-//! branch steps, canonicalize each successor — is embarrassingly parallel,
-//! while its *bookkeeping* (dedup, the state cap, stable-vector
+//! whose per-state work — restore a snapshot, test stability, derive the
+//! `n + 1` branch successors, canonicalize each — is embarrassingly
+//! parallel, while its *bookkeeping* (dedup, the state cap, stable-vector
 //! collection) is order-sensitive. This module splits the two:
 //!
-//! * **Workers** expand whole BFS levels in parallel. Each work unit is
-//!   one frontier [`SyncSnapshot`] (Arc-interned rows, so sending it
-//!   across a channel is pointer-cheap); each worker owns a private
-//!   [`SyncEngine`] (the engine is `Send` but not `Sync` — its memo is a
-//!   `RefCell`) and restores it per unit. A worker reports either the
-//!   state's stable best-exit vector or its successor list, pre-filtered
-//!   against the *frozen* visited set of earlier levels — a read-only,
+//! * **Workers** expand whole BFS levels in parallel, in *batches* of
+//!   frontier states. Each worker owns a private [`SyncEngine`] (the
+//!   engine is `Send` but not `Sync` — its memo is a `RefCell`) and
+//!   restores it per unit. A worker reports either the state's stable
+//!   best-exit vector or its successor list, pre-filtered against the
+//!   *frozen* visited set of earlier levels — a read-only,
 //!   order-independent test.
 //! * **The coordinator** merges each level's unit outcomes *sequentially
 //!   in canonical order* (frontier index, then branch index): within-level
@@ -20,18 +19,49 @@
 //!   stable-vector collection all happen here, in exactly the order the
 //!   single-threaded explorer would perform them.
 //!
+//! **No locks on the hot path.** The visited set is a plain (unlocked)
+//! striped table owned behind an [`Arc`]. While a level runs, workers
+//! hold shared clones of that `Arc` — shipped to them inside each work
+//! batch and shipped back with the results — and only *read*. Between
+//! levels every clone has been returned, so the coordinator reclaims
+//! unique ownership ([`Arc::get_mut`]) and inserts sequentially. The only
+//! synchronization anywhere is the message channels themselves (plus a
+//! `Mutex` around the shared work-queue receiver, held just long enough
+//! to pop a batch). Nothing ever blocks a worker mid-expansion.
+//!
+//! **Two state encodings** drive the same search skeleton through the
+//! [`Scheme`] trait:
+//!
+//! * [`FlatScheme`] (the default): states are [`FlatKey`]s — fixed-width
+//!   `u32` blocks per router encoding (possible, advertised, best) as
+//!   bitmasks over the injected exit-path table (see
+//!   [`ibgp_sim::flat`]). The engine's [`SyncEngine::plan`] /
+//!   [`SyncEngine::branch_key`] API derives every branch successor's key
+//!   from one set of memoized update rows *without* restoring or stepping
+//!   the engine per branch, and only materializes a full snapshot
+//!   ([`SyncEngine::branch_snapshot`]) for successors that survive the
+//!   visited pre-filter. Symmetry acts directly on the words via
+//!   [`FlatAction`].
+//! * [`LegacyScheme`] (`flat = false`): the original restore-step-rekey
+//!   path over [`StateKey`]s, kept as the executable specification the
+//!   equivalence suite drives the flat path against.
+//!
+//! The key spaces are bijective (`StateCodec::{encode_key, decode_key}`),
+//! so both schemes visit the same states in the same order and report
+//! identical `states`, `complete`, `stable_vectors`, and cap points. Only
+//! encoding-internal gauges (cache splits, digests, byte estimates) may
+//! differ.
+//!
 //! Determinism: a state's outcome is a pure function of its snapshot (the
 //! pre-filter can only drop successors the merge would reject anyway), so
-//! the merged per-level view — and therefore `states`, `complete`,
-//! `stable_vectors`, and the cap point — is bit-identical for every
-//! `jobs` value, including the in-thread `jobs = 1` path. Only the
-//! per-worker memo split (cache hit/miss counts) varies with scheduling.
+//! the merged per-level view is bit-identical for every `jobs` value,
+//! including the in-thread `jobs = 1` path. Only the per-worker memo
+//! split (cache hit/miss counts) varies with scheduling.
 //!
 //! **Symmetry reduction** ([`ExploreOptions::symmetry`]): each successor
 //! key is canonicalized under the instance's automorphism group (see
 //! [`crate::symmetry`]) *before* the visited-set probe, so orbit-mates
-//! collapse to one representative — and, because the shard is chosen by
-//! the canonical digest, they land on one shard. Stable vectors found at
+//! collapse to one representative. Stable vectors found at
 //! representatives are expanded back through the group, which restores
 //! exactly the plain search's stable-vector set. If any generated state
 //! could have put an identifier-order tie-break in charge (the guard in
@@ -43,51 +73,75 @@
 //! first budget breach it compacts every shard from full keys to
 //! digest-only hashes (64-bit, collision-counted while exact keys are
 //! still around); if the digests alone breach the budget, the search
-//! stops and reports "ran out of memory budget" instead of OOMing.
-//! Compaction happens between worker reads (workers are idle at the work
-//! channel while the coordinator merges), so the lock discipline below is
-//! unchanged.
-//!
-//! The visited set is striped across [`SHARD_COUNT`] shards keyed by the
-//! `StateKey` digest. Shards use `RwLock` rather than `Mutex`: during a
-//! level workers only *read* (shared locks, no contention), and the
-//! coordinator only *writes* between levels while every worker is idle at
-//! the work channel — so neither phase ever blocks the other.
+//! stops and reports "ran out of memory budget" instead of OOMing. Byte
+//! estimates are per-encoding (`FlatKey`s are much smaller than
+//! `StateKey`s), so a given budget caps the flat and legacy searches at
+//! different points — but identically across `jobs` values within one
+//! encoding.
 
 use crate::reachability::{ExploreOptions, Reachability};
-use crate::symmetry::SymmetryGroup;
+use crate::symmetry::{FlatAction, SymmetryGroup};
 use ibgp_proto::variants::ProtocolConfig;
 use ibgp_sim::signature::StateKey;
-use ibgp_sim::{Metrics, SyncEngine, SyncSnapshot};
+use ibgp_sim::{FlatKey, Metrics, StateCodec, SyncEngine, SyncSnapshot};
 use ibgp_topology::Topology;
 use ibgp_types::{ExitPathId, ExitPathRef, RouterId};
 use std::collections::{HashMap, HashSet};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-/// Number of visited-set stripes. A fixed power of two well above any
-/// realistic worker count keeps digest-sharded occupancy balanced.
+/// Number of visited-set stripes. A fixed power of two keeps
+/// digest-sharded occupancy balanced.
 const SHARD_COUNT: usize = 64;
 
 /// Accounted bytes per hash-map entry beyond the key payload (digest,
-/// bucket bookkeeping). An estimate, like `StateKey::approx_bytes`.
+/// bucket bookkeeping). An estimate, like `approx_bytes`.
 const ENTRY_OVERHEAD: usize = 48;
 
 /// Accounted bytes per digest-only entry after compaction.
 const DIGEST_ENTRY_BYTES: usize = 16;
 
+/// Largest number of frontier states bundled into one worker handoff.
+const MAX_BATCH: usize = 256;
+
+/// What the visited set needs from a state key: a well-mixed 64-bit
+/// digest for sharding/bucketing and a byte estimate for the memory
+/// budget. Implemented by both encodings.
+pub(crate) trait SearchKey: Eq + Send + Sync {
+    fn digest(&self) -> u64;
+    fn approx_bytes(&self) -> usize;
+}
+
+impl SearchKey for StateKey {
+    fn digest(&self) -> u64 {
+        StateKey::digest(self)
+    }
+    fn approx_bytes(&self) -> usize {
+        StateKey::approx_bytes(self)
+    }
+}
+
+impl SearchKey for FlatKey {
+    fn digest(&self) -> u64 {
+        FlatKey::digest(self)
+    }
+    fn approx_bytes(&self) -> usize {
+        FlatKey::approx_bytes(self)
+    }
+}
+
 /// One shard of the visited set: exact keys until a memory budget forces
 /// digest-only compaction.
-enum ShardStore {
+enum ShardStore<K> {
     /// Digest → colliding keys. Exact membership, collision-free.
-    Exact(HashMap<u64, Vec<StateKey>>),
+    Exact(HashMap<u64, Vec<K>>),
     /// Digests only. A collision conflates two states (counted while the
     /// exact keys were still around; unobservable afterwards).
     Digest(HashSet<u64>),
 }
 
-/// What an insert did.
+/// What one insert did.
 enum Inserted {
     /// The key was new; `bytes` is its accounted footprint and
     /// `collision` whether it shares a digest with a distinct key
@@ -97,39 +151,35 @@ enum Inserted {
     Seen,
 }
 
-/// The visited set, striped by `StateKey` digest.
-struct ShardedVisited {
-    shards: Vec<RwLock<ShardStore>>,
+/// The visited set, striped by key digest. Deliberately lock-free: the
+/// coordinator owns it mutably between levels (via [`Arc::get_mut`]);
+/// workers only ever hold it behind a shared `Arc` and call [`Self::contains`].
+struct Visited<K> {
+    shards: Vec<ShardStore<K>>,
 }
 
-impl ShardedVisited {
+impl<K: SearchKey> Visited<K> {
     fn new() -> Self {
         Self {
             shards: (0..SHARD_COUNT)
-                .map(|_| RwLock::new(ShardStore::Exact(HashMap::new())))
+                .map(|_| ShardStore::Exact(HashMap::new()))
                 .collect(),
         }
     }
 
-    fn shard(&self, digest: u64) -> &RwLock<ShardStore> {
-        &self.shards[(digest % SHARD_COUNT as u64) as usize]
-    }
-
     /// Read-only membership test (the workers' pre-filter).
-    fn contains(&self, key: &StateKey) -> bool {
+    fn contains(&self, key: &K) -> bool {
         let digest = key.digest();
-        let shard = self.shard(digest).read().expect("visited shard poisoned");
-        match &*shard {
+        match &self.shards[(digest % SHARD_COUNT as u64) as usize] {
             ShardStore::Exact(map) => map.get(&digest).is_some_and(|bucket| bucket.contains(key)),
             ShardStore::Digest(set) => set.contains(&digest),
         }
     }
 
     /// Insert if new (the coordinator's authoritative dedup).
-    fn insert(&self, key: StateKey) -> Inserted {
+    fn insert(&mut self, key: K) -> Inserted {
         let digest = key.digest();
-        let mut shard = self.shard(digest).write().expect("visited shard poisoned");
-        match &mut *shard {
+        match &mut self.shards[(digest % SHARD_COUNT as u64) as usize] {
             ShardStore::Exact(map) => {
                 let bucket = map.entry(digest).or_default();
                 if bucket.contains(&key) {
@@ -155,16 +205,13 @@ impl ShardedVisited {
     }
 
     /// Drop every exact key, keeping digests only. Returns the accounted
-    /// footprint of the compacted set. Callers must ensure no worker is
-    /// reading (the coordinator compacts mid-merge, while workers idle at
-    /// the work channel).
-    fn compact(&self) -> usize {
+    /// footprint of the compacted set.
+    fn compact(&mut self) -> usize {
         let mut total = 0usize;
-        for shard in &self.shards {
-            let mut shard = shard.write().expect("visited shard poisoned");
-            let digests: HashSet<u64> = match &*shard {
+        for shard in &mut self.shards {
+            let digests: HashSet<u64> = match shard {
                 ShardStore::Exact(map) => map.keys().copied().collect(),
-                ShardStore::Digest(set) => set.clone(),
+                ShardStore::Digest(set) => std::mem::take(set),
             };
             total += digests.len() * DIGEST_ENTRY_BYTES;
             *shard = ShardStore::Digest(digests);
@@ -176,7 +223,7 @@ impl ShardedVisited {
     fn peak_shard(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| match &*s.read().expect("visited shard poisoned") {
+            .map(|s| match s {
                 ShardStore::Exact(map) => map.values().map(Vec::len).sum::<usize>(),
                 ShardStore::Digest(set) => set.len(),
             })
@@ -186,70 +233,220 @@ impl ShardedVisited {
 }
 
 /// What one frontier state turned out to be.
-enum UnitOutcome {
+enum UnitOutcome<K> {
     /// A fixed point, with its best-exit vector.
     Stable(Vec<Option<ExitPathId>>),
     /// Not stable: per branch successor not already visited in an earlier
     /// level, in branch order: its (canonical) key, raw snapshot, and
     /// orbit size (1 without symmetry).
     Expanded {
-        fresh: Vec<(StateKey, SyncSnapshot, u64)>,
+        fresh: Vec<(K, SyncSnapshot, u64)>,
         /// A successor tripped the tie-soundness guard: the whole search
         /// must restart without symmetry.
         unsound: bool,
     },
 }
 
-/// Messages from workers to the coordinator.
-enum WorkerMsg {
-    /// Outcome of the unit at the given frontier index.
-    Unit(usize, UnitOutcome),
-    /// Final engine counters, sent once when the worker shuts down.
-    Done(Metrics),
+/// One encoding's search strategy: how to key the initial state and how
+/// to expand one frontier state into outcomes. Shared (`&self`) across
+/// worker threads; all engine state lives in the per-worker `SyncEngine`.
+trait Scheme: Sync {
+    type Key: SearchKey;
+
+    /// Per-engine setup (e.g. attaching the flat codec). Called once for
+    /// the coordinator's engine and once per worker engine.
+    fn prepare_engine(&self, engine: &mut SyncEngine);
+
+    /// Key and orbit size of the engine's current (initial) state, or
+    /// `None` if it already trips the tie-soundness guard.
+    fn initial(&self, engine: &mut SyncEngine) -> Option<(Self::Key, u64)>;
+
+    /// Expand one frontier state on the given (prepared) engine.
+    fn expand_unit(
+        &self,
+        engine: &mut SyncEngine,
+        snap: &SyncSnapshot,
+        branches: &[Vec<RouterId>],
+        visited: &Visited<Self::Key>,
+    ) -> UnitOutcome<Self::Key>;
+
+    /// All images of a stable best-exit vector under the group (just the
+    /// vector itself without symmetry).
+    fn vector_orbit(&self, bv: &[Option<ExitPathId>]) -> Vec<Vec<Option<ExitPathId>>>;
 }
 
-/// Expand one frontier state on the given (restored) engine.
-fn process_unit(
-    engine: &mut SyncEngine,
-    snap: &SyncSnapshot,
-    branches: &[Vec<RouterId>],
-    visited: &ShardedVisited,
-    group: Option<&SymmetryGroup>,
-) -> UnitOutcome {
-    engine.restore(snap);
-    if engine.is_stable() {
-        return UnitOutcome::Stable(engine.best_vector());
-    }
-    let mut fresh = Vec::new();
-    for branch in branches {
-        engine.restore(snap);
-        engine.step(branch);
+/// The original restore-step-rekey path over [`StateKey`]s. Kept as the
+/// executable specification that the equivalence tests drive [`FlatScheme`]
+/// against.
+struct LegacyScheme<'g> {
+    group: Option<&'g SymmetryGroup>,
+}
+
+impl Scheme for LegacyScheme<'_> {
+    type Key = StateKey;
+
+    fn prepare_engine(&self, _engine: &mut SyncEngine) {}
+
+    fn initial(&self, engine: &mut SyncEngine) -> Option<(StateKey, u64)> {
         let raw = engine.state_key(0);
-        let (key, orbit) = match group {
+        match self.group {
             Some(g) => {
                 if g.guard_trips(&raw) {
-                    // The level is abandoned wholesale; no point
-                    // finishing this unit.
-                    return UnitOutcome::Expanded {
-                        fresh: Vec::new(),
-                        unsound: true,
-                    };
+                    return None;
                 }
-                g.canonical(&raw)
+                Some(g.canonical(&raw))
             }
-            None => (raw, 1),
-        };
-        // Pre-filter against earlier levels only: the set is frozen while
-        // the level runs, so this test is order-independent. Within-level
-        // duplicates are the coordinator's job.
-        if !visited.contains(&key) {
-            fresh.push((key, engine.snapshot(), orbit));
+            None => Some((raw, 1)),
         }
     }
-    UnitOutcome::Expanded {
-        fresh,
-        unsound: false,
+
+    fn expand_unit(
+        &self,
+        engine: &mut SyncEngine,
+        snap: &SyncSnapshot,
+        branches: &[Vec<RouterId>],
+        visited: &Visited<StateKey>,
+    ) -> UnitOutcome<StateKey> {
+        engine.restore(snap);
+        if engine.is_stable() {
+            return UnitOutcome::Stable(engine.best_vector());
+        }
+        let mut fresh = Vec::new();
+        for branch in branches {
+            engine.restore(snap);
+            engine.step(branch);
+            let raw = engine.state_key(0);
+            let (key, orbit) = match self.group {
+                Some(g) => {
+                    if g.guard_trips(&raw) {
+                        // The level is abandoned wholesale; no point
+                        // finishing this unit.
+                        return UnitOutcome::Expanded {
+                            fresh: Vec::new(),
+                            unsound: true,
+                        };
+                    }
+                    g.canonical(&raw)
+                }
+                None => (raw, 1),
+            };
+            // Pre-filter against earlier levels only: the set is frozen
+            // while the level runs, so this test is order-independent.
+            // Within-level duplicates are the coordinator's job.
+            if !visited.contains(&key) {
+                fresh.push((key, engine.snapshot(), orbit));
+            }
+        }
+        UnitOutcome::Expanded {
+            fresh,
+            unsound: false,
+        }
     }
+
+    fn vector_orbit(&self, bv: &[Option<ExitPathId>]) -> Vec<Vec<Option<ExitPathId>>> {
+        match self.group {
+            Some(g) => g.vector_orbit(bv),
+            None => vec![bv.to_vec()],
+        }
+    }
+}
+
+/// The flat fixed-width encoding path. One [`SyncEngine::plan`] per
+/// frontier state replaces the per-branch restore/step churn, and
+/// [`SyncEngine::branch_snapshot`] only runs for successors that survive
+/// the pre-filter.
+struct FlatScheme<'g> {
+    codec: Arc<StateCodec>,
+    group: Option<&'g SymmetryGroup>,
+    action: Option<FlatAction>,
+}
+
+impl Scheme for FlatScheme<'_> {
+    type Key = FlatKey;
+
+    fn prepare_engine(&self, engine: &mut SyncEngine) {
+        engine.set_codec(Arc::clone(&self.codec));
+    }
+
+    fn initial(&self, engine: &mut SyncEngine) -> Option<(FlatKey, u64)> {
+        let raw = engine.flat_key();
+        match &self.action {
+            Some(a) => {
+                if a.guard_trips(&raw) {
+                    return None;
+                }
+                Some(a.canonical(&raw))
+            }
+            None => Some((raw, 1)),
+        }
+    }
+
+    fn expand_unit(
+        &self,
+        engine: &mut SyncEngine,
+        snap: &SyncSnapshot,
+        branches: &[Vec<RouterId>],
+        visited: &Visited<FlatKey>,
+    ) -> UnitOutcome<FlatKey> {
+        engine.restore(snap);
+        let plan = engine.plan();
+        if plan.stable {
+            return UnitOutcome::Stable(engine.best_vector());
+        }
+        let mut fresh = Vec::new();
+        for branch in branches {
+            let raw = engine.branch_key(&plan, branch);
+            let (key, orbit) = match &self.action {
+                Some(a) => {
+                    if a.guard_trips(&raw) {
+                        return UnitOutcome::Expanded {
+                            fresh: Vec::new(),
+                            unsound: true,
+                        };
+                    }
+                    a.canonical(&raw)
+                }
+                None => (raw, 1),
+            };
+            if !visited.contains(&key) {
+                fresh.push((key, engine.branch_snapshot(&plan, branch), orbit));
+            }
+        }
+        UnitOutcome::Expanded {
+            fresh,
+            unsound: false,
+        }
+    }
+
+    fn vector_orbit(&self, bv: &[Option<ExitPathId>]) -> Vec<Vec<Option<ExitPathId>>> {
+        match self.group {
+            Some(g) => g.vector_orbit(bv),
+            None => vec![bv.to_vec()],
+        }
+    }
+}
+
+/// One worker handoff: a slice of the frontier plus a shared handle on
+/// the frozen visited set (returned with the results so the coordinator
+/// can reclaim unique ownership between levels).
+struct Batch<K> {
+    /// Index of `units[0]` within the level's frontier.
+    base: usize,
+    units: Vec<SyncSnapshot>,
+    visited: Arc<Visited<K>>,
+}
+
+/// Messages from workers to the coordinator.
+enum WorkerMsg<K> {
+    /// Outcomes of one batch, in unit order, plus the returned visited
+    /// handle.
+    Batch {
+        base: usize,
+        outcomes: Vec<UnitOutcome<K>>,
+        visited: Arc<Visited<K>>,
+    },
+    /// Final engine counters, sent once when the worker shuts down.
+    Done(Metrics),
 }
 
 /// Order-sensitive search bookkeeping, owned by the coordinator.
@@ -275,22 +472,45 @@ struct Progress {
     compactions: u64,
 }
 
+/// The limits and initial-state accounting a `drive` run starts from.
+struct DriveStart {
+    max_states: usize,
+    max_bytes: Option<usize>,
+    /// Accounted bytes of the initial state's visited entry.
+    initial_bytes: usize,
+    /// Orbit size of the initial state (1 without symmetry).
+    initial_orbit: u64,
+}
+
+/// Reclaim unique ownership of the visited set between levels. Panics if
+/// any worker still holds a clone — which would be a protocol bug, since
+/// every batch handle is shipped back with its results.
+fn owned<K: SearchKey>(v: &mut Arc<Visited<K>>) -> &mut Visited<K> {
+    Arc::get_mut(v).expect("level over: all clones returned")
+}
+
 /// Run the level loop: expand each frontier via `expand`, then merge the
 /// outcomes in canonical (frontier index, branch index) order. This merge
 /// is the single place dedup, the state cap, the byte budget, and
 /// stable-vector discovery happen, which is what makes the result
 /// independent of how `expand` schedules the per-unit work.
-#[allow(clippy::too_many_arguments)]
-fn drive(
+///
+/// `expand` reads the visited set through the shared `Arc`; it must have
+/// dropped every clone by the time it returns, because the merge reclaims
+/// unique ownership to insert.
+fn drive<S: Scheme>(
+    scheme: &S,
     mut frontier: Vec<SyncSnapshot>,
-    visited: &ShardedVisited,
-    max_states: usize,
-    max_bytes: Option<usize>,
-    initial_bytes: usize,
-    initial_orbit: u64,
-    group: Option<&SymmetryGroup>,
-    mut expand: impl FnMut(Vec<SyncSnapshot>) -> Vec<UnitOutcome>,
+    visited: &mut Arc<Visited<S::Key>>,
+    start: DriveStart,
+    mut expand: impl FnMut(Vec<SyncSnapshot>, &Arc<Visited<S::Key>>) -> Vec<UnitOutcome<S::Key>>,
 ) -> Progress {
+    let DriveStart {
+        max_states,
+        max_bytes,
+        initial_bytes,
+        initial_orbit,
+    } = start;
     let mut p = Progress {
         stable_vectors: Vec::new(),
         states: 1,
@@ -310,7 +530,7 @@ fn drive(
     // stops) immediately — deterministic, like every later breach.
     if let Some(budget) = max_bytes {
         if p.bytes > budget {
-            p.bytes = visited.compact();
+            p.bytes = owned(visited).compact();
             p.compactions += 1;
             if p.bytes > budget {
                 p.memory = Some(budget);
@@ -321,7 +541,7 @@ fn drive(
     let mut depth = 0u64;
     'levels: while !frontier.is_empty() {
         p.units += frontier.len() as u64;
-        let outcomes = expand(std::mem::take(&mut frontier));
+        let outcomes = expand(std::mem::take(&mut frontier), visited);
         // Soundness scan first: whether any unit flagged is a pure
         // function of the (deterministic) level contents, so the restart
         // decision is schedule-independent.
@@ -335,26 +555,18 @@ fn drive(
         let mut next = Vec::new();
         for outcome in outcomes {
             match outcome {
-                UnitOutcome::Stable(bv) => match group {
-                    // Expand the representative's fixed point through the
-                    // group: the plain search would have found every
-                    // image.
-                    Some(g) => {
-                        for img in g.vector_orbit(&bv) {
-                            if !p.stable_vectors.contains(&img) {
-                                p.stable_vectors.push(img);
-                            }
+                // Expand the representative's fixed point through the
+                // group: the plain search would have found every image.
+                UnitOutcome::Stable(bv) => {
+                    for img in scheme.vector_orbit(&bv) {
+                        if !p.stable_vectors.contains(&img) {
+                            p.stable_vectors.push(img);
                         }
                     }
-                    None => {
-                        if !p.stable_vectors.contains(&bv) {
-                            p.stable_vectors.push(bv);
-                        }
-                    }
-                },
+                }
                 UnitOutcome::Expanded { fresh, .. } => {
                     for (key, snap, orbit) in fresh {
-                        match visited.insert(key) {
+                        match owned(visited).insert(key) {
                             Inserted::Seen => {}
                             Inserted::New { bytes, collision } => {
                                 p.states += 1;
@@ -370,7 +582,7 @@ fn drive(
                                 }
                                 if let Some(budget) = max_bytes {
                                     if p.bytes > budget && p.compactions == 0 {
-                                        p.bytes = visited.compact();
+                                        p.bytes = owned(visited).compact();
                                         p.compactions = 1;
                                         p.peak_bytes = p.peak_bytes.max(p.bytes);
                                     }
@@ -394,6 +606,179 @@ fn drive(
         frontier = next;
     }
     p
+}
+
+/// Run one scheme's search to completion. Returns `None` when symmetry
+/// must be abandoned (the initial state or a successor tripped the
+/// tie-soundness guard), in which case the caller restarts plain.
+fn run_search<S: Scheme>(
+    scheme: &S,
+    topo: &Topology,
+    config: ProtocolConfig,
+    exits: &[ExitPathRef],
+    options: &ExploreOptions,
+    jobs: usize,
+    branches: &[Vec<RouterId>],
+) -> Option<(Progress, Metrics, u64)> {
+    let mut visited = Arc::new(Visited::<S::Key>::new());
+    let mut engine = SyncEngine::new(topo, config, exits.to_vec());
+    engine.set_memoized(options.memoized);
+    scheme.prepare_engine(&mut engine);
+    let (init_key, init_orbit) = scheme.initial(&mut engine)?;
+    let init_bytes = match Arc::get_mut(&mut visited)
+        .expect("freshly created")
+        .insert(init_key)
+    {
+        Inserted::New { bytes, .. } => bytes,
+        Inserted::Seen => 0,
+    };
+    let frontier = vec![engine.snapshot()];
+
+    let (progress, engine_metrics) = if jobs <= 1 {
+        let p = drive(
+            scheme,
+            frontier,
+            &mut visited,
+            DriveStart {
+                max_states: options.max_states,
+                max_bytes: options.max_bytes,
+                initial_bytes: init_bytes,
+                initial_orbit: init_orbit,
+            },
+            |units, visited| {
+                units
+                    .iter()
+                    .map(|snap| scheme.expand_unit(&mut engine, snap, branches, visited))
+                    .collect()
+            },
+        );
+        (p, engine.metrics())
+    } else {
+        std::thread::scope(|scope| {
+            let (work_tx, work_rx) = mpsc::channel::<Batch<S::Key>>();
+            let work_rx = Arc::new(Mutex::new(work_rx));
+            let (res_tx, res_rx) = mpsc::channel::<WorkerMsg<S::Key>>();
+            for _ in 0..jobs {
+                let work_rx = Arc::clone(&work_rx);
+                let res_tx = res_tx.clone();
+                let exits = exits.to_vec();
+                scope.spawn(move || {
+                    let mut engine = SyncEngine::new(topo, config, exits);
+                    engine.set_memoized(options.memoized);
+                    scheme.prepare_engine(&mut engine);
+                    loop {
+                        // Hold the receiver lock only for the handoff.
+                        let batch = work_rx.lock().expect("work queue poisoned").recv();
+                        let Ok(Batch {
+                            base,
+                            units,
+                            visited,
+                        }) = batch
+                        else {
+                            break; // work channel closed: shut down
+                        };
+                        let outcomes = units
+                            .iter()
+                            .map(|snap| scheme.expand_unit(&mut engine, snap, branches, &visited))
+                            .collect();
+                        // Ship the visited handle back with the results:
+                        // once the coordinator has drained the level, it
+                        // holds the only reference again.
+                        if res_tx
+                            .send(WorkerMsg::Batch {
+                                base,
+                                outcomes,
+                                visited,
+                            })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                    let _ = res_tx.send(WorkerMsg::Done(engine.metrics()));
+                });
+            }
+            drop(res_tx);
+
+            let p = drive(
+                scheme,
+                frontier,
+                &mut visited,
+                DriveStart {
+                    max_states: options.max_states,
+                    max_bytes: options.max_bytes,
+                    initial_bytes: init_bytes,
+                    initial_orbit: init_orbit,
+                },
+                |units, visited| {
+                    let len = units.len();
+                    // Batches amortize the channel and queue-lock traffic;
+                    // several batches per worker keep the level balanced
+                    // when unit costs vary.
+                    let batch_size = len.div_ceil(jobs * 4).clamp(1, MAX_BATCH);
+                    let mut units = units.into_iter();
+                    let mut base = 0usize;
+                    while base < len {
+                        let chunk: Vec<SyncSnapshot> = units.by_ref().take(batch_size).collect();
+                        let sent = chunk.len();
+                        work_tx
+                            .send(Batch {
+                                base,
+                                units: chunk,
+                                visited: Arc::clone(visited),
+                            })
+                            .expect("worker pool died");
+                        base += sent;
+                    }
+                    let mut outcomes: Vec<Option<UnitOutcome<S::Key>>> =
+                        std::iter::repeat_with(|| None).take(len).collect();
+                    let mut received = 0usize;
+                    while received < len {
+                        match res_rx.recv().expect("worker pool died") {
+                            WorkerMsg::Batch {
+                                base,
+                                outcomes: batch,
+                                visited,
+                            } => {
+                                // Drop the returned handle immediately so
+                                // the post-level `Arc::get_mut` succeeds.
+                                drop(visited);
+                                received += batch.len();
+                                for (i, out) in batch.into_iter().enumerate() {
+                                    outcomes[base + i] = Some(out);
+                                }
+                            }
+                            WorkerMsg::Done(_) => {
+                                unreachable!("workers outlive the work channel")
+                            }
+                        }
+                    }
+                    outcomes
+                        .into_iter()
+                        .map(|o| o.expect("every unit reports exactly once"))
+                        .collect()
+                },
+            );
+
+            // Closing the work channel tells each worker to report its
+            // counters and exit; the merge is a commutative sum, so the
+            // arrival order does not matter.
+            drop(work_tx);
+            let mut merged = engine.metrics();
+            for msg in res_rx {
+                if let WorkerMsg::Done(m) = msg {
+                    merged.absorb_engine(&m);
+                }
+            }
+            (p, merged)
+        })
+    };
+
+    if progress.unsound {
+        return None;
+    }
+    let peak_shard = visited.peak_shard();
+    Some((progress, engine_metrics, peak_shard))
 }
 
 /// The search driver behind [`crate::reachability::explore`].
@@ -449,120 +834,23 @@ fn search_inner(
     let mut branches: Vec<Vec<RouterId>> = (0..n as u32).map(|i| vec![RouterId::new(i)]).collect();
     branches.push((0..n as u32).map(RouterId::new).collect());
 
-    let visited = ShardedVisited::new();
-    let mut engine = SyncEngine::new(topo, config, exits.clone());
-    engine.set_memoized(options.memoized);
-    let init_raw = engine.state_key(0);
-    let (init_key, init_orbit) = match group {
-        Some(g) => {
-            if g.guard_trips(&init_raw) {
-                return fallback_without_symmetry(topo, config, exits, options, started);
-            }
-            g.canonical(&init_raw)
-        }
-        None => (init_raw, 1),
-    };
-    let init_bytes = match visited.insert(init_key) {
-        Inserted::New { bytes, .. } => bytes,
-        Inserted::Seen => 0,
-    };
-    let frontier = vec![engine.snapshot()];
-
-    let (progress, engine_metrics) = if jobs <= 1 {
-        let p = drive(
-            frontier,
-            &visited,
-            options.max_states,
-            options.max_bytes,
-            init_bytes,
-            init_orbit,
+    let outcome = if options.flat {
+        let codec = Arc::new(StateCodec::new(n, &exits));
+        let action = group.map(|g| FlatAction::new(g, &codec));
+        let scheme = FlatScheme {
+            codec,
             group,
-            |units| {
-                units
-                    .iter()
-                    .map(|snap| process_unit(&mut engine, snap, &branches, &visited, group))
-                    .collect()
-            },
-        );
-        (p, engine.metrics())
+            action,
+        };
+        run_search(&scheme, topo, config, &exits, options, jobs, &branches)
     } else {
-        std::thread::scope(|scope| {
-            let (work_tx, work_rx) = mpsc::channel::<(usize, SyncSnapshot)>();
-            let work_rx = Arc::new(Mutex::new(work_rx));
-            let (res_tx, res_rx) = mpsc::channel::<WorkerMsg>();
-            for _ in 0..jobs {
-                let work_rx = Arc::clone(&work_rx);
-                let res_tx = res_tx.clone();
-                let exits = exits.clone();
-                let branches = &branches;
-                let visited = &visited;
-                scope.spawn(move || {
-                    let mut engine = SyncEngine::new(topo, config, exits);
-                    engine.set_memoized(options.memoized);
-                    loop {
-                        // Hold the receiver lock only for the handoff.
-                        let unit = work_rx.lock().expect("work queue poisoned").recv();
-                        match unit {
-                            Ok((idx, snap)) => {
-                                let out =
-                                    process_unit(&mut engine, &snap, branches, visited, group);
-                                if res_tx.send(WorkerMsg::Unit(idx, out)).is_err() {
-                                    break;
-                                }
-                            }
-                            Err(_) => break, // work channel closed: shut down
-                        }
-                    }
-                    let _ = res_tx.send(WorkerMsg::Done(engine.metrics()));
-                });
-            }
-            drop(res_tx);
-
-            let p = drive(
-                frontier,
-                &visited,
-                options.max_states,
-                options.max_bytes,
-                init_bytes,
-                init_orbit,
-                group,
-                |units| {
-                    let len = units.len();
-                    for (idx, snap) in units.into_iter().enumerate() {
-                        work_tx.send((idx, snap)).expect("worker pool died");
-                    }
-                    let mut outcomes: Vec<Option<UnitOutcome>> =
-                        std::iter::repeat_with(|| None).take(len).collect();
-                    for _ in 0..len {
-                        match res_rx.recv().expect("worker pool died") {
-                            WorkerMsg::Unit(idx, out) => outcomes[idx] = Some(out),
-                            WorkerMsg::Done(_) => unreachable!("workers outlive the work channel"),
-                        }
-                    }
-                    outcomes
-                        .into_iter()
-                        .map(|o| o.expect("every unit reports exactly once"))
-                        .collect()
-                },
-            );
-
-            // Closing the work channel tells each worker to report its
-            // counters and exit; the merge is a commutative sum, so the
-            // arrival order does not matter.
-            drop(work_tx);
-            let mut merged = engine.metrics();
-            for msg in res_rx {
-                if let WorkerMsg::Done(m) = msg {
-                    merged.absorb_engine(&m);
-                }
-            }
-            (p, merged)
-        })
+        let scheme = LegacyScheme { group };
+        run_search(&scheme, topo, config, &exits, options, jobs, &branches)
     };
 
-    if progress.unsound {
+    let Some((progress, engine_metrics, peak_shard)) = outcome else {
         return fallback_without_symmetry(topo, config, exits, options, started);
-    }
+    };
 
     let mut metrics = engine_metrics;
     metrics.states_visited = progress.states as u64;
@@ -571,7 +859,7 @@ fn search_inner(
     metrics.peak_queue = progress.peak_queue;
     metrics.workers = jobs as u64;
     metrics.handoffs = if jobs <= 1 { 0 } else { progress.units };
-    metrics.peak_shard = visited.peak_shard();
+    metrics.peak_shard = peak_shard;
     metrics.group_order = group_order.unwrap_or(0);
     metrics.orbit_states = if group.is_some() {
         progress.orbit_states

@@ -36,24 +36,32 @@ pub struct ExploreOptions {
     pub(crate) jobs: usize,
     pub(crate) symmetry: bool,
     pub(crate) max_bytes: Option<usize>,
+    pub(crate) flat: bool,
 }
 
+/// Ceiling on auto-selected workers (`jobs = 0`). Search levels on the
+/// paper's instances rarely feed more threads than this, and an
+/// unbounded default would oversubscribe big machines for no speedup.
+pub(crate) const MAX_AUTO_JOBS: usize = 8;
+
 impl Default for ExploreOptions {
-    /// 500 000-state cap, memoized updates, single-threaded, no symmetry
-    /// reduction, unbounded memory.
+    /// 500 000-state cap, memoized updates, flat state encoding,
+    /// auto-sized worker pool, no symmetry reduction, unbounded memory.
     fn default() -> Self {
         Self {
             max_states: 500_000,
             memoized: true,
-            jobs: 1,
+            jobs: 0,
             symmetry: false,
             max_bytes: None,
+            flat: true,
         }
     }
 }
 
 impl ExploreOptions {
-    /// The defaults: 500 000-state cap, memoized updates, one thread.
+    /// The defaults: 500 000-state cap, memoized updates, auto-sized
+    /// worker pool.
     pub fn new() -> Self {
         Self::default()
     }
@@ -71,11 +79,25 @@ impl ExploreOptions {
         self
     }
 
-    /// Worker threads for the search. `1` (the default) explores
-    /// in-thread; `0` means one worker per available hardware thread.
-    /// The result is bit-identical for every value.
+    /// Worker threads for the search. `1` explores in-thread; `0` (the
+    /// default) means one worker per available hardware thread, capped
+    /// at 8. The result is bit-identical for every value.
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Use the flat fixed-width state encoding (the default) or the
+    /// legacy `StateKey` path. The two visit identical state spaces and
+    /// report identical verdicts, counts, and stable vectors (the
+    /// equivalence suite in `tests/flat_state_equivalence.rs` enforces
+    /// this); the legacy path survives as the executable specification
+    /// and for A/B throughput measurement. Note that
+    /// [`Self::max_bytes`] budgets are accounted per-encoding — flat
+    /// keys are smaller, so a given budget caps the two paths at
+    /// different points.
+    pub fn flat_encoding(mut self, flat: bool) -> Self {
+        self.flat = flat;
         self
     }
 
@@ -105,11 +127,12 @@ impl ExploreOptions {
         self
     }
 
-    /// Resolve `jobs = 0` to the available hardware parallelism.
+    /// Resolve `jobs = 0` to the available hardware parallelism, capped
+    /// at [`MAX_AUTO_JOBS`].
     pub(crate) fn effective_jobs(&self) -> usize {
         if self.jobs == 0 {
             std::thread::available_parallelism()
-                .map(|n| n.get())
+                .map(|n| n.get().min(MAX_AUTO_JOBS))
                 .unwrap_or(1)
         } else {
             self.jobs
@@ -298,13 +321,16 @@ mod tests {
             &topo,
             ProtocolConfig::STANDARD,
             exits.clone(),
-            ExploreOptions::new().max_states(100_000),
+            ExploreOptions::new().max_states(100_000).jobs(1),
         );
         let slow = explore(
             &topo,
             ProtocolConfig::STANDARD,
             exits,
-            ExploreOptions::new().max_states(100_000).memoized(false),
+            ExploreOptions::new()
+                .max_states(100_000)
+                .jobs(1)
+                .memoized(false),
         );
         assert_eq!(fast.states, slow.states);
         assert_eq!(fast.complete, slow.complete);
@@ -355,7 +381,7 @@ mod tests {
             &topo,
             ProtocolConfig::STANDARD,
             exits.clone(),
-            ExploreOptions::new().max_states(100_000),
+            ExploreOptions::new().max_states(100_000).jobs(1),
         );
         for jobs in [2, 4] {
             let par = explore(
@@ -377,6 +403,56 @@ mod tests {
         }
     }
 
+    /// `jobs = 0` resolves to the hardware thread count, sanely capped —
+    /// never to a zero-worker (or thousand-worker) pool.
+    #[test]
+    fn auto_jobs_resolve_to_capped_hardware_parallelism() {
+        let auto = ExploreOptions::new().effective_jobs();
+        assert!(auto >= 1, "auto jobs must run at least one worker");
+        assert!(auto <= MAX_AUTO_JOBS, "auto jobs capped at {MAX_AUTO_JOBS}");
+        assert_eq!(ExploreOptions::new().jobs(3).effective_jobs(), 3);
+        // The default is auto, and the two encodings share it.
+        assert_eq!(ExploreOptions::default().jobs, 0);
+        assert!(ExploreOptions::default().flat);
+    }
+
+    /// The two state encodings agree on everything observable, and the
+    /// default (flat) one reports the legacy one's exact search shape.
+    #[test]
+    fn flat_and_legacy_encodings_agree() {
+        let (topo, exits) = disagree();
+        for config in [ProtocolConfig::STANDARD, ProtocolConfig::MODIFIED] {
+            let flat = explore(
+                &topo,
+                config,
+                exits.clone(),
+                ExploreOptions::new().max_states(100_000).jobs(1),
+            );
+            let legacy = explore(
+                &topo,
+                config,
+                exits.clone(),
+                ExploreOptions::new()
+                    .max_states(100_000)
+                    .jobs(1)
+                    .flat_encoding(false),
+            );
+            assert_eq!(flat.states, legacy.states);
+            assert_eq!(flat.complete, legacy.complete);
+            assert_eq!(flat.stable_vectors, legacy.stable_vectors);
+            assert_eq!(flat.cap, legacy.cap);
+            assert_eq!(flat.metrics.activations, legacy.metrics.activations);
+            assert_eq!(flat.metrics.messages, legacy.metrics.messages);
+            assert_eq!(
+                flat.metrics.paths_advertised,
+                legacy.metrics.paths_advertised
+            );
+            assert_eq!(flat.metrics.best_changes, legacy.metrics.best_changes);
+            assert_eq!(flat.metrics.frontier_depth, legacy.metrics.frontier_depth);
+            assert_eq!(flat.metrics.peak_queue, legacy.metrics.peak_queue);
+        }
+    }
+
     /// Cap determinism: the capped prefix is identical at every thread
     /// count, including which state trips the cap.
     #[test]
@@ -387,7 +463,7 @@ mod tests {
                 &topo,
                 ProtocolConfig::STANDARD,
                 exits.clone(),
-                ExploreOptions::new().max_states(cap),
+                ExploreOptions::new().max_states(cap).jobs(1),
             );
             for jobs in [2, 8] {
                 let par = explore(

@@ -32,6 +32,7 @@
 
 use ibgp_proto::variants::ProtocolConfig;
 use ibgp_proto::MedMode;
+use ibgp_sim::flat::{FlatKey, StateCodec};
 use ibgp_sim::signature::{NodeStateKey, StateKey};
 use ibgp_topology::{canon, Topology};
 use ibgp_types::{ExitPathId, ExitPathRef, RouterId};
@@ -296,6 +297,142 @@ impl SymmetryGroup {
     }
 }
 
+/// The same group, compiled to act directly on [`FlatKey`]s: per element
+/// a router-block permutation plus an exit *bit-position* permutation,
+/// applied by remapping set bits — no id lookups, no `Vec` churn.
+///
+/// Canonicalization picks the word-lexicographic minimum of the orbit.
+/// That representative generally differs from the [`StateKey`]-order one
+/// the legacy path picks, but any fixed total order is sound: dedup is
+/// by orbit (two keys collapse iff they are orbit-mates, under either
+/// order), orbit sizes are order-independent, and stable vectors are
+/// found at raw states and expanded through the whole group — so the
+/// search's observable output is unchanged.
+pub(crate) struct FlatAction {
+    routers: usize,
+    mask_words: usize,
+    node_words: usize,
+    /// Per element: router slot map (old index → new index) and exit
+    /// bit-position map in codec index space.
+    elements: Vec<(Vec<u32>, Vec<u32>)>,
+    order: u64,
+    /// Per router: dangerous pairs as (word, bit-mask) coordinates into
+    /// the router's `possible` bitmask.
+    dangerous: Vec<Vec<(usize, u32, usize, u32)>>,
+    has_danger: bool,
+}
+
+impl FlatAction {
+    /// Compile `group` against `codec`'s exit numbering.
+    pub(crate) fn new(group: &SymmetryGroup, codec: &StateCodec) -> Self {
+        let slot = |id: ExitPathId| {
+            codec
+                .index_of(id)
+                .expect("group acts on injected exits only")
+        };
+        let elements = group
+            .elements
+            .iter()
+            .map(|el| {
+                let exits = (0..codec.exit_count())
+                    .map(|e| slot(el.map_exit(codec.id_at(e))) as u32)
+                    .collect();
+                (el.routers.clone(), exits)
+            })
+            .collect();
+        let dangerous = group
+            .dangerous
+            .iter()
+            .map(|pairs| {
+                pairs
+                    .iter()
+                    .map(|&(a, b)| {
+                        let (ea, eb) = (slot(a), slot(b));
+                        (ea / 32, 1u32 << (ea % 32), eb / 32, 1u32 << (eb % 32))
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            routers: codec.routers(),
+            mask_words: codec.mask_words(),
+            node_words: codec.node_words(),
+            elements,
+            order: group.order(),
+            dangerous,
+            has_danger: group.has_danger,
+        }
+    }
+
+    /// Apply one element's action to `src`, writing into `dst`.
+    fn apply(&self, element: usize, src: &[u32], dst: &mut [u32]) {
+        let (routers, exits) = &self.elements[element];
+        dst.fill(0);
+        for u in 0..self.routers {
+            let block = &src[u * self.node_words..(u + 1) * self.node_words];
+            let out = routers[u] as usize * self.node_words;
+            // The two bitmask fields (possible, advertised) relabel bit
+            // positions; the best slot relabels its index.
+            for field in [0, self.mask_words] {
+                for w in 0..self.mask_words {
+                    let mut bits = block[field + w];
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let e = exits[w * 32 + b] as usize;
+                        dst[out + field + e / 32] |= 1 << (e % 32);
+                    }
+                }
+            }
+            let best = block[2 * self.mask_words];
+            dst[out + 2 * self.mask_words] = if best == 0 {
+                0
+            } else {
+                exits[best as usize - 1] + 1
+            };
+        }
+    }
+
+    /// The word-lexicographically minimal image of `key` under the
+    /// group, and the size of `key`'s orbit (orbit–stabilizer, same
+    /// counting as [`SymmetryGroup::canonical`]).
+    pub(crate) fn canonical(&self, key: &FlatKey) -> (FlatKey, u64) {
+        let src = key.words();
+        let mut img = vec![0u32; src.len()];
+        let mut best: Option<Vec<u32>> = None;
+        let mut stabilizer = 0u64;
+        for element in 0..self.elements.len() {
+            self.apply(element, src, &mut img);
+            if img[..] == *src {
+                stabilizer += 1;
+            }
+            if best.as_ref().is_none_or(|b| img < *b) {
+                best = Some(img.clone());
+            }
+        }
+        let best = best.expect("group has at least the identity");
+        (
+            FlatKey::new(best.into_boxed_slice()),
+            self.order / stabilizer.max(1),
+        )
+    }
+
+    /// Flat-encoding twin of [`SymmetryGroup::guard_trips`]: does any
+    /// router's `possible` bitmask contain a dangerous pair?
+    pub(crate) fn guard_trips(&self, key: &FlatKey) -> bool {
+        if !self.has_danger {
+            return false;
+        }
+        let words = key.words();
+        (0..self.routers).any(|u| {
+            let possible = &words[u * self.node_words..];
+            self.dangerous[u]
+                .iter()
+                .any(|&(wa, ma, wb, mb)| possible[wa] & ma != 0 && possible[wb] & mb != 0)
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +566,89 @@ mod tests {
         // A single exit never trips the guard.
         nodes[3].possible = vec![ExitPathId::new(2)];
         assert!(!g.guard_trips(&StateKey { nodes, phase: 0 }));
+    }
+
+    /// The flat-encoding action must agree with the `StateKey` action on
+    /// everything the search observes: orbit sizes, orbit-mate collapse,
+    /// and the tie-break guard. (The canonical *representatives* may
+    /// differ — word-lex vs `StateKey` order — so the test compares
+    /// orbit structure, not representatives.)
+    #[test]
+    fn flat_action_agrees_with_legacy_action() {
+        let (topo, exits) = fig13_like();
+        let g = SymmetryGroup::compute(&topo, ProtocolConfig::STANDARD, &exits);
+        let codec = StateCodec::new(topo.len(), &exits);
+        let action = FlatAction::new(&g, &codec);
+
+        let node = |possible: Vec<u32>, best: Option<u32>, advertised: Vec<u32>| NodeStateKey {
+            possible: possible.into_iter().map(ExitPathId::new).collect(),
+            best: best.map(ExitPathId::new),
+            advertised: advertised.into_iter().map(ExitPathId::new).collect(),
+        };
+        let keys = [
+            // Asymmetric: only client 3 holds exit 1 — orbit of 3.
+            StateKey {
+                nodes: vec![
+                    node(vec![], None, vec![]),
+                    node(vec![], None, vec![]),
+                    node(vec![], None, vec![]),
+                    node(vec![1], Some(1), vec![1]),
+                    node(vec![], None, vec![]),
+                    node(vec![], None, vec![]),
+                ],
+                phase: 0,
+            },
+            // Rotation-symmetric: every client holds its own exit —
+            // orbit of 1 (fixed by the whole group).
+            StateKey {
+                nodes: vec![
+                    node(vec![1, 2, 3], Some(1), vec![1]),
+                    node(vec![1, 2, 3], Some(2), vec![2]),
+                    node(vec![1, 2, 3], Some(3), vec![3]),
+                    node(vec![1], Some(1), vec![1]),
+                    node(vec![2], Some(2), vec![2]),
+                    node(vec![3], Some(3), vec![3]),
+                ],
+                phase: 0,
+            },
+            // Dangerous co-occurrence: a router holds two tied exits.
+            StateKey {
+                nodes: vec![
+                    node(vec![1, 2], None, vec![]),
+                    node(vec![], None, vec![]),
+                    node(vec![], None, vec![]),
+                    node(vec![], None, vec![]),
+                    node(vec![], None, vec![]),
+                    node(vec![], None, vec![]),
+                ],
+                phase: 0,
+            },
+        ];
+        for key in &keys {
+            let flat = codec.encode_key(key);
+            let (_, legacy_orbit) = g.canonical(key);
+            let (flat_canon, flat_orbit) = action.canonical(&flat);
+            assert_eq!(flat_orbit, legacy_orbit, "orbit sizes agree");
+            assert_eq!(
+                action.guard_trips(&flat),
+                g.guard_trips(key),
+                "guards agree"
+            );
+            // Every legacy orbit-mate maps to the same flat canonical form.
+            for el in &g.elements {
+                let mate = codec.encode_key(&el.apply_key(key));
+                let (mate_canon, mate_orbit) = action.canonical(&mate);
+                assert_eq!(mate_canon, flat_canon, "orbit-mates collapse");
+                assert_eq!(mate_orbit, flat_orbit);
+            }
+            // Round-trip sanity: the canonical form decodes to a key in
+            // the legacy orbit of the original.
+            let decoded = codec.decode_key(&flat_canon);
+            assert!(
+                g.elements.iter().any(|el| el.apply_key(key) == decoded),
+                "flat canonical form is a member of the legacy orbit"
+            );
+        }
     }
 
     #[test]

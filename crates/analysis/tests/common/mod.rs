@@ -1,0 +1,58 @@
+//! Shared random-instance generators for the equivalence suites.
+
+use ibgp_topology::{Topology, TopologyBuilder};
+use ibgp_types::{AsId, ExitPath, ExitPathId, ExitPathRef, IgpCost, Med, RouterId};
+use std::sync::Arc;
+
+/// Connected topology over `n` routers: a chain plus deduplicated extra
+/// links, under one of three I-BGP session shapes.
+pub fn build_topology(
+    n: usize,
+    shape: u8,
+    chain_costs: &[u64],
+    extra_links: &[(u32, u32, u64)],
+) -> Topology {
+    let mut b = TopologyBuilder::new(n);
+    let mut seen: Vec<(u32, u32)> = Vec::new();
+    for (i, &cost) in chain_costs.iter().take(n - 1).enumerate() {
+        let (u, v) = (i as u32, i as u32 + 1);
+        b = b.link(u, v, cost);
+        seen.push((u, v));
+    }
+    for &(u, v, cost) in extra_links {
+        let (u, v) = (u % n as u32, v % n as u32);
+        let pair = (u.min(v), u.max(v));
+        if u != v && !seen.contains(&pair) {
+            seen.push(pair);
+            b = b.link(pair.0, pair.1, cost);
+        }
+    }
+    b = match shape {
+        0 => b.full_mesh(),
+        _ if shape == 2 && n >= 4 => {
+            let evens: Vec<u32> = (2..n as u32).step_by(2).collect();
+            let odds: Vec<u32> = (3..n as u32).step_by(2).collect();
+            b.cluster([0], evens).cluster([1], odds)
+        }
+        _ => b.cluster([0], 1..n as u32),
+    };
+    b.build().expect("generated topology must validate")
+}
+
+/// Exit-path table from raw tuples, ids 1..=n_exits.
+pub fn build_exits(n: usize, n_exits: usize, raw: &[(u32, u32, u32, u64)]) -> Vec<ExitPathRef> {
+    raw.iter()
+        .take(n_exits)
+        .enumerate()
+        .map(|(i, &(next_as, med, exit_point, exit_cost))| {
+            Arc::new(
+                ExitPath::builder(ExitPathId::new(i as u32 + 1))
+                    .via(AsId::new(next_as))
+                    .med(Med::new(med))
+                    .exit_point(RouterId::new(exit_point % n as u32))
+                    .exit_cost(IgpCost::new(exit_cost))
+                    .build_unchecked(),
+            )
+        })
+        .collect()
+}

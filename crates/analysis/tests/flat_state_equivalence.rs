@@ -1,0 +1,89 @@
+//! Property test: the flat fixed-width state encoding is an exact drop-in
+//! for the legacy `StateKey` path.
+//!
+//! The two encodings key the same underlying configurations through a
+//! bijection (`StateCodec::{encode_key, decode_key}`), so a search driven
+//! by either must make the same New/Seen decision at every probe — and
+//! therefore visit the same states in the same order, trip the same cap
+//! at the same point, and surface the same stable vectors. This suite
+//! drives both paths in lockstep over random instances (all three
+//! protocol variants, all three session shapes, with and without
+//! symmetry reduction, capped and uncapped) and asserts the full
+//! observable result is identical. Encoding-internal gauges (cache
+//! splits, digest collisions, byte estimates) are deliberately excluded:
+//! they are allowed to differ.
+
+use ibgp_analysis::{explore, ExploreOptions, Reachability};
+use ibgp_proto::variants::ProtocolConfig;
+use proptest::prelude::*;
+
+mod common;
+use common::{build_exits, build_topology};
+
+/// Everything the two encodings must agree on.
+fn assert_observably_equal(flat: &Reachability, legacy: &Reachability, label: &str) {
+    assert_eq!(flat.states, legacy.states, "{label}: states");
+    assert_eq!(flat.complete, legacy.complete, "{label}: complete");
+    assert_eq!(flat.cap, legacy.cap, "{label}: cap");
+    assert_eq!(
+        flat.stable_vectors, legacy.stable_vectors,
+        "{label}: stable vectors"
+    );
+    let (fm, lm) = (&flat.metrics, &legacy.metrics);
+    assert_eq!(fm.states_visited, lm.states_visited, "{label}: visited");
+    assert_eq!(fm.activations, lm.activations, "{label}: activations");
+    assert_eq!(fm.messages, lm.messages, "{label}: messages");
+    assert_eq!(
+        fm.paths_advertised, lm.paths_advertised,
+        "{label}: paths advertised"
+    );
+    assert_eq!(fm.best_changes, lm.best_changes, "{label}: best changes");
+    assert_eq!(fm.frontier_depth, lm.frontier_depth, "{label}: depth");
+    assert_eq!(fm.peak_queue, lm.peak_queue, "{label}: peak queue");
+    assert_eq!(fm.group_order, lm.group_order, "{label}: group order");
+    assert_eq!(fm.orbit_states, lm.orbit_states, "{label}: orbit states");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn flat_explorer_matches_legacy_lockstep(
+        n in 2usize..=5,
+        shape in 0u8..3,
+        chain_costs in prop::collection::vec(1u64..10, 4),
+        extra_links in prop::collection::vec((0u32..5, 0u32..5, 1u64..10), 0..4),
+        n_exits in 1usize..=4,
+        exit_raw in prop::collection::vec((1u32..3, 0u32..11, 0u32..5, 0u64..6), 4),
+        variant in 0u8..3,
+        symmetry in any::<bool>(),
+        // 0 = effectively uncapped; k > 0 caps after k states so the cap
+        // trip point itself is compared across encodings.
+        cap_raw in 0usize..40,
+    ) {
+        let topo = build_topology(n, shape, &chain_costs, &extra_links);
+        let exits = build_exits(n, n_exits, &exit_raw);
+        let config = [
+            ProtocolConfig::STANDARD,
+            ProtocolConfig::WALTON,
+            ProtocolConfig::MODIFIED,
+        ][variant as usize];
+        let max_states = if cap_raw == 0 { 200_000 } else { cap_raw };
+
+        let opts = |flat: bool, jobs: usize| {
+            ExploreOptions::new()
+                .max_states(max_states)
+                .jobs(jobs)
+                .symmetry(symmetry)
+                .flat_encoding(flat)
+        };
+        let legacy = explore(&topo, config, exits.clone(), opts(false, 1));
+        let flat = explore(&topo, config, exits.clone(), opts(true, 1));
+        assert_observably_equal(&flat, &legacy, "sequential");
+
+        // The flat path keeps the legacy determinism contract: the pool
+        // reproduces the in-thread result bit for bit.
+        let flat8 = explore(&topo, config, exits.clone(), opts(true, 8));
+        assert_observably_equal(&flat8, &legacy, "flat jobs=8");
+    }
+}

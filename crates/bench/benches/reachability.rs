@@ -6,9 +6,13 @@
 //!   classification paths (the 500k-state budget the persistence proofs
 //!   run with), printed as a one-shot speedup with the cache hit rate
 //!   and states/sec reported by `Metrics`;
-//! * thread scaling of the sharded-frontier explorer at `jobs` ∈
-//!   {1, 2, 4, 8} on the fig13/walton search and on a 12-router random
-//!   sweep, with a determinism cross-check at every thread count.
+//! * thread scaling of the batch-frontier explorer (shard-owned visited
+//!   sets, flat state encoding) at `jobs` ∈ {1, 2, 4, 8} on the
+//!   fig13/walton search and on a 12-router random sweep, with a
+//!   determinism cross-check at every thread count.
+//!
+//! For the flat-vs-legacy encoding A/B comparison, see the `encoding`
+//! bin (`cargo run --release -p ibgp-bench --bin encoding`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ibgp::analysis::reachability::{explore, ExploreOptions};

@@ -1,0 +1,181 @@
+//! Measured effect of the flat fixed-width state encoding on the
+//! reachability search: states/sec, wall time, and engine-counter
+//! identity, legacy vs flat, at one and several workers. Instances:
+//! every paper figure plus the five hunt families at a fixed seed. The
+//! committed numbers live in EXPERIMENTS.md; rerun with
+//! `cargo run --release -p ibgp-bench --bin encoding` to regenerate.
+//! An optional argument filters instances by substring
+//! (`... --bin encoding fig13` runs only fig 13 — the CI perf-smoke
+//! job's configuration).
+//!
+//! The bin doubles as a cross-encoding correctness check: every
+//! instance's class, state count, completeness, and stable vectors must
+//! be identical under both encodings, at every measured worker count,
+//! or it aborts.
+
+use ibgp::hunt::Verdict;
+use ibgp::hunt::{classify_spec, generate_spec, HuntOptions, ScenarioSpec, ALL_FAMILIES};
+use ibgp::scenarios::random::{random_scenario, RandomConfig};
+use ibgp::ProtocolVariant;
+
+/// Instances per hunt family.
+const PER_FAMILY: u64 = 4;
+/// Campaign seed for the family rows.
+const SEED: u64 = 5;
+/// Worker counts measured for the flat path (legacy is measured at 1).
+const JOBS: [usize; 2] = [1, 8];
+
+fn opts(flat: bool, jobs: usize) -> HuntOptions {
+    HuntOptions {
+        flat,
+        jobs,
+        ..HuntOptions::default()
+    }
+}
+
+struct Row {
+    name: String,
+    class: String,
+    states: u64,
+    legacy_ms: f64,
+    flat_ms: [f64; JOBS.len()],
+    /// Explorer throughput from `Metrics::states_per_sec()` — states
+    /// over the *search's* wall clock, excluding classification
+    /// overhead around it (parsing, convergence replay).
+    legacy_rate: f64,
+    flat_rate: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        if self.flat_ms[0] > 0.0 {
+            self.legacy_ms / self.flat_ms[0]
+        } else {
+            0.0
+        }
+    }
+
+    fn explorer_speedup(&self) -> f64 {
+        if self.legacy_rate > 0.0 {
+            self.flat_rate / self.legacy_rate
+        } else {
+            0.0
+        }
+    }
+}
+
+fn assert_identical(name: &str, a: &Verdict, b: &Verdict, what: &str) {
+    assert_eq!(a.class, b.class, "{name}: class drifted ({what})");
+    assert_eq!(a.states, b.states, "{name}: state count drifted ({what})");
+    assert_eq!(
+        a.complete, b.complete,
+        "{name}: completeness drifted ({what})"
+    );
+    assert_eq!(
+        a.stable_vectors, b.stable_vectors,
+        "{name}: stable vectors drifted ({what})"
+    );
+}
+
+/// Classify once per configuration, timing each run. Wall clock comes
+/// from one untimed warmup plus the median of three timed runs, which is
+/// honest on a busy machine without pretending to criterion rigor.
+fn timed_classify(spec: &ScenarioSpec, o: &HuntOptions) -> (Verdict, f64) {
+    let mut verdict = classify_spec(spec, o).expect("instance must classify");
+    let mut samples = [0.0f64; 3];
+    for s in &mut samples {
+        let t = std::time::Instant::now();
+        let v = classify_spec(spec, o).expect("instance must classify");
+        *s = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(v.states, verdict.states, "nondeterministic search");
+        verdict = v; // keep a warm run's metrics, not the cold warmup's
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    (verdict, samples[1])
+}
+
+fn explorer_rate(v: &Verdict) -> f64 {
+    v.metrics.as_ref().map_or(0.0, |m| m.states_per_sec())
+}
+
+fn spec_row(name: &str, spec: &ScenarioSpec) -> Row {
+    let (legacy, legacy_ms) = timed_classify(spec, &opts(false, 1));
+    let mut flat_ms = [0.0f64; JOBS.len()];
+    let mut flat_rate = 0.0;
+    for (slot, &jobs) in flat_ms.iter_mut().zip(JOBS.iter()) {
+        let (flat, ms) = timed_classify(spec, &opts(true, jobs));
+        assert_identical(name, &flat, &legacy, &format!("flat jobs={jobs}"));
+        *slot = ms;
+        if jobs == 1 {
+            flat_rate = explorer_rate(&flat);
+        }
+    }
+    Row {
+        name: name.to_string(),
+        class: legacy.class.to_string(),
+        states: legacy.states as u64,
+        legacy_ms,
+        flat_ms,
+        legacy_rate: explorer_rate(&legacy),
+        flat_rate,
+    }
+}
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    let keep = |name: &str| filter.as_deref().is_none_or(|f| name.contains(f));
+
+    let mut rows: Vec<Row> = Vec::new();
+    for s in ibgp::scenarios::all_scenarios() {
+        let spec = ScenarioSpec::from_scenario(&s, ProtocolVariant::Standard);
+        if keep(&spec.name) {
+            rows.push(spec_row(&spec.name, &spec));
+        }
+    }
+    // The 12-router random sweep instance from benches/reachability.rs,
+    // the larger of the two searches the roadmap's throughput target
+    // names (alongside fig 13).
+    let random12 = random_scenario(
+        RandomConfig {
+            clusters: 4,
+            clients_per_cluster: 2,
+            exits: 5,
+            ..RandomConfig::default()
+        },
+        11,
+    );
+    let spec = ScenarioSpec::from_scenario(&random12, ProtocolVariant::Standard);
+    if keep("random12") {
+        rows.push(spec_row("random12", &spec));
+    }
+    for family in ALL_FAMILIES {
+        for index in 0..PER_FAMILY {
+            let name = format!("hunt:{}[{index}]", family.keyword());
+            if keep(&name) {
+                let spec = generate_spec(family, SEED, index);
+                rows.push(spec_row(&name, &spec));
+            }
+        }
+    }
+    assert!(!rows.is_empty(), "filter matched no instances");
+
+    println!(
+        "| instance | class | states | legacy ms | flat ms (j=1) | flat ms (j=8) | classify speedup | legacy states/s | flat states/s | explorer speedup |"
+    );
+    println!("|---|---|---:|---:|---:|---:|---:|---:|---:|---:|");
+    for r in &rows {
+        println!(
+            "| {} | {} | {} | {:.1} | {:.1} | {:.1} | {:.2}x | {:.0} | {:.0} | {:.2}x |",
+            r.name,
+            r.class,
+            r.states,
+            r.legacy_ms,
+            r.flat_ms[0],
+            r.flat_ms[1],
+            r.speedup(),
+            r.legacy_rate,
+            r.flat_rate,
+            r.explorer_speedup(),
+        );
+    }
+}

@@ -23,7 +23,8 @@ commands:
 options:
   --variant standard|walton|modified   protocol (default standard)
   --max-states N                       search cap (default 500000)
-  --jobs N                             search worker threads (default 1, 0 = auto)
+  --jobs N                             search worker threads, N >= 1
+                                       (default: one per CPU, capped at 8)
   --symmetry                           collapse automorphism orbits during search
   --max-bytes N                        visited-set byte budget (default unbounded)
   --steps N                            step budget (default 100000)
@@ -35,6 +36,35 @@ options:
 formula syntax: clauses ';'-separated, literals ','-separated, negative
 numbers negate, variables numbered from 1: \"1,2,-3;-1,3,2\"";
 
+/// The search knobs every exploring verb shares (`classify`, `run`,
+/// `gallery`, `hunt`, `minimize`), bundled so they travel together from
+/// the parser to the search entry points and cannot drift apart
+/// verb-by-verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchArgs {
+    /// `--max-states N`.
+    pub max_states: usize,
+    /// `--jobs N` (N ≥ 1). `0` is the parser-internal "auto" sentinel:
+    /// one worker per available CPU, capped in the analysis layer. The
+    /// parser rejects an *explicit* `--jobs 0`.
+    pub jobs: usize,
+    /// `--symmetry`.
+    pub symmetry: bool,
+    /// `--max-bytes N`.
+    pub max_bytes: Option<usize>,
+}
+
+impl Default for SearchArgs {
+    fn default() -> Self {
+        Self {
+            max_states: 500_000,
+            jobs: 0,
+            symmetry: false,
+            max_bytes: None,
+        }
+    }
+}
+
 /// A parsed invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
@@ -44,28 +74,17 @@ pub enum Command {
     Classify {
         scenario: String,
         variant: ProtocolVariant,
-        max_states: usize,
-        jobs: usize,
-        symmetry: bool,
-        max_bytes: Option<usize>,
+        search: SearchArgs,
     },
     /// `run <scenario|file>`
     Run {
         scenario: String,
         variant: ProtocolVariant,
         steps: u64,
-        max_states: usize,
-        jobs: usize,
-        symmetry: bool,
-        max_bytes: Option<usize>,
+        search: SearchArgs,
     },
     /// `gallery`
-    Gallery {
-        max_states: usize,
-        jobs: usize,
-        symmetry: bool,
-        max_bytes: Option<usize>,
-    },
+    Gallery { search: SearchArgs },
     /// `dot <scenario>`
     Dot { scenario: String },
     /// `theorems <scenario>`
@@ -85,22 +104,33 @@ pub enum Command {
         budget: usize,
         out: String,
         families: Option<String>,
-        max_states: usize,
-        jobs: usize,
-        symmetry: bool,
-        max_bytes: Option<usize>,
+        search: SearchArgs,
     },
     /// `minimize <file>`
     Minimize {
         file: String,
         out: Option<String>,
-        max_states: usize,
-        jobs: usize,
-        symmetry: bool,
-        max_bytes: Option<usize>,
+        search: SearchArgs,
     },
     /// `corpus stats [dir]`
     CorpusStats { dir: String },
+}
+
+impl Command {
+    /// The search knobs, for the verbs that run a reachability search.
+    /// (Exercised by the verb × flag matrix test; the run path
+    /// destructures variants directly.)
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn search_args(&self) -> Option<&SearchArgs> {
+        match self {
+            Command::Classify { search, .. }
+            | Command::Run { search, .. }
+            | Command::Gallery { search }
+            | Command::Hunt { search, .. }
+            | Command::Minimize { search, .. } => Some(search),
+            _ => None,
+        }
+    }
 }
 
 /// Parse an argument vector (without the program name).
@@ -112,15 +142,12 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let rest: Vec<&String> = it.collect();
     let mut positional: Vec<&str> = Vec::new();
     let mut variant = ProtocolVariant::Standard;
-    let mut max_states = 500_000usize;
-    let mut jobs = 1usize;
+    let mut search = SearchArgs::default();
     let mut steps = 100_000u64;
     let mut seed = 1u64;
     let mut budget = 100usize;
     let mut out: Option<String> = None;
     let mut families: Option<String> = None;
-    let mut symmetry = false;
-    let mut max_bytes: Option<usize> = None;
     let mut i = 0;
     while i < rest.len() {
         let a = rest[i].as_str();
@@ -133,16 +160,21 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             "--max-states" => {
                 i += 1;
                 let v = rest.get(i).ok_or("--max-states needs a value")?;
-                max_states = v
+                search.max_states = v
                     .parse()
                     .map_err(|_| format!("invalid --max-states value `{v}`"))?;
             }
             "--jobs" => {
                 i += 1;
                 let v = rest.get(i).ok_or("--jobs needs a value")?;
-                jobs = v
+                search.jobs = v
                     .parse()
                     .map_err(|_| format!("invalid --jobs value `{v}`"))?;
+                if search.jobs == 0 {
+                    return Err("--jobs must be at least 1; omit --jobs for the default \
+                         (one worker per CPU, capped at 8)"
+                        .into());
+                }
             }
             "--steps" => {
                 i += 1;
@@ -166,12 +198,12 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     .map_err(|_| format!("invalid --budget value `{v}`"))?;
             }
             "--symmetry" => {
-                symmetry = true;
+                search.symmetry = true;
             }
             "--max-bytes" => {
                 i += 1;
                 let v = rest.get(i).ok_or("--max-bytes needs a value")?;
-                max_bytes = Some(
+                search.max_bytes = Some(
                     v.parse()
                         .map_err(|_| format!("invalid --max-bytes value `{v}`"))?,
                 );
@@ -205,26 +237,15 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "classify" => Ok(Command::Classify {
             scenario: one_positional("scenario name")?,
             variant,
-            max_states,
-            jobs,
-            symmetry,
-            max_bytes,
+            search,
         }),
         "run" => Ok(Command::Run {
             scenario: one_positional("scenario name or .ibgp file")?,
             variant,
             steps,
-            max_states,
-            jobs,
-            symmetry,
-            max_bytes,
+            search,
         }),
-        "gallery" => Ok(Command::Gallery {
-            max_states,
-            jobs,
-            symmetry,
-            max_bytes,
-        }),
+        "gallery" => Ok(Command::Gallery { search }),
         "dot" => Ok(Command::Dot {
             scenario: one_positional("scenario name")?,
         }),
@@ -256,19 +277,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 budget,
                 out: out.unwrap_or_else(|| "corpus".into()),
                 families,
-                max_states,
-                jobs,
-                symmetry,
-                max_bytes,
+                search,
             })
         }
         "minimize" => Ok(Command::Minimize {
             file: one_positional(".ibgp file")?,
             out,
-            max_states,
-            jobs,
-            symmetry,
-            max_bytes,
+            search,
         }),
         "corpus" => match positional.as_slice() {
             ["stats"] => Ok(Command::CorpusStats {
@@ -331,10 +346,10 @@ mod tests {
         assert_eq!(
             parse(&argv("gallery --max-states 100")).unwrap(),
             Command::Gallery {
-                max_states: 100,
-                jobs: 1,
-                symmetry: false,
-                max_bytes: None,
+                search: SearchArgs {
+                    max_states: 100,
+                    ..SearchArgs::default()
+                },
             }
         );
     }
@@ -350,10 +365,12 @@ mod tests {
             Command::Classify {
                 scenario: "fig1a".into(),
                 variant: ProtocolVariant::Walton,
-                max_states: 42,
-                jobs: 4,
-                symmetry: true,
-                max_bytes: Some(4096),
+                search: SearchArgs {
+                    max_states: 42,
+                    jobs: 4,
+                    symmetry: true,
+                    max_bytes: Some(4096),
+                },
             }
         );
     }
@@ -367,12 +384,73 @@ mod tests {
                 scenario: "fig2".into(),
                 variant: ProtocolVariant::Standard,
                 steps: 100_000,
-                max_states: 500_000,
-                jobs: 1,
-                symmetry: false,
-                max_bytes: None,
+                search: SearchArgs::default(),
             }
         );
+    }
+
+    /// Every search verb accepts the whole search-flag matrix and lands
+    /// it in one shared `SearchArgs` — no verb can silently drop a flag
+    /// (the historical failure mode this guards: a verb plumbing
+    /// `--max-states` but not `--jobs`, or vice versa).
+    #[test]
+    fn every_search_verb_accepts_the_full_flag_matrix() {
+        let flags = "--jobs 3 --max-states 77 --symmetry --max-bytes 2048";
+        let expected = SearchArgs {
+            max_states: 77,
+            jobs: 3,
+            symmetry: true,
+            max_bytes: Some(2048),
+        };
+        for verb in [
+            "classify fig1a",
+            "run fig2",
+            "gallery",
+            "hunt",
+            "minimize a.ibgp",
+        ] {
+            let cmd = parse(&argv(&format!("{verb} {flags}")))
+                .unwrap_or_else(|e| panic!("`{verb}` must accept the search flags: {e}"));
+            assert_eq!(
+                cmd.search_args(),
+                Some(&expected),
+                "`{verb}` dropped a search flag"
+            );
+            // Each flag also works alone on every verb.
+            for flag in [
+                "--jobs 3",
+                "--max-states 77",
+                "--symmetry",
+                "--max-bytes 2048",
+            ] {
+                assert!(
+                    parse(&argv(&format!("{verb} {flag}"))).is_ok(),
+                    "`{verb} {flag}` must parse"
+                );
+            }
+        }
+        // Non-search verbs report no search args.
+        assert_eq!(parse(&argv("list")).unwrap().search_args(), None);
+        assert_eq!(parse(&argv("dot fig1a")).unwrap().search_args(), None);
+    }
+
+    /// `--jobs 0` is rejected with guidance everywhere, not treated as an
+    /// auto sentinel the way the library layer's `jobs = 0` default is.
+    #[test]
+    fn explicit_jobs_zero_is_rejected_on_every_verb() {
+        for verb in [
+            "classify fig1a",
+            "run fig2",
+            "gallery",
+            "hunt",
+            "minimize a.ibgp",
+        ] {
+            let err = parse(&argv(&format!("{verb} --jobs 0"))).unwrap_err();
+            assert!(
+                err.contains("at least 1"),
+                "`{verb} --jobs 0` must explain the minimum, got: {err}"
+            );
+        }
     }
 
     #[test]
@@ -388,10 +466,10 @@ mod tests {
                 budget: 25,
                 out: "/tmp/c".into(),
                 families: Some("reflection,confed".into()),
-                max_states: 500_000,
-                jobs: 2,
-                symmetry: false,
-                max_bytes: None,
+                search: SearchArgs {
+                    jobs: 2,
+                    ..SearchArgs::default()
+                },
             }
         );
         assert_eq!(
@@ -401,10 +479,7 @@ mod tests {
                 budget: 100,
                 out: "corpus".into(),
                 families: None,
-                max_states: 500_000,
-                jobs: 1,
-                symmetry: false,
-                max_bytes: None,
+                search: SearchArgs::default(),
             }
         );
         assert!(parse(&argv("hunt extra")).is_err());
@@ -413,10 +488,10 @@ mod tests {
             Command::Minimize {
                 file: "a.ibgp".into(),
                 out: Some("b.ibgp".into()),
-                max_states: 500_000,
-                jobs: 1,
-                symmetry: true,
-                max_bytes: None,
+                search: SearchArgs {
+                    symmetry: true,
+                    ..SearchArgs::default()
+                },
             }
         );
         assert!(parse(&argv("minimize")).is_err());

@@ -1,6 +1,6 @@
 //! Command implementations.
 
-use crate::args::{parse_formula, Command};
+use crate::args::{parse_formula, Command, SearchArgs};
 use ibgp::npc::{assignment_from_best, reduce, schedule_for, solve};
 use ibgp::proto::variants::ProtocolConfig;
 use ibgp::scenarios::{all_scenarios, by_name};
@@ -10,27 +10,21 @@ use ibgp::{ExploreOptions, Network, ProtocolVariant, Scenario};
 use ibgp_hunt::{HuntOptions, Verdict};
 use std::path::Path;
 
-/// The search knobs every exploring command shares, bundled so they
-/// travel together from the parser to the search entry points.
-#[derive(Clone, Copy)]
-struct SearchOpts {
-    max_states: usize,
-    jobs: usize,
-    symmetry: bool,
-    max_bytes: Option<usize>,
-}
-
-impl SearchOpts {
-    fn hunt_options(self) -> HuntOptions {
+/// Search-option conversions live here (not in `args`) so the parser
+/// stays free of analysis-layer dependencies. `jobs = 0` is the parsed
+/// "auto" default; both option types resolve it downstream.
+impl SearchArgs {
+    fn hunt_options(&self) -> HuntOptions {
         HuntOptions {
             max_states: self.max_states,
             jobs: self.jobs,
             symmetry: self.symmetry,
             max_bytes: self.max_bytes,
+            ..HuntOptions::default()
         }
     }
 
-    fn explore_options(self) -> ExploreOptions {
+    fn explore_options(&self) -> ExploreOptions {
         let opts = ExploreOptions::new()
             .max_states(self.max_states)
             .jobs(self.jobs)
@@ -49,57 +43,27 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Classify {
             scenario,
             variant,
-            max_states,
-            jobs,
-            symmetry,
-            max_bytes,
+            search,
         } => {
-            let opts = SearchOpts {
-                max_states,
-                jobs,
-                symmetry,
-                max_bytes,
-            };
             if is_spec_path(&scenario) {
-                classify_file(&scenario, opts)
+                classify_file(&scenario, search)
             } else {
-                classify(&scenario, variant, opts)
+                classify(&scenario, variant, search)
             }
         }
         Command::Run {
             scenario,
             variant,
             steps,
-            max_states,
-            jobs,
-            symmetry,
-            max_bytes,
+            search,
         } => {
             if is_spec_path(&scenario) {
-                classify_file(
-                    &scenario,
-                    SearchOpts {
-                        max_states,
-                        jobs,
-                        symmetry,
-                        max_bytes,
-                    },
-                )
+                classify_file(&scenario, search)
             } else {
                 converge(&scenario, variant, steps)
             }
         }
-        Command::Gallery {
-            max_states,
-            jobs,
-            symmetry,
-            max_bytes,
-        } => gallery(SearchOpts {
-            max_states,
-            jobs,
-            symmetry,
-            max_bytes,
-        }),
+        Command::Gallery { search } => gallery(search),
         Command::Dot { scenario } => dot(&scenario),
         Command::Theorems { scenario, steps } => theorems(&scenario, steps),
         Command::Sat { formula, steps } => sat(&formula, steps),
@@ -114,39 +78,9 @@ pub fn run(cmd: Command) -> Result<(), String> {
             budget,
             out,
             families,
-            max_states,
-            jobs,
-            symmetry,
-            max_bytes,
-        } => hunt(
-            seed,
-            budget,
-            &out,
-            families.as_deref(),
-            SearchOpts {
-                max_states,
-                jobs,
-                symmetry,
-                max_bytes,
-            },
-        )?,
-        Command::Minimize {
-            file,
-            out,
-            max_states,
-            jobs,
-            symmetry,
-            max_bytes,
-        } => minimize_file(
-            &file,
-            out.as_deref(),
-            SearchOpts {
-                max_states,
-                jobs,
-                symmetry,
-                max_bytes,
-            },
-        )?,
+            search,
+        } => hunt(seed, budget, &out, families.as_deref(), search)?,
+        Command::Minimize { file, out, search } => minimize_file(&file, out.as_deref(), search)?,
         Command::CorpusStats { dir } => corpus_stats(&dir)?,
     }
     Ok(())
@@ -229,7 +163,7 @@ fn print_verdict(label: &str, v: &Verdict) {
     }
 }
 
-fn classify(name: &str, variant: ProtocolVariant, opts: SearchOpts) {
+fn classify(name: &str, variant: ProtocolVariant, opts: SearchArgs) {
     let s = lookup(name);
     let n = Network::from_scenario(&s, variant);
     let (class, reach) = n.classify(opts.explore_options());
@@ -252,7 +186,7 @@ fn load_spec_or_die(path: &str) -> ibgp_hunt::ScenarioSpec {
     })
 }
 
-fn classify_file(path: &str, opts: SearchOpts) {
+fn classify_file(path: &str, opts: SearchArgs) {
     let spec = load_spec_or_die(path);
     let opts = opts.hunt_options();
     match ibgp_hunt::classify_spec(&spec, &opts) {
@@ -277,7 +211,7 @@ fn hunt(
     budget: usize,
     out: &str,
     families: Option<&str>,
-    opts: SearchOpts,
+    opts: SearchArgs,
 ) -> Result<(), String> {
     let mut cfg = ibgp_hunt::CampaignConfig::new(seed, budget, out.into());
     if let Some(list) = families {
@@ -314,16 +248,25 @@ fn hunt(
         report.duplicates,
         100.0 * report.yield_rate()
     );
+    // Rate off the campaign's own wall clock — never off summed
+    // per-search (or per-worker) time, which would overstate it.
+    let wall = report.elapsed.as_secs_f64();
+    let rate = if wall > 0.0 {
+        report.metrics.states_visited as f64 / wall
+    } else {
+        0.0
+    };
     println!(
-        "search totals: {} states visited in {:.2}s wall clock (max {} worker(s))",
+        "search totals: {} states visited in {:.2}s wall clock ({:.0} states/sec, max {} worker(s))",
         report.metrics.states_visited,
-        report.elapsed.as_secs_f64(),
+        wall,
+        rate,
         report.metrics.workers.max(1)
     );
     Ok(())
 }
 
-fn minimize_file(path: &str, out: Option<&str>, opts: SearchOpts) -> Result<(), String> {
+fn minimize_file(path: &str, out: Option<&str>, opts: SearchArgs) -> Result<(), String> {
     let spec = load_spec_or_die(path);
     let opts = opts.hunt_options();
     let result = ibgp_hunt::minimize(&spec, &opts).map_err(|e| e.to_string())?;
@@ -379,7 +322,7 @@ fn converge(name: &str, variant: ProtocolVariant, steps: u64) {
     }
 }
 
-fn gallery(opts: SearchOpts) {
+fn gallery(opts: SearchArgs) {
     println!(
         "{:<8} {:<9} {:>7} {:>7}  class",
         "scenario", "protocol", "states", "stable"

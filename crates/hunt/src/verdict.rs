@@ -22,24 +22,32 @@ use ibgp_types::ExitPathId;
 pub struct HuntOptions {
     /// State cap per exploration.
     pub max_states: usize,
-    /// Worker threads for the flat-reflection search (`0` = one per
-    /// hardware thread; confed/hierarchy searches are single-threaded).
+    /// Worker threads for the reflection search (`0`, the default, means
+    /// one per hardware thread, sanely capped; confed/hierarchy searches
+    /// are single-threaded).
     pub jobs: usize,
     /// Collapse automorphism orbits in the flat-reflection search
     /// (confed/hierarchy searches are uninstrumented and ignore this).
     pub symmetry: bool,
-    /// Visited-set byte budget for the flat-reflection search; `None` for
+    /// Visited-set byte budget for the reflection search; `None` for
     /// unbounded.
     pub max_bytes: Option<usize>,
+    /// Use the flat fixed-width state encoding (default) or the legacy
+    /// `StateKey` path in the reflection search. Verdicts are identical
+    /// either way (`tests/encoding_golden.rs` pins this on the whole
+    /// committed corpus); the switch exists for A/B measurement and the
+    /// equivalence suites.
+    pub flat: bool,
 }
 
 impl Default for HuntOptions {
     fn default() -> Self {
         Self {
             max_states: 200_000,
-            jobs: 1,
+            jobs: 0,
             symmetry: false,
             max_bytes: None,
+            flat: true,
         }
     }
 }
@@ -49,7 +57,8 @@ impl HuntOptions {
         let opts = ExploreOptions::new()
             .max_states(self.max_states)
             .jobs(self.jobs)
-            .symmetry(self.symmetry);
+            .symmetry(self.symmetry)
+            .flat_encoding(self.flat);
         match self.max_bytes {
             Some(b) => opts.max_bytes(b),
             None => opts,

@@ -1,0 +1,117 @@
+//! Golden re-classification under the flat state encoding.
+//!
+//! Every committed `.ibgp` specimen — the paper figures under
+//! `corpus/paper/` and the seeded specimens under `corpus/specimens/` —
+//! must classify to *exactly* the same verdict under the flat
+//! fixed-width encoding as under the legacy `StateKey` path: class,
+//! state count, completeness, cap/memory status, and the byte-identical
+//! stable-vector list. The paper figures additionally pin their known
+//! classes, so an encoding bug cannot hide behind a matching-but-wrong
+//! pair of verdicts. Symmetry composed with the flat encoding rides
+//! along as a third column.
+
+use ibgp_analysis::OscillationClass;
+use ibgp_hunt::{classify_spec, parse, HuntOptions, Verdict};
+use std::path::PathBuf;
+
+fn corpus_dir(sub: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../corpus/{sub}"))
+}
+
+fn corpus_specs(sub: &str) -> Vec<(String, ibgp_hunt::ScenarioSpec)> {
+    let dir = corpus_dir(sub);
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("missing corpus dir {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ibgp"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no .ibgp files under {}", dir.display());
+    paths
+        .into_iter()
+        .map(|p| {
+            let name = p.file_stem().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&p)
+                .unwrap_or_else(|e| panic!("unreadable {}: {e}", p.display()));
+            let spec = parse(&text).unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+            (name, spec)
+        })
+        .collect()
+}
+
+fn opts(flat: bool, symmetry: bool) -> HuntOptions {
+    HuntOptions {
+        flat,
+        symmetry,
+        ..HuntOptions::default()
+    }
+}
+
+fn assert_verdicts_identical(flat: &Verdict, legacy: &Verdict, name: &str) {
+    assert_eq!(flat.class, legacy.class, "{name}: class drifted");
+    assert_eq!(flat.states, legacy.states, "{name}: state count drifted");
+    assert_eq!(
+        flat.complete, legacy.complete,
+        "{name}: completeness drifted"
+    );
+    assert_eq!(flat.cap, legacy.cap, "{name}: cap status drifted");
+    assert_eq!(flat.memory, legacy.memory, "{name}: memory status drifted");
+    assert_eq!(
+        flat.stable_vectors, legacy.stable_vectors,
+        "{name}: stable vectors drifted"
+    );
+    if let (Some(fm), Some(lm)) = (&flat.metrics, &legacy.metrics) {
+        assert_eq!(fm.activations, lm.activations, "{name}: activations");
+        assert_eq!(fm.messages, lm.messages, "{name}: messages");
+        assert_eq!(fm.best_changes, lm.best_changes, "{name}: best changes");
+        assert_eq!(fm.frontier_depth, lm.frontier_depth, "{name}: depth");
+    }
+}
+
+const PAPER_EXPECTED: [(&str, OscillationClass); 7] = [
+    ("fig1a", OscillationClass::Persistent),
+    ("fig1b", OscillationClass::Stable),
+    ("fig2", OscillationClass::Transient),
+    ("fig3", OscillationClass::Stable),
+    ("fig12", OscillationClass::Stable),
+    ("fig13", OscillationClass::Persistent),
+    ("fig14", OscillationClass::Stable),
+];
+
+#[test]
+fn every_committed_specimen_classifies_identically_under_flat_encoding() {
+    for sub in ["paper", "specimens"] {
+        for (name, spec) in corpus_specs(sub) {
+            let legacy = classify_spec(&spec, &opts(false, false))
+                .unwrap_or_else(|e| panic!("{name}: legacy classify failed: {e}"));
+            let flat = classify_spec(&spec, &opts(true, false))
+                .unwrap_or_else(|e| panic!("{name}: flat classify failed: {e}"));
+            assert_verdicts_identical(&flat, &legacy, &name);
+
+            // Symmetry composes with the encoding: flat+symmetry must
+            // match legacy+symmetry verdict-for-verdict too.
+            let legacy_sym = classify_spec(&spec, &opts(false, true))
+                .unwrap_or_else(|e| panic!("{name}: legacy+symmetry classify failed: {e}"));
+            let flat_sym = classify_spec(&spec, &opts(true, true))
+                .unwrap_or_else(|e| panic!("{name}: flat+symmetry classify failed: {e}"));
+            assert_verdicts_identical(&flat_sym, &legacy_sym, &format!("{name}+symmetry"));
+        }
+    }
+}
+
+#[test]
+fn paper_figures_keep_their_known_classes_under_flat_encoding() {
+    let dir_names: Vec<String> = corpus_specs("paper")
+        .iter()
+        .map(|(n, _)| n.clone())
+        .collect();
+    let mut expected: Vec<&str> = PAPER_EXPECTED.iter().map(|(n, _)| *n).collect();
+    expected.sort_unstable();
+    assert_eq!(dir_names, expected, "PAPER_EXPECTED table out of date");
+    for (name, spec) in corpus_specs("paper") {
+        let want = PAPER_EXPECTED.iter().find(|(n, _)| *n == name).unwrap().1;
+        let flat = classify_spec(&spec, &opts(true, false)).unwrap();
+        assert_eq!(flat.class, want, "{name} under the flat encoding");
+        assert!(flat.complete, "{name}: flat search must complete");
+    }
+}

@@ -1,0 +1,371 @@
+//! Flat, fixed-width state encoding for the reachability hot path.
+//!
+//! The explorer's visited set and canonicalization used to operate on
+//! [`StateKey`](crate::signature::StateKey) — three `Vec`s per router per
+//! state, allocated fresh for every generated successor. This module
+//! packs the same information into a single `Box<[u32]>` per state:
+//!
+//! ```text
+//! [ router 0 | router 1 | ... ]         one fixed-width block per router
+//! block = [ possible bitmask  : mask_words u32s ]
+//!         [ advertised bitmask: mask_words u32s ]
+//!         [ best exit index+1 : 1 u32 (0 = no best route) ]
+//! ```
+//!
+//! Exit paths are numbered by a per-search [`StateCodec`] (ascending raw
+//! id, so bit order equals the sorted-id order `StateKey` uses), which
+//! also converts back to `StateKey` at the API boundary. Equality of
+//! [`FlatKey`]s is exactly equality of the `StateKey`s they encode (at
+//! phase 0, the only phase the explorer generates), so visited-set dedup
+//! and orbit collapsing are unchanged observationally — only cheaper:
+//! one allocation per state, `memcmp` equality, and a digest that is
+//! computed once and carried with the key.
+//!
+//! The digest is a hand-rolled Fx-style multiply-xor hash (the workspace
+//! deliberately adds no dependencies); it only feeds hash-map bucketing
+//! and the digest-compacted visited set, never equality.
+
+use crate::signature::{NodeStateKey, StateKey};
+use ibgp_types::{ExitPathId, ExitPathRef};
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
+
+/// Multiplier from the Fx hash family (the golden-ratio-derived odd
+/// constant used by rustc's FxHasher).
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fx-style multiply-xor hash over a word slice. Not cryptographic; used
+/// for hash-map bucketing and digest-only visited sets.
+pub fn hash_words(words: &[u32]) -> u64 {
+    let mut h = words.len() as u64;
+    for &w in words {
+        h = (h.rotate_left(5) ^ u64::from(w)).wrapping_mul(FX_SEED);
+    }
+    h
+}
+
+/// Per-search table mapping exit-path ids to dense bit positions, plus
+/// the derived block geometry. Construction fixes the id set for the
+/// whole search (the explorer never injects mid-search).
+#[derive(Debug)]
+pub struct StateCodec {
+    /// Sorted raw exit ids; the bit position of an exit is its index here.
+    ids: Vec<u32>,
+    routers: usize,
+    mask_words: usize,
+    node_words: usize,
+}
+
+impl StateCodec {
+    /// Build the codec for `routers` routers and the given injected exit
+    /// paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate exit ids — scenario construction errors, the
+    /// same contract `SyncEngine::new` enforces.
+    pub fn new(routers: usize, exits: &[ExitPathRef]) -> Self {
+        let mut ids: Vec<u32> = exits.iter().map(|p| p.id().raw()).collect();
+        ids.sort_unstable();
+        assert!(
+            ids.windows(2).all(|w| w[0] != w[1]),
+            "duplicate exit path id"
+        );
+        let mask_words = ids.len().div_ceil(32);
+        Self {
+            ids,
+            routers,
+            mask_words,
+            node_words: 2 * mask_words + 1,
+        }
+    }
+
+    /// Number of distinct exit paths in the table.
+    pub fn exit_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of routers per encoded state.
+    pub fn routers(&self) -> usize {
+        self.routers
+    }
+
+    /// `u32` words per per-router bitmask.
+    pub fn mask_words(&self) -> usize {
+        self.mask_words
+    }
+
+    /// `u32` words per router block.
+    pub fn node_words(&self) -> usize {
+        self.node_words
+    }
+
+    /// Total `u32` words per encoded state.
+    pub fn key_words(&self) -> usize {
+        self.routers * self.node_words
+    }
+
+    /// Dense bit position of an exit id, if the id is in the table.
+    pub fn index_of(&self, id: ExitPathId) -> Option<usize> {
+        self.ids.binary_search(&id.raw()).ok()
+    }
+
+    /// The exit id at a dense bit position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn id_at(&self, index: usize) -> ExitPathId {
+        ExitPathId::new(self.ids[index])
+    }
+
+    /// Encode one router's visible state into `out` (exactly
+    /// [`StateCodec::node_words`] long, pre-zeroed or not — every word is
+    /// written).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is not in the codec table or `out` has the wrong
+    /// length.
+    pub fn encode_node_into(
+        &self,
+        possible: impl Iterator<Item = ExitPathId>,
+        best: Option<ExitPathId>,
+        advertised: impl Iterator<Item = ExitPathId>,
+        out: &mut [u32],
+    ) {
+        assert_eq!(out.len(), self.node_words, "wrong node block length");
+        out.fill(0);
+        let slot = |codec: &Self, id: ExitPathId| {
+            codec
+                .index_of(id)
+                .unwrap_or_else(|| panic!("exit path {id} not in the codec table"))
+        };
+        for id in possible {
+            let e = slot(self, id);
+            out[e / 32] |= 1 << (e % 32);
+        }
+        for id in advertised {
+            let e = slot(self, id);
+            out[self.mask_words + e / 32] |= 1 << (e % 32);
+        }
+        out[2 * self.mask_words] = match best {
+            Some(id) => slot(self, id) as u32 + 1,
+            None => 0,
+        };
+    }
+
+    /// Encode a full [`StateKey`] (the explorer only generates phase 0;
+    /// the phase is not represented).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key's router count disagrees with the codec.
+    pub fn encode_key(&self, key: &StateKey) -> FlatKey {
+        assert_eq!(key.nodes.len(), self.routers, "router count mismatch");
+        let mut words = vec![0u32; self.key_words()];
+        for (u, node) in key.nodes.iter().enumerate() {
+            self.encode_node_into(
+                node.possible.iter().copied(),
+                node.best,
+                node.advertised.iter().copied(),
+                &mut words[u * self.node_words..(u + 1) * self.node_words],
+            );
+        }
+        FlatKey::new(words.into_boxed_slice())
+    }
+
+    /// Decode back to the snapshot-side [`StateKey`] (phase 0). Bit order
+    /// is ascending raw id, so the decoded id vectors come out sorted —
+    /// exactly the `StateKey` invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key's length disagrees with the codec geometry.
+    pub fn decode_key(&self, flat: &FlatKey) -> StateKey {
+        assert_eq!(flat.words.len(), self.key_words(), "key length mismatch");
+        let nodes = flat
+            .words
+            .chunks_exact(self.node_words)
+            .map(|block| {
+                let best_slot = block[2 * self.mask_words];
+                NodeStateKey {
+                    possible: self.decode_mask(&block[..self.mask_words]),
+                    best: (best_slot != 0).then(|| self.id_at(best_slot as usize - 1)),
+                    advertised: self.decode_mask(&block[self.mask_words..2 * self.mask_words]),
+                }
+            })
+            .collect();
+        StateKey { nodes, phase: 0 }
+    }
+
+    fn decode_mask(&self, mask: &[u32]) -> Vec<ExitPathId> {
+        let mut ids = Vec::new();
+        for (w, &word) in mask.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                ids.push(self.id_at(w * 32 + b));
+            }
+        }
+        ids
+    }
+}
+
+/// One encoded configuration: the packed words plus their digest,
+/// computed once at construction and carried with the key (the legacy
+/// `StateKey` re-hashed on every probe).
+#[derive(Debug, Clone)]
+pub struct FlatKey {
+    digest: u64,
+    words: Box<[u32]>,
+}
+
+impl FlatKey {
+    /// Wrap packed words, computing the digest.
+    pub fn new(words: Box<[u32]>) -> Self {
+        Self {
+            digest: hash_words(&words),
+            words,
+        }
+    }
+
+    /// The precomputed 64-bit digest.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The packed words.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Accounted heap footprint, the flat analogue of
+    /// `StateKey::approx_bytes`: the struct itself plus the word payload.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.words.len() * std::mem::size_of::<u32>()
+    }
+}
+
+impl PartialEq for FlatKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The digest is a pure function of the words: a mismatch proves
+        // inequality without touching the payload.
+        self.digest == other.digest && self.words == other.words
+    }
+}
+
+impl Eq for FlatKey {}
+
+impl PartialOrd for FlatKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FlatKey {
+    /// Lexicographic over the packed words — the total order
+    /// symmetry-reduced searches pick orbit representatives with.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.words.cmp(&other.words)
+    }
+}
+
+impl Hash for FlatKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.digest.hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibgp_types::{AsId, ExitPath, RouterId};
+    use std::sync::Arc;
+
+    fn exit(id: u32, exit_point: u32) -> ExitPathRef {
+        Arc::new(
+            ExitPath::builder(ExitPathId::new(id))
+                .via(AsId::new(1))
+                .exit_point(RouterId::new(exit_point))
+                .build_unchecked(),
+        )
+    }
+
+    fn key(nodes: Vec<NodeStateKey>) -> StateKey {
+        StateKey { nodes, phase: 0 }
+    }
+
+    fn node(possible: &[u32], best: Option<u32>, advertised: &[u32]) -> NodeStateKey {
+        NodeStateKey {
+            possible: possible.iter().map(|&i| ExitPathId::new(i)).collect(),
+            best: best.map(ExitPathId::new),
+            advertised: advertised.iter().map(|&i| ExitPathId::new(i)).collect(),
+        }
+    }
+
+    #[test]
+    fn round_trips_state_keys() {
+        let codec = StateCodec::new(2, &[exit(3, 0), exit(7, 1), exit(9, 1)]);
+        assert_eq!(codec.exit_count(), 3);
+        assert_eq!(codec.mask_words(), 1);
+        assert_eq!(codec.node_words(), 3);
+        assert_eq!(codec.key_words(), 6);
+        let k = key(vec![node(&[3, 9], Some(9), &[9]), node(&[], None, &[])]);
+        let flat = codec.encode_key(&k);
+        assert_eq!(codec.decode_key(&flat), k);
+    }
+
+    #[test]
+    fn equality_matches_state_key_equality() {
+        let codec = StateCodec::new(1, &[exit(1, 0), exit(2, 0)]);
+        let a = codec.encode_key(&key(vec![node(&[1, 2], Some(1), &[1])]));
+        let b = codec.encode_key(&key(vec![node(&[1, 2], Some(1), &[1])]));
+        let c = codec.encode_key(&key(vec![node(&[1, 2], Some(2), &[2])]));
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_over_words() {
+        let codec = StateCodec::new(1, &[exit(1, 0), exit(2, 0)]);
+        let lo = codec.encode_key(&key(vec![node(&[1], None, &[])]));
+        let hi = codec.encode_key(&key(vec![node(&[2], None, &[])]));
+        assert!(lo < hi, "bit 0 < bit 1");
+        assert_eq!(lo.cmp(&lo), Ordering::Equal);
+    }
+
+    #[test]
+    fn wide_exit_sets_span_mask_words() {
+        let exits: Vec<ExitPathRef> = (0..40).map(|i| exit(i + 1, 0)).collect();
+        let codec = StateCodec::new(1, &exits);
+        assert_eq!(codec.mask_words(), 2);
+        let all: Vec<u32> = (1..=40).collect();
+        let k = key(vec![node(&all, Some(40), &[40])]);
+        let flat = codec.encode_key(&k);
+        assert_eq!(codec.decode_key(&flat), k);
+    }
+
+    #[test]
+    fn empty_exit_table_still_encodes() {
+        let codec = StateCodec::new(2, &[]);
+        assert_eq!(codec.node_words(), 1);
+        let k = key(vec![node(&[], None, &[]), node(&[], None, &[])]);
+        assert_eq!(codec.decode_key(&codec.encode_key(&k)), k);
+    }
+
+    #[test]
+    fn hash_words_is_stable_and_spreads() {
+        assert_eq!(hash_words(&[1, 2, 3]), hash_words(&[1, 2, 3]));
+        assert_ne!(hash_words(&[1, 2, 3]), hash_words(&[3, 2, 1]));
+        assert_ne!(hash_words(&[]), hash_words(&[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate exit path id")]
+    fn duplicate_ids_panic() {
+        let _ = StateCodec::new(1, &[exit(1, 0), exit(1, 0)]);
+    }
+}

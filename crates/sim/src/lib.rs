@@ -25,6 +25,7 @@
 pub mod activation;
 pub mod async_engine;
 pub mod engine;
+pub mod flat;
 pub mod metrics;
 pub mod multi;
 pub mod signature;
@@ -36,6 +37,7 @@ pub use async_engine::{
     FnDelay, SeededJitter, TraceEvent,
 };
 pub use engine::Engine;
+pub use flat::{FlatKey, StateCodec};
 pub use metrics::Metrics;
 pub use multi::{aggregate, MultiPrefixSim, PrefixResult};
-pub use sync::{SyncEngine, SyncOutcome, SyncSnapshot};
+pub use sync::{StepPlan, SyncEngine, SyncOutcome, SyncSnapshot};

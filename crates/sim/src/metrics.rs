@@ -227,6 +227,54 @@ mod tests {
         assert_eq!(a.visited_bytes, 900);
     }
 
+    /// Regression guard for the parallel explorer's rate accounting:
+    /// folding per-worker engine counters must never sum worker-side
+    /// `elapsed_nanos` (or any other coordinator-owned search gauge)
+    /// into the aggregate — `states_per_sec()` is defined off the
+    /// coordinator's wall clock alone, and a summed-worker-time elapsed
+    /// would deflate it by the worker count.
+    #[test]
+    fn engine_absorb_never_sums_worker_wall_clock() {
+        let mut coordinator = Metrics {
+            states_visited: 1_000,
+            elapsed_nanos: 500_000_000, // 0.5 s of coordinator wall clock
+            workers: 8,
+            handoffs: 42,
+            frontier_depth: 9,
+            peak_queue: 11,
+            peak_shard: 13,
+            ..Metrics::default()
+        };
+        let rate_before = coordinator.states_per_sec();
+        for _ in 0..8 {
+            let worker = Metrics {
+                activations: 10,
+                cache_hits: 5,
+                cache_misses: 2,
+                // A buggy merge would sum these into the aggregate.
+                elapsed_nanos: 500_000_000,
+                states_visited: 999,
+                workers: 1,
+                handoffs: 7,
+                frontier_depth: 50,
+                peak_queue: 50,
+                peak_shard: 50,
+                ..Metrics::default()
+            };
+            coordinator.absorb_engine(&worker);
+        }
+        assert_eq!(coordinator.elapsed_nanos, 500_000_000);
+        assert_eq!(coordinator.states_visited, 1_000);
+        assert_eq!(coordinator.workers, 8);
+        assert_eq!(coordinator.handoffs, 42);
+        assert_eq!(coordinator.frontier_depth, 9);
+        assert_eq!(coordinator.peak_queue, 11);
+        assert_eq!(coordinator.peak_shard, 13);
+        assert_eq!(coordinator.activations, 80, "engine counters do sum");
+        assert_eq!(coordinator.cache_hits, 40);
+        assert!((coordinator.states_per_sec() - rate_before).abs() < 1e-12);
+    }
+
     #[test]
     fn states_per_sec_handles_zero_and_rate() {
         assert_eq!(Metrics::default().states_per_sec(), 0.0);

@@ -50,6 +50,7 @@
 //! [`SyncEngine::set_memoized`] and is exercised by the equivalence tests.
 
 use crate::engine::Engine;
+use crate::flat::{hash_words, FlatKey, StateCodec};
 use crate::metrics::Metrics;
 use crate::signature::{NodeStateKey, StateKey};
 use ibgp_proto::variants::ProtocolConfig;
@@ -60,10 +61,8 @@ use ibgp_topology::Topology;
 use ibgp_types::{BgpId, ExitPathId, ExitPathRef, Route, RouterId};
 use serde::{Deserialize, Serialize};
 use std::cell::{Cell, RefCell};
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 // The reachability explorer ships snapshots between worker threads and
@@ -77,6 +76,8 @@ const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send_sync::<SyncSnapshot>();
     assert_send_sync::<StateKey>();
+    assert_send_sync::<FlatKey>();
+    assert_send_sync::<StateCodec>();
     assert_send_sync::<Metrics>();
     assert_send::<SyncEngine<'_>>();
 };
@@ -144,6 +145,11 @@ struct NodeState {
     /// `Topology::ibgp().peers(u)` order — computed once per distinct
     /// state so message accounting needn't re-filter on every step.
     outgoing: Vec<Vec<ExitPathId>>,
+    /// The row's flat encoding under the engine's [`StateCodec`] —
+    /// `node_words` long when a codec is installed, empty otherwise.
+    /// Cached with the row so assembling a full [`FlatKey`] is a plain
+    /// word copy.
+    flat: Box<[u32]>,
 }
 
 impl NodeState {
@@ -152,6 +158,27 @@ impl NodeState {
             possible: self.possible.iter().map(|p| p.id()).collect(),
             best: self.best.as_ref().map(Route::exit_id),
             advertised: self.advertised.iter().map(|p| p.id()).collect(),
+        }
+    }
+
+    fn encode_flat(&self, codec: &StateCodec) -> Box<[u32]> {
+        let mut out = vec![0u32; codec.node_words()];
+        codec.encode_node_into(
+            self.possible.iter().map(|p| p.id()),
+            self.best.as_ref().map(Route::exit_id),
+            self.advertised.iter().map(|p| p.id()),
+            &mut out,
+        );
+        out.into_boxed_slice()
+    }
+
+    /// Append this row's flat words to `words`, encoding on the fly if
+    /// the cached copy predates the codec installation.
+    fn extend_flat(&self, codec: &StateCodec, words: &mut Vec<u32>) {
+        if self.flat.len() == codec.node_words() {
+            words.extend_from_slice(&self.flat);
+        } else {
+            words.extend_from_slice(&self.encode_flat(codec));
         }
     }
 }
@@ -196,6 +223,12 @@ pub struct SyncEngine<'a> {
     metrics: Metrics,
     memoized: bool,
     memo: RefCell<UpdateMemo>,
+    /// Reused buffer for memo-key assembly, so the memoized lookup path
+    /// allocates only on a miss.
+    memo_scratch: RefCell<Vec<u32>>,
+    /// Flat-encoding table for [`SyncEngine::flat_key`] and the branch
+    /// API; installed once per search via [`SyncEngine::set_codec`].
+    codec: Option<Arc<StateCodec>>,
     cache_hits: Cell<u64>,
     cache_misses: Cell<u64>,
 }
@@ -210,6 +243,8 @@ impl Clone for SyncEngine<'_> {
             metrics: self.metrics,
             memoized: self.memoized,
             memo: RefCell::new(self.memo.borrow().clone()),
+            memo_scratch: RefCell::new(Vec::new()),
+            codec: self.codec.clone(),
             cache_hits: self.cache_hits.clone(),
             cache_misses: self.cache_misses.clone(),
         }
@@ -235,6 +270,7 @@ impl<'a> SyncEngine<'a> {
                 best: None,
                 advertised: Vec::new(),
                 outgoing: vec![Vec::new(); topo.ibgp().peers(RouterId::new(i as u32)).len()],
+                flat: Box::default(),
             })
             .collect();
         let mut seen = std::collections::HashSet::new();
@@ -267,6 +303,8 @@ impl<'a> SyncEngine<'a> {
             metrics: Metrics::default(),
             memoized: true,
             memo: RefCell::new(HashMap::new()),
+            memo_scratch: RefCell::new(Vec::new()),
+            codec: None,
             cache_hits: Cell::new(0),
             cache_misses: Cell::new(0),
         }
@@ -395,10 +433,10 @@ impl<'a> SyncEngine<'a> {
     /// every peer's advertised set, flattened to raw ids with `u32::MAX`
     /// separators (reserved — asserted at construction/inject). Together
     /// with the fixed topology and protocol configuration these inputs
-    /// fully determine [`SyncEngine::compute_update`]'s output.
-    fn memo_key(&self, u: RouterId) -> Vec<u32> {
+    /// fully determine [`SyncEngine::compute_update`]'s output. Written
+    /// into a reused buffer so the lookup path allocates only on a miss.
+    fn memo_key_into(&self, u: RouterId, key: &mut Vec<u32>) {
         let node = &self.nodes[u.index()];
-        let mut key = Vec::with_capacity(2 + node.my_exits.len());
         key.push(u.raw());
         for p in &node.my_exits {
             key.push(p.id().raw());
@@ -409,7 +447,6 @@ impl<'a> SyncEngine<'a> {
                 key.push(p.id().raw());
             }
         }
-        key
     }
 
     /// `u`'s post-activation state, memoized on the inputs it depends on.
@@ -417,14 +454,12 @@ impl<'a> SyncEngine<'a> {
         if !self.memoized {
             return Arc::new(self.compute_update(u));
         }
-        let key = self.memo_key(u);
-        let digest = {
-            let mut h = DefaultHasher::new();
-            key.hash(&mut h);
-            h.finish()
-        };
+        let mut scratch = self.memo_scratch.borrow_mut();
+        scratch.clear();
+        self.memo_key_into(u, &mut scratch);
+        let digest = hash_words(&scratch);
         if let Some(bucket) = self.memo.borrow().get(&digest) {
-            if let Some((_, row)) = bucket.iter().find(|(k, _)| k[..] == key[..]) {
+            if let Some((_, row)) = bucket.iter().find(|(k, _)| k[..] == scratch[..]) {
                 self.cache_hits.set(self.cache_hits.get() + 1);
                 return Arc::clone(row);
             }
@@ -435,7 +470,7 @@ impl<'a> SyncEngine<'a> {
             .borrow_mut()
             .entry(digest)
             .or_default()
-            .push((key.into_boxed_slice(), Arc::clone(&row)));
+            .push((scratch[..].into(), Arc::clone(&row)));
         row
     }
 
@@ -486,14 +521,19 @@ impl<'a> SyncEngine<'a> {
                     .collect()
             })
             .collect();
-        NodeState {
+        let mut row = NodeState {
             my_exits: cur.my_exits.clone(),
             possible,
             learned,
             best,
             advertised,
             outgoing,
+            flat: Box::default(),
+        };
+        if let Some(codec) = &self.codec {
+            row.flat = row.encode_flat(codec);
         }
+        row
     }
 
     /// The advertisement discipline per protocol variant.
@@ -604,6 +644,125 @@ impl<'a> SyncEngine<'a> {
             .map(|s| s.best.as_ref().map(Route::exit_id))
             .collect()
     }
+
+    /// Install a flat-encoding table (see [`crate::flat`]). Every live
+    /// row is (re-)encoded and the update memo is dropped (cached rows
+    /// lack the encoding), so install the codec once, right after
+    /// construction, before any search work.
+    pub fn set_codec(&mut self, codec: Arc<StateCodec>) {
+        self.memo.borrow_mut().clear();
+        for node in &mut self.nodes {
+            let row = Arc::make_mut(node);
+            row.flat = row.encode_flat(&codec);
+        }
+        self.codec = Some(codec);
+    }
+
+    /// The installed flat-encoding table, if any.
+    pub fn codec(&self) -> Option<&Arc<StateCodec>> {
+        self.codec.as_ref()
+    }
+
+    /// The current configuration's [`FlatKey`] — equivalent to
+    /// `state_key(0)` under the codec's encoding, assembled by copying
+    /// the rows' cached words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no codec is installed.
+    pub fn flat_key(&self) -> FlatKey {
+        let codec = self.codec.as_deref().expect("flat_key requires set_codec");
+        let mut words = Vec::with_capacity(codec.key_words());
+        for node in &self.nodes {
+            node.extend_flat(codec, &mut words);
+        }
+        FlatKey::new(words.into_boxed_slice())
+    }
+
+    /// Compute every node's update row once, for expanding all of a
+    /// state's activation branches via [`SyncEngine::branch_key`] /
+    /// [`SyncEngine::branch_snapshot`] without re-deriving rows per
+    /// branch (a `step` per branch recomputes all `n` rows each time).
+    /// `stable` is exactly [`SyncEngine::is_stable`] of the current
+    /// configuration.
+    pub fn plan(&self) -> StepPlan {
+        let rows: Vec<Arc<NodeState>> = self.topo.routers().map(|u| self.update_row(u)).collect();
+        let stable = rows
+            .iter()
+            .zip(&self.nodes)
+            .all(|(new, old)| Arc::ptr_eq(new, old) || new.key() == old.key());
+        StepPlan { rows, stable }
+    }
+
+    /// The [`FlatKey`] of the configuration that activating `set` from
+    /// the current state would produce, without mutating the live state.
+    /// Metrics account exactly as [`SyncEngine::step`] would for the same
+    /// activation (activations, best changes, messages, paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no codec is installed or `plan` came from a different
+    /// engine/state (row count mismatch).
+    pub fn branch_key(&mut self, plan: &StepPlan, set: &[RouterId]) -> FlatKey {
+        assert_eq!(plan.rows.len(), self.nodes.len(), "foreign step plan");
+        for &u in set {
+            let new = &plan.rows[u.index()];
+            let old = &self.nodes[u.index()];
+            let best_changed =
+                old.best.as_ref().map(Route::exit_id) != new.best.as_ref().map(Route::exit_id);
+            if best_changed {
+                self.metrics.best_changes += 1;
+            }
+            if !Arc::ptr_eq(old, new) && old.advertised != new.advertised {
+                for (before, after) in old.outgoing.iter().zip(&new.outgoing) {
+                    if before != after {
+                        self.metrics.messages += 1;
+                        self.metrics.paths_advertised += after.len() as u64;
+                    }
+                }
+            }
+            self.metrics.activations += 1;
+        }
+        let codec = self
+            .codec
+            .as_deref()
+            .expect("branch_key requires set_codec");
+        let mut words = Vec::with_capacity(codec.key_words());
+        for (i, node) in self.nodes.iter().enumerate() {
+            let row = if set.iter().any(|&u| u.index() == i) {
+                &plan.rows[i]
+            } else {
+                node
+            };
+            row.extend_flat(codec, &mut words);
+        }
+        FlatKey::new(words.into_boxed_slice())
+    }
+
+    /// The successor snapshot activating `set` would produce — the state
+    /// [`SyncEngine::branch_key`] keyed. O(n) `Arc` clones; the live
+    /// configuration is untouched. Carries no metrics accounting (pair
+    /// it with `branch_key`, which accounts the activation).
+    pub fn branch_snapshot(&self, plan: &StepPlan, set: &[RouterId]) -> SyncSnapshot {
+        let mut nodes = self.nodes.clone();
+        for &u in set {
+            nodes[u.index()] = Arc::clone(&plan.rows[u.index()]);
+        }
+        SyncSnapshot {
+            nodes,
+            time: self.time + 1,
+        }
+    }
+}
+
+/// Every node's update row for one activation step, precomputed once so
+/// a search can expand all `n + 1` activation branches of a state
+/// without recomputing rows per branch. Produced by [`SyncEngine::plan`].
+pub struct StepPlan {
+    rows: Vec<Arc<NodeState>>,
+    /// Whether the planned-from configuration is a fixed point
+    /// (identical to [`SyncEngine::is_stable`]).
+    pub stable: bool,
 }
 
 /// The unified engine surface ([`Engine::run`] — the bounded
@@ -1021,5 +1180,109 @@ mod tests {
             ProtocolConfig::STANDARD,
             vec![exit(1, 1, 0, 0), exit(1, 2, 0, 0)],
         );
+    }
+
+    /// The flat key of the live configuration is the codec encoding of
+    /// `state_key(0)`, before and after steps.
+    #[test]
+    fn flat_key_matches_encoded_state_key() {
+        let topo = TopologyBuilder::new(3)
+            .link(0, 1, 1)
+            .link(1, 2, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let exits = vec![exit(1, 1, 0, 0), exit(2, 2, 5, 2)];
+        let mut eng = SyncEngine::new(&topo, ProtocolConfig::MODIFIED, exits.clone());
+        let codec = Arc::new(crate::flat::StateCodec::new(topo.len(), &exits));
+        eng.set_codec(Arc::clone(&codec));
+        for _ in 0..6 {
+            assert_eq!(eng.flat_key(), codec.encode_key(&eng.state_key(0)));
+            assert_eq!(codec.decode_key(&eng.flat_key()), eng.state_key(0));
+            eng.step(&[r(0), r(1), r(2)]);
+        }
+    }
+
+    /// `plan` + `branch_key`/`branch_snapshot` replicate `step` exactly:
+    /// same successor keys, same stability verdict, same metrics deltas.
+    #[test]
+    fn branch_api_matches_step_semantics() {
+        let topo = TopologyBuilder::new(4)
+            .link(0, 2, 10)
+            .link(0, 3, 1)
+            .link(1, 3, 10)
+            .link(1, 2, 1)
+            .cluster([0], [2])
+            .cluster([1], [3])
+            .build()
+            .unwrap();
+        for config in [
+            ProtocolConfig::STANDARD,
+            ProtocolConfig::WALTON,
+            ProtocolConfig::MODIFIED,
+        ] {
+            let exits = vec![exit(1, 1, 0, 2), exit(2, 1, 0, 3)];
+            let codec = Arc::new(crate::flat::StateCodec::new(topo.len(), &exits));
+            let mut flat = SyncEngine::new(&topo, config, exits.clone());
+            flat.set_codec(Arc::clone(&codec));
+            let mut legacy = SyncEngine::new(&topo, config, exits);
+
+            // Walk a few frontier states; at each, compare every branch.
+            let mut branches: Vec<Vec<RouterId>> = (0..4).map(|i| vec![r(i)]).collect();
+            branches.push((0..4).map(r).collect());
+            let mut snap_flat = flat.snapshot();
+            let mut snap_legacy = legacy.snapshot();
+            for depth in 0..4 {
+                flat.restore(&snap_flat);
+                legacy.restore(&snap_legacy);
+                let plan = flat.plan();
+                assert_eq!(plan.stable, legacy.is_stable(), "depth {depth}");
+                for branch in &branches {
+                    flat.restore(&snap_flat);
+                    legacy.restore(&snap_legacy);
+                    let m_flat = flat.metrics();
+                    let m_legacy = legacy.metrics();
+                    let key = flat.branch_key(&plan, branch);
+                    legacy.step(branch);
+                    assert_eq!(
+                        codec.decode_key(&key),
+                        legacy.state_key(0),
+                        "branch {branch:?} at depth {depth}"
+                    );
+                    // Identical metrics deltas (cache counters aside —
+                    // the two paths schedule memo lookups differently).
+                    let d_flat = flat.metrics();
+                    let d_legacy = legacy.metrics();
+                    assert_eq!(
+                        d_flat.activations - m_flat.activations,
+                        d_legacy.activations - m_legacy.activations
+                    );
+                    assert_eq!(
+                        d_flat.messages - m_flat.messages,
+                        d_legacy.messages - m_legacy.messages
+                    );
+                    assert_eq!(
+                        d_flat.paths_advertised - m_flat.paths_advertised,
+                        d_legacy.paths_advertised - m_legacy.paths_advertised
+                    );
+                    assert_eq!(
+                        d_flat.best_changes - m_flat.best_changes,
+                        d_legacy.best_changes - m_legacy.best_changes
+                    );
+                    // The branch snapshot restores to the keyed state.
+                    flat.restore(&snap_flat);
+                    let succ = flat.branch_snapshot(&plan, branch);
+                    flat.restore(&succ);
+                    assert_eq!(flat.flat_key(), key);
+                }
+                // Descend along the full-set branch.
+                flat.restore(&snap_flat);
+                let plan = flat.plan();
+                snap_flat = flat.branch_snapshot(&plan, &branches[4]);
+                legacy.restore(&snap_legacy);
+                legacy.step(&branches[4]);
+                snap_legacy = legacy.snapshot();
+            }
+        }
     }
 }
