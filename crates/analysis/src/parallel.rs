@@ -68,6 +68,19 @@
 //! `crate::symmetry`), the whole search deterministically restarts with
 //! symmetry off.
 //!
+//! **Partial-order reduction** ([`ExploreOptions::por`]): before
+//! expanding a state's branches, each worker asks the engine for the
+//! state's ample set — the enabled routers whose activation leaves every
+//! transfer-filtered outgoing advertisement unchanged and therefore
+//! commutes with every other transition (see `SyncEngine::ample_set` for
+//! the exactness argument, including the structural discharge of the
+//! cycle proviso). When the set is non-empty the state expands through
+//! that one compound branch instead of all `n + 1`; otherwise it falls
+//! back to full expansion. The choice is a pure function of the
+//! snapshot, so verdicts stay bit-identical across `jobs`, and it is
+//! automorphism-equivariant, so it composes with symmetry reduction
+//! (and with the guard's symmetry-free restart, which keeps POR on).
+//!
 //! **Memory bounding** ([`ExploreOptions::max_bytes`]): the coordinator
 //! accounts an estimated byte footprint for every inserted key. On the
 //! first budget breach it compacts every shard from full keys to
@@ -244,6 +257,10 @@ enum UnitOutcome<K> {
         /// A successor tripped the tie-soundness guard: the whole search
         /// must restart without symmetry.
         unsound: bool,
+        /// The state was expanded through the single compound ample
+        /// branch of the partial-order reduction (false for full
+        /// expansion — including every expansion when POR is off).
+        ample: bool,
     },
 }
 
@@ -280,6 +297,7 @@ trait Scheme: Sync {
 /// against.
 struct LegacyScheme<'g> {
     group: Option<&'g SymmetryGroup>,
+    por: bool,
 }
 
 impl Scheme for LegacyScheme<'_> {
@@ -308,9 +326,28 @@ impl Scheme for LegacyScheme<'_> {
         visited: &Visited<StateKey>,
     ) -> UnitOutcome<StateKey> {
         engine.restore(snap);
-        if engine.is_stable() {
+        let plan = engine.plan();
+        if plan.stable {
             return UnitOutcome::Stable(engine.best_vector());
         }
+        // POR: one compound ample branch when the engine can prove the
+        // commutation precondition, the full branch set otherwise. The
+        // choice is a pure function of the snapshot, so verdicts stay
+        // bit-identical at every `jobs` value.
+        let ample = if self.por {
+            engine.ample_set(&plan)
+        } else {
+            None
+        };
+        let reduced = ample.is_some();
+        let ample_storage;
+        let branches: &[Vec<RouterId>] = match ample {
+            Some(set) => {
+                ample_storage = [set];
+                &ample_storage
+            }
+            None => branches,
+        };
         let mut fresh = Vec::new();
         for branch in branches {
             engine.restore(snap);
@@ -324,6 +361,7 @@ impl Scheme for LegacyScheme<'_> {
                         return UnitOutcome::Expanded {
                             fresh: Vec::new(),
                             unsound: true,
+                            ample: false,
                         };
                     }
                     g.canonical(&raw)
@@ -340,6 +378,7 @@ impl Scheme for LegacyScheme<'_> {
         UnitOutcome::Expanded {
             fresh,
             unsound: false,
+            ample: reduced,
         }
     }
 
@@ -359,6 +398,7 @@ struct FlatScheme<'g> {
     codec: Arc<StateCodec>,
     group: Option<&'g SymmetryGroup>,
     action: Option<FlatAction>,
+    por: bool,
 }
 
 impl Scheme for FlatScheme<'_> {
@@ -393,6 +433,23 @@ impl Scheme for FlatScheme<'_> {
         if plan.stable {
             return UnitOutcome::Stable(engine.best_vector());
         }
+        // POR branch choice: identical rule to the legacy scheme (the
+        // equivalence suite holds the two encodings to the same reduced
+        // state space).
+        let ample = if self.por {
+            engine.ample_set(&plan)
+        } else {
+            None
+        };
+        let reduced = ample.is_some();
+        let ample_storage;
+        let branches: &[Vec<RouterId>] = match ample {
+            Some(set) => {
+                ample_storage = [set];
+                &ample_storage
+            }
+            None => branches,
+        };
         let mut fresh = Vec::new();
         for branch in branches {
             let raw = engine.branch_key(&plan, branch);
@@ -402,6 +459,7 @@ impl Scheme for FlatScheme<'_> {
                         return UnitOutcome::Expanded {
                             fresh: Vec::new(),
                             unsound: true,
+                            ample: false,
                         };
                     }
                     a.canonical(&raw)
@@ -415,6 +473,7 @@ impl Scheme for FlatScheme<'_> {
         UnitOutcome::Expanded {
             fresh,
             unsound: false,
+            ample: reduced,
         }
     }
 
@@ -470,6 +529,11 @@ struct Progress {
     peak_bytes: usize,
     collisions: u64,
     compactions: u64,
+    /// Frontier states expanded through the compound ample branch.
+    por_ample: u64,
+    /// Frontier states fully expanded (the POR conservative fallback;
+    /// counts every expansion when POR is off).
+    por_full: u64,
 }
 
 /// The limits and initial-state accounting a `drive` run starts from.
@@ -525,6 +589,8 @@ fn drive<S: Scheme>(
         peak_bytes: initial_bytes,
         collisions: 0,
         compactions: 0,
+        por_ample: 0,
+        por_full: 0,
     };
     // A budget smaller than the initial state compacts (and possibly
     // stops) immediately — deterministic, like every later breach.
@@ -564,7 +630,12 @@ fn drive<S: Scheme>(
                         }
                     }
                 }
-                UnitOutcome::Expanded { fresh, .. } => {
+                UnitOutcome::Expanded { fresh, ample, .. } => {
+                    if ample {
+                        p.por_ample += 1;
+                    } else {
+                        p.por_full += 1;
+                    }
                     for (key, snap, orbit) in fresh {
                         match owned(visited).insert(key) {
                             Inserted::Seen => {}
@@ -841,10 +912,14 @@ fn search_inner(
             codec,
             group,
             action,
+            por: options.por,
         };
         run_search(&scheme, topo, config, &exits, options, jobs, &branches)
     } else {
-        let scheme = LegacyScheme { group };
+        let scheme = LegacyScheme {
+            group,
+            por: options.por,
+        };
         run_search(&scheme, topo, config, &exits, options, jobs, &branches)
     };
 
@@ -873,6 +948,10 @@ fn search_inner(
     metrics.digest_collisions = progress.collisions;
     metrics.compactions = progress.compactions;
     metrics.visited_bytes = progress.peak_bytes as u64;
+    if options.por {
+        metrics.por_ample = progress.por_ample;
+        metrics.por_full = progress.por_full;
+    }
 
     // Canonical order: discovery order is already deterministic, but a
     // sorted vector makes equality checks independent of search history.

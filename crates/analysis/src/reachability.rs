@@ -37,6 +37,7 @@ pub struct ExploreOptions {
     pub(crate) symmetry: bool,
     pub(crate) max_bytes: Option<usize>,
     pub(crate) flat: bool,
+    pub(crate) por: bool,
 }
 
 /// Ceiling on auto-selected workers (`jobs = 0`). Search levels on the
@@ -55,6 +56,7 @@ impl Default for ExploreOptions {
             symmetry: false,
             max_bytes: None,
             flat: true,
+            por: false,
         }
     }
 }
@@ -113,6 +115,30 @@ impl ExploreOptions {
     /// option is always safe to enable.
     pub fn symmetry(mut self, symmetry: bool) -> Self {
         self.symmetry = symmetry;
+        self
+    }
+
+    /// Prune activation interleavings with exact partial-order reduction
+    /// (ample/stubborn sets over the session-graph dependency structure).
+    /// At each state the explorer asks the engine for an ample set — the
+    /// enabled routers whose activation leaves every transfer-filtered
+    /// outgoing advertisement unchanged, and which therefore commute
+    /// with every other transition (see `SyncEngine::ample_set`) — and
+    /// expands only that one compound branch instead of all `n + 1`.
+    /// When no activation's commutation precondition can be proven the
+    /// state falls back to full expansion, and the cycle proviso is
+    /// discharged structurally (an ample step never chains into another),
+    /// so the reduction is *exact*: verdict class, stable-vector set, and
+    /// completeness match the unpruned search — only the distinct-state
+    /// count shrinks (measured by [`Metrics::por_ample`] /
+    /// [`Metrics::por_full`]). Composes with [`Self::symmetry`] (the
+    /// ample set is automorphism-equivariant, and the dangerous-tie
+    /// guard still restarts symmetry-free with POR intact),
+    /// [`Self::max_bytes`], and every [`Self::jobs`] setting
+    /// (bit-identical verdicts — the ample choice is a pure function of
+    /// the state).
+    pub fn por(mut self, por: bool) -> Self {
+        self.por = por;
         self
     }
 

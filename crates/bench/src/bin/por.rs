@@ -1,0 +1,175 @@
+//! Measured effect of partial-order reduction (`--por`) on the
+//! reachability search: states visited off vs on, the ample/full
+//! expansion split, and wall time. Instances: every paper figure, the
+//! smallest §5 routing gadget (`npc-1var`, the headline: it completes
+//! under the default cap only with the reduction), and the five hunt
+//! families at a fixed seed as negative controls. The committed numbers
+//! live in EXPERIMENTS.md; rerun with
+//! `cargo run --release -p ibgp-bench --bin por` to regenerate.
+
+use ibgp::hunt::{classify_spec, generate_spec, HuntOptions, ScenarioSpec, ALL_FAMILIES};
+use ibgp::npc::{reduce, Clause, Formula, Lit};
+use ibgp::{classify, ExploreOptions, ProtocolConfig, ProtocolVariant};
+
+/// Instances per hunt family (aggregated per row).
+const PER_FAMILY: u64 = 6;
+/// Campaign seed for the family rows.
+const SEED: u64 = 5;
+
+struct Row {
+    name: String,
+    class: String,
+    states_off: u64,
+    states_on: u64,
+    ample: u64,
+    full: u64,
+    ms_off: f64,
+    ms_on: f64,
+}
+
+impl Row {
+    fn reduction(&self) -> f64 {
+        if self.states_on == 0 {
+            1.0
+        } else {
+            self.states_off as f64 / self.states_on as f64
+        }
+    }
+}
+
+fn opts(por: bool) -> HuntOptions {
+    HuntOptions {
+        por,
+        ..HuntOptions::default()
+    }
+}
+
+fn spec_row(name: &str, spec: &ScenarioSpec) -> Row {
+    let t = std::time::Instant::now();
+    let off = classify_spec(spec, &opts(false)).expect("instance must classify");
+    let ms_off = t.elapsed().as_secs_f64() * 1e3;
+    let t = std::time::Instant::now();
+    let on = classify_spec(spec, &opts(true)).expect("instance must classify");
+    let ms_on = t.elapsed().as_secs_f64() * 1e3;
+    // The reduction is exact: a complete unpruned search forces full
+    // agreement, and pruning can only complete *more* searches under the
+    // same cap.
+    if off.complete {
+        assert_eq!(off.class, on.class, "{name}: class drifted under POR");
+        assert_eq!(
+            off.stable_vectors, on.stable_vectors,
+            "{name}: stable vectors drifted under POR"
+        );
+        assert!(on.complete, "{name}: POR lost completeness");
+    }
+    Row {
+        name: name.to_string(),
+        class: on.class.to_string(),
+        states_off: off.states as u64,
+        states_on: on.states as u64,
+        ample: on.metrics.as_ref().map_or(0, |m| m.por_ample),
+        full: on.metrics.as_ref().map_or(0, |m| m.por_full),
+        ms_off,
+        ms_on,
+    }
+}
+
+/// The smallest §5 routing gadget: SR_J for the one-variable,
+/// one-clause formula J = (x0). Interleaving explosion, not symmetry, is
+/// what holds this instance above the default cap — the POR table's
+/// headline row.
+fn npc_row() -> Row {
+    let formula = Formula::new(1, vec![Clause(vec![Lit::pos(0)])]).expect("well-formed formula");
+    let sr = reduce(&formula);
+    let explore_opts = |por: bool| ExploreOptions::new().max_states(200_000).por(por);
+
+    let t = std::time::Instant::now();
+    let (class_off, off) = classify(
+        &sr.topology,
+        ProtocolConfig::STANDARD,
+        &sr.exits,
+        explore_opts(false),
+    );
+    let ms_off = t.elapsed().as_secs_f64() * 1e3;
+    let t = std::time::Instant::now();
+    let (class_on, on) = classify(
+        &sr.topology,
+        ProtocolConfig::STANDARD,
+        &sr.exits,
+        explore_opts(true),
+    );
+    let ms_on = t.elapsed().as_secs_f64() * 1e3;
+    if off.complete {
+        assert_eq!(class_off, class_on, "npc gadget: class drifted under POR");
+        assert_eq!(
+            off.stable_vectors, on.stable_vectors,
+            "npc gadget: stable vectors drifted under POR"
+        );
+    }
+    Row {
+        name: "npc-1var".into(),
+        class: class_on.to_string(),
+        states_off: off.states as u64,
+        states_on: on.states as u64,
+        ample: on.metrics.por_ample,
+        full: on.metrics.por_full,
+        ms_off,
+        ms_on,
+    }
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+
+    for s in ibgp::scenarios::all_scenarios() {
+        let spec = ScenarioSpec::from_scenario(&s, ProtocolVariant::Standard);
+        rows.push(spec_row(&spec.name, &spec));
+    }
+
+    rows.push(npc_row());
+
+    for family in ALL_FAMILIES {
+        let mut agg: Option<Row> = None;
+        for index in 0..PER_FAMILY {
+            let spec = generate_spec(family, SEED, index);
+            let name = format!("{}[{index}]", family.keyword());
+            let r = spec_row(&name, &spec);
+            agg = Some(match agg {
+                None => Row {
+                    name: format!("hunt:{} (x{PER_FAMILY})", family.keyword()),
+                    class: "-".into(),
+                    ..r
+                },
+                Some(mut a) => {
+                    a.states_off += r.states_off;
+                    a.states_on += r.states_on;
+                    a.ample += r.ample;
+                    a.full += r.full;
+                    a.ms_off += r.ms_off;
+                    a.ms_on += r.ms_on;
+                    a
+                }
+            });
+        }
+        rows.push(agg.expect("PER_FAMILY > 0"));
+    }
+
+    println!(
+        "| instance | class (por) | states off | states on | reduction | ample | full | ms off | ms on |"
+    );
+    println!("|---|---|---:|---:|---:|---:|---:|---:|---:|");
+    for r in &rows {
+        println!(
+            "| {} | {} | {} | {} | {:.2}x | {} | {} | {:.1} | {:.1} |",
+            r.name,
+            r.class,
+            r.states_off,
+            r.states_on,
+            r.reduction(),
+            r.ample,
+            r.full,
+            r.ms_off,
+            r.ms_on
+        );
+    }
+}

@@ -26,6 +26,8 @@ options:
   --jobs N                             search worker threads, N >= 1
                                        (default: one per CPU, capped at 8)
   --symmetry                           collapse automorphism orbits during search
+  --por                                partial-order reduction: prune provably
+                                       commuting activation interleavings (exact)
   --max-bytes N                        visited-set byte budget (default unbounded)
   --steps N                            step budget (default 100000)
   --seed N                             hunt: campaign seed (default 1)
@@ -50,6 +52,8 @@ pub struct SearchArgs {
     pub jobs: usize,
     /// `--symmetry`.
     pub symmetry: bool,
+    /// `--por`.
+    pub por: bool,
     /// `--max-bytes N`.
     pub max_bytes: Option<usize>,
 }
@@ -60,6 +64,7 @@ impl Default for SearchArgs {
             max_states: 500_000,
             jobs: 0,
             symmetry: false,
+            por: false,
             max_bytes: None,
         }
     }
@@ -199,6 +204,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             }
             "--symmetry" => {
                 search.symmetry = true;
+            }
+            "--por" => {
+                search.por = true;
             }
             "--max-bytes" => {
                 i += 1;
@@ -357,7 +365,7 @@ mod tests {
     #[test]
     fn parses_classify_with_options() {
         let cmd = parse(&argv(
-            "classify fig1a --variant walton --max-states 42 --jobs 4 --symmetry --max-bytes 4096",
+            "classify fig1a --variant walton --max-states 42 --jobs 4 --symmetry --por --max-bytes 4096",
         ))
         .unwrap();
         assert_eq!(
@@ -369,6 +377,7 @@ mod tests {
                     max_states: 42,
                     jobs: 4,
                     symmetry: true,
+                    por: true,
                     max_bytes: Some(4096),
                 },
             }
@@ -395,11 +404,12 @@ mod tests {
     /// `--max-states` but not `--jobs`, or vice versa).
     #[test]
     fn every_search_verb_accepts_the_full_flag_matrix() {
-        let flags = "--jobs 3 --max-states 77 --symmetry --max-bytes 2048";
+        let flags = "--jobs 3 --max-states 77 --symmetry --por --max-bytes 2048";
         let expected = SearchArgs {
             max_states: 77,
             jobs: 3,
             symmetry: true,
+            por: true,
             max_bytes: Some(2048),
         };
         for verb in [
@@ -421,6 +431,7 @@ mod tests {
                 "--jobs 3",
                 "--max-states 77",
                 "--symmetry",
+                "--por",
                 "--max-bytes 2048",
             ] {
                 assert!(

@@ -19,6 +19,7 @@ impl SearchArgs {
             max_states: self.max_states,
             jobs: self.jobs,
             symmetry: self.symmetry,
+            por: self.por,
             max_bytes: self.max_bytes,
             ..HuntOptions::default()
         }
@@ -28,7 +29,8 @@ impl SearchArgs {
         let opts = ExploreOptions::new()
             .max_states(self.max_states)
             .jobs(self.jobs)
-            .symmetry(self.symmetry);
+            .symmetry(self.symmetry)
+            .por(self.por);
         match self.max_bytes {
             Some(b) => opts.max_bytes(b),
             None => opts,
@@ -150,6 +152,14 @@ fn print_verdict(label: &str, v: &Verdict) {
                 m.orbit_states
             );
         }
+        if m.por_ample + m.por_full > 0 {
+            let pruned = 100.0 * m.por_ample as f64 / (m.por_ample + m.por_full) as f64;
+            println!(
+                "  por: {} of {} expansions took the ample branch ({pruned:.1}% of the frontier pruned)",
+                m.por_ample,
+                m.por_ample + m.por_full
+            );
+        }
         if m.compactions > 0 {
             println!(
                 "  memory: visited set compacted to digests {} time(s) ({} digest collision(s), peak {} bytes)",
@@ -186,9 +196,26 @@ fn load_spec_or_die(path: &str) -> ibgp_hunt::ScenarioSpec {
     })
 }
 
+/// Warn, per flag, when a confederation/hierarchy spec is about to go
+/// through its dedicated search — those searches honor only
+/// `--max-states`, and silently dropping the rest has historically made
+/// "same flags, different scenario kind" runs incomparable.
+fn warn_ignored_flags(kind: &ibgp_hunt::SpecKind, opts: &HuntOptions) {
+    if matches!(kind, ibgp_hunt::SpecKind::Reflection(_)) {
+        return;
+    }
+    for flag in opts.reflection_only_flags() {
+        eprintln!(
+            "warning: {flag} is ignored for {} scenarios (only --max-states applies)",
+            kind.keyword()
+        );
+    }
+}
+
 fn classify_file(path: &str, opts: SearchArgs) {
     let spec = load_spec_or_die(path);
     let opts = opts.hunt_options();
+    warn_ignored_flags(&spec.kind, &opts);
     match ibgp_hunt::classify_spec(&spec, &opts) {
         Ok(verdict) => {
             let label = format!(
@@ -221,6 +248,17 @@ fn hunt(
         }
     }
     cfg.options = opts.hunt_options();
+    // Per-flag warning for the families whose dedicated searches will
+    // drop the reflection-only knobs (mirrors `warn_ignored_flags`,
+    // keyed on the family since no spec exists yet).
+    for family in cfg.families.iter().filter(|f| !f.uses_reflection_search()) {
+        for flag in cfg.options.reflection_only_flags() {
+            eprintln!(
+                "warning: {flag} is ignored for {} scenarios (only --max-states applies)",
+                family.keyword()
+            );
+        }
+    }
     let report = ibgp_hunt::run_campaign(&cfg).map_err(|e| e.to_string())?;
     println!(
         "hunt: seed {seed}, {} topologies into {out}/",
@@ -269,6 +307,7 @@ fn hunt(
 fn minimize_file(path: &str, out: Option<&str>, opts: SearchArgs) -> Result<(), String> {
     let spec = load_spec_or_die(path);
     let opts = opts.hunt_options();
+    warn_ignored_flags(&spec.kind, &opts);
     let result = ibgp_hunt::minimize(&spec, &opts).map_err(|e| e.to_string())?;
     println!(
         "minimize {}: verdict `{}` preserved over {} reclassification(s)",

@@ -209,6 +209,92 @@ fn minimize_shrinks_a_padded_fig1a_spec() {
 }
 
 #[test]
+fn classify_with_por_keeps_the_verdict_and_reports_the_split() {
+    let (stdout, _, ok) = run(&["classify", "fig1a", "--por"]);
+    assert!(ok);
+    assert!(stdout.contains("persistent oscillation"), "{stdout}");
+    assert!(stdout.contains("por:"), "{stdout}");
+    assert!(stdout.contains("ample branch"), "{stdout}");
+}
+
+#[test]
+fn reflection_only_flags_warn_on_confed_specs() {
+    use ibgp_hunt::{generate_spec, Family};
+    let dir = temp_dir("warnflags");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = generate_spec(Family::Confed, 1, 0);
+    let path = dir.join("confed.ibgp");
+    std::fs::write(&path, ibgp_hunt::print(&spec)).unwrap();
+    let path = path.to_string_lossy().into_owned();
+
+    // classify: one warning per dropped flag, nothing silent.
+    let (_, stderr, ok) = run(&[
+        "classify",
+        &path,
+        "--jobs",
+        "2",
+        "--symmetry",
+        "--por",
+        "--max-bytes",
+        "1048576",
+    ]);
+    assert!(ok, "{stderr}");
+    for flag in ["--jobs", "--symmetry", "--por", "--max-bytes"] {
+        assert!(
+            stderr.contains(&format!("warning: {flag} is ignored for confed scenarios")),
+            "missing warning for {flag} in:\n{stderr}"
+        );
+    }
+
+    // run <file> shares the classify path and its warnings.
+    let (_, stderr, ok) = run(&["run", &path, "--symmetry"]);
+    assert!(ok);
+    assert!(
+        stderr.contains("warning: --symmetry is ignored for confed scenarios"),
+        "{stderr}"
+    );
+
+    // minimize warns before reclassifying.
+    let (_, stderr, ok) = run(&["minimize", &path, "--por"]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stderr.contains("warning: --por is ignored for confed scenarios"),
+        "{stderr}"
+    );
+
+    // hunt warns per selected non-reflection family.
+    let out = dir.join("hunt-out");
+    let (_, stderr, ok) = run(&[
+        "hunt",
+        "--budget",
+        "1",
+        "--families",
+        "confed",
+        "--por",
+        "--out",
+        &out.to_string_lossy(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stderr.contains("warning: --por is ignored for confed scenarios"),
+        "{stderr}"
+    );
+
+    // The same flags on a reflection spec are honored, not warned about.
+    let (_, stderr, ok) = run(&[
+        "classify",
+        &golden("fig1a"),
+        "--jobs",
+        "2",
+        "--symmetry",
+        "--por",
+    ]);
+    assert!(ok);
+    assert!(!stderr.contains("warning"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bad_spec_file_reports_line_numbers() {
     let dir = temp_dir("badspec");
     std::fs::create_dir_all(&dir).unwrap();

@@ -14,6 +14,11 @@ pub struct ConfedReachability {
     pub states: usize,
     /// Whether the whole reachable space fit under the cap.
     pub complete: bool,
+    /// The state cap that stopped the search, when one actually did.
+    /// `None` for a complete search — consumers must not infer a cap
+    /// from `complete` alone, since future stop reasons (memory, time)
+    /// would silently be misreported as cap hits.
+    pub cap: Option<usize>,
     /// Distinct stable best-exit vectors found.
     pub stable_vectors: Vec<Vec<Option<ExitPathId>>>,
 }
@@ -92,6 +97,7 @@ pub fn explore_confed(
                     return ConfedReachability {
                         states,
                         complete: false,
+                        cap: Some(max_states),
                         stable_vectors,
                     };
                 }
@@ -103,6 +109,7 @@ pub fn explore_confed(
     ConfedReachability {
         states,
         complete: true,
+        cap: None,
         stable_vectors,
     }
 }
@@ -134,6 +141,7 @@ mod tests {
         );
         let reach = explore_confed(&topo, ConfedMode::SingleBest, vec![exit], 10_000);
         assert!(reach.complete);
+        assert_eq!(reach.cap, None, "complete searches report no cap");
         assert!(reach.can_converge());
         assert_eq!(reach.stable_vectors.len(), 1);
         assert!(!reach.persistent_oscillation());
@@ -153,6 +161,7 @@ mod tests {
         );
         let reach = explore_confed(&topo, ConfedMode::SingleBest, vec![exit], 1);
         assert!(!reach.complete);
+        assert_eq!(reach.cap, Some(1), "capped searches name the cap that hit");
         assert!(!reach.persistent_oscillation());
     }
 }

@@ -13,6 +13,11 @@ pub struct HierReachability {
     pub states: usize,
     /// Whether the reachable space fit under the cap.
     pub complete: bool,
+    /// The state cap that stopped the search, when one actually did.
+    /// `None` for a complete search — consumers must not infer a cap
+    /// from `complete` alone, since future stop reasons (memory, time)
+    /// would silently be misreported as cap hits.
+    pub cap: Option<usize>,
     /// Distinct stable best-exit vectors.
     pub stable_vectors: Vec<Vec<Option<ExitPathId>>>,
 }
@@ -90,6 +95,7 @@ pub fn explore_hier(
                     return HierReachability {
                         states,
                         complete: false,
+                        cap: Some(max_states),
                         stable_vectors,
                     };
                 }
@@ -100,6 +106,7 @@ pub fn explore_hier(
     HierReachability {
         states,
         complete: true,
+        cap: None,
         stable_vectors,
     }
 }
@@ -127,6 +134,7 @@ mod tests {
         );
         let reach = explore_hier(&topo, HierMode::SingleBest, vec![exit], 10_000);
         assert!(reach.complete);
+        assert_eq!(reach.cap, None, "complete searches report no cap");
         assert_eq!(reach.stable_vectors.len(), 1);
         assert!(!reach.persistent_oscillation());
     }

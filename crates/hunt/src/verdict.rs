@@ -38,6 +38,11 @@ pub struct HuntOptions {
     /// committed corpus); the switch exists for A/B measurement and the
     /// equivalence suites.
     pub flat: bool,
+    /// Prune each frontier state's branches to the invisible compound
+    /// ample step in the reflection search (exact partial-order
+    /// reduction; confed/hierarchy searches ignore this). Verdicts are
+    /// unchanged — only the number of states visited shrinks.
+    pub por: bool,
 }
 
 impl Default for HuntOptions {
@@ -48,6 +53,7 @@ impl Default for HuntOptions {
             symmetry: false,
             max_bytes: None,
             flat: true,
+            por: false,
         }
     }
 }
@@ -58,11 +64,37 @@ impl HuntOptions {
             .max_states(self.max_states)
             .jobs(self.jobs)
             .symmetry(self.symmetry)
-            .flat_encoding(self.flat);
+            .flat_encoding(self.flat)
+            .por(self.por);
         match self.max_bytes {
             Some(b) => opts.max_bytes(b),
             None => opts,
         }
+    }
+
+    /// The knobs only the instrumented flat-reflection search honors,
+    /// listed by their command-line spelling when set to a non-default
+    /// value. The dedicated confed/hierarchy searches ignore every one
+    /// of these; callers routing a spec to those searches should warn
+    /// per entry instead of silently dropping the flag.
+    pub fn reflection_only_flags(&self) -> Vec<&'static str> {
+        let mut set = Vec::new();
+        if self.jobs != 0 {
+            set.push("--jobs");
+        }
+        if self.symmetry {
+            set.push("--symmetry");
+        }
+        if self.por {
+            set.push("--por");
+        }
+        if self.max_bytes.is_some() {
+            set.push("--max-bytes");
+        }
+        if !self.flat {
+            set.push("the legacy state encoding");
+        }
+        set
     }
 }
 
@@ -109,21 +141,24 @@ impl Verdict {
 /// Derive the verdict taxonomy from plain search evidence (the
 /// confed/hierarchy searches, which have no all-at-once cycle probe — for
 /// them a unique stable outcome classifies as stable without the extra
-/// live-cycle check the flat path performs).
+/// live-cycle check the flat path performs). The stop reason (`cap`)
+/// comes from the search itself, never inferred from `!complete`: an
+/// incomplete search that stopped for some other reason must not be
+/// reported as cap-stopped.
 fn from_search(
     states: usize,
     complete: bool,
     stable_vectors: Vec<Vec<Option<ExitPathId>>>,
-    max_states: usize,
+    cap: Option<usize>,
 ) -> Verdict {
-    let (class, cap) = if !complete {
-        (OscillationClass::Unknown, Some(max_states))
+    let class = if !complete {
+        OscillationClass::Unknown
     } else if stable_vectors.is_empty() {
-        (OscillationClass::Persistent, None)
+        OscillationClass::Persistent
     } else if stable_vectors.len() > 1 {
-        (OscillationClass::Transient, None)
+        OscillationClass::Transient
     } else {
-        (OscillationClass::Stable, None)
+        OscillationClass::Stable
     };
     Verdict {
         class,
@@ -163,12 +198,7 @@ pub fn classify_spec(spec: &ScenarioSpec, opts: &HuntOptions) -> Result<Verdict,
             exits,
         } => {
             let r = explore_confed(&topology, mode, exits, opts.max_states);
-            Ok(from_search(
-                r.states,
-                r.complete,
-                r.stable_vectors,
-                opts.max_states,
-            ))
+            Ok(from_search(r.states, r.complete, r.stable_vectors, r.cap))
         }
         Built::Hierarchy {
             topology,
@@ -176,12 +206,7 @@ pub fn classify_spec(spec: &ScenarioSpec, opts: &HuntOptions) -> Result<Verdict,
             exits,
         } => {
             let r = explore_hier(&topology, mode, exits, opts.max_states);
-            Ok(from_search(
-                r.states,
-                r.complete,
-                r.stable_vectors,
-                opts.max_states,
-            ))
+            Ok(from_search(r.states, r.complete, r.stable_vectors, r.cap))
         }
     }
 }
@@ -249,6 +274,71 @@ mod tests {
         assert_eq!(v.class, OscillationClass::Stable);
         assert!(v.complete);
         assert!(v.metrics.is_none());
+    }
+
+    #[test]
+    fn confed_capped_search_reports_the_cap_that_hit() {
+        let spec = ScenarioSpec {
+            name: "c".into(),
+            routers: 4,
+            links: vec![(0, 1, 1), (1, 2, 1), (2, 3, 1)],
+            kind: SpecKind::Confed(ConfedSpec {
+                sub_as: vec![vec![0, 1], vec![2, 3]],
+                confed_links: vec![(1, 2)],
+                mode: ConfedMode::SingleBest,
+            }),
+            exits: vec![ExitSpec::new(1, 0, 1), ExitSpec::new(2, 3, 1)],
+        };
+        let opts = HuntOptions {
+            max_states: 1,
+            ..HuntOptions::default()
+        };
+        let v = classify_spec(&spec, &opts).unwrap();
+        assert!(v.is_inconclusive());
+        assert!(!v.complete);
+        assert_eq!(v.cap, Some(1), "the cap the search hit, from the search");
+    }
+
+    #[test]
+    fn reflection_only_flags_lists_each_dropped_knob() {
+        assert!(HuntOptions::default().reflection_only_flags().is_empty());
+        let opts = HuntOptions {
+            jobs: 4,
+            symmetry: true,
+            por: true,
+            max_bytes: Some(1 << 20),
+            flat: false,
+            ..HuntOptions::default()
+        };
+        assert_eq!(
+            opts.reflection_only_flags(),
+            vec![
+                "--jobs",
+                "--symmetry",
+                "--por",
+                "--max-bytes",
+                "the legacy state encoding",
+            ]
+        );
+        // One flag alone is reported alone.
+        let opts = HuntOptions {
+            symmetry: true,
+            ..HuntOptions::default()
+        };
+        assert_eq!(opts.reflection_only_flags(), vec!["--symmetry"]);
+    }
+
+    #[test]
+    fn from_search_never_fabricates_a_cap() {
+        // An incomplete search that stopped for some reason other than the
+        // state cap (future: memory, time) must not be printed as capped.
+        let v = from_search(10, false, vec![], None);
+        assert!(v.is_inconclusive());
+        assert_eq!(v.cap, None);
+        // And a complete search carries no cap at all.
+        let v = from_search(10, true, vec![vec![None]], None);
+        assert_eq!(v.class, OscillationClass::Stable);
+        assert_eq!(v.cap, None);
     }
 
     #[test]

@@ -84,6 +84,74 @@ fn padded_fig1a_shrinks_back_to_the_core() {
     );
 }
 
+/// A baseline stopped by the memory budget (not the state cap) is just
+/// as inconclusive as a capped one: there is no verdict to preserve, so
+/// the spec must come back untouched — and the verdict must say the
+/// *byte budget* stopped it, not fabricate a cap.
+#[test]
+fn memory_stopped_baselines_come_back_unchanged() {
+    let spec = fig("fig13");
+    let tight = HuntOptions {
+        max_bytes: Some(64),
+        ..opts()
+    };
+    let out = minimize(&spec, &tight).unwrap();
+    assert_eq!(out.spec, spec, "no reduction may be attempted");
+    assert_eq!(out.verdict.class, OscillationClass::Unknown);
+    assert_eq!(
+        out.verdict.memory,
+        Some(64),
+        "the byte budget is the recorded stop reason"
+    );
+    assert_eq!(out.verdict.cap, None, "no state cap was hit");
+    assert_eq!(
+        out.removed_routers + out.removed_sessions + out.removed_exits,
+        0
+    );
+    assert_eq!(out.reclassifications, 1, "only the baseline was classified");
+}
+
+/// A candidate whose re-classification goes inconclusive mid-run is
+/// skipped, never accepted. Fig 3 is the committed instance: 42 reachable
+/// states (stable), and removing its first exit *grows* the space to 63
+/// states — the dropped route was damping the interleavings — so under a
+/// 50-state cap that shrunken candidate's search caps out with an Unknown
+/// verdict. The minimizer must pass over such candidates and still emit a
+/// completely-searched, verdict-preserving result.
+#[test]
+fn inconclusive_candidates_are_skipped_not_accepted() {
+    let spec = fig("fig3");
+    let capped = HuntOptions {
+        max_states: 50,
+        ..opts()
+    };
+    let baseline = classify_spec(&spec, &capped).unwrap();
+    assert_eq!(baseline.class, OscillationClass::Stable);
+    assert!(baseline.complete, "baseline fits under the 50-state cap");
+
+    // The precondition this test rests on: dropping exit 0 pushes the
+    // reachable space past the cap, so that candidate is inconclusive.
+    let mut grown = spec.clone();
+    grown.exits.remove(0);
+    let v = classify_spec(&grown, &capped).unwrap();
+    assert!(
+        v.is_inconclusive(),
+        "exit-0 removal must cap out, got {:?} in {} states",
+        v.class,
+        v.states
+    );
+
+    let out = minimize(&spec, &capped).unwrap();
+    assert_eq!(out.verdict.class, OscillationClass::Stable);
+    assert!(
+        out.verdict.complete,
+        "an accepted candidate was never inconclusive"
+    );
+    let recheck = classify_spec(&out.spec, &capped).unwrap();
+    assert_eq!(recheck.class, OscillationClass::Stable);
+    assert!(recheck.complete);
+}
+
 #[test]
 fn emitted_specimens_classify_like_their_parent() {
     // Re-check the minimizer's invariant from the outside, on a spec

@@ -69,6 +69,15 @@ pub struct Metrics {
     /// Memory-bounded exploration: peak accounted byte footprint of the
     /// visited set (an estimate, not an allocator measurement).
     pub visited_bytes: u64,
+    /// Partial-order reduction: frontier states expanded through the
+    /// pruned compound ample branch (0 when POR was not requested).
+    #[serde(default)]
+    pub por_ample: u64,
+    /// Partial-order reduction: frontier states that fell back to full
+    /// branch expansion because no activation's invisibility could be
+    /// proven (0 when POR was not requested).
+    #[serde(default)]
+    pub por_full: u64,
 }
 
 impl Metrics {
@@ -103,6 +112,8 @@ impl Metrics {
         self.orbit_states += other.orbit_states;
         self.digest_collisions += other.digest_collisions;
         self.compactions += other.compactions;
+        self.por_ample += other.por_ample;
+        self.por_full += other.por_full;
         self.frontier_depth = self.frontier_depth.max(other.frontier_depth);
         self.peak_queue = self.peak_queue.max(other.peak_queue);
         self.peak_shard = self.peak_shard.max(other.peak_shard);

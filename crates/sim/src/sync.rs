@@ -739,6 +739,68 @@ impl<'a> SyncEngine<'a> {
         FlatKey::new(words.into_boxed_slice())
     }
 
+    /// The ample activation set for exact partial-order reduction: every
+    /// *enabled* router (planned row differs from its current row) whose
+    /// activation leaves all of its transfer-filtered outgoing
+    /// advertisements unchanged, in ascending id order.
+    ///
+    /// A node's update is a pure function of its own `MyExits` and its
+    /// I-BGP peers' transfer-filtered advertised sets (see the memo-key
+    /// derivation in `memo_key_into` and the session graph in
+    /// `ibgp_topology::IbgpTopology`), so such an activation is
+    /// *invisible*: it rewrites only the mover's private components
+    /// (`possible`, `learnedFrom`, `best`) and no other router's next
+    /// update can read the difference. Invisible activations therefore
+    /// commute with every transition — other singletons *and* the
+    /// full-set simultaneous exchange — and activating all of them at
+    /// once reaches exactly the state any interleaving of them reaches.
+    ///
+    /// Exactness of pruning to this one compound branch (the ample step):
+    ///
+    /// * **Fixed points are preserved.** For any configuration `d`
+    ///   reachable from the current state, the same activation sequence
+    ///   from the ample successor reaches a state differing from `d` only
+    ///   in not-yet-reapplied invisible rows with identical outgoing sets;
+    ///   if `d` is a fixed point, activating those routers (each a real
+    ///   singleton branch) lands exactly on `d`. So the set of reachable
+    ///   stable best-exit vectors — the search's verdict evidence — is
+    ///   unchanged.
+    /// * **The cycle proviso (C3) is discharged structurally.** An
+    ///   invisible activation changes no update input, so the step plan is
+    ///   unchanged across the ample step and every member of the ample set
+    ///   becomes disabled in the successor: the successor's ample set is
+    ///   empty and it expands fully. Ample edges can never chain, let
+    ///   alone close a cycle, so no action is postponed forever and
+    ///   persistent-oscillation detection stays sound.
+    ///
+    /// Returns `None` when no enabled activation's invisibility can be
+    /// proven — the caller must then expand every branch (the
+    /// conservative fallback). Visible activations get no ample treatment
+    /// at all: the full-set simultaneous branch is dependent on every
+    /// visible mover, so no proper subset containing one is persistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` came from a different engine/state (row count
+    /// mismatch).
+    pub fn ample_set(&self, plan: &StepPlan) -> Option<Vec<RouterId>> {
+        assert_eq!(plan.rows.len(), self.nodes.len(), "foreign step plan");
+        let mut ample = Vec::new();
+        for (i, (new, old)) in plan.rows.iter().zip(&self.nodes).enumerate() {
+            if Arc::ptr_eq(new, old) || new.key() == old.key() {
+                continue; // disabled: activating this router is a no-op
+            }
+            if new.outgoing == old.outgoing {
+                ample.push(RouterId::new(i as u32));
+            }
+        }
+        if ample.is_empty() {
+            None
+        } else {
+            Some(ample)
+        }
+    }
+
     /// The successor snapshot activating `set` would produce — the state
     /// [`SyncEngine::branch_key`] keyed. O(n) `Arc` clones; the live
     /// configuration is untouched. Carries no metrics accounting (pair

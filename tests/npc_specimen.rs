@@ -1,0 +1,32 @@
+//! The committed `npc-1var` corpus specimen is exactly the §5 reduction
+//! of the one-variable, one-clause formula `{x}` — pinned byte-for-byte
+//! so neither the reduction nor the `.ibgp` printer can drift away from
+//! the file the POR golden suite classifies.
+
+use ibgp::hunt::spec::ScenarioSpec;
+use ibgp::npc::{reduce, Clause, Formula, Lit};
+use ibgp::{ProtocolVariant, Scenario};
+
+#[test]
+fn npc_1var_specimen_is_the_printed_reduction_of_x() {
+    let formula = Formula::new(1, vec![Clause(vec![Lit::pos(0)])]).unwrap();
+    let sr = reduce(&formula);
+    let scenario = Scenario {
+        name: "npc-1var",
+        description: "§5 SR_J reduction of the satisfiable formula {x}",
+        topology: sr.topology,
+        exits: sr.exits,
+    };
+    let spec = ScenarioSpec::from_scenario(&scenario, ProtocolVariant::Standard);
+    let printed = ibgp::hunt::print(&spec);
+
+    let path = format!(
+        "{}/corpus/specimens/npc-1var.ibgp",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    assert_eq!(
+        printed, committed,
+        "corpus/specimens/npc-1var.ibgp drifted from the §5 reduction"
+    );
+}
