@@ -39,7 +39,7 @@ impl fmt::Display for OscillationClass {
             OscillationClass::Persistent => "persistent oscillation",
             OscillationClass::Transient => "transient oscillation possible",
             OscillationClass::Stable => "stable",
-            OscillationClass::Unknown => "unknown (search capped)",
+            OscillationClass::Unknown => "unknown (inconclusive search)",
         };
         f.write_str(s)
     }
@@ -142,7 +142,13 @@ mod tests {
         let opts = ExploreOptions::new().max_states(2);
         let (class, reach) = classify(&topo, ProtocolConfig::STANDARD, &exits, opts);
         assert_eq!(class, OscillationClass::Unknown);
-        assert_eq!(class.to_string(), "unknown (search capped)");
-        assert_eq!(reach.cap, Some(2), "the cap that stopped the search");
+        // The class says only that the search was inconclusive; the
+        // specific reason lives in the stop reason, not the class.
+        assert_eq!(class.to_string(), "unknown (inconclusive search)");
+        assert_eq!(
+            reach.stop,
+            ibgp_types::StopReason::StateCap(2),
+            "the cap that stopped the search"
+        );
     }
 }

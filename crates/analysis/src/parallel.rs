@@ -98,7 +98,7 @@ use ibgp_proto::variants::ProtocolConfig;
 use ibgp_sim::signature::StateKey;
 use ibgp_sim::{FlatKey, Metrics, StateCodec, SyncEngine, SyncSnapshot};
 use ibgp_topology::Topology;
-use ibgp_types::{ExitPathId, ExitPathRef, RouterId};
+use ibgp_types::{ExitPathId, ExitPathRef, RouterId, StopReason};
 use std::collections::{HashMap, HashSet};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -512,8 +512,9 @@ enum WorkerMsg<K> {
 struct Progress {
     stable_vectors: Vec<Vec<Option<ExitPathId>>>,
     states: usize,
-    cap: Option<usize>,
-    memory: Option<usize>,
+    /// Why the search ended ([`StopReason::Complete`] unless a budget
+    /// actually stopped it — never inferred from incompleteness).
+    stop: StopReason,
     /// The tie-soundness guard fired: discard everything and rerun
     /// without symmetry.
     unsound: bool,
@@ -540,6 +541,7 @@ struct Progress {
 struct DriveStart {
     max_states: usize,
     max_bytes: Option<usize>,
+    deadline: Option<Instant>,
     /// Accounted bytes of the initial state's visited entry.
     initial_bytes: usize,
     /// Orbit size of the initial state (1 without symmetry).
@@ -572,14 +574,14 @@ fn drive<S: Scheme>(
     let DriveStart {
         max_states,
         max_bytes,
+        deadline,
         initial_bytes,
         initial_orbit,
     } = start;
     let mut p = Progress {
         stable_vectors: Vec::new(),
         states: 1,
-        cap: None,
-        memory: None,
+        stop: StopReason::Complete,
         unsound: false,
         frontier_depth: 0,
         peak_queue: 1,
@@ -599,13 +601,22 @@ fn drive<S: Scheme>(
             p.bytes = owned(visited).compact();
             p.compactions += 1;
             if p.bytes > budget {
-                p.memory = Some(budget);
+                p.stop = StopReason::MemoryBudget(budget);
                 return p;
             }
         }
     }
     let mut depth = 0u64;
     'levels: while !frontier.is_empty() {
+        // Deadline check sits at the level boundary: every state of a
+        // level either all expands or none does, which keeps the stop
+        // point coarse but the visited prefix well-defined — and makes
+        // an already-expired deadline stop before the first expansion,
+        // deterministically.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            p.stop = StopReason::Deadline;
+            break 'levels;
+        }
         p.units += frontier.len() as u64;
         let outcomes = expand(std::mem::take(&mut frontier), visited);
         // Soundness scan first: whether any unit flagged is a pure
@@ -648,7 +659,7 @@ fn drive<S: Scheme>(
                                 p.bytes += bytes;
                                 p.peak_bytes = p.peak_bytes.max(p.bytes);
                                 if p.states > max_states {
-                                    p.cap = Some(max_states);
+                                    p.stop = StopReason::StateCap(max_states);
                                     break 'levels;
                                 }
                                 if let Some(budget) = max_bytes {
@@ -658,7 +669,7 @@ fn drive<S: Scheme>(
                                         p.peak_bytes = p.peak_bytes.max(p.bytes);
                                     }
                                     if p.bytes > budget {
-                                        p.memory = Some(budget);
+                                        p.stop = StopReason::MemoryBudget(budget);
                                         break 'levels;
                                     }
                                 }
@@ -713,6 +724,7 @@ fn run_search<S: Scheme>(
             DriveStart {
                 max_states: options.max_states,
                 max_bytes: options.max_bytes,
+                deadline: options.deadline,
                 initial_bytes: init_bytes,
                 initial_orbit: init_orbit,
             },
@@ -778,6 +790,7 @@ fn run_search<S: Scheme>(
                 DriveStart {
                     max_states: options.max_states,
                     max_bytes: options.max_bytes,
+                    deadline: options.deadline,
                     initial_bytes: init_bytes,
                     initial_orbit: init_orbit,
                 },
@@ -960,10 +973,9 @@ fn search_inner(
 
     Reachability {
         states: progress.states,
-        complete: progress.cap.is_none() && progress.memory.is_none(),
+        complete: progress.stop.is_complete(),
         stable_vectors,
-        cap: progress.cap,
-        memory: progress.memory,
+        stop: progress.stop,
         metrics,
     }
 }

@@ -21,7 +21,8 @@
 use ibgp_proto::variants::ProtocolConfig;
 use ibgp_sim::Metrics;
 use ibgp_topology::Topology;
-use ibgp_types::{ExitPathId, ExitPathRef};
+use ibgp_types::{ExitPathId, ExitPathRef, StopReason};
+use std::time::Instant;
 
 /// Options for [`explore`], builder-style.
 ///
@@ -38,6 +39,7 @@ pub struct ExploreOptions {
     pub(crate) max_bytes: Option<usize>,
     pub(crate) flat: bool,
     pub(crate) por: bool,
+    pub(crate) deadline: Option<Instant>,
 }
 
 /// Ceiling on auto-selected workers (`jobs = 0`). Search levels on the
@@ -57,6 +59,7 @@ impl Default for ExploreOptions {
             max_bytes: None,
             flat: true,
             por: false,
+            deadline: None,
         }
     }
 }
@@ -153,6 +156,16 @@ impl ExploreOptions {
         self
     }
 
+    /// Stop the search once this wall-clock instant passes, reporting
+    /// [`StopReason::Deadline`]. The deadline is checked between BFS
+    /// levels, so an already-expired deadline stops deterministically
+    /// after visiting only the initial state. `None` (the default) means
+    /// no deadline.
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Resolve `jobs = 0` to the available hardware parallelism, capped
     /// at [`MAX_AUTO_JOBS`].
     pub(crate) fn effective_jobs(&self) -> usize {
@@ -177,16 +190,12 @@ pub struct Reachability {
     /// Distinct stable routing configurations found, as best-exit
     /// vectors, in canonical (sorted) order.
     pub stable_vectors: Vec<Vec<Option<ExitPathId>>>,
-    /// The state cap that stopped the search, when one did (`None` for a
-    /// complete exploration). Lets callers report *why* a search was
-    /// inconclusive rather than conflating "cap hit" with a bare
-    /// non-answer.
-    pub cap: Option<usize>,
-    /// The byte budget that stopped the search, when one did (`None`
-    /// unless [`ExploreOptions::max_bytes`] was set and even the
-    /// digest-compacted visited set outgrew it). A memory-stopped search
-    /// is incomplete, like a capped one.
-    pub memory: Option<usize>,
+    /// Why the search ended. [`StopReason::Complete`] iff [`Self::complete`];
+    /// every other reason (state cap, byte budget, deadline) means the
+    /// exploration was truncated and absence results are inconclusive.
+    /// The reason always comes from the search itself, never inferred
+    /// from incompleteness.
+    pub stop: StopReason,
     /// Search observability: engine counters (incl. update-cache hits and
     /// misses) plus states visited, wall-clock time, frontier depth, peak
     /// frontier size, and the parallel gauges (workers, handoffs, peak
@@ -210,12 +219,24 @@ impl Reachability {
 
     /// Whether the search was stopped by its state cap.
     pub fn capped(&self) -> bool {
-        self.cap.is_some()
+        matches!(self.stop, StopReason::StateCap(_))
     }
 
     /// Whether the search was stopped by its memory budget.
     pub fn memory_exhausted(&self) -> bool {
-        self.memory.is_some()
+        matches!(self.stop, StopReason::MemoryBudget(_))
+    }
+
+    /// The state cap that stopped the search, when one did.
+    #[deprecated(note = "read the `stop` field (`StopReason`) instead")]
+    pub fn cap(&self) -> Option<usize> {
+        self.stop.state_cap()
+    }
+
+    /// The byte budget that stopped the search, when one did.
+    #[deprecated(note = "read the `stop` field (`StopReason`) instead")]
+    pub fn memory(&self) -> Option<usize> {
+        self.stop.memory_budget()
     }
 }
 
@@ -331,7 +352,7 @@ mod tests {
         );
         assert!(!r.complete);
         assert!(r.capped());
-        assert_eq!(r.cap, Some(3));
+        assert_eq!(r.stop, StopReason::StateCap(3));
         assert!(
             !r.persistent_oscillation(),
             "incomplete search proves nothing"
@@ -419,7 +440,7 @@ mod tests {
             assert_eq!(par.states, base.states, "jobs={jobs}");
             assert_eq!(par.complete, base.complete, "jobs={jobs}");
             assert_eq!(par.stable_vectors, base.stable_vectors, "jobs={jobs}");
-            assert_eq!(par.cap, base.cap, "jobs={jobs}");
+            assert_eq!(par.stop, base.stop, "jobs={jobs}");
             assert_eq!(par.metrics.workers, jobs as u64);
             assert!(par.metrics.handoffs > 0, "pool path must hand units off");
             // Engine-side counters are sums over the same deterministic
@@ -466,7 +487,7 @@ mod tests {
             assert_eq!(flat.states, legacy.states);
             assert_eq!(flat.complete, legacy.complete);
             assert_eq!(flat.stable_vectors, legacy.stable_vectors);
-            assert_eq!(flat.cap, legacy.cap);
+            assert_eq!(flat.stop, legacy.stop);
             assert_eq!(flat.metrics.activations, legacy.metrics.activations);
             assert_eq!(flat.metrics.messages, legacy.metrics.messages);
             assert_eq!(
@@ -500,7 +521,7 @@ mod tests {
                 );
                 assert_eq!(par.states, base.states, "cap={cap} jobs={jobs}");
                 assert_eq!(par.complete, base.complete, "cap={cap} jobs={jobs}");
-                assert_eq!(par.cap, base.cap, "cap={cap} jobs={jobs}");
+                assert_eq!(par.stop, base.stop, "cap={cap} jobs={jobs}");
                 assert_eq!(
                     par.stable_vectors, base.stable_vectors,
                     "cap={cap} jobs={jobs}"

@@ -24,7 +24,11 @@ use common::{build_exits, build_topology};
 fn assert_observably_equal(flat: &Reachability, legacy: &Reachability, label: &str) {
     assert_eq!(flat.states, legacy.states, "{label}: states");
     assert_eq!(flat.complete, legacy.complete, "{label}: complete");
-    assert_eq!(flat.cap, legacy.cap, "{label}: cap");
+    assert_eq!(
+        flat.stop.state_cap(),
+        legacy.stop.state_cap(),
+        "{label}: cap"
+    );
     assert_eq!(
         flat.stable_vectors, legacy.stable_vectors,
         "{label}: stable vectors"

@@ -53,13 +53,13 @@ proptest! {
         let mut sorted = sequential.stable_vectors.clone();
         sorted.sort();
         prop_assert_eq!(&sorted, &sequential.stable_vectors);
-        prop_assert_eq!(sequential.complete, sequential.cap.is_none());
+        prop_assert_eq!(sequential.complete, sequential.stop.state_cap().is_none());
 
         for jobs in [2usize, 8] {
             let parallel = explore(&topo, config, exits.clone(), opts(jobs));
             prop_assert_eq!(parallel.states, sequential.states, "jobs={}", jobs);
             prop_assert_eq!(parallel.complete, sequential.complete, "jobs={}", jobs);
-            prop_assert_eq!(parallel.cap, sequential.cap, "jobs={}", jobs);
+            prop_assert_eq!(parallel.stop.state_cap(), sequential.stop.state_cap(), "jobs={}", jobs);
             prop_assert_eq!(
                 &parallel.stable_vectors, &sequential.stable_vectors,
                 "jobs={}", jobs
@@ -115,19 +115,19 @@ proptest! {
         let sym8 = explore(&topo, config, exits.clone(), opts(8, true));
         prop_assert_eq!(sym8.states, sym.states);
         prop_assert_eq!(sym8.complete, sym.complete);
-        prop_assert_eq!(sym8.cap, sym.cap);
-        prop_assert_eq!(sym8.memory, sym.memory);
+        prop_assert_eq!(sym8.stop.state_cap(), sym.stop.state_cap());
+        prop_assert_eq!(sym8.stop.memory_budget(), sym.stop.memory_budget());
         prop_assert_eq!(&sym8.stable_vectors, &sym.stable_vectors);
 
         // Orbit collapse can only shrink the visited set, so a capped
         // symmetric search implies a capped plain search.
         prop_assert!(sym.states <= plain.states);
-        if sym.cap.is_some() {
-            prop_assert!(plain.cap.is_some());
+        if sym.stop.state_cap().is_some() {
+            prop_assert!(plain.stop.state_cap().is_some());
         }
         // No byte budget was set, so memory never stops either search.
-        prop_assert_eq!(sym.memory, None);
-        prop_assert_eq!(plain.memory, None);
+        prop_assert_eq!(sym.stop.memory_budget(), None);
+        prop_assert_eq!(plain.stop.memory_budget(), None);
         prop_assert!(sym.metrics.reduction_factor() >= 1.0);
         if sym.complete && plain.complete {
             // The representatives stand for exactly the plain state set.
@@ -176,15 +176,15 @@ proptest! {
                 .max_bytes(budget)
         };
         let bounded = explore(&topo, config, exits.clone(), opts(1));
-        prop_assert_eq!(bounded.complete, bounded.memory.is_none());
-        if bounded.memory.is_some() {
-            prop_assert_eq!(bounded.memory, Some(budget));
+        prop_assert_eq!(bounded.complete, bounded.stop.memory_budget().is_none());
+        if bounded.stop.memory_budget().is_some() {
+            prop_assert_eq!(bounded.stop.memory_budget(), Some(budget));
             prop_assert!(bounded.metrics.compactions >= 1);
         }
         for jobs in [2usize, 8] {
             let parallel = explore(&topo, config, exits.clone(), opts(jobs));
             prop_assert_eq!(parallel.states, bounded.states, "jobs={}", jobs);
-            prop_assert_eq!(parallel.memory, bounded.memory, "jobs={}", jobs);
+            prop_assert_eq!(parallel.stop.memory_budget(), bounded.stop.memory_budget(), "jobs={}", jobs);
             prop_assert_eq!(parallel.complete, bounded.complete, "jobs={}", jobs);
             prop_assert_eq!(
                 &parallel.stable_vectors, &bounded.stable_vectors,

@@ -65,7 +65,7 @@ proptest! {
             let par = explore(&topo, config, exits.clone(), opts(true, jobs));
             prop_assert_eq!(par.states, on.states, "jobs={}", jobs);
             prop_assert_eq!(par.complete, on.complete, "jobs={}", jobs);
-            prop_assert_eq!(par.cap, on.cap, "jobs={}", jobs);
+            prop_assert_eq!(par.stop.state_cap(), on.stop.state_cap(), "jobs={}", jobs);
             prop_assert_eq!(&par.stable_vectors, &on.stable_vectors, "jobs={}", jobs);
             prop_assert_eq!(par.metrics.por_ample, on.metrics.por_ample, "jobs={}", jobs);
             prop_assert_eq!(par.metrics.por_full, on.metrics.por_full, "jobs={}", jobs);
@@ -73,10 +73,10 @@ proptest! {
 
         // Pruning only removes redundant interleavings.
         prop_assert!(on.states <= off.states);
-        if on.cap.is_some() {
-            prop_assert!(off.cap.is_some(), "POR capped where the full search finished");
+        if on.stop.state_cap().is_some() {
+            prop_assert!(off.stop.state_cap().is_some(), "POR capped where the full search finished");
         }
-        prop_assert_eq!(on.memory, None);
+        prop_assert_eq!(on.stop.memory_budget(), None);
         prop_assert_eq!(
             off.metrics.por_ample + off.metrics.por_full, 0,
             "the unpruned search must not consult the ample set"
@@ -130,7 +130,7 @@ proptest! {
         let both8 = explore(&topo, config, exits.clone(), opts(true, true, 8));
         prop_assert_eq!(both8.states, both.states);
         prop_assert_eq!(both8.complete, both.complete);
-        prop_assert_eq!(both8.cap, both.cap);
+        prop_assert_eq!(both8.stop.state_cap(), both.stop.state_cap());
         prop_assert_eq!(&both8.stable_vectors, &both.stable_vectors);
 
         prop_assert!(both.states <= plain.states);
@@ -172,14 +172,14 @@ proptest! {
                 .por(true)
         };
         let bounded = explore(&topo, config, exits.clone(), opts(1));
-        prop_assert_eq!(bounded.complete, bounded.memory.is_none());
-        if bounded.memory.is_some() {
-            prop_assert_eq!(bounded.memory, Some(budget));
+        prop_assert_eq!(bounded.complete, bounded.stop.memory_budget().is_none());
+        if bounded.stop.memory_budget().is_some() {
+            prop_assert_eq!(bounded.stop.memory_budget(), Some(budget));
         }
         for jobs in [2usize, 8] {
             let par = explore(&topo, config, exits.clone(), opts(jobs));
             prop_assert_eq!(par.states, bounded.states, "jobs={}", jobs);
-            prop_assert_eq!(par.memory, bounded.memory, "jobs={}", jobs);
+            prop_assert_eq!(par.stop.memory_budget(), bounded.stop.memory_budget(), "jobs={}", jobs);
             prop_assert_eq!(par.complete, bounded.complete, "jobs={}", jobs);
             prop_assert_eq!(&par.stable_vectors, &bounded.stable_vectors, "jobs={}", jobs);
         }

@@ -126,10 +126,14 @@ fn tiny_budget_stops_the_search_as_a_memory_verdict() {
         exits,
         ExploreOptions::new().max_bytes(64),
     );
-    assert_eq!(r.memory, Some(64));
+    assert_eq!(r.stop.memory_budget(), Some(64));
     assert!(r.memory_exhausted());
     assert!(!r.complete);
-    assert_eq!(r.cap, None, "stopped by memory, not the state cap");
+    assert_eq!(
+        r.stop.state_cap(),
+        None,
+        "stopped by memory, not the state cap"
+    );
     assert!(
         r.metrics.compactions >= 1,
         "budget breach must compact first"
@@ -154,7 +158,7 @@ fn sufficient_budget_compacts_without_collisions_and_keeps_the_result() {
     );
     assert_eq!(bounded.metrics.compactions, 1);
     assert_eq!(bounded.metrics.digest_collisions, 0);
-    assert_eq!(bounded.memory, None);
+    assert_eq!(bounded.stop.memory_budget(), None);
     assert!(bounded.complete);
     assert_eq!(bounded.states, unbounded.states);
     assert_eq!(bounded.stable_vectors, unbounded.stable_vectors);

@@ -7,9 +7,10 @@
 //! live in EXPERIMENTS.md; rerun with
 //! `cargo run --release -p ibgp-bench --bin por` to regenerate.
 
+use ibgp::analysis::classify;
 use ibgp::hunt::{classify_spec, generate_spec, HuntOptions, ScenarioSpec, ALL_FAMILIES};
 use ibgp::npc::{reduce, Clause, Formula, Lit};
-use ibgp::{classify, ExploreOptions, ProtocolConfig, ProtocolVariant};
+use ibgp::{ExploreOptions, ProtocolConfig, ProtocolVariant};
 
 /// Instances per hunt family (aggregated per row).
 const PER_FAMILY: u64 = 6;

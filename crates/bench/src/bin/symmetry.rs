@@ -5,9 +5,10 @@
 //! seed. The committed numbers live in EXPERIMENTS.md; rerun with
 //! `cargo run --release -p ibgp-bench --bin symmetry` to regenerate.
 
+use ibgp::analysis::classify;
 use ibgp::hunt::{classify_spec, generate_spec, HuntOptions, ScenarioSpec, ALL_FAMILIES};
 use ibgp::npc::{reduce, Clause, Formula, Lit};
-use ibgp::{classify, ExploreOptions, ProtocolConfig, ProtocolVariant};
+use ibgp::{ExploreOptions, ProtocolConfig, ProtocolVariant};
 
 /// Instances per hunt family (aggregated per row).
 const PER_FAMILY: u64 = 6;

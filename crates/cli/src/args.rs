@@ -19,6 +19,9 @@ commands:
   hunt                        seeded oscillation-hunting campaign into a corpus dir
   minimize <file>             delta-debug a .ibgp specimen, preserving its verdict
   corpus stats [dir]          summarize a corpus directory (default ./corpus)
+  serve                       classification daemon over a signature-keyed verdict store
+  batch <dir>                 classify every .ibgp under a directory through the store
+  submit <file>               send one .ibgp to a running `serve` daemon
 
 options:
   --variant standard|walton|modified   protocol (default standard)
@@ -29,11 +32,16 @@ options:
   --por                                partial-order reduction: prune provably
                                        commuting activation interleavings (exact)
   --max-bytes N                        visited-set byte budget (default unbounded)
+  --deadline-ms N                      per-search wall-clock deadline in milliseconds
   --steps N                            step budget (default 100000)
   --seed N                             hunt: campaign seed (default 1)
   --budget N                           hunt: topologies to generate (default 100)
-  --out PATH                           hunt: corpus dir (default ./corpus); minimize: output file
+  --out PATH                           hunt: corpus dir (default ./corpus);
+                                       minimize: output file; batch: report path
   --families a,b,...                   hunt: reflection,multi-reflector,hierarchy,confed,mesh
+  --addr HOST:PORT                     serve/submit: daemon address (default 127.0.0.1:8642)
+  --cache PATH                         serve/batch: verdict-store log (default: in-memory only)
+  --workers N                          serve/batch: concurrent searches, N >= 1 (default 1)
 
 formula syntax: clauses ';'-separated, literals ','-separated, negative
 numbers negate, variables numbered from 1: \"1,2,-3;-1,3,2\"";
@@ -56,6 +64,9 @@ pub struct SearchArgs {
     pub por: bool,
     /// `--max-bytes N`.
     pub max_bytes: Option<usize>,
+    /// `--deadline-ms N` — per-search wall-clock budget, converted to an
+    /// absolute deadline when the search starts.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for SearchArgs {
@@ -66,6 +77,7 @@ impl Default for SearchArgs {
             symmetry: false,
             por: false,
             max_bytes: None,
+            deadline_ms: None,
         }
     }
 }
@@ -119,6 +131,27 @@ pub enum Command {
     },
     /// `corpus stats [dir]`
     CorpusStats { dir: String },
+    /// `serve`
+    Serve {
+        addr: String,
+        cache: Option<String>,
+        workers: usize,
+        search: SearchArgs,
+    },
+    /// `batch <dir>`
+    Batch {
+        dir: String,
+        out: Option<String>,
+        cache: Option<String>,
+        workers: usize,
+        search: SearchArgs,
+    },
+    /// `submit <file>`
+    Submit {
+        file: String,
+        addr: String,
+        search: SearchArgs,
+    },
 }
 
 impl Command {
@@ -132,7 +165,10 @@ impl Command {
             | Command::Run { search, .. }
             | Command::Gallery { search }
             | Command::Hunt { search, .. }
-            | Command::Minimize { search, .. } => Some(search),
+            | Command::Minimize { search, .. }
+            | Command::Serve { search, .. }
+            | Command::Batch { search, .. }
+            | Command::Submit { search, .. } => Some(search),
             _ => None,
         }
     }
@@ -153,6 +189,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut budget = 100usize;
     let mut out: Option<String> = None;
     let mut families: Option<String> = None;
+    let mut addr: Option<String> = None;
+    let mut cache: Option<String> = None;
+    let mut workers = 1usize;
     let mut i = 0;
     while i < rest.len() {
         let a = rest[i].as_str();
@@ -216,10 +255,38 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         .map_err(|_| format!("invalid --max-bytes value `{v}`"))?,
                 );
             }
+            "--deadline-ms" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--deadline-ms needs a value")?;
+                search.deadline_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("invalid --deadline-ms value `{v}`"))?,
+                );
+            }
             "--out" => {
                 i += 1;
                 let v = rest.get(i).ok_or("--out needs a value")?;
                 out = Some(v.to_string());
+            }
+            "--addr" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--addr needs a value")?;
+                addr = Some(v.to_string());
+            }
+            "--cache" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--cache needs a value")?;
+                cache = Some(v.to_string());
+            }
+            "--workers" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--workers needs a value")?;
+                workers = v
+                    .parse()
+                    .map_err(|_| format!("invalid --workers value `{v}`"))?;
+                if workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
             }
             "--families" => {
                 i += 1;
@@ -291,6 +358,29 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "minimize" => Ok(Command::Minimize {
             file: one_positional(".ibgp file")?,
             out,
+            search,
+        }),
+        "serve" => {
+            if !positional.is_empty() {
+                return Err("`serve` takes no positional arguments".into());
+            }
+            Ok(Command::Serve {
+                addr: addr.unwrap_or_else(|| "127.0.0.1:8642".into()),
+                cache,
+                workers,
+                search,
+            })
+        }
+        "batch" => Ok(Command::Batch {
+            dir: one_positional("directory")?,
+            out,
+            cache,
+            workers,
+            search,
+        }),
+        "submit" => Ok(Command::Submit {
+            file: one_positional(".ibgp file")?,
+            addr: addr.unwrap_or_else(|| "127.0.0.1:8642".into()),
             search,
         }),
         "corpus" => match positional.as_slice() {
@@ -379,6 +469,7 @@ mod tests {
                     symmetry: true,
                     por: true,
                     max_bytes: Some(4096),
+                    deadline_ms: None,
                 },
             }
         );
@@ -404,13 +495,14 @@ mod tests {
     /// `--max-states` but not `--jobs`, or vice versa).
     #[test]
     fn every_search_verb_accepts_the_full_flag_matrix() {
-        let flags = "--jobs 3 --max-states 77 --symmetry --por --max-bytes 2048";
+        let flags = "--jobs 3 --max-states 77 --symmetry --por --max-bytes 2048 --deadline-ms 500";
         let expected = SearchArgs {
             max_states: 77,
             jobs: 3,
             symmetry: true,
             por: true,
             max_bytes: Some(2048),
+            deadline_ms: Some(500),
         };
         for verb in [
             "classify fig1a",
@@ -418,6 +510,9 @@ mod tests {
             "gallery",
             "hunt",
             "minimize a.ibgp",
+            "serve",
+            "batch corpus",
+            "submit a.ibgp",
         ] {
             let cmd = parse(&argv(&format!("{verb} {flags}")))
                 .unwrap_or_else(|e| panic!("`{verb}` must accept the search flags: {e}"));
@@ -433,6 +528,7 @@ mod tests {
                 "--symmetry",
                 "--por",
                 "--max-bytes 2048",
+                "--deadline-ms 500",
             ] {
                 assert!(
                     parse(&argv(&format!("{verb} {flag}"))).is_ok(),
@@ -455,6 +551,9 @@ mod tests {
             "gallery",
             "hunt",
             "minimize a.ibgp",
+            "serve",
+            "batch corpus",
+            "submit a.ibgp",
         ] {
             let err = parse(&argv(&format!("{verb} --jobs 0"))).unwrap_err();
             assert!(
@@ -462,6 +561,55 @@ mod tests {
                 "`{verb} --jobs 0` must explain the minimum, got: {err}"
             );
         }
+    }
+
+    #[test]
+    fn parses_serve_batch_and_submit() {
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:8642".into(),
+                cache: None,
+                workers: 1,
+                search: SearchArgs::default(),
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "serve --addr 127.0.0.1:9000 --cache /tmp/v.log --workers 4"
+            ))
+            .unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:9000".into(),
+                cache: Some("/tmp/v.log".into()),
+                workers: 4,
+                search: SearchArgs::default(),
+            }
+        );
+        assert!(parse(&argv("serve extra")).is_err());
+        assert!(parse(&argv("serve --workers 0")).is_err());
+        assert_eq!(
+            parse(&argv("batch corpus --out report.json --cache /tmp/v.log")).unwrap(),
+            Command::Batch {
+                dir: "corpus".into(),
+                out: Some("report.json".into()),
+                cache: Some("/tmp/v.log".into()),
+                workers: 1,
+                search: SearchArgs::default(),
+            }
+        );
+        assert!(parse(&argv("batch")).is_err());
+        assert_eq!(
+            parse(&argv("submit a.ibgp --addr 127.0.0.1:9000")).unwrap(),
+            Command::Submit {
+                file: "a.ibgp".into(),
+                addr: "127.0.0.1:9000".into(),
+                search: SearchArgs::default(),
+            }
+        );
+        assert!(parse(&argv("submit")).is_err());
+        assert!(parse(&argv("batch corpus --workers x")).is_err());
+        assert!(parse(&argv("classify fig1a --deadline-ms abc")).is_err());
     }
 
     #[test]

@@ -12,29 +12,28 @@ use std::path::Path;
 
 /// Search-option conversions live here (not in `args`) so the parser
 /// stays free of analysis-layer dependencies. `jobs = 0` is the parsed
-/// "auto" default; both option types resolve it downstream.
+/// "auto" default; both option types resolve it downstream. The one
+/// lowering is `SearchArgs -> HuntOptions`; the explorer's options come
+/// from hunt's own `From<&HuntOptions>` impl, so a new knob added there
+/// reaches every verb without touching this file.
 impl SearchArgs {
     fn hunt_options(&self) -> HuntOptions {
-        HuntOptions {
-            max_states: self.max_states,
-            jobs: self.jobs,
-            symmetry: self.symmetry,
-            por: self.por,
-            max_bytes: self.max_bytes,
-            ..HuntOptions::default()
-        }
-    }
-
-    fn explore_options(&self) -> ExploreOptions {
-        let opts = ExploreOptions::new()
+        let mut opts = HuntOptions::new()
             .max_states(self.max_states)
             .jobs(self.jobs)
             .symmetry(self.symmetry)
             .por(self.por);
-        match self.max_bytes {
-            Some(b) => opts.max_bytes(b),
-            None => opts,
+        if let Some(b) = self.max_bytes {
+            opts = opts.max_bytes(b);
         }
+        if let Some(ms) = self.deadline_ms {
+            opts = opts.deadline(std::time::Instant::now() + std::time::Duration::from_millis(ms));
+        }
+        opts
+    }
+
+    fn explore_options(&self) -> ExploreOptions {
+        ExploreOptions::from(&self.hunt_options())
     }
 }
 
@@ -84,7 +83,147 @@ pub fn run(cmd: Command) -> Result<(), String> {
         } => hunt(seed, budget, &out, families.as_deref(), search)?,
         Command::Minimize { file, out, search } => minimize_file(&file, out.as_deref(), search)?,
         Command::CorpusStats { dir } => corpus_stats(&dir)?,
+        Command::Serve {
+            addr,
+            cache,
+            workers,
+            search,
+        } => serve(&addr, cache.as_deref(), workers, search)?,
+        Command::Batch {
+            dir,
+            out,
+            cache,
+            workers,
+            search,
+        } => batch(&dir, out.as_deref(), cache.as_deref(), workers, search)?,
+        Command::Submit { file, addr, search } => submit(&file, &addr, search)?,
     }
+    Ok(())
+}
+
+/// `serve`/`batch`/`submit` carry budgets per request, not one absolute
+/// deadline computed at argv-parse time: keep the relative
+/// `--deadline-ms` and apply it when each search starts.
+fn scheduler_request(args: &SearchArgs) -> ibgp_serve::Request {
+    let mut opts = args.hunt_options();
+    opts.deadline = None;
+    ibgp_serve::Request {
+        opts,
+        deadline_ms: args.deadline_ms,
+    }
+}
+
+fn open_store(cache: Option<&str>) -> Result<ibgp_serve::VerdictStore, String> {
+    match cache {
+        Some(path) => ibgp_serve::VerdictStore::open(Path::new(path))
+            .map_err(|e| format!("cannot open verdict store `{path}`: {e}")),
+        None => Ok(ibgp_serve::VerdictStore::in_memory()),
+    }
+}
+
+fn serve(
+    addr: &str,
+    cache: Option<&str>,
+    workers: usize,
+    search: SearchArgs,
+) -> Result<(), String> {
+    if search != SearchArgs::default() {
+        eprintln!("note: `serve` ignores search flags — budgets arrive per request");
+    }
+    let store = open_store(cache)?;
+    match cache {
+        Some(path) => println!("verdict store: {} entries from {path}", store.len()),
+        None => println!("verdict store: in-memory (no --cache)"),
+    }
+    let sched = std::sync::Arc::new(ibgp_serve::Scheduler::new(store, workers));
+    let server =
+        ibgp_serve::Server::bind(addr, sched).map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    println!(
+        "listening on {} ({} worker(s))",
+        server.local_addr(),
+        workers
+    );
+    // The daemon runs until killed; the accept loop owns the listener.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn batch(
+    dir: &str,
+    out: Option<&str>,
+    cache: Option<&str>,
+    workers: usize,
+    search: SearchArgs,
+) -> Result<(), String> {
+    let store = open_store(cache)?;
+    let sched = ibgp_serve::Scheduler::new(store, workers);
+    let outcome = ibgp_serve::run_batch(Path::new(dir), &sched, scheduler_request(&search))?;
+    for e in &outcome.entries {
+        let how = if e.cached {
+            "cache hit".to_string()
+        } else {
+            format!("{} states", e.verdict.states)
+        };
+        println!("{:<32} {} ({how})", e.file, e.verdict.class);
+    }
+    println!(
+        "batch: {} specimen(s), {} search(es) run, {} cache hit(s)",
+        outcome.entries.len(),
+        outcome.searches_run,
+        outcome.cache_hits
+    );
+    if let Some(dest) = out {
+        let report = ibgp_serve::report_json(&outcome.entries);
+        std::fs::write(dest, report).map_err(|e| format!("cannot write `{dest}`: {e}"))?;
+        println!("wrote {dest}");
+    }
+    Ok(())
+}
+
+fn submit(file: &str, addr: &str, search: SearchArgs) -> Result<(), String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    let request = scheduler_request(&search);
+    let resp = ibgp_serve::submit_text(addr, &text, &request)
+        .map_err(|e| format!("cannot reach daemon at `{addr}`: {e}"))?;
+    if !resp.is_ok() {
+        return Err(resp
+            .status
+            .strip_prefix("err ")
+            .unwrap_or(&resp.status)
+            .to_string());
+    }
+    let parse_field = |key: &str| -> Result<String, String> {
+        resp.field(key)
+            .map(str::to_string)
+            .ok_or_else(|| format!("malformed response: missing `{key}`"))
+    };
+    let class = ibgp_serve::class_from_keyword(&parse_field("class")?)
+        .ok_or("malformed response: bad class")?;
+    let states: usize = parse_field("states")?
+        .parse()
+        .map_err(|_| "malformed response: bad states")?;
+    let stop = ibgp::types::StopReason::from_token(&parse_field("stop")?)
+        .ok_or("malformed response: bad stop token")?;
+    let mut stable_vectors = Vec::new();
+    for line in &resp.body {
+        let Some(tok) = line.strip_prefix("vector ") else {
+            continue;
+        };
+        let mut vs =
+            ibgp_serve::vectors_from_token(tok).ok_or("malformed response: bad stable vector")?;
+        stable_vectors.append(&mut vs);
+    }
+    let verdict = Verdict {
+        class,
+        states,
+        complete: stop.is_complete(),
+        stop,
+        stable_vectors,
+        metrics: None,
+    };
+    print_verdict(&format!("{file} (via {addr})"), &verdict);
+    println!("  cached: {}", parse_field("cached")?);
     Ok(())
 }
 
@@ -115,62 +254,10 @@ fn list() {
 }
 
 /// The single verdict-printing path shared by `classify` (catalog and
-/// file) and `run <file>`: the class line, the "inconclusive: state cap N
-/// reached" hint, search size/completeness, metrics when the search was
-/// instrumented, and the stable solutions.
+/// file), `run <file>`, and `batch`. All wording lives in
+/// [`Verdict::render`] so front ends cannot drift.
 fn print_verdict(label: &str, v: &Verdict) {
-    println!("{label}: {}", v.class);
-    if let Some(cap) = v.cap {
-        println!("  inconclusive: state cap {cap} reached (raise --max-states)");
-    }
-    if let Some(budget) = v.memory {
-        println!("  inconclusive: memory budget {budget} bytes exhausted (raise --max-bytes)");
-    }
-    println!(
-        "  {} reachable configurations (complete search: {})",
-        v.states, v.complete
-    );
-    if let Some(m) = &v.metrics {
-        println!(
-            "  explored at {:.0} states/sec on {} worker(s) (frontier depth {}, peak queue {})",
-            m.states_per_sec(),
-            m.workers,
-            m.frontier_depth,
-            m.peak_queue
-        );
-        println!(
-            "  update cache: {:.1}% hit rate ({} hits / {} misses)",
-            100.0 * m.cache_hit_rate(),
-            m.cache_hits,
-            m.cache_misses
-        );
-        if m.group_order > 0 {
-            println!(
-                "  symmetry: automorphism group of order {}, {:.2}x state reduction ({} orbit states)",
-                m.group_order,
-                m.reduction_factor(),
-                m.orbit_states
-            );
-        }
-        if m.por_ample + m.por_full > 0 {
-            let pruned = 100.0 * m.por_ample as f64 / (m.por_ample + m.por_full) as f64;
-            println!(
-                "  por: {} of {} expansions took the ample branch ({pruned:.1}% of the frontier pruned)",
-                m.por_ample,
-                m.por_ample + m.por_full
-            );
-        }
-        if m.compactions > 0 {
-            println!(
-                "  memory: visited set compacted to digests {} time(s) ({} digest collision(s), peak {} bytes)",
-                m.compactions, m.digest_collisions, m.visited_bytes
-            );
-        }
-    }
-    println!("  {} stable solution(s):", v.stable_vectors.len());
-    for (i, sv) in v.stable_vectors.iter().enumerate() {
-        println!("    #{}: {}", i + 1, fmt_bests(sv));
-    }
+    print!("{}", v.render(label));
 }
 
 fn classify(name: &str, variant: ProtocolVariant, opts: SearchArgs) {
@@ -181,8 +268,7 @@ fn classify(name: &str, variant: ProtocolVariant, opts: SearchArgs) {
         class,
         states: reach.states,
         complete: reach.complete,
-        cap: reach.cap,
-        memory: reach.memory,
+        stop: reach.stop,
         stable_vectors: reach.stable_vectors,
         metrics: Some(reach.metrics),
     };
@@ -198,7 +284,7 @@ fn load_spec_or_die(path: &str) -> ibgp_hunt::ScenarioSpec {
 
 /// Warn, per flag, when a confederation/hierarchy spec is about to go
 /// through its dedicated search — those searches honor only
-/// `--max-states`, and silently dropping the rest has historically made
+/// `--max-states` and `--deadline-ms`, and silently dropping the rest has historically made
 /// "same flags, different scenario kind" runs incomparable.
 fn warn_ignored_flags(kind: &ibgp_hunt::SpecKind, opts: &HuntOptions) {
     if matches!(kind, ibgp_hunt::SpecKind::Reflection(_)) {
@@ -206,7 +292,7 @@ fn warn_ignored_flags(kind: &ibgp_hunt::SpecKind, opts: &HuntOptions) {
     }
     for flag in opts.reflection_only_flags() {
         eprintln!(
-            "warning: {flag} is ignored for {} scenarios (only --max-states applies)",
+            "warning: {flag} is ignored for {} scenarios (only --max-states and --deadline-ms apply)",
             kind.keyword()
         );
     }
@@ -254,7 +340,7 @@ fn hunt(
     for family in cfg.families.iter().filter(|f| !f.uses_reflection_search()) {
         for flag in cfg.options.reflection_only_flags() {
             eprintln!(
-                "warning: {flag} is ignored for {} scenarios (only --max-states applies)",
+                "warning: {flag} is ignored for {} scenarios (only --max-states and --deadline-ms apply)",
                 family.keyword()
             );
         }
@@ -489,11 +575,4 @@ fn explain(name: &str, router: u32, variant: ProtocolVariant, steps: u64) {
         (Some(b), None) => println!("winner: {} (single candidate)", b.exit()),
         (None, _) => println!("no route"),
     }
-}
-
-fn fmt_bests(bv: &[Option<ibgp::ExitPathId>]) -> String {
-    bv.iter()
-        .map(|b| b.map(|p| p.to_string()).unwrap_or_else(|| "-".into()))
-        .collect::<Vec<_>>()
-        .join(" ")
 }

@@ -3,7 +3,7 @@
 
 use crate::engine::{ConfedEngine, ConfedMode};
 use crate::topology::ConfedTopology;
-use ibgp_types::{ExitPathId, ExitPathRef, RouterId};
+use ibgp_types::{ExitPathId, ExitPathRef, RouterId, SearchBudget, StopReason};
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 
@@ -12,13 +12,11 @@ use std::hash::{Hash, Hasher};
 pub struct ConfedReachability {
     /// Distinct configurations visited.
     pub states: usize,
-    /// Whether the whole reachable space fit under the cap.
+    /// Whether the whole reachable space fit under the budget.
     pub complete: bool,
-    /// The state cap that stopped the search, when one actually did.
-    /// `None` for a complete search — consumers must not infer a cap
-    /// from `complete` alone, since future stop reasons (memory, time)
-    /// would silently be misreported as cap hits.
-    pub cap: Option<usize>,
+    /// Why the search ended. Always from the search itself — consumers
+    /// must not infer a stop reason from `complete` alone.
+    pub stop: StopReason,
     /// Distinct stable best-exit vectors found.
     pub stable_vectors: Vec<Vec<Option<ExitPathId>>>,
 }
@@ -33,6 +31,12 @@ impl ConfedReachability {
     pub fn persistent_oscillation(&self) -> bool {
         self.complete && self.stable_vectors.is_empty()
     }
+
+    /// The state cap that stopped the search, when one did.
+    #[deprecated(note = "read the `stop` field (`StopReason`) instead")]
+    pub fn cap(&self) -> Option<usize> {
+        self.stop.state_cap()
+    }
 }
 
 fn digest<T: Hash>(t: &T) -> u64 {
@@ -43,12 +47,20 @@ fn digest<T: Hash>(t: &T) -> u64 {
 
 /// Explore every configuration reachable from the initial state under
 /// singleton and full-set activations.
+///
+/// The budget honors `max_states` and `deadline` (checked between state
+/// expansions, so an already-expired deadline stops deterministically at
+/// the initial state); this search has no visited-set byte accounting,
+/// so `max_bytes` is ignored and callers warn about the dropped flag.
+/// A bare `usize` converts to a states-only budget.
 pub fn explore_confed(
     topo: &ConfedTopology,
     mode: ConfedMode,
     exits: Vec<ExitPathRef>,
-    max_states: usize,
+    budget: impl Into<SearchBudget>,
 ) -> ConfedReachability {
+    let budget: SearchBudget = budget.into();
+    let max_states = budget.max_states;
     let engine0 = ConfedEngine::new(topo, mode, exits);
     let n = topo.len();
     let mut branches: Vec<Vec<RouterId>> = (0..n as u32).map(|i| vec![RouterId::new(i)]).collect();
@@ -77,6 +89,14 @@ pub fn explore_confed(
     }
 
     while let Some(eng) = queue.pop_front() {
+        if budget.expired() {
+            return ConfedReachability {
+                states,
+                complete: false,
+                stop: StopReason::Deadline,
+                stable_vectors,
+            };
+        }
         // One synchronous sweep serves both the stability test and every
         // branch: `step` on a clone would recompute the same n updates
         // per branch.
@@ -97,7 +117,7 @@ pub fn explore_confed(
                     return ConfedReachability {
                         states,
                         complete: false,
-                        cap: Some(max_states),
+                        stop: StopReason::StateCap(max_states),
                         stable_vectors,
                     };
                 }
@@ -109,7 +129,7 @@ pub fn explore_confed(
     ConfedReachability {
         states,
         complete: true,
-        cap: None,
+        stop: StopReason::Complete,
         stable_vectors,
     }
 }
@@ -141,7 +161,11 @@ mod tests {
         );
         let reach = explore_confed(&topo, ConfedMode::SingleBest, vec![exit], 10_000);
         assert!(reach.complete);
-        assert_eq!(reach.cap, None, "complete searches report no cap");
+        assert_eq!(
+            reach.stop,
+            StopReason::Complete,
+            "complete searches report no budget stop"
+        );
         assert!(reach.can_converge());
         assert_eq!(reach.stable_vectors.len(), 1);
         assert!(!reach.persistent_oscillation());
@@ -159,9 +183,28 @@ mod tests {
                 .exit_point(r(0))
                 .build_unchecked(),
         );
-        let reach = explore_confed(&topo, ConfedMode::SingleBest, vec![exit], 1);
+        let reach = explore_confed(&topo, ConfedMode::SingleBest, vec![exit.clone()], 1);
         assert!(!reach.complete);
-        assert_eq!(reach.cap, Some(1), "capped searches name the cap that hit");
+        assert_eq!(
+            reach.stop,
+            StopReason::StateCap(1),
+            "capped searches name the cap that hit"
+        );
         assert!(!reach.persistent_oscillation());
+        #[allow(deprecated)]
+        let shim = reach.cap();
+        assert_eq!(shim, Some(1), "the deprecated accessor keeps working");
+
+        // An already-expired deadline stops before any expansion, and the
+        // stop reason says so rather than blaming a cap.
+        let mut g = PhysicalGraph::new(2);
+        g.add_link(r(0), r(1), IgpCost::new(1)).unwrap();
+        let topo =
+            ConfedTopology::new(g, vec![SubAsId(0), SubAsId(1)], vec![(r(0), r(1))]).unwrap();
+        let budget = SearchBudget::states(10_000).deadline(std::time::Instant::now());
+        let reach = explore_confed(&topo, ConfedMode::SingleBest, vec![exit], budget);
+        assert!(!reach.complete);
+        assert_eq!(reach.stop, StopReason::Deadline);
+        assert_eq!(reach.states, 1, "only the initial state was visited");
     }
 }

@@ -75,8 +75,14 @@ pub use ibgp_sim as sim;
 pub use ibgp_topology as topology;
 pub use ibgp_types as types;
 
-// The most common names, flattened.
-pub use ibgp_analysis::{classify, ExploreOptions, OscillationClass};
+// The most common names, flattened. `ibgp::classify` is the unified
+// spec-level entrypoint (`ibgp_hunt::classify_spec`): it routes every
+// scenario kind to its matching exhaustive search and returns one
+// [`Verdict`] whose [`StopReason`] says exactly why the search ended.
+// The engine-level `ibgp_analysis::classify` remains available as
+// `ibgp::analysis::classify` for callers holding a built `Topology`.
+pub use ibgp_analysis::{ExploreOptions, OscillationClass};
+pub use ibgp_hunt::{classify_spec as classify, HuntOptions, ScenarioSpec, Verdict};
 pub use ibgp_proto::variants::ProtocolConfig;
 pub use ibgp_proto::{MedMode, ProtocolVariant, RuleOrder, SelectionPolicy};
 pub use ibgp_scenarios::Scenario;
@@ -86,3 +92,4 @@ pub use ibgp_types::{
     AsId, AsPath, BgpId, ClusterId, ExitPath, ExitPathId, ExitPathRef, IgpCost, LocalPref, Med,
     NextHop, Prefix, Route, RouteKind, RouterId,
 };
+pub use ibgp_types::{SearchBudget, StopReason};

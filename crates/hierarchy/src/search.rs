@@ -2,7 +2,7 @@
 
 use crate::engine::{HierEngine, HierMode};
 use crate::topology::HierTopology;
-use ibgp_types::{ExitPathId, ExitPathRef, RouterId};
+use ibgp_types::{ExitPathId, ExitPathRef, RouterId, SearchBudget, StopReason};
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 
@@ -11,13 +11,11 @@ use std::hash::{Hash, Hasher};
 pub struct HierReachability {
     /// Distinct configurations visited.
     pub states: usize,
-    /// Whether the reachable space fit under the cap.
+    /// Whether the reachable space fit under the budget.
     pub complete: bool,
-    /// The state cap that stopped the search, when one actually did.
-    /// `None` for a complete search — consumers must not infer a cap
-    /// from `complete` alone, since future stop reasons (memory, time)
-    /// would silently be misreported as cap hits.
-    pub cap: Option<usize>,
+    /// Why the search ended. Always from the search itself — consumers
+    /// must not infer a stop reason from `complete` alone.
+    pub stop: StopReason,
     /// Distinct stable best-exit vectors.
     pub stable_vectors: Vec<Vec<Option<ExitPathId>>>,
 }
@@ -32,6 +30,12 @@ impl HierReachability {
     pub fn persistent_oscillation(&self) -> bool {
         self.complete && self.stable_vectors.is_empty()
     }
+
+    /// The state cap that stopped the search, when one did.
+    #[deprecated(note = "read the `stop` field (`StopReason`) instead")]
+    pub fn cap(&self) -> Option<usize> {
+        self.stop.state_cap()
+    }
 }
 
 fn digest<T: Hash>(t: &T) -> u64 {
@@ -42,12 +46,20 @@ fn digest<T: Hash>(t: &T) -> u64 {
 
 /// Explore all configurations reachable under singleton + full-set
 /// activations.
+///
+/// The budget honors `max_states` and `deadline` (checked between state
+/// expansions, so an already-expired deadline stops deterministically at
+/// the initial state); this search has no visited-set byte accounting,
+/// so `max_bytes` is ignored and callers warn about the dropped flag.
+/// A bare `usize` converts to a states-only budget.
 pub fn explore_hier(
     topo: &HierTopology,
     mode: HierMode,
     exits: Vec<ExitPathRef>,
-    max_states: usize,
+    budget: impl Into<SearchBudget>,
 ) -> HierReachability {
+    let budget: SearchBudget = budget.into();
+    let max_states = budget.max_states;
     let engine0 = HierEngine::new(topo, mode, exits);
     let n = topo.len();
     let mut branches: Vec<Vec<RouterId>> = (0..n as u32).map(|i| vec![RouterId::new(i)]).collect();
@@ -75,6 +87,14 @@ pub fn explore_hier(
         queue.push_back(engine0);
     }
     while let Some(eng) = queue.pop_front() {
+        if budget.expired() {
+            return HierReachability {
+                states,
+                complete: false,
+                stop: StopReason::Deadline,
+                stable_vectors,
+            };
+        }
         // One synchronous sweep serves both the stability test and every
         // branch: `step` on a clone would recompute the same n updates
         // per branch.
@@ -95,7 +115,7 @@ pub fn explore_hier(
                     return HierReachability {
                         states,
                         complete: false,
-                        cap: Some(max_states),
+                        stop: StopReason::StateCap(max_states),
                         stable_vectors,
                     };
                 }
@@ -106,7 +126,7 @@ pub fn explore_hier(
     HierReachability {
         states,
         complete: true,
-        cap: None,
+        stop: StopReason::Complete,
         stable_vectors,
     }
 }
@@ -132,10 +152,24 @@ mod tests {
                 .exit_point(r(1))
                 .build_unchecked(),
         );
-        let reach = explore_hier(&topo, HierMode::SingleBest, vec![exit], 10_000);
+        let reach = explore_hier(&topo, HierMode::SingleBest, vec![exit.clone()], 10_000);
         assert!(reach.complete);
-        assert_eq!(reach.cap, None, "complete searches report no cap");
+        assert_eq!(
+            reach.stop,
+            StopReason::Complete,
+            "complete searches report no budget stop"
+        );
         assert_eq!(reach.stable_vectors.len(), 1);
         assert!(!reach.persistent_oscillation());
+        #[allow(deprecated)]
+        let shim = reach.cap();
+        assert_eq!(shim, None, "the deprecated accessor keeps working");
+
+        // An already-expired deadline stops before any expansion.
+        let budget = SearchBudget::states(10_000).deadline(std::time::Instant::now());
+        let reach = explore_hier(&topo, HierMode::SingleBest, vec![exit], budget);
+        assert!(!reach.complete);
+        assert_eq!(reach.stop, StopReason::Deadline);
+        assert_eq!(reach.states, 1, "only the initial state was visited");
     }
 }

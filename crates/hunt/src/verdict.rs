@@ -15,7 +15,8 @@ use ibgp_analysis::{ExploreOptions, OscillationClass};
 use ibgp_confed::explore_confed;
 use ibgp_hierarchy::explore_hier;
 use ibgp_sim::Metrics;
-use ibgp_types::ExitPathId;
+use ibgp_types::{ExitPathId, SearchBudget, StopReason};
+use std::time::Instant;
 
 /// Search knobs shared by every hunt entry point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +44,10 @@ pub struct HuntOptions {
     /// reduction; confed/hierarchy searches ignore this). Verdicts are
     /// unchanged — only the number of states visited shrinks.
     pub por: bool,
+    /// Absolute wall-clock deadline for the search; `None` (the default)
+    /// for no deadline. Every search kind honors it, checked at
+    /// deterministic points (BFS level boundaries / between expansions).
+    pub deadline: Option<Instant>,
 }
 
 impl Default for HuntOptions {
@@ -54,22 +59,92 @@ impl Default for HuntOptions {
             max_bytes: None,
             flat: true,
             por: false,
+            deadline: None,
+        }
+    }
+}
+
+/// The one place hunt knobs lower to explorer knobs. Field-by-field
+/// copies at call sites are exactly how new knobs historically got
+/// dropped on one path; go through this impl instead.
+impl From<&HuntOptions> for ExploreOptions {
+    fn from(o: &HuntOptions) -> ExploreOptions {
+        let mut opts = ExploreOptions::new()
+            .max_states(o.max_states)
+            .jobs(o.jobs)
+            .symmetry(o.symmetry)
+            .flat_encoding(o.flat)
+            .por(o.por);
+        if let Some(b) = o.max_bytes {
+            opts = opts.max_bytes(b);
+        }
+        if let Some(d) = o.deadline {
+            opts = opts.deadline(d);
+        }
+        opts
+    }
+}
+
+/// The budget view of the same knobs, for the confed/hierarchy searches
+/// (which honor `max_states` and `deadline`; they have no byte
+/// accounting, so `max_bytes` is carried but ignored — callers warn via
+/// [`HuntOptions::reflection_only_flags`]).
+impl From<&HuntOptions> for SearchBudget {
+    fn from(o: &HuntOptions) -> SearchBudget {
+        SearchBudget {
+            max_states: o.max_states,
+            max_bytes: o.max_bytes,
+            deadline: o.deadline,
         }
     }
 }
 
 impl HuntOptions {
-    fn explore_options(&self) -> ExploreOptions {
-        let opts = ExploreOptions::new()
-            .max_states(self.max_states)
-            .jobs(self.jobs)
-            .symmetry(self.symmetry)
-            .flat_encoding(self.flat)
-            .por(self.por);
-        match self.max_bytes {
-            Some(b) => opts.max_bytes(b),
-            None => opts,
-        }
+    /// Builder-style constructor matching the defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the state cap.
+    pub fn max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Replace the worker count (`0` = auto).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Enable or disable symmetry reduction.
+    pub fn symmetry(mut self, symmetry: bool) -> Self {
+        self.symmetry = symmetry;
+        self
+    }
+
+    /// Replace the visited-set byte budget.
+    pub fn max_bytes(mut self, max_bytes: usize) -> Self {
+        self.max_bytes = Some(max_bytes);
+        self
+    }
+
+    /// Pick the flat (default) or legacy state encoding.
+    pub fn flat(mut self, flat: bool) -> Self {
+        self.flat = flat;
+        self
+    }
+
+    /// Enable or disable partial-order reduction.
+    pub fn por(mut self, por: bool) -> Self {
+        self.por = por;
+        self
+    }
+
+    /// Replace the wall-clock deadline.
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// The knobs only the instrumented flat-reflection search honors,
@@ -107,11 +182,9 @@ pub struct Verdict {
     pub states: usize,
     /// Whether the reachable space was fully explored.
     pub complete: bool,
-    /// The state cap that stopped the search, when one did.
-    pub cap: Option<usize>,
-    /// The visited-set byte budget that stopped the search, when one did
-    /// (memory-stopped searches are inconclusive, like capped ones).
-    pub memory: Option<usize>,
+    /// Why the search ended — always from the search itself, never
+    /// inferred from `complete`.
+    pub stop: StopReason,
     /// Distinct stable best-exit vectors, canonical order.
     pub stable_vectors: Vec<Vec<Option<ExitPathId>>>,
     /// Search metrics — available on the flat-reflection path only (the
@@ -132,24 +205,115 @@ impl Verdict {
         self.class == OscillationClass::Transient
     }
 
-    /// Whether the search gave no verdict (cap hit).
+    /// Whether the search gave no verdict (budget or deadline hit).
     pub fn is_inconclusive(&self) -> bool {
         self.class == OscillationClass::Unknown
+    }
+
+    /// The state cap that stopped the search, when one did.
+    #[deprecated(note = "read the `stop` field (`StopReason`) instead")]
+    pub fn cap(&self) -> Option<usize> {
+        self.stop.state_cap()
+    }
+
+    /// The byte budget that stopped the search, when one did.
+    #[deprecated(note = "read the `stop` field (`StopReason`) instead")]
+    pub fn memory(&self) -> Option<usize> {
+        self.stop.memory_budget()
+    }
+
+    /// The one-line "inconclusive: ..." hint for this verdict, `None`
+    /// when the search completed. Every front end (CLI, campaign
+    /// summaries, the serve protocol) must print this exact wording.
+    pub fn stop_hint(&self) -> Option<String> {
+        self.stop.hint()
+    }
+
+    /// Render the full human-readable verdict block: the class line, the
+    /// inconclusive hint, search size/completeness, metrics when the
+    /// search was instrumented, and the stable solutions. The single
+    /// verdict-printing path shared by `ibgp-cli classify`/`run`, `batch`
+    /// summaries, and anything else that reports a verdict — wording
+    /// lives here exactly once.
+    pub fn render(&self, label: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{label}: {}", self.class);
+        if let Some(hint) = self.stop_hint() {
+            let _ = writeln!(out, "  {hint}");
+        }
+        let _ = writeln!(
+            out,
+            "  {} reachable configurations (complete search: {})",
+            self.states, self.complete
+        );
+        if let Some(m) = &self.metrics {
+            let _ = writeln!(
+                out,
+                "  explored at {:.0} states/sec on {} worker(s) (frontier depth {}, peak queue {})",
+                m.states_per_sec(),
+                m.workers,
+                m.frontier_depth,
+                m.peak_queue
+            );
+            let _ = writeln!(
+                out,
+                "  update cache: {:.1}% hit rate ({} hits / {} misses)",
+                100.0 * m.cache_hit_rate(),
+                m.cache_hits,
+                m.cache_misses
+            );
+            if m.group_order > 0 {
+                let _ = writeln!(
+                    out,
+                    "  symmetry: automorphism group of order {}, {:.2}x state reduction ({} orbit states)",
+                    m.group_order,
+                    m.reduction_factor(),
+                    m.orbit_states
+                );
+            }
+            if m.por_ample + m.por_full > 0 {
+                let pruned = 100.0 * m.por_ample as f64 / (m.por_ample + m.por_full) as f64;
+                let _ = writeln!(
+                    out,
+                    "  por: {} of {} expansions took the ample branch ({pruned:.1}% of the frontier pruned)",
+                    m.por_ample,
+                    m.por_ample + m.por_full
+                );
+            }
+            if m.compactions > 0 {
+                let _ = writeln!(
+                    out,
+                    "  memory: visited set compacted to digests {} time(s) ({} digest collision(s), peak {} bytes)",
+                    m.compactions, m.digest_collisions, m.visited_bytes
+                );
+            }
+        }
+        let _ = writeln!(out, "  {} stable solution(s):", self.stable_vectors.len());
+        for (i, sv) in self.stable_vectors.iter().enumerate() {
+            let bests = sv
+                .iter()
+                .map(|b| b.map(|p| p.to_string()).unwrap_or_else(|| "-".into()))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(out, "    #{}: {}", i + 1, bests);
+        }
+        out
     }
 }
 
 /// Derive the verdict taxonomy from plain search evidence (the
 /// confed/hierarchy searches, which have no all-at-once cycle probe — for
 /// them a unique stable outcome classifies as stable without the extra
-/// live-cycle check the flat path performs). The stop reason (`cap`)
-/// comes from the search itself, never inferred from `!complete`: an
-/// incomplete search that stopped for some other reason must not be
-/// reported as cap-stopped.
+/// live-cycle check the flat path performs). The stop reason comes from
+/// the search itself, never inferred from `!complete`: an incomplete
+/// search that stopped for some other reason must not be reported as
+/// cap-stopped.
 fn from_search(
     states: usize,
     complete: bool,
     stable_vectors: Vec<Vec<Option<ExitPathId>>>,
-    cap: Option<usize>,
+    stop: StopReason,
 ) -> Verdict {
     let class = if !complete {
         OscillationClass::Unknown
@@ -164,8 +328,7 @@ fn from_search(
         class,
         states,
         complete,
-        cap,
-        memory: None,
+        stop,
         stable_vectors,
         metrics: None,
     }
@@ -173,6 +336,10 @@ fn from_search(
 
 /// Classify a scenario spec: validate, lower, and run the exhaustive
 /// search matching its kind.
+///
+/// This is *the* public classification entrypoint — the CLI verbs, the
+/// campaign driver, the minimizer, the serve scheduler, and the facade's
+/// `ibgp::classify` all route through it.
 pub fn classify_spec(spec: &ScenarioSpec, opts: &HuntOptions) -> Result<Verdict, SpecError> {
     match spec.build()? {
         Built::Reflection {
@@ -180,14 +347,12 @@ pub fn classify_spec(spec: &ScenarioSpec, opts: &HuntOptions) -> Result<Verdict,
             config,
             exits,
         } => {
-            let (class, reach) =
-                ibgp_analysis::classify(&topology, config, &exits, opts.explore_options());
+            let (class, reach) = ibgp_analysis::classify(&topology, config, &exits, opts.into());
             Ok(Verdict {
                 class,
                 states: reach.states,
                 complete: reach.complete,
-                cap: reach.cap,
-                memory: reach.memory,
+                stop: reach.stop,
                 stable_vectors: reach.stable_vectors,
                 metrics: Some(reach.metrics),
             })
@@ -197,16 +362,16 @@ pub fn classify_spec(spec: &ScenarioSpec, opts: &HuntOptions) -> Result<Verdict,
             mode,
             exits,
         } => {
-            let r = explore_confed(&topology, mode, exits, opts.max_states);
-            Ok(from_search(r.states, r.complete, r.stable_vectors, r.cap))
+            let r = explore_confed(&topology, mode, exits, SearchBudget::from(opts));
+            Ok(from_search(r.states, r.complete, r.stable_vectors, r.stop))
         }
         Built::Hierarchy {
             topology,
             mode,
             exits,
         } => {
-            let r = explore_hier(&topology, mode, exits, opts.max_states);
-            Ok(from_search(r.states, r.complete, r.stable_vectors, r.cap))
+            let r = explore_hier(&topology, mode, exits, SearchBudget::from(opts));
+            Ok(from_search(r.states, r.complete, r.stable_vectors, r.stop))
         }
     }
 }
@@ -253,7 +418,10 @@ mod tests {
         };
         let v = classify_spec(&disagree(ProtocolVariant::Standard), &opts).unwrap();
         assert!(v.is_inconclusive());
-        assert_eq!(v.cap, Some(2));
+        assert_eq!(v.stop, StopReason::StateCap(2));
+        #[allow(deprecated)]
+        let shim = v.cap();
+        assert_eq!(shim, Some(2), "the deprecated accessor keeps working");
         assert!(!v.complete);
     }
 
@@ -296,7 +464,11 @@ mod tests {
         let v = classify_spec(&spec, &opts).unwrap();
         assert!(v.is_inconclusive());
         assert!(!v.complete);
-        assert_eq!(v.cap, Some(1), "the cap the search hit, from the search");
+        assert_eq!(
+            v.stop,
+            StopReason::StateCap(1),
+            "the cap the search hit, from the search"
+        );
     }
 
     #[test]
@@ -330,15 +502,48 @@ mod tests {
 
     #[test]
     fn from_search_never_fabricates_a_cap() {
-        // An incomplete search that stopped for some reason other than the
-        // state cap (future: memory, time) must not be printed as capped.
-        let v = from_search(10, false, vec![], None);
+        // An incomplete search that stopped for some reason other than
+        // the state cap (deadline here) must not be printed as capped.
+        let v = from_search(10, false, vec![], StopReason::Deadline);
         assert!(v.is_inconclusive());
-        assert_eq!(v.cap, None);
-        // And a complete search carries no cap at all.
-        let v = from_search(10, true, vec![vec![None]], None);
+        assert_eq!(v.stop, StopReason::Deadline);
+        assert_eq!(
+            v.stop_hint().unwrap(),
+            "inconclusive: deadline exceeded (raise the deadline)"
+        );
+        // And a complete search carries no stop hint at all.
+        let v = from_search(10, true, vec![vec![None]], StopReason::Complete);
         assert_eq!(v.class, OscillationClass::Stable);
-        assert_eq!(v.cap, None);
+        assert_eq!(v.stop_hint(), None);
+    }
+
+    #[test]
+    fn render_is_the_single_wording_source() {
+        let v = from_search(10, false, vec![], StopReason::StateCap(10));
+        let text = v.render("x");
+        assert!(text.starts_with("x: unknown (inconclusive search)\n"));
+        assert!(text.contains("  inconclusive: state cap 10 reached (raise --max-states)\n"));
+        assert!(text.contains("  10 reachable configurations (complete search: false)\n"));
+        assert!(text.contains("  0 stable solution(s):\n"));
+    }
+
+    #[test]
+    fn option_conversions_carry_every_knob() {
+        let opts = HuntOptions::new()
+            .max_states(77)
+            .jobs(3)
+            .symmetry(true)
+            .max_bytes(1 << 20)
+            .por(true)
+            .deadline(Instant::now() + std::time::Duration::from_secs(3600));
+        let budget = SearchBudget::from(&opts);
+        assert_eq!(budget.max_states, 77);
+        assert_eq!(budget.max_bytes, Some(1 << 20));
+        assert!(budget.deadline.is_some());
+        // The ExploreOptions conversion compiles and feeds classify; an
+        // hour-away deadline must not stop a tiny search.
+        let v = classify_spec(&disagree(ProtocolVariant::Standard), &opts).unwrap();
+        assert_ne!(v.stop, StopReason::Deadline);
     }
 
     #[test]

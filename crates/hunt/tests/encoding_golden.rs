@@ -54,8 +54,16 @@ fn assert_verdicts_identical(flat: &Verdict, legacy: &Verdict, name: &str) {
         flat.complete, legacy.complete,
         "{name}: completeness drifted"
     );
-    assert_eq!(flat.cap, legacy.cap, "{name}: cap status drifted");
-    assert_eq!(flat.memory, legacy.memory, "{name}: memory status drifted");
+    assert_eq!(
+        flat.stop.state_cap(),
+        legacy.stop.state_cap(),
+        "{name}: cap status drifted"
+    );
+    assert_eq!(
+        flat.stop.memory_budget(),
+        legacy.stop.memory_budget(),
+        "{name}: memory status drifted"
+    );
     assert_eq!(
         flat.stable_vectors, legacy.stable_vectors,
         "{name}: stable vectors drifted"

@@ -99,11 +99,11 @@ fn memory_stopped_baselines_come_back_unchanged() {
     assert_eq!(out.spec, spec, "no reduction may be attempted");
     assert_eq!(out.verdict.class, OscillationClass::Unknown);
     assert_eq!(
-        out.verdict.memory,
+        out.verdict.stop.memory_budget(),
         Some(64),
         "the byte budget is the recorded stop reason"
     );
-    assert_eq!(out.verdict.cap, None, "no state cap was hit");
+    assert_eq!(out.verdict.stop.state_cap(), None, "no state cap was hit");
     assert_eq!(
         out.removed_routers + out.removed_sessions + out.removed_exits,
         0

@@ -63,8 +63,8 @@ fn assert_equivalent(name: &str, tag: &str, off: &Verdict, on: &Verdict) {
             "{name} [{tag}]: stable vectors drifted"
         );
         assert!(on.complete, "{name} [{tag}]: POR lost completeness");
-        assert_eq!(on.cap, None, "{name} [{tag}]");
-        assert_eq!(on.memory, None, "{name} [{tag}]");
+        assert_eq!(on.stop.state_cap(), None, "{name} [{tag}]");
+        assert_eq!(on.stop.memory_budget(), None, "{name} [{tag}]");
         assert!(
             on.states <= off.states,
             "{name} [{tag}]: pruning added states ({} > {})",
@@ -88,8 +88,8 @@ fn determinism_key(v: &Verdict) -> impl PartialEq + std::fmt::Debug {
         v.class,
         v.states,
         v.complete,
-        v.cap,
-        v.memory,
+        v.stop.state_cap(),
+        v.stop.memory_budget(),
         v.stable_vectors.clone(),
         v.metrics.as_ref().map(|m| (m.por_ample, m.por_full)),
     )
@@ -135,7 +135,7 @@ fn npc_1var_completes_only_under_por() {
     // Without the reduction the default 200k cap is not enough.
     let off = classify_spec(&spec, &opts(false, false, 8)).unwrap();
     assert!(off.is_inconclusive(), "got {:?}", off.class);
-    assert_eq!(off.cap, Some(200_000));
+    assert_eq!(off.stop.state_cap(), Some(200_000));
 
     // With it, the search finishes with room to spare and a verdict.
     let on = classify_spec(&spec, &opts(true, false, 8)).unwrap();

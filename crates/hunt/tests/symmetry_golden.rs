@@ -68,8 +68,16 @@ fn every_committed_specimen_classifies_identically_under_symmetry() {
                 .unwrap_or_else(|e| panic!("{name}: symmetric classify failed: {e}"));
             assert_eq!(sym.class, plain.class, "{name}: class drifted");
             assert_eq!(sym.complete, plain.complete, "{name}: completeness drifted");
-            assert_eq!(sym.cap, plain.cap, "{name}: cap status drifted");
-            assert_eq!(sym.memory, plain.memory, "{name}: memory status drifted");
+            assert_eq!(
+                sym.stop.state_cap(),
+                plain.stop.state_cap(),
+                "{name}: cap status drifted"
+            );
+            assert_eq!(
+                sym.stop.memory_budget(),
+                plain.stop.memory_budget(),
+                "{name}: memory status drifted"
+            );
             assert_eq!(
                 sym.stable_vectors, plain.stable_vectors,
                 "{name}: stable vectors drifted"
@@ -115,7 +123,11 @@ fn paper_figures_have_no_digest_collisions_under_compaction() {
         let plain = classify_spec(&spec, &HuntOptions::default()).unwrap();
         let v = classify_spec(&spec, &bounded).unwrap();
         assert_eq!(v.class, plain.class, "{name}: compaction changed the class");
-        assert_eq!(v.memory, None, "{name}: budget should suffice");
+        assert_eq!(
+            v.stop.memory_budget(),
+            None,
+            "{name}: budget should suffice"
+        );
         let m = v
             .metrics
             .unwrap_or_else(|| panic!("{name}: instrumented path expected"));

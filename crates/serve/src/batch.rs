@@ -1,0 +1,158 @@
+//! Batch classification over a directory of `.ibgp` specimens.
+//!
+//! Walks the directory recursively, submits every specimen through the
+//! same scheduler the daemon uses, and renders a deterministic JSON
+//! report. The report contains verdict-stable data only — no cache
+//! flags, no timings — so a cold run and a warm-cache rerun produce
+//! byte-identical files; cache counters are returned separately for the
+//! caller to print.
+
+use crate::sched::{Request, Scheduler};
+use crate::store::{class_keyword, vectors_token};
+use ibgp_hunt::Verdict;
+use std::path::{Path, PathBuf};
+
+/// One classified specimen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchEntry {
+    /// Path relative to the batch root, `/`-separated.
+    pub file: String,
+    /// Canonical structural signature.
+    pub signature: String,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Whether the store answered without a search (not part of the
+    /// report — cold and warm runs must render identically).
+    pub cached: bool,
+}
+
+/// What a batch run did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Entries in deterministic (path-sorted) order.
+    pub entries: Vec<BatchEntry>,
+    /// Searches the scheduler ran for this batch.
+    pub searches_run: u64,
+    /// Requests answered from the store.
+    pub cache_hits: u64,
+}
+
+fn collect_specs(root: &Path) -> Result<Vec<PathBuf>, String> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                walk(&path, out)?;
+            } else if path.extension().is_some_and(|e| e == "ibgp") {
+                out.push(path);
+            }
+        }
+        Ok(())
+    }
+    let mut files = Vec::new();
+    walk(root, &mut files).map_err(|e| format!("cannot read `{}`: {e}", root.display()))?;
+    files.sort();
+    Ok(files)
+}
+
+fn relative_name(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Classify every `.ibgp` under `root` through `sched` with the same
+/// per-request budget. Specimens are submitted in path order and all
+/// pipelined through the worker pool before the first wait.
+pub fn run_batch(root: &Path, sched: &Scheduler, request: Request) -> Result<BatchOutcome, String> {
+    let files = collect_specs(root)?;
+    if files.is_empty() {
+        return Err(format!("no .ibgp files under `{}`", root.display()));
+    }
+    let before_searches = sched.searches_run();
+    let before_hits = sched.cache_hits();
+    let mut pending = Vec::with_capacity(files.len());
+    for path in &files {
+        let spec = ibgp_hunt::load_spec(path)
+            .map_err(|e| format!("cannot load `{}`: {e}", path.display()))?;
+        pending.push((relative_name(root, path), sched.submit(spec, request)));
+    }
+    let mut entries = Vec::with_capacity(pending.len());
+    for (file, ticket) in pending {
+        let answer = ticket.wait().map_err(|e| format!("{file}: {e}"))?;
+        entries.push(BatchEntry {
+            file,
+            signature: answer.signature,
+            verdict: answer.verdict,
+            cached: answer.cached,
+        });
+    }
+    Ok(BatchOutcome {
+        entries,
+        searches_run: sched.searches_run() - before_searches,
+        cache_hits: sched.cache_hits() - before_hits,
+    })
+}
+
+/// Render the deterministic JSON report: verdict-stable data only, keys
+/// and entries in fixed order, two-space indentation, trailing newline.
+pub fn report_json(entries: &[BatchEntry]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let v = &e.verdict;
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"file\": \"{}\",\n", e.file));
+        out.push_str(&format!("      \"signature\": \"{}\",\n", e.signature));
+        out.push_str(&format!(
+            "      \"class\": \"{}\",\n",
+            class_keyword(v.class)
+        ));
+        out.push_str(&format!("      \"states\": {},\n", v.states));
+        out.push_str(&format!("      \"complete\": {},\n", v.complete));
+        out.push_str(&format!("      \"stop\": \"{}\",\n", v.stop.token()));
+        out.push_str(&format!(
+            "      \"stable_vectors\": \"{}\"\n",
+            vectors_token(&v.stable_vectors)
+        ));
+        out.push_str(if i + 1 == entries.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibgp_analysis::OscillationClass;
+    use ibgp_types::StopReason;
+
+    #[test]
+    fn report_is_deterministic_and_omits_cache_state() {
+        let entry = |cached| BatchEntry {
+            file: "a/b.ibgp".into(),
+            signature: "c:123".into(),
+            verdict: Verdict {
+                class: OscillationClass::Stable,
+                states: 5,
+                complete: true,
+                stop: StopReason::Complete,
+                stable_vectors: vec![vec![Some(ibgp_types::ExitPathId::new(1)), None]],
+                metrics: None,
+            },
+            cached,
+        };
+        let cold = report_json(&[entry(false)]);
+        let warm = report_json(&[entry(true)]);
+        assert_eq!(cold, warm, "cache state must not leak into the report");
+        assert!(cold.contains("\"file\": \"a/b.ibgp\""));
+        assert!(cold.contains("\"stop\": \"complete\""));
+        assert!(cold.contains("\"stable_vectors\": \"1,-\""));
+        assert!(cold.ends_with("]\n}\n"));
+    }
+}

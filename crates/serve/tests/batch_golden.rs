@@ -1,0 +1,67 @@
+//! The committed goldens (`corpus/goldens.json`) pin every paper
+//! figure's verdict. This test re-classifies the paper figures through
+//! the batch pipeline and checks each entry against the goldens
+//! field-for-field. (The full-corpus byte-for-byte diff — which includes
+//! the deliberately capped 500k-state NPC specimen — runs in CI with the
+//! release binary; see the `serve-smoke` job.)
+
+use ibgp_hunt::HuntOptions;
+use ibgp_serve::{report_json, run_batch, Request, Scheduler, VerdictStore};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Split a `report_json` document into `file -> [field lines]`, with the
+/// file line removed and trailing commas normalized.
+fn entries(report: &str) -> HashMap<String, Vec<String>> {
+    let mut map = HashMap::new();
+    let mut file: Option<String> = None;
+    let mut fields: Vec<String> = Vec::new();
+    for line in report.lines() {
+        let trimmed = line.trim();
+        if trimmed == "{" || trimmed == "}" || trimmed == "}," {
+            match file.take() {
+                Some(f) => {
+                    map.insert(f, std::mem::take(&mut fields));
+                }
+                None => fields.clear(),
+            }
+            continue;
+        }
+        let field = trimmed.trim_end_matches(',');
+        if let Some(rest) = field.strip_prefix("\"file\": \"") {
+            file = Some(rest.trim_end_matches('"').to_string());
+        } else if field.starts_with('"') {
+            fields.push(field.to_string());
+        }
+    }
+    map
+}
+
+#[test]
+fn paper_figures_match_the_committed_goldens() {
+    let corpus = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
+    let goldens_text =
+        std::fs::read_to_string(corpus.join("goldens.json")).expect("committed goldens");
+    let goldens = entries(&goldens_text);
+
+    let sched = Scheduler::new(VerdictStore::in_memory(), 2);
+    // The budget the goldens were generated under (the CLI default).
+    let request = Request::new(HuntOptions::new().max_states(500_000));
+    let outcome = run_batch(&corpus.join("paper"), &sched, request).expect("batch classifies");
+    let produced = entries(&report_json(&outcome.entries));
+
+    assert_eq!(outcome.entries.len(), 7, "every paper figure classified");
+    for (file, fields) in &produced {
+        let golden = goldens
+            .get(&format!("paper/{file}"))
+            .unwrap_or_else(|| panic!("`{file}` missing from goldens.json — regenerate it"));
+        assert_eq!(
+            fields, golden,
+            "`{file}` diverged from corpus/goldens.json — \
+             if the change is intentional, regenerate with \
+             `ibgp-cli batch corpus --out corpus/goldens.json`"
+        );
+    }
+    // Every paper figure closes its state space under the default cap.
+    assert!(outcome.entries.iter().all(|e| e.verdict.complete));
+}

@@ -1,0 +1,175 @@
+//! Signature-cache semantics through the scheduler: isomorphic
+//! relabelings share one search, and a small-budget inconclusive verdict
+//! never poisons a larger-budget request.
+
+use ibgp_hunt::HuntOptions;
+use ibgp_serve::{Request, Scheduler, VerdictStore};
+
+/// The paper's Fig 2 "DISAGREE" shape: two clusters whose reflectors
+/// are IGP-closer to the other cluster's border client.
+const FIG2: &str = "\
+ibgp 1
+name fig2
+kind reflection
+protocol standard
+routers 4
+link 0 2 10
+link 0 3 1
+link 1 2 1
+link 1 3 10
+cluster r 0 c 2
+cluster r 1 c 3
+exit 1 at 2 as 1 len 1 med 0 pref 100 cost 0
+exit 2 at 3 as 1 len 1 med 0 pref 100 cost 0
+";
+
+/// The same experiment relabeled: routers permuted by 0<->1, 2<->3,
+/// link lines reordered, exit ids shifted, different name.
+const FIG2_RELABELED: &str = "\
+ibgp 1
+name renamed
+kind reflection
+protocol standard
+routers 4
+link 0 2 10
+link 1 3 10
+link 1 2 1
+link 0 3 1
+cluster r 1 c 3
+cluster r 0 c 2
+exit 5 at 3 as 1 len 1 med 0 pref 100 cost 0
+exit 9 at 2 as 1 len 1 med 0 pref 100 cost 0
+";
+
+fn spec(text: &str) -> ibgp_hunt::ScenarioSpec {
+    ibgp_hunt::parse(text).expect("test spec parses")
+}
+
+fn request(max_states: usize) -> Request {
+    Request::new(HuntOptions::new().max_states(max_states))
+}
+
+#[test]
+fn isomorphic_relabelings_cost_one_search_and_agree() {
+    let sched = Scheduler::new(VerdictStore::in_memory(), 1);
+    let first = sched
+        .submit(spec(FIG2), request(10_000))
+        .wait()
+        .expect("first request classifies");
+    assert!(
+        !first.cached,
+        "a cold store cannot answer the first request"
+    );
+    assert!(first.verdict.complete, "fig2's state space fits 10k states");
+
+    let second = sched
+        .submit(spec(FIG2_RELABELED), request(10_000))
+        .wait()
+        .expect("relabeled request classifies");
+    assert!(
+        second.cached,
+        "the relabeled spec must resolve from the store without a search"
+    );
+    assert_eq!(
+        second.signature, first.signature,
+        "canonical signatures agree"
+    );
+    assert_eq!(second.verdict.class, first.verdict.class);
+    assert_eq!(second.verdict.states, first.verdict.states);
+    assert_eq!(second.verdict.stop, first.verdict.stop);
+    assert_eq!(second.verdict.stable_vectors, first.verdict.stable_vectors);
+
+    assert_eq!(sched.searches_run(), 1, "two requests, one search");
+    assert_eq!(sched.cache_hits(), 1);
+}
+
+#[test]
+fn concurrent_isomorphic_requests_still_cost_one_search() {
+    // Whether the second request rides the first's in-flight job or hits
+    // the store after it lands, the search count must stay at one.
+    let sched = Scheduler::new(VerdictStore::in_memory(), 2);
+    let t1 = sched.submit(spec(FIG2), request(10_000));
+    let t2 = sched.submit(spec(FIG2_RELABELED), request(5_000));
+    let a1 = t1.wait().expect("first classifies");
+    let a2 = t2.wait().expect("second classifies");
+    assert_eq!(a1.verdict.class, a2.verdict.class);
+    assert_eq!(a1.signature, a2.signature);
+    assert_eq!(
+        sched.searches_run(),
+        1,
+        "isomorphic burst must share one search"
+    );
+}
+
+#[test]
+fn capped_verdict_does_not_poison_larger_budget_requests() {
+    let sched = Scheduler::new(VerdictStore::in_memory(), 1);
+
+    // A deliberately starved search: inconclusive, stored under its cap.
+    let starved = sched
+        .submit(spec(FIG2), request(2))
+        .wait()
+        .expect("starved request classifies");
+    assert!(!starved.verdict.complete, "2 states cannot close fig2");
+    assert_eq!(starved.verdict.stop.state_cap(), Some(2));
+
+    // A larger budget must trigger a fresh search, not the stale verdict.
+    let full = sched
+        .submit(spec(FIG2), request(10_000))
+        .wait()
+        .expect("full request classifies");
+    assert!(
+        !full.cached,
+        "an inconclusive cap-2 verdict must not answer a cap-10000 request"
+    );
+    assert!(full.verdict.complete);
+    assert_eq!(sched.searches_run(), 2);
+
+    // The complete verdict upgraded the entry: now every budget is served
+    // from the store, including one smaller than the original cap.
+    let tiny = sched
+        .submit(spec(FIG2_RELABELED), request(1))
+        .wait()
+        .expect("tiny request classifies");
+    assert!(tiny.cached, "a complete verdict serves every budget");
+    assert_eq!(tiny.verdict.class, full.verdict.class);
+    assert!(tiny.verdict.complete);
+    assert_eq!(sched.searches_run(), 2, "no third search");
+    assert_eq!(sched.cache_hits(), 1);
+}
+
+#[test]
+fn covered_budget_is_served_but_looser_memory_budget_is_not() {
+    let sched = Scheduler::new(VerdictStore::in_memory(), 1);
+    let mut bounded = request(2);
+    bounded.opts = bounded.opts.max_bytes(1 << 20);
+    let first = sched
+        .submit(spec(FIG2), bounded)
+        .wait()
+        .expect("classifies");
+    assert!(!first.verdict.complete);
+
+    // Same state cap but a smaller byte budget: covered, served.
+    let mut smaller = request(2);
+    smaller.opts = smaller.opts.max_bytes(1 << 10);
+    let hit = sched
+        .submit(spec(FIG2), smaller)
+        .wait()
+        .expect("classifies");
+    assert!(
+        hit.cached,
+        "pointwise-smaller budget is served the capped verdict"
+    );
+
+    // Same state cap but unbounded memory: NOT covered, fresh search.
+    let unbounded = request(2);
+    let miss = sched
+        .submit(spec(FIG2), unbounded)
+        .wait()
+        .expect("classifies");
+    assert!(
+        !miss.cached,
+        "unbounded-memory request is strictly stronger than the stored budget"
+    );
+    assert_eq!(sched.searches_run(), 2);
+}

@@ -1,0 +1,130 @@
+//! Daemon lifecycle: the persisted store survives a restart, deadlines
+//! stop deterministically without polluting the cache, and the TCP
+//! protocol reports miss-then-hit.
+
+use ibgp_hunt::HuntOptions;
+use ibgp_serve::{submit_text, Request, Scheduler, Server, VerdictStore};
+use ibgp_types::StopReason;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const FIG2: &str = "\
+ibgp 1
+name fig2
+kind reflection
+protocol standard
+routers 4
+link 0 2 10
+link 0 3 1
+link 1 2 1
+link 1 3 10
+cluster r 0 c 2
+cluster r 1 c 3
+exit 1 at 2 as 1 len 1 med 0 pref 100 cost 0
+exit 2 at 3 as 1 len 1 med 0 pref 100 cost 0
+";
+
+fn spec() -> ibgp_hunt::ScenarioSpec {
+    ibgp_hunt::parse(FIG2).expect("test spec parses")
+}
+
+fn request(max_states: usize) -> Request {
+    Request::new(HuntOptions::new().max_states(max_states))
+}
+
+fn temp_log(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ibgp-lifecycle-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join("verdicts.log")
+}
+
+#[test]
+fn restart_reloads_the_store_and_answers_without_searching() {
+    let path = temp_log("restart");
+    let first = {
+        let sched = Scheduler::new(VerdictStore::open(&path).unwrap(), 1);
+        let answer = sched
+            .submit(spec(), request(10_000))
+            .wait()
+            .expect("classifies");
+        assert!(!answer.cached);
+        assert_eq!(sched.searches_run(), 1);
+        answer
+    };
+
+    // A fresh scheduler over the same log — a daemon restart.
+    let sched = Scheduler::new(VerdictStore::open(&path).unwrap(), 1);
+    assert_eq!(sched.with_store(|s| s.len()), 1, "restart replays the log");
+    let again = sched
+        .submit(spec(), request(10_000))
+        .wait()
+        .expect("classifies");
+    assert!(again.cached, "the reloaded store must answer directly");
+    assert_eq!(again.verdict.class, first.verdict.class);
+    assert_eq!(again.verdict.states, first.verdict.states);
+    assert_eq!(again.verdict.stable_vectors, first.verdict.stable_vectors);
+    assert_eq!(
+        sched.searches_run(),
+        0,
+        "restart must not repeat the search"
+    );
+    assert_eq!(sched.cache_hits(), 1);
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+#[test]
+fn expired_deadline_stops_deterministically_and_is_not_cached() {
+    let sched = Scheduler::new(VerdictStore::in_memory(), 1);
+    let mut req = request(10_000);
+    req.deadline_ms = Some(0);
+
+    let answer = sched.submit(spec(), req).wait().expect("classifies");
+    assert_eq!(
+        answer.verdict.stop,
+        StopReason::Deadline,
+        "an already-expired deadline must stop before expansion"
+    );
+    assert!(!answer.verdict.complete);
+    assert_eq!(
+        answer.verdict.states, 1,
+        "deterministic: only the initial state is visited"
+    );
+    assert_eq!(
+        sched.with_store(|s| s.len()),
+        0,
+        "deadline verdicts are not stored"
+    );
+
+    // The next deadline request searches again — nothing was cached.
+    let again = sched.submit(spec(), req).wait().expect("classifies");
+    assert!(!again.cached);
+    assert_eq!(again.verdict.stop, StopReason::Deadline);
+    assert_eq!(sched.searches_run(), 2);
+}
+
+#[test]
+fn tcp_round_trip_reports_miss_then_hit() {
+    let sched = Arc::new(Scheduler::new(VerdictStore::in_memory(), 1));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&sched)).expect("bind");
+    let addr = server.local_addr();
+
+    let cold = submit_text(addr, FIG2, &request(10_000)).expect("first round trip");
+    assert!(cold.is_ok(), "status: {}", cold.status);
+    assert_eq!(cold.field("cached"), Some("false"));
+    assert_eq!(cold.field("complete"), Some("true"));
+
+    let warm = submit_text(addr, FIG2, &request(10_000)).expect("second round trip");
+    assert!(warm.is_ok(), "status: {}", warm.status);
+    assert_eq!(warm.field("cached"), Some("true"));
+    assert_eq!(warm.field("class"), cold.field("class"));
+    assert_eq!(warm.field("states"), cold.field("states"));
+    assert_eq!(warm.field("stop"), cold.field("stop"));
+    assert_eq!(
+        warm.body, cold.body,
+        "stable vectors agree across the cache"
+    );
+
+    assert_eq!(sched.searches_run(), 1);
+    assert_eq!(sched.cache_hits(), 1);
+}
