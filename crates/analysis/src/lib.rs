@@ -10,6 +10,9 @@
 //! * [`stable`] — direct enumeration of *all* fixed points of the
 //!   standard protocol (reachable or not), used to confirm claims like
 //!   "Fig 2 has exactly two stable solutions".
+//! * [`solver`] — the same fixed points found by constraint solving
+//!   (`ibgp-solver`'s CNF encoding + DPLL) instead of `(|P|+1)^n`
+//!   enumeration; backs the `--solver sat` classification mode.
 //! * [`oscillation`] — classification of a scenario as persistently
 //!   oscillating, transiently oscillation-prone, or deterministically
 //!   stable, from the reachability evidence.
@@ -32,6 +35,7 @@ pub mod forwarding;
 pub mod oscillation;
 mod parallel;
 pub mod reachability;
+pub mod solver;
 pub mod stable;
 mod symmetry;
 
@@ -40,4 +44,5 @@ pub use flush::{flush_report, FlushReport};
 pub use forwarding::{forward_from, forwarding_loops, lemma_7_6_violations, ForwardingResult};
 pub use oscillation::{classify, OscillationClass};
 pub use reachability::{explore, ExploreOptions, Reachability};
+pub use solver::classify_sat;
 pub use stable::{enumerate_stable_standard, StableEnumeration};

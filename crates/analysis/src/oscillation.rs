@@ -48,13 +48,21 @@ impl fmt::Display for OscillationClass {
 /// Classify a scenario under a protocol configuration.
 ///
 /// Runs the exhaustive reachability search under the given options, then
-/// probes the all-at-once schedule for provable cycles.
+/// probes the all-at-once schedule for provable cycles. With
+/// [`ExploreOptions::solver`] set to [`ibgp_types::SolverMode::Sat`] the
+/// search is replaced by the constraint solver (see [`crate::solver`]),
+/// falling back to search for variants the encoding does not cover.
 pub fn classify(
     topo: &Topology,
     config: ProtocolConfig,
     exits: &[ExitPathRef],
     options: ExploreOptions,
 ) -> (OscillationClass, Reachability) {
+    if options.solver == ibgp_types::SolverMode::Sat {
+        if let Some(result) = crate::solver::classify_sat(topo, config, exits, &options) {
+            return result;
+        }
+    }
     let probe_budget = 4 * options.max_states as u64 + 16;
     let reach = explore(topo, config, exits.to_vec(), options);
     if !reach.complete {

@@ -977,5 +977,6 @@ fn search_inner(
         stable_vectors,
         stop: progress.stop,
         metrics,
+        origin: ibgp_types::VerdictOrigin::Search,
     }
 }

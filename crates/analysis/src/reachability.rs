@@ -21,7 +21,7 @@
 use ibgp_proto::variants::ProtocolConfig;
 use ibgp_sim::Metrics;
 use ibgp_topology::Topology;
-use ibgp_types::{ExitPathId, ExitPathRef, StopReason};
+use ibgp_types::{ExitPathId, ExitPathRef, SolverMode, StopReason, VerdictOrigin};
 use std::time::Instant;
 
 /// Options for [`explore`], builder-style.
@@ -40,6 +40,7 @@ pub struct ExploreOptions {
     pub(crate) flat: bool,
     pub(crate) por: bool,
     pub(crate) deadline: Option<Instant>,
+    pub(crate) solver: SolverMode,
 }
 
 /// Ceiling on auto-selected workers (`jobs = 0`). Search levels on the
@@ -60,6 +61,7 @@ impl Default for ExploreOptions {
             flat: true,
             por: false,
             deadline: None,
+            solver: SolverMode::Search,
         }
     }
 }
@@ -166,6 +168,19 @@ impl ExploreOptions {
         self
     }
 
+    /// Choose the classification backend: [`SolverMode::Search`] (the
+    /// default) explores reachable configurations; [`SolverMode::Sat`]
+    /// encodes the `Choose_best` fixed-point condition as CNF and
+    /// enumerates **all** stable routings with the constraint solver —
+    /// exact stability/bistability verdicts and exact counts with no
+    /// state enumeration. Only the standard protocol has the required
+    /// fixed-point structure; other variants fall back to search (and
+    /// [`crate::classify`] resolves the fallback transparently).
+    pub fn solver(mut self, solver: SolverMode) -> Self {
+        self.solver = solver;
+        self
+    }
+
     /// Resolve `jobs = 0` to the available hardware parallelism, capped
     /// at [`MAX_AUTO_JOBS`].
     pub(crate) fn effective_jobs(&self) -> usize {
@@ -201,6 +216,12 @@ pub struct Reachability {
     /// frontier size, and the parallel gauges (workers, handoffs, peak
     /// shard occupancy).
     pub metrics: Metrics,
+    /// Which backend produced this result. For [`VerdictOrigin::Search`]
+    /// the stable vectors are the *reachable* fixed points and `states`
+    /// counts visited configurations; for [`VerdictOrigin::Solver`] the
+    /// stable vectors are **all** fixed points of the standard protocol,
+    /// `states` is 0, and `metrics` carries only wall-clock time.
+    pub origin: VerdictOrigin,
 }
 
 impl Reachability {

@@ -1,0 +1,133 @@
+//! Property test: the constraint-solver backend is exact.
+//!
+//! Random topologies and exit sets under every selection policy. The
+//! contract, against two independent oracles:
+//!
+//! * the solver's complete model enumeration equals the brute-force
+//!   `(|P|+1)^n` odometer (`enumerate_stable_standard`) — the *global*
+//!   fixed-point set, reachable or not;
+//! * the reachable stable vectors found by a complete search are a
+//!   subset of that global set, and whenever the two sets coincide the
+//!   `--solver sat` classification equals the search classification;
+//! * a solver `Persistent` (zero fixed points anywhere) implies the
+//!   search's reachability-based `Persistent`;
+//! * a decision-capped enumeration is honest: it reports incomplete,
+//!   classifies `Unknown`, and its partial model list is a subset of
+//!   the complete run's.
+
+use ibgp_analysis::stable::enumerate_stable_standard;
+use ibgp_analysis::{classify, ExploreOptions, OscillationClass};
+use ibgp_proto::variants::{ProtocolConfig, ProtocolVariant};
+use ibgp_proto::SelectionPolicy;
+use ibgp_solver::enumerate_stable;
+use ibgp_types::{ExitPathId, SearchBudget, SolverMode, VerdictOrigin};
+use proptest::prelude::*;
+
+mod common;
+use common::{build_exits, build_topology};
+
+fn sorted(mut v: Vec<Vec<Option<ExitPathId>>>) -> Vec<Vec<Option<ExitPathId>>> {
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn solver_matches_brute_force_and_search(
+        n in 2usize..=5,
+        shape in 0u8..3,
+        chain_costs in prop::collection::vec(1u64..10, 4),
+        extra_links in prop::collection::vec((0u32..5, 0u32..5, 1u64..10), 0..4),
+        n_exits in 1usize..=4,
+        exit_raw in prop::collection::vec((1u32..3, 0u32..11, 0u32..5, 0u64..6), 4),
+        policy_raw in 0u8..3,
+    ) {
+        let topo = build_topology(n, shape, &chain_costs, &extra_links);
+        let exits = build_exits(n, n_exits, &exit_raw);
+        let policy = [
+            SelectionPolicy::PAPER,
+            SelectionPolicy::RFC1771,
+            SelectionPolicy::ALWAYS_COMPARE_MED,
+        ][policy_raw as usize];
+        let config = ProtocolConfig { variant: ProtocolVariant::Standard, policy };
+
+        // Oracle 1: the brute-force odometer over all (|P|+1)^n vectors.
+        // At most 6^5 candidates here, so the cap never trips.
+        let brute = enumerate_stable_standard(&topo, policy, &exits, 1_000_000)
+            .expect("candidate space fits the cap");
+        let report = enumerate_stable(&topo, policy, &exits, &SearchBudget::states(usize::MAX));
+        prop_assert!(report.complete, "unbounded enumeration must complete");
+        prop_assert_eq!(&report.fixed_points, &sorted(brute.fixed_points.clone()));
+
+        // Oracle 2: the reachability search. Its stable vectors are the
+        // *reachable* fixed points — always a subset of the global set.
+        let opts = || ExploreOptions::new().max_states(200_000);
+        let (search_class, search) = classify(&topo, config, &exits, opts());
+        prop_assert!(search.complete, "tiny instances must search to completion");
+        prop_assert_eq!(search.origin, VerdictOrigin::Search);
+        for v in &search.stable_vectors {
+            prop_assert!(
+                report.fixed_points.contains(v),
+                "search found a stable vector the solver missed: {:?}", v
+            );
+        }
+
+        let (sat_class, sat) =
+            classify(&topo, config, &exits, opts().solver(SolverMode::Sat));
+        prop_assert_eq!(sat.origin, VerdictOrigin::Solver);
+        prop_assert_eq!(sat.states, 0, "the solver never visits a reachable state");
+        prop_assert!(sat.complete);
+        prop_assert_eq!(&sat.stable_vectors, &report.fixed_points);
+
+        // Zero fixed points *anywhere* certainly means zero reachable ones.
+        if sat_class == OscillationClass::Persistent {
+            prop_assert_eq!(search_class, OscillationClass::Persistent);
+        }
+        // When every fixed point is reachable the two backends see the
+        // same multiplicity and run the same unique-fixed-point cycle
+        // probe, so the classifications must coincide.
+        if search.stable_vectors == report.fixed_points {
+            prop_assert_eq!(sat_class, search_class);
+        }
+    }
+
+    /// Budget honesty: a decision-capped enumeration reports incomplete,
+    /// classifies `Unknown`, and only ever under-approximates.
+    #[test]
+    fn capped_enumeration_is_honest(
+        n in 2usize..=5,
+        shape in 0u8..3,
+        chain_costs in prop::collection::vec(1u64..10, 4),
+        extra_links in prop::collection::vec((0u32..5, 0u32..5, 1u64..10), 0..4),
+        n_exits in 1usize..=4,
+        exit_raw in prop::collection::vec((1u32..3, 0u32..11, 0u32..5, 0u64..6), 4),
+        cap in 0usize..6,
+    ) {
+        let topo = build_topology(n, shape, &chain_costs, &extra_links);
+        let exits = build_exits(n, n_exits, &exit_raw);
+        let policy = SelectionPolicy::PAPER;
+
+        let full = enumerate_stable(&topo, policy, &exits, &SearchBudget::states(usize::MAX));
+        let capped = enumerate_stable(&topo, policy, &exits, &SearchBudget::states(cap));
+        prop_assert_eq!(capped.complete, capped.stop.state_cap().is_none());
+        for v in &capped.fixed_points {
+            prop_assert!(full.fixed_points.contains(v), "a capped run invented a model");
+        }
+        if capped.complete {
+            prop_assert_eq!(&capped.fixed_points, &full.fixed_points);
+        } else {
+            let config = ProtocolConfig { variant: ProtocolVariant::Standard, policy };
+            let (class, reach) = classify(
+                &topo,
+                config,
+                &exits,
+                ExploreOptions::new().max_states(cap).solver(SolverMode::Sat),
+            );
+            prop_assert_eq!(class, OscillationClass::Unknown);
+            prop_assert!(!reach.complete);
+            prop_assert_eq!(reach.origin, VerdictOrigin::Solver);
+        }
+    }
+}

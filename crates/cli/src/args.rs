@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (the workspace deliberately uses no CLI
 //! dependency).
 
-use ibgp::ProtocolVariant;
+use ibgp::{ProtocolVariant, SolverMode};
 
 /// Usage text shown on parse errors.
 pub const USAGE: &str = "\
@@ -33,6 +33,9 @@ options:
                                        commuting activation interleavings (exact)
   --max-bytes N                        visited-set byte budget (default unbounded)
   --deadline-ms N                      per-search wall-clock deadline in milliseconds
+  --solver sat|search                  classification backend (default search);
+                                       `sat` enumerates all stable routings by
+                                       constraint solving, no reachable-state search
   --steps N                            step budget (default 100000)
   --seed N                             hunt: campaign seed (default 1)
   --budget N                           hunt: topologies to generate (default 100)
@@ -67,6 +70,8 @@ pub struct SearchArgs {
     /// `--deadline-ms N` — per-search wall-clock budget, converted to an
     /// absolute deadline when the search starts.
     pub deadline_ms: Option<u64>,
+    /// `--solver sat|search`.
+    pub solver: SolverMode,
 }
 
 impl Default for SearchArgs {
@@ -78,6 +83,7 @@ impl Default for SearchArgs {
             por: false,
             max_bytes: None,
             deadline_ms: None,
+            solver: SolverMode::Search,
         }
     }
 }
@@ -262,6 +268,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     v.parse()
                         .map_err(|_| format!("invalid --deadline-ms value `{v}`"))?,
                 );
+            }
+            "--solver" => {
+                i += 1;
+                let v = rest.get(i).ok_or("--solver needs a value")?;
+                search.solver = v.parse()?;
             }
             "--out" => {
                 i += 1;
@@ -455,7 +466,7 @@ mod tests {
     #[test]
     fn parses_classify_with_options() {
         let cmd = parse(&argv(
-            "classify fig1a --variant walton --max-states 42 --jobs 4 --symmetry --por --max-bytes 4096",
+            "classify fig1a --variant walton --max-states 42 --jobs 4 --symmetry --por --max-bytes 4096 --solver sat",
         ))
         .unwrap();
         assert_eq!(
@@ -470,6 +481,7 @@ mod tests {
                     por: true,
                     max_bytes: Some(4096),
                     deadline_ms: None,
+                    solver: SolverMode::Sat,
                 },
             }
         );
@@ -495,7 +507,8 @@ mod tests {
     /// `--max-states` but not `--jobs`, or vice versa).
     #[test]
     fn every_search_verb_accepts_the_full_flag_matrix() {
-        let flags = "--jobs 3 --max-states 77 --symmetry --por --max-bytes 2048 --deadline-ms 500";
+        let flags = "--jobs 3 --max-states 77 --symmetry --por --max-bytes 2048 --deadline-ms 500 \
+                     --solver sat";
         let expected = SearchArgs {
             max_states: 77,
             jobs: 3,
@@ -503,6 +516,7 @@ mod tests {
             por: true,
             max_bytes: Some(2048),
             deadline_ms: Some(500),
+            solver: SolverMode::Sat,
         };
         for verb in [
             "classify fig1a",
@@ -529,6 +543,8 @@ mod tests {
                 "--por",
                 "--max-bytes 2048",
                 "--deadline-ms 500",
+                "--solver sat",
+                "--solver search",
             ] {
                 assert!(
                     parse(&argv(&format!("{verb} {flag}"))).is_ok(),
@@ -684,6 +700,8 @@ mod tests {
         assert!(parse(&argv("classify fig1a --variant")).is_err());
         assert!(parse(&argv("classify fig1a --max-bytes abc")).is_err());
         assert!(parse(&argv("classify fig1a --max-bytes")).is_err());
+        assert!(parse(&argv("classify fig1a --solver smt")).is_err());
+        assert!(parse(&argv("classify fig1a --solver")).is_err());
     }
 
     #[test]

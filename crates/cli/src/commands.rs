@@ -22,7 +22,8 @@ impl SearchArgs {
             .max_states(self.max_states)
             .jobs(self.jobs)
             .symmetry(self.symmetry)
-            .por(self.por);
+            .por(self.por)
+            .solver(self.solver);
         if let Some(b) = self.max_bytes {
             opts = opts.max_bytes(b);
         }
@@ -205,6 +206,12 @@ fn submit(file: &str, addr: &str, search: SearchArgs) -> Result<(), String> {
         .map_err(|_| "malformed response: bad states")?;
     let stop = ibgp::types::StopReason::from_token(&parse_field("stop")?)
         .ok_or("malformed response: bad stop token")?;
+    // Daemons predating the solver backend omit `origin`; default search.
+    let origin = resp
+        .field("origin")
+        .map(|t| ibgp::types::VerdictOrigin::from_token(t).ok_or("malformed response: bad origin"))
+        .transpose()?
+        .unwrap_or_default();
     let mut stable_vectors = Vec::new();
     for line in &resp.body {
         let Some(tok) = line.strip_prefix("vector ") else {
@@ -214,13 +221,18 @@ fn submit(file: &str, addr: &str, search: SearchArgs) -> Result<(), String> {
             ibgp_serve::vectors_from_token(tok).ok_or("malformed response: bad stable vector")?;
         stable_vectors.append(&mut vs);
     }
+    let complete = stop.is_complete();
+    let stable_count =
+        (complete && origin == ibgp::types::VerdictOrigin::Solver).then_some(stable_vectors.len());
     let verdict = Verdict {
         class,
         states,
-        complete: stop.is_complete(),
+        complete,
         stop,
         stable_vectors,
         metrics: None,
+        origin,
+        stable_count,
     };
     print_verdict(&format!("{file} (via {addr})"), &verdict);
     println!("  cached: {}", parse_field("cached")?);
@@ -264,13 +276,17 @@ fn classify(name: &str, variant: ProtocolVariant, opts: SearchArgs) {
     let s = lookup(name);
     let n = Network::from_scenario(&s, variant);
     let (class, reach) = n.classify(opts.explore_options());
+    let solved = reach.origin == ibgp::types::VerdictOrigin::Solver;
+    let stable_count = (solved && reach.complete).then_some(reach.stable_vectors.len());
     let verdict = Verdict {
         class,
         states: reach.states,
         complete: reach.complete,
         stop: reach.stop,
         stable_vectors: reach.stable_vectors,
-        metrics: Some(reach.metrics),
+        metrics: (!solved).then_some(reach.metrics),
+        origin: reach.origin,
+        stable_count,
     };
     print_verdict(&format!("{name} under {variant}"), &verdict);
 }
@@ -460,12 +476,19 @@ fn gallery(opts: SearchArgs) {
         ] {
             let (class, reach) =
                 Network::from_scenario(&s, variant).classify(opts.explore_options());
+            // Solver-origin rows count *all* stable routings (reachable
+            // or not) — tag the provenance so the columns stay honest.
+            let stable = if reach.origin == ibgp::types::VerdictOrigin::Solver {
+                format!("{} (solver)", reach.stable_vectors.len())
+            } else {
+                reach.stable_vectors.len().to_string()
+            };
             println!(
                 "{:<8} {:<9} {:>7} {:>7}  {}",
                 s.name,
                 variant.to_string(),
                 reach.states,
-                reach.stable_vectors.len(),
+                stable,
                 class
             );
         }

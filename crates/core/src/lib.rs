@@ -44,6 +44,7 @@
 //! | analysis | `ibgp-analysis` | reachability, stable enumeration, forwarding, determinism |
 //! | scenarios | `ibgp-scenarios` | every paper figure + random generators |
 //! | complexity | `ibgp-npc` | the 3-SAT reduction + DPLL ground truth |
+//! | constraint solving | `ibgp-solver` | CNF encoding of `Choose_best` fixed points + enumerating DPLL |
 //! | confederations | `ibgp-confed` | the other oscillating configuration class (extension) |
 //! | hierarchies | `ibgp-hierarchy` | arbitrarily deep route reflection (extension) |
 //! | hunting | `ibgp-hunt` | `.ibgp` scenario format, seeded campaigns, minimizer |
@@ -72,6 +73,7 @@ pub use ibgp_npc as npc;
 pub use ibgp_proto as proto;
 pub use ibgp_scenarios as scenarios;
 pub use ibgp_sim as sim;
+pub use ibgp_solver as solver;
 pub use ibgp_topology as topology;
 pub use ibgp_types as types;
 
@@ -92,4 +94,4 @@ pub use ibgp_types::{
     AsId, AsPath, BgpId, ClusterId, ExitPath, ExitPathId, ExitPathRef, IgpCost, LocalPref, Med,
     NextHop, Prefix, Route, RouteKind, RouterId,
 };
-pub use ibgp_types::{SearchBudget, StopReason};
+pub use ibgp_types::{SearchBudget, SolverMode, StopReason, VerdictOrigin};

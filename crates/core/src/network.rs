@@ -16,7 +16,10 @@ use ibgp_sim::{
     SyncOutcome,
 };
 use ibgp_topology::{Topology, TopologyBuilder, TopologyError};
-use ibgp_types::{AsId, ExitPath, ExitPathId, ExitPathRef, IgpCost, Med, Route, RouterId};
+use ibgp_types::{
+    AsId, ExitPath, ExitPathId, ExitPathRef, IgpCost, Med, Route, RouterId, SearchBudget,
+    VerdictOrigin,
+};
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
@@ -206,6 +209,31 @@ impl Network {
     ) -> Result<Vec<Vec<Option<ExitPathId>>>, EnumerationTooLarge> {
         enumerate_stable_standard(&self.topology, self.config.policy, &self.exits, cap)
             .map(|e| e.fixed_points)
+    }
+
+    /// Every stable configuration of the **standard** protocol, never
+    /// refusing: direct `(|P|+1)^n` enumeration while it fits under
+    /// `cap` candidates, falling back to the constraint solver
+    /// (`ibgp-solver`) where [`Self::stable_solutions`] bails with
+    /// [`EnumerationTooLarge`]. The returned origin says which backend
+    /// produced the set ([`VerdictOrigin::Solver`] marks the fallback).
+    pub fn stable_solutions_exact(
+        &self,
+        cap: u64,
+    ) -> (Vec<Vec<Option<ExitPathId>>>, VerdictOrigin) {
+        match self.stable_solutions(cap) {
+            Ok(fps) => (fps, VerdictOrigin::Search),
+            Err(_) => {
+                let report = ibgp_solver::enumerate_stable(
+                    &self.topology,
+                    self.config.policy,
+                    &self.exits,
+                    &SearchBudget::states(usize::MAX),
+                );
+                debug_assert!(report.complete, "unbounded solver enumeration completes");
+                (report.fixed_points, VerdictOrigin::Solver)
+            }
+        }
     }
 
     /// Run the determinism sweep (E8): many fair schedules, compare fixed
@@ -422,6 +450,19 @@ mod tests {
         let n = disagree(ProtocolVariant::Standard);
         let solutions = n.stable_solutions(1_000_000).unwrap();
         assert_eq!(solutions.len(), 2);
+    }
+
+    #[test]
+    fn exact_enumeration_falls_back_to_the_solver_under_a_tiny_cap() {
+        let n = disagree(ProtocolVariant::Standard);
+        let (direct, origin) = n.stable_solutions_exact(1_000_000);
+        assert_eq!(origin, VerdictOrigin::Search);
+        // A cap too small for (|P|+1)^n forces the solver path; the set
+        // of fixed points must be identical.
+        let (solved, origin) = n.stable_solutions_exact(1);
+        assert_eq!(origin, VerdictOrigin::Solver);
+        assert_eq!(solved, direct);
+        assert_eq!(solved.len(), 2);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use ibgp_analysis::{ExploreOptions, OscillationClass};
 use ibgp_confed::explore_confed;
 use ibgp_hierarchy::explore_hier;
 use ibgp_sim::Metrics;
-use ibgp_types::{ExitPathId, SearchBudget, StopReason};
+use ibgp_types::{ExitPathId, SearchBudget, SolverMode, StopReason, VerdictOrigin};
 use std::time::Instant;
 
 /// Search knobs shared by every hunt entry point.
@@ -48,6 +48,12 @@ pub struct HuntOptions {
     /// for no deadline. Every search kind honors it, checked at
     /// deterministic points (BFS level boundaries / between expansions).
     pub deadline: Option<Instant>,
+    /// Classification backend: reachability search (default) or the
+    /// `ibgp-solver` constraint encoding (`Sat`), which enumerates *all*
+    /// stable routings without visiting reachable states. Only the
+    /// standard-protocol flat-reflection path supports the solver;
+    /// other kinds and variants fall back to search.
+    pub solver: SolverMode,
 }
 
 impl Default for HuntOptions {
@@ -60,6 +66,7 @@ impl Default for HuntOptions {
             flat: true,
             por: false,
             deadline: None,
+            solver: SolverMode::Search,
         }
     }
 }
@@ -74,7 +81,8 @@ impl From<&HuntOptions> for ExploreOptions {
             .jobs(o.jobs)
             .symmetry(o.symmetry)
             .flat_encoding(o.flat)
-            .por(o.por);
+            .por(o.por)
+            .solver(o.solver);
         if let Some(b) = o.max_bytes {
             opts = opts.max_bytes(b);
         }
@@ -147,6 +155,12 @@ impl HuntOptions {
         self
     }
 
+    /// Pick the classification backend (search, the default, or `Sat`).
+    pub fn solver(mut self, solver: SolverMode) -> Self {
+        self.solver = solver;
+        self
+    }
+
     /// The knobs only the instrumented flat-reflection search honors,
     /// listed by their command-line spelling when set to a non-default
     /// value. The dedicated confed/hierarchy searches ignore every one
@@ -169,6 +183,9 @@ impl HuntOptions {
         if !self.flat {
             set.push("the legacy state encoding");
         }
+        if self.solver == SolverMode::Sat {
+            set.push("--solver sat");
+        }
         set
     }
 }
@@ -188,8 +205,19 @@ pub struct Verdict {
     /// Distinct stable best-exit vectors, canonical order.
     pub stable_vectors: Vec<Vec<Option<ExitPathId>>>,
     /// Search metrics — available on the flat-reflection path only (the
-    /// confed/hierarchy searches do not instrument themselves).
+    /// confed/hierarchy searches do not instrument themselves, and the
+    /// solver backend has no search to instrument).
     pub metrics: Option<Metrics>,
+    /// Which backend produced the evidence. `Search` verdicts count
+    /// *reachable* states and reachable stable vectors; `Solver`
+    /// verdicts enumerate *all* stable routings (reachable or not) and
+    /// never visit a state (`states` is 0).
+    pub origin: VerdictOrigin,
+    /// Exact number of stable routings of the whole instance, reachable
+    /// or not — `Some` only when a complete solver enumeration
+    /// established it. Search verdicts leave this `None` (they count
+    /// reachable fixed points only).
+    pub stable_count: Option<usize>,
 }
 
 impl Verdict {
@@ -242,11 +270,20 @@ impl Verdict {
         if let Some(hint) = self.stop_hint() {
             let _ = writeln!(out, "  {hint}");
         }
-        let _ = writeln!(
-            out,
-            "  {} reachable configurations (complete search: {})",
-            self.states, self.complete
-        );
+        if self.origin == VerdictOrigin::Solver {
+            let _ = writeln!(
+                out,
+                "  {} stable routing(s) in total, reachable or not (complete solver enumeration: {})",
+                self.stable_count.unwrap_or(self.stable_vectors.len()),
+                self.complete
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  {} reachable configurations (complete search: {})",
+                self.states, self.complete
+            );
+        }
         if let Some(m) = &self.metrics {
             let _ = writeln!(
                 out,
@@ -331,6 +368,8 @@ fn from_search(
         stop,
         stable_vectors,
         metrics: None,
+        origin: VerdictOrigin::Search,
+        stable_count: None,
     }
 }
 
@@ -348,13 +387,19 @@ pub fn classify_spec(spec: &ScenarioSpec, opts: &HuntOptions) -> Result<Verdict,
             exits,
         } => {
             let (class, reach) = ibgp_analysis::classify(&topology, config, &exits, opts.into());
+            let solved = reach.origin == VerdictOrigin::Solver;
+            let stable_count = (solved && reach.complete).then_some(reach.stable_vectors.len());
             Ok(Verdict {
                 class,
                 states: reach.states,
                 complete: reach.complete,
                 stop: reach.stop,
                 stable_vectors: reach.stable_vectors,
-                metrics: Some(reach.metrics),
+                // The solver's Metrics carry only wall-clock; rendering
+                // them as search throughput would be nonsense.
+                metrics: (!solved).then_some(reach.metrics),
+                origin: reach.origin,
+                stable_count,
             })
         }
         Built::Confed {
@@ -480,6 +525,7 @@ mod tests {
             por: true,
             max_bytes: Some(1 << 20),
             flat: false,
+            solver: SolverMode::Sat,
             ..HuntOptions::default()
         };
         assert_eq!(
@@ -490,6 +536,7 @@ mod tests {
                 "--por",
                 "--max-bytes",
                 "the legacy state encoding",
+                "--solver sat",
             ]
         );
         // One flag alone is reported alone.
@@ -528,6 +575,29 @@ mod tests {
     }
 
     #[test]
+    fn solver_verdicts_carry_origin_count_and_their_own_wording() {
+        let opts = HuntOptions::new().solver(SolverMode::Sat);
+        let v = classify_spec(&disagree(ProtocolVariant::Standard), &opts).unwrap();
+        assert_eq!(v.class, OscillationClass::Transient);
+        assert_eq!(v.origin, VerdictOrigin::Solver);
+        assert_eq!(v.stable_count, Some(2));
+        assert_eq!(v.states, 0, "the solver never visits a state");
+        assert!(v.complete);
+        assert!(v.metrics.is_none(), "no search ran, so no search metrics");
+        let text = v.render("disagree");
+        assert!(text.contains(
+            "  2 stable routing(s) in total, reachable or not (complete solver enumeration: true)\n"
+        ));
+        assert!(!text.contains("reachable configurations"));
+        // Variants the encoding does not cover fall back to search and
+        // say so via the origin.
+        let v = classify_spec(&disagree(ProtocolVariant::Modified), &opts).unwrap();
+        assert_eq!(v.origin, VerdictOrigin::Search);
+        assert_eq!(v.stable_count, None);
+        assert!(v.metrics.is_some());
+    }
+
+    #[test]
     fn option_conversions_carry_every_knob() {
         let opts = HuntOptions::new()
             .max_states(77)
@@ -535,6 +605,7 @@ mod tests {
             .symmetry(true)
             .max_bytes(1 << 20)
             .por(true)
+            .solver(SolverMode::Search)
             .deadline(Instant::now() + std::time::Duration::from_secs(3600));
         let budget = SearchBudget::from(&opts);
         assert_eq!(budget.max_states, 77);

@@ -1,135 +1,44 @@
 //! A complete DPLL SAT solver — the ground truth the reduction is
 //! verified against.
 //!
-//! Plain DPLL with unit propagation and pure-literal elimination;
-//! entirely adequate for the instance sizes the reduction's state-space
-//! verification can handle (tens of variables).
+//! Historically this was a self-contained recursive DPLL with a stack
+//! depth proportional to the variable count. The engine has since been
+//! promoted to `ibgp-solver` and generalized: iterative explicit-trail
+//! search, two-watched-literal unit propagation, all-solutions
+//! enumeration (which the stability encoder needs and this crate does
+//! not). This module keeps the crate-local 3-SAT vocabulary and
+//! delegates the solving.
 
-use crate::sat::{Formula, Lit};
+use crate::sat::Formula;
+use ibgp_solver::cnf::{Cnf, Lit as CnfLit, Var};
 
 /// Decide satisfiability; return a satisfying assignment if one exists.
+/// Unconstrained variables default to `false`.
 pub fn solve(formula: &Formula) -> Option<Vec<bool>> {
-    let mut assignment: Vec<Option<bool>> = vec![None; formula.num_vars];
-    let clauses: Vec<Vec<Lit>> = formula.clauses.iter().map(|c| c.0.clone()).collect();
-    if dpll(&clauses, &mut assignment) {
-        // Unconstrained variables default to false.
-        Some(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
-    } else {
-        None
-    }
-}
-
-/// Clause status under a partial assignment.
-enum Status {
-    Satisfied,
-    /// The clause's remaining unassigned literals.
-    Open(Vec<Lit>),
-    Conflict,
-}
-
-fn clause_status(clause: &[Lit], assignment: &[Option<bool>]) -> Status {
-    let mut open = Vec::new();
-    for &l in clause {
-        match assignment[l.var.index()] {
-            Some(v) if v == l.positive => return Status::Satisfied,
-            Some(_) => {}
-            None => open.push(l),
-        }
-    }
-    if open.is_empty() {
-        Status::Conflict
-    } else {
-        Status::Open(open)
-    }
-}
-
-fn dpll(clauses: &[Vec<Lit>], assignment: &mut Vec<Option<bool>>) -> bool {
-    // Unit propagation to fixpoint.
-    let mut trail: Vec<usize> = Vec::new();
-    loop {
-        let mut unit: Option<Lit> = None;
-        let mut all_satisfied = true;
-        for c in clauses {
-            match clause_status(c, assignment) {
-                Status::Satisfied => {}
-                Status::Conflict => {
-                    undo(assignment, &trail);
-                    return false;
-                }
-                Status::Open(open) => {
-                    all_satisfied = false;
-                    if open.len() == 1 {
-                        unit = Some(open[0]);
-                        break;
+    let mut cnf = Cnf::with_vars(formula.num_vars as u32);
+    for clause in &formula.clauses {
+        cnf.add(
+            clause
+                .0
+                .iter()
+                .map(|l| {
+                    let v = Var(l.var.index() as u32);
+                    if l.positive {
+                        CnfLit::pos(v)
+                    } else {
+                        CnfLit::neg(v)
                     }
-                }
-            }
-        }
-        if all_satisfied {
-            return true;
-        }
-        match unit {
-            Some(l) => {
-                assignment[l.var.index()] = Some(l.positive);
-                trail.push(l.var.index());
-            }
-            None => break,
-        }
+                })
+                .collect(),
+        );
     }
-
-    // Pure-literal elimination.
-    let mut seen_pos = vec![false; assignment.len()];
-    let mut seen_neg = vec![false; assignment.len()];
-    for c in clauses {
-        if let Status::Open(open) = clause_status(c, assignment) {
-            for l in open {
-                if l.positive {
-                    seen_pos[l.var.index()] = true;
-                } else {
-                    seen_neg[l.var.index()] = true;
-                }
-            }
-        }
-    }
-    for v in 0..assignment.len() {
-        if assignment[v].is_none() && (seen_pos[v] ^ seen_neg[v]) {
-            assignment[v] = Some(seen_pos[v]);
-            trail.push(v);
-        }
-    }
-
-    // Branch on the first unassigned variable of an open clause.
-    let branch_var = clauses
-        .iter()
-        .find_map(|c| match clause_status(c, assignment) {
-            Status::Open(open) => Some(open[0].var.index()),
-            _ => None,
-        });
-    let Some(v) = branch_var else {
-        // No open clauses left: satisfied.
-        return true;
-    };
-    for value in [true, false] {
-        assignment[v] = Some(value);
-        if dpll(clauses, assignment) {
-            return true;
-        }
-        assignment[v] = None;
-    }
-    undo(assignment, &trail);
-    false
-}
-
-fn undo(assignment: &mut [Option<bool>], trail: &[usize]) {
-    for &v in trail {
-        assignment[v] = None;
-    }
+    ibgp_solver::solve_one(&cnf)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sat::{Clause, Formula};
+    use crate::sat::{Clause, Formula, Lit};
 
     fn f(num_vars: usize, clauses: Vec<Vec<Lit>>) -> Formula {
         Formula::new(num_vars, clauses.into_iter().map(Clause).collect()).unwrap()

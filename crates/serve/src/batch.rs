@@ -144,6 +144,8 @@ mod tests {
                 stop: StopReason::Complete,
                 stable_vectors: vec![vec![Some(ibgp_types::ExitPathId::new(1)), None]],
                 metrics: None,
+                origin: ibgp_types::VerdictOrigin::Search,
+                stable_count: None,
             },
             cached,
         };

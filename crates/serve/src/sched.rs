@@ -149,7 +149,7 @@ impl Scheduler {
         // Answer straight from the store when a servable entry exists.
         {
             let store = self.inner.store.lock().unwrap();
-            if let Some(v) = store.lookup(&sig, &request.budget()) {
+            if let Some(v) = store.lookup(&sig, &request.budget(), request.opts.solver) {
                 self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
                 let job = Arc::new(Job {
                     spec,
@@ -168,11 +168,13 @@ impl Scheduler {
         let mut queue = self.inner.queue.lock().unwrap();
         // In-flight dedup: ride an existing job whose budget covers this
         // request. Deadline jobs are never shared — their effective
-        // budget is wall-clock and not comparable.
+        // budget is wall-clock and not comparable — and neither are jobs
+        // asking for a different classification backend.
         if request.deadline_ms.is_none() {
             let candidate = queue.jobs.iter().chain(queue.running.iter()).find(|j| {
                 j.sig == sig
                     && j.request.deadline_ms.is_none()
+                    && j.request.opts.solver == request.opts.solver
                     && j.request.budget().covers(&request.budget())
             });
             if let Some(job) = candidate {
@@ -252,7 +254,7 @@ fn run_job(inner: &Inner, job: &Job) {
     // one sat in the queue.
     {
         let store = inner.store.lock().unwrap();
-        if let Some(v) = store.lookup(&job.sig, &job.request.budget()) {
+        if let Some(v) = store.lookup(&job.sig, &job.request.budget(), job.request.opts.solver) {
             inner.cache_hits.fetch_add(1, Ordering::Relaxed);
             job.finish(Ok(Answer {
                 verdict: v.clone(),

@@ -3,7 +3,7 @@
 //! One request per connection:
 //!
 //! ```text
-//! classify [max-states=N] [max-bytes=N] [deadline-ms=N] [symmetry=0|1] [por=0|1]
+//! classify [max-states=N] [max-bytes=N] [deadline-ms=N] [symmetry=0|1] [por=0|1] [solver=sat|search]
 //! <.ibgp text, verbatim>
 //! end
 //! ```
@@ -11,7 +11,7 @@
 //! Response:
 //!
 //! ```text
-//! ok class=<keyword> states=<n> stop=<token> complete=<bool> cached=<bool> stable=<k>
+//! ok class=<keyword> states=<n> stop=<token> complete=<bool> cached=<bool> origin=<search|solver> stable=<k>
 //! vector <entry> <entry> ...        (k lines; entries `-` or raw exit id)
 //! end
 //! ```
@@ -135,12 +135,13 @@ fn handle_connection(stream: TcpStream, sched: &Scheduler) -> io::Result<()> {
             let v = &answer.verdict;
             writeln!(
                 writer,
-                "ok class={} states={} stop={} complete={} cached={} stable={}",
+                "ok class={} states={} stop={} complete={} cached={} origin={} stable={}",
                 class_keyword(v.class),
                 v.states,
                 v.stop.token(),
                 v.complete,
                 answer.cached,
+                v.origin.token(),
                 v.stable_vectors.len()
             )?;
             for sv in &v.stable_vectors {
@@ -197,6 +198,7 @@ pub fn parse_header(line: &str) -> Result<Request, String> {
             }
             "symmetry" => request.opts.symmetry = value == "1",
             "por" => request.opts.por = value == "1",
+            "solver" => request.opts.solver = value.parse()?,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -224,6 +226,9 @@ pub fn submit_text(
     }
     if request.opts.por {
         header.push_str(" por=1");
+    }
+    if request.opts.solver != ibgp_types::SolverMode::Search {
+        header.push_str(&format!(" solver={}", request.opts.solver.token()));
     }
     writeln!(stream, "{header}")?;
     stream.write_all(text.as_bytes())?;
@@ -291,6 +296,10 @@ mod tests {
             r.opts.max_states,
             ibgp_hunt::HuntOptions::default().max_states
         );
+        assert_eq!(r.opts.solver, ibgp_types::SolverMode::Search);
+        let r = parse_header("classify solver=sat").unwrap();
+        assert_eq!(r.opts.solver, ibgp_types::SolverMode::Sat);
+        assert!(parse_header("classify solver=smt").is_err());
         assert!(parse_header("classify max-states=x").is_err());
         assert!(parse_header("classify bogus=1").is_err());
         assert!(parse_header("destroy").is_err());
@@ -300,13 +309,15 @@ mod tests {
     #[test]
     fn response_fields_parse() {
         let r = Response {
-            status: "ok class=stable states=12 stop=complete complete=true cached=false stable=1"
+            status: "ok class=stable states=12 stop=complete complete=true cached=false \
+                     origin=search stable=1"
                 .into(),
             body: vec!["vector 1,-".into()],
         };
         assert!(r.is_ok());
         assert_eq!(r.field("class"), Some("stable"));
         assert_eq!(r.field("cached"), Some("false"));
+        assert_eq!(r.field("origin"), Some("search"));
         assert_eq!(r.field("missing"), None);
     }
 }

@@ -16,6 +16,13 @@
 //! verdicts are never stored at all: wall-clock expiry says nothing
 //! reproducible about any budget.
 //!
+//! Entries also remember which backend produced them
+//! ([`ibgp_types::VerdictOrigin`]). A *complete* verdict answers the same
+//! question whichever backend proved it, so completeness trumps origin.
+//! An *inconclusive* verdict is backend-specific evidence ("this budget
+//! was not enough *for that backend*") and is served only to requests
+//! asking for the same backend.
+//!
 //! ## Persistence
 //!
 //! The store is an append-only text log, one entry per line, fsynced on
@@ -26,7 +33,7 @@
 
 use ibgp_analysis::OscillationClass;
 use ibgp_hunt::Verdict;
-use ibgp_types::{ExitPathId, StopReason};
+use ibgp_types::{ExitPathId, SolverMode, StopReason, VerdictOrigin};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, Write};
@@ -76,21 +83,35 @@ pub struct Entry {
     pub budget: StoredBudget,
 }
 
+/// The [`VerdictOrigin`] a request under `mode` expects its evidence
+/// from (search requests want search evidence, sat requests solver
+/// evidence).
+fn expected_origin(mode: SolverMode) -> VerdictOrigin {
+    match mode {
+        SolverMode::Search => VerdictOrigin::Search,
+        SolverMode::Sat => VerdictOrigin::Solver,
+    }
+}
+
 impl Entry {
-    /// Whether this entry may answer a request under `req` (see the
-    /// module docs for the poisoning guard).
-    pub fn servable_for(&self, req: &StoredBudget) -> bool {
-        self.verdict.complete || self.budget.covers(req)
+    /// Whether this entry may answer a request under `req` asking for
+    /// backend `mode` (see the module docs for the poisoning guard).
+    /// Complete verdicts serve every request regardless of origin;
+    /// inconclusive ones only same-backend requests with covered budgets.
+    pub fn servable_for(&self, req: &StoredBudget, mode: SolverMode) -> bool {
+        self.verdict.complete
+            || (self.verdict.origin == expected_origin(mode) && self.budget.covers(req))
     }
 
     /// Whether this entry supersedes `old` under strongest-entry-wins:
     /// complete beats inconclusive, and among inconclusive entries the
-    /// one whose budget covers the other's wins.
+    /// same-backend one whose budget covers the other's wins.
     fn supersedes(&self, old: &Entry) -> bool {
         if old.verdict.complete {
             return false;
         }
-        self.verdict.complete || self.budget.covers(&old.budget)
+        self.verdict.complete
+            || (self.verdict.origin == old.verdict.origin && self.budget.covers(&old.budget))
     }
 }
 
@@ -159,10 +180,11 @@ impl VerdictStore {
         self.entries.is_empty()
     }
 
-    /// The verdict for `sig` servable under `req`, if any.
-    pub fn lookup(&self, sig: &str, req: &StoredBudget) -> Option<&Verdict> {
+    /// The verdict for `sig` servable under `req` with backend `mode`,
+    /// if any.
+    pub fn lookup(&self, sig: &str, req: &StoredBudget, mode: SolverMode) -> Option<&Verdict> {
         let entry = self.entries.get(sig)?;
-        entry.servable_for(req).then_some(&entry.verdict)
+        entry.servable_for(req, mode).then_some(&entry.verdict)
     }
 
     /// Insert a verdict produced under `budget`. Returns `true` if the
@@ -268,10 +290,14 @@ pub fn vectors_from_token(s: &str) -> Option<Vec<Vec<Option<ExitPathId>>>> {
         .collect()
 }
 
-/// `v1 <sig> <max_states> <max_bytes|-> <class> <states> <stop> <vectors>\n`
+/// `v1 <sig> <max_states> <max_bytes|-> <class> <states> <stop> <vectors> [solver]\n`
+///
+/// The trailing `solver` token is present exactly when the verdict came
+/// from the constraint solver; its absence means search, so logs written
+/// before the solver backend existed replay unchanged.
 fn format_line(sig: &str, e: &Entry) -> String {
     format!(
-        "v1 {} {} {} {} {} {} {}\n",
+        "v1 {} {} {} {} {} {} {}{}\n",
         sig,
         e.budget.max_states,
         e.budget
@@ -282,6 +308,10 @@ fn format_line(sig: &str, e: &Entry) -> String {
         e.verdict.states,
         e.verdict.stop.token(),
         vectors_token(&e.verdict.stable_vectors),
+        match e.verdict.origin {
+            VerdictOrigin::Search => "",
+            VerdictOrigin::Solver => " solver",
+        },
     )
 }
 
@@ -300,16 +330,26 @@ fn parse_line(line: &str) -> Option<(String, Entry)> {
     let states: usize = t.next()?.parse().ok()?;
     let stop = StopReason::from_token(t.next()?)?;
     let stable_vectors = vectors_from_token(t.next()?)?;
+    let origin = match t.next() {
+        None => VerdictOrigin::Search,
+        Some("solver") => VerdictOrigin::Solver,
+        Some(_) => return None,
+    };
     if t.next().is_some() {
         return None;
     }
+    let complete = stop.is_complete();
+    let stable_count =
+        (complete && origin == VerdictOrigin::Solver).then_some(stable_vectors.len());
     let verdict = Verdict {
         class,
         states,
-        complete: stop.is_complete(),
+        complete,
         stop,
         stable_vectors,
         metrics: None,
+        origin,
+        stable_count,
     };
     Some((
         sig,
@@ -335,6 +375,22 @@ mod tests {
             stop,
             stable_vectors: vec![vec![Some(ExitPathId::new(1)), None]],
             metrics: None,
+            origin: VerdictOrigin::Search,
+            stable_count: None,
+        }
+    }
+
+    fn solver_verdict(class: OscillationClass, stop: StopReason) -> Verdict {
+        let complete = stop.is_complete();
+        Verdict {
+            class,
+            states: 0,
+            complete,
+            stop,
+            stable_vectors: vec![vec![Some(ExitPathId::new(1)), None]],
+            metrics: None,
+            origin: VerdictOrigin::Solver,
+            stable_count: complete.then_some(1),
         }
     }
 
@@ -374,21 +430,47 @@ mod tests {
         let mut store = VerdictStore::in_memory();
         let capped = verdict(OscillationClass::Unknown, StopReason::StateCap(10));
         assert!(store.insert("s", &capped, b(10)).unwrap());
-        assert!(store.lookup("s", &b(10)).is_some());
-        assert!(store.lookup("s", &b(5)).is_some());
+        assert!(store.lookup("s", &b(10), SolverMode::Search).is_some());
+        assert!(store.lookup("s", &b(5), SolverMode::Search).is_some());
         assert!(
-            store.lookup("s", &b(100)).is_none(),
+            store.lookup("s", &b(100), SolverMode::Search).is_none(),
             "a capped verdict must not answer a larger-budget request"
         );
         let complete = verdict(OscillationClass::Stable, StopReason::Complete);
         assert!(store.insert("s", &complete, b(100)).unwrap());
-        assert!(store.lookup("s", &b(1_000_000)).is_some());
+        assert!(store
+            .lookup("s", &b(1_000_000), SolverMode::Search)
+            .is_some());
         // And the complete entry cannot be downgraded again.
         assert!(!store.insert("s", &capped, b(10)).unwrap());
         assert_eq!(
-            store.lookup("s", &b(5)).unwrap().class,
+            store.lookup("s", &b(5), SolverMode::Search).unwrap().class,
             OscillationClass::Stable
         );
+    }
+
+    #[test]
+    fn inconclusive_entries_serve_only_their_own_backend() {
+        let mut store = VerdictStore::in_memory();
+        let capped = verdict(OscillationClass::Unknown, StopReason::StateCap(10));
+        assert!(store.insert("s", &capped, b(10)).unwrap());
+        assert!(
+            store.lookup("s", &b(5), SolverMode::Sat).is_none(),
+            "inconclusive search evidence says nothing about a solver run"
+        );
+        // An inconclusive solver entry does not displace (same-sig)
+        // inconclusive search evidence, and vice versa.
+        let solver_capped = solver_verdict(OscillationClass::Unknown, StopReason::StateCap(10));
+        assert!(!store.insert("s", &solver_capped, b(10)).unwrap());
+        // A *complete* solver verdict serves every backend and wins.
+        let solved = solver_verdict(OscillationClass::Transient, StopReason::Complete);
+        assert!(store.insert("s", &solved, b(10)).unwrap());
+        let v = store
+            .lookup("s", &b(1_000_000), SolverMode::Search)
+            .unwrap();
+        assert_eq!(v.origin, VerdictOrigin::Solver);
+        assert_eq!(v.stable_count, Some(1));
+        assert!(store.lookup("s", &b(1_000_000), SolverMode::Sat).is_some());
     }
 
     #[test]
@@ -422,9 +504,23 @@ mod tests {
             let (sig, back) = parse_line(line.trim_end()).unwrap();
             assert_eq!(sig, "c:abc");
             assert_eq!(back, e);
+            // Solver-origin entries round-trip through the trailing token.
+            let e = Entry {
+                verdict: solver_verdict(class, stop),
+                budget: StoredBudget {
+                    max_states: 99,
+                    max_bytes: None,
+                },
+            };
+            let line = format_line("c:abc", &e);
+            assert!(line.trim_end().ends_with(" solver"));
+            let (_, back) = parse_line(line.trim_end()).unwrap();
+            assert_eq!(back, e);
         }
         assert!(parse_line("v2 x 1 - stable 1 complete -").is_none());
         assert!(parse_line("v1 x notanumber - stable 1 complete -").is_none());
+        assert!(parse_line("v1 x 1 - stable 1 complete - smt").is_none());
+        assert!(parse_line("v1 x 1 - stable 1 complete - solver extra").is_none());
     }
 
     #[test]
@@ -458,7 +554,9 @@ mod tests {
         }
         let store = VerdictStore::open(&path).unwrap();
         assert_eq!(store.len(), 1);
-        let v = store.lookup("s", &b(1_000_000)).unwrap();
+        let v = store
+            .lookup("s", &b(1_000_000), SolverMode::Search)
+            .unwrap();
         assert_eq!(v.class, OscillationClass::Stable);
         assert!(v.complete);
         let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,237 @@
+//! CNF formulas with width-unbounded clauses and the definitional
+//! (Tseitin-style) encoding helpers the fixed-point encoder uses.
+//!
+//! The solver's variables and literals are deliberately minimal: a
+//! [`Var`] is a dense index, a [`Lit`] packs variable and polarity into
+//! one word so watch lists can be literal-indexed arrays.
+
+use std::fmt;
+
+/// A propositional variable, identified by a dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: a variable with a polarity. Encoded as `2*var + sign` so
+/// the two literals of a variable are adjacent and watch lists can be
+/// indexed directly by [`Lit::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this is the positive literal.
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The opposite literal of the same variable.
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense index for literal-keyed tables (watch lists).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pos() {
+            write!(f, "x{}", self.var().0)
+        } else {
+            write!(f, "!x{}", self.var().0)
+        }
+    }
+}
+
+/// A CNF formula under construction: a variable counter plus a clause
+/// database. Clauses are plain literal vectors of any width.
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// An empty formula with no variables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty formula over `n` pre-allocated variables (indices
+    /// `0..n`), for callers with an external variable numbering.
+    pub fn with_vars(n: u32) -> Self {
+        Self {
+            num_vars: n,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Allocate a fresh variable.
+    pub fn fresh(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// The clause database.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Add one clause (a disjunction of literals). An empty clause makes
+    /// the formula unsatisfiable.
+    pub fn add(&mut self, clause: Vec<Lit>) {
+        self.clauses.push(clause);
+    }
+
+    /// Define `y ⇔ ⋀ lits` (a conjunction of literals): clauses
+    /// `(¬y ∨ l)` for each `l`, plus `(y ∨ ¬l₁ ∨ … ∨ ¬lₖ)`. An empty
+    /// conjunction asserts `y` outright.
+    pub fn define_and(&mut self, y: Var, lits: &[Lit]) {
+        if lits.is_empty() {
+            self.add(vec![Lit::pos(y)]);
+            return;
+        }
+        for &l in lits {
+            self.add(vec![Lit::neg(y), l]);
+        }
+        let mut back: Vec<Lit> = Vec::with_capacity(lits.len() + 1);
+        back.push(Lit::pos(y));
+        back.extend(lits.iter().map(|l| l.negated()));
+        self.add(back);
+    }
+
+    /// Define `y ⇔ ⋁ lits` (a disjunction of literals): clause
+    /// `(¬y ∨ l₁ ∨ … ∨ lₖ)`, plus `(y ∨ ¬l)` for each `l`. An empty
+    /// disjunction asserts `¬y` outright.
+    pub fn define_or(&mut self, y: Var, lits: &[Lit]) {
+        if lits.is_empty() {
+            self.add(vec![Lit::neg(y)]);
+            return;
+        }
+        let mut fwd: Vec<Lit> = Vec::with_capacity(lits.len() + 1);
+        fwd.push(Lit::neg(y));
+        fwd.extend_from_slice(lits);
+        self.add(fwd);
+        for &l in lits {
+            self.add(vec![Lit::pos(y), l.negated()]);
+        }
+    }
+
+    /// Define `y ⇔ a ∧ (⋁ bs)`: clauses `(¬y ∨ a)`,
+    /// `(¬y ∨ b₁ ∨ … ∨ bₖ)`, and `(y ∨ ¬a ∨ ¬b)` for each `b`. An empty
+    /// disjunction asserts `¬y`.
+    pub fn define_and_or(&mut self, y: Var, a: Lit, bs: &[Lit]) {
+        if bs.is_empty() {
+            self.add(vec![Lit::neg(y)]);
+            return;
+        }
+        self.add(vec![Lit::neg(y), a]);
+        let mut fwd: Vec<Lit> = Vec::with_capacity(bs.len() + 1);
+        fwd.push(Lit::neg(y));
+        fwd.extend_from_slice(bs);
+        self.add(fwd);
+        for &b in bs {
+            self.add(vec![Lit::pos(y), a.negated(), b.negated()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(cnf: &Cnf, assignment: &[bool]) -> bool {
+        cnf.clauses()
+            .iter()
+            .all(|c| c.iter().any(|l| assignment[l.var().index()] == l.is_pos()))
+    }
+
+    #[test]
+    fn literal_packing_round_trips() {
+        let v = Var(7);
+        assert!(Lit::pos(v).is_pos());
+        assert!(!Lit::neg(v).is_pos());
+        assert_eq!(Lit::pos(v).var(), v);
+        assert_eq!(Lit::neg(v).var(), v);
+        assert_eq!(Lit::pos(v).negated(), Lit::neg(v));
+        assert_eq!(Lit::neg(v).negated(), Lit::pos(v));
+        assert_eq!(Lit::pos(v).index() + 1, Lit::neg(v).index());
+    }
+
+    /// The definitional helpers really are equivalences: exhaustively
+    /// check every assignment of small definitions.
+    #[test]
+    fn definitions_are_equivalences() {
+        // y <=> a ∧ ¬b
+        let mut cnf = Cnf::new();
+        let (a, b, y) = (cnf.fresh(), cnf.fresh(), cnf.fresh());
+        cnf.define_and(y, &[Lit::pos(a), Lit::neg(b)]);
+        for bits in 0..8u32 {
+            let asg = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            let want = asg[0] && !asg[1];
+            assert_eq!(eval(&cnf, &asg), asg[y.index()] == want, "{asg:?}");
+        }
+
+        // y <=> a ∨ b
+        let mut cnf = Cnf::new();
+        let (a, b, y) = (cnf.fresh(), cnf.fresh(), cnf.fresh());
+        cnf.define_or(y, &[Lit::pos(a), Lit::pos(b)]);
+        for bits in 0..8u32 {
+            let asg = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            let want = asg[0] || asg[1];
+            assert_eq!(eval(&cnf, &asg), asg[y.index()] == want, "{asg:?}");
+        }
+
+        // y <=> a ∧ (b ∨ c)
+        let mut cnf = Cnf::new();
+        let (a, b, c, y) = (cnf.fresh(), cnf.fresh(), cnf.fresh(), cnf.fresh());
+        cnf.define_and_or(y, Lit::pos(a), &[Lit::pos(b), Lit::pos(c)]);
+        for bits in 0..16u32 {
+            let asg = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0];
+            let want = asg[0] && (asg[1] || asg[2]);
+            assert_eq!(eval(&cnf, &asg), asg[y.index()] == want, "{asg:?}");
+        }
+    }
+
+    #[test]
+    fn empty_definitions_are_constants() {
+        let mut cnf = Cnf::new();
+        let y = cnf.fresh();
+        cnf.define_and(y, &[]);
+        assert_eq!(cnf.clauses(), &[vec![Lit::pos(y)]]);
+
+        let mut cnf = Cnf::new();
+        let y = cnf.fresh();
+        cnf.define_or(y, &[]);
+        assert_eq!(cnf.clauses(), &[vec![Lit::neg(y)]]);
+    }
+}

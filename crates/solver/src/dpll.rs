@@ -1,0 +1,541 @@
+//! An iterative, all-solutions DPLL enumerator with two-watched-literal
+//! unit propagation.
+//!
+//! This is the generalized solver promoted out of `crates/npc` (whose
+//! recursive `dpll()` could blow the stack on large formulas). The search
+//! is an explicit decision trail with chronological backtracking: on a
+//! conflict, pop decision levels until an unflipped decision is found and
+//! assert its negation. No recursion anywhere, so depth is bounded only
+//! by the variable count.
+//!
+//! Enumeration branches over a caller-chosen *projection* set of
+//! variables first (in the given, deterministic order). When every
+//! projection variable is assigned and propagation is conflict-free, any
+//! still-unsatisfied clause is branched on directly, so the enumerator is
+//! complete for arbitrary CNF — but for definitional encodings (every
+//! auxiliary variable functionally determined by the projection, as the
+//! fixed-point encoder produces) propagation alone finishes the model.
+//! Each model is recorded as its projection, barred from recurring by a
+//! blocking clause over the projection literals, and the search restarts;
+//! distinct models therefore have distinct projections by construction.
+//!
+//! Everything is deterministic: branch order is the projection order
+//! (value `false` tried first), clause scans are in insertion order, and
+//! the only nondeterministic stop is an explicit wall-clock deadline.
+
+use crate::cnf::{Cnf, Lit, Var};
+use std::time::Instant;
+
+/// Resource bounds for one enumeration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnumBudget {
+    /// Cap on branching decisions across the whole enumeration (restarts
+    /// included); `None` for unbounded.
+    pub max_decisions: Option<u64>,
+    /// Stop after this many models; `None` enumerates all.
+    pub max_models: Option<usize>,
+    /// Absolute wall-clock deadline; `None` for no deadline.
+    pub deadline: Option<Instant>,
+}
+
+/// Why an enumeration ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnumStop {
+    /// The search space was exhausted: `models` is the complete set.
+    Complete,
+    /// The decision cap was hit; the model set may be incomplete.
+    DecisionCap,
+    /// The model cap was hit.
+    ModelCap,
+    /// The deadline passed.
+    Deadline,
+}
+
+/// The result of an all-solutions run.
+#[derive(Debug, Clone)]
+pub struct Enumeration {
+    /// One entry per model: the values of the projection variables, in
+    /// the order they were passed to [`enumerate`].
+    pub models: Vec<Vec<bool>>,
+    /// Why the run ended. Only [`EnumStop::Complete`] guarantees the
+    /// model set is exhaustive.
+    pub stop: EnumStop,
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Conflicts hit (blocking-clause restarts included).
+    pub conflicts: u64,
+}
+
+/// Enumerate every model of `cnf`, projected onto (and keyed by) the
+/// `branch` variables, within `budget`.
+pub fn enumerate(cnf: &Cnf, branch: &[Var], budget: &EnumBudget) -> Enumeration {
+    Solver::new(cnf).run(branch, budget)
+}
+
+/// Decide satisfiability; return one full assignment (unconstrained
+/// variables default to `false`) if a model exists.
+pub fn solve_one(cnf: &Cnf) -> Option<Vec<bool>> {
+    let all: Vec<Var> = (0..cnf.num_vars() as u32).map(Var).collect();
+    let budget = EnumBudget {
+        max_models: Some(1),
+        ..EnumBudget::default()
+    };
+    enumerate(cnf, &all, &budget).models.into_iter().next()
+}
+
+/// How often (in decisions) the deadline is polled.
+const DEADLINE_STRIDE: u64 = 256;
+
+struct Solver {
+    clauses: Vec<Vec<Lit>>,
+    /// Watch lists, indexed by [`Lit::index`]: clauses watching that
+    /// literal (i.e. clauses that must be revisited when it goes false...
+    /// specifically, watching the literal itself).
+    watches: Vec<Vec<usize>>,
+    /// Unit clauses, re-asserted at level 0 after every restart.
+    units: Vec<Lit>,
+    /// Per-variable value: 0 unknown, 1 true, -1 false.
+    assign: Vec<i8>,
+    trail: Vec<Lit>,
+    qhead: usize,
+    /// Trail length at the start of each decision level.
+    level_starts: Vec<usize>,
+    /// Whether each decision level's decision has already been flipped.
+    level_flipped: Vec<bool>,
+    /// An empty clause (or contradictory units) was added: no models.
+    root_conflict: bool,
+    decisions: u64,
+    propagations: u64,
+    conflicts: u64,
+}
+
+impl Solver {
+    fn new(cnf: &Cnf) -> Self {
+        let mut s = Solver {
+            clauses: Vec::with_capacity(cnf.clauses().len()),
+            watches: vec![Vec::new(); 2 * cnf.num_vars()],
+            units: Vec::new(),
+            assign: vec![0; cnf.num_vars()],
+            trail: Vec::new(),
+            qhead: 0,
+            level_starts: Vec::new(),
+            level_flipped: Vec::new(),
+            root_conflict: false,
+            decisions: 0,
+            propagations: 0,
+            conflicts: 0,
+        };
+        for c in cnf.clauses() {
+            s.add_clause(c.clone());
+        }
+        s
+    }
+
+    fn value(&self, l: Lit) -> i8 {
+        let a = self.assign[l.var().index()];
+        if a == 0 {
+            0
+        } else if (a == 1) == l.is_pos() {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Add a clause to the database (any time, including mid-search;
+    /// callers restart afterwards so watch initialization is valid).
+    fn add_clause(&mut self, clause: Vec<Lit>) {
+        match clause.len() {
+            0 => self.root_conflict = true,
+            1 => self.units.push(clause[0]),
+            _ => {
+                let ci = self.clauses.len();
+                self.watches[clause[0].index()].push(ci);
+                self.watches[clause[1].index()].push(ci);
+                self.clauses.push(clause);
+            }
+        }
+    }
+
+    /// Assign `l` true. `false` means it was already false (conflict).
+    fn enqueue(&mut self, l: Lit) -> bool {
+        match self.value(l) {
+            1 => true,
+            -1 => false,
+            _ => {
+                self.assign[l.var().index()] = if l.is_pos() { 1 } else { -1 };
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Undo everything and re-assert the unit clauses at level 0.
+    /// `false` means the units conflict: no (further) models.
+    fn restart(&mut self) -> bool {
+        for i in 0..self.trail.len() {
+            self.assign[self.trail[i].var().index()] = 0;
+        }
+        self.trail.clear();
+        self.qhead = 0;
+        self.level_starts.clear();
+        self.level_flipped.clear();
+        if self.root_conflict {
+            return false;
+        }
+        for i in 0..self.units.len() {
+            let l = self.units[i];
+            if !self.enqueue(l) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Two-watched-literal unit propagation to fixpoint. `true` on a
+    /// conflict.
+    fn propagate(&mut self) -> bool {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            let false_lit = p.negated();
+            let mut ws = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut keep = Vec::with_capacity(ws.len());
+            let mut conflict = false;
+            let mut k = 0;
+            while k < ws.len() {
+                let ci = ws[k];
+                k += 1;
+                // Normalize: the falsified literal sits at slot 1.
+                if self.clauses[ci][0] == false_lit {
+                    self.clauses[ci].swap(0, 1);
+                }
+                let other = self.clauses[ci][0];
+                if self.value(other) == 1 {
+                    keep.push(ci);
+                    continue;
+                }
+                // Look for a non-false replacement watch.
+                let mut moved = false;
+                for j in 2..self.clauses[ci].len() {
+                    if self.value(self.clauses[ci][j]) != -1 {
+                        self.clauses[ci].swap(1, j);
+                        self.watches[self.clauses[ci][1].index()].push(ci);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit (or conflicting) under this assignment.
+                keep.push(ci);
+                if !self.enqueue(other) {
+                    // Conflict: keep the rest of the watch list intact.
+                    keep.extend_from_slice(&ws[k..]);
+                    conflict = true;
+                    break;
+                }
+            }
+            ws.clear();
+            self.watches[false_lit.index()] = keep;
+            if conflict {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Open a new decision level asserting `l`.
+    fn decide(&mut self, l: Lit) {
+        self.decisions += 1;
+        self.level_starts.push(self.trail.len());
+        self.level_flipped.push(false);
+        let ok = self.enqueue(l);
+        debug_assert!(ok, "decision variable must be unassigned");
+    }
+
+    /// Chronological backtracking: pop levels until an unflipped decision
+    /// is found, then assert its negation (marked flipped). `false` means
+    /// the whole space above level 0 is exhausted.
+    fn backtrack_flip(&mut self) -> bool {
+        while let Some(start) = self.level_starts.pop() {
+            let was_flipped = self.level_flipped.pop().expect("levels in lockstep");
+            let decision = self.trail[start];
+            for i in start..self.trail.len() {
+                self.assign[self.trail[i].var().index()] = 0;
+            }
+            self.trail.truncate(start);
+            self.qhead = self.trail.len();
+            if !was_flipped {
+                self.level_starts.push(self.trail.len());
+                self.level_flipped.push(true);
+                let ok = self.enqueue(decision.negated());
+                debug_assert!(ok, "flipped decision must be assignable");
+                return true;
+            }
+        }
+        false
+    }
+
+    /// First unassigned projection variable, in projection order.
+    fn next_branch(&self, branch: &[Var]) -> Option<Var> {
+        branch.iter().copied().find(|v| self.assign[v.index()] == 0)
+    }
+
+    /// With every projection variable assigned and propagation quiet:
+    /// `Ok(())` if all clauses are satisfied (a model), otherwise the
+    /// first unassigned literal of the first unsatisfied clause to branch
+    /// on (`Err(Some)`), or `Err(None)` for a fully-false clause.
+    fn leaf_check(&self) -> Result<(), Option<Lit>> {
+        for c in &self.clauses {
+            if c.iter().any(|&l| self.value(l) == 1) {
+                continue;
+            }
+            match c.iter().find(|&&l| self.value(l) == 0) {
+                Some(&l) => return Err(Some(l)),
+                None => return Err(None),
+            }
+        }
+        Ok(())
+    }
+
+    fn run(mut self, branch: &[Var], budget: &EnumBudget) -> Enumeration {
+        let mut models: Vec<Vec<bool>> = Vec::new();
+        let finish = |s: Solver, models: Vec<Vec<bool>>, stop: EnumStop| Enumeration {
+            models,
+            stop,
+            decisions: s.decisions,
+            propagations: s.propagations,
+            conflicts: s.conflicts,
+        };
+        if !self.restart() {
+            return finish(self, models, EnumStop::Complete);
+        }
+        loop {
+            if self.propagate() {
+                self.conflicts += 1;
+                if !self.backtrack_flip() {
+                    return finish(self, models, EnumStop::Complete);
+                }
+                continue;
+            }
+            // Budget checks sit at the branch points: propagation between
+            // two decisions is finite, so the caps bound the whole run.
+            if let Some(cap) = budget.max_decisions {
+                if self.decisions >= cap && self.next_branch(branch).is_some() {
+                    return finish(self, models, EnumStop::DecisionCap);
+                }
+            }
+            if let Some(deadline) = budget.deadline {
+                if self.decisions.is_multiple_of(DEADLINE_STRIDE) && Instant::now() >= deadline {
+                    return finish(self, models, EnumStop::Deadline);
+                }
+            }
+            if let Some(v) = self.next_branch(branch) {
+                self.decide(Lit::neg(v));
+                continue;
+            }
+            match self.leaf_check() {
+                Err(Some(l)) => {
+                    if let Some(cap) = budget.max_decisions {
+                        if self.decisions >= cap {
+                            return finish(self, models, EnumStop::DecisionCap);
+                        }
+                    }
+                    self.decide(l);
+                }
+                Err(None) => {
+                    // A fully-false clause propagation missed (can only be
+                    // a freshly-restarted blocking clause edge case).
+                    self.conflicts += 1;
+                    if !self.backtrack_flip() {
+                        return finish(self, models, EnumStop::Complete);
+                    }
+                }
+                Ok(()) => {
+                    models.push(branch.iter().map(|v| self.assign[v.index()] == 1).collect());
+                    if let Some(cap) = budget.max_models {
+                        if models.len() >= cap {
+                            return finish(self, models, EnumStop::ModelCap);
+                        }
+                    }
+                    // Bar this projection and restart the descent.
+                    let blocking: Vec<Lit> = branch
+                        .iter()
+                        .map(|&v| {
+                            if self.assign[v.index()] == 1 {
+                                Lit::neg(v)
+                            } else {
+                                Lit::pos(v)
+                            }
+                        })
+                        .collect();
+                    self.add_clause(blocking);
+                    if !self.restart() {
+                        return finish(self, models, EnumStop::Complete);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(cnf: &Cnf) -> Vec<Var> {
+        (0..cnf.num_vars() as u32).map(Var).collect()
+    }
+
+    #[test]
+    fn trivial_and_unsat() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh();
+        cnf.add(vec![Lit::pos(a)]);
+        assert_eq!(solve_one(&cnf), Some(vec![true]));
+        cnf.add(vec![Lit::neg(a)]);
+        assert_eq!(solve_one(&cnf), None);
+    }
+
+    #[test]
+    fn enumerates_every_model_of_a_disjunction() {
+        // (a ∨ b) has exactly three models.
+        let mut cnf = Cnf::new();
+        let (a, b) = (cnf.fresh(), cnf.fresh());
+        cnf.add(vec![Lit::pos(a), Lit::pos(b)]);
+        let e = enumerate(&cnf, &vars(&cnf), &EnumBudget::default());
+        assert_eq!(e.stop, EnumStop::Complete);
+        let mut models = e.models;
+        models.sort();
+        assert_eq!(
+            models,
+            vec![vec![false, true], vec![true, false], vec![true, true]]
+        );
+    }
+
+    /// Projection enumeration: an auxiliary variable defined from the
+    /// projection is never branched on, and models are keyed by the
+    /// projection alone.
+    #[test]
+    fn projection_hides_determined_auxiliaries() {
+        let mut cnf = Cnf::new();
+        let (a, b) = (cnf.fresh(), cnf.fresh());
+        let y = cnf.fresh();
+        cnf.define_and(y, &[Lit::pos(a), Lit::pos(b)]);
+        cnf.add(vec![Lit::neg(y)]); // forbid a ∧ b
+        let e = enumerate(&cnf, &[a, b], &EnumBudget::default());
+        assert_eq!(e.stop, EnumStop::Complete);
+        let mut models = e.models;
+        models.sort();
+        assert_eq!(
+            models,
+            vec![vec![false, false], vec![false, true], vec![true, false]]
+        );
+    }
+
+    /// A clause over non-projection variables still gets decided (the
+    /// fallback branch): the enumerator is complete for arbitrary CNF.
+    #[test]
+    fn falls_back_to_branching_outside_the_projection() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh();
+        let (u, w) = (cnf.fresh(), cnf.fresh());
+        cnf.add(vec![Lit::pos(u), Lit::pos(w)]); // free choice off-projection
+        cnf.add(vec![Lit::pos(a), Lit::neg(u)]);
+        let e = enumerate(&cnf, &[a], &EnumBudget::default());
+        assert_eq!(e.stop, EnumStop::Complete);
+        let mut models = e.models;
+        models.sort();
+        // a=false forces u false hence w true (possible); a=true possible.
+        assert_eq!(models, vec![vec![false], vec![true]]);
+    }
+
+    #[test]
+    fn empty_formula_has_the_all_false_model() {
+        let cnf = Cnf::with_vars(2);
+        assert_eq!(solve_one(&cnf), Some(vec![false, false]));
+        let e = enumerate(&cnf, &vars(&cnf), &EnumBudget::default());
+        assert_eq!(e.models.len(), 4);
+        assert_eq!(e.stop, EnumStop::Complete);
+    }
+
+    #[test]
+    fn decision_cap_reports_incomplete() {
+        // 2^8 models; a tiny decision cap cannot finish.
+        let cnf = Cnf::with_vars(8);
+        let budget = EnumBudget {
+            max_decisions: Some(3),
+            ..EnumBudget::default()
+        };
+        let e = enumerate(&cnf, &vars(&cnf), &budget);
+        assert_eq!(e.stop, EnumStop::DecisionCap);
+        assert!(e.models.len() < 256);
+    }
+
+    #[test]
+    fn expired_deadline_stops_promptly() {
+        let cnf = Cnf::with_vars(12);
+        let budget = EnumBudget {
+            deadline: Some(Instant::now() - std::time::Duration::from_secs(1)),
+            ..EnumBudget::default()
+        };
+        let e = enumerate(&cnf, &vars(&cnf), &budget);
+        assert_eq!(e.stop, EnumStop::Deadline);
+    }
+
+    #[test]
+    fn model_cap_stops_after_k_models() {
+        let cnf = Cnf::with_vars(4);
+        let budget = EnumBudget {
+            max_models: Some(3),
+            ..EnumBudget::default()
+        };
+        let e = enumerate(&cnf, &vars(&cnf), &budget);
+        assert_eq!(e.stop, EnumStop::ModelCap);
+        assert_eq!(e.models.len(), 3);
+    }
+
+    /// Cross-check against brute force on small random-ish formulas
+    /// (deterministically generated — no RNG available or needed).
+    #[test]
+    fn agrees_with_brute_force_model_counts() {
+        for seed in 0u64..40 {
+            let n = 4usize;
+            let mut cnf = Cnf::with_vars(n as u32);
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let n_clauses = 3 + (seed % 5) as usize;
+            for _ in 0..n_clauses {
+                let mut clause = Vec::new();
+                for _ in 0..3 {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let v = Var(((state >> 33) % n as u64) as u32);
+                    let neg = (state >> 11) & 1 == 1;
+                    clause.push(if neg { Lit::neg(v) } else { Lit::pos(v) });
+                }
+                cnf.add(clause);
+            }
+            let brute: Vec<Vec<bool>> = (0..1u32 << n)
+                .map(|bits| (0..n).map(|i| bits >> i & 1 == 1).collect::<Vec<bool>>())
+                .filter(|asg: &Vec<bool>| {
+                    cnf.clauses()
+                        .iter()
+                        .all(|c| c.iter().any(|l| asg[l.var().index()] == l.is_pos()))
+                })
+                .collect();
+            let e = enumerate(&cnf, &vars(&cnf), &EnumBudget::default());
+            assert_eq!(e.stop, EnumStop::Complete, "seed {seed}");
+            let mut models = e.models;
+            models.sort();
+            let mut brute = brute;
+            brute.sort();
+            assert_eq!(models, brute, "seed {seed}");
+        }
+    }
+}

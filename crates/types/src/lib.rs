@@ -32,6 +32,7 @@ pub mod ids;
 pub mod next_hop;
 pub mod prefix;
 pub mod route;
+pub mod solver;
 pub mod stop;
 
 pub use as_path::AsPath;
@@ -42,4 +43,5 @@ pub use ids::{AsId, BgpId, ClusterId, ExitPathId, RouterId};
 pub use next_hop::NextHop;
 pub use prefix::Prefix;
 pub use route::{Route, RouteKind};
+pub use solver::{SolverMode, VerdictOrigin};
 pub use stop::{SearchBudget, StopReason};

@@ -1,0 +1,122 @@
+//! Which engine a classification request should use, and which one a
+//! verdict actually came from.
+//!
+//! The workspace has two independent classification backends: exhaustive
+//! reachability **search** (BFS over activation interleavings, the
+//! historical default) and the constraint **solver** (the `Choose_best`
+//! fixed-point condition encoded as CNF and enumerated by DPLL, which
+//! counts stable routings without visiting any reachable state).
+//! [`SolverMode`] is the request-side knob (`--solver sat`);
+//! [`VerdictOrigin`] is the result-side marker every verdict carries so
+//! front ends and the verdict store can tell the two kinds of evidence
+//! apart.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which backend a classification request asks for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SolverMode {
+    /// Exhaustive reachability search (the default).
+    #[default]
+    Search,
+    /// Constraint solving: enumerate the fixed points of `Choose_best`
+    /// directly via CNF + DPLL. Falls back to search where the encoding
+    /// does not apply (non-standard protocol variants, confederations,
+    /// hierarchies).
+    Sat,
+}
+
+impl SolverMode {
+    /// Stable machine keyword (`search` / `sat`) used by the CLI flag and
+    /// the serve wire protocol.
+    pub fn token(&self) -> &'static str {
+        match self {
+            SolverMode::Search => "search",
+            SolverMode::Sat => "sat",
+        }
+    }
+}
+
+impl FromStr for SolverMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "search" => Ok(SolverMode::Search),
+            "sat" => Ok(SolverMode::Sat),
+            other => Err(format!("unknown solver mode `{other}` (want sat|search)")),
+        }
+    }
+}
+
+impl fmt::Display for SolverMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// Which engine produced a verdict.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VerdictOrigin {
+    /// Exhaustive reachability search: `states` counts visited
+    /// configurations and stable vectors are the *reachable* fixed points.
+    #[default]
+    Search,
+    /// The constraint solver: stable vectors are **all** fixed points of
+    /// the standard protocol (reachable or not) and no configuration was
+    /// ever enumerated.
+    Solver,
+}
+
+impl VerdictOrigin {
+    /// Stable machine keyword (`search` / `solver`) used by the verdict
+    /// store log and the wire protocol.
+    pub fn token(&self) -> &'static str {
+        match self {
+            VerdictOrigin::Search => "search",
+            VerdictOrigin::Solver => "solver",
+        }
+    }
+
+    /// Parse a [`Self::token`] back. `None` for unrecognized input.
+    pub fn from_token(s: &str) -> Option<Self> {
+        match s {
+            "search" => Some(VerdictOrigin::Search),
+            "solver" => Some(VerdictOrigin::Solver),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for VerdictOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_mode_parses_and_round_trips() {
+        assert_eq!("sat".parse::<SolverMode>(), Ok(SolverMode::Sat));
+        assert_eq!("search".parse::<SolverMode>(), Ok(SolverMode::Search));
+        assert!("smt".parse::<SolverMode>().is_err());
+        for m in [SolverMode::Search, SolverMode::Sat] {
+            assert_eq!(m.token().parse::<SolverMode>(), Ok(m));
+        }
+        assert_eq!(SolverMode::default(), SolverMode::Search);
+    }
+
+    #[test]
+    fn origin_tokens_round_trip() {
+        for o in [VerdictOrigin::Search, VerdictOrigin::Solver] {
+            assert_eq!(VerdictOrigin::from_token(o.token()), Some(o));
+        }
+        assert_eq!(VerdictOrigin::from_token("bfs"), None);
+        assert_eq!(VerdictOrigin::default(), VerdictOrigin::Search);
+    }
+}
