@@ -64,6 +64,7 @@ pub fn classify(
         }
     }
     let probe_budget = 4 * options.max_states as u64 + 16;
+    let loop_prevention = options.loop_prevention;
     let reach = explore(topo, config, exits.to_vec(), options);
     if !reach.complete {
         return (OscillationClass::Unknown, reach);
@@ -77,6 +78,7 @@ pub fn classify(
     // Unique stable outcome; still check the simultaneous schedule for a
     // provable cycle (a unique fixed point can coexist with a live cycle).
     let mut engine = SyncEngine::new(topo, config, exits.to_vec());
+    engine.set_loop_prevention(loop_prevention);
     let outcome = engine.run(&mut AllAtOnce, probe_budget);
     if outcome.cycled() {
         (OscillationClass::Transient, reach)

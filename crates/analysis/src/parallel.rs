@@ -705,6 +705,7 @@ fn run_search<S: Scheme>(
     let mut visited = Arc::new(Visited::<S::Key>::new());
     let mut engine = SyncEngine::new(topo, config, exits.to_vec());
     engine.set_memoized(options.memoized);
+    engine.set_loop_prevention(options.loop_prevention);
     scheme.prepare_engine(&mut engine);
     let (init_key, init_orbit) = scheme.initial(&mut engine)?;
     let init_bytes = match Arc::get_mut(&mut visited)
@@ -748,6 +749,7 @@ fn run_search<S: Scheme>(
                 scope.spawn(move || {
                     let mut engine = SyncEngine::new(topo, config, exits);
                     engine.set_memoized(options.memoized);
+                    engine.set_loop_prevention(options.loop_prevention);
                     scheme.prepare_engine(&mut engine);
                     loop {
                         // Hold the receiver lock only for the handoff.
@@ -873,6 +875,17 @@ pub(crate) fn search(
     options: &ExploreOptions,
 ) -> Reachability {
     let started = Instant::now();
+    if options.loop_prevention {
+        // The reflection-attribute words live only in the legacy state
+        // keys: the flat codec has no slots for them, the automorphism
+        // action does not relabel them, and the ample-set proof ignores
+        // them. Force the one scheme that carries them.
+        let mut legacy = options.clone();
+        legacy.flat = false;
+        legacy.symmetry = false;
+        legacy.por = false;
+        return search_inner(topo, config, exits, &legacy, started);
+    }
     search_inner(topo, config, exits, options, started)
 }
 

@@ -41,6 +41,7 @@ pub struct ExploreOptions {
     pub(crate) por: bool,
     pub(crate) deadline: Option<Instant>,
     pub(crate) solver: SolverMode,
+    pub(crate) loop_prevention: bool,
 }
 
 /// Ceiling on auto-selected workers (`jobs = 0`). Search levels on the
@@ -62,6 +63,7 @@ impl Default for ExploreOptions {
             por: false,
             deadline: None,
             solver: SolverMode::Search,
+            loop_prevention: false,
         }
     }
 }
@@ -178,6 +180,23 @@ impl ExploreOptions {
     /// [`crate::classify`] resolves the fallback transparently).
     pub fn solver(mut self, solver: SolverMode) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Run the message-level reflection mechanics: stamp ORIGINATOR_ID
+    /// and CLUSTER_LIST on reflected routes, drop cluster loops on
+    /// receipt, never reflect a route back to its originator (SSLD), and
+    /// reflect per the standard matrix (client route → everyone,
+    /// non-client route → clients only, own E-BGP route → everyone).
+    /// Off (the default), propagation uses the paper's §4 `Transfer`
+    /// predicate, so every existing verdict stays reproducible. On, the
+    /// search runs the legacy state encoding and turns symmetry and
+    /// partial-order reduction off (the attribute words are not encoded
+    /// in the flat codec and are not automorphism-canonicalized), and
+    /// the constraint solver declines — [`crate::classify`] falls back
+    /// to search transparently.
+    pub fn loop_prevention(mut self, loop_prevention: bool) -> Self {
+        self.loop_prevention = loop_prevention;
         self
     }
 

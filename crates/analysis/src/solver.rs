@@ -39,9 +39,11 @@ use std::time::Instant;
 /// Classify by enumerating the fixed points of `Choose_best` with the
 /// constraint solver instead of exploring reachable states.
 ///
-/// Returns `None` when the encoding does not apply (any variant other
-/// than [`ProtocolVariant::Standard`]); the caller then falls back to
-/// reachability search. The options' `max_states` caps the solver's
+/// Returns `None` when the encoding does not apply: any variant other
+/// than [`ProtocolVariant::Standard`], or loop prevention on (the CNF
+/// encodes the §4 `Transfer` predicate, not the message-level
+/// ORIGINATOR_ID / CLUSTER_LIST mechanics). The caller then falls back
+/// to reachability search. The options' `max_states` caps the solver's
 /// branching decisions and the deadline is honored; `max_bytes`,
 /// symmetry, POR, and the jobs knob have no solver-side meaning and are
 /// ignored.
@@ -52,6 +54,9 @@ pub fn classify_sat(
     options: &ExploreOptions,
 ) -> Option<(OscillationClass, Reachability)> {
     if config.variant != ProtocolVariant::Standard {
+        return None;
+    }
+    if options.loop_prevention {
         return None;
     }
     let started = Instant::now();
@@ -131,6 +136,21 @@ mod tests {
         let opts = ExploreOptions::new();
         assert!(classify_sat(&topo, ProtocolConfig::MODIFIED, &exits, &opts).is_none());
         assert!(classify_sat(&topo, ProtocolConfig::WALTON, &exits, &opts).is_none());
+    }
+
+    /// Loop prevention changes route propagation in ways the CNF does
+    /// not model, so the solver declines and `classify` resolves the
+    /// request via search — with an honest `Search` origin.
+    #[test]
+    fn loop_prevention_declines_and_falls_back_to_search() {
+        let (topo, exits) = disagree();
+        let opts = ExploreOptions::new()
+            .max_states(100_000)
+            .solver(SolverMode::Sat)
+            .loop_prevention(true);
+        assert!(classify_sat(&topo, ProtocolConfig::STANDARD, &exits, &opts).is_none());
+        let (_, reach) = crate::classify(&topo, ProtocolConfig::STANDARD, &exits, opts);
+        assert_eq!(reach.origin, VerdictOrigin::Search);
     }
 
     #[test]

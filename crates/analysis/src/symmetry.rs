@@ -63,6 +63,7 @@ impl Element {
                 possible: Vec::new(),
                 best: None,
                 advertised: Vec::new(),
+                rr: Vec::new(),
             };
             key.nodes.len()
         ];
@@ -77,6 +78,9 @@ impl Element {
                 possible,
                 best: node.best.map(|p| self.map_exit(p)),
                 advertised,
+                // Loop-prevention attribute words never appear here:
+                // symmetry is forced off whenever loop prevention is on.
+                rr: Vec::new(),
             };
         }
         StateKey {
@@ -502,6 +506,7 @@ mod tests {
             possible: vec![ExitPathId::new(1)],
             best: best.map(ExitPathId::new),
             advertised: vec![],
+            rr: vec![],
         };
         // A state asymmetric across the rotation: only client 3 holds
         // anything. Its orbit has 3 members, all with one canonical form.
@@ -514,6 +519,7 @@ mod tests {
                     possible: vec![ExitPathId::new(1)],
                     best: Some(ExitPathId::new(1)),
                     advertised: vec![ExitPathId::new(1)],
+                    rr: vec![],
                 },
                 node(None),
                 node(None),
@@ -544,6 +550,7 @@ mod tests {
             possible: vec![],
             best: None,
             advertised: vec![],
+            rr: vec![],
         };
         let mut nodes = vec![empty.clone(); 6];
         // Exits 2 and 3 at client 3 (router index 3): distances 1 and 3
@@ -553,6 +560,7 @@ mod tests {
             possible: vec![ExitPathId::new(2), ExitPathId::new(3)],
             best: None,
             advertised: vec![],
+            rr: vec![],
         };
         let key = StateKey {
             nodes: nodes.clone(),
@@ -584,6 +592,7 @@ mod tests {
             possible: possible.into_iter().map(ExitPathId::new).collect(),
             best: best.map(ExitPathId::new),
             advertised: advertised.into_iter().map(ExitPathId::new).collect(),
+            rr: vec![],
         };
         let keys = [
             // Asymmetric: only client 3 holds exit 1 — orbit of 3.

@@ -1,0 +1,130 @@
+//! Loop-prevention on/off verdict sweep: every paper figure plus a
+//! 1,000+-topology hunt over the three reflection families, classified
+//! twice — under the paper's `Transfer` relation and under the
+//! message-level reflection mechanics (`--loop-prevention`) — with every
+//! verdict flip tallied and the first flipping spec printed verbatim so
+//! it can be committed as a corpus specimen. The committed numbers live
+//! in EXPERIMENTS.md; rerun with
+//! `cargo run --release -p ibgp-bench --bin lp_sweep`.
+
+use ibgp::analysis::{classify, ExploreOptions, OscillationClass};
+use ibgp::hunt::{classify_spec, generate_spec, print, Family, HuntOptions, SpecKind};
+use ibgp::ProtocolConfig;
+
+/// Topologies per reflection family (3 families -> 1,002 total).
+const PER_FAMILY: u64 = 334;
+/// Campaign seed.
+const SEED: u64 = 20260809;
+
+fn short(class: OscillationClass) -> &'static str {
+    match class {
+        OscillationClass::Stable => "stable",
+        OscillationClass::Transient => "transient",
+        OscillationClass::Persistent => "persistent",
+        OscillationClass::Unknown => "unknown",
+    }
+}
+
+fn main() {
+    // Paper figures: engine-level classification, both modes.
+    println!("## Paper figures");
+    println!();
+    println!("| figure | class (off) | class (on) | states off | states on | flip |");
+    println!("|---|---|---|---:|---:|---|");
+    for s in ibgp::scenarios::all_scenarios() {
+        let (off_class, off) = classify(
+            &s.topology,
+            ProtocolConfig::STANDARD,
+            &s.exits,
+            ExploreOptions::new(),
+        );
+        let (on_class, on) = classify(
+            &s.topology,
+            ProtocolConfig::STANDARD,
+            &s.exits,
+            ExploreOptions::new().loop_prevention(true),
+        );
+        println!(
+            "| {} | {} | {} | {} | {} | {} |",
+            s.name,
+            short(off_class),
+            short(on_class),
+            off.states,
+            on.states,
+            if off_class == on_class { "" } else { "**yes**" },
+        );
+    }
+
+    // The hunt sweep: reflection-kind families only (the mechanics are a
+    // reflection concept; confed/hierarchy specs have no sessions to
+    // stamp).
+    let families = [Family::Reflection, Family::MultiReflector, Family::FullMesh];
+    let opts = HuntOptions::default();
+    let mut first_flip: Option<(String, String, String)> = None;
+    println!();
+    println!("## Hunt sweep ({} topologies)", PER_FAMILY * families.len() as u64);
+    println!();
+    println!("| family | topologies | agree | flips | off->on transitions |");
+    println!("|---|---:|---:|---:|---|");
+    for family in families {
+        let mut agree = 0u64;
+        let mut transitions: Vec<(String, u64)> = Vec::new();
+        for index in 0..PER_FAMILY {
+            let mut spec = generate_spec(family, SEED, index);
+            let off = classify_spec(&spec, &opts).expect("classifies");
+            match &mut spec.kind {
+                SpecKind::Reflection(r) => r.loop_prevention = true,
+                _ => unreachable!("reflection families only"),
+            }
+            let on = classify_spec(&spec, &opts).expect("classifies");
+            if off.class == on.class {
+                agree += 1;
+                continue;
+            }
+            let key = format!("{} -> {}", short(off.class), short(on.class));
+            match transitions.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) => *n += 1,
+                None => transitions.push((key, 1)),
+            }
+            if first_flip.is_none() {
+                // Print the *bare* spec (loop prevention off) so the
+                // specimen classifies both ways from one file.
+                let mut bare = spec.clone();
+                match &mut bare.kind {
+                    SpecKind::Reflection(r) => r.loop_prevention = false,
+                    _ => unreachable!(),
+                }
+                first_flip = Some((
+                    format!("{}[{index}] ({})", family.keyword(), bare.name),
+                    format!("{} -> {}", short(off.class), short(on.class)),
+                    print(&bare),
+                ));
+            }
+        }
+        let flips = PER_FAMILY - agree;
+        let detail = transitions
+            .iter()
+            .map(|(k, n)| format!("{k} x{n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            family.keyword(),
+            PER_FAMILY,
+            agree,
+            flips,
+            detail
+        );
+    }
+    println!();
+    match first_flip {
+        Some((name, flip, text)) => {
+            println!("First flipping specimen: {name} ({flip})");
+            println!();
+            println!("```");
+            print!("{text}");
+            println!("```");
+        }
+        None => println!("No verdict flips anywhere in the sweep."),
+    }
+}

@@ -36,6 +36,11 @@ options:
   --solver sat|search                  classification backend (default search);
                                        `sat` enumerates all stable routings by
                                        constraint solving, no reachable-state search
+  --loop-prevention                    message-level reflection mechanics:
+                                       ORIGINATOR_ID/CLUSTER_LIST stamping, cluster-loop
+                                       drop, SSLD, the reflect-to-whom matrix (reflection
+                                       specs only; forces the legacy encoding, disables
+                                       symmetry/POR, and the sat solver falls back)
   --steps N                            step budget (default 100000)
   --seed N                             hunt: campaign seed (default 1)
   --budget N                           hunt: topologies to generate (default 100)
@@ -72,6 +77,8 @@ pub struct SearchArgs {
     pub deadline_ms: Option<u64>,
     /// `--solver sat|search`.
     pub solver: SolverMode,
+    /// `--loop-prevention`.
+    pub loop_prevention: bool,
 }
 
 impl Default for SearchArgs {
@@ -84,6 +91,7 @@ impl Default for SearchArgs {
             max_bytes: None,
             deadline_ms: None,
             solver: SolverMode::Search,
+            loop_prevention: false,
         }
     }
 }
@@ -273,6 +281,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 i += 1;
                 let v = rest.get(i).ok_or("--solver needs a value")?;
                 search.solver = v.parse()?;
+            }
+            "--loop-prevention" => {
+                search.loop_prevention = true;
             }
             "--out" => {
                 i += 1;
@@ -482,6 +493,7 @@ mod tests {
                     max_bytes: Some(4096),
                     deadline_ms: None,
                     solver: SolverMode::Sat,
+                    loop_prevention: false,
                 },
             }
         );
@@ -508,7 +520,7 @@ mod tests {
     #[test]
     fn every_search_verb_accepts_the_full_flag_matrix() {
         let flags = "--jobs 3 --max-states 77 --symmetry --por --max-bytes 2048 --deadline-ms 500 \
-                     --solver sat";
+                     --solver sat --loop-prevention";
         let expected = SearchArgs {
             max_states: 77,
             jobs: 3,
@@ -517,6 +529,7 @@ mod tests {
             max_bytes: Some(2048),
             deadline_ms: Some(500),
             solver: SolverMode::Sat,
+            loop_prevention: true,
         };
         for verb in [
             "classify fig1a",
@@ -545,6 +558,7 @@ mod tests {
                 "--deadline-ms 500",
                 "--solver sat",
                 "--solver search",
+                "--loop-prevention",
             ] {
                 assert!(
                     parse(&argv(&format!("{verb} {flag}"))).is_ok(),

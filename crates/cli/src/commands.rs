@@ -23,7 +23,8 @@ impl SearchArgs {
             .jobs(self.jobs)
             .symmetry(self.symmetry)
             .por(self.por)
-            .solver(self.solver);
+            .solver(self.solver)
+            .loop_prevention(self.loop_prevention);
         if let Some(b) = self.max_bytes {
             opts = opts.max_bytes(b);
         }
@@ -315,8 +316,16 @@ fn warn_ignored_flags(kind: &ibgp_hunt::SpecKind, opts: &HuntOptions) {
 }
 
 fn classify_file(path: &str, opts: SearchArgs) {
-    let spec = load_spec_or_die(path);
+    let mut spec = load_spec_or_die(path);
     let opts = opts.hunt_options();
+    // Fold `--loop-prevention` into the spec so the verdict label (which
+    // shows `protocol_label`) reports the mechanics actually classified
+    // under, whichever side turned them on.
+    if opts.loop_prevention {
+        if let ibgp_hunt::SpecKind::Reflection(r) = &mut spec.kind {
+            r.loop_prevention = true;
+        }
+    }
     warn_ignored_flags(&spec.kind, &opts);
     match ibgp_hunt::classify_spec(&spec, &opts) {
         Ok(verdict) => {

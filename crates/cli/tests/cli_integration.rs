@@ -237,9 +237,16 @@ fn reflection_only_flags_warn_on_confed_specs() {
         "--por",
         "--max-bytes",
         "1048576",
+        "--loop-prevention",
     ]);
     assert!(ok, "{stderr}");
-    for flag in ["--jobs", "--symmetry", "--por", "--max-bytes"] {
+    for flag in [
+        "--jobs",
+        "--symmetry",
+        "--por",
+        "--max-bytes",
+        "--loop-prevention",
+    ] {
         assert!(
             stderr.contains(&format!("warning: {flag} is ignored for confed scenarios")),
             "missing warning for {flag} in:\n{stderr}"
@@ -292,6 +299,35 @@ fn reflection_only_flags_warn_on_confed_specs() {
     assert!(ok);
     assert!(!stderr.contains("warning"), "{stderr}");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn loop_prevention_labels_the_verdict_and_overrides_the_solver() {
+    // The flag is folded into the spec before classification, so the
+    // verdict line names the mechanics it was computed under.
+    let (stdout, stderr, ok) = run(&["classify", &golden("fig1a"), "--loop-prevention"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("standard+loop-prevention"), "{stdout}");
+    assert!(!stderr.contains("warning"), "{stderr}");
+
+    // The SAT backend models plain reflection only; with loop prevention
+    // on it must decline and the run falls back to the explicit search,
+    // reporting the search origin (reachable-configuration count) rather
+    // than pretending the solver answered.
+    let (stdout, stderr, ok) = run(&[
+        "classify",
+        &golden("fig1a"),
+        "--loop-prevention",
+        "--solver",
+        "sat",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("standard+loop-prevention"), "{stdout}");
+    assert!(
+        stdout.contains("reachable configuration"),
+        "search origin missing from:\n{stdout}"
+    );
+    assert!(!stdout.contains("solver"), "{stdout}");
 }
 
 #[test]

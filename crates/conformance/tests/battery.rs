@@ -1,0 +1,73 @@
+//! The committed cbgp-ported conformance battery.
+//!
+//! Every `scenarios/*.conf` file is parsed and executed by the generic
+//! runner; a scenario failing any of its golden expected-RIB assertions
+//! fails this test with the offending file, line, and observed state.
+
+use std::path::PathBuf;
+
+fn scenario_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
+
+fn scenario_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(scenario_dir())
+        .expect("scenarios/ directory exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "conf"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn the_committed_battery_is_present_and_complete() {
+    let names: Vec<String> = scenario_files()
+        .iter()
+        .map(|p| p.file_stem().unwrap().to_string_lossy().into_owned())
+        .collect();
+    for expected in ["bgp_rr", "bgp_rr_example", "bgp_rr_originator_id_ssld"] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "missing committed scenario `{expected}` (have {names:?})"
+        );
+    }
+}
+
+#[test]
+fn every_committed_scenario_passes() {
+    let files = scenario_files();
+    assert!(!files.is_empty(), "no scenario files found");
+    let mut failed = Vec::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path).unwrap();
+        match ibgp_conformance::run_file_text(&text) {
+            Ok(report) => {
+                assert!(report.checked > 0, "{}: no assertions ran", path.display());
+                if !report.passed() {
+                    for f in &report.failures {
+                        failed.push(format!("{}: {f}", path.display()));
+                    }
+                }
+            }
+            Err(e) => failed.push(format!("{}: {e}", path.display())),
+        }
+    }
+    assert!(failed.is_empty(), "\n{}", failed.join("\n"));
+}
+
+#[test]
+fn scenario_names_match_their_file_stems() {
+    // Keeps reports attributable: a failure names the scenario, the
+    // file name finds it.
+    for path in scenario_files() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let s = ibgp_conformance::parse(&text).unwrap();
+        assert_eq!(
+            s.name,
+            path.file_stem().unwrap().to_string_lossy(),
+            "{}",
+            path.display()
+        );
+    }
+}

@@ -16,7 +16,7 @@
 use crate::corpus;
 use crate::generate::{generate_spec, Family, ALL_FAMILIES};
 use crate::signature::{file_stem, signature};
-use crate::spec::SpecError;
+use crate::spec::{SpecError, SpecKind};
 use crate::verdict::{classify_spec, HuntOptions};
 use ibgp_analysis::OscillationClass;
 use ibgp_sim::Metrics;
@@ -176,7 +176,16 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignReport, CampaignErro
     for index in 0..cfg.budget as u64 {
         let slot = (index as usize) % cfg.families.len();
         let family = cfg.families[slot];
-        let spec = generate_spec(family, cfg.seed, index);
+        let mut spec = generate_spec(family, cfg.seed, index);
+        // Fold the campaign-wide knob into each reflection spec so the
+        // filed `.ibgp` carries a `loop-prevention` directive (the
+        // specimen reproduces standalone) and the structural signature
+        // separates the two corpora.
+        if cfg.options.loop_prevention {
+            if let SpecKind::Reflection(r) = &mut spec.kind {
+                r.loop_prevention = true;
+            }
+        }
         let y = &mut yields[slot];
         y.generated += 1;
         let verdict = classify_spec(&spec, &cfg.options).map_err(|error| CampaignError::Spec {

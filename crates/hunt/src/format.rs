@@ -16,6 +16,8 @@
 //!                                 # single-best|set-advertisement (confed, hierarchy)
 //! routers 5
 //! link U V COST                   # undirected physical link, repeated
+//! loop-prevention                 # reflection only: message-level
+//!                                 # ORIGINATOR_ID/CLUSTER_LIST/SSLD mechanics
 //! mesh                            # reflection only: fully meshed I-BGP
 //! cluster r R... c C...           # reflection: one line per cluster
 //! session U V                     # reflection: extra client-client session
@@ -74,13 +76,24 @@ pub fn print(spec: &ScenarioSpec) -> String {
     let _ = writeln!(out, "ibgp {FORMAT_VERSION}");
     let _ = writeln!(out, "name {}", spec.name);
     let _ = writeln!(out, "kind {}", spec.kind.keyword());
-    let _ = writeln!(out, "protocol {}", spec.protocol_label());
+    // The `protocol` line stores the bare variant; loop prevention is a
+    // separate directive (so `protocol_label`'s display suffix never
+    // leaks into the on-disk encoding).
+    let protocol = match &spec.kind {
+        SpecKind::Reflection(r) => r.variant.to_string(),
+        SpecKind::Confed(c) => c.mode.to_string(),
+        SpecKind::Hierarchy(h) => h.mode.to_string(),
+    };
+    let _ = writeln!(out, "protocol {protocol}");
     let _ = writeln!(out, "routers {}", spec.routers);
     for &(u, v, c) in &spec.links {
         let _ = writeln!(out, "link {u} {v} {c}");
     }
     match &spec.kind {
         SpecKind::Reflection(r) => {
+            if r.loop_prevention {
+                let _ = writeln!(out, "loop-prevention");
+            }
             if r.full_mesh {
                 let _ = writeln!(out, "mesh");
             } else {
@@ -169,6 +182,7 @@ pub fn parse(input: &str) -> Result<ScenarioSpec, FormatError> {
     let mut routers: Option<usize> = None;
     let mut links: Vec<(u32, u32, u64)> = Vec::new();
     let mut full_mesh = false;
+    let mut loop_prevention = false;
     let mut clusters: Vec<(Vec<u32>, Vec<u32>)> = Vec::new();
     let mut client_sessions: Vec<(u32, u32)> = Vec::new();
     let mut sub_as: Vec<Vec<u32>> = Vec::new();
@@ -176,6 +190,10 @@ pub fn parse(input: &str) -> Result<ScenarioSpec, FormatError> {
     let mut hclusters: Vec<ClusterSpec> = Vec::new();
     let mut exits: Vec<ExitSpec> = Vec::new();
     let mut saw_version = false;
+    // Router references by source line, checked against `routers` once
+    // the whole document is read (directive order is not significant, so
+    // a reference may legally precede the `routers` line).
+    let mut router_refs: Vec<(usize, u32)> = Vec::new();
 
     for (idx, raw_line) in input.lines().enumerate() {
         let ln = idx + 1;
@@ -206,9 +224,14 @@ pub fn parse(input: &str) -> Result<ScenarioSpec, FormatError> {
                 if rest.is_empty() {
                     return err(ln, "`name` needs a value");
                 }
-                name = Some(rest.to_string());
+                if name.replace(rest.to_string()).is_some() {
+                    return err(ln, "duplicate `name` directive");
+                }
             }
             "kind" => {
+                if kind.is_some() {
+                    return err(ln, "duplicate `kind` directive");
+                }
                 kind = Some(match toks.next() {
                     Some("reflection") => PendingKind::Reflection,
                     Some("confed") => PendingKind::Confed,
@@ -218,28 +241,55 @@ pub fn parse(input: &str) -> Result<ScenarioSpec, FormatError> {
                 });
             }
             "protocol" => match toks.next() {
-                Some(p) => protocol = Some(p.to_string()),
+                Some(p) => {
+                    if protocol.replace(p.to_string()).is_some() {
+                        return err(ln, "duplicate `protocol` directive");
+                    }
+                }
                 None => return err(ln, "`protocol` needs a value"),
             },
-            "routers" => routers = Some(num(toks.next(), ln, "router count")?),
+            "routers" => {
+                if routers
+                    .replace(num(toks.next(), ln, "router count")?)
+                    .is_some()
+                {
+                    return err(ln, "duplicate `routers` directive");
+                }
+            }
             "link" => {
                 let u = num(toks.next(), ln, "link endpoint")?;
                 let v = num(toks.next(), ln, "link endpoint")?;
                 let c = num(toks.next(), ln, "link cost")?;
+                router_refs.push((ln, u));
+                router_refs.push((ln, v));
                 links.push((u, v, c));
             }
             "mesh" => {
                 require_kind(&kind, "mesh", &PendingKind::Reflection, ln)?;
+                if full_mesh {
+                    return err(ln, "duplicate `mesh` directive");
+                }
                 full_mesh = true;
+            }
+            "loop-prevention" => {
+                require_kind(&kind, "loop-prevention", &PendingKind::Reflection, ln)?;
+                if loop_prevention {
+                    return err(ln, "duplicate `loop-prevention` directive");
+                }
+                loop_prevention = true;
             }
             "cluster" => {
                 require_kind(&kind, "cluster", &PendingKind::Reflection, ln)?;
-                clusters.push(parse_cluster_line(&mut toks, ln)?);
+                let (rs, cs) = parse_cluster_line(&mut toks, ln)?;
+                router_refs.extend(rs.iter().chain(cs.iter()).map(|&x| (ln, x)));
+                clusters.push((rs, cs));
             }
             "session" => {
                 require_kind(&kind, "session", &PendingKind::Reflection, ln)?;
                 let u = num(toks.next(), ln, "session endpoint")?;
                 let v = num(toks.next(), ln, "session endpoint")?;
+                router_refs.push((ln, u));
+                router_refs.push((ln, v));
                 client_sessions.push((u, v));
             }
             "subas" => {
@@ -248,12 +298,16 @@ pub fn parse(input: &str) -> Result<ScenarioSpec, FormatError> {
                     .by_ref()
                     .map(|t| num(Some(t), ln, "sub-AS member"))
                     .collect();
-                sub_as.push(members?);
+                let members = members?;
+                router_refs.extend(members.iter().map(|&x| (ln, x)));
+                sub_as.push(members);
             }
             "clink" => {
                 require_kind(&kind, "clink", &PendingKind::Confed, ln)?;
                 let u = num(toks.next(), ln, "clink endpoint")?;
                 let v = num(toks.next(), ln, "clink endpoint")?;
+                router_refs.push((ln, u));
+                router_refs.push((ln, v));
                 confed_links.push((u, v));
             }
             "hcluster" => {
@@ -264,9 +318,14 @@ pub fn parse(input: &str) -> Result<ScenarioSpec, FormatError> {
                 if pos != tokens.len() {
                     return err(ln, "trailing tokens after hierarchy cluster");
                 }
+                collect_hcluster_routers(&c, ln, &mut router_refs);
                 hclusters.push(c);
             }
-            "exit" => exits.push(parse_exit_line(&mut toks, ln)?),
+            "exit" => {
+                let e = parse_exit_line(&mut toks, ln)?;
+                router_refs.push((ln, e.at));
+                exits.push(e);
+            }
             other => return err(ln, format!("unknown directive `{other}`")),
         }
         if let Some(extra) = toks.next() {
@@ -284,6 +343,14 @@ pub fn parse(input: &str) -> Result<ScenarioSpec, FormatError> {
     let name = name.ok_or_else(|| missing("name"))?;
     let routers = routers.ok_or_else(|| missing("routers"))?;
     let protocol = protocol.ok_or_else(|| missing("protocol"))?;
+    for (ln, r) in router_refs {
+        if r as usize >= routers {
+            return err(
+                ln,
+                format!("router id {r} out of range (declared `routers {routers}`)"),
+            );
+        }
+    }
     let kind = match kind.ok_or_else(|| missing("kind"))? {
         PendingKind::Reflection => {
             if full_mesh && !clusters.is_empty() {
@@ -299,6 +366,7 @@ pub fn parse(input: &str) -> Result<ScenarioSpec, FormatError> {
                         line: 0,
                         message: e,
                     })?,
+                loop_prevention,
             })
         }
         PendingKind::Confed => SpecKind::Confed(ConfedSpec {
@@ -334,6 +402,17 @@ pub fn parse(input: &str) -> Result<ScenarioSpec, FormatError> {
         kind,
         exits,
     })
+}
+
+/// Every router id an `hcluster` tree references, attributed to its line.
+fn collect_hcluster_routers(c: &ClusterSpec, ln: usize, out: &mut Vec<(usize, u32)>) {
+    out.extend(c.reflectors.iter().map(|&r| (ln, r)));
+    for m in &c.members {
+        match m {
+            Member::Router(r) => out.push((ln, *r)),
+            Member::Cluster(sub) => collect_hcluster_routers(sub, ln, out),
+        }
+    }
 }
 
 fn missing(field: &str) -> FormatError {
@@ -510,6 +589,7 @@ mod tests {
                 clusters: vec![(vec![0], vec![2]), (vec![1], vec![3])],
                 client_sessions: vec![(2, 3)],
                 variant: ProtocolVariant::Standard,
+                loop_prevention: false,
             }),
             exits: vec![
                 ExitSpec::new(1, 2, 1).med(5),
@@ -541,6 +621,7 @@ mod tests {
             clusters: vec![],
             client_sessions: vec![],
             variant: ProtocolVariant::Modified,
+            loop_prevention: false,
         });
         let text = print(&s);
         assert!(text.contains("mesh\n"));
@@ -588,6 +669,33 @@ mod tests {
         assert_eq!(parse(&text).unwrap(), s, "\n{text}");
     }
 
+    /// `loop-prevention` round-trips as its own directive; the
+    /// `protocol` line stays the bare variant even though the display
+    /// label grows a suffix.
+    #[test]
+    fn loop_prevention_round_trip() {
+        let mut s = sample();
+        match &mut s.kind {
+            SpecKind::Reflection(r) => r.loop_prevention = true,
+            _ => unreachable!(),
+        }
+        let text = print(&s);
+        assert!(text.contains("\nloop-prevention\n"), "{text}");
+        assert!(text.contains("\nprotocol standard\n"), "{text}");
+        assert_eq!(parse(&text).unwrap(), s);
+        assert_eq!(s.protocol_label(), "standard+loop-prevention");
+    }
+
+    /// `loop-prevention` is a reflection-only directive.
+    #[test]
+    fn loop_prevention_requires_reflection_kind() {
+        let e = parse("ibgp 1\nname x\nkind confed\nloop-prevention\n").unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.to_string().contains("matching `kind`"), "{e}");
+        let e = parse("ibgp 1\nname x\nloop-prevention\n").unwrap_err();
+        assert!(e.to_string().contains("matching `kind`"), "{e}");
+    }
+
     #[test]
     fn comments_and_blank_lines_are_ignored() {
         let s = sample();
@@ -620,6 +728,71 @@ mod tests {
         assert!(e.to_string().contains("nope"), "{e}");
         let e = parse("ibgp 1\nlink 0 1 x\n").unwrap_err();
         assert!(e.to_string().contains("cost"), "{e}");
+    }
+
+    /// The strict-parser battery: every malformed document is rejected
+    /// with the offending line, never silently accepted or papered over
+    /// by last-one-wins semantics.
+    #[test]
+    fn strict_parser_rejects_duplicates_and_out_of_range_ids() {
+        let head = "ibgp 1\nname x\nkind reflection\nprotocol standard\nrouters 2\n";
+        let cases: &[(String, usize, &str)] = &[
+            // Duplicate header directives.
+            (format!("{head}name y\n"), 6, "duplicate `name`"),
+            (format!("{head}kind reflection\n"), 6, "duplicate `kind`"),
+            (format!("{head}protocol walton\n"), 6, "duplicate `protocol`"),
+            (format!("{head}routers 3\n"), 6, "duplicate `routers`"),
+            (format!("{head}mesh\nmesh\n"), 7, "duplicate `mesh`"),
+            (
+                format!("{head}loop-prevention\nloop-prevention\n"),
+                7,
+                "duplicate `loop-prevention`",
+            ),
+            // Out-of-range router references, per directive. The check
+            // runs after the whole document is read, so it fires even
+            // when the reference precedes the `routers` line.
+            (format!("{head}link 0 2 1\n"), 6, "out of range"),
+            (format!("{head}cluster r 0 c 5\n"), 6, "out of range"),
+            (format!("{head}session 1 2\n"), 6, "out of range"),
+            (
+                format!("{head}exit 1 at 9 as 1 len 1 med 0 pref 100 cost 0\n"),
+                6,
+                "out of range",
+            ),
+            (
+                "ibgp 1\nname x\nkind reflection\nlink 0 7 1\nprotocol standard\nrouters 2\n"
+                    .to_string(),
+                4,
+                "out of range",
+            ),
+            (
+                "ibgp 1\nname x\nkind confed\nprotocol single-best\nrouters 2\nsubas 0 4\n"
+                    .to_string(),
+                6,
+                "out of range",
+            ),
+            (
+                "ibgp 1\nname x\nkind confed\nprotocol single-best\nrouters 2\nclink 0 3\n"
+                    .to_string(),
+                6,
+                "out of range",
+            ),
+            (
+                "ibgp 1\nname x\nkind hierarchy\nprotocol single-best\nrouters 2\nhcluster ( r 0 m 6 )\n"
+                    .to_string(),
+                6,
+                "out of range",
+            ),
+        ];
+        for (text, line, needle) in cases {
+            let e = parse(text).expect_err(text);
+            assert_eq!(e.line, *line, "{text:?} -> {e}");
+            assert!(e.to_string().contains(needle), "{text:?} -> {e}");
+        }
+        // The error message names both the id and the declared bound.
+        let e = parse(&format!("{head}link 0 2 1\n")).unwrap_err();
+        assert!(e.to_string().contains("router id 2"), "{e}");
+        assert!(e.to_string().contains("`routers 2`"), "{e}");
     }
 
     #[test]

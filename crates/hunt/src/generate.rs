@@ -202,6 +202,7 @@ pub fn generate_spec(family: Family, seed: u64, index: u64) -> ScenarioSpec {
                     clusters: vec![],
                     client_sessions: vec![],
                     variant: ProtocolVariant::Standard,
+                    loop_prevention: false,
                 }),
                 exits,
             }
@@ -271,6 +272,7 @@ pub fn generate_spec(family: Family, seed: u64, index: u64) -> ScenarioSpec {
                     clusters,
                     client_sessions,
                     variant: ProtocolVariant::Standard,
+                    loop_prevention: false,
                 }),
                 exits,
             }

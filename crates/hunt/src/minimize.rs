@@ -263,6 +263,7 @@ mod tests {
                 clusters: vec![(vec![0], vec![2, 4]), (vec![1], vec![3])],
                 client_sessions: vec![],
                 variant: ProtocolVariant::Standard,
+                loop_prevention: false,
             }),
             exits: vec![ExitSpec::new(1, 2, 1), ExitSpec::new(2, 3, 1)],
         }

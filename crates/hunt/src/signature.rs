@@ -297,6 +297,7 @@ mod tests {
                 clusters: vec![(vec![0], vec![2]), (vec![1], vec![3])],
                 client_sessions: vec![],
                 variant: ProtocolVariant::Standard,
+                loop_prevention: false,
             }),
             exits: vec![ExitSpec::new(1, 2, 1), ExitSpec::new(2, 3, 1)],
         }
@@ -320,6 +321,7 @@ mod tests {
                 clusters: vec![(vec![m(1)], vec![m(3)]), (vec![m(0)], vec![m(2)])],
                 client_sessions: vec![],
                 variant: ProtocolVariant::Standard,
+                loop_prevention: false,
             }),
             exits: vec![ExitSpec::new(7, m(3), 1), ExitSpec::new(9, m(2), 1)],
         }
@@ -348,6 +350,13 @@ mod tests {
             r.variant = ProtocolVariant::Walton;
         }
         assert_ne!(signature(&other), sig);
+        // Loop prevention changes the classified behaviour, so the two
+        // corpora must never collide on a signature.
+        let mut other = base();
+        if let SpecKind::Reflection(r) = &mut other.kind {
+            r.loop_prevention = true;
+        }
+        assert_ne!(signature(&other), sig);
     }
 
     #[test]
@@ -370,6 +379,7 @@ mod tests {
                     clusters: vec![],
                     client_sessions: vec![],
                     variant: ProtocolVariant::Standard,
+                    loop_prevention: false,
                 }),
                 exits: vec![],
             }

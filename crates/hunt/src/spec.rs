@@ -85,6 +85,11 @@ pub struct ReflectionSpec {
     pub client_sessions: Vec<(u32, u32)>,
     /// The protocol variant to classify under.
     pub variant: ProtocolVariant,
+    /// Classify with the message-level reflection mechanics
+    /// (ORIGINATOR_ID / CLUSTER_LIST stamping, cluster-loop drop, SSLD,
+    /// and the reflect-to-whom matrix) instead of the paper's `Transfer`
+    /// predicate. Serialized as a `loop-prevention` directive.
+    pub loop_prevention: bool,
 }
 
 /// Confederation session structure (member sub-ASes + confed-E-BGP).
@@ -319,11 +324,17 @@ impl ScenarioSpec {
         Ok(g)
     }
 
-    /// The protocol label the on-disk format stores for this spec
-    /// (`standard|walton|modified` for reflection,
-    /// `single-best|set-advertisement` for confed and hierarchy).
+    /// The protocol label shown for this spec
+    /// (`standard|walton|modified` for reflection, with a
+    /// `+loop-prevention` suffix when the reflection mechanics are on;
+    /// `single-best|set-advertisement` for confed and hierarchy). The
+    /// on-disk format stores the bare variant plus a separate
+    /// `loop-prevention` directive.
     pub fn protocol_label(&self) -> String {
         match &self.kind {
+            SpecKind::Reflection(r) if r.loop_prevention => {
+                format!("{}+loop-prevention", r.variant)
+            }
             SpecKind::Reflection(r) => r.variant.to_string(),
             SpecKind::Confed(c) => c.mode.to_string(),
             SpecKind::Hierarchy(h) => h.mode.to_string(),
@@ -389,6 +400,7 @@ impl ScenarioSpec {
                 clusters,
                 client_sessions,
                 variant,
+                loop_prevention: false,
             }),
             exits,
         }
@@ -421,6 +433,7 @@ mod tests {
                 clusters: vec![(vec![0], vec![2]), (vec![1], vec![3])],
                 client_sessions: vec![],
                 variant: ProtocolVariant::Standard,
+                loop_prevention: false,
             }),
             exits: vec![ExitSpec::new(1, 2, 1), ExitSpec::new(2, 3, 1)],
         }

@@ -10,7 +10,7 @@
 //! the resulting [`Verdict`], so the "inconclusive: cap hit" reasoning
 //! lives in exactly one place.
 
-use crate::spec::{Built, ScenarioSpec, SpecError};
+use crate::spec::{Built, ScenarioSpec, SpecError, SpecKind};
 use ibgp_analysis::{ExploreOptions, OscillationClass};
 use ibgp_confed::explore_confed;
 use ibgp_hierarchy::explore_hier;
@@ -54,6 +54,13 @@ pub struct HuntOptions {
     /// standard-protocol flat-reflection path supports the solver;
     /// other kinds and variants fall back to search.
     pub solver: SolverMode,
+    /// Classify reflection specs under the message-level reflection
+    /// mechanics (ORIGINATOR_ID / CLUSTER_LIST stamping, cluster-loop
+    /// drop, SSLD, the reflect-to-whom matrix) instead of the paper's
+    /// `Transfer` predicate. Forces the legacy state encoding and turns
+    /// symmetry/POR off; the solver declines and falls back to search.
+    /// Confed/hierarchy searches ignore it.
+    pub loop_prevention: bool,
 }
 
 impl Default for HuntOptions {
@@ -67,6 +74,7 @@ impl Default for HuntOptions {
             por: false,
             deadline: None,
             solver: SolverMode::Search,
+            loop_prevention: false,
         }
     }
 }
@@ -82,7 +90,8 @@ impl From<&HuntOptions> for ExploreOptions {
             .symmetry(o.symmetry)
             .flat_encoding(o.flat)
             .por(o.por)
-            .solver(o.solver);
+            .solver(o.solver)
+            .loop_prevention(o.loop_prevention);
         if let Some(b) = o.max_bytes {
             opts = opts.max_bytes(b);
         }
@@ -161,6 +170,12 @@ impl HuntOptions {
         self
     }
 
+    /// Enable or disable the message-level reflection mechanics.
+    pub fn loop_prevention(mut self, loop_prevention: bool) -> Self {
+        self.loop_prevention = loop_prevention;
+        self
+    }
+
     /// The knobs only the instrumented flat-reflection search honors,
     /// listed by their command-line spelling when set to a non-default
     /// value. The dedicated confed/hierarchy searches ignore every one
@@ -185,6 +200,9 @@ impl HuntOptions {
         }
         if self.solver == SolverMode::Sat {
             set.push("--solver sat");
+        }
+        if self.loop_prevention {
+            set.push("--loop-prevention");
         }
         set
     }
@@ -386,7 +404,15 @@ pub fn classify_spec(spec: &ScenarioSpec, opts: &HuntOptions) -> Result<Verdict,
             config,
             exits,
         } => {
-            let (class, reach) = ibgp_analysis::classify(&topology, config, &exits, opts.into());
+            // Loop prevention can come from the spec (a `loop-prevention`
+            // directive) or the hunt knobs; either source turns it on.
+            let mut explore: ExploreOptions = opts.into();
+            if let SpecKind::Reflection(r) = &spec.kind {
+                if r.loop_prevention {
+                    explore = explore.loop_prevention(true);
+                }
+            }
+            let (class, reach) = ibgp_analysis::classify(&topology, config, &exits, explore);
             let solved = reach.origin == VerdictOrigin::Solver;
             let stable_count = (solved && reach.complete).then_some(reach.stable_vectors.len());
             Ok(Verdict {
@@ -438,6 +464,7 @@ mod tests {
                 clusters: vec![(vec![0], vec![2]), (vec![1], vec![3])],
                 client_sessions: vec![],
                 variant,
+                loop_prevention: false,
             }),
             exits: vec![ExitSpec::new(1, 2, 1), ExitSpec::new(2, 3, 1)],
         }
@@ -526,6 +553,7 @@ mod tests {
             max_bytes: Some(1 << 20),
             flat: false,
             solver: SolverMode::Sat,
+            loop_prevention: true,
             ..HuntOptions::default()
         };
         assert_eq!(
@@ -537,6 +565,7 @@ mod tests {
                 "--max-bytes",
                 "the legacy state encoding",
                 "--solver sat",
+                "--loop-prevention",
             ]
         );
         // One flag alone is reported alone.
@@ -615,6 +644,36 @@ mod tests {
         // hour-away deadline must not stop a tiny search.
         let v = classify_spec(&disagree(ProtocolVariant::Standard), &opts).unwrap();
         assert_ne!(v.stop, StopReason::Deadline);
+    }
+
+    /// Loop prevention reaches the engine from either source (the spec
+    /// directive or the hunt knob), and under `--solver sat` the solver
+    /// declines honestly: the verdict's origin says `Search`.
+    #[test]
+    fn loop_prevention_classifies_and_overrides_the_solver() {
+        // Per-cluster singleton reflectors with no redundancy: verdicts
+        // match the Transfer-predicate path on this spec.
+        let base = classify_spec(&disagree(ProtocolVariant::Standard), &HuntOptions::default())
+            .unwrap();
+        let opts = HuntOptions::new().loop_prevention(true);
+        let v = classify_spec(&disagree(ProtocolVariant::Standard), &opts).unwrap();
+        assert_eq!(v.class, base.class);
+        assert_eq!(v.stable_vectors, base.stable_vectors);
+
+        let mut spec = disagree(ProtocolVariant::Standard);
+        match &mut spec.kind {
+            SpecKind::Reflection(r) => r.loop_prevention = true,
+            _ => unreachable!(),
+        }
+        let v = classify_spec(&spec, &HuntOptions::default()).unwrap();
+        assert_eq!(v.class, base.class);
+
+        let opts = HuntOptions::new()
+            .loop_prevention(true)
+            .solver(SolverMode::Sat);
+        let v = classify_spec(&disagree(ProtocolVariant::Standard), &opts).unwrap();
+        assert_eq!(v.origin, VerdictOrigin::Search, "solver must decline");
+        assert_eq!(v.stable_count, None);
     }
 
     #[test]

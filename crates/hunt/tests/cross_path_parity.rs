@@ -115,6 +115,7 @@ fn the_disagree_gadget_agrees_across_both_paths() {
             clusters: vec![(vec![0], vec![2]), (vec![1], vec![3])],
             client_sessions: vec![],
             variant: ProtocolVariant::Standard,
+            loop_prevention: false,
         }),
         exits: vec![
             ibgp_hunt::ExitSpec::new(1, 2, 1),

@@ -29,6 +29,9 @@ proptest! {
                     1 => ProtocolVariant::Walton,
                     _ => ProtocolVariant::Modified,
                 };
+                // The loop-prevention directive must survive the trip in
+                // both states (and never leak into the protocol line).
+                r.loop_prevention = twist >= 128;
             }
             SpecKind::Confed(c) => {
                 c.mode = if twist.is_multiple_of(2) {

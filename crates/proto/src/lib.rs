@@ -11,6 +11,9 @@
 //!   rule and whose survivor set the modified protocol advertises.
 //! * [`transfer`] — the `Transfer_{v→u}` announcement relation of §4
 //!   (who may tell whom about which exit paths under route reflection).
+//! * [`reflection`] — message-level ORIGINATOR_ID / CLUSTER_LIST / SSLD
+//!   mechanics (RFC 4456), the realistic counterpart `Transfer`
+//!   idealizes away; used by the engine's `loop_prevention` switch.
 //! * [`walton`] — the per-neighbor-AS advertisement vector of Walton et
 //!   al., the baseline §8 shows to be insufficient.
 //! * [`variants`] — [`ProtocolVariant`]: which advertisement discipline a
@@ -25,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod levels;
+pub mod reflection;
 pub mod routes;
 pub mod selection;
 pub mod transfer;
@@ -32,6 +36,7 @@ pub mod variants;
 pub mod walton;
 
 pub use levels::level;
+pub use reflection::{cluster_loop, reflect_allowed, stamp_cluster_list, RrAttrs};
 pub use routes::{derive_learned_from, route_at};
 pub use selection::{
     choose_best, choose_best_traced, choose_set, MedMode, RuleId, RuleOrder, SelectionPolicy,

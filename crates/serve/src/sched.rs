@@ -12,7 +12,7 @@
 //! comparable across requests).
 
 use crate::store::{StoredBudget, VerdictStore};
-use ibgp_hunt::{classify_spec, signature, HuntOptions, ScenarioSpec, Verdict};
+use ibgp_hunt::{classify_spec, signature, HuntOptions, ScenarioSpec, SpecKind, Verdict};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -144,7 +144,16 @@ impl Scheduler {
 
     /// Submit one spec for classification. Returns immediately; the
     /// ticket resolves when the store answers or a worker finishes.
-    pub fn submit(&self, spec: ScenarioSpec, request: Request) -> Ticket {
+    pub fn submit(&self, mut spec: ScenarioSpec, request: Request) -> Ticket {
+        // Fold the loop-prevention knob into the spec *before* the
+        // signature is computed: the mechanics change verdicts, so an
+        // lp request must never share a store entry or an in-flight job
+        // with the plain classification of the same structure.
+        if request.opts.loop_prevention {
+            if let SpecKind::Reflection(r) = &mut spec.kind {
+                r.loop_prevention = true;
+            }
+        }
         let sig = signature(&spec);
         // Answer straight from the store when a servable entry exists.
         {

@@ -3,7 +3,7 @@
 //! One request per connection:
 //!
 //! ```text
-//! classify [max-states=N] [max-bytes=N] [deadline-ms=N] [symmetry=0|1] [por=0|1] [solver=sat|search]
+//! classify [max-states=N] [max-bytes=N] [deadline-ms=N] [symmetry=0|1] [por=0|1] [solver=sat|search] [loop-prevention=0|1]
 //! <.ibgp text, verbatim>
 //! end
 //! ```
@@ -199,6 +199,7 @@ pub fn parse_header(line: &str) -> Result<Request, String> {
             "symmetry" => request.opts.symmetry = value == "1",
             "por" => request.opts.por = value == "1",
             "solver" => request.opts.solver = value.parse()?,
+            "loop-prevention" => request.opts.loop_prevention = value == "1",
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -229,6 +230,9 @@ pub fn submit_text(
     }
     if request.opts.solver != ibgp_types::SolverMode::Search {
         header.push_str(&format!(" solver={}", request.opts.solver.token()));
+    }
+    if request.opts.loop_prevention {
+        header.push_str(" loop-prevention=1");
     }
     writeln!(stream, "{header}")?;
     stream.write_all(text.as_bytes())?;
@@ -300,6 +304,10 @@ mod tests {
         let r = parse_header("classify solver=sat").unwrap();
         assert_eq!(r.opts.solver, ibgp_types::SolverMode::Sat);
         assert!(parse_header("classify solver=smt").is_err());
+        let r = parse_header("classify loop-prevention=1").unwrap();
+        assert!(r.opts.loop_prevention);
+        let r = parse_header("classify loop-prevention=0").unwrap();
+        assert!(!r.opts.loop_prevention);
         assert!(parse_header("classify max-states=x").is_err());
         assert!(parse_header("classify bogus=1").is_err());
         assert!(parse_header("destroy").is_err());

@@ -193,6 +193,10 @@ impl StateCodec {
                     possible: self.decode_mask(&block[..self.mask_words]),
                     best: (best_slot != 0).then(|| self.id_at(best_slot as usize - 1)),
                     advertised: self.decode_mask(&block[self.mask_words..2 * self.mask_words]),
+                    // The flat encoding never carries reflection
+                    // attributes: searches with loop prevention on run
+                    // the legacy scheme (`set_codec` rejects the combo).
+                    rr: Vec::new(),
                 }
             })
             .collect();
@@ -302,6 +306,7 @@ mod tests {
             possible: possible.iter().map(|&i| ExitPathId::new(i)).collect(),
             best: best.map(ExitPathId::new),
             advertised: advertised.iter().map(|&i| ExitPathId::new(i)).collect(),
+            rr: Vec::new(),
         }
     }
 

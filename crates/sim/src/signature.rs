@@ -24,6 +24,13 @@ pub struct NodeStateKey {
     pub best: Option<ExitPathId>,
     /// Sorted ids of the currently advertised set.
     pub advertised: Vec<ExitPathId>,
+    /// Reflection attributes of the advertised paths under loop
+    /// prevention, flattened per advertised path as
+    /// `[from + 1 (0 = own E-BGP route), cluster-list length, ids...]`.
+    /// Empty with loop prevention off. Peers read exactly the advertised
+    /// set plus these attributes, so this is the finest state the
+    /// transition function can distinguish.
+    pub rr: Vec<u32>,
 }
 
 /// Canonical form of a full configuration (plus activation phase).
@@ -52,7 +59,8 @@ impl StateKey {
         let mut bytes = std::mem::size_of::<Self>() + self.nodes.len() * VEC_OVERHEAD;
         for node in &self.nodes {
             bytes += std::mem::size_of::<NodeStateKey>()
-                + (node.possible.len() + node.advertised.len()) * std::mem::size_of::<ExitPathId>();
+                + (node.possible.len() + node.advertised.len()) * std::mem::size_of::<ExitPathId>()
+                + node.rr.len() * std::mem::size_of::<u32>();
         }
         bytes
     }
@@ -68,6 +76,7 @@ mod tests {
                 possible: vec![ExitPathId::new(1), ExitPathId::new(2)],
                 best: best.map(ExitPathId::new),
                 advertised: vec![ExitPathId::new(1)],
+                rr: Vec::new(),
             }],
             phase,
         }

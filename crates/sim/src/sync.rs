@@ -55,7 +55,8 @@ use crate::metrics::Metrics;
 use crate::signature::{NodeStateKey, StateKey};
 use ibgp_proto::variants::ProtocolConfig;
 use ibgp_proto::{
-    choose_best, choose_set, route_at, transfer_set, walton_advertised_set, ProtocolVariant,
+    choose_best, choose_set, cluster_loop, reflect_allowed, route_at, stamp_cluster_list,
+    transfer_set, walton_advertised_set, ProtocolVariant, RrAttrs,
 };
 use ibgp_topology::Topology;
 use ibgp_types::{BgpId, ExitPathId, ExitPathRef, Route, RouterId};
@@ -145,6 +146,10 @@ struct NodeState {
     /// `Topology::ibgp().peers(u)` order — computed once per distinct
     /// state so message accounting needn't re-filter on every step.
     outgoing: Vec<Vec<ExitPathId>>,
+    /// Reflection attributes per possible path (loop-prevention mode
+    /// only; empty otherwise). Peers read the entries of *advertised*
+    /// paths when gathering; the rest ride along for inspection.
+    attrs: BTreeMap<ExitPathId, RrAttrs>,
     /// The row's flat encoding under the engine's [`StateCodec`] —
     /// `node_words` long when a codec is installed, empty otherwise.
     /// Cached with the row so assembling a full [`FlatKey`] is a plain
@@ -154,10 +159,23 @@ struct NodeState {
 
 impl NodeState {
     fn key(&self) -> NodeStateKey {
+        // Attribute words for the advertised paths only: peers read
+        // exactly (advertised set, its attributes), so keys of this
+        // granularity determine all future transitions — differing
+        // attributes on *unadvertised* paths cannot influence anyone.
+        let mut rr = Vec::new();
+        for p in &self.advertised {
+            if let Some(a) = self.attrs.get(&p.id()) {
+                rr.push(a.from.map_or(0, |v| v.raw() + 1));
+                rr.push(a.cluster_list.len() as u32);
+                rr.extend(a.cluster_list.iter().map(|c| c.raw()));
+            }
+        }
         NodeStateKey {
             possible: self.possible.iter().map(|p| p.id()).collect(),
             best: self.best.as_ref().map(Route::exit_id),
             advertised: self.advertised.iter().map(|p| p.id()).collect(),
+            rr,
         }
     }
 
@@ -222,6 +240,10 @@ pub struct SyncEngine<'a> {
     time: u64,
     metrics: Metrics,
     memoized: bool,
+    /// Message-level reflection mechanics (ORIGINATOR_ID / CLUSTER_LIST /
+    /// SSLD) instead of the paper's `Transfer` relation. See
+    /// [`SyncEngine::set_loop_prevention`].
+    loop_prevention: bool,
     memo: RefCell<UpdateMemo>,
     /// Reused buffer for memo-key assembly, so the memoized lookup path
     /// allocates only on a miss.
@@ -242,6 +264,7 @@ impl Clone for SyncEngine<'_> {
             time: self.time,
             metrics: self.metrics,
             memoized: self.memoized,
+            loop_prevention: self.loop_prevention,
             memo: RefCell::new(self.memo.borrow().clone()),
             memo_scratch: RefCell::new(Vec::new()),
             codec: self.codec.clone(),
@@ -270,6 +293,7 @@ impl<'a> SyncEngine<'a> {
                 best: None,
                 advertised: Vec::new(),
                 outgoing: vec![Vec::new(); topo.ibgp().peers(RouterId::new(i as u32)).len()],
+                attrs: BTreeMap::new(),
                 flat: Box::default(),
             })
             .collect();
@@ -302,6 +326,7 @@ impl<'a> SyncEngine<'a> {
             time: 0,
             metrics: Metrics::default(),
             memoized: true,
+            loop_prevention: false,
             memo: RefCell::new(HashMap::new()),
             memo_scratch: RefCell::new(Vec::new()),
             codec: None,
@@ -349,6 +374,53 @@ impl<'a> SyncEngine<'a> {
         }
     }
 
+    /// Whether message-level loop prevention is on.
+    pub fn loop_prevention(&self) -> bool {
+        self.loop_prevention
+    }
+
+    /// Switch between the paper's `Transfer` relation (off, the default)
+    /// and message-level reflection mechanics (on): ORIGINATOR_ID
+    /// (derivable — the originator of `p` is `exitPoint(p)`), SSLD,
+    /// CLUSTER_LIST stamping with receive-side cluster-loop detection,
+    /// and the reflect-to-whom matrix keyed on whom each copy was
+    /// learned from (see [`ibgp_proto::reflection`]).
+    ///
+    /// Restoring snapshots taken under the *same* setting is fine; the
+    /// two modes' rows are not interchangeable, so flip this right after
+    /// construction, before any step. Drops the update memo.
+    ///
+    /// # Panics
+    ///
+    /// Panics when enabling after steps were applied, or with a flat
+    /// codec installed (the flat encoding cannot carry the per-path
+    /// attributes; loop-prevention searches run the legacy scheme).
+    pub fn set_loop_prevention(&mut self, on: bool) {
+        if self.loop_prevention == on {
+            return;
+        }
+        assert!(
+            self.time == 0,
+            "set_loop_prevention must precede stepping"
+        );
+        assert!(
+            !(on && self.codec.is_some()),
+            "loop prevention is incompatible with the flat encoding"
+        );
+        self.loop_prevention = on;
+        self.memo.borrow_mut().clear();
+        for node in &mut self.nodes {
+            let row = Arc::make_mut(node);
+            row.attrs.clear();
+            if on {
+                // config(0): every possible path is an own E-BGP route.
+                for p in &row.possible {
+                    row.attrs.insert(p.id(), RrAttrs::own());
+                }
+            }
+        }
+    }
+
     /// `BestRoute(u, now)`.
     pub fn best_route(&self, u: RouterId) -> Option<&Route> {
         self.nodes[u.index()].best.as_ref()
@@ -393,6 +465,44 @@ impl<'a> SyncEngine<'a> {
             .collect()
     }
 
+    /// ORIGINATOR_ID of a possible path at `u`: the router that learned
+    /// it over E-BGP. Derivable in any mode (`exitPoint(p)`); `None` if
+    /// `u` does not currently know the path.
+    pub fn originator(&self, u: RouterId, id: ExitPathId) -> Option<RouterId> {
+        self.nodes[u.index()]
+            .possible
+            .iter()
+            .find(|p| p.id() == id)
+            .map(|p| p.exit_point())
+    }
+
+    /// The stored CLUSTER_LIST of a possible path at `u` (loop-prevention
+    /// mode; `None` if the path is unknown there).
+    pub fn cluster_list(&self, u: RouterId, id: ExitPathId) -> Option<&[RouterId]> {
+        self.nodes[u.index()]
+            .attrs
+            .get(&id)
+            .map(|a| &a.cluster_list[..])
+    }
+
+    /// The I-BGP peer `u`'s stored copy of a path was learned from
+    /// (`Some(None)` = `u`'s own E-BGP route; `None` = unknown path or
+    /// loop prevention off).
+    pub fn rr_from(&self, u: RouterId, id: ExitPathId) -> Option<Option<RouterId>> {
+        self.nodes[u.index()].attrs.get(&id).map(|a| a.from)
+    }
+
+    /// The send-filtered advertisement `v` currently offers peer `u`
+    /// (empty when `u` is not a peer of `v`) — what conformance
+    /// assertions on reflection targets check.
+    pub fn outgoing_to(&self, v: RouterId, u: RouterId) -> Vec<ExitPathId> {
+        let peers = self.topo.ibgp().peers(v);
+        match peers.iter().position(|&w| w == u) {
+            Some(i) => self.nodes[v.index()].outgoing[i].clone(),
+            None => Vec::new(),
+        }
+    }
+
     /// Inject a new E-BGP route at its exit point (E-BGP churn). Takes
     /// effect on the exit point's next activation.
     pub fn inject(&mut self, p: ExitPathRef) {
@@ -431,7 +541,10 @@ impl<'a> SyncEngine<'a> {
 
     /// The memo key for `u`'s next update: `u` itself, `MyExits(u)`, and
     /// every peer's advertised set, flattened to raw ids with `u32::MAX`
-    /// separators (reserved — asserted at construction/inject). Together
+    /// separators (reserved — asserted at construction/inject). Under
+    /// loop prevention, each advertised id is followed by its reflection
+    /// attributes (`from + 1`, cluster-list length, cluster ids) — fixed
+    /// per-path structure, so the encoding stays injective. Together
     /// with the fixed topology and protocol configuration these inputs
     /// fully determine [`SyncEngine::compute_update`]'s output. Written
     /// into a reused buffer so the lookup path allocates only on a miss.
@@ -443,8 +556,16 @@ impl<'a> SyncEngine<'a> {
         }
         for v in self.topo.ibgp().peers(u) {
             key.push(u32::MAX);
-            for p in &self.nodes[v.index()].advertised {
+            let peer = &self.nodes[v.index()];
+            for p in &peer.advertised {
                 key.push(p.id().raw());
+                if self.loop_prevention {
+                    let a = peer.attrs.get(&p.id());
+                    key.push(a.and_then(|a| a.from).map_or(0, |w| w.raw() + 1));
+                    let list = a.map_or(&[][..], |a| &a.cluster_list[..]);
+                    key.push(list.len() as u32);
+                    key.extend(list.iter().map(|c| c.raw()));
+                }
             }
         }
     }
@@ -478,6 +599,9 @@ impl<'a> SyncEngine<'a> {
     /// state, without applying it. This is the naive reference path; the
     /// engine normally goes through the memoized [`SyncEngine::update_row`].
     fn compute_update(&self, u: RouterId) -> NodeState {
+        if self.loop_prevention {
+            return self.compute_update_rr(u);
+        }
         let cur = &self.nodes[u.index()];
         // Gather: own exits plus transfer-filtered peer advertisements,
         // tracking the minimum announcing BGP id per path.
@@ -528,12 +652,102 @@ impl<'a> SyncEngine<'a> {
             best,
             advertised,
             outgoing,
+            attrs: BTreeMap::new(),
             flat: Box::default(),
         };
         if let Some(codec) = &self.codec {
             row.flat = row.encode_flat(codec);
         }
         row
+    }
+
+    /// [`SyncEngine::compute_update`] under message-level loop
+    /// prevention: the gather applies the reflect-to-whom matrix plus
+    /// SSLD on the send side, stamps CLUSTER_LIST on the wire, and drops
+    /// cluster loops on the receive side; the stored attributes follow
+    /// the minimum-BGP-id announcing peer (the same winner `learnedFrom`
+    /// tracks).
+    fn compute_update_rr(&self, u: RouterId) -> NodeState {
+        use std::collections::btree_map::Entry;
+        let cur = &self.nodes[u.index()];
+        let mut gathered: BTreeMap<ExitPathId, (ExitPathRef, BgpId, RrAttrs)> = BTreeMap::new();
+        for p in &cur.my_exits {
+            gathered.insert(p.id(), (p.clone(), p.next_hop().bgp_id(), RrAttrs::own()));
+        }
+        let ibgp = self.topo.ibgp();
+        for v in ibgp.peers(u) {
+            let sender = self.topo.bgp_id(v);
+            let peer = &self.nodes[v.index()];
+            for p in &peer.advertised {
+                let stored = peer.attrs.get(&p.id());
+                let from = stored.and_then(|a| a.from);
+                if !reflect_allowed(self.topo, v, u, p.exit_point(), from) {
+                    continue;
+                }
+                let wire = stamp_cluster_list(
+                    v,
+                    p.exit_point(),
+                    stored.map_or(&[][..], |a| &a.cluster_list[..]),
+                );
+                if cluster_loop(u, &wire) {
+                    continue;
+                }
+                // SSLD already blocked exitPoint(p) = u, so every arrival
+                // is a genuine I-BGP announcement: minimum announcing id
+                // wins, and the stored attributes follow the winner.
+                match gathered.entry(p.id()) {
+                    Entry::Occupied(mut e) => {
+                        let (_, lf, a) = e.get_mut();
+                        if sender < *lf {
+                            *lf = sender;
+                            *a = RrAttrs::learned(v, wire);
+                        }
+                    }
+                    Entry::Vacant(e) => {
+                        e.insert((p.clone(), sender, RrAttrs::learned(v, wire)));
+                    }
+                }
+            }
+        }
+        let possible: Vec<ExitPathRef> = gathered.values().map(|(p, _, _)| p.clone()).collect();
+        let learned: BTreeMap<ExitPathId, BgpId> =
+            gathered.iter().map(|(&id, &(_, lf, _))| (id, lf)).collect();
+        let attrs: BTreeMap<ExitPathId, RrAttrs> = gathered
+            .into_iter()
+            .map(|(id, (_, _, a))| (id, a))
+            .collect();
+        let routes: Vec<Route> = possible
+            .iter()
+            .map(|p| route_at(self.topo, u, p, learned[&p.id()]))
+            .collect();
+        let best = choose_best(self.config.policy, &routes);
+        let advertised = self.advertised_set(u, &possible, &routes, best.as_ref());
+        // Send-side filtering only: the receive-side cluster-loop drop is
+        // the *receiver's* decision, applied in its own gather.
+        let outgoing = ibgp
+            .peers(u)
+            .into_iter()
+            .map(|v| {
+                advertised
+                    .iter()
+                    .filter(|p| {
+                        let from = attrs.get(&p.id()).and_then(|a| a.from);
+                        reflect_allowed(self.topo, u, v, p.exit_point(), from)
+                    })
+                    .map(|p| p.id())
+                    .collect()
+            })
+            .collect();
+        NodeState {
+            my_exits: cur.my_exits.clone(),
+            possible,
+            learned,
+            best,
+            advertised,
+            outgoing,
+            attrs,
+            flat: Box::default(),
+        }
     }
 
     /// The advertisement discipline per protocol variant.
@@ -650,6 +864,10 @@ impl<'a> SyncEngine<'a> {
     /// lack the encoding), so install the codec once, right after
     /// construction, before any search work.
     pub fn set_codec(&mut self, codec: Arc<StateCodec>) {
+        assert!(
+            !self.loop_prevention,
+            "loop prevention is incompatible with the flat encoding"
+        );
         self.memo.borrow_mut().clear();
         for node in &mut self.nodes {
             let row = Arc::make_mut(node);
@@ -1242,6 +1460,140 @@ mod tests {
             ProtocolConfig::STANDARD,
             vec![exit(1, 1, 0, 0), exit(1, 2, 0, 0)],
         );
+    }
+
+    /// Loop prevention changes nothing on a full mesh: only own E-BGP
+    /// routes are ever sent, and they carry empty cluster lists.
+    #[test]
+    fn loop_prevention_is_inert_on_full_meshes() {
+        let topo = TopologyBuilder::new(3)
+            .link(0, 1, 1)
+            .link(1, 2, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let exits = vec![exit(1, 1, 0, 0), exit(2, 2, 5, 2)];
+        let mut plain = SyncEngine::new(&topo, ProtocolConfig::STANDARD, exits.clone());
+        let mut lp = SyncEngine::new(&topo, ProtocolConfig::STANDARD, exits);
+        lp.set_loop_prevention(true);
+        assert!(lp.loop_prevention());
+        let mut sched_a = RoundRobin::new();
+        let mut sched_b = RoundRobin::new();
+        for _ in 0..20 {
+            let set = sched_a.next_set(3);
+            assert_eq!(set, sched_b.next_set(3));
+            plain.step(&set);
+            lp.step(&set);
+            assert_eq!(plain.best_vector(), lp.best_vector());
+        }
+        assert_eq!(plain.is_stable(), lp.is_stable());
+        // Every stored copy records its announcing peer; own routes none.
+        assert_eq!(lp.rr_from(r(0), ExitPathId::new(1)), Some(None));
+        assert_eq!(lp.rr_from(r(1), ExitPathId::new(1)), Some(Some(r(0))));
+        assert_eq!(lp.cluster_list(r(1), ExitPathId::new(1)), Some(&[][..]));
+    }
+
+    /// The cbgp `bgp_rr` shape (explicit sessions): a non-client route is
+    /// reflected to clients only, and the stored attributes match what a
+    /// real reflector would stamp.
+    #[test]
+    fn loop_prevention_reflects_per_the_matrix() {
+        // 0—1 peers, 2—3 peers, 1—4 peers; 2 a client of 1. Exit at 0.
+        let topo = TopologyBuilder::new(5)
+            .link(0, 1, 1)
+            .link(1, 2, 1)
+            .link(2, 3, 1)
+            .link(1, 4, 1)
+            .peer(0, 1)
+            .peer(2, 3)
+            .peer(1, 4)
+            .rr_client(1, 2)
+            .build()
+            .unwrap();
+        let mut eng = SyncEngine::new(&topo, ProtocolConfig::STANDARD, vec![exit(1, 1, 0, 0)]);
+        eng.set_loop_prevention(true);
+        let outcome = eng.run(&mut RoundRobin::new(), 100);
+        assert!(outcome.converged(), "{outcome}");
+        let p1 = ExitPathId::new(1);
+        // 0 (origin) and 1 (peer) and 2 (client of 1) know the route.
+        assert_eq!(eng.best_exit(r(0)), Some(p1));
+        assert_eq!(eng.best_exit(r(1)), Some(p1));
+        assert_eq!(eng.best_exit(r(2)), Some(p1));
+        // 1 must not reflect the non-client route to peer 4, and 2 (no
+        // clients) must not re-advertise it to peer 3.
+        assert_eq!(eng.best_exit(r(3)), None);
+        assert_eq!(eng.best_exit(r(4)), None);
+        assert_eq!(eng.outgoing_to(r(1), r(4)), vec![]);
+        assert_eq!(eng.outgoing_to(r(2), r(3)), vec![]);
+        // ORIGINATOR_ID and CLUSTER_LIST at the client.
+        assert_eq!(eng.originator(r(2), p1), Some(r(0)));
+        assert_eq!(eng.cluster_list(r(2), p1), Some(&[r(1)][..]));
+        assert_eq!(eng.rr_from(r(2), p1), Some(Some(r(1))));
+        // Without loop prevention, the partitionless Transfer relation is
+        // not even defined for this graph — but the paper's relation on a
+        // cluster encoding of the same intent would have let 3 learn it.
+    }
+
+    /// SSLD: a reflector never sends a route back to its originator,
+    /// even when it learned the route from a third party.
+    #[test]
+    fn loop_prevention_ssld_blocks_the_originator() {
+        // cbgp bgp_rr_originator_id_ssld shape: 0 client of both 1 and
+        // 2; 1—2 peers. Exit at 0.
+        let topo = TopologyBuilder::new(3)
+            .link(0, 1, 1)
+            .link(0, 2, 1)
+            .link(1, 2, 1)
+            .rr_client(1, 0)
+            .rr_client(2, 0)
+            .peer(1, 2)
+            .build()
+            .unwrap();
+        let mut eng = SyncEngine::new(&topo, ProtocolConfig::STANDARD, vec![exit(1, 1, 0, 0)]);
+        eng.set_loop_prevention(true);
+        let outcome = eng.run(&mut RoundRobin::new(), 100);
+        assert!(outcome.converged(), "{outcome}");
+        let p1 = ExitPathId::new(1);
+        assert_eq!(eng.best_exit(r(1)), Some(p1));
+        assert_eq!(eng.best_exit(r(2)), Some(p1));
+        // Neither reflector offers the route back to its originator.
+        assert_eq!(eng.outgoing_to(r(1), r(0)), vec![]);
+        assert_eq!(eng.outgoing_to(r(2), r(0)), vec![]);
+        // Both reflectors hear the route from client 0 directly (and
+        // also via each other, stamped with a one-hop cluster list); the
+        // lowest-BGP-id sender wins the stored copy, so each keeps the
+        // direct client copy with an empty cluster list.
+        assert_eq!(eng.rr_from(r(2), p1), Some(Some(r(0))));
+        assert_eq!(eng.cluster_list(r(2), p1), Some(&[][..]));
+    }
+
+    /// Enabling loop prevention after stepping (or with a codec) is a
+    /// construction error.
+    #[test]
+    #[should_panic(expected = "set_loop_prevention must precede stepping")]
+    fn loop_prevention_after_steps_panics() {
+        let topo = TopologyBuilder::new(2)
+            .link(0, 1, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let mut eng = SyncEngine::new(&topo, ProtocolConfig::STANDARD, vec![exit(1, 1, 0, 0)]);
+        eng.step(&[r(0)]);
+        eng.set_loop_prevention(true);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible with the flat encoding")]
+    fn codec_under_loop_prevention_panics() {
+        let topo = TopologyBuilder::new(2)
+            .link(0, 1, 1)
+            .full_mesh()
+            .build()
+            .unwrap();
+        let exits = vec![exit(1, 1, 0, 0)];
+        let mut eng = SyncEngine::new(&topo, ProtocolConfig::STANDARD, exits.clone());
+        eng.set_loop_prevention(true);
+        eng.set_codec(Arc::new(crate::flat::StateCodec::new(topo.len(), &exits)));
     }
 
     /// The flat key of the live configuration is the codec encoding of

@@ -31,6 +31,8 @@ pub struct TopologyBuilder {
     links: Vec<(u32, u32, u64)>,
     clusters: Vec<(Vec<RouterId>, Vec<RouterId>)>,
     client_sessions: Vec<(RouterId, RouterId)>,
+    explicit_peers: Vec<(RouterId, RouterId)>,
+    explicit_clients: Vec<(RouterId, RouterId)>,
     bgp_ids: Vec<BgpId>,
     full_mesh: bool,
 }
@@ -43,6 +45,8 @@ impl TopologyBuilder {
             links: Vec::new(),
             clusters: Vec::new(),
             client_sessions: Vec::new(),
+            explicit_peers: Vec::new(),
+            explicit_clients: Vec::new(),
             bgp_ids: (0..n as u32).map(BgpId::new).collect(),
             full_mesh: false,
         }
@@ -74,6 +78,22 @@ impl TopologyBuilder {
         self
     }
 
+    /// Declare an explicit (undirected) I-BGP peering. Using this or
+    /// [`Self::rr_client`] switches the logical graph to explicit mode
+    /// ([`IbgpTopology::explicit`]); declared clusters are then ignored.
+    pub fn peer(mut self, u: u32, v: u32) -> Self {
+        self.explicit_peers.push((RouterId::new(u), RouterId::new(v)));
+        self
+    }
+
+    /// Declare an explicit directed reflector→client edge (also a
+    /// session). See [`Self::peer`].
+    pub fn rr_client(mut self, rr: u32, client: u32) -> Self {
+        self.explicit_clients
+            .push((RouterId::new(rr), RouterId::new(client)));
+        self
+    }
+
     /// Use fully meshed I-BGP (ignores any declared clusters).
     pub fn full_mesh(mut self) -> Self {
         self.full_mesh = true;
@@ -94,7 +114,9 @@ impl TopologyBuilder {
         for (u, v, cost) in self.links {
             physical.add_link(RouterId::new(u), RouterId::new(v), IgpCost::new(cost))?;
         }
-        let ibgp = if self.full_mesh {
+        let ibgp = if !self.explicit_peers.is_empty() || !self.explicit_clients.is_empty() {
+            IbgpTopology::explicit(self.n, self.explicit_peers, self.explicit_clients)?
+        } else if self.full_mesh {
             IbgpTopology::full_mesh(self.n)
         } else {
             IbgpTopology::new(self.n, self.clusters, self.client_sessions)?

@@ -70,6 +70,16 @@ impl Cluster {
     }
 }
 
+/// An explicit I-BGP session graph, overriding the partition-derived
+/// `E_I` (see [`IbgpTopology::explicit`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct ExplicitSessions {
+    /// Undirected peer sessions, stored with `u < v`, sorted.
+    peers: Vec<(RouterId, RouterId)>,
+    /// Directed reflector→client edges, sorted.
+    clients: Vec<(RouterId, RouterId)>,
+}
+
 /// The validated I-BGP session structure of an AS.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IbgpTopology {
@@ -79,6 +89,11 @@ pub struct IbgpTopology {
     /// Intra-cluster client–client sessions (constraint 4), stored with
     /// `u < v`.
     extra_client_sessions: Vec<(RouterId, RouterId)>,
+    /// When set, the session graph is the explicit one and the cluster
+    /// partition above is a synthetic singleton cover (see
+    /// [`IbgpTopology::explicit`]).
+    #[serde(default)]
+    explicit: Option<ExplicitSessions>,
 }
 
 impl IbgpTopology {
@@ -145,6 +160,63 @@ impl IbgpTopology {
             clusters: built,
             roles: resolved,
             extra_client_sessions: extra,
+            explicit: None,
+        })
+    }
+
+    /// Build an *explicit* session graph: `peers` are plain (undirected)
+    /// I-BGP peerings, `clients` are directed reflector→client edges
+    /// (which are also sessions). Nothing else is a session.
+    ///
+    /// The cluster partition (§2) can only express session graphs where
+    /// the reflectors form a full mesh and every client peers with
+    /// exactly its own cluster's reflectors. Real configurations — e.g.
+    /// the cbgp validation topologies, where a router is a client of one
+    /// neighbor and a plain peer of another — need the edge list itself.
+    /// Routers are given synthetic singleton `Reflector` roles so the
+    /// partition accessors stay total; role-based queries are not
+    /// meaningful here, and [`Self::client_edge`] / [`Self::reflects`]
+    /// are the authoritative reflection relations.
+    pub fn explicit(
+        n: usize,
+        peers: Vec<(RouterId, RouterId)>,
+        clients: Vec<(RouterId, RouterId)>,
+    ) -> Result<Self, TopologyError> {
+        let check = |u: RouterId, v: RouterId| -> Result<(), TopologyError> {
+            for node in [u, v] {
+                if node.index() >= n {
+                    return Err(TopologyError::NodeOutOfRange { node, len: n });
+                }
+            }
+            if u == v {
+                return Err(TopologyError::SelfLoop(u));
+            }
+            Ok(())
+        };
+        let mut undirected = Vec::with_capacity(peers.len());
+        for (u, v) in peers {
+            check(u, v)?;
+            let pair = if u < v { (u, v) } else { (v, u) };
+            if !undirected.contains(&pair) {
+                undirected.push(pair);
+            }
+        }
+        undirected.sort();
+        let mut directed = Vec::with_capacity(clients.len());
+        for (v, u) in clients {
+            check(v, u)?;
+            if !directed.contains(&(v, u)) {
+                directed.push((v, u));
+            }
+        }
+        directed.sort();
+        let mesh = Self::full_mesh(n);
+        Ok(Self {
+            explicit: Some(ExplicitSessions {
+                peers: undirected,
+                clients: directed,
+            }),
+            ..mesh
         })
     }
 
@@ -165,6 +237,7 @@ impl IbgpTopology {
             clusters,
             roles,
             extra_client_sessions: Vec::new(),
+            explicit: None,
         }
     }
 
@@ -213,6 +286,12 @@ impl IbgpTopology {
     pub fn is_session(&self, u: RouterId, v: RouterId) -> bool {
         if u == v {
             return false;
+        }
+        if let Some(ex) = &self.explicit {
+            let pair = if u < v { (u, v) } else { (v, u) };
+            return ex.peers.binary_search(&pair).is_ok()
+                || ex.clients.binary_search(&(u, v)).is_ok()
+                || ex.clients.binary_search(&(v, u)).is_ok();
         }
         match (self.roles[u.index()], self.roles[v.index()]) {
             // Constraint 1: reflector full mesh.
@@ -266,6 +345,29 @@ impl IbgpTopology {
             .map(RouterId::new)
             .filter(|&u| self.is_client(u))
             .collect()
+    }
+
+    /// Whether `u` is a *client of* `v` (a directed reflector→client
+    /// edge): the relation the message-level reflection rules key on.
+    ///
+    /// In partition mode, `u` is a client of every reflector of its own
+    /// cluster; declared client–client sessions are plain peerings. In
+    /// explicit mode the directed edge list is authoritative.
+    pub fn client_edge(&self, v: RouterId, u: RouterId) -> bool {
+        if let Some(ex) = &self.explicit {
+            return ex.clients.binary_search(&(v, u)).is_ok();
+        }
+        self.is_reflector(v) && self.is_client(u) && self.same_cluster(v, u)
+    }
+
+    /// Whether `v` acts as a route reflector — i.e. may re-advertise
+    /// learned routes at all. In explicit mode: has at least one client
+    /// edge; in partition mode: is a reflector.
+    pub fn reflects(&self, v: RouterId) -> bool {
+        if let Some(ex) = &self.explicit {
+            return ex.clients.iter().any(|&(rr, _)| rr == v);
+        }
+        self.is_reflector(v)
     }
 
     /// The declared intra-cluster client–client sessions (constraint 4),
@@ -418,6 +520,58 @@ mod tests {
             t.sessions(),
             vec![(r(0), r(1)), (r(0), r(2)), (r(0), r(3)), (r(3), r(4))]
         );
+    }
+
+    #[test]
+    fn explicit_sessions_are_the_edge_list() {
+        // cbgp's `bgp_rr` shape: 0—1 peers, 2—3 peers, 1—4 peers, 2 a
+        // client of 1. No partition can express this graph.
+        let t = IbgpTopology::explicit(
+            5,
+            vec![(r(0), r(1)), (r(2), r(3)), (r(1), r(4))],
+            vec![(r(1), r(2))],
+        )
+        .unwrap();
+        assert!(t.is_session(r(0), r(1)));
+        assert!(t.is_session(r(1), r(2))); // client edge is a session
+        assert!(t.is_session(r(2), r(1)));
+        assert!(t.is_session(r(2), r(3)));
+        assert!(!t.is_session(r(0), r(2)));
+        assert!(!t.is_session(r(3), r(4)));
+        assert!(!t.is_session(r(1), r(1)));
+        assert!(t.client_edge(r(1), r(2)));
+        assert!(!t.client_edge(r(2), r(1))); // directed
+        assert!(!t.client_edge(r(0), r(1)));
+        assert!(t.reflects(r(1)));
+        assert!(!t.reflects(r(0)));
+        assert_eq!(t.peers(r(1)), vec![r(0), r(2), r(4)]);
+    }
+
+    #[test]
+    fn explicit_rejects_bad_edges() {
+        assert_eq!(
+            IbgpTopology::explicit(2, vec![(r(0), r(2))], vec![]).unwrap_err(),
+            TopologyError::NodeOutOfRange {
+                node: r(2),
+                len: 2
+            }
+        );
+        assert_eq!(
+            IbgpTopology::explicit(2, vec![], vec![(r(1), r(1))]).unwrap_err(),
+            TopologyError::SelfLoop(r(1))
+        );
+    }
+
+    #[test]
+    fn partition_client_edges_follow_roles() {
+        let t = sample();
+        assert!(t.client_edge(r(0), r(1)));
+        assert!(t.client_edge(r(0), r(2)));
+        assert!(!t.client_edge(r(0), r(4))); // other cluster
+        assert!(!t.client_edge(r(1), r(2))); // clients have no clients
+        assert!(!t.client_edge(r(1), r(0))); // directed
+        assert!(t.reflects(r(0)));
+        assert!(!t.reflects(r(1)));
     }
 
     #[test]
